@@ -1,0 +1,28 @@
+//! # dahlia-backend
+//!
+//! The two backends of the Dahlia compiler:
+//!
+//! * [`cpp::emit_cpp`] — annotated Vivado-HLS-style C++ (the real Dahlia
+//!   compiler's output format, §5.1);
+//! * [`lower::lower`] — the [`hls_sim`] kernel IR consumed by this
+//!   repository's traditional-HLS toolchain simulator, which stands in for
+//!   Vivado HLS / SDAccel in the evaluation.
+//!
+//! ```
+//! use dahlia_core::parse;
+//! use dahlia_backend::{emit_cpp, lower};
+//!
+//! let p = parse("let A: float[16 bank 4]; let B: float[16 bank 4];
+//!                for (let i = 0..16) unroll 4 { B[i] := A[i] * 2.0; }").unwrap();
+//! dahlia_core::typecheck(&p).unwrap();
+//! let cpp = emit_cpp(&p, "scale");
+//! assert!(cpp.contains("#pragma HLS UNROLL factor=4"));
+//! let est = hls_sim::estimate(&lower(&p, "scale"));
+//! assert!(est.correct);
+//! ```
+
+pub mod cpp;
+pub mod lower;
+
+pub use cpp::emit_cpp;
+pub use lower::{classify_idx, lower};

@@ -1,0 +1,376 @@
+//! Lowering a (type-checked) Dahlia program to the [`hls_sim`] kernel IR.
+//!
+//! Views are inlined first (`dahlia_core::desugar::inline_views`), so every
+//! access targets a physical memory with an affine-or-dynamic index. Loop
+//! unrolling survives as the IR's per-loop unroll attribute — this is the
+//! path on which the toolchain simulator "sees" exactly the directives the
+//! real Dahlia compiler would emit as `#pragma HLS` hints.
+
+use dahlia_core::ast::{BinOp, Cmd, Expr, MemType, Program, Type};
+use dahlia_core::check::const_eval;
+use dahlia_core::desugar::inline_views;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind, Stmt};
+
+/// Lower a program to a kernel for estimation.
+///
+/// The program should already have passed [`dahlia_core::typecheck`]; the
+/// lowering itself is total and treats unknown constructs conservatively.
+pub fn lower(prog: &Program, name: &str) -> Kernel {
+    let p = inline_views(prog);
+    let mut lw = Lower {
+        arrays: Vec::new(),
+        float_arrays: Vec::new(),
+        float_vars: std::collections::HashSet::new(),
+    };
+    for d in &p.decls {
+        lw.add_array(&d.name, &d.ty);
+    }
+    lw.collect_arrays(&p.body);
+    let body = lw.cmds(&p.body);
+    let mut k = Kernel::new(name);
+    k.arrays = lw.arrays;
+    k.body = body;
+    k
+}
+
+struct Lower {
+    arrays: Vec<ArrayDecl>,
+    float_arrays: Vec<String>,
+    /// Scalar variables known to hold floating-point values.
+    float_vars: std::collections::HashSet<String>,
+}
+
+impl Lower {
+    fn add_array(&mut self, name: &str, m: &MemType) {
+        let dims: Vec<u64> = m.dims.iter().map(|d| d.size).collect();
+        let parts: Vec<u64> = m.dims.iter().map(|d| d.banks).collect();
+        let (bits, is_float) = match *m.elem {
+            Type::Float => (32, true),
+            Type::Double => (64, true),
+            Type::Bit(n) | Type::UBit(n) => (n, false),
+            Type::Bool => (1, false),
+            _ => (32, false),
+        };
+        if is_float {
+            self.float_arrays.push(name.to_string());
+        }
+        self.arrays
+            .push(ArrayDecl::new(name, bits, &dims).partitioned(&parts).with_ports(m.ports));
+    }
+
+    /// Pre-collect every `let`-declared memory so accesses can resolve
+    /// element types regardless of statement order.
+    fn collect_arrays(&mut self, c: &Cmd) {
+        match c {
+            Cmd::Let { name, ty: Some(Type::Mem(m)), .. } => self.add_array(name, m),
+            Cmd::Seq(cs) | Cmd::Par(cs) => cs.iter().for_each(|c| self.collect_arrays(c)),
+            Cmd::If { then_branch, else_branch, .. } => {
+                self.collect_arrays(then_branch);
+                if let Some(e) = else_branch {
+                    self.collect_arrays(e);
+                }
+            }
+            Cmd::While { body, .. } => self.collect_arrays(body),
+            Cmd::For { body, combine, .. } => {
+                self.collect_arrays(body);
+                if let Some(c) = combine {
+                    self.collect_arrays(c);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn cmds(&mut self, c: &Cmd) -> Vec<Stmt> {
+        match c {
+            Cmd::Skip | Cmd::View { .. } => Vec::new(),
+            Cmd::Seq(cs) | Cmd::Par(cs) => cs.iter().flat_map(|c| self.cmds(c)).collect(),
+            Cmd::Let { name, ty, init: Some(e), .. } => {
+                if matches!(ty, Some(Type::Float | Type::Double)) || self.is_float(e) {
+                    self.float_vars.insert(name.clone());
+                }
+                self.stmt_ops(&[e], None)
+            }
+            Cmd::Assign { rhs: e, .. } | Cmd::Expr(e) => self.stmt_ops(&[e], None),
+            Cmd::Let { .. } => Vec::new(),
+            Cmd::Store { mem, idxs, rhs, .. } => {
+                self.stmt_ops(&[rhs], Some(Access::new(mem.clone(), self.idxs(idxs))))
+            }
+            Cmd::Reduce { target, target_idxs, op, rhs, .. } => {
+                let mut stmts = if target_idxs.is_empty() {
+                    self.stmt_ops(&[rhs], None)
+                } else {
+                    let acc = Access::new(target.clone(), self.idxs(target_idxs));
+                    let mut s = self.stmt_ops(&[rhs], Some(acc.clone()));
+                    // Read-modify-write: the read side of the reducer.
+                    s.push(Op::compute(OpKind::Copy).read(acc).into_stmt());
+                    s
+                };
+                // The fold operator itself.
+                let is_f = self.is_float(rhs)
+                    || self.float_vars.contains(target)
+                    || (!target_idxs.is_empty() && self.float_arrays.iter().any(|a| a == target));
+                let kind = self.bin_kind(op.op(), is_f);
+                stmts.push(Op::compute(kind).into_stmt());
+                stmts
+            }
+            Cmd::If { cond, then_branch, else_branch, .. } => {
+                // HLS synthesizes both branches plus a select.
+                let mut out = self.stmt_ops(&[cond], None);
+                out.push(Op::compute(OpKind::Logic).into_stmt());
+                out.extend(self.cmds(then_branch));
+                if let Some(e) = else_branch {
+                    out.extend(self.cmds(e));
+                }
+                out
+            }
+            Cmd::While { cond, body, .. } => {
+                // Unknown trip count: a conservative fixed estimate.
+                let mut l = Loop::new("__w", 16);
+                for s in self.stmt_ops(&[cond], None) {
+                    l.body.push(s);
+                }
+                l.body.extend(self.cmds(body));
+                vec![l.into_stmt()]
+            }
+            Cmd::For { var, lo, hi, unroll, body, combine, .. } => {
+                let mut l = Loop::new(var.clone(), (hi - lo).max(0) as u64).unrolled(*unroll);
+                l.body = self.cmds(body);
+                if let Some(c) = combine {
+                    l.body.extend(self.cmds(c));
+                }
+                vec![l.into_stmt()]
+            }
+        }
+    }
+
+    /// Build the ops for one statement: reads collected from `exprs`, the
+    /// optional `write` attached to the first op.
+    fn stmt_ops(&mut self, exprs: &[&Expr], write: Option<Access>) -> Vec<Stmt> {
+        let mut kinds = Vec::new();
+        let mut reads = Vec::new();
+        for e in exprs {
+            self.walk_expr(e, self.is_float(e), &mut kinds, &mut reads);
+        }
+        if kinds.is_empty() && (write.is_some() || !reads.is_empty()) {
+            kinds.push(OpKind::Copy);
+        }
+        let mut out = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let mut op = Op::compute(*k);
+            if i == 0 {
+                op.reads = std::mem::take(&mut reads);
+                if let Some(w) = write.clone() {
+                    op.writes.push(w);
+                }
+            }
+            out.push(op.into_stmt());
+        }
+        out
+    }
+
+    fn walk_expr(&self, e: &Expr, float: bool, kinds: &mut Vec<OpKind>, reads: &mut Vec<Access>) {
+        match e {
+            Expr::Bin { op, lhs, rhs, .. } => {
+                kinds.push(self.bin_kind(*op, float));
+                self.walk_expr(lhs, float, kinds, reads);
+                self.walk_expr(rhs, float, kinds, reads);
+            }
+            Expr::Un { arg, .. } => {
+                kinds.push(OpKind::Logic);
+                self.walk_expr(arg, float, kinds, reads);
+            }
+            Expr::Access { mem, idxs, .. } => {
+                reads.push(Access::new(mem.clone(), self.idxs(idxs)));
+                // Index computations contribute logic too, but only the
+                // non-trivial ones show up as datapath.
+            }
+            Expr::Call { args, .. } => {
+                kinds.push(OpKind::IntAlu);
+                for a in args {
+                    self.walk_expr(a, float, kinds, reads);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn bin_kind(&self, op: BinOp, float: bool) -> OpKind {
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                if float {
+                    OpKind::FAdd
+                } else {
+                    OpKind::IntAlu
+                }
+            }
+            BinOp::Mul => {
+                if float {
+                    OpKind::FMul
+                } else {
+                    OpKind::IntMul
+                }
+            }
+            BinOp::Div | BinOp::Mod => {
+                if float {
+                    OpKind::FDiv
+                } else {
+                    OpKind::IntMul
+                }
+            }
+            _ => OpKind::Logic,
+        }
+    }
+
+    /// Does this expression compute in floating point?
+    fn is_float(&self, e: &Expr) -> bool {
+        match e {
+            Expr::LitFloat { .. } => true,
+            Expr::Var { name, .. } => self.float_vars.contains(name),
+            Expr::Access { mem, .. } => self.float_arrays.iter().any(|a| a == mem),
+            Expr::Bin { lhs, rhs, .. } => self.is_float(lhs) || self.is_float(rhs),
+            Expr::Un { arg, .. } => self.is_float(arg),
+            _ => false,
+        }
+    }
+
+    fn idxs(&self, idxs: &[Expr]) -> Vec<Idx> {
+        idxs.iter().map(|e| classify_idx(e)).collect()
+    }
+}
+
+/// Classify an index expression into the IR's affine pattern language.
+pub fn classify_idx(e: &Expr) -> Idx {
+    if let Some(n) = const_eval(e) {
+        return Idx::Const(n);
+    }
+    match e {
+        Expr::Var { name, .. } => Idx::var(name.clone()),
+        Expr::Bin { op, lhs, rhs, .. } => {
+            let (l, r) = (classify_idx(lhs), classify_idx(rhs));
+            match (op, l, r) {
+                // v + c / c + v
+                (BinOp::Add, Idx::Affine { var, stride, offset }, Idx::Const(c))
+                | (BinOp::Add, Idx::Const(c), Idx::Affine { var, stride, offset }) => {
+                    Idx::Affine { var, stride, offset: offset + c }
+                }
+                // v - c
+                (BinOp::Sub, Idx::Affine { var, stride, offset }, Idx::Const(c)) => {
+                    Idx::Affine { var, stride, offset: offset - c }
+                }
+                // k * v / v * k
+                (BinOp::Mul, Idx::Affine { var, stride, offset }, Idx::Const(c))
+                | (BinOp::Mul, Idx::Const(c), Idx::Affine { var, stride, offset }) => {
+                    Idx::Affine { var, stride: stride * c, offset: offset * c }
+                }
+                // affine + affine over the same var
+                (
+                    BinOp::Add,
+                    Idx::Affine { var: v1, stride: s1, offset: o1 },
+                    Idx::Affine { var: v2, stride: s2, offset: o2 },
+                ) if v1 == v2 => Idx::Affine { var: v1, stride: s1 + s2, offset: o1 + o2 },
+                _ => Idx::Dynamic,
+            }
+        }
+        _ => Idx::Dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dahlia_core::parse;
+    use dahlia_core::parse_expr;
+
+    #[test]
+    fn classifies_affine_indices() {
+        assert_eq!(classify_idx(&parse_expr("i").unwrap()), Idx::var("i"));
+        assert_eq!(
+            classify_idx(&parse_expr("2*i + 1").unwrap()),
+            Idx::Affine { var: "i".into(), stride: 2, offset: 1 }
+        );
+        assert_eq!(
+            classify_idx(&parse_expr("i + 3").unwrap()),
+            Idx::Affine { var: "i".into(), stride: 1, offset: 3 }
+        );
+        assert_eq!(classify_idx(&parse_expr("7").unwrap()), Idx::Const(7));
+        assert_eq!(classify_idx(&parse_expr("i * j").unwrap()), Idx::Dynamic);
+        assert_eq!(classify_idx(&parse_expr("4 - 1").unwrap()), Idx::Const(3));
+    }
+
+    #[test]
+    fn lowers_banked_loop() {
+        let p = parse(
+            "let A: float[16 bank 4]; let B: float[16 bank 4];
+             for (let i = 0..16) unroll 4 { B[i] := A[i] * 2.0; }",
+        )
+        .unwrap();
+        let k = lower(&p, "scale");
+        assert_eq!(k.arrays.len(), 2);
+        assert_eq!(k.arrays[0].partition, vec![4]);
+        match &k.body[0] {
+            Stmt::Loop(l) => {
+                assert_eq!(l.unroll, 4);
+                assert_eq!(l.trips, 16);
+                assert!(matches!(l.body[0], Stmt::Op(ref o) if o.kind == OpKind::FMul));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn views_are_inlined_before_lowering() {
+        let p = parse(
+            "let A: float[8 bank 4];
+             view sh = shrink A[by 2];
+             for (let i = 0..8) unroll 2 { let x = sh[i]; }",
+        )
+        .unwrap();
+        let k = lower(&p, "v");
+        // Only the physical array remains; the access resolves to it.
+        assert_eq!(k.arrays.len(), 1);
+        match &k.body[0] {
+            Stmt::Loop(l) => match &l.body[0] {
+                Stmt::Op(o) => assert_eq!(o.reads[0].array, "A"),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn combine_ops_folded_into_loop() {
+        let p = parse(
+            "let A: float[8 bank 2]; let B: float[8 bank 2];
+             let dot = 0.0;
+             for (let i = 0..8) unroll 2 {
+               let v = A[i] * B[i];
+             } combine { dot += v; }",
+        )
+        .unwrap();
+        let k = lower(&p, "dot");
+        match &k.body[0] {
+            Stmt::Loop(l) => {
+                let has_fadd = l
+                    .body
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Op(o) if o.kind == OpKind::FAdd));
+                assert!(has_fadd, "reduction adder present: {:?}", l.body);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimation_pipeline_end_to_end() {
+        let src = |u: u64| {
+            format!(
+                "let A: float[64 bank 8]; let B: float[64 bank 8];
+                 for (let i = 0..64) unroll {u} {{ B[i] := A[i] * 2.0; }}"
+            )
+        };
+        let fast = hls_sim::estimate(&lower(&parse(&src(8)).unwrap(), "k8"));
+        let slow = hls_sim::estimate(&lower(&parse(&src(1)).unwrap(), "k1"));
+        assert!(fast.cycles * 4 < slow.cycles, "{} vs {}", fast.cycles, slow.cycles);
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion benches over the compiler and substrate pipeline stages:
+//! one bench per paper artifact, timing the machinery that regenerates it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dahlia_bench::{fig4, fig7, fig8, fig9};
+use dahlia_dse::pareto_mask;
+use dahlia_kernels::gemm::{gemm_blocked_source, GemmBlockedParams};
+
+/// Fig. 4: one estimation-mode evaluation of the matmul kernel.
+fn bench_fig4_estimate(c: &mut Criterion) {
+    let k = fig4::matmul_kernel(512, 8, 9);
+    c.bench_function("fig4/estimate_matmul_512_b8_u9", |b| {
+        b.iter(|| hls_sim::estimate(black_box(&k)))
+    });
+}
+
+/// Fig. 7: one full DSE point — source generation, type check, estimate.
+fn bench_fig7_point(c: &mut Criterion) {
+    let cfg: dahlia_dse::Config = [
+        ("bank_m1_d1", 2),
+        ("bank_m1_d2", 2),
+        ("bank_m2_d1", 2),
+        ("bank_m2_d2", 2),
+        ("unroll_i", 2),
+        ("unroll_j", 2),
+        ("unroll_k", 2),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    c.bench_function("fig7/evaluate_one_config", |b| {
+        b.iter(|| fig7::evaluate(black_box(cfg.clone())))
+    });
+}
+
+/// The type checker alone on the paper's flagship kernel.
+fn bench_typecheck(c: &mut Criterion) {
+    let src = gemm_blocked_source(&GemmBlockedParams {
+        n: 128,
+        block: 8,
+        bank_m1: (4, 4),
+        bank_m2: (4, 4),
+        unroll: (4, 4, 4),
+    });
+    c.bench_function("core/typecheck_gemm_blocked", |b| {
+        b.iter(|| {
+            let p = dahlia_core::parse(black_box(&src)).unwrap();
+            dahlia_core::typecheck(&p).unwrap()
+        })
+    });
+}
+
+/// Fig. 8: acceptance filtering throughput (the checker as a DSE pruner).
+fn bench_fig8_accept(c: &mut Criterion) {
+    let study = fig8::Study::Stencil2d;
+    let cfgs: Vec<_> = study.space().iter().step_by(97).collect();
+    c.bench_function("fig8/accept_30_stencil_configs", |b| {
+        b.iter(|| {
+            cfgs.iter()
+                .filter(|cfg| dahlia_dse::accepts(&study.source(black_box(cfg))))
+                .count()
+        })
+    });
+}
+
+/// Fig. 9: the whole Spatial sweep.
+fn bench_fig9_sweep(c: &mut Criterion) {
+    c.bench_function("fig9/spatial_sweep_16", |b| b.iter(|| fig9::run()));
+}
+
+/// Fig. 7's Pareto filter over a realistic point cloud.
+fn bench_pareto(c: &mut Criterion) {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut objs = Vec::new();
+    for _ in 0..2000 {
+        let mut row = Vec::with_capacity(5);
+        for _ in 0..5 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            row.push((x % 100_000) as f64);
+        }
+        objs.push(row);
+    }
+    c.bench_function("dse/pareto_2000x5", |b| b.iter(|| pareto_mask(black_box(&objs))));
+}
+
+/// The checked interpreter on a small gemm (functional simulation speed).
+fn bench_interp(c: &mut Criterion) {
+    let p = GemmBlockedParams::small();
+    let src = gemm_blocked_source(&p);
+    let prog = dahlia_core::parse(&src).unwrap();
+    let (inputs, _, _) = dahlia_kernels::gemm::gemm_inputs(p.n as usize, 1);
+    c.bench_function("core/interpret_gemm_16", |b| {
+        b.iter(|| {
+            dahlia_core::interp::interpret_with(
+                black_box(&prog),
+                &dahlia_core::interp::InterpOptions::default(),
+                &inputs,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig4_estimate, bench_fig7_point, bench_typecheck, bench_fig8_accept, bench_fig9_sweep, bench_pareto, bench_interp
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation study: what the port-conflict model and the affine pruning
+//! each contribute. See `dahlia_bench::ablation`.
+
+use dahlia_bench::ablation::{port_ablation, pruning_ablation};
+
+fn main() {
+    println!("# Ablation 1 — port constraints (matmul 512, banking 8)");
+    println!("unroll,real_cycles,ideal_cycles,serialization");
+    for r in port_ablation(512, 8, 16) {
+        println!(
+            "{},{},{},{:.2}",
+            r.unroll,
+            r.real.cycles,
+            r.ideal.cycles,
+            r.serialization_factor()
+        );
+    }
+    println!("\n# Ablation 1b — same sweep with a single bank");
+    println!("unroll,real_cycles,ideal_cycles,serialization");
+    for r in port_ablation(512, 1, 8) {
+        println!(
+            "{},{},{},{:.2}",
+            r.unroll,
+            r.real.cycles,
+            r.ideal.cycles,
+            r.serialization_factor()
+        );
+    }
+    println!("\n# Ablation 2 — the affine discipline as a DSE pruner (gemm-blocked, stride 7)");
+    let a = pruning_ablation(7);
+    println!("best_unrestricted_cycles,{}", a.best_unrestricted);
+    println!("best_accepted_cycles,{}", a.best_accepted);
+    println!("pruned_points,{}", a.pruned);
+    println!("pruned_incorrect_hardware,{}", a.pruned_incorrect);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11: MachSuite baselines vs Dahlia rewrites across six
+//! resource panels.
+
+use dahlia_bench::fig11;
+
+fn main() {
+    println!("# Fig. 11 — MachSuite baseline vs Dahlia rewrite");
+    print!("{}", fig11::to_csv(&fig11::run()));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 4: the three HLS predictability sweeps on the §2
+//! matrix-multiply kernel (512×512, 250 MHz target).
+
+use dahlia_bench::fig4::{sweep_a, sweep_b, sweep_c, to_csv};
+
+fn main() {
+    println!("# Fig. 4a — unrolling, no partitioning (LUTs up, runtime flat)");
+    print!("{}", to_csv(&sweep_a(512, 10)));
+    println!("\n# Fig. 4b — unrolling with 8-way partitioning (predictable ⟺ u | 8)");
+    print!("{}", to_csv(&sweep_b(512, 16)));
+    println!("\n# Fig. 4c — banking = unrolling in lockstep (predictable ⟺ k | 512)");
+    print!("{}", to_csv(&sweep_c(512, 16)));
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 7: the exhaustive 32,000-point gemm-blocked DSE.
+//! Pass a stride argument to subsample (default 1 = full sweep).
+
+use dahlia_bench::fig7;
+use dahlia_dse::to_csv;
+
+fn main() {
+    let stride: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let points = fig7::run(stride);
+    let summary = fig7::summarize(&points);
+    eprintln!("gemm-blocked DSE (stride {stride}): {summary}");
+    println!("# Fig. 7 — gemm-blocked design space ({} points)", points.len());
+    println!("# {summary}");
+    let params = [
+        "bank_m1_d1",
+        "bank_m1_d2",
+        "bank_m2_d1",
+        "bank_m2_d2",
+        "unroll_i",
+        "unroll_j",
+        "unroll_k",
+    ];
+    // 7a: the Pareto-optimal points; 7b: the Dahlia-accepted points.
+    let pareto: Vec<_> = points.iter().filter(|p| p.pareto).cloned().collect();
+    let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();
+    println!("\n# Fig. 7a — Pareto-optimal points ({})", pareto.len());
+    print!("{}", to_csv(&pareto, &params));
+    println!("\n# Fig. 7b — Dahlia-accepted points ({})", accepted.len());
+    print!("{}", to_csv(&accepted, &params));
+}

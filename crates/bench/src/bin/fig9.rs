@@ -1,0 +1,8 @@
+//! Regenerates Fig. 9 / Fig. 13: the Spatial banking-inference sweep.
+
+use dahlia_bench::fig9;
+
+fn main() {
+    println!("# Fig. 9 / Fig. 13 — Spatial gemm-ncubed sweep (banking inferred)");
+    print!("{}", fig9::to_csv(&fig9::run()));
+}

@@ -1,0 +1,107 @@
+//! Fig. 11 — resource usage of the 16 MachSuite baselines vs their Dahlia
+//! rewrites after the full flow (Appendix D).
+//!
+//! Both sides run through the same toolchain substrate, which is the
+//! paper's point: "most of the benchmarks perform identically when
+//! rewritten in Dahlia... because Dahlia generates C++ which goes through
+//! the same synthesis flow".
+
+use dahlia_kernels::all_benches;
+use hls_sim::Estimate;
+
+/// Baseline-vs-rewrite comparison for one benchmark — one group of bars in
+/// each of the six panels (BRAM, DSP, LUT-mem, LUT, registers, runtime).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The hand-written HLS baseline.
+    pub baseline: Estimate,
+    /// The Dahlia rewrite, lowered through the compiler.
+    pub rewrite: Estimate,
+}
+
+impl Comparison {
+    /// Runtime in milliseconds at the paper's 250 MHz target.
+    pub fn runtimes_ms(&self) -> (f64, f64) {
+        (self.baseline.runtime_ms(250.0), self.rewrite.runtime_ms(250.0))
+    }
+}
+
+/// Run the comparison for all 16 benchmarks.
+pub fn run() -> Vec<Comparison> {
+    all_benches()
+        .into_iter()
+        .map(|b| {
+            let prog = dahlia_core::parse(&b.source).expect("bench sources parse");
+            dahlia_core::typecheck(&prog).expect("bench sources typecheck");
+            let rewrite = hls_sim::estimate(&dahlia_backend::lower(&prog, b.name));
+            let baseline = hls_sim::estimate(&b.baseline);
+            Comparison { name: b.name, baseline, rewrite }
+        })
+        .collect()
+}
+
+/// Render the six panels as CSV.
+pub fn to_csv(rows: &[Comparison]) -> String {
+    let mut out = String::from(
+        "name,brams_base,brams_rw,dsps_base,dsps_rw,lutmem_base,lutmem_rw,\
+         luts_base,luts_rw,regs_base,regs_rw,runtime_base_ms,runtime_rw_ms\n",
+    );
+    for c in rows {
+        let (rb, rr) = c.runtimes_ms();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}\n",
+            c.name,
+            c.baseline.brams,
+            c.rewrite.brams,
+            c.baseline.dsps,
+            c.rewrite.dsps,
+            c.baseline.lut_mems,
+            c.rewrite.lut_mems,
+            c.baseline.luts,
+            c.rewrite.luts,
+            c.baseline.ffs,
+            c.rewrite.ffs,
+            rb,
+            rr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows() {
+        let rows = run();
+        assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn rewrites_track_baselines() {
+        // The figure's visual claim: bars of comparable height. Geometric
+        // mean of the LUT ratio should be near 1.
+        let rows = run();
+        let mut log_sum = 0.0;
+        for c in &rows {
+            let ratio = c.rewrite.luts as f64 / c.baseline.luts.max(1) as f64;
+            log_sum += ratio.ln();
+        }
+        let geomean = (log_sum / rows.len() as f64).exp();
+        assert!(
+            (0.5..2.0).contains(&geomean),
+            "geomean LUT ratio {geomean:.2} should be near 1"
+        );
+    }
+
+    #[test]
+    fn csv_renders() {
+        let rows = run();
+        let csv = to_csv(&rows);
+        assert_eq!(csv.lines().count(), 17);
+        assert!(csv.contains("gemm-ncubed"));
+    }
+}

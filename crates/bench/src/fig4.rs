@@ -1,0 +1,166 @@
+//! Fig. 4 — the predictability pitfalls of traditional HLS, measured on the
+//! §2 dense matrix-multiplication kernel (Fig. 2) through the toolchain
+//! simulator:
+//!
+//! * **4a** — unrolling without partitioning: area grows, latency doesn't
+//!   improve (bank-port serialization);
+//! * **4b** — unrolling against fixed 8-way partitioning: only unroll
+//!   factors dividing 8 behave ("predictable points"); some configurations
+//!   miscompile;
+//! * **4c** — banking and unrolling in lockstep: factors that do not divide
+//!   the array size pay leftover hardware.
+
+use hls_sim::{estimate, Access, ArrayDecl, Estimate, Idx, Kernel, Loop, Op, OpKind};
+
+/// One point of a Fig. 4 sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept factor (unroll and/or banking).
+    pub factor: u64,
+    /// Banking in effect.
+    pub banking: u64,
+    /// Toolchain estimate.
+    pub estimate: Estimate,
+    /// Does the configuration obey the paper's "unwritten rule"?
+    pub predictable: bool,
+}
+
+/// The Fig. 2 matrix-multiply kernel: `prod[i][j] = Σ_k m1[i][k]·m2[k][j]`,
+/// with the operand matrices cyclically partitioned `banking` ways along
+/// the `k` dimension and the inner loop unrolled `unroll` times.
+pub fn matmul_kernel(n: u64, banking: u64, unroll: u64) -> Kernel {
+    let inner = Loop::new("k", n)
+        .unrolled(unroll)
+        .stmt(
+            Op::compute(OpKind::IntMul)
+                .read(Access::new("m1", vec![Idx::var("i"), Idx::var("k")]))
+                .read(Access::new("m2", vec![Idx::var("k"), Idx::var("j")]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt());
+    let nest = Loop::new("i", n).stmt(
+        Loop::new("j", n)
+            .stmt(inner.into_stmt())
+            .stmt(
+                Op::compute(OpKind::Copy)
+                    .write(Access::new("prod", vec![Idx::var("i"), Idx::var("j")]))
+                    .into_stmt(),
+            )
+            .into_stmt(),
+    );
+    Kernel::new(format!("matmul-{n}-b{banking}-u{unroll}"))
+        .array(ArrayDecl::new("m1", 32, &[n, n]).partitioned(&[1, banking]))
+        .array(ArrayDecl::new("m2", 32, &[n, n]).partitioned(&[banking, 1]))
+        .array(ArrayDecl::new("prod", 32, &[n, n]))
+        .stmt(nest.into_stmt())
+}
+
+/// Fig. 4a: unrolling with no partitioning.
+pub fn sweep_a(n: u64, max_unroll: u64) -> Vec<SweepPoint> {
+    (1..=max_unroll)
+        .map(|u| SweepPoint {
+            factor: u,
+            banking: 1,
+            estimate: estimate(&matmul_kernel(n, 1, u)),
+            predictable: u == 1,
+        })
+        .collect()
+}
+
+/// Fig. 4b: unrolling against fixed 8-way partitioning; predictable points
+/// have `unroll | 8`.
+pub fn sweep_b(n: u64, max_unroll: u64) -> Vec<SweepPoint> {
+    (1..=max_unroll)
+        .map(|u| SweepPoint {
+            factor: u,
+            banking: 8,
+            estimate: estimate(&matmul_kernel(n, 8, u)),
+            predictable: 8 % u == 0,
+        })
+        .collect()
+}
+
+/// Fig. 4c: banking = unrolling, swept together; predictable points have
+/// `factor | n`.
+pub fn sweep_c(n: u64, max_factor: u64) -> Vec<SweepPoint> {
+    (1..=max_factor)
+        .map(|k| SweepPoint {
+            factor: k,
+            banking: k,
+            estimate: estimate(&matmul_kernel(n, k, k)),
+            predictable: n % k == 0,
+        })
+        .collect()
+}
+
+/// Render a sweep as the CSV series the figure plots.
+pub fn to_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from("factor,banking,luts,runtime_ms,predictable,correct\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{},{}\n",
+            p.factor,
+            p.banking,
+            p.estimate.luts,
+            p.estimate.runtime_ms(250.0),
+            p.predictable,
+            p.estimate.correct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_no_speedup_but_more_area() {
+        let pts = sweep_a(512, 10);
+        let base = &pts[0].estimate;
+        for p in &pts[1..] {
+            assert!(
+                p.estimate.cycles * 10 >= base.cycles * 9,
+                "u={}: latency should not really improve ({} vs {})",
+                p.factor,
+                p.estimate.cycles,
+                base.cycles
+            );
+        }
+        assert!(pts[7].estimate.luts > base.luts, "area grows with PEs");
+    }
+
+    #[test]
+    fn fig4b_divisors_behave() {
+        let pts = sweep_b(512, 16);
+        let at = |u: u64| &pts[(u - 1) as usize];
+        // Matched point: real speedup.
+        assert!(at(8).estimate.cycles * 6 < at(1).estimate.cycles);
+        // u=9 is worse than u=8 in both dimensions (paper: reducing 9 → 8
+        // improves both performance and area).
+        assert!(at(9).estimate.cycles > at(8).estimate.cycles);
+        assert!(at(9).estimate.luts > at(8).estimate.luts);
+        // Predictable points: latency monotonically improves 1→2→4→8.
+        let lat: Vec<u64> = [1u64, 2, 4, 8].iter().map(|&u| at(u).estimate.cycles).collect();
+        assert!(lat.windows(2).all(|w| w[1] < w[0]), "{lat:?}");
+    }
+
+    #[test]
+    fn fig4c_leftover_hardware() {
+        let pts = sweep_c(512, 16);
+        let at = |u: u64| &pts[(u - 1) as usize];
+        // Non-divisors pay guard hardware: compare per-PE LUTs of 7 vs 8.
+        let per_pe7 = at(7).estimate.luts as f64 / 7.0;
+        let per_pe8 = at(8).estimate.luts as f64 / 8.0;
+        assert!(per_pe7 > per_pe8, "{per_pe7} vs {per_pe8}");
+        // Predictable points scale performance.
+        assert!(at(16).estimate.cycles < at(4).estimate.cycles);
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let csv = to_csv(&sweep_a(64, 4));
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("factor,"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 7 — the exhaustive `gemm-blocked` design-space exploration (§5.2).
+//!
+//! The space has 32,000 configurations: four free banking parameters
+//! (the operand matrices' two dimensions each) over {1..4} and three
+//! unroll factors over {1, 2, 4, 6, 8}. Every point is estimated through
+//! the HLS substrate; the Dahlia type checker marks the accepted subset
+//! (354 points / 1.1% in the paper); Pareto optimality is computed over
+//! the five objectives of §5.2.
+
+use dahlia_dse::{accepts, mark_pareto, Config, DesignPoint, ParamSpace, Summary};
+use dahlia_kernels::gemm::{gemm_blocked_baseline, gemm_blocked_source, GemmBlockedParams};
+
+/// The full 32,000-point parameter space.
+pub fn space() -> ParamSpace {
+    ParamSpace::new()
+        .param("bank_m1_d1", 1..=4)
+        .param("bank_m1_d2", 1..=4)
+        .param("bank_m2_d1", 1..=4)
+        .param("bank_m2_d2", 1..=4)
+        .param("unroll_i", [1, 2, 4, 6, 8])
+        .param("unroll_j", [1, 2, 4, 6, 8])
+        .param("unroll_k", [1, 2, 4, 6, 8])
+}
+
+/// Decode a configuration into kernel parameters (paper-size matrices).
+pub fn params_of(cfg: &Config) -> GemmBlockedParams {
+    GemmBlockedParams {
+        n: 128,
+        block: 8,
+        bank_m1: (cfg["bank_m1_d1"], cfg["bank_m1_d2"]),
+        bank_m2: (cfg["bank_m2_d1"], cfg["bank_m2_d2"]),
+        unroll: (cfg["unroll_i"], cfg["unroll_j"], cfg["unroll_k"]),
+    }
+}
+
+/// Evaluate one configuration: estimate through the HLS substrate, and
+/// record whether Dahlia accepts the equivalent source.
+pub fn evaluate(cfg: Config) -> DesignPoint {
+    let p = params_of(&cfg);
+    let accepted = accepts(&gemm_blocked_source(&p));
+    let est = hls_sim::estimate(&gemm_blocked_baseline(&p));
+    DesignPoint::from_estimate(cfg, &est, accepted)
+}
+
+/// Run the exploration over every `stride`-th configuration (stride 1 =
+/// the paper's full 32,000-point sweep) and mark the Pareto frontier.
+pub fn run(stride: usize) -> Vec<DesignPoint> {
+    let mut points: Vec<DesignPoint> =
+        space().iter().step_by(stride.max(1)).map(evaluate).collect();
+    mark_pareto(&mut points);
+    points
+}
+
+/// The acceptance/Pareto summary the paper quotes.
+pub fn summarize(points: &[DesignPoint]) -> Summary {
+    Summary::of(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_is_paper_sized() {
+        assert_eq!(space().len(), 32_000);
+    }
+
+    #[test]
+    fn subsampled_run_matches_paper_shape() {
+        // Every 101st point: 317 configurations — enough for the ratios.
+        let points = run(101);
+        let s = summarize(&points);
+        assert!(s.total > 300);
+        let ratio = s.acceptance_ratio();
+        assert!(
+            (0.001..0.08).contains(&ratio),
+            "acceptance ratio {ratio:.4} should be on the order of the paper's 1.1%"
+        );
+        // Accepted points must include Pareto-optimal ones (the paper's
+        // headline claim).
+        assert!(s.accepted_pareto > 0, "{s}");
+    }
+
+    #[test]
+    fn accepted_points_follow_the_unwritten_rules() {
+        for p in run(173) {
+            if p.accepted {
+                // unroll_k must divide both k-dimension banking factors
+                // (through a shrink view) for parallel access.
+                let uk = p.config["unroll_k"];
+                let (f12, f21) = (p.config["bank_m1_d2"], p.config["bank_m2_d1"]);
+                assert!(
+                    uk == 1 || (f12 % uk == 0 && f21 % uk == 0),
+                    "accepted config breaks the rule: {:?}",
+                    p.config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_points_include_pareto_outliers() {
+        // The paper: Dahlia rejects some Pareto-optimal points (the cost of
+        // predictability). With heuristic noise, at least verify rejected
+        // points exist in volume.
+        let points = run(211);
+        let rejected = points.iter().filter(|p| !p.accepted).count();
+        assert!(rejected > points.len() / 2);
+    }
+}

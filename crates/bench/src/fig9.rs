@@ -1,0 +1,62 @@
+//! Fig. 9 / Fig. 13 — the Spatial comparison (§7 / Appendix E):
+//! `gemm-ncubed` in Spatial with inner-loop parallelization 1..16, banking
+//! inferred by the compiler, resources normalized to the unrolled-by-1
+//! design.
+
+use spatial_sim::{normalized_usage, sweep, SpatialPoint};
+
+/// Run the Appendix E sweep on 128×128 matrices.
+pub fn run() -> Vec<SpatialPoint> {
+    sweep(128, 1..=16)
+}
+
+/// Render Fig. 13's series: banking decision, normalized and absolute
+/// resources, predictability flag.
+pub fn to_csv(points: &[SpatialPoint]) -> String {
+    let norm = normalized_usage(points);
+    let mut out = String::from(
+        "unroll,banking,predictable,dsp_norm,bram_norm,lut_norm,dsps,brams,luts,ffs,cycles\n",
+    );
+    for (p, (dn, bn, ln)) in points.iter().zip(norm) {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{:.3},{},{},{},{},{}\n",
+            p.unroll,
+            p.banking,
+            p.predictable(),
+            dn,
+            bn,
+            ln,
+            p.estimate.dsps,
+            p.estimate.brams,
+            p.estimate.luts,
+            p.estimate.ffs,
+            p.estimate.cycles
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_points_with_fig13a_bankings() {
+        let pts = run();
+        assert_eq!(pts.len(), 16);
+        let bankings: Vec<u64> = pts.iter().map(|p| p.banking).collect();
+        assert_eq!(&bankings[..8], &[1, 2, 4, 4, 8, 8, 8, 8]);
+        assert!(bankings[8..].iter().all(|&b| b == 16));
+    }
+
+    #[test]
+    fn normalized_resources_jump_on_mismatch() {
+        let pts = run();
+        let csv = to_csv(&pts);
+        assert!(csv.lines().count() == 17);
+        // The u=9 point over-banks to 16 and pays for it.
+        let lut9 = pts[8].estimate.luts as f64 / 9.0;
+        let lut8 = pts[7].estimate.luts as f64 / 8.0;
+        assert!(lut9 > lut8);
+    }
+}

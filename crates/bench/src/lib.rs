@@ -1,0 +1,24 @@
+//! # dahlia-bench
+//!
+//! The benchmark harness that regenerates every figure of the Dahlia paper
+//! against this repository's substrates. Each `figN` module exposes the
+//! experiment as a library function (tested at reduced scale) and a binary
+//! of the same name prints the full data series:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig4` | Fig. 4a/4b/4c — HLS predictability pitfalls |
+//! | `fig7` | Fig. 7a/7b/7c — gemm-blocked exhaustive DSE |
+//! | `fig8` | Fig. 8a/8b/8c — Dahlia-directed DSE case studies |
+//! | `fig9` | Fig. 9 + Fig. 13 — Spatial banking-inference sweep |
+//! | `fig11` | Fig. 11a–f — MachSuite baseline vs Dahlia rewrite |
+//!
+//! Criterion benches (`cargo bench`) time the pipeline stages themselves:
+//! type checking, lowering, estimation, scheduling, and Pareto filtering.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig4;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

@@ -1,0 +1,134 @@
+//! `dahliac` — the Dahlia compiler driver.
+//!
+//! ```text
+//! dahliac check  <file.fuse>          type-check and report
+//! dahliac cpp    <file.fuse> [name]   emit Vivado-HLS-style C++
+//! dahliac run    <file.fuse>          interpret (checked semantics)
+//! dahliac est    <file.fuse> [name]   estimate area/latency via hls-sim
+//! dahliac lower  <file.fuse>          dump the lowered kernel IR
+//! ```
+//!
+//! (`.fuse` is the extension the original Dahlia compiler uses.)
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dahlia_backend::{emit_cpp, lower};
+use dahlia_core::{interp, parse, typecheck};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: dahliac <check|cpp|run|est|lower> <file> [kernel-name]");
+            return ExitCode::from(2);
+        }
+    };
+    let name = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().replace('-', "_"))
+                .unwrap_or_else(|| "kernel".to_string())
+        });
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dahliac: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let prog = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "check" => match typecheck(&prog) {
+            Ok(r) => {
+                println!(
+                    "ok: {} memories, {} views, {} accesses, {} functions, max unroll {}",
+                    r.memories, r.views, r.accesses, r.functions, r.max_unroll
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "cpp" => {
+            if let Err(e) = typecheck(&prog) {
+                eprintln!("dahliac: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", emit_cpp(&prog, &name));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if let Err(e) = typecheck(&prog) {
+                eprintln!("dahliac: {e}");
+                return ExitCode::FAILURE;
+            }
+            match interp::interpret_with(&prog, &interp::InterpOptions::default(), &HashMap::new())
+            {
+                Ok(out) => {
+                    let mut names: Vec<&String> = out.mems.keys().collect();
+                    names.sort();
+                    for n in names {
+                        let mem = &out.mems[n];
+                        let shown: Vec<String> =
+                            mem.iter().take(8).map(|v| format!("{v:?}")).collect();
+                        println!(
+                            "{n}[{}] = [{}{}]",
+                            mem.len(),
+                            shown.join(", "),
+                            if mem.len() > 8 { ", …" } else { "" }
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("dahliac: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "est" => {
+            if let Err(e) = typecheck(&prog) {
+                eprintln!("dahliac: {e}");
+                return ExitCode::FAILURE;
+            }
+            let est = hls_sim::estimate(&lower(&prog, &name));
+            println!("kernel:   {}", est.name);
+            println!("cycles:   {}", est.cycles);
+            println!("runtime:  {:.3} ms @ 250 MHz", est.runtime_ms(250.0));
+            println!("LUTs:     {}", est.luts);
+            println!("FFs:      {}", est.ffs);
+            println!("DSPs:     {}", est.dsps);
+            println!("BRAMs:    {}", est.brams);
+            println!("LUT mem:  {}", est.lut_mems);
+            println!("correct:  {}", est.correct);
+            for n in &est.notes {
+                println!("note:     {n}");
+            }
+            ExitCode::SUCCESS
+        }
+        "lower" => {
+            println!("{:#?}", lower(&prog, &name));
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("dahliac: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests for the `dahliac` driver binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dahliac"))
+        .args(args)
+        .output()
+        .expect("dahliac runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_tmp(name: &str, src: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("tmp file");
+    f.write_all(src.as_bytes()).expect("write");
+    path.to_string_lossy().into_owned()
+}
+
+const GOOD: &str = "let A: float[8 bank 4];
+for (let i = 0..8) unroll 4 { A[i] := 1.0; }
+";
+
+const BAD: &str = "let A: float[8];
+for (let i = 0..8) unroll 4 { A[i] := 1.0; }
+";
+
+#[test]
+fn check_accepts_and_rejects() {
+    let good = write_tmp("dahliac_good.fuse", GOOD);
+    let (out, _, ok) = run(&["check", &good]);
+    assert!(ok);
+    assert!(out.contains("ok: 1 memories"), "{out}");
+
+    let bad = write_tmp("dahliac_bad.fuse", BAD);
+    let (_, err, ok) = run(&["check", &bad]);
+    assert!(!ok);
+    assert!(err.contains("InsufficientBanks"), "{err}");
+}
+
+#[test]
+fn cpp_emits_pragmas() {
+    let good = write_tmp("dahliac_cpp.fuse", GOOD);
+    let (out, _, ok) = run(&["cpp", &good, "my_kernel"]);
+    assert!(ok);
+    assert!(out.contains("void my_kernel("), "{out}");
+    assert!(out.contains("ARRAY_PARTITION variable=A cyclic factor=4"), "{out}");
+    assert!(out.contains("UNROLL factor=4"), "{out}");
+}
+
+#[test]
+fn run_prints_final_memories() {
+    let good = write_tmp("dahliac_run.fuse", GOOD);
+    let (out, _, ok) = run(&["run", &good]);
+    assert!(ok, "{out}");
+    assert!(out.contains("A[8]"), "{out}");
+    assert!(out.contains("Float(1.0)"), "{out}");
+}
+
+#[test]
+fn est_reports_resources() {
+    let good = write_tmp("dahliac_est.fuse", GOOD);
+    let (out, _, ok) = run(&["est", &good]);
+    assert!(ok);
+    assert!(out.contains("cycles:"), "{out}");
+    assert!(out.contains("LUTs:"), "{out}");
+    assert!(out.contains("correct:  true"), "{out}");
+}
+
+#[test]
+fn bad_usage_and_missing_files() {
+    let (_, err, ok) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"), "{err}");
+
+    let (_, err, ok) = run(&["check", "/nonexistent/x.fuse"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+
+    let good = write_tmp("dahliac_cmd.fuse", GOOD);
+    let (_, err, ok) = run(&["frobnicate", &good]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn parse_errors_point_at_the_source() {
+    let broken = write_tmp("dahliac_parse.fuse", "let = oops");
+    let (_, err, ok) = run(&["check", &broken]);
+    assert!(!ok);
+    assert!(err.contains("parse error"), "{err}");
+}

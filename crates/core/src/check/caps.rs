@@ -1,0 +1,394 @@
+//! Capability tracking: the affine context Δ.
+//!
+//! Each memory bank carries `ports` capabilities per logical time step.
+//! Reads acquire a *non-affine read capability* keyed by the syntactic
+//! access (so identical reads share one port); writes acquire *use-once
+//! write capabilities*. Ordered composition (`---`) restores capabilities
+//! by re-checking each step from the state at entry and then taking the
+//! pointwise meet of the results.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::Id;
+use crate::error::{TypeError, TypeErrorKind};
+use crate::span::Span;
+
+/// The set of banks an access touches in one dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankSet {
+    /// Every bank of the dimension (conservative, e.g. a sequential
+    /// iterator whose position in the bank stripe is unknown).
+    All,
+    /// A specific set of banks.
+    Some(BTreeSet<u64>),
+}
+
+impl BankSet {
+    /// A singleton bank set.
+    pub fn one(b: u64) -> Self {
+        BankSet::Some(std::iter::once(b).collect())
+    }
+
+    /// Concretize against the dimension's bank count.
+    pub fn expand(&self, banks: u64) -> Vec<u64> {
+        match self {
+            BankSet::All => (0..banks).collect(),
+            BankSet::Some(s) => s.iter().copied().collect(),
+        }
+    }
+}
+
+/// A fully resolved access: the *root* (non-view) memory it lands on, plus
+/// the banks it touches in each of the root's dimensions.
+#[derive(Debug, Clone)]
+pub struct ResolvedAccess {
+    /// Root memory name.
+    pub root: Id,
+    /// Banks touched per root dimension.
+    pub bank_sets: Vec<BankSet>,
+    /// Bank count per root dimension (for expansion).
+    pub dim_banks: Vec<u64>,
+}
+
+impl ResolvedAccess {
+    /// Expand the per-dimension bank sets into concrete bank coordinates.
+    pub fn coords(&self) -> Vec<Vec<u64>> {
+        let mut acc: Vec<Vec<u64>> = vec![Vec::new()];
+        for (set, &banks) in self.bank_sets.iter().zip(&self.dim_banks) {
+            let opts = set.expand(banks);
+            let mut next = Vec::with_capacity(acc.len() * opts.len());
+            for prefix in &acc {
+                for &b in &opts {
+                    let mut p = prefix.clone();
+                    p.push(b);
+                    next.push(p);
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+}
+
+/// A canonical identity for a syntactic access, used for read-capability
+/// sharing: `A[i][0]` read twice in one time step is a single port use.
+pub type AccessKey = (Id, String);
+
+/// The capability state for one point in the program.
+#[derive(Debug, Clone, Default)]
+pub struct Caps {
+    /// Remaining ports per (root memory, bank coordinate).
+    avail: BTreeMap<(Id, Vec<u64>), u32>,
+    /// Full port count per bank (the Δ* this state was built from).
+    capacity: BTreeMap<(Id, Vec<u64>), u32>,
+    /// Read capabilities held in the current time step.
+    reads: BTreeSet<AccessKey>,
+    /// Write capabilities spent in the current time step.
+    writes: BTreeSet<AccessKey>,
+    /// Shift views that have claimed their underlying memory this step.
+    claims: BTreeSet<Id>,
+}
+
+impl Caps {
+    /// Register a freshly declared memory: every bank gets `ports`
+    /// capabilities.
+    pub fn add_memory(&mut self, name: &str, dim_banks: &[u64], ports: u32) {
+        for coord in all_coords(dim_banks) {
+            self.avail.insert((name.to_string(), coord.clone()), ports);
+            self.capacity.insert((name.to_string(), coord), ports);
+        }
+    }
+
+    /// The starting state for the *next* ordered step: the original entry
+    /// state, plus fresh full pools for any memory declared while checking
+    /// earlier steps (declarations must remain visible downstream).
+    pub fn step_entry(&self, entry: &Caps) -> Caps {
+        let mut out = entry.clone();
+        for (k, &cap) in &self.capacity {
+            out.capacity.entry(k.clone()).or_insert(cap);
+            out.avail.entry(k.clone()).or_insert(cap);
+        }
+        out
+    }
+
+    /// Remaining ports on a bank (for tests/diagnostics).
+    pub fn remaining(&self, name: &str, coord: &[u64]) -> Option<u32> {
+        self.avail.get(&(name.to_string(), coord.to_vec())).copied()
+    }
+
+    /// Acquire a read capability.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyConsumed` when a touched bank has no ports left in this
+    /// logical time step.
+    pub fn acquire_read(
+        &mut self,
+        access: &ResolvedAccess,
+        key: AccessKey,
+        span: Span,
+    ) -> Result<(), TypeError> {
+        if self.reads.contains(&key) {
+            // Identical read in the same time step: shared, free.
+            return Ok(());
+        }
+        self.consume(access, span)?;
+        self.reads.insert(key);
+        Ok(())
+    }
+
+    /// Acquire a write capability.
+    ///
+    /// # Errors
+    ///
+    /// `WriteConflict` if the same location was already written this step;
+    /// `AlreadyConsumed` when a touched bank has no ports left.
+    pub fn acquire_write(
+        &mut self,
+        access: &ResolvedAccess,
+        key: AccessKey,
+        span: Span,
+    ) -> Result<(), TypeError> {
+        if self.writes.contains(&key) {
+            return Err(TypeError::new(
+                TypeErrorKind::WriteConflict,
+                format!("location `{}[{}]` is written twice in the same logical time step", key.0, key.1),
+                span,
+            ));
+        }
+        self.consume(access, span)?;
+        self.writes.insert(key);
+        Ok(())
+    }
+
+    /// A shift view's bank→bank mapping is an (unknown) permutation of the
+    /// underlying memory's banks: accesses through the view are tracked on
+    /// the *view's own* pool, but the first access per time step claims one
+    /// port of **every** underlying bank — the crossbar may route anywhere.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyConsumed` when some underlying bank has no port left.
+    pub fn acquire_claim(&mut self, root: &str, view: &str, span: Span) -> Result<(), TypeError> {
+        if self.claims.contains(view) {
+            return Ok(());
+        }
+        let keys: Vec<_> = self.avail.keys().filter(|(m, _)| m == root).cloned().collect();
+        for k in &keys {
+            if self.avail[k] == 0 {
+                return Err(TypeError::new(
+                    TypeErrorKind::AlreadyConsumed,
+                    format!(
+                        "bank {:?} of memory `{root}` has no port left for the shift view `{view}` \
+                         in this logical time step",
+                        k.1
+                    ),
+                    span,
+                ));
+            }
+        }
+        for k in keys {
+            *self.avail.get_mut(&k).expect("key collected above") -= 1;
+        }
+        self.claims.insert(view.to_string());
+        Ok(())
+    }
+
+    /// Consume the whole memory (used for memory-typed function arguments).
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyConsumed` if any bank has already lost a port this step.
+    pub fn consume_all(&mut self, name: &str, ports: u32, span: Span) -> Result<(), TypeError> {
+        let keys: Vec<_> =
+            self.avail.keys().filter(|(m, _)| m == name).cloned().collect();
+        for k in &keys {
+            let avail = self.avail[k];
+            if avail < ports {
+                return Err(TypeError::new(
+                    TypeErrorKind::AlreadyConsumed,
+                    format!("memory `{name}` is partially consumed and cannot be passed to a function in this time step"),
+                    span,
+                ));
+            }
+        }
+        for k in keys {
+            *self.avail.get_mut(&k).expect("key collected above") = 0;
+        }
+        Ok(())
+    }
+
+    fn consume(&mut self, access: &ResolvedAccess, span: Span) -> Result<(), TypeError> {
+        let coords = access.coords();
+        // Check first so errors leave the state unchanged.
+        for coord in &coords {
+            let key = (access.root.clone(), coord.clone());
+            match self.avail.get(&key) {
+                None => {
+                    return Err(TypeError::new(
+                        TypeErrorKind::Unbound,
+                        format!("memory `{}` has no bank {:?}", access.root, coord),
+                        span,
+                    ))
+                }
+                Some(0) => {
+                    return Err(TypeError::new(
+                        TypeErrorKind::AlreadyConsumed,
+                        format!(
+                            "bank {:?} of memory `{}` was already consumed in this logical time step \
+                             (insert `---` to sequence the accesses, or add ports/banks)",
+                            coord, access.root
+                        ),
+                        span,
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for coord in coords {
+            let key = (access.root.clone(), coord);
+            *self.avail.get_mut(&key).expect("checked above") -= 1;
+        }
+        Ok(())
+    }
+
+    /// Pointwise meet of capability states, used after ordered composition
+    /// and `if` branches: the result has the resources *neither* branch
+    /// consumed (`Δ2 ∩ Δ3` in the paper).
+    pub fn meet(&self, other: &Caps) -> Caps {
+        let mut avail = self.avail.clone();
+        for (k, v) in &other.avail {
+            avail
+                .entry(k.clone())
+                .and_modify(|mine| *mine = (*mine).min(*v))
+                .or_insert(*v);
+        }
+        let mut capacity = self.capacity.clone();
+        for (k, v) in &other.capacity {
+            capacity.entry(k.clone()).or_insert(*v);
+        }
+        Caps {
+            avail,
+            capacity,
+            // Reads survive only if both sides hold them (conservative);
+            // writes are poisoned if either side performed them.
+            reads: self.reads.intersection(&other.reads).cloned().collect(),
+            writes: self.writes.union(&other.writes).cloned().collect(),
+            claims: self.claims.intersection(&other.claims).cloned().collect(),
+        }
+    }
+}
+
+/// Cartesian product of bank indices across dimensions.
+pub fn all_coords(dim_banks: &[u64]) -> Vec<Vec<u64>> {
+    let mut acc: Vec<Vec<u64>> = vec![Vec::new()];
+    for &banks in dim_banks {
+        let mut next = Vec::with_capacity(acc.len() * banks as usize);
+        for prefix in &acc {
+            for b in 0..banks {
+                let mut p = prefix.clone();
+                p.push(b);
+                next.push(p);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(root: &str, sets: Vec<BankSet>, banks: Vec<u64>) -> ResolvedAccess {
+        ResolvedAccess { root: root.into(), bank_sets: sets, dim_banks: banks }
+    }
+
+    #[test]
+    fn single_port_read_then_write_fails() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[1], 1);
+        let a = acc("A", vec![BankSet::one(0)], vec![1]);
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        let err = caps
+            .acquire_write(&a, ("A".into(), "1".into()), Span::synthetic())
+            .unwrap_err();
+        assert_eq!(err.kind, TypeErrorKind::AlreadyConsumed);
+    }
+
+    #[test]
+    fn identical_reads_share() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[1], 1);
+        let a = acc("A", vec![BankSet::one(0)], vec![1]);
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        assert_eq!(caps.remaining("A", &[0]), Some(0));
+    }
+
+    #[test]
+    fn two_ports_allow_read_and_write() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[1], 2);
+        let a = acc("A", vec![BankSet::one(0)], vec![1]);
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        caps.acquire_write(&a, ("A".into(), "1".into()), Span::synthetic()).unwrap();
+        assert_eq!(caps.remaining("A", &[0]), Some(0));
+    }
+
+    #[test]
+    fn distinct_banks_are_independent() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[2], 1);
+        let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
+        let a1 = acc("A", vec![BankSet::one(1)], vec![2]);
+        caps.acquire_write(&a0, ("A".into(), "b0".into()), Span::synthetic()).unwrap();
+        caps.acquire_write(&a1, ("A".into(), "b1".into()), Span::synthetic()).unwrap();
+    }
+
+    #[test]
+    fn double_write_same_location_rejected_even_with_ports() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[1], 4);
+        let a = acc("A", vec![BankSet::one(0)], vec![1]);
+        caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        let err =
+            caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap_err();
+        assert_eq!(err.kind, TypeErrorKind::WriteConflict);
+    }
+
+    #[test]
+    fn meet_takes_min_availability() {
+        let mut base = Caps::default();
+        base.add_memory("A", &[2], 1);
+        let mut left = base.clone();
+        let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
+        left.acquire_read(&a0, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        let met = left.meet(&base);
+        assert_eq!(met.remaining("A", &[0]), Some(0));
+        assert_eq!(met.remaining("A", &[1]), Some(1));
+    }
+
+    #[test]
+    fn all_coords_products() {
+        assert_eq!(all_coords(&[2, 2]).len(), 4);
+        assert_eq!(all_coords(&[1]), vec![vec![0]]);
+        assert_eq!(all_coords(&[3])[2], vec![2]);
+    }
+
+    #[test]
+    fn bankset_all_expands() {
+        let a = acc("A", vec![BankSet::All, BankSet::one(1)], vec![2, 2]);
+        let coords = a.coords();
+        assert_eq!(coords, vec![vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn consume_all_blocks_partial() {
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[2], 1);
+        let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
+        caps.acquire_read(&a0, ("A".into(), "x".into()), Span::synthetic()).unwrap();
+        assert!(caps.consume_all("A", 1, Span::synthetic()).is_err());
+    }
+}

@@ -1,0 +1,682 @@
+//! Desugaring of surface constructs (§4.5 of the paper).
+//!
+//! Two elaborations are performed, producing a program with the same
+//! functional behaviour (tested by differential interpretation):
+//!
+//! 1. **Loop unrolling** — `for (let i = 0..m) unroll k { c1 --- c2 }`
+//!    becomes a sequential loop over `m/k` iteration groups whose body
+//!    composes the `k` copies of each logical time step side by side
+//!    (the paper's lockstep semantics), substituting `i ↦ k·g + c + lo`
+//!    and freshening body-local names per copy. `combine` blocks are
+//!    appended as a final ordered step with reducers folded over the
+//!    per-copy registers.
+//! 2. **View inlining** — accesses through `shrink`/`suffix`/`shift`/
+//!    `split` views are rewritten to direct accesses on the underlying
+//!    memory using the index arithmetic of §3.6.
+//!
+//! The output is meant for *execution and lowering*, not re-type-checking:
+//! inlined index expressions like `A[2*g + 1]` are exactly the forms the
+//! surface type system rejects.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Desugar a program: unroll loops and inline views.
+pub fn desugar(prog: &Program) -> Program {
+    desugar_with(prog, true)
+}
+
+/// Inline views only, leaving `for … unroll k` loops (and `combine`
+/// blocks) intact. Used by backends that keep unrolling as a loop
+/// attribute (HLS C++ pragmas, the hls-sim IR).
+pub fn inline_views(prog: &Program) -> Program {
+    desugar_with(prog, false)
+}
+
+fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
+    let mut d = Desugarer { unroll_loops, ..Desugarer::default() };
+    Program {
+        decls: prog.decls.clone(),
+        defs: prog
+            .defs
+            .iter()
+            .map(|f| FuncDef {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: {
+                    let mut fd = Desugarer { unroll_loops, ..Desugarer::default() };
+                    for p in &f.params {
+                        if let Type::Mem(m) = &p.ty {
+                            fd.mems.insert(p.name.clone(), MemInfo::Direct(m.clone()));
+                        }
+                    }
+                    fd.cmd(&f.body)
+                },
+                span: f.span,
+            })
+            .collect(),
+        body: {
+            for dec in &prog.decls {
+                d.mems.insert(dec.name.clone(), MemInfo::Direct(dec.ty.clone()));
+            }
+            d.cmd(&prog.body)
+        },
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MemInfo {
+    Direct(MemType),
+    View { parent: Id, ty: MemType, kind: ViewKind },
+}
+
+impl MemInfo {
+    fn ty(&self) -> &MemType {
+        match self {
+            MemInfo::Direct(t) => t,
+            MemInfo::View { ty, .. } => ty,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Desugarer {
+    mems: HashMap<Id, MemInfo>,
+    fresh: u64,
+    unroll_loops: bool,
+}
+
+impl Desugarer {
+    fn cmd(&mut self, c: &Cmd) -> Cmd {
+        match c {
+            Cmd::Skip => Cmd::Skip,
+            Cmd::Seq(cs) => Cmd::Seq(cs.iter().map(|c| self.cmd(c)).collect()),
+            Cmd::Par(cs) => Cmd::Par(cs.iter().map(|c| self.cmd(c)).collect()),
+            Cmd::Let { name, ty, init, span } => {
+                if let Some(Type::Mem(m)) = ty {
+                    self.mems.insert(name.clone(), MemInfo::Direct(m.clone()));
+                }
+                Cmd::Let {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    init: init.as_ref().map(|e| self.expr(e)),
+                    span: *span,
+                }
+            }
+            Cmd::View { name, mem, kind, span } => {
+                // Record and erase: accesses are rewritten at use sites.
+                let parent_ty = self.mems.get(mem).map(|i| i.ty().clone()).unwrap_or(MemType {
+                    elem: Box::new(Type::Float),
+                    ports: 1,
+                    dims: vec![Dim::flat(1)],
+                });
+                let ty = view_type(&parent_ty, kind);
+                let kind = match kind {
+                    ViewKind::Suffix { offsets } => {
+                        ViewKind::Suffix { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
+                    }
+                    ViewKind::Shift { offsets } => {
+                        ViewKind::Shift { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
+                    }
+                    other => other.clone(),
+                };
+                self.mems.insert(name.clone(), MemInfo::View { parent: mem.clone(), ty, kind });
+                // Views cost no state; they disappear in the core language.
+                let _ = span;
+                Cmd::Skip
+            }
+            Cmd::Assign { name, rhs, span } => {
+                Cmd::Assign { name: name.clone(), rhs: self.expr(rhs), span: *span }
+            }
+            Cmd::Store { mem, phys_bank, idxs, rhs, span } => {
+                let rhs = self.expr(rhs);
+                let (mem, idxs) = self.rewrite_access(mem, idxs);
+                Cmd::Store {
+                    mem,
+                    phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                    idxs,
+                    rhs,
+                    span: *span,
+                }
+            }
+            Cmd::Reduce { target, target_idxs, op, rhs, span } => {
+                let rhs = self.expr(rhs);
+                let (target, target_idxs) = if target_idxs.is_empty() {
+                    (target.clone(), Vec::new())
+                } else {
+                    self.rewrite_access(target, target_idxs)
+                };
+                Cmd::Reduce { target, target_idxs, op: *op, rhs, span: *span }
+            }
+            Cmd::If { cond, then_branch, else_branch, span } => Cmd::If {
+                cond: self.expr(cond),
+                then_branch: Box::new(self.cmd(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
+                span: *span,
+            },
+            Cmd::While { cond, body, span } => Cmd::While {
+                cond: self.expr(cond),
+                body: Box::new(self.cmd(body)),
+                span: *span,
+            },
+            Cmd::For { var, lo, hi, unroll, body, combine, span } => {
+                self.desugar_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span)
+            }
+            Cmd::Expr(e) => Cmd::Expr(self.expr(e)),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Access { mem, phys_bank, idxs, span } => {
+                let idxs: Vec<Expr> = idxs.iter().map(|i| self.expr(i)).collect();
+                let (mem, idxs) = self.rewrite_access(&mem.clone(), &idxs);
+                Expr::Access {
+                    mem,
+                    phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                    idxs,
+                    span: *span,
+                }
+            }
+            Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+                span: *span,
+            },
+            Expr::Un { op, arg, span } => {
+                Expr::Un { op: *op, arg: Box::new(self.expr(arg)), span: *span }
+            }
+            Expr::Call { func, args, span } => Expr::Call {
+                func: func.clone(),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                span: *span,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Rewrite a (possibly view) access into a root-memory access with the
+    /// §3.6 index arithmetic applied.
+    fn rewrite_access(&mut self, mem: &str, idxs: &[Expr]) -> (Id, Vec<Expr>) {
+        let mut name = mem.to_string();
+        let mut idxs: Vec<Expr> = idxs.to_vec();
+        loop {
+            let info = match self.mems.get(&name) {
+                Some(i) => i.clone(),
+                None => return (name, idxs),
+            };
+            match info {
+                MemInfo::Direct(_) => return (name, idxs),
+                MemInfo::View { parent, ty, kind } => {
+                    idxs = match &kind {
+                        // sh[i] compiles to A[i].
+                        ViewKind::Shrink { .. } => idxs,
+                        // v[i] compiles to M[e + i].
+                        ViewKind::Suffix { offsets } | ViewKind::Shift { offsets } => idxs
+                            .iter()
+                            .zip(offsets)
+                            .map(|(i, o)| add(o.clone(), i.clone()))
+                            .collect(),
+                        // sp[i][j] → M[(j / b)·B + i·b + j mod b].
+                        ViewKind::Split { factor } => {
+                            let parent_banks = self
+                                .mems
+                                .get(&parent)
+                                .map(|p| p.ty().dims[0].banks)
+                                .unwrap_or(ty.dims[0].banks * ty.dims[1].banks);
+                            let b = (parent_banks / factor).max(1) as i64;
+                            let (i, j) = (idxs[0].clone(), idxs[1].clone());
+                            let quot = mul(div(j.clone(), b), parent_banks as i64);
+                            let mid = mul(i, b);
+                            let rem = modulo(j, b);
+                            vec![add(add(quot, mid), rem)]
+                        }
+                    };
+                    name = parent;
+                }
+            }
+        }
+    }
+
+    /// The lockstep unrolling of §3.4 / §4.5.
+    fn desugar_for(
+        &mut self,
+        var: &str,
+        lo: i64,
+        hi: i64,
+        unroll: u64,
+        body: &Cmd,
+        combine: Option<&Cmd>,
+        span: Span,
+    ) -> Cmd {
+        if !self.unroll_loops || (unroll <= 1 && combine.is_none()) {
+            return Cmd::For {
+                var: var.to_string(),
+                lo,
+                hi,
+                unroll: if self.unroll_loops { 1 } else { unroll },
+                body: Box::new(self.cmd(body)),
+                combine: combine.map(|c| Box::new(self.cmd(c))),
+                span,
+            };
+        }
+        let u = unroll.max(1);
+        let trips = (hi - lo).max(0) as u64;
+        let groups = trips / u;
+        let gvar = self.fresh_name(var);
+
+        // Names bound at the top level of the body become per-copy copies.
+        let locals = top_level_lets(body);
+
+        let steps: Vec<&Cmd> = match body {
+            Cmd::Par(steps) => steps.iter().collect(),
+            other => vec![other],
+        };
+
+        let mut new_steps: Vec<Cmd> = Vec::new();
+        for step in steps {
+            let copies: Vec<Cmd> = (0..u)
+                .map(|c| {
+                    // i ↦ u·g + c + lo, body-locals freshened per copy.
+                    let mut sub = Substitution::new();
+                    sub.exprs.insert(
+                        var.to_string(),
+                        add(mul(Expr::var(&gvar), u as i64), lo + c as i64),
+                    );
+                    for l in &locals {
+                        sub.renames.insert(l.clone(), copy_name(l, c));
+                    }
+                    sub.cmd(step)
+                })
+                .collect();
+            new_steps.push(Cmd::Seq(copies));
+        }
+        if let Some(comb) = combine {
+            // The combine block folds each copy's register in turn:
+            // `dot += v` ⇒ `dot += v__0; … ; dot += v__{u-1}` — sequential
+            // applications of the reducer, one ordered step.
+            let mut folded: Vec<Cmd> = Vec::new();
+            for c in 0..u {
+                let mut sub = Substitution::new();
+                sub.exprs
+                    .insert(var.to_string(), add(mul(Expr::var(&gvar), u as i64), lo));
+                for l in &locals {
+                    sub.renames.insert(l.clone(), copy_name(l, c));
+                }
+                folded.push(sub.cmd(comb));
+            }
+            new_steps.push(Cmd::Par(folded));
+        }
+
+        let body = self.cmd(&Cmd::Par(new_steps));
+        Cmd::For {
+            var: gvar,
+            lo: 0,
+            hi: groups as i64,
+            unroll: 1,
+            body: Box::new(body),
+            combine: None,
+            span,
+        }
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("{base}__g{}", self.fresh)
+    }
+}
+
+fn copy_name(base: &str, copy: u64) -> String {
+    format!("{base}__u{copy}")
+}
+
+/// Names bound by `let`/`view` at the top level of a loop body.
+fn top_level_lets(body: &Cmd) -> Vec<Id> {
+    let mut out = Vec::new();
+    let mut stack = vec![body];
+    while let Some(c) = stack.pop() {
+        match c {
+            Cmd::Seq(cs) | Cmd::Par(cs) => stack.extend(cs.iter()),
+            Cmd::Let { name, .. } | Cmd::View { name, .. } => out.push(name.clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Capture-avoiding-enough substitution for desugared loop bodies: maps
+/// iterator variables to expressions and renames body-local binders.
+struct Substitution {
+    exprs: HashMap<Id, Expr>,
+    renames: HashMap<Id, Id>,
+}
+
+impl Substitution {
+    fn new() -> Self {
+        Substitution { exprs: HashMap::new(), renames: HashMap::new() }
+    }
+
+    fn name(&self, n: &str) -> Id {
+        self.renames.get(n).cloned().unwrap_or_else(|| n.to_string())
+    }
+
+    fn cmd(&mut self, c: &Cmd) -> Cmd {
+        match c {
+            Cmd::Skip => Cmd::Skip,
+            Cmd::Seq(cs) => Cmd::Seq(cs.iter().map(|c| self.cmd(c)).collect()),
+            Cmd::Par(cs) => Cmd::Par(cs.iter().map(|c| self.cmd(c)).collect()),
+            Cmd::Let { name, ty, init, span } => Cmd::Let {
+                name: self.name(name),
+                ty: ty.clone(),
+                init: init.as_ref().map(|e| self.expr(e)),
+                span: *span,
+            },
+            Cmd::View { name, mem, kind, span } => Cmd::View {
+                name: self.name(name),
+                mem: self.name(mem),
+                kind: match kind {
+                    ViewKind::Suffix { offsets } => ViewKind::Suffix {
+                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
+                    },
+                    ViewKind::Shift { offsets } => {
+                        ViewKind::Shift { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
+                    }
+                    other => other.clone(),
+                },
+                span: *span,
+            },
+            Cmd::Assign { name, rhs, span } => {
+                Cmd::Assign { name: self.name(name), rhs: self.expr(rhs), span: *span }
+            }
+            Cmd::Store { mem, phys_bank, idxs, rhs, span } => Cmd::Store {
+                mem: self.name(mem),
+                phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                idxs: idxs.iter().map(|i| self.expr(i)).collect(),
+                rhs: self.expr(rhs),
+                span: *span,
+            },
+            Cmd::Reduce { target, target_idxs, op, rhs, span } => Cmd::Reduce {
+                target: self.name(target),
+                target_idxs: target_idxs.iter().map(|i| self.expr(i)).collect(),
+                op: *op,
+                rhs: self.expr(rhs),
+                span: *span,
+            },
+            Cmd::If { cond, then_branch, else_branch, span } => Cmd::If {
+                cond: self.expr(cond),
+                then_branch: Box::new(self.cmd(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
+                span: *span,
+            },
+            Cmd::While { cond, body, span } => Cmd::While {
+                cond: self.expr(cond),
+                body: Box::new(self.cmd(body)),
+                span: *span,
+            },
+            Cmd::For { var, lo, hi, unroll, body, combine, span } => Cmd::For {
+                var: self.name(var),
+                lo: *lo,
+                hi: *hi,
+                unroll: *unroll,
+                body: Box::new(self.cmd(body)),
+                combine: combine.as_ref().map(|c| Box::new(self.cmd(c))),
+                span: *span,
+            },
+            Cmd::Expr(e) => Cmd::Expr(self.expr(e)),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Var { name, span } => match self.exprs.get(name) {
+                Some(repl) => repl.clone(),
+                None => Expr::Var { name: self.name(name), span: *span },
+            },
+            Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+                span: *span,
+            },
+            Expr::Un { op, arg, span } => {
+                Expr::Un { op: *op, arg: Box::new(self.expr(arg)), span: *span }
+            }
+            Expr::Access { mem, phys_bank, idxs, span } => Expr::Access {
+                mem: self.name(mem),
+                phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                idxs: idxs.iter().map(|i| self.expr(i)).collect(),
+                span: *span,
+            },
+            Expr::Call { func, args, span } => Expr::Call {
+                func: func.clone(),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                span: *span,
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+/// The type a view exposes (mirrors the checker's computation).
+fn view_type(parent: &MemType, kind: &ViewKind) -> MemType {
+    let dims = match kind {
+        ViewKind::Shrink { factors } => parent
+            .dims
+            .iter()
+            .zip(factors)
+            .map(|(d, f)| Dim { size: d.size, banks: d.banks / f.max(&1) })
+            .collect(),
+        ViewKind::Suffix { .. } | ViewKind::Shift { .. } => parent.dims.clone(),
+        ViewKind::Split { factor } => {
+            let d = parent.dims.first().copied().unwrap_or(Dim::flat(1));
+            let f = (*factor).max(1);
+            vec![Dim { size: f, banks: f }, Dim { size: d.size / f, banks: (d.banks / f).max(1) }]
+        }
+    };
+    MemType { elem: parent.elem.clone(), ports: parent.ports, dims }
+}
+
+// Expression constructors used by the rewrites.
+fn add(a: Expr, b: impl IntoExpr) -> Expr {
+    Expr::Bin { op: BinOp::Add, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+}
+
+fn mul(a: Expr, b: impl IntoExpr) -> Expr {
+    Expr::Bin { op: BinOp::Mul, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+}
+
+fn div(a: Expr, b: impl IntoExpr) -> Expr {
+    Expr::Bin { op: BinOp::Div, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+}
+
+fn modulo(a: Expr, b: impl IntoExpr) -> Expr {
+    Expr::Bin { op: BinOp::Mod, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+}
+
+trait IntoExpr {
+    fn into_expr(self) -> Expr;
+}
+
+impl IntoExpr for Expr {
+    fn into_expr(self) -> Expr {
+        self
+    }
+}
+
+impl IntoExpr for i64 {
+    fn into_expr(self) -> Expr {
+        Expr::int(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{interpret_with, InterpOptions, Outcome};
+    use crate::parser::parse;
+    use std::collections::HashMap as Map;
+
+    /// Interpret source and its desugaring (unchecked — desugared output is
+    /// not meant to re-typecheck) and compare final states.
+    fn agree(src: &str) -> Outcome {
+        let p = parse(src).unwrap();
+        let d = desugar(&p);
+        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let o1 = interpret_with(&p, &opts, &Map::new()).unwrap();
+        let o2 = interpret_with(&d, &opts, &Map::new())
+            .unwrap_or_else(|e| panic!("desugared program failed: {e}\n{}", crate::pretty::program(&d)));
+        assert_eq!(o1.mems, o2.mems, "memories diverged\n{}", crate::pretty::program(&d));
+        o1
+    }
+
+    #[test]
+    fn unroll_expansion_matches() {
+        agree(
+            "let A: bit<32>[8 bank 2];
+             for (let i = 0..8) unroll 2 { A[i] := i * 3; }",
+        );
+    }
+
+    #[test]
+    fn unroll_with_ordered_body_matches() {
+        agree(
+            "let A: bit<32>[8 bank 2]; let B: bit<32>[8 bank 2];
+             for (let i = 0..8) unroll 2 {
+               let x = i * 2
+               ---
+               A[i] := x
+               ---
+               B[i] := A[i] + 1;
+             }",
+        );
+    }
+
+    #[test]
+    fn combine_expansion_matches() {
+        let o = agree(
+            "let A: bit<32>[8 bank 4]; let out: bit<32>[1];
+             for (let i = 0..8) unroll 4 { A[i] := i; }
+             ---
+             for (let i = 0..8) unroll 4 {
+               let v = A[i];
+             } combine {
+               out[0] += v;
+             }",
+        );
+        assert_eq!(o.mems["out"][0], crate::interp::Value::Int(28));
+    }
+
+    #[test]
+    fn shrink_view_inlined() {
+        agree(
+            "let A: bit<32>[8 bank 4];
+             for (let i = 0..8) unroll 4 { A[i] := i + 100; }
+             ---
+             view sh = shrink A[by 2];
+             for (let i = 0..8) unroll 2 { let x = sh[i]; }",
+        );
+    }
+
+    #[test]
+    fn suffix_and_shift_views_inlined() {
+        agree(
+            "let A: bit<32>{4}[8 bank 2]; let out: bit<32>[4];
+             for (let i = 0..8) unroll 2 { A[i] := i * i; }
+             ---
+             for (let g = 0..4) {
+               view s = suffix A[by 2*g];
+               out[g] := s[0] + s[1];
+             }",
+        );
+    }
+
+    #[test]
+    fn split_view_inlined() {
+        agree(
+            "let A: bit<32>[12 bank 4]; let out: bit<32>[12];
+             for (let i = 0..12) { A[i] := i * 7; }
+             ---
+             view sp = split A[by 2];
+             for (let i = 0..6) unroll 2 {
+               for (let j = 0..2) unroll 2 {
+                 let v = sp[j][i];
+               } combine {
+                 out[i] += v;
+               }
+             }",
+        );
+    }
+
+    #[test]
+    fn nested_unrolled_loops_match() {
+        agree(
+            "let M: bit<32>[4 bank 2][6 bank 3];
+             for (let i = 0..4) unroll 2 {
+               for (let j = 0..6) unroll 3 {
+                 M[i][j] := i * 10 + j;
+               }
+             }",
+        );
+    }
+
+    #[test]
+    fn inline_views_keeps_unroll() {
+        let p = parse(
+            "let A: bit<32>[8 bank 4];
+             view sh = shrink A[by 2];
+             for (let i = 0..8) unroll 2 { let x = sh[i]; }",
+        )
+        .unwrap();
+        let d = inline_views(&p);
+        match &d.body {
+            Cmd::Seq(v) => {
+                assert!(matches!(v[1], Cmd::Skip), "view erased");
+                match &v[2] {
+                    Cmd::For { unroll: 2, body, .. } => match &**body {
+                        Cmd::Let { init: Some(Expr::Access { mem, .. }), .. } => {
+                            assert_eq!(mem, "A", "access redirected to the root memory");
+                        }
+                        other => panic!("unexpected body {other:?}"),
+                    },
+                    other => panic!("unexpected loop {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Functional agreement under the unchecked interpreter.
+        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let o1 = interpret_with(&p, &opts, &Map::new()).unwrap();
+        let o2 = interpret_with(&d, &opts, &Map::new()).unwrap();
+        assert_eq!(o1.mems, o2.mems);
+    }
+
+    #[test]
+    fn plain_loops_untouched() {
+        let p = parse("let A: bit<32>[4]; for (let i = 0..4) { A[i] := i; }").unwrap();
+        let d = desugar(&p);
+        assert!(matches!(
+            d.body,
+            Cmd::Seq(ref v) if matches!(v[1], Cmd::For { unroll: 1, combine: None, .. })
+        ));
+    }
+
+    #[test]
+    fn desugared_loop_iterates_groups() {
+        let p = parse(
+            "let A: bit<32>[8 bank 2];
+             for (let i = 0..8) unroll 2 { A[i] := 1; }",
+        )
+        .unwrap();
+        let d = desugar(&p);
+        match &d.body {
+            Cmd::Seq(v) => match &v[1] {
+                Cmd::For { lo: 0, hi: 4, unroll: 1, .. } => {}
+                other => panic!("unexpected loop shape: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

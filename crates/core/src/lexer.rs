@@ -1,0 +1,476 @@
+//! Hand-written lexer for the Dahlia surface language.
+
+use crate::error::Error;
+use crate::span::Span;
+
+/// The tokens of the Dahlia surface language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords.
+    Let,
+    View,
+    If,
+    Else,
+    While,
+    For,
+    Unroll,
+    Combine,
+    Def,
+    Decl,
+    True,
+    False,
+    By,
+    Shrink,
+    Suffix,
+    Shift,
+    Split,
+    BoolTy,
+    FloatTy,
+    DoubleTy,
+    BitTy,
+    UBitTy,
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    DotDot,
+    /// `---` — ordered composition.
+    SeqComp,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `+=` `-=` `*=` `/=` — built-in reducers.
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl Tok {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    fn keyword(s: &str) -> Option<Tok> {
+        Some(match s {
+            "let" => Tok::Let,
+            "view" => Tok::View,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "for" => Tok::For,
+            "unroll" => Tok::Unroll,
+            "combine" => Tok::Combine,
+            "def" => Tok::Def,
+            "decl" => Tok::Decl,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "by" => Tok::By,
+            "shrink" => Tok::Shrink,
+            "suffix" => Tok::Suffix,
+            "shift" => Tok::Shift,
+            "split" => Tok::Split,
+            "bool" => Tok::BoolTy,
+            "float" => Tok::FloatTy,
+            "double" => Tok::DoubleTy,
+            "bit" => Tok::BitTy,
+            "ubit" => Tok::UBitTy,
+            _ => return None,
+        })
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize a full Dahlia source file.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on an unexpected character or malformed numeric
+/// literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn push(&mut self, tok: Tok, start: (usize, u32, u32)) {
+        self.out.push(Token { tok, span: Span::new(start.0, self.pos, start.1, start.2) });
+    }
+
+    fn err(&self, msg: impl Into<String>, start: (usize, u32, u32)) -> Error {
+        Error::Lex { msg: msg.into(), span: Span::new(start.0, self.pos.max(start.0 + 1), start.1, start.2) }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Error> {
+        while let Some(b) = self.peek() {
+            let start = self.here();
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated block comment", start)),
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                _ => self.punct(start)?,
+            }
+        }
+        let start = self.here();
+        self.push(Tok::Eof, start);
+        Ok(self.out)
+    }
+
+    fn number(&mut self, start: (usize, u32, u32)) -> Result<(), Error> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // A `..` after digits is a range, not a float.
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2() != Some(b'.') {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = &self.src[start.0..self.pos];
+        if is_float {
+            let v: f64 =
+                text.parse().map_err(|_| self.err(format!("bad float literal `{text}`"), start))?;
+            self.push(Tok::Float(v), start);
+        } else {
+            let v: i64 =
+                text.parse().map_err(|_| self.err(format!("bad int literal `{text}`"), start))?;
+            self.push(Tok::Int(v), start);
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, start: (usize, u32, u32)) {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = &self.src[start.0..self.pos];
+        let tok = Tok::keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()));
+        self.push(tok, start);
+    }
+
+    fn punct(&mut self, start: (usize, u32, u32)) -> Result<(), Error> {
+        let b = self.bump().expect("peeked");
+        let tok = match b {
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b'%' => Tok::Percent,
+            b':' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    Tok::DotDot
+                } else {
+                    return Err(self.err("unexpected `.`", start));
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') && self.peek2() == Some(b'-') {
+                    self.bump();
+                    self.bump();
+                    Tok::SeqComp
+                } else if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::MinusEq
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'+' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::PlusEq
+                } else {
+                    Tok::Plus
+                }
+            }
+            b'*' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::StarEq
+                } else {
+                    Tok::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::SlashEq
+                } else {
+                    Tok::Slash
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Eq
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`", start));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(self.err("expected `||`", start));
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char), start))
+            }
+        };
+        self.push(tok, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_memory_decl() {
+        assert_eq!(
+            toks("let A: float[8 bank 4];"),
+            vec![
+                Tok::Let,
+                Tok::Ident("A".into()),
+                Tok::Colon,
+                Tok::FloatTy,
+                Tok::LBracket,
+                Tok::Int(8),
+                Tok::Ident("bank".into()),
+                Tok::Int(4),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ordered_composition() {
+        assert_eq!(toks("x --- y"), vec![
+            Tok::Ident("x".into()),
+            Tok::SeqComp,
+            Tok::Ident("y".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn minus_vs_seqcomp_vs_minus_eq() {
+        assert_eq!(toks("a - b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Minus,
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+        assert_eq!(toks("a -= b")[1], Tok::MinusEq);
+    }
+
+    #[test]
+    fn range_is_not_float() {
+        assert_eq!(toks("0..10"), vec![Tok::Int(0), Tok::DotDot, Tok::Int(10), Tok::Eof]);
+        assert_eq!(toks("4.2"), vec![Tok::Float(4.2), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x // hi\ny /* bye\nbye */ z"), vec![
+            Tok::Ident("x".into()),
+            Tok::Ident("y".into()),
+            Tok::Ident("z".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(toks("A[1] := 1")[4], Tok::Assign);
+        assert_eq!(toks("x : bool")[1], Tok::Colon);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("x\n  y").unwrap();
+        assert_eq!(ts[0].span.line, 1);
+        assert_eq!(ts[1].span.line, 2);
+        assert_eq!(ts[1].span.col, 3);
+    }
+
+    #[test]
+    fn error_on_stray_char() {
+        assert!(lex("let x = #").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn reducer_tokens() {
+        assert_eq!(toks("d += v")[1], Tok::PlusEq);
+        assert_eq!(toks("d *= v")[1], Tok::StarEq);
+        assert_eq!(toks("d /= v")[1], Tok::SlashEq);
+    }
+}

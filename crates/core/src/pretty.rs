@@ -1,0 +1,252 @@
+//! Pretty-printer: turn an AST back into Dahlia surface syntax.
+//!
+//! Round-tripping (`parse(pretty(p)) == structurally p`) is exercised by
+//! tests; the printer is also used by `dahliac --emit dahlia` and by the
+//! desugarer's debug output.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        let _ = writeln!(out, "decl {}: {};", d.name, d.ty);
+    }
+    for f in &p.defs {
+        let params = f
+            .params
+            .iter()
+            .map(|p| format!("{}: {}", p.name, p.ty))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "def {}({}) {{", f.name, params);
+        cmd_into(&f.body, 1, &mut out);
+        let _ = writeln!(out, "}}");
+    }
+    cmd_into(&p.body, 0, &mut out);
+    out
+}
+
+/// Render a command.
+pub fn cmd(c: &Cmd) -> String {
+    let mut out = String::new();
+    cmd_into(c, 0, &mut out);
+    out
+}
+
+/// Render an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::LitInt { val, .. } => val.to_string(),
+        Expr::LitFloat { val, .. } => {
+            let s = val.to_string();
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::LitBool { val, .. } => val.to_string(),
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Bin { op, lhs, rhs, .. } => format!("({} {} {})", expr(lhs), op, expr(rhs)),
+        Expr::Un { op, arg, .. } => {
+            let s = match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            };
+            format!("{s}{}", expr(arg))
+        }
+        Expr::Access { mem, phys_bank, idxs, .. } => {
+            let mut s = mem.clone();
+            if let Some(b) = phys_bank {
+                let _ = write!(s, "{{{}}}", expr(b));
+            }
+            for i in idxs {
+                let _ = write!(s, "[{}]", expr(i));
+            }
+            s
+        }
+        Expr::Call { func, args, .. } => {
+            format!("{func}({})", args.iter().map(expr).collect::<Vec<_>>().join(", "))
+        }
+    }
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
+    match c {
+        Cmd::Skip => {}
+        Cmd::Seq(cs) => {
+            for c in cs {
+                cmd_into(c, depth, out);
+            }
+        }
+        Cmd::Par(steps) => {
+            for (i, s) in steps.iter().enumerate() {
+                if i > 0 {
+                    indent(depth, out);
+                    out.push_str("---\n");
+                }
+                cmd_into(s, depth, out);
+            }
+        }
+        Cmd::Let { name, ty, init, .. } => {
+            indent(depth, out);
+            let _ = write!(out, "let {name}");
+            if let Some(t) = ty {
+                let _ = write!(out, ": {t}");
+            }
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Cmd::View { name, mem, kind, .. } => {
+            indent(depth, out);
+            let args = |offsets: &[Expr]| {
+                offsets.iter().map(|o| format!("[by {}]", expr(o))).collect::<String>()
+            };
+            let body = match kind {
+                ViewKind::Shrink { factors } => format!(
+                    "shrink {mem}{}",
+                    factors.iter().map(|f| format!("[by {f}]")).collect::<String>()
+                ),
+                ViewKind::Suffix { offsets } => format!("suffix {mem}{}", args(offsets)),
+                ViewKind::Shift { offsets } => format!("shift {mem}{}", args(offsets)),
+                ViewKind::Split { factor } => format!("split {mem}[by {factor}]"),
+            };
+            let _ = writeln!(out, "view {name} = {body};");
+        }
+        Cmd::Assign { name, rhs, .. } => {
+            indent(depth, out);
+            let _ = writeln!(out, "{name} := {};", expr(rhs));
+        }
+        Cmd::Store { mem, phys_bank, idxs, rhs, .. } => {
+            indent(depth, out);
+            let mut s = mem.clone();
+            if let Some(b) = phys_bank {
+                let _ = write!(s, "{{{}}}", expr(b));
+            }
+            for i in idxs {
+                let _ = write!(s, "[{}]", expr(i));
+            }
+            let _ = writeln!(out, "{s} := {};", expr(rhs));
+        }
+        Cmd::Reduce { target, target_idxs, op, rhs, .. } => {
+            indent(depth, out);
+            let mut s = target.clone();
+            for i in target_idxs {
+                let _ = write!(s, "[{}]", expr(i));
+            }
+            let _ = writeln!(out, "{s} {op} {};", expr(rhs));
+        }
+        Cmd::If { cond, then_branch, else_branch, .. } => {
+            indent(depth, out);
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            cmd_into(then_branch, depth + 1, out);
+            indent(depth, out);
+            if let Some(e) = else_branch {
+                out.push_str("} else {\n");
+                cmd_into(e, depth + 1, out);
+                indent(depth, out);
+            }
+            out.push_str("}\n");
+        }
+        Cmd::While { cond, body, .. } => {
+            indent(depth, out);
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            cmd_into(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Cmd::For { var, lo, hi, unroll, body, combine, .. } => {
+            indent(depth, out);
+            let _ = write!(out, "for (let {var} = {lo}..{hi})");
+            if *unroll > 1 {
+                let _ = write!(out, " unroll {unroll}");
+            }
+            out.push_str(" {\n");
+            cmd_into(body, depth + 1, out);
+            indent(depth, out);
+            out.push('}');
+            if let Some(c) = combine {
+                out.push_str(" combine {\n");
+                cmd_into(c, depth + 1, out);
+                indent(depth, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Cmd::Expr(e) => {
+            indent(depth, out);
+            let _ = writeln!(out, "{};", expr(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Normalize by stripping spans so round-trips compare structurally.
+    fn reparse(src: &str) -> Program {
+        let p = parse(src).unwrap();
+        let printed = program(&p);
+        parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"))
+    }
+
+    #[test]
+    fn roundtrip_kitchen_sink() {
+        let src = "decl A: float[16 bank 2];
+             def f(x: bit<32>, M: float[16 bank 2]) { M[x] := 1.0; }
+             let B: float{2}[8 bank 4][4];
+             view sh = shrink B[by 2][by 1];
+             let t = 0.0;
+             for (let i = 0..16) unroll 2 {
+               let v = A[i] * 2.0;
+             } combine { t += v; }
+             if (t > 0.5) { t := 0.0; } else { t := 1.0; }
+             while (t < 4.0) { t := t + 1.0; }";
+        let p1 = reparse(src);
+        // Printing the re-parsed program again must be a fixpoint.
+        let printed = program(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(program(&p2), printed);
+    }
+
+    #[test]
+    fn roundtrip_views_and_physical() {
+        let src = "let A: bit<32>[12 bank 4];
+             view sp = split A[by 2];
+             view su = suffix A[by 4*1];
+             view shf = shift A[by 3];
+             A{0}[0] := 1;";
+        let p = reparse(src);
+        assert_eq!(p.body, reparse(&program(&p)).body);
+    }
+
+    #[test]
+    fn expr_precedence_survives() {
+        let p1 = reparse("let x = 1 + 2 * 3 - 4 / 2;");
+        match &p1.body {
+            crate::ast::Cmd::Let { init: Some(e), .. } => {
+                // (1 + (2*3)) - (4/2) = 5 under const-eval.
+                assert_eq!(crate::check::const_eval(e), Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_literals_keep_dot() {
+        assert_eq!(expr(&Expr::LitFloat { val: 2.0, span: crate::span::Span::synthetic() }), "2.0");
+    }
+}

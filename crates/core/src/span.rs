@@ -1,0 +1,87 @@
+//! Source locations and spans for error reporting.
+
+use std::fmt;
+
+/// A half-open byte range into a source file, with 1-based line/column of its
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a span covering `start..end` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width placeholder span (used by synthesized AST nodes).
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wrap `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_on_extent() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let m1 = a.merge(b);
+        let m2 = b.merge(a);
+        assert_eq!((m1.start, m1.end), (0, 12));
+        assert_eq!((m1.start, m1.end), (m2.start, m2.end));
+        assert_eq!(m1.line, 1);
+        assert_eq!(m2.line, 1);
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        let s = Span::new(5, 9, 3, 7);
+        assert_eq!(s.to_string(), "3:7");
+    }
+}

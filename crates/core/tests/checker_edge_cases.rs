@@ -1,0 +1,294 @@
+//! Additional checker edge cases: view chains, multi-port interactions,
+//! functions × memories, nested combine blocks, and physical accesses —
+//! the corners the paper's prose implies but never spells out.
+
+use dahlia_core::{parse, typecheck, Error, TypeErrorKind};
+
+fn accepts(src: &str) {
+    let p = parse(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+    typecheck(&p).unwrap_or_else(|e| panic!("expected accept: {e}\n{src}"));
+}
+
+fn rejects(src: &str, kind: TypeErrorKind) {
+    let p = parse(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+    match typecheck(&p) {
+        Err(Error::Type(t)) => assert_eq!(t.kind, kind, "{t}\n{src}"),
+        Ok(_) => panic!("expected {kind:?}\n{src}"),
+        Err(e) => panic!("unexpected error class {e}\n{src}"),
+    }
+}
+
+// ------------------------------------------------------------ view chains
+
+#[test]
+fn shrink_of_shrink_composes() {
+    accepts(
+        "let A: float[16 bank 8];
+         view s1 = shrink A[by 2];
+         view s2 = shrink s1[by 2];
+         for (let i = 0..16) unroll 2 { let x = s2[i]; }",
+    );
+}
+
+#[test]
+fn shrink_of_shrink_still_guards_the_root() {
+    rejects(
+        "let A: float[16 bank 8];
+         view s1 = shrink A[by 2];
+         view s2 = shrink s1[by 2];
+         for (let i = 0..16) unroll 2 { let x = s2[i]; let y = A[0]; }",
+        TypeErrorKind::AlreadyConsumed,
+    );
+}
+
+#[test]
+fn suffix_of_shrink() {
+    accepts(
+        "let A: float[16 bank 4];
+         view sh = shrink A[by 2];
+         for (let b = 0..8) {
+           view sfx = suffix sh[by 2*b];
+           let x = sfx[0];
+         }",
+    );
+}
+
+#[test]
+fn shrink_of_shift_window() {
+    accepts(
+        "let A: float[16 bank 4];
+         for (let r = 0..4) {
+           view w = shift A[by r];
+           view ws = shrink w[by 2];
+           for (let i = 0..4) unroll 2 { let x = ws[i]; }
+         }",
+    );
+}
+
+#[test]
+fn two_shift_views_conflict_on_the_same_root() {
+    rejects(
+        "let A: float[12 bank 4];
+         view w1 = shift A[by 1];
+         view w2 = shift A[by 2];
+         let x = w1[0]; let y = w2[0];",
+        TypeErrorKind::AlreadyConsumed,
+    );
+}
+
+#[test]
+fn one_shift_view_allows_many_distinct_banks() {
+    accepts(
+        "let A: float[12 bank 4];
+         view w = shift A[by 5];
+         let a = w[0]; let b = w[1]; let c = w[2]; let d = w[3];",
+    );
+}
+
+#[test]
+fn shift_claim_plus_direct_access_needs_two_ports() {
+    accepts(
+        "let A: float{2}[12 bank 4];
+         view w = shift A[by 5];
+         let a = w[0]; let b = A[1];",
+    );
+    rejects(
+        "let A: float[12 bank 4];
+         view w = shift A[by 5];
+         let a = w[0]; let b = A[1];",
+        TypeErrorKind::AlreadyConsumed,
+    );
+}
+
+#[test]
+fn split_of_shrink() {
+    accepts(
+        "let A: float[16 bank 8];
+         view sh = shrink A[by 2];
+         view sp = split sh[by 2];
+         for (let i = 0..8) unroll 2 {
+           for (let j = 0..2) unroll 2 {
+             let v = sp[j][i];
+           }
+         }",
+    );
+}
+
+// ----------------------------------------------------- ports × everything
+
+#[test]
+fn two_ports_allow_two_distinct_reads_per_bank() {
+    accepts("let A: float{2}[10]; let x = A[0]; let y = A[1];");
+    rejects(
+        "let A: float{2}[10]; let x = A[0]; let y = A[1]; let z = A[2];",
+        TypeErrorKind::AlreadyConsumed,
+    );
+}
+
+#[test]
+fn ports_propagate_through_views() {
+    accepts(
+        "let A: float{2}[8 bank 4];
+         view sh = shrink A[by 2];
+         for (let i = 0..8) unroll 2 { let x = sh[i]; let y = sh[i] + 1.0; }",
+    );
+}
+
+#[test]
+fn identical_reads_share_even_across_ports() {
+    // Three identical reads need only one port.
+    accepts("let A: float[10]; let x = A[3]; let y = A[3]; let z = A[3];");
+}
+
+// ------------------------------------------------- functions × memories
+
+#[test]
+fn function_with_view_typed_memory_arg() {
+    // A shrink view has a memory type and can be passed where it matches.
+    accepts(
+        "def f(M: float[8 bank 2]) { M[0] := 1.0; }
+         let A: float[8 bank 4];
+         view sh = shrink A[by 2];
+         f(sh);",
+    );
+}
+
+#[test]
+fn call_consumes_view_root() {
+    rejects(
+        "def f(M: float[8 bank 2]) { M[0] := 1.0; }
+         let A: float[8 bank 4];
+         view sh = shrink A[by 2];
+         f(sh); let x = A[0];",
+        TypeErrorKind::AlreadyConsumed,
+    );
+}
+
+#[test]
+fn function_scalar_results_via_memory() {
+    accepts(
+        "def accum(M: float[4], v: float) { M[0] := v; }
+         let out: float[4];
+         let t = 2.0;
+         accum(out, t * 3.0);",
+    );
+}
+
+#[test]
+fn functions_cannot_capture_outer_memories() {
+    // Functions are closed: the body sees only its parameters, so a
+    // reference to a top-level memory is unbound inside `f`.
+    rejects(
+        "def f(x: float) { A[0] := x; }
+         decl A: float[4];
+         f(1.0);",
+        TypeErrorKind::Unbound,
+    );
+}
+
+// ----------------------------------------------------- combine subtleties
+
+#[test]
+fn nested_combines_reduce_hierarchically() {
+    accepts(
+        "let A: float[4 bank 2][4 bank 2];
+         let total = 0.0;
+         for (let i = 0..4) unroll 2 {
+           for (let j = 0..4) unroll 2 {
+             let v = A[i][j];
+           } combine {
+             total += v;
+           }
+         }",
+    );
+}
+
+#[test]
+fn combine_cannot_read_memories_already_used_by_body() {
+    // Body consumes A's banks in its (only) time step; the combine is a
+    // separate step, so reading A there is fine.
+    accepts(
+        "let A: float[8 bank 2]; let s = 0.0;
+         for (let i = 0..8) unroll 2 {
+           let v = A[i];
+         } combine {
+           s += v + A[0];
+         }",
+    );
+}
+
+#[test]
+fn combine_register_cannot_index() {
+    rejects(
+        "let A: float[8 bank 2]; let B: float[8]; let s = 0.0;
+         for (let i = 0..8) unroll 2 {
+           let v = A[i];
+         } combine {
+           s += B[v];
+         }",
+        TypeErrorKind::BadCombine,
+    );
+}
+
+#[test]
+fn reducers_outside_loops_are_plain_updates() {
+    accepts("let x = 1.0; x += 2.0; x *= 3.0;");
+}
+
+// ------------------------------------------------------------- physical
+
+#[test]
+fn physical_bank_must_be_constant() {
+    rejects(
+        "let A: float[8 bank 2]; let b = 1; let x = A{b}[0];",
+        TypeErrorKind::InvalidIndex,
+    );
+}
+
+#[test]
+fn physical_bank_out_of_range() {
+    rejects("let A: float[8 bank 2]; let x = A{2}[0];", TypeErrorKind::BadAccess);
+}
+
+#[test]
+fn physical_offset_may_be_dynamic() {
+    accepts("let A: float[8 bank 2]; let o = 3; let x = A{0}[o];");
+}
+
+// ---------------------------------------------------------- odds & ends
+
+#[test]
+fn zero_sized_dims_rejected() {
+    rejects("let A: float[0];", TypeErrorKind::UnevenBanking);
+}
+
+#[test]
+fn iterator_shadowing() {
+    // A nested loop may shadow an outer iterator (new scope)…
+    accepts("for (let i = 0..4) { for (let i = 0..4) { let x = i; } }");
+    // …but rebinding within the same body scope is rejected.
+    rejects(
+        "for (let i = 0..4) { let i = 1; }",
+        TypeErrorKind::AlreadyDefined,
+    );
+}
+
+#[test]
+fn empty_range_rejected() {
+    rejects("for (let i = 4..4) { let x = i; }", TypeErrorKind::Mismatch);
+}
+
+#[test]
+fn bool_memories_work() {
+    accepts("let F: bool[8 bank 2]; F[0] := true; F[1] := false;");
+}
+
+#[test]
+fn while_then_for_capability_flow() {
+    accepts(
+        "let A: float[8]; let n = 0;
+         while (n < 4) { A[n] := 1.0 --- n := n + 1; }
+         ---
+         for (let i = 0..8) { let x = A[i]; }",
+    );
+}

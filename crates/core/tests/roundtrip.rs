@@ -1,0 +1,107 @@
+//! Property tests for the front end: pretty-printing is a parser fixpoint,
+//! the checker is deterministic and total, and desugaring agrees with
+//! direct interpretation on generated programs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dahlia_core::desugar::desugar;
+use dahlia_core::interp::{interpret_with, InterpOptions};
+use dahlia_core::{parse, pretty, typecheck};
+
+/// Generated surface programs over a compact grammar: memories with
+/// assorted banking/ports, loops with assorted unrolls, views, combine
+/// blocks, conditionals, and both composition operators.
+fn src_strategy() -> impl Strategy<Value = String> {
+    let decl = (
+        prop::sample::select(vec![1u64, 2, 3, 4]),
+        prop::sample::select(vec![1u32, 2]),
+        prop::sample::select(vec!["float", "bit<32>"]),
+    )
+        .prop_map(|(b, p, t)| {
+            let pp = if p > 1 { format!("{{{p}}}") } else { String::new() };
+            format!("let A: {t}{pp}[12 bank {b}];\nlet B: {t}[12 bank {b}];\n")
+        });
+    let stmt = prop::sample::select(vec![
+        "let x = A[0];".to_string(),
+        "A[0] := 1.0 --- A[1] := 2.0;".to_string(),
+        "for (let i = 0..12) { B[i] := 0.5; }".to_string(),
+        "for (let i = 0..12) unroll 2 { let v = A[i]; }".to_string(),
+        "for (let i = 0..12) unroll 3 { let v = A[i]; } combine { acc += v; }".to_string(),
+        "view s = shrink A[by 2];\nfor (let i = 0..12) unroll 2 { let v = s[i]; }".to_string(),
+        "view w = shift A[by 3];\nlet q = w[0];".to_string(),
+        "view sp = split A[by 2];\nlet z = sp[0][1];".to_string(),
+        "if (1 < 2) { B[0] := 1.0; } else { B[1] := 2.0; }".to_string(),
+        "let n = 0;\nwhile (n < 3) { n := n + 1; }".to_string(),
+    ]);
+    (decl, prop::collection::vec(stmt, 1..4)).prop_map(|(d, stmts)| {
+        format!("{d}let acc = 0.0;\n{}", stmts.join("\n---\n"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `pretty ∘ parse` is a fixpoint: printing a parsed program and
+    /// re-parsing yields a program that prints identically.
+    #[test]
+    fn pretty_print_is_a_parser_fixpoint(src in src_strategy()) {
+        let Ok(p1) = parse(&src) else { return Ok(()) };
+        let printed = pretty::program(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program fails to parse: {e}\n{printed}"));
+        prop_assert_eq!(pretty::program(&p2), printed);
+    }
+
+    /// The checker gives the same verdict (and same rule) on repeat runs.
+    #[test]
+    fn checker_is_deterministic(src in src_strategy()) {
+        let Ok(p) = parse(&src) else { return Ok(()) };
+        let a = typecheck(&p).map_err(|e| format!("{e}"));
+        let b = typecheck(&p).map_err(|e| format!("{e}"));
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Err(x), Err(y)) = (a, b) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Pretty-printing preserves the checker's verdict.
+    #[test]
+    fn printing_preserves_typability(src in src_strategy()) {
+        let Ok(p1) = parse(&src) else { return Ok(()) };
+        let Ok(p2) = parse(&pretty::program(&p1)) else {
+            return Err(TestCaseError::fail("printed program must parse"));
+        };
+        prop_assert_eq!(typecheck(&p1).is_ok(), typecheck(&p2).is_ok());
+    }
+
+    /// Desugared programs (unrolled, views inlined) compute the same final
+    /// memory state under the unchecked interpreter.
+    #[test]
+    fn desugaring_preserves_semantics(src in src_strategy()) {
+        let Ok(p) = parse(&src) else { return Ok(()) };
+        if typecheck(&p).is_err() {
+            return Ok(());
+        }
+        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let o1 = interpret_with(&p, &opts, &HashMap::new());
+        let o2 = interpret_with(&desugar(&p), &opts, &HashMap::new());
+        match (o1, o2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.mems, b.mems),
+            (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Accepted ⇒ the dynamic capability monitor stays quiet (surface
+    /// soundness over this grammar too).
+    #[test]
+    fn accepted_programs_run_checked(src in src_strategy()) {
+        let Ok(p) = parse(&src) else { return Ok(()) };
+        if typecheck(&p).is_err() {
+            return Ok(());
+        }
+        let r = interpret_with(&p, &InterpOptions::default(), &HashMap::new());
+        prop_assert!(r.is_ok(), "monitor tripped: {}\n{}", r.unwrap_err(), src);
+    }
+}

@@ -1,0 +1,125 @@
+//! Multi-objective Pareto analysis.
+//!
+//! The paper identifies Pareto-optimal configurations "according to their
+//! estimated cycle latency and number of lookup tables (LUTs), flip flops
+//! (FFs), block RAMs (BRAMs), and arithmetic units (DSPs)" — five
+//! minimization objectives. [`pareto_indices`] computes the non-dominated
+//! subset with an incremental frontier (fast enough for the 32,000-point
+//! gemm-blocked space).
+
+/// `a` dominates `b` iff `a` is no worse in every objective and strictly
+/// better in at least one (all objectives minimized).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal points among `objectives` (minimization).
+///
+/// Duplicate objective vectors are all retained (none dominates another).
+pub fn pareto_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = Vec::new();
+    'points: for (i, obj) in objectives.iter().enumerate() {
+        let mut keep = Vec::with_capacity(frontier.len() + 1);
+        for &f in &frontier {
+            if dominates(&objectives[f], obj) {
+                // Already dominated; keep the frontier as it was.
+                continue 'points;
+            }
+            if !dominates(obj, &objectives[f]) {
+                keep.push(f);
+            }
+        }
+        keep.push(i);
+        frontier = keep;
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// Convenience: Pareto-optimal flags, aligned with the input.
+pub fn pareto_mask(objectives: &[Vec<f64>]) -> Vec<bool> {
+    let mut mask = vec![false; objectives.len()];
+    for i in pareto_indices(objectives) {
+        mask[i] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 1.0]), "incomparable");
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points do not dominate");
+    }
+
+    #[test]
+    fn simple_frontier() {
+        let pts = vec![
+            vec![1.0, 4.0], // frontier
+            vec![2.0, 3.0], // frontier
+            vec![3.0, 3.5], // dominated by (2,3)
+            vec![4.0, 1.0], // frontier
+            vec![4.0, 4.0], // dominated
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(pareto_indices(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn frontier_axioms_hold_on_random_like_data() {
+        // Deterministic pseudo-random points.
+        let mut x = 0x1234_5678_u64;
+        let mut pts = Vec::new();
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 33) % 1000;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (x >> 33) % 1000;
+            pts.push(vec![a as f64, b as f64]);
+        }
+        let mask = pareto_mask(&pts);
+        // 1. No frontier point is dominated by any other point.
+        for (i, m) in mask.iter().enumerate() {
+            if *m {
+                assert!(!pts.iter().any(|p| dominates(p, &pts[i])));
+            }
+        }
+        // 2. Every non-frontier point is dominated by some frontier point.
+        for (i, m) in mask.iter().enumerate() {
+            if !*m {
+                assert!(
+                    pts.iter()
+                        .enumerate()
+                        .any(|(j, p)| mask[j] && dominates(p, &pts[i])),
+                    "point {i} neither on frontier nor dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_objective_is_min() {
+        let pts = vec![vec![5.0], vec![2.0], vec![9.0], vec![2.0]];
+        assert_eq!(pareto_indices(&pts), vec![1, 3]);
+    }
+}

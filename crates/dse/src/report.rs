@@ -1,0 +1,119 @@
+//! Plain-text reporting: CSV series and acceptance summaries, matching what
+//! the paper's figures plot.
+
+use std::fmt::Write as _;
+
+use crate::point::DesignPoint;
+
+/// Render design points as CSV with the given parameter columns.
+pub fn to_csv(points: &[DesignPoint], params: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}", params.join(","));
+    let _ = writeln!(out, ",cycles,luts,ffs,dsps,brams,lut_mems,accepted,pareto,correct");
+    for p in points {
+        for name in params {
+            let _ = write!(out, "{},", p.config.get(*name).copied().unwrap_or(0));
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            p.cycles, p.luts, p.ffs, p.dsps, p.brams, p.lut_mems, p.accepted, p.pareto, p.correct
+        );
+    }
+    out
+}
+
+/// The acceptance-and-Pareto summary the paper reports per benchmark
+/// (e.g. "Dahlia accepts 354 configurations, or about 1.1% of the
+/// unrestricted design space").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total points in the space.
+    pub total: usize,
+    /// Points Dahlia accepts.
+    pub accepted: usize,
+    /// Pareto-optimal points (within the evaluated set).
+    pub pareto: usize,
+    /// Accepted points that are Pareto-optimal.
+    pub accepted_pareto: usize,
+}
+
+impl Summary {
+    /// Compute the summary over evaluated points.
+    pub fn of(points: &[DesignPoint]) -> Summary {
+        Summary {
+            total: points.len(),
+            accepted: points.iter().filter(|p| p.accepted).count(),
+            pareto: points.iter().filter(|p| p.pareto).count(),
+            accepted_pareto: points.iter().filter(|p| p.accepted && p.pareto).count(),
+        }
+    }
+
+    /// Fraction of the space Dahlia accepts.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} accepted ({:.1}%), {} Pareto-optimal, {} accepted∩Pareto",
+            self.accepted,
+            self.total,
+            100.0 * self.acceptance_ratio(),
+            self.pareto,
+            self.accepted_pareto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignPoint;
+    use crate::space::Config;
+
+    fn pt(cycles: u64, luts: u64, accepted: bool) -> DesignPoint {
+        DesignPoint {
+            config: Config::new(),
+            cycles,
+            luts,
+            ffs: 0,
+            dsps: 0,
+            brams: 0,
+            lut_mems: 0,
+            accepted,
+            correct: true,
+            pareto: false,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut p = pt(100, 5, true);
+        p.config.insert("u".into(), 4);
+        let csv = to_csv(&[p], &["u"]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "u,cycles,luts,ffs,dsps,brams,lut_mems,accepted,pareto,correct"
+        );
+        assert!(lines.next().unwrap().starts_with("4,100,5,"));
+    }
+
+    #[test]
+    fn summary_ratios() {
+        let pts = vec![pt(1, 1, true), pt(2, 2, false), pt(3, 3, false), pt(4, 4, true)];
+        let s = Summary::of(&pts);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.accepted, 2);
+        assert!((s.acceptance_ratio() - 0.5).abs() < 1e-9);
+        assert!(s.to_string().contains("50.0%"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Parameter spaces for design-space exploration.
+//!
+//! A [`ParamSpace`] is a named cartesian product of integer parameter
+//! values — banking factors and unroll factors in the paper's experiments.
+//! Spaces iterate deterministically in row-major order.
+
+use std::collections::BTreeMap;
+
+/// A single configuration: parameter name → chosen value.
+pub type Config = BTreeMap<String, u64>;
+
+/// A cartesian product of named parameter ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamSpace {
+    params: Vec<(String, Vec<u64>)>,
+}
+
+impl ParamSpace {
+    /// An empty space (one empty configuration).
+    pub fn new() -> Self {
+        ParamSpace::default()
+    }
+
+    /// Add a parameter with its candidate values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the name repeats.
+    pub fn param(mut self, name: impl Into<String>, values: impl IntoIterator<Item = u64>) -> Self {
+        let name = name.into();
+        assert!(
+            self.params.iter().all(|(n, _)| *n != name),
+            "duplicate parameter `{name}`"
+        );
+        let values: Vec<u64> = values.into_iter().collect();
+        assert!(!values.is_empty(), "parameter `{name}` needs at least one value");
+        self.params.push((name, values));
+        self
+    }
+
+    /// Number of configurations in the space.
+    pub fn len(&self) -> u64 {
+        self.params.iter().map(|(_, v)| v.len() as u64).product()
+    }
+
+    /// Is the space trivial?
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Iterate every configuration.
+    pub fn iter(&self) -> ConfigIter<'_> {
+        ConfigIter { space: self, next: Some(vec![0; self.params.len()]) }
+    }
+
+    /// Parameter names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.params.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ParamSpace {
+    type Item = Config;
+    type IntoIter = ConfigIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the configurations of a [`ParamSpace`].
+#[derive(Debug)]
+pub struct ConfigIter<'a> {
+    space: &'a ParamSpace,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for ConfigIter<'_> {
+    type Item = Config;
+
+    fn next(&mut self) -> Option<Config> {
+        let idx = self.next.as_ref()?.clone();
+        let cfg: Config = self
+            .space
+            .params
+            .iter()
+            .zip(&idx)
+            .map(|((n, vs), &i)| (n.clone(), vs[i]))
+            .collect();
+        // Advance (last parameter fastest).
+        let mut carry = true;
+        let mut nxt = idx;
+        for (slot, (_, vs)) in nxt.iter_mut().zip(&self.space.params).rev() {
+            if carry {
+                *slot += 1;
+                if *slot == vs.len() {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        self.next = if carry { None } else { Some(nxt) };
+        Some(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_size() {
+        let s = ParamSpace::new().param("a", [1, 2, 3]).param("b", [10, 20]);
+        assert_eq!(s.len(), 6);
+        let cfgs: Vec<Config> = s.iter().collect();
+        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs[0]["a"], 1);
+        assert_eq!(cfgs[0]["b"], 10);
+        assert_eq!(cfgs[1]["b"], 20, "last parameter varies fastest");
+        assert_eq!(cfgs[5]["a"], 3);
+    }
+
+    #[test]
+    fn empty_space_has_one_config() {
+        let s = ParamSpace::new();
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn paper_space_sizes() {
+        // gemm-blocked (§5.2): four free banking parameters over {1..4} and
+        // three unroll parameters over {1,2,4,6,8} = 32,000 points.
+        let gemm = ParamSpace::new()
+            .param("bank_m1_d1", 1..=4)
+            .param("bank_m1_d2", 1..=4)
+            .param("bank_m2_d1", 1..=4)
+            .param("bank_m2_d2", 1..=4)
+            .param("unroll1", [1, 2, 4, 6, 8])
+            .param("unroll2", [1, 2, 4, 6, 8])
+            .param("unroll3", [1, 2, 4, 6, 8]);
+        assert_eq!(gemm.len(), 32_000);
+
+        // md-knn (§5.3): four memories × banking {1..4}, two loops ×
+        // unroll {1..8} = 16,384 points.
+        let mdknn = ParamSpace::new()
+            .param("b0", 1..=4)
+            .param("b1", 1..=4)
+            .param("b2", 1..=4)
+            .param("b3", 1..=4)
+            .param("u0", 1..=8)
+            .param("u1", 1..=8);
+        assert_eq!(mdknn.len(), 16_384);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_panic() {
+        let _ = ParamSpace::new().param("a", [1]).param("a", [2]);
+    }
+}

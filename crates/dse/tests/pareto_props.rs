@@ -1,0 +1,81 @@
+//! Property tests for the Pareto machinery: the incremental frontier
+//! agrees with a naive O(n²) oracle, and frontier axioms hold on random
+//! point clouds.
+
+use proptest::prelude::*;
+
+use dahlia_dse::{dominates, pareto_mask};
+
+/// Naive quadratic oracle.
+fn pareto_naive(objs: &[Vec<f64>]) -> Vec<bool> {
+    objs.iter()
+        .map(|p| !objs.iter().any(|q| dominates(q, p)))
+        .collect()
+}
+
+fn cloud() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    let dims = 1usize..5;
+    dims.prop_flat_map(|d| {
+        prop::collection::vec(
+            prop::collection::vec(0u32..50, d..=d)
+                .prop_map(|row| row.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            0..60,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn incremental_matches_naive(objs in cloud()) {
+        prop_assert_eq!(pareto_mask(&objs), pareto_naive(&objs));
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_incomparable(objs in cloud()) {
+        let mask = pareto_mask(&objs);
+        for (i, &mi) in mask.iter().enumerate() {
+            for (j, &mj) in mask.iter().enumerate() {
+                if mi && mj {
+                    prop_assert!(!dominates(&objs[i], &objs[j]) || i == j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(a in prop::collection::vec(0u32..50, 3),
+                                           b in prop::collection::vec(0u32..50, 3),
+                                           c in prop::collection::vec(0u32..50, 3)) {
+        let f = |v: &[u32]| v.iter().map(|&x| x as f64).collect::<Vec<f64>>();
+        let (a, b, c) = (f(&a), f(&b), f(&c));
+        // Irreflexive.
+        prop_assert!(!dominates(&a, &a));
+        // Asymmetric.
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+        // Transitive.
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn shuffling_does_not_change_the_frontier_set(objs in cloud()) {
+        let mask = pareto_mask(&objs);
+        let mut rev = objs.clone();
+        rev.reverse();
+        let mask_rev = pareto_mask(&rev);
+        let fwd: Vec<&Vec<f64>> =
+            objs.iter().zip(&mask).filter(|(_, m)| **m).map(|(p, _)| p).collect();
+        let mut bwd: Vec<&Vec<f64>> =
+            rev.iter().zip(&mask_rev).filter(|(_, m)| **m).map(|(p, _)| p).collect();
+        bwd.reverse();
+        let mut fwd_sorted = fwd.clone();
+        fwd_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bwd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(fwd_sorted, bwd);
+    }
+}

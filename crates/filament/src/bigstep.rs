@@ -1,0 +1,298 @@
+//! The large-step *checked* operational semantics of §4.2 / Appendix A.
+//!
+//! The semantics explicitly tracks ρ — the set of memories accessed in the
+//! current ordered epoch — and gets **stuck** when a command would require
+//! two conflicting accesses. The type system's job (see
+//! [`typecheck`](crate::typecheck)) is to rule these stuck states out.
+
+use crate::syntax::{Cmd, Expr, Rho, Sigma, Val};
+
+/// Why evaluation got stuck (or failed to terminate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stuck {
+    /// `a ∈ ρ`: the memory was already consumed in this epoch.
+    MemConsumed(String),
+    /// Out-of-bounds memory index.
+    OutOfBounds(String, i64),
+    /// Unbound variable or memory.
+    Unbound(String),
+    /// A `bop` applied to incompatible values, a non-bool condition, or a
+    /// non-numeric index.
+    DynamicType,
+    /// Execution fuel ran out (used to cut off diverging `while` loops).
+    FuelExhausted,
+}
+
+/// Fuel-bounded big-step evaluation result.
+pub type EvalResult<T> = Result<T, Stuck>;
+
+/// Evaluate an expression: `σ₁, ρ₁, e ⇓ σ₂, ρ₂, v`.
+///
+/// # Errors
+///
+/// Returns [`Stuck`] exactly when no rule applies.
+pub fn eval_expr(sigma: Sigma, rho: Rho, e: &Expr) -> EvalResult<(Sigma, Rho, Val)> {
+    match e {
+        Expr::Val(v) => Ok((sigma, rho, *v)),
+        Expr::Var(x) => {
+            let v = *sigma.vars.get(x).ok_or_else(|| Stuck::Unbound(x.clone()))?;
+            Ok((sigma, rho, v))
+        }
+        Expr::Bop(op, e1, e2) => {
+            let (s2, r2, v1) = eval_expr(sigma, rho, e1)?;
+            let (s3, r3, v2) = eval_expr(s2, r2, e2)?;
+            let v3 = op.apply(v1, v2).ok_or(Stuck::DynamicType)?;
+            Ok((s3, r3, v3))
+        }
+        Expr::Read(a, idx) => {
+            // a ∉ ρ₁   σ₁,ρ₁,e ⇓ σ₂,ρ₂,n   σ₂(a)(n) = v
+            // ---------------------------------------------
+            // σ₁,ρ₁,a[e] ⇓ σ₂, ρ₂ ∪ {a}, v
+            if rho.contains(a) {
+                return Err(Stuck::MemConsumed(a.clone()));
+            }
+            let (s2, mut r2, n) = eval_expr(sigma, rho, idx)?;
+            let n = match n {
+                Val::Num(n) => n,
+                Val::Bool(_) => return Err(Stuck::DynamicType),
+            };
+            let mem = s2.mems.get(a).ok_or_else(|| Stuck::Unbound(a.clone()))?;
+            let v = *mem
+                .get(usize::try_from(n).map_err(|_| Stuck::OutOfBounds(a.clone(), n))?)
+                .ok_or_else(|| Stuck::OutOfBounds(a.clone(), n))?;
+            r2.insert(a.clone());
+            Ok((s2, r2, v))
+        }
+    }
+}
+
+/// Execute a command: `σ₁, ρ₁, c ⇓ σ₂, ρ₂` (with fuel).
+///
+/// # Errors
+///
+/// Returns [`Stuck`] when no rule applies, or [`Stuck::FuelExhausted`] if
+/// `fuel` command steps are not enough.
+pub fn exec_cmd(sigma: Sigma, rho: Rho, c: &Cmd, fuel: &mut u64) -> EvalResult<(Sigma, Rho)> {
+    if *fuel == 0 {
+        return Err(Stuck::FuelExhausted);
+    }
+    *fuel -= 1;
+    match c {
+        Cmd::Skip => Ok((sigma, rho)),
+        Cmd::Expr(e) => {
+            let (s, r, _) = eval_expr(sigma, rho, e)?;
+            Ok((s, r))
+        }
+        Cmd::Let(x, e) => {
+            let (mut s, r, v) = eval_expr(sigma, rho, e)?;
+            s.vars.insert(x.clone(), v);
+            Ok((s, r))
+        }
+        Cmd::Assign(x, e) => {
+            let (mut s, r, v) = eval_expr(sigma, rho, e)?;
+            if !s.vars.contains_key(x) {
+                return Err(Stuck::Unbound(x.clone()));
+            }
+            s.vars.insert(x.clone(), v);
+            Ok((s, r))
+        }
+        Cmd::Write(a, e1, e2) => {
+            // σ₁,ρ₁,e1 ⇓ σ₂,ρ₂,n   σ₂,ρ₂,e2 ⇓ σ₃,ρ₃,v   a ∉ ρ₃
+            // → σ₃[a[n] ↦ v], ρ₃ ∪ {a}
+            let (s2, r2, n) = eval_expr(sigma, rho, e1)?;
+            let (mut s3, mut r3, v) = eval_expr(s2, r2, e2)?;
+            let n = match n {
+                Val::Num(n) => n,
+                Val::Bool(_) => return Err(Stuck::DynamicType),
+            };
+            if r3.contains(a) {
+                return Err(Stuck::MemConsumed(a.clone()));
+            }
+            let mem = s3.mems.get_mut(a).ok_or_else(|| Stuck::Unbound(a.clone()))?;
+            let slot = mem
+                .get_mut(usize::try_from(n).map_err(|_| Stuck::OutOfBounds(a.clone(), n))?)
+                .ok_or_else(|| Stuck::OutOfBounds(a.clone(), n))?;
+            *slot = v;
+            r3.insert(a.clone());
+            Ok((s3, r3))
+        }
+        Cmd::Seq(c1, c2) => {
+            // Unordered composition threads ρ.
+            let (s2, r2) = exec_cmd(sigma, rho, c1, fuel)?;
+            exec_cmd(s2, r2, c2, fuel)
+        }
+        Cmd::Ordered(c1, c2) => {
+            // Both commands run under the entry ρ; results are unioned.
+            let (s2, r2) = exec_cmd(sigma, rho.clone(), c1, fuel)?;
+            let (s3, r3) = exec_cmd(s2, rho, c2, fuel)?;
+            Ok((s3, r2.union(&r3).cloned().collect()))
+        }
+        Cmd::OrderedRho(c1, c2, captured) => {
+            // σ₁,ρ₁,c1 ⇓ σ₂,ρ₂   σ₂,ρ,c2 ⇓ σ₃,ρ₃ → ρ₂ ∪ ρ₃
+            let (s2, r2) = exec_cmd(sigma, rho, c1, fuel)?;
+            let (s3, r3) = exec_cmd(s2, captured.clone(), c2, fuel)?;
+            Ok((s3, r2.union(&r3).cloned().collect()))
+        }
+        Cmd::If(x, c1, c2) => {
+            let v = *sigma.vars.get(x).ok_or_else(|| Stuck::Unbound(x.clone()))?;
+            match v {
+                Val::Bool(true) => exec_cmd(sigma, rho, c1, fuel),
+                Val::Bool(false) => exec_cmd(sigma, rho, c2, fuel),
+                Val::Num(_) => Err(Stuck::DynamicType),
+            }
+        }
+        Cmd::While(x, body) => {
+            // Each iteration is *ordered* with the rest of the loop
+            // (`c  while x c`), so every body runs under the entry ρ and
+            // the results are unioned. Unrolling that recursion into a
+            // loop keeps deep iteration counts off the Rust stack.
+            let mut sigma = sigma;
+            let mut acc = rho.clone();
+            loop {
+                if *fuel == 0 {
+                    return Err(Stuck::FuelExhausted);
+                }
+                *fuel -= 1;
+                let v = *sigma.vars.get(x).ok_or_else(|| Stuck::Unbound(x.clone()))?;
+                match v {
+                    Val::Bool(true) => {
+                        let (s2, rb) = exec_cmd(sigma, rho.clone(), body, fuel)?;
+                        sigma = s2;
+                        acc.extend(rb);
+                    }
+                    Val::Bool(false) => return Ok((sigma, acc)),
+                    Val::Num(_) => return Err(Stuck::DynamicType),
+                }
+            }
+        }
+    }
+}
+
+/// Run a command from an initial state with empty ρ and default fuel.
+///
+/// # Errors
+///
+/// See [`exec_cmd`].
+pub fn run(sigma: Sigma, c: &Cmd) -> EvalResult<(Sigma, Rho)> {
+    let mut fuel = 1_000_000;
+    exec_cmd(sigma, Rho::new(), c, &mut fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Bop;
+
+    fn st() -> Sigma {
+        Sigma::with_memories([("a", 4), ("b", 4)])
+    }
+
+    #[test]
+    fn read_consumes_memory() {
+        // let x = a[0] ; let y = a[1]  — second read gets stuck.
+        let c = Cmd::seq(
+            Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+            Cmd::Let("y".into(), Expr::read("a", Expr::num(1))),
+        );
+        assert_eq!(run(st(), &c), Err(Stuck::MemConsumed("a".into())));
+    }
+
+    #[test]
+    fn ordered_restores_memory() {
+        // let x = a[0] --- a[1] := 1
+        let c = Cmd::ordered(
+            Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+            Cmd::Write("a".into(), Expr::num(1), Expr::num(1)),
+        );
+        let (s, r) = run(st(), &c).unwrap();
+        assert_eq!(s.mems["a"][1], Val::Num(1));
+        assert!(r.contains("a"));
+    }
+
+    #[test]
+    fn ordered_union_blocks_later_use() {
+        // (a[0] := 1 --- b[0] := 1); let x = b[1]  — the union ρ₂ ∪ ρ₃
+        // contains both memories, so the trailing read is stuck.
+        let c = Cmd::seq(
+            Cmd::ordered(
+                Cmd::Write("a".into(), Expr::num(0), Expr::num(1)),
+                Cmd::Write("b".into(), Expr::num(0), Expr::num(1)),
+            ),
+            Cmd::Let("x".into(), Expr::read("b", Expr::num(1))),
+        );
+        assert_eq!(run(st(), &c), Err(Stuck::MemConsumed("b".into())));
+    }
+
+    #[test]
+    fn while_iterations_reset_rho() {
+        // let i = 0; let t = true;
+        // while t { a[0] := i ; i := i + 1 ; t := i < 3 } — each iteration
+        // writes `a` once; iterations are ordered so this runs to i = 3.
+        let lt3 = |e| Expr::Bop(Bop::Lt, Box::new(e), Box::new(Expr::num(3)));
+        let c = Cmd::seq_all([
+            Cmd::Let("i".into(), Expr::num(0)),
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::While(
+                "t".into(),
+                Box::new(Cmd::seq_all([
+                    Cmd::Write("a".into(), Expr::num(0), Expr::var("i")),
+                    Cmd::Assign(
+                        "i".into(),
+                        Expr::Bop(Bop::Add, Box::new(Expr::var("i")), Box::new(Expr::num(1))),
+                    ),
+                    Cmd::Assign("t".into(), lt3(Expr::var("i"))),
+                ])),
+            ),
+        ]);
+        let (s, _) = run(st(), &c).unwrap();
+        assert_eq!(s.mems["a"][0], Val::Num(2));
+        assert_eq!(s.vars["i"], Val::Num(3));
+    }
+
+    #[test]
+    fn out_of_bounds_sticks() {
+        let c = Cmd::Expr(Expr::read("a", Expr::num(9)));
+        assert_eq!(run(st(), &c), Err(Stuck::OutOfBounds("a".into(), 9)));
+    }
+
+    #[test]
+    fn unbound_sticks() {
+        assert_eq!(
+            run(st(), &Cmd::Expr(Expr::var("nope"))),
+            Err(Stuck::Unbound("nope".into()))
+        );
+        assert_eq!(
+            run(st(), &Cmd::Assign("nope".into(), Expr::num(1))),
+            Err(Stuck::Unbound("nope".into()))
+        );
+    }
+
+    #[test]
+    fn dynamic_type_errors_stick() {
+        let c = Cmd::Expr(Expr::Bop(Bop::And, Box::new(Expr::num(1)), Box::new(Expr::num(2))));
+        assert_eq!(run(st(), &c), Err(Stuck::DynamicType));
+        let c = Cmd::seq(
+            Cmd::Let("x".into(), Expr::num(1)),
+            Cmd::If("x".into(), Box::new(Cmd::Skip), Box::new(Cmd::Skip)),
+        );
+        assert_eq!(run(st(), &c), Err(Stuck::DynamicType));
+    }
+
+    #[test]
+    fn diverging_while_exhausts_fuel() {
+        let c = Cmd::seq(
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::While("t".into(), Box::new(Cmd::Skip)),
+        );
+        assert_eq!(run(st(), &c), Err(Stuck::FuelExhausted));
+    }
+
+    #[test]
+    fn write_then_read_conflicts() {
+        let c = Cmd::seq(
+            Cmd::Write("a".into(), Expr::num(0), Expr::num(5)),
+            Cmd::Expr(Expr::read("a", Expr::num(0))),
+        );
+        assert_eq!(run(st(), &c), Err(Stuck::MemConsumed("a".into())));
+    }
+}

@@ -1,0 +1,352 @@
+//! The small-step checked operational semantics of §4.4 / Appendix A.
+//!
+//! The interesting rules concern ordered composition: `c1 c2` first steps
+//! to the intermediate form `c1 ~ρ~ c2`, capturing the current memory
+//! context ρ; `c2` then executes under the captured context while `c1`'s
+//! consumption accumulates in the outer one, and the final rule unions the
+//! two — exactly the big-step `ρ₂ ∪ ρ₃`.
+
+use crate::bigstep::Stuck;
+use crate::syntax::{Cmd, Expr, Rho, Sigma, Val};
+
+/// The result of attempting one small step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `σ,ρ,c → σ',ρ',c'`.
+    Stepped(Sigma, Rho, Cmd),
+    /// `c = skip`: terminal configuration.
+    Terminal,
+    /// No rule applies: `σ,ρ,c ↛` with `c ≠ skip`.
+    Stuck(Stuck),
+}
+
+/// One small step of an expression: `σ,ρ,e → σ',ρ',e'`.
+/// `Ok(None)` means the expression is already a value.
+///
+/// # Errors
+///
+/// Returns [`Stuck`] when no rule applies.
+pub fn step_expr(sigma: &Sigma, rho: &Rho, e: &Expr) -> Result<Option<(Rho, Expr)>, Stuck> {
+    match e {
+        Expr::Val(_) => Ok(None),
+        Expr::Var(x) => {
+            let v = *sigma.vars.get(x).ok_or_else(|| Stuck::Unbound(x.clone()))?;
+            Ok(Some((rho.clone(), Expr::Val(v))))
+        }
+        Expr::Bop(op, e1, e2) => {
+            if let Some((r, e1p)) = step_expr(sigma, rho, e1)? {
+                return Ok(Some((r, Expr::Bop(*op, Box::new(e1p), e2.clone()))));
+            }
+            if let Some((r, e2p)) = step_expr(sigma, rho, e2)? {
+                return Ok(Some((r, Expr::Bop(*op, e1.clone(), Box::new(e2p)))));
+            }
+            let (v1, v2) = (e1.as_val().expect("lhs value"), e2.as_val().expect("rhs value"));
+            let v = op.apply(v1, v2).ok_or(Stuck::DynamicType)?;
+            Ok(Some((rho.clone(), Expr::Val(v))))
+        }
+        Expr::Read(a, idx) => {
+            if let Some((r, ip)) = step_expr(sigma, rho, idx)? {
+                return Ok(Some((r, Expr::Read(a.clone(), Box::new(ip)))));
+            }
+            if rho.contains(a) {
+                return Err(Stuck::MemConsumed(a.clone()));
+            }
+            let n = match idx.as_val().expect("index value") {
+                Val::Num(n) => n,
+                Val::Bool(_) => return Err(Stuck::DynamicType),
+            };
+            let mem = sigma.mems.get(a).ok_or_else(|| Stuck::Unbound(a.clone()))?;
+            let v = *usize::try_from(n)
+                .ok()
+                .and_then(|i| mem.get(i))
+                .ok_or_else(|| Stuck::OutOfBounds(a.clone(), n))?;
+            let mut r = rho.clone();
+            r.insert(a.clone());
+            Ok(Some((r, Expr::Val(v))))
+        }
+    }
+}
+
+/// One small step of a command.
+pub fn step_cmd(sigma: &Sigma, rho: &Rho, c: &Cmd) -> Step {
+    match step_cmd_inner(sigma, rho, c) {
+        Ok(Some((s, r, c))) => Step::Stepped(s, r, c),
+        Ok(None) => Step::Terminal,
+        Err(e) => Step::Stuck(e),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn step_cmd_inner(
+    sigma: &Sigma,
+    rho: &Rho,
+    c: &Cmd,
+) -> Result<Option<(Sigma, Rho, Cmd)>, Stuck> {
+    match c {
+        Cmd::Skip => Ok(None),
+        Cmd::Expr(e) => match step_expr(sigma, rho, e)? {
+            Some((r, ep)) => Ok(Some((sigma.clone(), r, Cmd::Expr(ep)))),
+            None => Ok(Some((sigma.clone(), rho.clone(), Cmd::Skip))),
+        },
+        Cmd::Let(x, e) => match step_expr(sigma, rho, e)? {
+            Some((r, ep)) => Ok(Some((sigma.clone(), r, Cmd::Let(x.clone(), ep)))),
+            None => {
+                let mut s = sigma.clone();
+                s.vars.insert(x.clone(), e.as_val().expect("value"));
+                Ok(Some((s, rho.clone(), Cmd::Skip)))
+            }
+        },
+        Cmd::Assign(x, e) => match step_expr(sigma, rho, e)? {
+            Some((r, ep)) => Ok(Some((sigma.clone(), r, Cmd::Assign(x.clone(), ep)))),
+            None => {
+                if !sigma.vars.contains_key(x) {
+                    return Err(Stuck::Unbound(x.clone()));
+                }
+                let mut s = sigma.clone();
+                s.vars.insert(x.clone(), e.as_val().expect("value"));
+                Ok(Some((s, rho.clone(), Cmd::Skip)))
+            }
+        },
+        Cmd::Write(a, e1, e2) => {
+            if let Some((r, e1p)) = step_expr(sigma, rho, e1)? {
+                return Ok(Some((
+                    sigma.clone(),
+                    r,
+                    Cmd::Write(a.clone(), e1p, e2.clone()),
+                )));
+            }
+            if let Some((r, e2p)) = step_expr(sigma, rho, e2)? {
+                return Ok(Some((
+                    sigma.clone(),
+                    r,
+                    Cmd::Write(a.clone(), e1.clone(), e2p),
+                )));
+            }
+            if rho.contains(a) {
+                return Err(Stuck::MemConsumed(a.clone()));
+            }
+            let n = match e1.as_val().expect("index value") {
+                Val::Num(n) => n,
+                Val::Bool(_) => return Err(Stuck::DynamicType),
+            };
+            let v = e2.as_val().expect("rhs value");
+            let mut s = sigma.clone();
+            let mem = s.mems.get_mut(a).ok_or_else(|| Stuck::Unbound(a.clone()))?;
+            let slot = usize::try_from(n)
+                .ok()
+                .and_then(|i| mem.get_mut(i))
+                .ok_or_else(|| Stuck::OutOfBounds(a.clone(), n))?;
+            *slot = v;
+            let mut r = rho.clone();
+            r.insert(a.clone());
+            Ok(Some((s, r, Cmd::Skip)))
+        }
+        Cmd::Seq(c1, c2) => {
+            if **c1 == Cmd::Skip {
+                return Ok(Some((sigma.clone(), rho.clone(), (**c2).clone())));
+            }
+            match step_cmd_inner(sigma, rho, c1)? {
+                Some((s, r, c1p)) => {
+                    Ok(Some((s, r, Cmd::Seq(Box::new(c1p), c2.clone()))))
+                }
+                None => unreachable!("non-skip command either steps or sticks"),
+            }
+        }
+        // σ,ρ, c1 c2 → σ,ρ, c1 ~ρ~ c2  (capture the entry context)
+        Cmd::Ordered(c1, c2) => Ok(Some((
+            sigma.clone(),
+            rho.clone(),
+            Cmd::OrderedRho(c1.clone(), c2.clone(), rho.clone()),
+        ))),
+        Cmd::OrderedRho(c1, c2, captured) => {
+            if **c1 != Cmd::Skip {
+                // c1 steps under the outer ρ.
+                match step_cmd_inner(sigma, rho, c1)? {
+                    Some((s, r, c1p)) => {
+                        return Ok(Some((
+                            s,
+                            r,
+                            Cmd::OrderedRho(Box::new(c1p), c2.clone(), captured.clone()),
+                        )))
+                    }
+                    None => unreachable!("non-skip command either steps or sticks"),
+                }
+            }
+            if **c2 != Cmd::Skip {
+                // skip ~ρ''~ c2: c2 steps under the captured ρ''; the outer
+                // ρ is left untouched while ρ'' advances in the annotation.
+                match step_cmd_inner(sigma, captured, c2)? {
+                    Some((s, rppp, c2p)) => {
+                        return Ok(Some((
+                            s,
+                            rho.clone(),
+                            Cmd::OrderedRho(c1.clone(), Box::new(c2p), rppp),
+                        )))
+                    }
+                    None => unreachable!("non-skip command either steps or sticks"),
+                }
+            }
+            // skip ~ρ''~ skip → σ, ρ ∪ ρ'', skip
+            let union: Rho = rho.union(captured).cloned().collect();
+            Ok(Some((sigma.clone(), union, Cmd::Skip)))
+        }
+        Cmd::If(x, c1, c2) => {
+            match sigma.vars.get(x) {
+                Some(Val::Bool(true)) => Ok(Some((sigma.clone(), rho.clone(), (**c1).clone()))),
+                Some(Val::Bool(false)) => Ok(Some((sigma.clone(), rho.clone(), (**c2).clone()))),
+                Some(Val::Num(_)) => Err(Stuck::DynamicType),
+                None => Err(Stuck::Unbound(x.clone())),
+            }
+        }
+        // while x c → if x (c  while x c) skip
+        Cmd::While(x, body) => Ok(Some((
+            sigma.clone(),
+            rho.clone(),
+            Cmd::If(
+                x.clone(),
+                Box::new(Cmd::ordered((**body).clone(), c.clone())),
+                Box::new(Cmd::Skip),
+            ),
+        ))),
+    }
+}
+
+/// Outcome of iterating the small-step relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Reached `skip`.
+    Done(Sigma, Rho),
+    /// Reached a configuration with no applicable rule.
+    Stuck(Stuck, Cmd),
+    /// Fuel exhausted (divergence).
+    Diverged,
+}
+
+/// Iterate the small-step relation to completion (or fuel exhaustion).
+pub fn run_small(sigma: Sigma, c: &Cmd, mut fuel: u64) -> RunOutcome {
+    let mut state = (sigma, Rho::new(), c.clone());
+    loop {
+        if fuel == 0 {
+            return RunOutcome::Diverged;
+        }
+        fuel -= 1;
+        match step_cmd(&state.0, &state.1, &state.2) {
+            Step::Stepped(s, r, c) => state = (s, r, c),
+            Step::Terminal => return RunOutcome::Done(state.0, state.1),
+            Step::Stuck(e) => return RunOutcome::Stuck(e, state.2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigstep;
+    use crate::syntax::Bop;
+
+    fn st() -> Sigma {
+        Sigma::with_memories([("a", 4), ("b", 4)])
+    }
+
+    /// Big-step and iterated small-step agree on final state and ρ.
+    fn agree(c: &Cmd) {
+        let big = bigstep::run(st(), c);
+        let small = run_small(st(), c, 100_000);
+        match (big, small) {
+            (Ok((s1, r1)), RunOutcome::Done(s2, r2)) => {
+                assert_eq!(s1, s2, "states diverged for {c:?}");
+                assert_eq!(r1, r2, "rhos diverged for {c:?}");
+            }
+            (Err(e1), RunOutcome::Stuck(e2, _)) => {
+                assert_eq!(e1, e2, "stuck reasons diverged for {c:?}");
+            }
+            (b, s) => panic!("big {b:?} vs small {s:?} for {c:?}"),
+        }
+    }
+
+    #[test]
+    fn agreement_on_straightline() {
+        agree(&Cmd::seq_all([
+            Cmd::Let("x".into(), Expr::num(3)),
+            Cmd::Write("a".into(), Expr::num(0), Expr::var("x")),
+            Cmd::Let(
+                "y".into(),
+                Expr::Bop(Bop::Mul, Box::new(Expr::var("x")), Box::new(Expr::num(2))),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn agreement_on_ordered() {
+        agree(&Cmd::ordered_all([
+            Cmd::Write("a".into(), Expr::num(0), Expr::num(1)),
+            Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+            Cmd::Write("a".into(), Expr::num(1), Expr::var("x")),
+        ]));
+    }
+
+    #[test]
+    fn agreement_on_stuck_conflict() {
+        agree(&Cmd::seq(
+            Cmd::Expr(Expr::read("a", Expr::num(0))),
+            Cmd::Expr(Expr::read("a", Expr::num(1))),
+        ));
+    }
+
+    #[test]
+    fn agreement_on_while() {
+        let lt = |e, n| Expr::Bop(Bop::Lt, Box::new(e), Box::new(Expr::num(n)));
+        agree(&Cmd::seq_all([
+            Cmd::Let("i".into(), Expr::num(0)),
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::While(
+                "t".into(),
+                Box::new(Cmd::seq_all([
+                    Cmd::Write("a".into(), Expr::var("i"), Expr::var("i")),
+                    Cmd::Assign(
+                        "i".into(),
+                        Expr::Bop(Bop::Add, Box::new(Expr::var("i")), Box::new(Expr::num(1))),
+                    ),
+                    Cmd::Assign("t".into(), lt(Expr::var("i"), 4)),
+                ])),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn ordered_rho_threading_is_visible() {
+        // a[0] := 1 --- a[1] := 2 ; the final ρ is the union {a}.
+        let c = Cmd::ordered(
+            Cmd::Write("a".into(), Expr::num(0), Expr::num(1)),
+            Cmd::Write("a".into(), Expr::num(1), Expr::num(2)),
+        );
+        match run_small(st(), &c, 1000) {
+            RunOutcome::Done(s, r) => {
+                assert_eq!(s.mems["a"][0], Val::Num(1));
+                assert_eq!(s.mems["a"][1], Val::Num(2));
+                assert!(r.contains("a"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intermediate_form_appears() {
+        let c = Cmd::ordered(Cmd::Skip, Cmd::Skip);
+        match step_cmd(&st(), &Rho::new(), &c) {
+            Step::Stepped(_, _, Cmd::OrderedRho(..)) => {}
+            other => panic!("expected OrderedRho, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_detected() {
+        // Every iteration nests the configuration one `~ρ~` level deeper,
+        // so keep the fuel (and thus the term depth) modest.
+        let c = Cmd::seq(
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::While("t".into(), Box::new(Cmd::Skip)),
+        );
+        assert_eq!(run_small(st(), &c, 300), RunOutcome::Diverged);
+    }
+}

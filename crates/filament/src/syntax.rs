@@ -1,0 +1,232 @@
+//! Abstract syntax of Filament, the core calculus of §4 (Fig. 6 and the
+//! appendix grammar).
+//!
+//! Filament strips Dahlia down to the essence of time-sensitive affinity:
+//! memories `a` are a fixed set of single-banked stores, ordered composition
+//! is command juxtaposition `c1 c2`, and unordered composition is `c1 ; c2`.
+//! The runtime form `c1 ~ρ~ c2` threads the memory-consumption context
+//! through a partially executed ordered composition.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Primitive values `v ::= n | b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val {
+    /// Numbers (`bit⟨n⟩` values; widths are erased at runtime).
+    Num(i64),
+    /// Booleans.
+    Bool(bool),
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Num(n) => write!(f, "{n}"),
+            Val::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Binary operators (the calculus leaves `bop` abstract; we provide the
+/// usual arithmetic, comparison, and boolean operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bop {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Lt,
+    And,
+    Or,
+}
+
+impl Bop {
+    /// Apply the operator, if the operands have the right shapes.
+    /// Returns `None` on a dynamic type error or division by zero — the
+    /// checked semantics treats this as stuckness.
+    pub fn apply(self, l: Val, r: Val) -> Option<Val> {
+        use Bop::*;
+        use Val::*;
+        Some(match (self, l, r) {
+            (Add, Num(a), Num(b)) => Num(a.wrapping_add(b)),
+            (Sub, Num(a), Num(b)) => Num(a.wrapping_sub(b)),
+            (Mul, Num(a), Num(b)) => Num(a.wrapping_mul(b)),
+            (Div, Num(a), Num(b)) if b != 0 => Num(a / b),
+            (Eq, Num(a), Num(b)) => Bool(a == b),
+            (Eq, Bool(a), Bool(b)) => Bool(a == b),
+            (Lt, Num(a), Num(b)) => Bool(a < b),
+            (And, Bool(a), Bool(b)) => Bool(a && b),
+            (Or, Bool(a), Bool(b)) => Bool(a || b),
+            _ => return None,
+        })
+    }
+}
+
+/// Expressions `e ::= v | bop e1 e2 | x | a[e]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A value.
+    Val(Val),
+    /// Binary operation.
+    Bop(Bop, Box<Expr>, Box<Expr>),
+    /// Variable read.
+    Var(String),
+    /// Memory read `a[e]` — consumes the affine resource `a`.
+    Read(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: a number literal.
+    pub fn num(n: i64) -> Expr {
+        Expr::Val(Val::Num(n))
+    }
+
+    /// Convenience: a boolean literal.
+    pub fn boolean(b: bool) -> Expr {
+        Expr::Val(Val::Bool(b))
+    }
+
+    /// Convenience: a variable.
+    pub fn var(x: impl Into<String>) -> Expr {
+        Expr::Var(x.into())
+    }
+
+    /// Convenience: a memory read.
+    pub fn read(a: impl Into<String>, e: Expr) -> Expr {
+        Expr::Read(a.into(), Box::new(e))
+    }
+
+    /// Is this expression a value?
+    pub fn as_val(&self) -> Option<Val> {
+        match self {
+            Expr::Val(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// The set ρ of memories the program has accessed in the current ordered
+/// epoch.
+pub type Rho = std::collections::BTreeSet<String>;
+
+/// Commands (Fig. 6, extended with the runtime form `c1 ~ρ~ c2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Bare expression.
+    Expr(Expr),
+    /// `let x = e`.
+    Let(String, Expr),
+    /// Ordered composition `c1 c2` (juxtaposition in the paper).
+    Ordered(Box<Cmd>, Box<Cmd>),
+    /// The intermediate runtime form `c1 ~ρ~ c2`: `c2` executes under the
+    /// captured context ρ.
+    OrderedRho(Box<Cmd>, Box<Cmd>, Rho),
+    /// Unordered composition `c1 ; c2`.
+    Seq(Box<Cmd>, Box<Cmd>),
+    /// `if x c1 c2` — the condition is a *variable* (Fig. 6): conditions
+    /// never consume memories, which is essential for the soundness of the
+    /// `while` unfolding.
+    If(String, Box<Cmd>, Box<Cmd>),
+    /// `while x c` — condition restricted to a variable, as above.
+    While(String, Box<Cmd>),
+    /// `x := e`.
+    Assign(String, Expr),
+    /// `a[e1] := e2`.
+    Write(String, Expr, Expr),
+    /// `skip`.
+    Skip,
+}
+
+impl Cmd {
+    /// Ordered composition constructor.
+    pub fn ordered(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Ordered(Box::new(c1), Box::new(c2))
+    }
+
+    /// Unordered composition constructor.
+    pub fn seq(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Seq(Box::new(c1), Box::new(c2))
+    }
+
+    /// Chain many commands with unordered composition.
+    pub fn seq_all(cs: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut it = cs.into_iter();
+        let first = it.next().unwrap_or(Cmd::Skip);
+        it.fold(first, Cmd::seq)
+    }
+
+    /// Chain many commands with ordered composition.
+    pub fn ordered_all(cs: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut it = cs.into_iter();
+        let first = it.next().unwrap_or(Cmd::Skip);
+        it.fold(first, Cmd::ordered)
+    }
+}
+
+/// Types `τ ::= bit⟨n⟩ | float | bool | mem τ[n]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// Fixed-width integers (width tracked but not enforced at runtime).
+    Bit(u32),
+    /// Booleans.
+    Bool,
+    /// A single-banked memory of `n` elements.
+    Mem(Box<Ty>, u64),
+}
+
+/// A memory store: each memory maps indices to values.
+pub type Store = BTreeMap<String, Vec<Val>>;
+
+/// A variable environment.
+pub type VarEnv = BTreeMap<String, Val>;
+
+/// The machine state σ: variables and memories.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sigma {
+    /// Variable bindings.
+    pub vars: VarEnv,
+    /// Memory contents.
+    pub mems: Store,
+}
+
+impl Sigma {
+    /// A state with the given memories, all zero-initialized.
+    pub fn with_memories<'a>(mems: impl IntoIterator<Item = (&'a str, u64)>) -> Sigma {
+        Sigma {
+            vars: VarEnv::new(),
+            mems: mems
+                .into_iter()
+                .map(|(name, n)| (name.to_string(), vec![Val::Num(0); n as usize]))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bop_apply() {
+        assert_eq!(Bop::Add.apply(Val::Num(2), Val::Num(3)), Some(Val::Num(5)));
+        assert_eq!(Bop::Lt.apply(Val::Num(2), Val::Num(3)), Some(Val::Bool(true)));
+        assert_eq!(Bop::And.apply(Val::Bool(true), Val::Num(1)), None);
+        assert_eq!(Bop::Div.apply(Val::Num(1), Val::Num(0)), None);
+    }
+
+    #[test]
+    fn constructors() {
+        let c = Cmd::seq_all([Cmd::Skip, Cmd::Skip, Cmd::Skip]);
+        assert!(matches!(c, Cmd::Seq(_, _)));
+        assert_eq!(Cmd::ordered_all([]), Cmd::Skip);
+    }
+
+    #[test]
+    fn sigma_with_memories() {
+        let s = Sigma::with_memories([("a", 4), ("b", 2)]);
+        assert_eq!(s.mems["a"].len(), 4);
+        assert_eq!(s.mems["b"][1], Val::Num(0));
+    }
+}

@@ -1,0 +1,395 @@
+//! The affine type system of §4.3 / Appendix A.
+//!
+//! Judgments have the form `Γ₁, Δ₁ ⊢ c ⊣ Γ₂, Δ₂`: Γ is the standard typing
+//! context for variables and Δ the *affine* context of memories still
+//! available in the current ordered epoch. Reads and writes remove a memory
+//! from Δ; ordered composition checks both commands under the entry Δ and
+//! intersects the results.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::syntax::{Bop, Cmd, Expr, Rho, Ty, Val};
+
+/// The variable typing context Γ.
+pub type Gamma = BTreeMap<String, Ty>;
+
+/// The affine memory context Δ: memories still available, with their types.
+pub type Delta = BTreeMap<String, Ty>;
+
+/// Why a Filament program failed to type-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeErr {
+    /// Variable or memory not in context.
+    Unbound(String),
+    /// Memory not available in Δ (consumed earlier in this epoch).
+    Consumed(String),
+    /// Operand or annotation mismatch.
+    Mismatch(String),
+    /// `let` rebinding an existing variable.
+    Rebound(String),
+}
+
+/// The checker carries the full memory set Δ* for re-checking runtime
+/// configurations (`c1 ~ρ~ c2` needs ρ̄ = Δ* \ ρ).
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// Δ*: every memory the program runs with.
+    pub delta_star: Delta,
+}
+
+impl Checker {
+    /// Build a checker for programs over the given memories.
+    pub fn new(delta_star: Delta) -> Self {
+        Checker { delta_star }
+    }
+
+    /// Convenience constructor from (name, length) pairs of `bit<32>`
+    /// memories.
+    pub fn with_memories<'a>(mems: impl IntoIterator<Item = (&'a str, u64)>) -> Self {
+        Checker {
+            delta_star: mems
+                .into_iter()
+                .map(|(n, len)| (n.to_string(), Ty::Mem(Box::new(Ty::Bit(32)), len)))
+                .collect(),
+        }
+    }
+
+    /// ρ̄: the memories of Δ* not consumed in ρ.
+    pub fn rho_bar(&self, rho: &Rho) -> Delta {
+        self.delta_star.iter().filter(|(a, _)| !rho.contains(*a)).map(|(a, t)| (a.clone(), t.clone())).collect()
+    }
+
+    /// `Γ, Δ₁ ⊢ e : τ ⊣ Δ₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeErr`] when no rule applies.
+    pub fn check_expr(&self, gamma: &Gamma, delta: Delta, e: &Expr) -> Result<(Ty, Delta), TypeErr> {
+        match e {
+            Expr::Val(Val::Num(_)) => Ok((Ty::Bit(32), delta)),
+            Expr::Val(Val::Bool(_)) => Ok((Ty::Bool, delta)),
+            Expr::Var(x) => {
+                let t = gamma.get(x).ok_or_else(|| TypeErr::Unbound(x.clone()))?.clone();
+                Ok((t, delta))
+            }
+            Expr::Bop(op, e1, e2) => {
+                let (t1, d2) = self.check_expr(gamma, delta, e1)?;
+                let (t2, d3) = self.check_expr(gamma, d2, e2)?;
+                let t = bop_type(*op, &t1, &t2)
+                    .ok_or_else(|| TypeErr::Mismatch(format!("{op:?} on {t1:?} and {t2:?}")))?;
+                Ok((t, d3))
+            }
+            Expr::Read(a, idx) => {
+                let (ti, mut d2) = self.check_expr(gamma, delta, idx)?;
+                if !matches!(ti, Ty::Bit(_)) {
+                    return Err(TypeErr::Mismatch("memory index must be an integer".into()));
+                }
+                match d2.remove(a) {
+                    Some(Ty::Mem(elem, _)) => Ok(((*elem).clone(), d2)),
+                    Some(_) => Err(TypeErr::Mismatch(format!("`{a}` is not a memory"))),
+                    None => {
+                        if self.delta_star.contains_key(a) {
+                            Err(TypeErr::Consumed(a.clone()))
+                        } else {
+                            Err(TypeErr::Unbound(a.clone()))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Γ₁, Δ₁ ⊢ c ⊣ Γ₂, Δ₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeErr`] when no rule applies.
+    pub fn check_cmd(
+        &self,
+        gamma: Gamma,
+        delta: Delta,
+        c: &Cmd,
+    ) -> Result<(Gamma, Delta), TypeErr> {
+        match c {
+            Cmd::Skip => Ok((gamma, delta)),
+            Cmd::Expr(e) => {
+                let (_, d2) = self.check_expr(&gamma, delta, e)?;
+                Ok((gamma, d2))
+            }
+            Cmd::Let(x, e) => {
+                let (t, d2) = self.check_expr(&gamma, delta, e)?;
+                if gamma.contains_key(x) {
+                    return Err(TypeErr::Rebound(x.clone()));
+                }
+                let mut g2 = gamma;
+                g2.insert(x.clone(), t);
+                Ok((g2, d2))
+            }
+            Cmd::Assign(x, e) => {
+                let (t, d2) = self.check_expr(&gamma, delta, e)?;
+                let tx = gamma.get(x).ok_or_else(|| TypeErr::Unbound(x.clone()))?;
+                if !ty_compatible(tx, &t) {
+                    return Err(TypeErr::Mismatch(format!("assign {t:?} to {tx:?}")));
+                }
+                Ok((gamma, d2))
+            }
+            Cmd::Write(a, e1, e2) => {
+                let (t1, d2) = self.check_expr(&gamma, delta, e1)?;
+                if !matches!(t1, Ty::Bit(_)) {
+                    return Err(TypeErr::Mismatch("memory index must be an integer".into()));
+                }
+                let (t2, mut d3) = self.check_expr(&gamma, d2, e2)?;
+                match d3.remove(a) {
+                    Some(Ty::Mem(elem, _)) => {
+                        if !ty_compatible(&elem, &t2) {
+                            return Err(TypeErr::Mismatch(format!("store {t2:?} into {elem:?}[]")));
+                        }
+                        Ok((gamma, d3))
+                    }
+                    Some(_) => Err(TypeErr::Mismatch(format!("`{a}` is not a memory"))),
+                    None => {
+                        if self.delta_star.contains_key(a) {
+                            Err(TypeErr::Consumed(a.clone()))
+                        } else {
+                            Err(TypeErr::Unbound(a.clone()))
+                        }
+                    }
+                }
+            }
+            Cmd::Seq(c1, c2) => {
+                let (g2, d2) = self.check_cmd(gamma, delta, c1)?;
+                self.check_cmd(g2, d2, c2)
+            }
+            Cmd::Ordered(c1, c2) => {
+                let (g2, d2) = self.check_cmd(gamma, delta.clone(), c1)?;
+                let (g3, d3) = self.check_cmd(g2, delta, c2)?;
+                Ok((g3, intersect(&d2, &d3)))
+            }
+            Cmd::OrderedRho(c1, c2, rho) => {
+                let (g2, d2) = self.check_cmd(gamma, delta, c1)?;
+                let (g3, d3) = self.check_cmd(g2, self.rho_bar(rho), c2)?;
+                Ok((g3, intersect(&d2, &d3)))
+            }
+            Cmd::If(x, c1, c2) => {
+                match gamma.get(x) {
+                    Some(Ty::Bool) => {}
+                    Some(t) => {
+                        return Err(TypeErr::Mismatch(format!("`if` condition has type {t:?}")))
+                    }
+                    None => return Err(TypeErr::Unbound(x.clone())),
+                }
+                let (_, d3) = self.check_cmd(gamma.clone(), delta.clone(), c1)?;
+                let (_, d4) = self.check_cmd(gamma.clone(), delta.clone(), c2)?;
+                Ok((gamma, intersect(&intersect(&delta, &d3), &d4)))
+            }
+            Cmd::While(x, body) => {
+                match gamma.get(x) {
+                    Some(Ty::Bool) => {}
+                    Some(t) => {
+                        return Err(TypeErr::Mismatch(format!("`while` condition has type {t:?}")))
+                    }
+                    None => return Err(TypeErr::Unbound(x.clone())),
+                }
+                let (_, d3) = self.check_cmd(gamma.clone(), delta.clone(), body)?;
+                Ok((gamma, intersect(&d3, &delta)))
+            }
+        }
+    }
+
+    /// Check a whole program: `∅, Δ* ⊢ c ⊣ Γ₂, Δ₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeErr`] when the program violates the affine discipline.
+    pub fn check(&self, c: &Cmd) -> Result<(Gamma, Delta), TypeErr> {
+        self.check_cmd(Gamma::new(), self.delta_star.clone(), c)
+    }
+}
+
+/// Result type of a binary operator, if the operands fit.
+fn bop_type(op: Bop, t1: &Ty, t2: &Ty) -> Option<Ty> {
+    use Bop::*;
+    match op {
+        Add | Sub | Mul | Div => match (t1, t2) {
+            (Ty::Bit(a), Ty::Bit(b)) => Some(Ty::Bit(*a.max(b))),
+            _ => None,
+        },
+        Lt => match (t1, t2) {
+            (Ty::Bit(_), Ty::Bit(_)) => Some(Ty::Bool),
+            _ => None,
+        },
+        Eq => match (t1, t2) {
+            (Ty::Bit(_), Ty::Bit(_)) | (Ty::Bool, Ty::Bool) => Some(Ty::Bool),
+            _ => None,
+        },
+        And | Or => match (t1, t2) {
+            (Ty::Bool, Ty::Bool) => Some(Ty::Bool),
+            _ => None,
+        },
+    }
+}
+
+/// Widths are advisory in the calculus: `bit<a> ~ bit<b>`.
+fn ty_compatible(a: &Ty, b: &Ty) -> bool {
+    matches!((a, b), (Ty::Bit(_), Ty::Bit(_)) | (Ty::Bool, Ty::Bool))
+}
+
+/// Δ₂ ∩ Δ₃ — the resources consumed by *neither* side.
+fn intersect(a: &Delta, b: &Delta) -> Delta {
+    a.iter()
+        .filter(|(k, _)| b.contains_key(*k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// Names of all memories a command mentions (used by test generators).
+pub fn mems_mentioned(c: &Cmd) -> BTreeSet<String> {
+    fn expr(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Read(a, i) => {
+                out.insert(a.clone());
+                expr(i, out);
+            }
+            Expr::Bop(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            _ => {}
+        }
+    }
+    fn cmd(c: &Cmd, out: &mut BTreeSet<String>) {
+        match c {
+            Cmd::Expr(e) | Cmd::Let(_, e) | Cmd::Assign(_, e) => expr(e, out),
+            Cmd::Write(a, e1, e2) => {
+                out.insert(a.clone());
+                expr(e1, out);
+                expr(e2, out);
+            }
+            Cmd::Seq(a, b) | Cmd::Ordered(a, b) => {
+                cmd(a, out);
+                cmd(b, out);
+            }
+            Cmd::OrderedRho(a, b, _) => {
+                cmd(a, out);
+                cmd(b, out);
+            }
+            Cmd::If(_, a, b) => {
+                cmd(a, out);
+                cmd(b, out);
+            }
+            Cmd::While(_, b) => cmd(b, out),
+            Cmd::Skip => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    cmd(c, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ck() -> Checker {
+        Checker::with_memories([("a", 4), ("b", 4)])
+    }
+
+    #[test]
+    fn read_removes_from_delta() {
+        let c = Cmd::Let("x".into(), Expr::read("a", Expr::num(0)));
+        let (_, d) = ck().check(&c).unwrap();
+        assert!(!d.contains_key("a"));
+        assert!(d.contains_key("b"));
+    }
+
+    #[test]
+    fn double_read_rejected() {
+        let c = Cmd::seq(
+            Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+            Cmd::Let("y".into(), Expr::read("a", Expr::num(1))),
+        );
+        assert_eq!(ck().check(&c), Err(TypeErr::Consumed("a".into())));
+    }
+
+    #[test]
+    fn ordered_restores_and_intersects() {
+        let c = Cmd::ordered(
+            Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+            Cmd::Write("a".into(), Expr::num(1), Expr::num(1)),
+        );
+        let (_, d) = ck().check(&c).unwrap();
+        // Both steps consumed `a`; the intersection lost it, `b` remains.
+        assert!(!d.contains_key("a"));
+        assert!(d.contains_key("b"));
+    }
+
+    #[test]
+    fn if_intersects_branches() {
+        let c = Cmd::seq(
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::If(
+                "t".into(),
+                Box::new(Cmd::Write("a".into(), Expr::num(0), Expr::num(1))),
+                Box::new(Cmd::Write("b".into(), Expr::num(0), Expr::num(1))),
+            ),
+        );
+        let (_, d) = ck().check(&c).unwrap();
+        assert!(d.is_empty(), "both a and b are conservatively consumed: {d:?}");
+    }
+
+    #[test]
+    fn while_body_checked_affinely() {
+        let c = Cmd::seq_all([
+            Cmd::Let("t".into(), Expr::boolean(true)),
+            Cmd::While(
+                "t".into(),
+                Box::new(Cmd::seq(
+                    Cmd::Let("x".into(), Expr::read("a", Expr::num(0))),
+                    Cmd::Write("a".into(), Expr::num(0), Expr::num(1)),
+                )),
+            ),
+        ]);
+        assert_eq!(ck().check(&c), Err(TypeErr::Consumed("a".into())));
+    }
+
+    #[test]
+    fn non_bool_condition_rejected() {
+        let c = Cmd::seq(
+            Cmd::Let("n".into(), Expr::num(1)),
+            Cmd::If("n".into(), Box::new(Cmd::Skip), Box::new(Cmd::Skip)),
+        );
+        assert!(matches!(ck().check(&c), Err(TypeErr::Mismatch(_))));
+    }
+
+    #[test]
+    fn let_rebinding_rejected() {
+        let c = Cmd::seq(
+            Cmd::Let("x".into(), Expr::num(1)),
+            Cmd::Let("x".into(), Expr::num(2)),
+        );
+        assert_eq!(ck().check(&c), Err(TypeErr::Rebound("x".into())));
+    }
+
+    #[test]
+    fn ordered_rho_uses_rho_bar() {
+        // skip ~{a}~ (read a) must fail: a is consumed in the captured ρ.
+        let mut rho = Rho::new();
+        rho.insert("a".into());
+        let c = Cmd::OrderedRho(
+            Box::new(Cmd::Skip),
+            Box::new(Cmd::Expr(Expr::read("a", Expr::num(0)))),
+            rho,
+        );
+        assert_eq!(ck().check(&c), Err(TypeErr::Consumed("a".into())));
+    }
+
+    #[test]
+    fn mems_mentioned_walks_everything() {
+        let c = Cmd::ordered(
+            Cmd::Write("a".into(), Expr::num(0), Expr::read("b", Expr::num(1))),
+            Cmd::Skip,
+        );
+        let m = mems_mentioned(&c);
+        assert!(m.contains("a") && m.contains("b"));
+    }
+}

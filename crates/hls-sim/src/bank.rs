@@ -1,0 +1,314 @@
+//! Bank-access-pattern analysis.
+//!
+//! For every access in an unrolled loop body the toolchain needs to know
+//! (a) how many banks each processing element (PE) must be able to reach —
+//! the *mux width* that determines indirection hardware (Fig. 3b of the
+//! paper), and (b) how many simultaneous accesses land on the same bank in
+//! one iteration group — the *port demand* that forces the scheduler to
+//! serialize (the Fig. 4a/4b pitfalls).
+
+use crate::ir::{Access, ArrayDecl, Idx};
+
+/// Enclosing unrolled loops: `(iterator, unroll factor)`, outermost first.
+/// Only factors > 1 matter.
+#[derive(Debug, Clone, Default)]
+pub struct UnrollCtx {
+    vars: Vec<(String, u64)>,
+}
+
+impl UnrollCtx {
+    /// Empty context (no unrolling).
+    pub fn new() -> Self {
+        UnrollCtx::default()
+    }
+
+    /// Enter a loop.
+    pub fn push(&mut self, var: &str, unroll: u64) {
+        self.vars.push((var.to_string(), unroll.max(1)));
+    }
+
+    /// Leave a loop.
+    pub fn pop(&mut self) {
+        self.vars.pop();
+    }
+
+    /// Total parallel copies of the innermost body.
+    pub fn copies(&self) -> u64 {
+        self.vars.iter().map(|(_, u)| *u).product::<u64>().max(1)
+    }
+
+    /// Unroll factor of `var` (1 if not unrolled or unknown).
+    pub fn factor(&self, var: &str) -> u64 {
+        self.vars.iter().find(|(v, _)| v == var).map(|(_, u)| *u).unwrap_or(1)
+    }
+
+    fn unrolled_vars(&self) -> Vec<(String, u64)> {
+        self.vars.iter().filter(|(_, u)| *u > 1).cloned().collect()
+    }
+}
+
+/// What the toolchain learns about one access under a given unrolling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankStats {
+    /// Parallel copies of the access (product of enclosing unroll factors).
+    pub copies: u64,
+    /// Worst-case number of copies hitting the *same* bank in one group.
+    pub max_demand: u64,
+    /// Number of banks a single copy must be able to reach over the loop's
+    /// lifetime (1 = direct wire, >1 = mux / crossbar).
+    pub mux_ways: u64,
+    /// Distinct banks touched by the copies within one group.
+    pub distinct_banks: u64,
+}
+
+/// Cap on exact copy enumeration; beyond it we fall back to worst case.
+const ENUM_CAP: u64 = 1 << 14;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Analyze an access to `array` in the given unroll context.
+pub fn analyze(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> BankStats {
+    let copies = ctx.copies();
+    let dims = array.dims.len();
+    let banks: Vec<u64> = (0..dims)
+        .map(|d| array.partition.get(d).copied().unwrap_or(1).max(1))
+        .collect();
+
+    // Mux width: per dimension, how many banks one copy can reach across
+    // the whole iteration space.
+    let mut mux_ways = 1u64;
+    for (d, b) in banks.iter().enumerate() {
+        let reach = match access.idx.get(d) {
+            Some(Idx::Const(_)) | None => 1,
+            Some(Idx::Dynamic) => *b,
+            Some(Idx::Affine { var, stride, .. }) => {
+                // Copy `c` sees indices stride·(u·g + c) + offset as g
+                // varies: a coset of ⟨stride·u⟩ in Z_b.
+                let u = ctx.factor(var);
+                let step = stride.unsigned_abs().wrapping_mul(u) % *b;
+                // step = 0 means the copy is pinned to one bank.
+                b / gcd(*b, if step == 0 { *b } else { step })
+            }
+        };
+        mux_ways = mux_ways.saturating_mul(reach.max(1));
+    }
+
+    // Demand: enumerate the copies of one iteration group (g = 0) and count
+    // collisions of their flat bank coordinates.
+    let unrolled = ctx.unrolled_vars();
+    let total: u64 = unrolled.iter().map(|(_, u)| *u).product::<u64>().max(1);
+    if total > ENUM_CAP || access.idx.iter().any(|i| matches!(i, Idx::Dynamic)) {
+        // Dynamic or huge: the tool must assume every copy can collide.
+        return BankStats { copies, max_demand: copies, mux_ways, distinct_banks: 1 };
+    }
+
+    let mut counts = std::collections::HashMap::<Vec<u64>, u64>::new();
+    let mut assignment = vec![0u64; unrolled.len()];
+    loop {
+        // Flat bank coordinate of this copy.
+        let mut coord = Vec::with_capacity(dims);
+        for (d, b) in banks.iter().enumerate() {
+            let bank = match access.idx.get(d) {
+                Some(Idx::Const(n)) => n.rem_euclid(*b as i64) as u64,
+                // Dynamic was handled by the early return; missing dims act
+                // like constants.
+                Some(Idx::Dynamic) | None => 0,
+                Some(Idx::Affine { var, stride, offset }) => {
+                    let c = unrolled
+                        .iter()
+                        .position(|(v, _)| v == var)
+                        .map(|i| assignment[i])
+                        .unwrap_or(0);
+                    (stride.wrapping_mul(c as i64) + offset).rem_euclid(*b as i64) as u64
+                }
+            };
+            coord.push(bank);
+        }
+        *counts.entry(coord).or_insert(0) += 1;
+
+        // Next copy assignment.
+        let mut carry = true;
+        for (slot, (_, u)) in assignment.iter_mut().zip(&unrolled) {
+            if carry {
+                *slot += 1;
+                if *slot == *u {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    let max_demand = counts.values().copied().max().unwrap_or(1);
+    let distinct_banks = counts.len() as u64;
+    BankStats { copies, max_demand, mux_ways, distinct_banks }
+}
+
+/// Concrete (flat bank) targets of each copy of an access in one group,
+/// used by the port scheduler. Dynamic accesses map every copy to bank 0
+/// (worst case).
+pub fn copy_banks(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> Vec<u64> {
+    let unrolled = ctx.unrolled_vars();
+    let total: u64 = unrolled.iter().map(|(_, u)| *u).product::<u64>().max(1);
+    let dims = array.dims.len();
+    let banks: Vec<u64> = (0..dims)
+        .map(|d| array.partition.get(d).copied().unwrap_or(1).max(1))
+        .collect();
+    if total > ENUM_CAP {
+        return vec![0; ENUM_CAP as usize];
+    }
+    let mut out = Vec::with_capacity(total as usize);
+    let mut assignment = vec![0u64; unrolled.len()];
+    loop {
+        let mut flat = 0u64;
+        for (d, b) in banks.iter().enumerate() {
+            let bank = match access.idx.get(d) {
+                Some(Idx::Const(n)) => n.rem_euclid(*b as i64) as u64,
+                Some(Idx::Dynamic) | None => 0,
+                Some(Idx::Affine { var, stride, offset }) => {
+                    let c = unrolled
+                        .iter()
+                        .position(|(v, _)| v == var)
+                        .map(|i| assignment[i])
+                        .unwrap_or(0);
+                    (stride.wrapping_mul(c as i64) + offset).rem_euclid(*b as i64) as u64
+                }
+            };
+            flat = flat * b + bank;
+        }
+        out.push(flat);
+        let mut carry = true;
+        for (slot, (_, u)) in assignment.iter_mut().zip(&unrolled) {
+            if carry {
+                *slot += 1;
+                if *slot == *u {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ArrayDecl;
+
+    fn arr(banks: u64) -> ArrayDecl {
+        ArrayDecl::new("a", 32, &[512]).partitioned(&[banks])
+    }
+
+    fn ctx(u: u64) -> UnrollCtx {
+        let mut c = UnrollCtx::new();
+        c.push("i", u);
+        c
+    }
+
+    fn acc() -> Access {
+        Access::new("a", vec![Idx::var("i")])
+    }
+
+    #[test]
+    fn matched_unroll_and_banking_is_clean() {
+        let s = analyze(&acc(), &arr(8), &ctx(8));
+        assert_eq!(s.copies, 8);
+        assert_eq!(s.max_demand, 1, "one access per bank");
+        assert_eq!(s.mux_ways, 1, "direct wiring");
+        assert_eq!(s.distinct_banks, 8);
+    }
+
+    #[test]
+    fn unroll_without_banks_serializes() {
+        let s = analyze(&acc(), &arr(1), &ctx(8));
+        assert_eq!(s.max_demand, 8, "all copies pile on the single bank");
+        assert_eq!(s.mux_ways, 1);
+    }
+
+    #[test]
+    fn unroll_nine_on_eight_banks_needs_indirection() {
+        // The Fig. 4b pitfall: 9 ∤ 8 — PE 0 must reach every bank, and two
+        // copies collide on bank 0.
+        let s = analyze(&acc(), &arr(8), &ctx(9));
+        assert_eq!(s.max_demand, 2);
+        assert_eq!(s.mux_ways, 8, "coset of ⟨9⟩ in Z₈ is everything");
+    }
+
+    #[test]
+    fn unroll_below_banking_needs_moderate_mux() {
+        // u = 4, B = 8: each PE reaches banks {c, c+4}.
+        let s = analyze(&acc(), &arr(8), &ctx(4));
+        assert_eq!(s.max_demand, 1);
+        assert_eq!(s.mux_ways, 2);
+    }
+
+    #[test]
+    fn constant_index_collides_across_copies() {
+        let a = Access::new("a", vec![Idx::Const(0)]);
+        let s = analyze(&a, &arr(8), &ctx(4));
+        assert_eq!(s.max_demand, 4, "every copy reads bank 0");
+        assert_eq!(s.mux_ways, 1);
+    }
+
+    #[test]
+    fn dynamic_index_is_worst_case() {
+        let a = Access::new("a", vec![Idx::Dynamic]);
+        let s = analyze(&a, &arr(8), &ctx(4));
+        assert_eq!(s.max_demand, 4);
+        assert_eq!(s.mux_ways, 8);
+    }
+
+    #[test]
+    fn sequential_loop_single_access() {
+        let s = analyze(&acc(), &arr(4), &UnrollCtx::new());
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.max_demand, 1);
+        // One PE sweeps all four banks over time.
+        assert_eq!(s.mux_ways, 4);
+    }
+
+    #[test]
+    fn strided_access_reach() {
+        // stride 2, u = 2 on 8 banks: step 4 → coset size 2.
+        let a = Access::new("a", vec![Idx::affine("i", 2, 0)]);
+        let s = analyze(&a, &arr(8), &ctx(2));
+        assert_eq!(s.mux_ways, 2);
+        assert_eq!(s.max_demand, 1);
+    }
+
+    #[test]
+    fn multidim_banking() {
+        let arr2 = ArrayDecl::new("m", 32, &[16, 16]).partitioned(&[2, 2]);
+        let mut c = UnrollCtx::new();
+        c.push("i", 2);
+        c.push("j", 2);
+        let a = Access::new("m", vec![Idx::var("i"), Idx::var("j")]);
+        let s = analyze(&a, &arr2, &c);
+        assert_eq!(s.copies, 4);
+        assert_eq!(s.max_demand, 1);
+        assert_eq!(s.distinct_banks, 4);
+    }
+
+    #[test]
+    fn copy_banks_concrete() {
+        let b = copy_banks(&acc(), &arr(8), &ctx(9));
+        assert_eq!(b.len(), 9);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[8], 0, "copy 8 wraps to bank 0");
+    }
+}

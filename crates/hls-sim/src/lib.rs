@@ -1,0 +1,45 @@
+//! # hls-sim
+//!
+//! A simulator for a *traditional* high-level-synthesis toolchain — the
+//! substrate the Dahlia paper evaluates against (Xilinx Vivado HLS /
+//! SDAccel targeting an UltraScale+ VU9P on AWS F1).
+//!
+//! The simulator consumes a loop-nest IR with per-array cyclic partitioning
+//! and per-loop unroll directives (the moral equivalent of
+//! `#pragma HLS ARRAY_PARTITION` and `#pragma HLS UNROLL`) and produces the
+//! estimates the paper's figures are drawn from: cycles, LUTs, FFs, DSPs,
+//! BRAMs, and LUT memories.
+//!
+//! It reproduces the paper's predictability pitfalls *mechanistically*:
+//! bank-port serialization, PE↔bank indirection muxes, and leftover-element
+//! hardware — plus deterministic "heuristic noise" on exactly those
+//! configurations, so Dahlia-accepted (clean) points stay smooth.
+//!
+//! ```
+//! use hls_sim::{estimate, Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+//!
+//! let k = Kernel::new("axpy")
+//!     .array(ArrayDecl::new("x", 32, &[1024]).partitioned(&[4]))
+//!     .stmt(
+//!         Loop::new("i", 1024)
+//!             .unrolled(4)
+//!             .stmt(Op::compute(OpKind::FMul)
+//!                 .read(Access::new("x", vec![Idx::var("i")]))
+//!                 .write(Access::new("x", vec![Idx::var("i")]))
+//!                 .into_stmt())
+//!             .into_stmt(),
+//!     );
+//! let e = estimate(&k);
+//! assert!(e.correct);
+//! assert!(e.cycles < 1024);
+//! ```
+
+pub mod bank;
+pub mod estimate;
+pub mod ir;
+pub mod schedule;
+
+pub use bank::{analyze, BankStats, UnrollCtx};
+pub use estimate::{estimate, Device, Estimate, VU9P};
+pub use ir::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind, Stmt};
+pub use schedule::{schedule_group, GroupSchedule};

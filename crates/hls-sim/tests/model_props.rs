@@ -1,0 +1,107 @@
+//! Property tests for the HLS substrate: scheduler lower bounds, estimator
+//! determinism, and model monotonicities on generated kernels.
+
+use proptest::prelude::*;
+
+use hls_sim::{
+    analyze, estimate, schedule_group, Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind, UnrollCtx,
+};
+
+fn kernel(n: u64, banks: u64, ports: u32, unroll: u64, stride: i64, offset: i64) -> Kernel {
+    Kernel::new(format!("prop-{n}-{banks}-{ports}-{unroll}-{stride}-{offset}"))
+        .array(ArrayDecl::new("a", 32, &[n]).partitioned(&[banks]).with_ports(ports))
+        .array(ArrayDecl::new("out", 32, &[n]).partitioned(&[banks]))
+        .stmt(
+            Loop::new("i", n)
+                .unrolled(unroll)
+                .stmt(
+                    Op::compute(OpKind::IntMul)
+                        .read(Access::new("a", vec![Idx::affine("i", stride, offset)]))
+                        .write(Access::new("out", vec![Idx::var("i")]))
+                        .into_stmt(),
+                )
+                .into_stmt(),
+        )
+}
+
+fn params() -> impl Strategy<Value = (u64, u64, u32, u64, i64, i64)> {
+    (
+        prop::sample::select(vec![16u64, 24, 64, 120]),
+        prop::sample::select(vec![1u64, 2, 3, 4, 8]),
+        prop::sample::select(vec![1u32, 2]),
+        1u64..=12,
+        prop::sample::select(vec![1i64, 2, 3]),
+        0i64..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Estimation is a pure function of the kernel.
+    #[test]
+    fn estimate_is_deterministic((n, b, p, u, s, o) in params()) {
+        let k = kernel(n, b, p, u, s, o);
+        prop_assert_eq!(estimate(&k), estimate(&k));
+    }
+
+    /// The scheduler's II respects the information-theoretic lower bound:
+    /// peak per-bank demand divided by the port count.
+    #[test]
+    fn scheduler_ii_meets_the_demand_bound((n, b, p, u, s, o) in params()) {
+        let arr = ArrayDecl::new("a", 32, &[n]).partitioned(&[b]).with_ports(p);
+        let access = Access::new("a", vec![Idx::affine("i", s, o)]);
+        let mut ctx = UnrollCtx::new();
+        ctx.push("i", u);
+        let stats = analyze(&access, &arr, &ctx);
+        let op = Op::compute(OpKind::IntAlu).read(access);
+        let sched = schedule_group(&[&op], &[arr], &ctx);
+        let bound = (stats.max_demand as f64 / p as f64).ceil() as u64;
+        prop_assert!(
+            sched.ii >= bound,
+            "II {} below demand bound {} (demand {}, ports {})",
+            sched.ii, bound, stats.max_demand, p
+        );
+        // And the scheduler issues every transaction.
+        prop_assert_eq!(sched.transactions, u.min(n));
+    }
+
+    /// Estimates never report zero resources for non-empty kernels, and the
+    /// design always fits the paper's device at these sizes.
+    #[test]
+    fn estimates_are_sane((n, b, p, u, s, o) in params()) {
+        let e = estimate(&kernel(n, b, p, u, s, o));
+        prop_assert!(e.cycles >= 1);
+        prop_assert!(e.luts > 0);
+        prop_assert!(e.fits(&hls_sim::VU9P));
+    }
+
+    /// Doubling the ports never makes latency worse (same kernel otherwise).
+    #[test]
+    fn more_ports_never_hurt_latency((n, b, _p, u, s, o) in params()) {
+        let one = estimate(&kernel(n, b, 1, u, s, o));
+        let two = estimate(&kernel(n, b, 2, u, s, o));
+        // Heuristic noise only fires on messy configs and is bounded by
+        // +25%; allow it.
+        prop_assert!(
+            two.cycles <= one.cycles * 5 / 4 + 8,
+            "2 ports {} vs 1 port {}",
+            two.cycles, one.cycles
+        );
+    }
+
+    /// Copies scale with the unroll product: mux width and demand are
+    /// always within [1, banks] and [1, copies] respectively.
+    #[test]
+    fn bank_stats_are_bounded((n, b, _p, u, s, o) in params()) {
+        let arr = ArrayDecl::new("a", 32, &[n]).partitioned(&[b]);
+        let access = Access::new("a", vec![Idx::affine("i", s, o)]);
+        let mut ctx = UnrollCtx::new();
+        ctx.push("i", u);
+        let stats = analyze(&access, &arr, &ctx);
+        prop_assert_eq!(stats.copies, u);
+        prop_assert!((1..=b).contains(&stats.mux_ways));
+        prop_assert!((1..=u).contains(&stats.max_demand));
+        prop_assert!(stats.distinct_banks <= b.min(u));
+    }
+}

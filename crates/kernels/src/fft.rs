@@ -1,0 +1,191 @@
+//! `fft-strided`: an iterative decimation-in-frequency FFT with strided
+//! butterfly loops (MachSuite's `fft/strided`).
+//!
+//! MachSuite's index arithmetic uses bitwise tricks; Dahlia has no bitwise
+//! operators, so the port walks the same butterfly schedule with explicit
+//! `while` loops (span halving, block stepping). The twiddle factors are
+//! host-provided tables, as in MachSuite.
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::Bench;
+
+/// Dahlia source for an `n`-point DIF FFT (`n` a power of two).
+pub fn fft_strided_source(n: u64) -> String {
+    let half = n / 2;
+    format!(
+        "decl real: float{{2}}[{n}];
+decl img: float{{2}}[{n}];
+decl real_twid: float[{half}];
+decl img_twid: float[{half}];
+let span = {half} + 0;
+while (span > 0) {{
+  let base = 0;
+  while (base < {n}) {{
+    let off = 0;
+    while (off < span) {{
+      let even = base + off;
+      let odd = even + span;
+      let tw = off * ({half} / span);
+      let er = real[even]; let orr = real[odd]
+      ---
+      let ei = img[even]; let oi = img[odd]
+      ---
+      let rt = real_twid[tw]; let it = img_twid[tw]
+      ---
+      real[even] := er + orr; img[even] := ei + oi
+      ---
+      real[odd] := (er - orr) * rt - (ei - oi) * it
+      ---
+      img[odd] := (er - orr) * it + (ei - oi) * rt;
+      off := off + 1;
+    }}
+    base := base + span + span;
+  }}
+  span := span / 2;
+}}
+"
+    )
+}
+
+/// Reference DIF FFT with the same butterfly schedule.
+pub fn fft_reference(n: usize, real: &mut Vec<f64>, img: &mut Vec<f64>, rt: &[f64], it: &[f64]) {
+    let half = n / 2;
+    let mut span = half;
+    while span > 0 {
+        let mut base = 0;
+        while base < n {
+            for off in 0..span {
+                let even = base + off;
+                let odd = even + span;
+                let tw = off * (half / span);
+                let (er, or_) = (real[even], real[odd]);
+                let (ei, oi) = (img[even], img[odd]);
+                real[even] = er + or_;
+                img[even] = ei + oi;
+                real[odd] = (er - or_) * rt[tw] - (ei - oi) * it[tw];
+                img[odd] = (er - or_) * it[tw] + (ei - oi) * rt[tw];
+            }
+            base += 2 * span;
+        }
+        span /= 2;
+    }
+}
+
+/// Baseline fft-strided in the HLS IR.
+pub fn fft_strided_baseline(n: u64) -> Kernel {
+    let log = 64 - (n - 1).leading_zeros() as u64;
+    // One radix-2 butterfly: 4 multiplies and 6 add/subs on complex data.
+    let butterflies = Loop::new("i", n / 2)
+        .stmt(
+            Op::compute(OpKind::FAdd)
+                .read(Access::new("real", vec![Idx::Dynamic]))
+                .read(Access::new("real", vec![Idx::Dynamic]))
+                .write(Access::new("real", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(
+            Op::compute(OpKind::FMul)
+                .read(Access::new("img", vec![Idx::Dynamic]))
+                .read(Access::new("img", vec![Idx::Dynamic]))
+                .read(Access::new("real_twid", vec![Idx::Dynamic]))
+                .read(Access::new("img_twid", vec![Idx::Dynamic]))
+                .write(Access::new("img", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::FMul).into_stmt())
+        .stmt(Op::compute(OpKind::FMul).into_stmt())
+        .stmt(Op::compute(OpKind::FMul).into_stmt())
+        .stmt(Op::compute(OpKind::FAdd).into_stmt())
+        .stmt(Op::compute(OpKind::FAdd).into_stmt())
+        .stmt(Op::compute(OpKind::FAdd).into_stmt())
+        .stmt(Op::compute(OpKind::FAdd).into_stmt())
+        .stmt(Op::compute(OpKind::FAdd).into_stmt());
+    let stages = Loop::new("s", log).stmt(butterflies.into_stmt());
+    Kernel::new("fft-strided")
+        .array(ArrayDecl::new("real", 32, &[n]).with_ports(2))
+        .array(ArrayDecl::new("img", 32, &[n]).with_ports(2))
+        .array(ArrayDecl::new("real_twid", 32, &[n / 2]))
+        .array(ArrayDecl::new("img_twid", 32, &[n / 2]))
+        .stmt(stages.into_stmt())
+}
+
+/// Default fft-strided bench entry.
+pub fn fft_strided_bench() -> Bench {
+    Bench {
+        name: "fft-strided",
+        source: fft_strided_source(64),
+        baseline: fft_strided_baseline(64),
+    }
+}
+
+/// FFT inputs: a coarse-valued signal plus proper cos/sin twiddles.
+#[allow(clippy::type_complexity)]
+pub fn fft_inputs(
+    n: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = crate::Prng::new(seed);
+    let real: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect();
+    let img: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect();
+    let half = n / 2;
+    let rt: Vec<f64> =
+        (0..half).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()).collect();
+    let it: Vec<f64> =
+        (0..half).map(|i| -(2.0 * std::f64::consts::PI * i as f64 / n as f64).sin()).collect();
+    let to_vals = |v: &[f64]| v.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>();
+    let inputs = HashMap::from([
+        ("real".to_string(), to_vals(&real)),
+        ("img".to_string(), to_vals(&img)),
+        ("real_twid".to_string(), to_vals(&rt)),
+        ("img_twid".to_string(), to_vals(&it)),
+    ]);
+    (inputs, real, img, rt, it)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_floats_match, run_checked};
+
+    #[test]
+    fn fft_matches_reference_schedule() {
+        let n = 16;
+        let (inputs, mut real, mut img, rt, it) = fft_inputs(n, 5);
+        let out = run_checked(&fft_strided_source(n as u64), &inputs);
+        fft_reference(n, &mut real, &mut img, &rt, &it);
+        assert_floats_match("real", &out.mems["real"], &real, 1e-9);
+        assert_floats_match("img", &out.mems["img"], &img, 1e-9);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        // FFT of δ[0]: every (bit-reversed) output bin equals 1.
+        let n = 8usize;
+        let half = n / 2;
+        let rt: Vec<Value> = (0..half)
+            .map(|i| Value::Float((2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()))
+            .collect();
+        let it: Vec<Value> = (0..half)
+            .map(|i| Value::Float(-(2.0 * std::f64::consts::PI * i as f64 / n as f64).sin()))
+            .collect();
+        let mut real = vec![Value::Float(0.0); n];
+        real[0] = Value::Float(1.0);
+        let inputs = HashMap::from([
+            ("real".to_string(), real),
+            ("img".to_string(), vec![Value::Float(0.0); n]),
+            ("real_twid".to_string(), rt),
+            ("img_twid".to_string(), it),
+        ]);
+        let out = run_checked(&fft_strided_source(n as u64), &inputs);
+        for v in &out.mems["real"] {
+            assert!((v.as_f64() - 1.0).abs() < 1e-9, "{v:?}");
+        }
+        for v in &out.mems["img"] {
+            assert!(v.as_f64().abs() < 1e-9, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Breadth-first search: `bfs-bulk` (horizon sweeps) and `bfs-queue`
+//! (worklist). Both are irregular, data-dependent kernels — sequential
+//! `while` loops in Dahlia, with ordered composition separating the
+//! level-array reads from the writes.
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::{Bench, Prng};
+
+/// Dahlia source for bulk (horizon-by-horizon) BFS over `n` nodes.
+///
+/// `level` arrives initialized by the host: −1 everywhere except the start
+/// node, which is 0 (MachSuite does the same).
+pub fn bfs_bulk_source(n: u64, e: u64) -> String {
+    format!(
+        "decl nodes_begin: bit<32>[{n}];
+decl nodes_end: bit<32>[{n}];
+decl edges: bit<32>[{e}];
+decl level: bit<32>[{n}];
+let horizon = 0;
+let cnt = 1;
+while (cnt > 0) {{
+  cnt := 0;
+  let v = 0;
+  while (v < {n}) {{
+    let l = level[v]
+    ---
+    if (l == horizon) {{
+      let b = nodes_begin[v]; let e2 = nodes_end[v]
+      ---
+      let j = b + 0;
+      while (j < e2) {{
+        let dst = edges[j]
+        ---
+        let dl = level[dst]
+        ---
+        if (dl == 0 - 1) {{
+          level[dst] := horizon + 1;
+          cnt := cnt + 1;
+        }}
+        j := j + 1;
+      }}
+    }}
+    v := v + 1;
+  }}
+  ---
+  horizon := horizon + 1;
+}}
+"
+    )
+}
+
+/// Reference BFS levels.
+pub fn bfs_reference(n: usize, begin: &[i64], end: &[i64], edges: &[i64], start: usize) -> Vec<i64> {
+    let mut level = vec![-1i64; n];
+    level[start] = 0;
+    let mut frontier = vec![start];
+    let mut horizon = 0i64;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for j in begin[v] as usize..end[v] as usize {
+                let dst = edges[j] as usize;
+                if level[dst] == -1 {
+                    level[dst] = horizon + 1;
+                    next.push(dst);
+                }
+            }
+        }
+        frontier = next;
+        horizon += 1;
+    }
+    level
+}
+
+/// Dahlia source for queue-based BFS.
+pub fn bfs_queue_source(n: u64, e: u64) -> String {
+    format!(
+        "decl nodes_begin: bit<32>[{n}];
+decl nodes_end: bit<32>[{n}];
+decl edges: bit<32>[{e}];
+decl level: bit<32>[{n}];
+decl queue: bit<32>[{n}];
+let head = 0;
+let tail = 1;
+while (head < tail) {{
+  let v = queue[head]
+  ---
+  let b = nodes_begin[v]; let e2 = nodes_end[v]
+  ---
+  let lvl = level[v]
+  ---
+  let j = b + 0;
+  while (j < e2) {{
+    let dst = edges[j]
+    ---
+    let dl = level[dst]
+    ---
+    if (dl == 0 - 1) {{
+      level[dst] := lvl + 1
+      ---
+      queue[tail] := dst;
+      tail := tail + 1;
+    }}
+    j := j + 1;
+  }}
+  ---
+  head := head + 1;
+}}
+"
+    )
+}
+
+/// Build a deterministic random graph in CSR form with out-degree `deg`.
+#[allow(clippy::type_complexity)]
+pub fn graph_inputs(
+    n: usize,
+    deg: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut rng = Prng::new(seed);
+    let mut begin = Vec::with_capacity(n);
+    let mut end = Vec::with_capacity(n);
+    let mut edges = Vec::with_capacity(n * deg);
+    for v in 0..n {
+        begin.push(Value::Int((v * deg) as i64));
+        end.push(Value::Int(((v + 1) * deg) as i64));
+        for _ in 0..deg {
+            edges.push(Value::Int(rng.below(n as u64) as i64));
+        }
+    }
+    let mut level = vec![Value::Int(-1); n];
+    level[0] = Value::Int(0);
+    let mut queue = vec![Value::Int(0); n];
+    queue[0] = Value::Int(0);
+    let raw = (
+        begin.iter().map(|v| v.as_i64()).collect(),
+        end.iter().map(|v| v.as_i64()).collect(),
+        edges.iter().map(|v| v.as_i64()).collect(),
+    );
+    let inputs = HashMap::from([
+        ("nodes_begin".to_string(), begin),
+        ("nodes_end".to_string(), end),
+        ("edges".to_string(), edges),
+        ("level".to_string(), level),
+        ("queue".to_string(), queue),
+    ]);
+    (inputs, raw.0, raw.1, raw.2)
+}
+
+/// Shared BFS baseline shape in the HLS IR.
+fn bfs_baseline(name: &str, n: u64, e: u64) -> Kernel {
+    let inner = Loop::new("j", (e / n).max(1))
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("edges", vec![Idx::Dynamic]))
+                .read(Access::new("level", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(
+            Op::compute(OpKind::Logic)
+                .write(Access::new("level", vec![Idx::Dynamic]))
+                .into_stmt(),
+        );
+    let outer = Loop::new("v", n)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("nodes_begin", vec![Idx::var("v")]))
+                .read(Access::new("nodes_end", vec![Idx::var("v")]))
+                .into_stmt(),
+        )
+        .stmt(inner.into_stmt());
+    // Horizon sweeps: a handful of passes over all nodes.
+    let sweeps = Loop::new("h", 8).stmt(outer.into_stmt());
+    Kernel::new(name)
+        .array(ArrayDecl::new("nodes_begin", 32, &[n]))
+        .array(ArrayDecl::new("nodes_end", 32, &[n]))
+        .array(ArrayDecl::new("edges", 32, &[e]))
+        .array(ArrayDecl::new("level", 32, &[n]))
+        .stmt(sweeps.into_stmt())
+}
+
+/// Default bfs-bulk bench entry.
+pub fn bfs_bulk_bench() -> Bench {
+    Bench {
+        name: "bfs-bulk",
+        source: bfs_bulk_source(64, 256),
+        baseline: bfs_baseline("bfs-bulk", 64, 256),
+    }
+}
+
+/// Default bfs-queue bench entry.
+pub fn bfs_queue_bench() -> Bench {
+    Bench {
+        name: "bfs-queue",
+        source: bfs_queue_source(64, 256),
+        baseline: bfs_baseline("bfs-queue", 64, 256),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_ints_match, run_checked};
+
+    #[test]
+    fn bulk_matches_reference() {
+        let (inputs, begin, end, edges) = graph_inputs(16, 4, 3);
+        let out = run_checked(&bfs_bulk_source(16, 64), &inputs);
+        let want = bfs_reference(16, &begin, &end, &edges, 0);
+        assert_ints_match("level", &out.mems["level"], &want);
+    }
+
+    #[test]
+    fn queue_matches_reference() {
+        let (inputs, begin, end, edges) = graph_inputs(16, 4, 11);
+        let out = run_checked(&bfs_queue_source(16, 64), &inputs);
+        let want = bfs_reference(16, &begin, &end, &edges, 0);
+        assert_ints_match("level", &out.mems["level"], &want);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_unreached() {
+        // A line graph 0→1, everything else self-loops at node 2.
+        let n = 4;
+        let inputs = HashMap::from([
+            ("nodes_begin".to_string(), vec![0, 1, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()),
+            ("nodes_end".to_string(), vec![1, 2, 3, 4].into_iter().map(Value::Int).collect::<Vec<_>>()),
+            ("edges".to_string(), vec![1, 0, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()),
+            ("level".to_string(), vec![Value::Int(0), Value::Int(-1), Value::Int(-1), Value::Int(-1)]),
+            ("queue".to_string(), vec![Value::Int(0); n]),
+        ]);
+        let out = run_checked(&bfs_queue_source(n as u64, 4), &inputs);
+        assert_ints_match("level", &out.mems["level"], &[0, 1, -1, -1]);
+    }
+}

@@ -1,0 +1,147 @@
+//! `nw`: Needleman–Wunsch sequence alignment (dynamic programming).
+//!
+//! The wavefront recurrence carries dependencies in both dimensions, so the
+//! port keeps everything sequential and uses ordered composition to
+//! separate the three score-matrix reads — the Dahlia-typed statement of
+//! "this loop cannot be parallelized as written".
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::{int_input, Bench, Prng};
+
+/// Match/mismatch/gap scores (MachSuite's values).
+const MATCH: i64 = 1;
+const MISMATCH: i64 = -1;
+const GAP: i64 = -1;
+
+/// Dahlia source for NW over sequences of length `alen` and `blen`.
+pub fn nw_source(alen: u64, blen: u64) -> String {
+    let (a1, b1) = (alen + 1, blen + 1);
+    format!(
+        "decl seqa: bit<32>[{alen}];
+decl seqb: bit<32>[{blen}];
+decl m: bit<32>[{a1}][{b1}];
+// Boundary rows: gap penalties.
+for (let j = 0..{b1}) {{
+  m[0][j] := j * ({GAP});
+}}
+---
+for (let i = 0..{a1}) {{
+  m[i][0] := i * ({GAP});
+}}
+---
+for (let i = 1..{a1}) {{
+  for (let j = 1..{b1}) {{
+    let av = seqa[i - 1]; let bv = seqb[j - 1]
+    ---
+    let diag = m[i - 1][j - 1]
+    ---
+    let up = m[i - 1][j]
+    ---
+    let left = m[i][j - 1]
+    ---
+    let sc = {MISMATCH};
+    if (av == bv) {{ sc := {MATCH}; }}
+    ---
+    let best = diag + sc;
+    if (up + ({GAP}) > best) {{ best := up + ({GAP}); }}
+    ---
+    if (left + ({GAP}) > best) {{ best := left + ({GAP}); }}
+    ---
+    m[i][j] := best;
+  }}
+}}
+"
+    )
+}
+
+/// Reference NW score matrix.
+pub fn nw_reference(seqa: &[i64], seqb: &[i64]) -> Vec<i64> {
+    let (a1, b1) = (seqa.len() + 1, seqb.len() + 1);
+    let mut m = vec![0i64; a1 * b1];
+    for j in 0..b1 {
+        m[j] = j as i64 * GAP;
+    }
+    for i in 0..a1 {
+        m[i * b1] = i as i64 * GAP;
+    }
+    for i in 1..a1 {
+        for j in 1..b1 {
+            let sc = if seqa[i - 1] == seqb[j - 1] { MATCH } else { MISMATCH };
+            let mut best = m[(i - 1) * b1 + (j - 1)] + sc;
+            best = best.max(m[(i - 1) * b1 + j] + GAP);
+            best = best.max(m[i * b1 + (j - 1)] + GAP);
+            m[i * b1 + j] = best;
+        }
+    }
+    m
+}
+
+/// Baseline nw in the HLS IR.
+pub fn nw_baseline(alen: u64, blen: u64) -> Kernel {
+    let cell = Op::compute(OpKind::IntAlu)
+        .read(Access::new("seqa", vec![Idx::affine("i", 1, -1)]))
+        .read(Access::new("seqb", vec![Idx::affine("j", 1, -1)]))
+        .read(Access::new("m", vec![Idx::affine("i", 1, -1), Idx::affine("j", 1, -1)]))
+        .write(Access::new("m", vec![Idx::var("i"), Idx::var("j")]));
+    let nest = Loop::new("i", alen).stmt(
+        Loop::new("j", blen)
+            .stmt(cell.into_stmt())
+            .stmt(Op::compute(OpKind::IntAlu).into_stmt())
+            .stmt(Op::compute(OpKind::Logic).into_stmt())
+            .into_stmt(),
+    );
+    Kernel::new("nw")
+        .array(ArrayDecl::new("seqa", 32, &[alen]))
+        .array(ArrayDecl::new("seqb", 32, &[blen]))
+        .array(ArrayDecl::new("m", 32, &[alen + 1, blen + 1]))
+        .stmt(nest.into_stmt())
+}
+
+/// Default nw bench entry.
+pub fn nw_bench() -> Bench {
+    Bench { name: "nw", source: nw_source(32, 32), baseline: nw_baseline(32, 32) }
+}
+
+/// Inputs: two random sequences over a 4-symbol alphabet.
+pub fn nw_inputs(alen: usize, blen: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
+    let mut rng = Prng::new(seed);
+    let a = int_input(&mut rng, alen, 4);
+    let b = int_input(&mut rng, blen, 4);
+    let raw = (a.iter().map(|v| v.as_i64()).collect(), b.iter().map(|v| v.as_i64()).collect());
+    let inputs = HashMap::from([("seqa".to_string(), a), ("seqb".to_string(), b)]);
+    (inputs, raw.0, raw.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_ints_match, run_checked};
+
+    #[test]
+    fn nw_matches_reference() {
+        let (inputs, a, b) = nw_inputs(8, 8, 3);
+        let out = run_checked(&nw_source(8, 8), &inputs);
+        assert_ints_match("m", &out.mems["m"], &nw_reference(&a, &b));
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly() {
+        let seq: Vec<Value> = (0..6).map(|i| Value::Int(i % 4)).collect();
+        let inputs =
+            HashMap::from([("seqa".to_string(), seq.clone()), ("seqb".to_string(), seq)]);
+        let out = run_checked(&nw_source(6, 6), &inputs);
+        // Bottom-right cell: 6 matches = score 6.
+        assert_eq!(out.mems["m"].last().unwrap().as_i64(), 6);
+    }
+
+    #[test]
+    fn asymmetric_lengths_work() {
+        let (inputs, a, b) = nw_inputs(6, 10, 7);
+        let out = run_checked(&nw_source(6, 10), &inputs);
+        assert_ints_match("m", &out.mems["m"], &nw_reference(&a, &b));
+    }
+}

@@ -1,0 +1,249 @@
+//! Sorting: `sort-merge` (bottom-up merge sort) and `sort-radix`
+//! (LSD radix sort, 2-bit digits).
+//!
+//! Both are control-heavy kernels whose loops carry dependencies, so the
+//! Dahlia ports use sequential `while` loops with ordered composition —
+//! exactly the structures the paper assigns to non-doall computation.
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::{int_input, Bench, Prng};
+
+/// Dahlia source for bottom-up merge sort over `n` (a power of two) keys.
+pub fn sort_merge_source(n: u64) -> String {
+    format!(
+        "decl a: bit<32>{{2}}[{n}];
+let tmp: bit<32>[{n}];
+let width = 1;
+while (width < {n}) {{
+  let lo = 0;
+  while (lo < {n}) {{
+    let mid = lo + width;
+    let hi = lo + width + width;
+    let i = lo + 0; let j = mid + 0; let k = lo + 0;
+    while (k < hi) {{
+      let take_i = false;
+      if (j >= hi) {{ take_i := true; }}
+      else {{
+        if (i < mid) {{ take_i := a[i] <= a[j]; }}
+      }}
+      ---
+      if (take_i) {{ tmp[k] := a[i]; i := i + 1; }}
+      else {{ tmp[k] := a[j]; j := j + 1; }}
+      k := k + 1;
+    }}
+    ---
+    let c = lo + 0;
+    while (c < hi) {{
+      let v = tmp[c]
+      ---
+      a[c] := v;
+      c := c + 1;
+    }}
+    ---
+    lo := lo + width + width;
+  }}
+  ---
+  width := width + width;
+}}
+"
+    )
+}
+
+/// Reference sort.
+pub fn sort_reference(a: &[i64]) -> Vec<i64> {
+    let mut v = a.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Baseline sort-merge in the HLS IR (log n passes over n keys).
+pub fn sort_merge_baseline(n: u64) -> Kernel {
+    let passes = 64 - (n - 1).leading_zeros() as u64;
+    let merge = Loop::new("k", n)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("a", vec![Idx::Dynamic]))
+                .read(Access::new("a", vec![Idx::Dynamic]))
+                .write(Access::new("tmp", vec![Idx::var("k")]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::Logic).into_stmt());
+    let copy = Loop::new("c", n).stmt(
+        Op::compute(OpKind::Copy)
+            .read(Access::new("tmp", vec![Idx::var("c")]))
+            .write(Access::new("a", vec![Idx::var("c")]))
+            .into_stmt(),
+    );
+    let pass = Loop::new("w", passes).stmt(merge.into_stmt()).stmt(copy.into_stmt());
+    Kernel::new("sort-merge")
+        .array(ArrayDecl::new("a", 32, &[n]).with_ports(2))
+        .array(ArrayDecl::new("tmp", 32, &[n]))
+        .stmt(pass.into_stmt())
+}
+
+/// Default sort-merge bench entry.
+pub fn sort_merge_bench() -> Bench {
+    Bench { name: "sort-merge", source: sort_merge_source(64), baseline: sort_merge_baseline(64) }
+}
+
+// ------------------------------------------------------------- sort-radix
+
+/// Dahlia source for LSD radix sort over `n` 8-bit keys, 2 bits per pass.
+pub fn sort_radix_source(n: u64) -> String {
+    format!(
+        "decl a: bit<32>[{n}];
+let b: bit<32>[{n}];
+let bucket: bit<32>[4];
+let ptr: bit<32>[4];
+let shifts: bit<32>[4 bank 4];
+shifts[0] := 1; shifts[1] := 4; shifts[2] := 16; shifts[3] := 64;
+---
+for (let pass = 0..4) {{
+  let sh = shifts[pass];
+  ---
+  for (let d = 0..4) {{
+    bucket[d] := 0;
+  }}
+  ---
+  // Histogram.
+  for (let i = 0..{n}) {{
+    let key = a[i]
+    ---
+    let digit = (key / sh) % 4
+    ---
+    bucket[digit] += 1;
+  }}
+  ---
+  // Exclusive prefix into ptr: ptr[0] = 0; ptr[d] = ptr[d-1] + bucket[d-1].
+  ptr[0] := 0
+  ---
+  let d2 = 1;
+  while (d2 < 4) {{
+    let prev = ptr[d2 - 1]
+    ---
+    let cnt = bucket[d2 - 1]
+    ---
+    ptr[d2] := prev + cnt;
+    d2 := d2 + 1;
+  }}
+  ---
+  // Scatter.
+  for (let i = 0..{n}) {{
+    let key = a[i]
+    ---
+    let digit = (key / sh) % 4
+    ---
+    let pos = ptr[digit]
+    ---
+    b[pos] := key;
+    ptr[digit] += 1;
+  }}
+  ---
+  // Copy back.
+  for (let i = 0..{n}) {{
+    let t = b[i]
+    ---
+    a[i] := t;
+  }}
+}}
+"
+    )
+}
+
+/// Baseline sort-radix in the HLS IR.
+pub fn sort_radix_baseline(n: u64) -> Kernel {
+    let hist = Loop::new("i", n)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("a", vec![Idx::var("i")]))
+                .into_stmt(),
+        )
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("bucket", vec![Idx::Dynamic]))
+                .write(Access::new("bucket", vec![Idx::Dynamic]))
+                .into_stmt(),
+        );
+    let scan = Loop::new("d", 4).stmt(
+        Op::compute(OpKind::IntAlu)
+            .read(Access::new("bucket", vec![Idx::Dynamic]))
+            .write(Access::new("ptr", vec![Idx::var("d")]))
+            .into_stmt(),
+    );
+    let scatter = Loop::new("i", n)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("a", vec![Idx::var("i")]))
+                .read(Access::new("ptr", vec![Idx::Dynamic]))
+                .write(Access::new("b", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt());
+    let copy = Loop::new("i", n).stmt(
+        Op::compute(OpKind::Copy)
+            .read(Access::new("b", vec![Idx::var("i")]))
+            .write(Access::new("a", vec![Idx::var("i")]))
+            .into_stmt(),
+    );
+    let pass = Loop::new("pass", 4)
+        .stmt(hist.into_stmt())
+        .stmt(scan.into_stmt())
+        .stmt(scatter.into_stmt())
+        .stmt(copy.into_stmt());
+    Kernel::new("sort-radix")
+        .array(ArrayDecl::new("a", 32, &[n]))
+        .array(ArrayDecl::new("b", 32, &[n]))
+        .array(ArrayDecl::new("bucket", 32, &[4]))
+        .array(ArrayDecl::new("ptr", 32, &[4]))
+        .stmt(pass.into_stmt())
+}
+
+/// Default sort-radix bench entry.
+pub fn sort_radix_bench() -> Bench {
+    Bench { name: "sort-radix", source: sort_radix_source(64), baseline: sort_radix_baseline(64) }
+}
+
+/// Inputs for either sort (keys fit in 8 bits for the radix passes).
+pub fn sort_inputs(n: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<i64>) {
+    let mut rng = Prng::new(seed);
+    let a = int_input(&mut rng, n, 256);
+    let raw = a.iter().map(|v| v.as_i64()).collect();
+    (HashMap::from([("a".to_string(), a)]), raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_ints_match, run_checked};
+
+    #[test]
+    fn merge_sort_correct() {
+        let (inputs, raw) = sort_inputs(16, 5);
+        let out = run_checked(&sort_merge_source(16), &inputs);
+        assert_ints_match("a", &out.mems["a"], &sort_reference(&raw));
+    }
+
+    #[test]
+    fn radix_sort_correct() {
+        let (inputs, raw) = sort_inputs(16, 9);
+        let out = run_checked(&sort_radix_source(16), &inputs);
+        assert_ints_match("a", &out.mems["a"], &sort_reference(&raw));
+    }
+
+    #[test]
+    fn radix_sort_is_stable_on_duplicates() {
+        let inputs = HashMap::from([(
+            "a".to_string(),
+            vec![7, 3, 7, 1, 3, 0, 255, 128]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>(),
+        )]);
+        let out = run_checked(&sort_radix_source(8), &inputs);
+        assert_ints_match("a", &out.mems["a"], &[0, 1, 3, 3, 7, 7, 128, 255]);
+    }
+}

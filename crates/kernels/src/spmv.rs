@@ -1,0 +1,247 @@
+//! Sparse matrix–vector multiply: `spmv-crs` (compressed row storage, with
+//! data-dependent row extents) and `spmv-ellpack` (regular padded rows).
+//!
+//! CRS is inherently sequential in Dahlia terms — the row extents come from
+//! memory, so the inner loop is a `while`; ELLPACK's regular structure uses
+//! `for` loops with a `combine` reduction.
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::{float_input, Bench, Prng};
+
+/// Dahlia source for spmv-crs over an `n×n` matrix with `nnz` non-zeros.
+pub fn spmv_crs_source(n: u64, nnz: u64) -> String {
+    let n1 = n + 1;
+    format!(
+        "decl vals: float[{nnz}];
+decl cols: bit<32>[{nnz}];
+decl rowd: bit<32>{{2}}[{n1}];
+decl vec: float[{n}];
+decl out: float[{n}];
+for (let i = 0..{n}) {{
+  let rbegin = rowd[i]; let rend = rowd[i + 1];
+  let sum = 0.0;
+  let j = rbegin + 0;
+  ---
+  while (j < rend) {{
+    let v = vals[j]; let c = cols[j]
+    ---
+    let x = vec[c]
+    ---
+    sum := sum + v * x;
+    j := j + 1;
+  }}
+  ---
+  out[i] := sum;
+}}
+"
+    )
+}
+
+/// Reference CRS SpMV.
+pub fn spmv_crs_reference(n: usize, vals: &[f64], cols: &[i64], rowd: &[i64], vec: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in rowd[i] as usize..rowd[i + 1] as usize {
+            sum += vals[j] * vec[cols[j] as usize];
+        }
+        out[i] = sum;
+    }
+    out
+}
+
+/// Baseline spmv-crs in the HLS IR.
+pub fn spmv_crs_baseline(n: u64, nnz: u64) -> Kernel {
+    let avg_row = (nnz / n).max(1);
+    let inner = Loop::new("j", avg_row)
+        .stmt(
+            Op::compute(OpKind::FMul)
+                .read(Access::new("vals", vec![Idx::Dynamic]))
+                .read(Access::new("cols", vec![Idx::Dynamic]))
+                .read(Access::new("vec", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::FAdd).into_stmt());
+    let outer = Loop::new("i", n)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("rowd", vec![Idx::var("i")]))
+                .into_stmt(),
+        )
+        .stmt(inner.into_stmt())
+        .stmt(
+            Op::compute(OpKind::Copy).write(Access::new("out", vec![Idx::var("i")])).into_stmt(),
+        );
+    Kernel::new("spmv-crs")
+        .array(ArrayDecl::new("vals", 32, &[nnz]))
+        .array(ArrayDecl::new("cols", 32, &[nnz]))
+        .array(ArrayDecl::new("rowd", 32, &[n + 1]).with_ports(2))
+        .array(ArrayDecl::new("vec", 32, &[n]))
+        .array(ArrayDecl::new("out", 32, &[n]))
+        .stmt(outer.into_stmt())
+}
+
+/// Default spmv-crs bench entry.
+pub fn spmv_crs_bench() -> Bench {
+    Bench {
+        name: "spmv-crs",
+        source: spmv_crs_source(64, 256),
+        baseline: spmv_crs_baseline(64, 256),
+    }
+}
+
+/// CRS inputs: a banded sparse matrix with `per_row` non-zeros per row.
+#[allow(clippy::type_complexity)]
+pub fn spmv_crs_inputs(
+    n: usize,
+    per_row: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<i64>, Vec<i64>, Vec<f64>) {
+    let mut rng = Prng::new(seed);
+    let nnz = n * per_row;
+    let vals = float_input(&mut rng, nnz);
+    let mut cols = Vec::with_capacity(nnz);
+    for i in 0..n {
+        for _ in 0..per_row {
+            cols.push(Value::Int(((i + rng.below(8) as usize) % n) as i64));
+        }
+    }
+    let rowd: Vec<Value> = (0..=n).map(|i| Value::Int((i * per_row) as i64)).collect();
+    let vecv = float_input(&mut rng, n);
+    let raw = (
+        vals.iter().map(|v| v.as_f64()).collect(),
+        cols.iter().map(|v| v.as_i64()).collect(),
+        rowd.iter().map(|v| v.as_i64()).collect(),
+        vecv.iter().map(|v| v.as_f64()).collect(),
+    );
+    let inputs = HashMap::from([
+        ("vals".to_string(), vals),
+        ("cols".to_string(), cols),
+        ("rowd".to_string(), rowd),
+        ("vec".to_string(), vecv),
+    ]);
+    (inputs, raw.0, raw.1, raw.2, raw.3)
+}
+
+// ---------------------------------------------------------------- ellpack
+
+/// Dahlia source for spmv-ellpack (`n` rows, `l` padded entries per row).
+pub fn spmv_ellpack_source(n: u64, l: u64) -> String {
+    format!(
+        "decl nzval: float[{n}][{l}];
+decl cols: bit<32>[{n}][{l}];
+decl vec: float[{n}];
+decl out: float[{n}];
+for (let i = 0..{n}) {{
+  let sum = 0.0;
+  for (let j = 0..{l}) {{
+    let v = nzval[i][j]; let c = cols[i][j]
+    ---
+    let x = vec[c]
+    ---
+    let prod = v * x;
+  }} combine {{
+    sum += prod;
+  }}
+  ---
+  out[i] := sum;
+}}
+"
+    )
+}
+
+/// Reference ELLPACK SpMV.
+pub fn spmv_ellpack_reference(n: usize, l: usize, nzval: &[f64], cols: &[i64], vec: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..l {
+            sum += nzval[i * l + j] * vec[cols[i * l + j] as usize];
+        }
+        out[i] = sum;
+    }
+    out
+}
+
+/// Baseline spmv-ellpack in the HLS IR.
+pub fn spmv_ellpack_baseline(n: u64, l: u64) -> Kernel {
+    let inner = Loop::new("j", l)
+        .stmt(
+            Op::compute(OpKind::FMul)
+                .read(Access::new("nzval", vec![Idx::var("i"), Idx::var("j")]))
+                .read(Access::new("cols", vec![Idx::var("i"), Idx::var("j")]))
+                .read(Access::new("vec", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::FAdd).into_stmt());
+    let outer = Loop::new("i", n)
+        .stmt(inner.into_stmt())
+        .stmt(Op::compute(OpKind::Copy).write(Access::new("out", vec![Idx::var("i")])).into_stmt());
+    Kernel::new("spmv-ellpack")
+        .array(ArrayDecl::new("nzval", 32, &[n, l]))
+        .array(ArrayDecl::new("cols", 32, &[n, l]))
+        .array(ArrayDecl::new("vec", 32, &[n]))
+        .array(ArrayDecl::new("out", 32, &[n]))
+        .stmt(outer.into_stmt())
+}
+
+/// Default spmv-ellpack bench entry.
+pub fn spmv_ellpack_bench() -> Bench {
+    Bench {
+        name: "spmv-ellpack",
+        source: spmv_ellpack_source(64, 8),
+        baseline: spmv_ellpack_baseline(64, 8),
+    }
+}
+
+/// ELLPACK inputs.
+#[allow(clippy::type_complexity)]
+pub fn spmv_ellpack_inputs(
+    n: usize,
+    l: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<i64>, Vec<f64>) {
+    let mut rng = Prng::new(seed);
+    let nzval = float_input(&mut rng, n * l);
+    let cols: Vec<Value> = (0..n * l).map(|_| Value::Int(rng.below(n as u64) as i64)).collect();
+    let vecv = float_input(&mut rng, n);
+    let raw = (
+        nzval.iter().map(|v| v.as_f64()).collect(),
+        cols.iter().map(|v| v.as_i64()).collect(),
+        vecv.iter().map(|v| v.as_f64()).collect(),
+    );
+    let inputs = HashMap::from([
+        ("nzval".to_string(), nzval),
+        ("cols".to_string(), cols),
+        ("vec".to_string(), vecv),
+    ]);
+    (inputs, raw.0, raw.1, raw.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_floats_match, run_checked};
+
+    #[test]
+    fn crs_correct() {
+        let src = spmv_crs_source(16, 16 * 4);
+        let (inputs, vals, cols, rowd, vecv) = spmv_crs_inputs(16, 4, 3);
+        let out = run_checked(&src, &inputs);
+        let want = spmv_crs_reference(16, &vals, &cols, &rowd, &vecv);
+        assert_floats_match("out", &out.mems["out"], &want, 1e-9);
+    }
+
+    #[test]
+    fn ellpack_correct() {
+        let src = spmv_ellpack_source(16, 4);
+        let (inputs, nzval, cols, vecv) = spmv_ellpack_inputs(16, 4, 7);
+        let out = run_checked(&src, &inputs);
+        let want = spmv_ellpack_reference(16, 4, &nzval, &cols, &vecv);
+        assert_floats_match("out", &out.mems["out"], &want, 1e-9);
+    }
+}

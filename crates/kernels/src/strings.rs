@@ -1,0 +1,331 @@
+//! `kmp` (Knuth–Morris–Pratt string matching) and `aes` (a block cipher
+//! with AES's round structure).
+//!
+//! Dahlia has no bitwise operators, so the AES port substitutes modular
+//! addition for XOR in AddRoundKey (the table-lookup, permutation, and
+//! round-loop structure — what determines the hardware — is preserved; see
+//! DESIGN.md's substitution table).
+
+use std::collections::HashMap;
+
+use dahlia_core::interp::Value;
+use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+
+use crate::{Bench, Prng};
+
+/// Dahlia source for KMP over an input of `ss` symbols with a pattern of
+/// `ps` symbols.
+pub fn kmp_source(ps: u64, ss: u64) -> String {
+    format!(
+        "decl pattern: bit<32>{{2}}[{ps}];
+decl input: bit<32>[{ss}];
+decl kmp_next: bit<32>[{ps}];
+decl n_matches: bit<32>[1];
+// Failure function.
+let k = 0;
+kmp_next[0] := 0
+---
+let q = 1;
+while (q < {ps}) {{
+  let walking = true;
+  while (walking) {{
+    let pk = pattern[k]; let pq = pattern[q]
+    ---
+    if (k > 0 && pk != pq) {{
+      let t = kmp_next[k - 1]
+      ---
+      k := t;
+    }} else {{
+      walking := false;
+    }}
+  }}
+  ---
+  let pk2 = pattern[k]; let pq2 = pattern[q]
+  ---
+  if (pk2 == pq2) {{ k := k + 1; }}
+  ---
+  kmp_next[q] := k;
+  q := q + 1;
+}}
+---
+// Matching.
+let kk = 0;
+let i = 0;
+while (i < {ss}) {{
+  let c = input[i]
+  ---
+  let walking2 = true;
+  while (walking2) {{
+    let pk3 = pattern[kk]
+    ---
+    if (kk > 0 && pk3 != c) {{
+      let t2 = kmp_next[kk - 1]
+      ---
+      kk := t2;
+    }} else {{
+      walking2 := false;
+    }}
+  }}
+  ---
+  let pk4 = pattern[kk]
+  ---
+  if (pk4 == c) {{ kk := kk + 1; }}
+  ---
+  if (kk == {ps}) {{
+    n_matches[0] += 1
+    ---
+    let t3 = kmp_next[kk - 1]
+    ---
+    kk := t3;
+  }}
+  i := i + 1;
+}}
+"
+    )
+}
+
+/// Reference KMP match count.
+pub fn kmp_reference(pattern: &[i64], input: &[i64]) -> i64 {
+    let ps = pattern.len();
+    let mut next = vec![0usize; ps];
+    let mut k = 0usize;
+    for q in 1..ps {
+        while k > 0 && pattern[k] != pattern[q] {
+            k = next[k - 1];
+        }
+        if pattern[k] == pattern[q] {
+            k += 1;
+        }
+        next[q] = k;
+    }
+    let mut matches = 0;
+    let mut kk = 0usize;
+    for &c in input {
+        while kk > 0 && pattern[kk] != c {
+            kk = next[kk - 1];
+        }
+        if pattern[kk] == c {
+            kk += 1;
+        }
+        if kk == ps {
+            matches += 1;
+            kk = next[kk - 1];
+        }
+    }
+    matches
+}
+
+/// Baseline kmp in the HLS IR: failure-function construction plus the text
+/// scan, each with the prefix-walk compare/lookup datapath.
+pub fn kmp_baseline(ps: u64, ss: u64) -> Kernel {
+    let walk_ops = |l: Loop| {
+        l.stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("pattern", vec![Idx::Dynamic]))
+                .read(Access::new("kmp_next", vec![Idx::Dynamic]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::Logic).into_stmt())
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt())
+        .stmt(Op::compute(OpKind::Logic).into_stmt())
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt())
+    };
+    let build = walk_ops(Loop::new("q", ps))
+        .stmt(Op::compute(OpKind::Copy).write(Access::new("kmp_next", vec![Idx::var("q")])).into_stmt());
+    let scan = walk_ops(Loop::new("i", ss))
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("input", vec![Idx::var("i")]))
+                .read(Access::new("n_matches", vec![Idx::Const(0)]))
+                .write(Access::new("n_matches", vec![Idx::Const(0)]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::Logic).into_stmt());
+    Kernel::new("kmp")
+        .stmt(build.into_stmt())
+        .array(ArrayDecl::new("pattern", 32, &[ps]).with_ports(2))
+        .array(ArrayDecl::new("input", 32, &[ss]))
+        .array(ArrayDecl::new("kmp_next", 32, &[ps]))
+        .array(ArrayDecl::new("n_matches", 32, &[1]))
+        .stmt(scan.into_stmt())
+}
+
+/// Default kmp bench entry.
+pub fn kmp_bench() -> Bench {
+    Bench { name: "kmp", source: kmp_source(4, 256), baseline: kmp_baseline(4, 256) }
+}
+
+/// Inputs for kmp: random text with the pattern planted every 16 symbols so
+/// matches are guaranteed.
+pub fn kmp_inputs(ps: usize, ss: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
+    let mut rng = Prng::new(seed);
+    let pattern: Vec<i64> = (0..ps).map(|_| rng.below(3) as i64).collect();
+    let mut input: Vec<i64> = (0..ss).map(|_| rng.below(3) as i64).collect();
+    let mut at = 5;
+    while at + ps <= ss {
+        input[at..at + ps].copy_from_slice(&pattern);
+        at += 16;
+    }
+    let inputs = HashMap::from([
+        ("pattern".to_string(), pattern.iter().copied().map(Value::Int).collect::<Vec<_>>()),
+        ("input".to_string(), input.iter().copied().map(Value::Int).collect::<Vec<_>>()),
+    ]);
+    (inputs, pattern, input)
+}
+
+// --------------------------------------------------------------------- aes
+
+/// Rounds in the cipher (AES-256 has 14; we keep the structure with a
+/// configurable count).
+pub const AES_ROUNDS: u64 = 14;
+
+/// Dahlia source for the AES-structured cipher: each round applies
+/// SubBytes (S-box lookup), ShiftRows (permutation table), and AddRoundKey
+/// (modular addition standing in for XOR) to a 16-byte state.
+pub fn aes_source(rounds: u64) -> String {
+    format!(
+        "decl sbox: bit<32>[256];
+decl rk: bit<32>[{rounds}][16];
+decl shift_map: bit<32>[16];
+decl state: bit<32>[16];
+let tmp: bit<32>[16];
+for (let r = 0..{rounds}) {{
+  // SubBytes + AddRoundKey.
+  for (let i = 0..16) {{
+    let s = state[i]
+    ---
+    let sub = sbox[s]
+    ---
+    let kv = rk[r][i]
+    ---
+    tmp[i] := (sub + kv) % 256;
+  }}
+  ---
+  // ShiftRows (table-driven permutation).
+  for (let i = 0..16) {{
+    let p = shift_map[i]
+    ---
+    let v = tmp[p]
+    ---
+    state[i] := v;
+  }}
+}}
+"
+    )
+}
+
+/// Reference for the AES-structured cipher.
+pub fn aes_reference(
+    rounds: usize,
+    sbox: &[i64],
+    rk: &[i64],
+    shift_map: &[i64],
+    state0: &[i64],
+) -> Vec<i64> {
+    let mut state = state0.to_vec();
+    let mut tmp = vec![0i64; 16];
+    for r in 0..rounds {
+        for i in 0..16 {
+            tmp[i] = (sbox[state[i] as usize] + rk[r * 16 + i]) % 256;
+        }
+        for i in 0..16 {
+            state[i] = tmp[shift_map[i] as usize];
+        }
+    }
+    state
+}
+
+/// Baseline aes in the HLS IR.
+pub fn aes_baseline(rounds: u64) -> Kernel {
+    let sub = Loop::new("i", 16)
+        .stmt(
+            Op::compute(OpKind::IntAlu)
+                .read(Access::new("state", vec![Idx::var("i")]))
+                .read(Access::new("sbox", vec![Idx::Dynamic]))
+                .read(Access::new("rk", vec![Idx::var("r"), Idx::var("i")]))
+                .write(Access::new("tmp", vec![Idx::var("i")]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt());
+    let shift = Loop::new("i", 16).stmt(
+        Op::compute(OpKind::Copy)
+            .read(Access::new("shift_map", vec![Idx::var("i")]))
+            .read(Access::new("tmp", vec![Idx::Dynamic]))
+            .write(Access::new("state", vec![Idx::var("i")]))
+            .into_stmt(),
+    );
+    let round = Loop::new("r", rounds).stmt(sub.into_stmt()).stmt(shift.into_stmt());
+    Kernel::new("aes")
+        .array(ArrayDecl::new("sbox", 32, &[256]))
+        .array(ArrayDecl::new("rk", 32, &[rounds, 16]))
+        .array(ArrayDecl::new("shift_map", 32, &[16]))
+        .array(ArrayDecl::new("state", 32, &[16]))
+        .array(ArrayDecl::new("tmp", 32, &[16]))
+        .stmt(round.into_stmt())
+}
+
+/// Default aes bench entry.
+pub fn aes_bench() -> Bench {
+    Bench { name: "aes", source: aes_source(AES_ROUNDS), baseline: aes_baseline(AES_ROUNDS) }
+}
+
+/// Inputs for the cipher (S-box is a deterministic permutation-ish table).
+#[allow(clippy::type_complexity)]
+pub fn aes_inputs(
+    rounds: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut rng = Prng::new(seed);
+    let sbox: Vec<i64> = (0..256).map(|i| ((i as i64) * 7 + 13) % 256).collect();
+    let rk: Vec<i64> = (0..rounds * 16).map(|_| rng.below(256) as i64).collect();
+    // AES row shifts on a 4×4 column-major state.
+    let shift_map: Vec<i64> = (0..16)
+        .map(|i| {
+            let (row, col) = (i % 4, i / 4);
+            let src_col = (col + row) % 4;
+            (src_col * 4 + row) as i64
+        })
+        .collect();
+    let state: Vec<i64> = (0..16).map(|_| rng.below(256) as i64).collect();
+    let to_vals = |v: &[i64]| v.iter().copied().map(Value::Int).collect::<Vec<_>>();
+    let inputs = HashMap::from([
+        ("sbox".to_string(), to_vals(&sbox)),
+        ("rk".to_string(), to_vals(&rk)),
+        ("shift_map".to_string(), to_vals(&shift_map)),
+        ("state".to_string(), to_vals(&state)),
+    ]);
+    (inputs, sbox, rk, shift_map, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_ints_match, run_checked};
+
+    #[test]
+    fn kmp_counts_matches() {
+        let (inputs, pattern, input) = kmp_inputs(4, 64, 3);
+        let out = run_checked(&kmp_source(4, 64), &inputs);
+        let want = kmp_reference(&pattern, &input);
+        assert_eq!(out.mems["n_matches"][0].as_i64(), want, "pattern {pattern:?}");
+        assert!(want > 0, "workload should contain matches");
+    }
+
+    #[test]
+    fn kmp_no_match_case() {
+        let inputs = HashMap::from([
+            ("pattern".to_string(), vec![9, 9, 9, 9].into_iter().map(Value::Int).collect::<Vec<_>>()),
+            ("input".to_string(), vec![1; 32].into_iter().map(Value::Int).collect::<Vec<_>>()),
+        ]);
+        let out = run_checked(&kmp_source(4, 32), &inputs);
+        assert_eq!(out.mems["n_matches"][0].as_i64(), 0);
+    }
+
+    #[test]
+    fn aes_rounds_match_reference() {
+        let (inputs, sbox, rk, shift_map, state0) = aes_inputs(AES_ROUNDS as usize, 17);
+        let out = run_checked(&aes_source(AES_ROUNDS), &inputs);
+        let want = aes_reference(AES_ROUNDS as usize, &sbox, &rk, &shift_map, &state0);
+        assert_ints_match("state", &out.mems["state"], &want);
+    }
+}

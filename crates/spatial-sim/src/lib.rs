@@ -1,0 +1,206 @@
+//! # spatial-sim
+//!
+//! A model of the **Spatial** accelerator compiler's automatic banking
+//! inference (Koeplinger et al., PLDI 2018), as characterized in §7 and
+//! Appendix E of the Dahlia paper.
+//!
+//! Spatial, unlike plain HLS, *infers* a banking scheme from the parallel
+//! accesses in the program. The Dahlia paper's Fig. 9 / Fig. 13 experiment
+//! sweeps the inner-loop parallelization factor of a `gemm-ncubed` kernel
+//! from 1 to 16 and observes that whenever the inferred banking differs
+//! from the unrolling factor, resource usage jumps abruptly — the same
+//! predictability pitfall, one level of automation up.
+//!
+//! The inference rule modelled here: pick the smallest banking factor
+//! `B ≥ u` that evenly divides the memory dimension (Spatial's banking
+//! must tile the memory exactly); when even that fails, fall back to the
+//! dimension size itself (full partitioning).
+//!
+//! ```
+//! use spatial_sim::infer_banking;
+//! assert_eq!(infer_banking(8, 128), 8);   // matched
+//! assert_eq!(infer_banking(3, 128), 4);   // over-banked: 3 ∤ 128
+//! assert_eq!(infer_banking(9, 128), 16);  // over-banked: 9 ∤ 128
+//! ```
+
+use hls_sim::{estimate, Access, ArrayDecl, Device, Estimate, Idx, Kernel, Loop, Op, OpKind};
+
+/// The Zynq-7000 (XC7Z020) used for the Spatial experiments in Appendix E.
+pub const ZYNQ7020: Device = Device {
+    name: "xc7z020",
+    luts: 53_200,
+    ffs: 106_400,
+    brams: 280,
+    dsps: 220,
+};
+
+/// Spatial's banking inference: smallest factor ≥ `unroll` that divides
+/// `dim` evenly, else full partitioning.
+pub fn infer_banking(unroll: u64, dim: u64) -> u64 {
+    let u = unroll.max(1);
+    (u..=dim).find(|b| dim % b == 0).unwrap_or(dim)
+}
+
+/// One point of the Spatial design sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialPoint {
+    /// Requested inner-loop parallelization.
+    pub unroll: u64,
+    /// Banking factor Spatial inferred for the input matrices.
+    pub banking: u64,
+    /// Synthesized resources/latency (through the shared HLS substrate).
+    pub estimate: Estimate,
+}
+
+impl SpatialPoint {
+    /// Did inference land exactly on the requested parallelism?
+    ///
+    /// These are the "predictable points" highlighted in Fig. 13.
+    pub fn predictable(&self) -> bool {
+        self.banking == self.unroll
+    }
+}
+
+/// The `gemm-ncubed` kernel (n×n dense matrix multiply) as Spatial would
+/// stage it: inner reduction loop parallelized by `unroll`, input SRAMs
+/// banked by the inferred factor.
+pub fn gemm_ncubed_kernel(n: u64, unroll: u64) -> Kernel {
+    let banking = infer_banking(unroll, n);
+    Kernel::new(format!("spatial-gemm-{n}-u{unroll}"))
+        .array(ArrayDecl::new("a_sram", 32, &[n, n]).partitioned(&[1, banking]))
+        .array(ArrayDecl::new("b_sram", 32, &[n, n]).partitioned(&[banking, 1]))
+        .array(ArrayDecl::new("c_sram", 32, &[n, n]))
+        .stmt(
+            Loop::new("i", n)
+                .stmt(
+                    Loop::new("j", n)
+                        .stmt(
+                            Loop::new("k", n)
+                                .unrolled(unroll)
+                                .stmt(
+                                    Op::compute(OpKind::FMul)
+                                        .read(Access::new("a_sram", vec![Idx::var("i"), Idx::var("k")]))
+                                        .read(Access::new("b_sram", vec![Idx::var("k"), Idx::var("j")]))
+                                        .into_stmt(),
+                                )
+                                .stmt(Op::compute(OpKind::FAdd).into_stmt())
+                                .into_stmt(),
+                        )
+                        .stmt(
+                            Op::compute(OpKind::Copy)
+                                .write(Access::new("c_sram", vec![Idx::var("i"), Idx::var("j")]))
+                                .into_stmt(),
+                        )
+                        .into_stmt(),
+                )
+                .into_stmt(),
+        )
+}
+
+/// Sweep the parallelization factor, reproducing Fig. 13's data series.
+pub fn sweep(n: u64, unrolls: impl IntoIterator<Item = u64>) -> Vec<SpatialPoint> {
+    unrolls
+        .into_iter()
+        .map(|u| SpatialPoint {
+            unroll: u,
+            banking: infer_banking(u, n),
+            estimate: estimate(&gemm_ncubed_kernel(n, u)),
+        })
+        .collect()
+}
+
+/// Resource usage of each point normalized to the `unroll = 1` design
+/// (the y-axis of Fig. 9): `(dsp, bram, lut)` ratios.
+pub fn normalized_usage(points: &[SpatialPoint]) -> Vec<(f64, f64, f64)> {
+    let base = points
+        .iter()
+        .find(|p| p.unroll == 1)
+        .map(|p| (&p.estimate.dsps, &p.estimate.brams, &p.estimate.luts))
+        .map(|(d, b, l)| (*d as f64, *b as f64, *l as f64))
+        .unwrap_or((1.0, 1.0, 1.0));
+    points
+        .iter()
+        .map(|p| {
+            (
+                p.estimate.dsps as f64 / base.0.max(1.0),
+                p.estimate.brams as f64 / base.1.max(1.0),
+                p.estimate.luts as f64 / base.2.max(1.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_matches_fig13a() {
+        // Fig. 13a for 128×128 matrices: power-of-two divisors of 128.
+        let expect = [
+            (1, 1),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 8),
+            (6, 8),
+            (7, 8),
+            (8, 8),
+            (9, 16),
+            (12, 16),
+            (16, 16),
+        ];
+        for (u, b) in expect {
+            assert_eq!(infer_banking(u, 128), b, "unroll {u}");
+        }
+    }
+
+    #[test]
+    fn inference_with_non_power_of_two_dims() {
+        assert_eq!(infer_banking(5, 60), 5);
+        assert_eq!(infer_banking(7, 60), 10);
+        assert_eq!(infer_banking(61, 60), 60, "falls back to full partitioning");
+    }
+
+    #[test]
+    fn mismatched_points_spike_resources() {
+        // Fig. 13e: u = 9 (banking 16) uses far more LUTs per PE than u = 8.
+        let pts = sweep(128, 1..=16);
+        let by_u = |u: u64| pts.iter().find(|p| p.unroll == u).unwrap();
+        assert!(by_u(8).predictable());
+        assert!(!by_u(9).predictable());
+        let per_pe_8 = by_u(8).estimate.luts as f64 / 8.0;
+        let per_pe_9 = by_u(9).estimate.luts as f64 / 9.0;
+        assert!(
+            per_pe_9 > per_pe_8 * 1.15,
+            "expected an abrupt jump: {per_pe_9:.0} vs {per_pe_8:.0} LUTs/PE"
+        );
+    }
+
+    #[test]
+    fn predictable_points_scale_smoothly() {
+        let pts = sweep(128, [1, 2, 4, 8, 16]);
+        assert!(pts.iter().all(SpatialPoint::predictable));
+        for w in pts.windows(2) {
+            assert!(
+                w[1].estimate.cycles < w[0].estimate.cycles,
+                "doubling parallelism must reduce latency on predictable points"
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_baseline_is_one() {
+        let pts = sweep(128, 1..=4);
+        let norm = normalized_usage(&pts);
+        assert!((norm[0].2 - 1.0).abs() < 1e-9);
+        assert!(norm[3].2 > 1.0, "more PEs, more LUTs");
+    }
+
+    #[test]
+    fn designs_fit_the_zynq() {
+        for p in sweep(128, [1, 8, 16]) {
+            assert!(p.estimate.luts < ZYNQ7020.luts * 2, "sanity bound on the model");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The §2 story, reproduced: sweep unrolling factors through the
+//! traditional-HLS substrate and watch performance and area move
+//! unpredictably — then see which of those points Dahlia would accept.
+//!
+//! ```sh
+//! cargo run --example unpredictable_hls
+//! ```
+
+use dahlia::dse::accepts;
+use dahlia::kernels::gemm::{gemm_ncubed_source, GemmNcubedParams};
+
+fn main() {
+    println!("§2: unrolling the matmul inner loop against 8-way banking\n");
+    println!("{:>6} {:>9} {:>12} {:>9} {:>8}  dahlia?", "unroll", "LUTs", "runtime(ms)", "correct", "rule");
+
+    for u in 1..=16u64 {
+        let est = dahlia::hls::estimate(&dahlia_bench_matmul(512, 8, u));
+        let rule = if 8 % u == 0 { "u | 8" } else { "-" };
+        // Would Dahlia accept the equivalent program? (banking 8, unroll u)
+        let dahlia_ok = accepts(&gemm_ncubed_source(&GemmNcubedParams {
+            n: 512,
+            bank: 8,
+            unroll: u,
+        }));
+        println!(
+            "{:>6} {:>9} {:>12.2} {:>9} {:>8}  {}",
+            u,
+            est.luts,
+            est.runtime_ms(250.0),
+            est.correct,
+            rule,
+            if dahlia_ok { "accepted" } else { "rejected" }
+        );
+    }
+
+    println!(
+        "\nThe unwritten rule (unroll divides banking) is exactly the set Dahlia accepts —\n\
+         everything else is where LUTs and runtime jump around (and where the simulated\n\
+         toolchain occasionally miscompiles)."
+    );
+}
+
+/// The Fig. 2 kernel through the HLS IR (same shape as `dahlia-bench`'s
+/// fig4 module, inlined here so the example is self-contained).
+fn dahlia_bench_matmul(n: u64, banking: u64, unroll: u64) -> dahlia::hls::Kernel {
+    use dahlia::hls::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind};
+    let inner = Loop::new("k", n)
+        .unrolled(unroll)
+        .stmt(
+            Op::compute(OpKind::IntMul)
+                .read(Access::new("m1", vec![Idx::var("i"), Idx::var("k")]))
+                .read(Access::new("m2", vec![Idx::var("k"), Idx::var("j")]))
+                .into_stmt(),
+        )
+        .stmt(Op::compute(OpKind::IntAlu).into_stmt());
+    let nest = Loop::new("i", n).stmt(
+        Loop::new("j", n)
+            .stmt(inner.into_stmt())
+            .stmt(
+                Op::compute(OpKind::Copy)
+                    .write(Access::new("prod", vec![Idx::var("i"), Idx::var("j")]))
+                    .into_stmt(),
+            )
+            .into_stmt(),
+    );
+    Kernel::new(format!("matmul-b{banking}-u{unroll}"))
+        .array(ArrayDecl::new("m1", 32, &[n, n]).partitioned(&[1, banking]))
+        .array(ArrayDecl::new("m2", 32, &[n, n]).partitioned(&[banking, 1]))
+        .array(ArrayDecl::new("prod", 32, &[n, n]))
+        .stmt(nest.into_stmt())
+}

@@ -1,0 +1,43 @@
+//! # dahlia
+//!
+//! A full-system Rust reproduction of *“Predictable Accelerator Design
+//! with Time-Sensitive Affine Types”* (Nigam et al., PLDI 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the Dahlia language: parser, time-sensitive affine type
+//!   checker, memory views, checked interpreter, desugarings;
+//! * [`filament`] — the §4 core calculus with executable big-step /
+//!   small-step semantics and a property-tested soundness theorem;
+//! * [`backend`] — Dahlia → Vivado-HLS-style C++, and Dahlia → kernel IR;
+//! * [`hls`] — the traditional-HLS toolchain simulator (partitioning,
+//!   port-constrained scheduling, area/latency models);
+//! * [`spatial`] — the Spatial banking-inference comparator;
+//! * [`dse`] — design spaces, Pareto frontiers, reports;
+//! * [`kernels`] — the 16 MachSuite benchmark ports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dahlia::core::{parse, typecheck, TypeErrorKind, Error};
+//!
+//! // The affine checker rejects conflicting accesses within a logical
+//! // time step…
+//! let p = parse("let A: float[10]; let x = A[0]; A[1] := 1.0;").unwrap();
+//! match typecheck(&p) {
+//!     Err(Error::Type(t)) => assert_eq!(t.kind, TypeErrorKind::AlreadyConsumed),
+//!     other => panic!("expected a type error, got {other:?}"),
+//! }
+//!
+//! // …and ordered composition (`---`) restores the capabilities.
+//! let p = parse("let A: float[10]; let x = A[0] --- A[1] := 1.0;").unwrap();
+//! assert!(typecheck(&p).is_ok());
+//! ```
+
+pub use dahlia_backend as backend;
+pub use dahlia_core as core;
+pub use dahlia_dse as dse;
+pub use dahlia_kernels as kernels;
+pub use filament;
+pub use hls_sim as hls;
+pub use spatial_sim as spatial;

@@ -1,0 +1,78 @@
+//! Cross-crate integration: parse → type-check → interpret → lower →
+//! estimate → emit C++, over the benchmark suite.
+
+use std::collections::HashMap;
+
+use dahlia::backend::{emit_cpp, lower};
+use dahlia::core::desugar::desugar;
+use dahlia::core::interp::{interpret_with, InterpOptions};
+use dahlia::core::{parse, typecheck};
+use dahlia::kernels::{all_benches, small_benches};
+
+#[test]
+fn every_bench_flows_through_the_whole_pipeline() {
+    for b in all_benches() {
+        let prog = parse(&b.source).unwrap_or_else(|e| panic!("{}: parse: {e}", b.name));
+        typecheck(&prog).unwrap_or_else(|e| panic!("{}: check: {e}", b.name));
+
+        // C++ backend produces a compilable-looking translation unit.
+        let cpp = emit_cpp(&prog, "kern");
+        assert!(cpp.contains("void kern("), "{}: {cpp}", b.name);
+        let opens = cpp.matches('{').count();
+        let closes = cpp.matches('}').count();
+        assert_eq!(opens, closes, "{}: unbalanced braces", b.name);
+
+        // Lowering and estimation succeed with sane outputs.
+        let est = hls_sim::estimate(&lower(&prog, b.name));
+        assert!(est.cycles > 0 && est.luts > 0, "{}", b.name);
+        assert!(est.fits(&hls_sim::VU9P), "{}: does not fit the paper's device", b.name);
+    }
+}
+
+#[test]
+fn well_typed_kernels_never_trip_the_dynamic_monitor() {
+    // The surface-level soundness story: every type-checked benchmark runs
+    // to completion under the *checked* interpreter (zero-filled inputs
+    // keep data-dependent indices at 0, which is always in bounds).
+    for b in small_benches() {
+        let prog = parse(&b.source).unwrap();
+        typecheck(&prog).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let r = interpret_with(&prog, &InterpOptions::default(), &HashMap::new());
+        assert!(r.is_ok(), "{}: checked interpretation failed: {}", b.name, r.unwrap_err());
+    }
+}
+
+#[test]
+fn desugaring_preserves_bench_semantics() {
+    // §4.5: unrolling + view inlining preserve behaviour. The desugared
+    // output is not meant to re-typecheck, so run both unchecked.
+    let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+    for b in small_benches() {
+        let prog = parse(&b.source).unwrap();
+        let sugar_free = desugar(&prog);
+        let o1 = interpret_with(&prog, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let o2 = interpret_with(&sugar_free, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("{} (desugared): {e}", b.name));
+        assert_eq!(o1.mems, o2.mems, "{}: desugaring changed the final state", b.name);
+    }
+}
+
+#[test]
+fn cpp_emission_is_deterministic() {
+    for b in all_benches().into_iter().take(4) {
+        let prog = parse(&b.source).unwrap();
+        assert_eq!(emit_cpp(&prog, "k"), emit_cpp(&prog, "k"), "{}", b.name);
+    }
+}
+
+#[test]
+fn facade_reexports_work_together() {
+    // One line from each crate through the facade.
+    let p = parse("let A: float[8 bank 2]; for (let i = 0..8) unroll 2 { A[i] := 1.0; }").unwrap();
+    assert!(dahlia::core::typecheck(&p).is_ok());
+    assert_eq!(dahlia::spatial::infer_banking(3, 128), 4);
+    assert!(dahlia::dse::accepts("let x = 1;"));
+    let c = dahlia::filament::Cmd::Skip;
+    assert!(dahlia::filament::Checker::with_memories([]).check(&c).is_ok());
+}
