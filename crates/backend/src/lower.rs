@@ -54,17 +54,28 @@ impl Lower {
         if is_float {
             self.float_arrays.push(name.to_string());
         }
-        self.arrays
-            .push(ArrayDecl::new(name, bits, &dims).partitioned(&parts).with_ports(m.ports));
+        self.arrays.push(
+            ArrayDecl::new(name, bits, &dims)
+                .partitioned(&parts)
+                .with_ports(m.ports),
+        );
     }
 
     /// Pre-collect every `let`-declared memory so accesses can resolve
     /// element types regardless of statement order.
     fn collect_arrays(&mut self, c: &Cmd) {
         match c {
-            Cmd::Let { name, ty: Some(Type::Mem(m)), .. } => self.add_array(name, m),
+            Cmd::Let {
+                name,
+                ty: Some(Type::Mem(m)),
+                ..
+            } => self.add_array(name, m),
             Cmd::Seq(cs) | Cmd::Par(cs) => cs.iter().for_each(|c| self.collect_arrays(c)),
-            Cmd::If { then_branch, else_branch, .. } => {
+            Cmd::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.collect_arrays(then_branch);
                 if let Some(e) = else_branch {
                     self.collect_arrays(e);
@@ -85,7 +96,12 @@ impl Lower {
         match c {
             Cmd::Skip | Cmd::View { .. } => Vec::new(),
             Cmd::Seq(cs) | Cmd::Par(cs) => cs.iter().flat_map(|c| self.cmds(c)).collect(),
-            Cmd::Let { name, ty, init: Some(e), .. } => {
+            Cmd::Let {
+                name,
+                ty,
+                init: Some(e),
+                ..
+            } => {
                 if matches!(ty, Some(Type::Float | Type::Double)) || self.is_float(e) {
                     self.float_vars.insert(name.clone());
                 }
@@ -96,7 +112,13 @@ impl Lower {
             Cmd::Store { mem, idxs, rhs, .. } => {
                 self.stmt_ops(&[rhs], Some(Access::new(mem.clone(), self.idxs(idxs))))
             }
-            Cmd::Reduce { target, target_idxs, op, rhs, .. } => {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op,
+                rhs,
+                ..
+            } => {
                 let mut stmts = if target_idxs.is_empty() {
                     self.stmt_ops(&[rhs], None)
                 } else {
@@ -114,7 +136,12 @@ impl Lower {
                 stmts.push(Op::compute(kind).into_stmt());
                 stmts
             }
-            Cmd::If { cond, then_branch, else_branch, .. } => {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 // HLS synthesizes both branches plus a select.
                 let mut out = self.stmt_ops(&[cond], None);
                 out.push(Op::compute(OpKind::Logic).into_stmt());
@@ -133,7 +160,15 @@ impl Lower {
                 l.body.extend(self.cmds(body));
                 vec![l.into_stmt()]
             }
-            Cmd::For { var, lo, hi, unroll, body, combine, .. } => {
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                body,
+                combine,
+                ..
+            } => {
                 let mut l = Loop::new(var.clone(), (hi - lo).max(0) as u64).unrolled(*unroll);
                 l.body = self.cmds(body);
                 if let Some(c) = combine {
@@ -235,7 +270,7 @@ impl Lower {
     }
 
     fn idxs(&self, idxs: &[Expr]) -> Vec<Idx> {
-        idxs.iter().map(|e| classify_idx(e)).collect()
+        idxs.iter().map(classify_idx).collect()
     }
 }
 
@@ -250,25 +285,83 @@ pub fn classify_idx(e: &Expr) -> Idx {
             let (l, r) = (classify_idx(lhs), classify_idx(rhs));
             match (op, l, r) {
                 // v + c / c + v
-                (BinOp::Add, Idx::Affine { var, stride, offset }, Idx::Const(c))
-                | (BinOp::Add, Idx::Const(c), Idx::Affine { var, stride, offset }) => {
-                    Idx::Affine { var, stride, offset: offset + c }
-                }
+                (
+                    BinOp::Add,
+                    Idx::Affine {
+                        var,
+                        stride,
+                        offset,
+                    },
+                    Idx::Const(c),
+                )
+                | (
+                    BinOp::Add,
+                    Idx::Const(c),
+                    Idx::Affine {
+                        var,
+                        stride,
+                        offset,
+                    },
+                ) => Idx::Affine {
+                    var,
+                    stride,
+                    offset: offset + c,
+                },
                 // v - c
-                (BinOp::Sub, Idx::Affine { var, stride, offset }, Idx::Const(c)) => {
-                    Idx::Affine { var, stride, offset: offset - c }
-                }
+                (
+                    BinOp::Sub,
+                    Idx::Affine {
+                        var,
+                        stride,
+                        offset,
+                    },
+                    Idx::Const(c),
+                ) => Idx::Affine {
+                    var,
+                    stride,
+                    offset: offset - c,
+                },
                 // k * v / v * k
-                (BinOp::Mul, Idx::Affine { var, stride, offset }, Idx::Const(c))
-                | (BinOp::Mul, Idx::Const(c), Idx::Affine { var, stride, offset }) => {
-                    Idx::Affine { var, stride: stride * c, offset: offset * c }
-                }
+                (
+                    BinOp::Mul,
+                    Idx::Affine {
+                        var,
+                        stride,
+                        offset,
+                    },
+                    Idx::Const(c),
+                )
+                | (
+                    BinOp::Mul,
+                    Idx::Const(c),
+                    Idx::Affine {
+                        var,
+                        stride,
+                        offset,
+                    },
+                ) => Idx::Affine {
+                    var,
+                    stride: stride * c,
+                    offset: offset * c,
+                },
                 // affine + affine over the same var
                 (
                     BinOp::Add,
-                    Idx::Affine { var: v1, stride: s1, offset: o1 },
-                    Idx::Affine { var: v2, stride: s2, offset: o2 },
-                ) if v1 == v2 => Idx::Affine { var: v1, stride: s1 + s2, offset: o1 + o2 },
+                    Idx::Affine {
+                        var: v1,
+                        stride: s1,
+                        offset: o1,
+                    },
+                    Idx::Affine {
+                        var: v2,
+                        stride: s2,
+                        offset: o2,
+                    },
+                ) if v1 == v2 => Idx::Affine {
+                    var: v1,
+                    stride: s1 + s2,
+                    offset: o1 + o2,
+                },
                 _ => Idx::Dynamic,
             }
         }
@@ -287,11 +380,19 @@ mod tests {
         assert_eq!(classify_idx(&parse_expr("i").unwrap()), Idx::var("i"));
         assert_eq!(
             classify_idx(&parse_expr("2*i + 1").unwrap()),
-            Idx::Affine { var: "i".into(), stride: 2, offset: 1 }
+            Idx::Affine {
+                var: "i".into(),
+                stride: 2,
+                offset: 1
+            }
         );
         assert_eq!(
             classify_idx(&parse_expr("i + 3").unwrap()),
-            Idx::Affine { var: "i".into(), stride: 1, offset: 3 }
+            Idx::Affine {
+                var: "i".into(),
+                stride: 1,
+                offset: 3
+            }
         );
         assert_eq!(classify_idx(&parse_expr("7").unwrap()), Idx::Const(7));
         assert_eq!(classify_idx(&parse_expr("i * j").unwrap()), Idx::Dynamic);
@@ -371,6 +472,11 @@ mod tests {
         };
         let fast = hls_sim::estimate(&lower(&parse(&src(8)).unwrap(), "k8"));
         let slow = hls_sim::estimate(&lower(&parse(&src(1)).unwrap(), "k1"));
-        assert!(fast.cycles * 4 < slow.cycles, "{} vs {}", fast.cycles, slow.cycles);
+        assert!(
+            fast.cycles * 4 < slow.cycles,
+            "{} vs {}",
+            fast.cycles,
+            slow.cycles
+        );
     }
 }

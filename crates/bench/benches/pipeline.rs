@@ -67,7 +67,7 @@ fn bench_fig8_accept(c: &mut Criterion) {
 
 /// Fig. 9: the whole Spatial sweep.
 fn bench_fig9_sweep(c: &mut Criterion) {
-    c.bench_function("fig9/spatial_sweep_16", |b| b.iter(|| fig9::run()));
+    c.bench_function("fig9/spatial_sweep_16", |b| b.iter(fig9::run));
 }
 
 /// Fig. 7's Pareto filter over a realistic point cloud.
@@ -84,7 +84,9 @@ fn bench_pareto(c: &mut Criterion) {
         }
         objs.push(row);
     }
-    c.bench_function("dse/pareto_2000x5", |b| b.iter(|| pareto_mask(black_box(&objs))));
+    c.bench_function("dse/pareto_2000x5", |b| {
+        b.iter(|| pareto_mask(black_box(&objs)))
+    });
 }
 
 /// The checked interpreter on a small gemm (functional simulation speed).

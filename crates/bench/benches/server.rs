@@ -1,0 +1,86 @@
+//! Served-vs-cold throughput benches for the compilation service.
+//!
+//! Three ways to run the same checker-pruned stencil sweep, plus the
+//! raw batch path over the MachSuite kernel suite. The headline numbers:
+//! `serve/warm_sweep` vs `serve/direct_sweep` is the cache win;
+//! `serve/batch_kernels_warm` vs `..._cold` is the `dahliac batch` win.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dahlia_bench::fig8::Study;
+use dahlia_bench::serve::sweep;
+use dahlia_dse::DirectProvider;
+use dahlia_server::{CachedProvider, Request, Server, Stage};
+
+const STRIDE: usize = 211;
+
+fn bench_direct_sweep(c: &mut Criterion) {
+    c.bench_function("serve/direct_sweep", |b| {
+        b.iter(|| {
+            let p = DirectProvider::new();
+            sweep(Study::Stencil2d, STRIDE, &p).points.len()
+        })
+    });
+}
+
+fn bench_cold_sweep(c: &mut Criterion) {
+    c.bench_function("serve/cold_sweep", |b| {
+        b.iter(|| {
+            // A fresh server per iteration: every stage is a miss.
+            let p = CachedProvider::new(Server::with_threads(2));
+            sweep(Study::Stencil2d, STRIDE, &p).points.len()
+        })
+    });
+}
+
+fn bench_warm_sweep(c: &mut Criterion) {
+    let p = CachedProvider::new(Server::with_threads(2));
+    sweep(Study::Stencil2d, STRIDE, &p); // warm the cache once
+    c.bench_function("serve/warm_sweep", |b| {
+        b.iter(|| sweep(Study::Stencil2d, STRIDE, &p).points.len())
+    });
+}
+
+fn kernel_requests(round: u32) -> Vec<Request> {
+    dahlia_kernels::all_benches()
+        .into_iter()
+        .map(|bench| {
+            Request::new(
+                format!("{}#{round}", bench.name),
+                Stage::Estimate,
+                bench.source,
+                bench.name,
+            )
+        })
+        .collect()
+}
+
+fn bench_batch_kernels_cold(c: &mut Criterion) {
+    c.bench_function("serve/batch_kernels_cold", |b| {
+        b.iter(|| {
+            let server = Server::new();
+            server.submit_batch(kernel_requests(0)).len()
+        })
+    });
+}
+
+fn bench_batch_kernels_warm(c: &mut Criterion) {
+    let server = Server::new();
+    server.submit_batch(kernel_requests(0));
+    c.bench_function("serve/batch_kernels_warm", |b| {
+        b.iter(|| server.submit_batch(kernel_requests(0)).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_direct_sweep, bench_cold_sweep, bench_warm_sweep,
+              bench_batch_kernels_cold, bench_batch_kernels_warm
+}
+criterion_main!(benches);

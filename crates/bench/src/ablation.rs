@@ -49,7 +49,11 @@ pub fn port_ablation(n: u64, banking: u64, max_unroll: u64) -> Vec<PortAblation>
     (1..=max_unroll)
         .map(|u| {
             let k = matmul_kernel(n, banking, u);
-            PortAblation { unroll: u, real: estimate(&k), ideal: estimate_idealized(&k) }
+            PortAblation {
+                unroll: u,
+                real: estimate(&k),
+                ideal: estimate_idealized(&k),
+            }
         })
         .collect()
 }
@@ -72,7 +76,10 @@ pub struct PruningAblation {
 pub fn pruning_ablation(stride: usize) -> PruningAblation {
     let points: Vec<DesignPoint> = fig7::run(stride);
     let best = |it: &mut dyn Iterator<Item = &DesignPoint>| {
-        it.filter(|p| p.correct).map(|p| p.cycles).min().unwrap_or(u64::MAX)
+        it.filter(|p| p.correct)
+            .map(|p| p.cycles)
+            .min()
+            .unwrap_or(u64::MAX)
     };
     PruningAblation {
         best_unrestricted: best(&mut points.iter()),
@@ -124,7 +131,10 @@ mod tests {
         let a = pruning_ablation(61);
         assert!(a.best_accepted < u64::MAX, "some design accepted");
         assert!(a.pruned > 0);
-        assert!(a.best_unrestricted <= a.best_accepted, "accepted ⊆ unrestricted");
+        assert!(
+            a.best_unrestricted <= a.best_accepted,
+            "accepted ⊆ unrestricted"
+        );
 
         // The *full-space* accepted optimum (all-4 banking, unroll 4/4/4 —
         // the highest parallelism the affine rules admit here) must be

@@ -5,12 +5,17 @@ use dahlia_bench::fig7;
 use dahlia_dse::to_csv;
 
 fn main() {
-    let stride: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let stride: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let points = fig7::run(stride);
     let summary = fig7::summarize(&points);
     eprintln!("gemm-blocked DSE (stride {stride}): {summary}");
-    println!("# Fig. 7 — gemm-blocked design space ({} points)", points.len());
+    println!(
+        "# Fig. 7 — gemm-blocked design space ({} points)",
+        points.len()
+    );
     println!("# {summary}");
     let params = [
         "bank_m1_d1",

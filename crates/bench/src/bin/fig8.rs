@@ -5,8 +5,10 @@ use dahlia_bench::fig8::{run, summarize, Study};
 use dahlia_dse::to_csv;
 
 fn main() {
-    let stride: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let stride: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     for (study, fig) in [
         (Study::Stencil2d, "8a"),
         (Study::MdKnn, "8b"),
@@ -15,7 +17,11 @@ fn main() {
         let points = run(study, stride);
         let s = summarize(&points);
         eprintln!("{}: {s}", study.name());
-        println!("\n# Fig. {fig} — {} ({} points swept): {s}", study.name(), points.len());
+        println!(
+            "\n# Fig. {fig} — {} ({} points swept): {s}",
+            study.name(),
+            points.len()
+        );
         let names = study.space();
         let params: Vec<&str> = names.names();
         let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();

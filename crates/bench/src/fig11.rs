@@ -24,7 +24,10 @@ pub struct Comparison {
 impl Comparison {
     /// Runtime in milliseconds at the paper's 250 MHz target.
     pub fn runtimes_ms(&self) -> (f64, f64) {
-        (self.baseline.runtime_ms(250.0), self.rewrite.runtime_ms(250.0))
+        (
+            self.baseline.runtime_ms(250.0),
+            self.rewrite.runtime_ms(250.0),
+        )
     }
 }
 
@@ -37,7 +40,11 @@ pub fn run() -> Vec<Comparison> {
             dahlia_core::typecheck(&prog).expect("bench sources typecheck");
             let rewrite = hls_sim::estimate(&dahlia_backend::lower(&prog, b.name));
             let baseline = hls_sim::estimate(&b.baseline);
-            Comparison { name: b.name, baseline, rewrite }
+            Comparison {
+                name: b.name,
+                baseline,
+                rewrite,
+            }
         })
         .collect()
 }

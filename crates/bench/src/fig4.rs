@@ -88,7 +88,7 @@ pub fn sweep_c(n: u64, max_factor: u64) -> Vec<SweepPoint> {
             factor: k,
             banking: k,
             estimate: estimate(&matmul_kernel(n, k, k)),
-            predictable: n % k == 0,
+            predictable: n.is_multiple_of(k),
         })
         .collect()
 }
@@ -141,7 +141,10 @@ mod tests {
         assert!(at(9).estimate.cycles > at(8).estimate.cycles);
         assert!(at(9).estimate.luts > at(8).estimate.luts);
         // Predictable points: latency monotonically improves 1→2→4→8.
-        let lat: Vec<u64> = [1u64, 2, 4, 8].iter().map(|&u| at(u).estimate.cycles).collect();
+        let lat: Vec<u64> = [1u64, 2, 4, 8]
+            .iter()
+            .map(|&u| at(u).estimate.cycles)
+            .collect();
         assert!(lat.windows(2).all(|w| w[1] < w[0]), "{lat:?}");
     }
 

@@ -45,8 +45,11 @@ pub fn evaluate(cfg: Config) -> DesignPoint {
 /// Run the exploration over every `stride`-th configuration (stride 1 =
 /// the paper's full 32,000-point sweep) and mark the Pareto frontier.
 pub fn run(stride: usize) -> Vec<DesignPoint> {
-    let mut points: Vec<DesignPoint> =
-        space().iter().step_by(stride.max(1)).map(evaluate).collect();
+    let mut points: Vec<DesignPoint> = space()
+        .iter()
+        .step_by(stride.max(1))
+        .map(evaluate)
+        .collect();
     mark_pareto(&mut points);
     points
 }

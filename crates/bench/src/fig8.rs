@@ -119,8 +119,7 @@ pub fn run(study: Study, stride: usize) -> Vec<DesignPoint> {
         }
     }
     // Pareto within the accepted set only.
-    let mut accepted: Vec<DesignPoint> =
-        points.iter().filter(|p| p.accepted).cloned().collect();
+    let mut accepted: Vec<DesignPoint> = points.iter().filter(|p| p.accepted).cloned().collect();
     mark_pareto(&mut accepted);
     for p in &mut points {
         if p.accepted {
@@ -133,7 +132,12 @@ pub fn run(study: Study, stride: usize) -> Vec<DesignPoint> {
 }
 
 fn space_iter(study: Study, stride: usize) -> impl Iterator<Item = Config> {
-    study.space().iter().collect::<Vec<_>>().into_iter().step_by(stride.max(1))
+    study
+        .space()
+        .iter()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .step_by(stride.max(1))
 }
 
 /// Summary for a study run.
@@ -158,10 +162,16 @@ mod tests {
         let s = summarize(&pts);
         assert!(s.accepted > 0, "{s}");
         let ratio = s.acceptance_ratio();
-        assert!(ratio < 0.12, "stencil acceptance should be sparse: {ratio:.3}");
+        assert!(
+            ratio < 0.12,
+            "stencil acceptance should be sparse: {ratio:.3}"
+        );
         // Accepted points vary in latency (a real trade-off space).
-        let lats: std::collections::BTreeSet<u64> =
-            pts.iter().filter(|p| p.accepted).map(|p| p.cycles).collect();
+        let lats: std::collections::BTreeSet<u64> = pts
+            .iter()
+            .filter(|p| p.accepted)
+            .map(|p| p.cycles)
+            .collect();
         assert!(lats.len() > 1);
     }
 

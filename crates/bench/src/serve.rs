@@ -1,0 +1,125 @@
+//! Served-vs-cold throughput: the compilation service as a DSE engine.
+//!
+//! The same checker-pruned sweep (a Fig. 8 study) is driven three ways:
+//!
+//! 1. **direct** — the classic inline pipeline, no caching;
+//! 2. **served cold** — through `dahlia_server::CachedProvider` with an
+//!    empty content-addressed cache (pays the same compiles, plus cache
+//!    bookkeeping);
+//! 3. **served warm** — the same sweep again on the same server: every
+//!    stage is a cache hit.
+//!
+//! The acceptance claim for the service is that warm sweeps do no
+//! compiler work at all (`cache_misses == 0`) and finish far faster;
+//! `cargo bench --bench server` times the three modes, and the unit test
+//! here pins the invariants at reduced scale.
+
+use dahlia_dse::{explore, DirectProvider, EstimateProvider, Exploration, ProviderStats};
+use dahlia_server::{CachedProvider, Server};
+
+use crate::fig8::Study;
+
+/// Results of the three-way comparison.
+#[derive(Debug, Clone)]
+pub struct ServeComparison {
+    /// Points in the (subsampled) space.
+    pub points: usize,
+    /// Inline pipeline stats.
+    pub direct: ProviderStats,
+    /// Cold service stats (first sweep on an empty cache).
+    pub served_cold: ProviderStats,
+    /// Warm service stats (second sweep on the same server).
+    pub served_warm: ProviderStats,
+}
+
+impl ServeComparison {
+    /// Wall-clock speedup of the warm sweep over the direct sweep.
+    pub fn warm_speedup(&self) -> f64 {
+        self.direct.latency_us as f64 / self.served_warm.latency_us.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for ServeComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "served-vs-cold over {} points", self.points)?;
+        writeln!(f, "  direct:      {}", self.direct)?;
+        writeln!(f, "  served cold: {}", self.served_cold)?;
+        writeln!(f, "  served warm: {}", self.served_warm)?;
+        write!(f, "  warm speedup over direct: {:.1}×", self.warm_speedup())
+    }
+}
+
+/// Run one sweep of `study` (every `stride`-th point) through `provider`.
+pub fn sweep(study: Study, stride: usize, provider: &dyn EstimateProvider) -> Exploration {
+    let space = study.space();
+    let cfgs: Vec<_> = space.iter().step_by(stride.max(1)).collect();
+    let mut sub = dahlia_dse::ParamSpace::new();
+    // Rebuild a one-parameter index space so `explore` can iterate the
+    // subsample; the generator maps indices back to real configurations.
+    sub = sub.param("idx", 0..cfgs.len() as u64);
+    explore(&sub, study.name(), provider, |cfg| {
+        study.source(&cfgs[cfg["idx"] as usize])
+    })
+}
+
+/// The three-way comparison at the given stride.
+pub fn served_vs_cold(study: Study, stride: usize) -> ServeComparison {
+    let direct = DirectProvider::new();
+    let d = sweep(study, stride, &direct);
+
+    let cached = CachedProvider::new(Server::new());
+    let c = sweep(study, stride, &cached);
+    let w = sweep(study, stride, &cached);
+
+    // All three sweeps must agree on every verdict (same compiler, same
+    // space) — a correctness check, not just a throughput one, so it
+    // must also fire under `cargo bench` (debug assertions off there).
+    assert_eq!(d.points.len(), c.points.len());
+    for (a, b) in d.points.iter().zip(&c.points) {
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.cycles, b.cycles);
+    }
+    for (a, b) in c.points.iter().zip(&w.points) {
+        assert_eq!(a, b);
+    }
+
+    ServeComparison {
+        points: d.points.len(),
+        direct: d.stats,
+        served_cold: c.stats,
+        served_warm: w.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_sweeps_do_no_compiler_work() {
+        let cmp = served_vs_cold(Study::Stencil2d, 181);
+        assert!(cmp.points > 10, "sweep too small to mean anything");
+        // The cold service computes exactly what the direct pipeline does…
+        assert_eq!(cmp.direct.requests, cmp.served_cold.requests);
+        assert!(cmp.served_cold.cache_misses > 0);
+        // …and the warm sweep is served entirely from the cache.
+        assert_eq!(
+            cmp.served_warm.cache_misses, 0,
+            "warm sweep recompiled something"
+        );
+        assert_eq!(cmp.served_warm.requests, cmp.served_cold.requests);
+        assert!(cmp.served_warm.cache_hits >= cmp.served_warm.requests);
+    }
+
+    #[test]
+    fn served_sweep_matches_direct_verdicts() {
+        let direct = DirectProvider::new();
+        let cached = CachedProvider::new(Server::with_threads(2));
+        let d = sweep(Study::Stencil2d, 409, &direct);
+        let c = sweep(Study::Stencil2d, 409, &cached);
+        let da: Vec<bool> = d.points.iter().map(|p| p.accepted).collect();
+        let ca: Vec<bool> = c.points.iter().map(|p| p.accepted).collect();
+        assert_eq!(da, ca);
+        assert_eq!(d.summary().accepted, c.summary().accepted);
+    }
+}

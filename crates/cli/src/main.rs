@@ -1,4 +1,4 @@
-//! `dahliac` — the Dahlia compiler driver.
+//! `dahliac` — the Dahlia compiler driver and compile-service front end.
 //!
 //! ```text
 //! dahliac check  <file.fuse>          type-check and report
@@ -6,48 +6,134 @@
 //! dahliac run    <file.fuse>          interpret (checked semantics)
 //! dahliac est    <file.fuse> [name]   estimate area/latency via hls-sim
 //! dahliac lower  <file.fuse>          dump the lowered kernel IR
+//! dahliac serve                       JSON-lines compile service on stdio
+//! dahliac batch  [opts] [files...]    compile a batch through the service
 //! ```
 //!
-//! (`.fuse` is the extension the original Dahlia compiler uses.)
+//! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
+//! the extension the original Dahlia compiler uses.)
+//!
+//! Exit codes are distinct per failure phase so scripts and test
+//! harnesses can tell rejection modes apart without scraping stderr:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | runtime failure (interpreter error, batch item failed) |
+//! | 2 | usage or I/O error |
+//! | 3 | lex/parse error |
+//! | 4 | affine type error |
 
 use std::collections::HashMap;
+use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use dahlia_backend::{emit_cpp, lower};
-use dahlia_core::{interp, parse, typecheck};
+use dahlia_core::{interp, parse, typecheck, Error};
+use dahlia_server::json::{obj, Json};
+use dahlia_server::{Request, Server, Stage};
+
+/// Runtime failure (interpreter, failed batch item).
+const EXIT_RUNTIME: u8 = 1;
+/// Bad usage or I/O failure.
+const EXIT_USAGE: u8 = 2;
+/// Lexical or syntax error in the input program.
+const EXIT_PARSE: u8 = 3;
+/// Time-sensitive affine type error.
+const EXIT_TYPE: u8 = 4;
+
+const USAGE: &str = "usage: dahliac <command> [args]
+
+  dahliac check  <file.fuse>          type-check and report
+  dahliac cpp    <file.fuse> [name]   emit Vivado-HLS-style C++
+  dahliac run    <file.fuse>          interpret (checked semantics)
+  dahliac est    <file.fuse> [name]   estimate area/latency via hls-sim
+  dahliac lower  <file.fuse>          dump the lowered kernel IR
+  dahliac serve                       JSON-lines compile service on stdio
+                                      (strict request/response order; the
+                                      cache still dedups repeat work)
+  dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
+                 [--verbose] [files...]
+                                      compile a batch through the service
+                                      (N worker threads, default: cores-1)
+
+  <file.fuse> may be `-` for stdin.
+  exit codes: 0 ok, 1 runtime, 2 usage/io, 3 parse error, 4 type error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path) = match (args.first(), args.get(1)) {
-        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
-        _ => {
-            eprintln!("usage: dahliac <check|cpp|run|est|lower> <file> [kernel-name]");
-            return ExitCode::from(2);
-        }
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
     };
-    let name = args
-        .get(2)
-        .cloned()
-        .unwrap_or_else(|| {
+    match cmd.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("dahliac: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+/// Read a source file, `-` meaning stdin.
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            eprintln!("dahliac: cannot read stdin: {e}");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+        return Ok(src);
+    }
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("dahliac: cannot read `{path}`: {e}");
+        ExitCode::from(EXIT_USAGE)
+    })
+}
+
+/// Exit code for a front-end error, by phase.
+fn error_exit(e: &Error) -> ExitCode {
+    match e {
+        Error::Lex { .. } | Error::Parse { .. } => ExitCode::from(EXIT_PARSE),
+        Error::Type(_) => ExitCode::from(EXIT_TYPE),
+        Error::Interp { .. } => ExitCode::from(EXIT_RUNTIME),
+    }
+}
+
+/// The classic one-shot commands.
+fn cmd_compile(cmd: &str, args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("dahliac: `{cmd}` needs an input file\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let name = args.get(1).cloned().unwrap_or_else(|| {
+        if path == "-" {
+            "kernel".to_string()
+        } else {
             std::path::Path::new(path)
                 .file_stem()
                 .map(|s| s.to_string_lossy().replace('-', "_"))
                 .unwrap_or_else(|| "kernel".to_string())
-        });
-
-    let src = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("dahliac: cannot read `{path}`: {e}");
-            return ExitCode::from(2);
         }
+    });
+
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
 
     let prog = match parse(&src) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("dahliac: {e}");
-            return ExitCode::FAILURE;
+            return error_exit(&e);
         }
     };
 
@@ -62,13 +148,13 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("dahliac: {e}");
-                ExitCode::FAILURE
+                error_exit(&e)
             }
         },
         "cpp" => {
             if let Err(e) = typecheck(&prog) {
                 eprintln!("dahliac: {e}");
-                return ExitCode::FAILURE;
+                return error_exit(&e);
             }
             print!("{}", emit_cpp(&prog, &name));
             ExitCode::SUCCESS
@@ -76,7 +162,7 @@ fn main() -> ExitCode {
         "run" => {
             if let Err(e) = typecheck(&prog) {
                 eprintln!("dahliac: {e}");
-                return ExitCode::FAILURE;
+                return error_exit(&e);
             }
             match interp::interpret_with(&prog, &interp::InterpOptions::default(), &HashMap::new())
             {
@@ -98,14 +184,14 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("dahliac: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_RUNTIME)
                 }
             }
         }
         "est" => {
             if let Err(e) = typecheck(&prog) {
                 eprintln!("dahliac: {e}");
-                return ExitCode::FAILURE;
+                return error_exit(&e);
             }
             let est = hls_sim::estimate(&lower(&prog, &name));
             println!("kernel:   {}", est.name);
@@ -126,9 +212,220 @@ fn main() -> ExitCode {
             println!("{:#?}", lower(&prog, &name));
             ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("dahliac: unknown command `{other}`");
-            ExitCode::from(2)
+        _ => unreachable!("dispatched in main"),
+    }
+}
+
+/// Extract a `--flag value` option from `args`, leaving positionals in
+/// place. A flag present without a usable value is an error (otherwise
+/// the dangling flag would be misparsed as a file name downstream).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
         }
+        _ => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn server_with_threads(threads: Option<String>) -> Result<Server, ExitCode> {
+    match threads {
+        None => Ok(Server::new()),
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Server::with_threads(n)),
+            _ => {
+                eprintln!("dahliac: --threads needs a positive integer, got `{t}`");
+                Err(ExitCode::from(EXIT_USAGE))
+            }
+        },
+    }
+}
+
+/// `dahliac serve`: the JSON-lines protocol over stdio.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--threads") {
+        eprintln!(
+            "dahliac: serve answers requests in order on one thread; \
+             --threads applies to `dahliac batch`"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if !args.is_empty() {
+        eprintln!("dahliac: serve takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    // One pool worker: the serve loop compiles on the calling thread, so
+    // a larger pool would only sit parked.
+    let server = Server::with_threads(1);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match server.serve(stdin.lock(), stdout.lock()) {
+        Ok(summary) => {
+            eprintln!(
+                "dahliac serve: {} lines, {} protocol errors, {}",
+                summary.lines,
+                summary.protocol_errors,
+                server.stats()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dahliac serve: I/O error: {e}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+/// `dahliac batch`: compile many programs through the service, optionally
+/// several rounds, and report per-round wall time plus cache stats.
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let (threads, repeat_raw, stage_raw) = match (
+        take_flag(&mut args, "--threads"),
+        take_flag(&mut args, "--repeat"),
+        take_flag(&mut args, "--stage"),
+    ) {
+        (Ok(t), Ok(r), Ok(s)) => (t, r, s),
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let repeat = match repeat_raw {
+        None => 2,
+        Some(r) => match r.parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("dahliac: --repeat needs a positive integer, got `{r}`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    let stage = match stage_raw {
+        None => Stage::Estimate,
+        Some(s) => match Stage::from_name(&s) {
+            Some(st) => st,
+            None => {
+                eprintln!("dahliac: unknown stage `{s}` (parse|check|desugar|lower|cpp|est)");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    let use_kernels = take_switch(&mut args, "--kernels");
+    let verbose = take_switch(&mut args, "--verbose");
+
+    // Assemble the request set: the MachSuite kernel suite and/or files.
+    let mut programs: Vec<(String, String)> = Vec::new();
+    if use_kernels {
+        for b in dahlia_kernels::all_benches() {
+            programs.push((b.name.to_string(), b.source));
+        }
+    }
+    for path in &args {
+        match read_source(path) {
+            Ok(src) => {
+                let name = if path == "-" {
+                    "stdin".to_string()
+                } else {
+                    std::path::Path::new(path)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().replace('-', "_"))
+                        .unwrap_or_else(|| "kernel".to_string())
+                };
+                programs.push((name, src));
+            }
+            Err(code) => return code,
+        }
+    }
+    if programs.is_empty() {
+        eprintln!("dahliac: batch needs input programs (--kernels and/or files)\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let server = match server_with_threads(threads) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    let mut round_walls: Vec<u64> = Vec::new();
+    let mut any_failed = false;
+    let mut prev = server.stats();
+    for round in 1..=repeat {
+        let reqs: Vec<Request> = programs
+            .iter()
+            .map(|(name, src)| Request::new(format!("{name}#{round}"), stage, src, name))
+            .collect();
+        let t0 = Instant::now();
+        let responses = server.submit_batch(reqs);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        round_walls.push(wall_us);
+
+        let ok = responses.iter().filter(|r| r.ok()).count();
+        let errors = responses.len() - ok;
+        any_failed |= errors > 0;
+        if verbose {
+            for r in &responses {
+                println!("{}", r.to_line());
+            }
+        }
+        let now = server.stats();
+        println!(
+            "{}",
+            obj([
+                ("round", Json::Num(round as f64)),
+                ("requests", Json::Num(responses.len() as f64)),
+                ("ok", Json::Num(ok as f64)),
+                ("errors", Json::Num(errors as f64)),
+                ("wall_us", Json::Num(wall_us as f64)),
+                ("hits", Json::Num((now.store.hits - prev.store.hits) as f64)),
+                (
+                    "misses",
+                    Json::Num((now.store.misses - prev.store.misses) as f64)
+                ),
+                (
+                    "joins",
+                    Json::Num((now.store.joins - prev.store.joins) as f64)
+                ),
+            ])
+            .emit()
+        );
+        prev = now;
+    }
+
+    // Cold-vs-warm summary: round 1 fills the content-addressed cache,
+    // later rounds are served from it.
+    let cold = round_walls[0];
+    let warm = *round_walls.last().unwrap();
+    let speedup = cold as f64 / warm.max(1) as f64;
+    let mut fields = vec![
+        ("rounds", Json::Num(repeat as f64)),
+        ("programs", Json::Num(programs.len() as f64)),
+        ("cold_wall_us", Json::Num(cold as f64)),
+        ("warm_wall_us", Json::Num(warm as f64)),
+    ];
+    if repeat > 1 {
+        fields.push(("speedup", Json::Num((speedup * 100.0).round() / 100.0)));
+    }
+    fields.push(("stats", server.stats().to_json()));
+    println!("{}", obj([("batch", obj(fields))]).emit());
+
+    if any_failed {
+        ExitCode::from(EXIT_RUNTIME)
+    } else {
+        ExitCode::SUCCESS
     }
 }

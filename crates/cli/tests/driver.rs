@@ -1,9 +1,14 @@
 //! End-to-end tests for the `dahliac` driver binary.
 
 use std::io::Write as _;
-use std::process::Command;
+use std::process::{Command, Stdio};
 
 fn run(args: &[&str]) -> (String, String, bool) {
+    let (out, err, code) = run_code(args);
+    (out, err, code == 0)
+}
+
+fn run_code(args: &[&str]) -> (String, String, i32) {
     let out = Command::new(env!("CARGO_BIN_EXE_dahliac"))
         .args(args)
         .output()
@@ -11,7 +16,30 @@ fn run(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// Run with `input` piped to stdin.
+fn run_stdin(args: &[&str], input: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dahliac"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dahliac spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("dahliac runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
     )
 }
 
@@ -49,7 +77,10 @@ fn cpp_emits_pragmas() {
     let (out, _, ok) = run(&["cpp", &good, "my_kernel"]);
     assert!(ok);
     assert!(out.contains("void my_kernel("), "{out}");
-    assert!(out.contains("ARRAY_PARTITION variable=A cyclic factor=4"), "{out}");
+    assert!(
+        out.contains("ARRAY_PARTITION variable=A cyclic factor=4"),
+        "{out}"
+    );
     assert!(out.contains("UNROLL factor=4"), "{out}");
 }
 
@@ -94,4 +125,178 @@ fn parse_errors_point_at_the_source() {
     let (_, err, ok) = run(&["check", &broken]);
     assert!(!ok);
     assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn exit_codes_distinguish_failure_phases() {
+    let good = write_tmp("dahliac_exit_good.fuse", GOOD);
+    assert_eq!(run_code(&["check", &good]).2, 0, "success is 0");
+
+    let broken = write_tmp("dahliac_exit_parse.fuse", "let = oops");
+    assert_eq!(run_code(&["check", &broken]).2, 3, "parse errors are 3");
+
+    let bad = write_tmp("dahliac_exit_type.fuse", BAD);
+    assert_eq!(run_code(&["check", &bad]).2, 4, "type errors are 4");
+    assert_eq!(run_code(&["cpp", &bad]).2, 4, "cpp hits the checker too");
+
+    assert_eq!(run_code(&[]).2, 2, "usage is 2");
+    assert_eq!(run_code(&["check", "/nonexistent/x.fuse"]).2, 2, "io is 2");
+    assert_eq!(
+        run_code(&["frobnicate", &good]).2,
+        2,
+        "unknown command is 2"
+    );
+}
+
+#[test]
+fn dash_reads_the_program_from_stdin() {
+    let (out, _, code) = run_stdin(&["check", "-"], GOOD);
+    assert_eq!(code, 0);
+    assert!(out.contains("ok: 1 memories"), "{out}");
+
+    let (out, _, code) = run_stdin(&["cpp", "-", "from_stdin"], GOOD);
+    assert_eq!(code, 0);
+    assert!(out.contains("void from_stdin("), "{out}");
+
+    let (_, err, code) = run_stdin(&["check", "-"], "let = oops");
+    assert_eq!(code, 3);
+    assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn usage_mentions_the_service_commands() {
+    let (_, err, code) = run_code(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("serve"), "{err}");
+    assert!(err.contains("batch"), "{err}");
+    assert!(err.contains("exit codes"), "{err}");
+
+    let (out, _, code) = run_code(&["help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("dahliac serve"), "{out}");
+}
+
+#[test]
+fn serve_speaks_json_lines_on_stdio() {
+    let req = format!(
+        r#"{{"id":"t1","stage":"check","source":"{}"}}"#,
+        GOOD.replace('\n', " ")
+    );
+    let (out, err, code) = run_stdin(&["serve"], &format!("{req}\n{{\"op\":\"stats\"}}\n"));
+    assert_eq!(code, 0, "{err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(
+        lines[0].contains(r#""id":"t1","stage":"check","ok":true"#),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with(r#"{"stats":{"requests":1,"#),
+        "{}",
+        lines[1]
+    );
+    assert!(err.contains("dahliac serve: 2 lines"), "{err}");
+}
+
+#[test]
+fn serve_rejects_positional_arguments() {
+    let (_, err, code) = run_code(&["serve", "whoops.fuse"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("serve takes no positional arguments"), "{err}");
+}
+
+#[test]
+fn serve_rejects_threads_flag() {
+    // serve answers strictly in order on the calling thread; a --threads
+    // knob there would be a lie, so it is refused with a pointer.
+    let (_, err, code) = run_code(&["serve", "--threads", "4"]);
+    assert_eq!(code, 2);
+    assert!(
+        err.contains("--threads applies to `dahliac batch`"),
+        "{err}"
+    );
+}
+
+#[test]
+fn dangling_flags_are_flag_errors_not_file_errors() {
+    let (_, err, code) = run_code(&["batch", "--kernels", "--threads"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads needs a value"), "{err}");
+
+    // A flag-like token where the value should be is also refused rather
+    // than silently consumed.
+    let (_, err, code) = run_code(&["batch", "--threads", "--kernels"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads needs a value"), "{err}");
+}
+
+#[test]
+fn batch_without_inputs_is_a_usage_error() {
+    let (_, err, code) = run_code(&["batch"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("batch needs input programs"), "{err}");
+}
+
+#[test]
+fn batch_over_files_reports_rounds_and_cache_stats() {
+    let good = write_tmp("dahliac_batch_a.fuse", GOOD);
+    let bad = write_tmp("dahliac_batch_b.fuse", BAD);
+    let (out, _, code) = run_code(&["batch", "--repeat", "2", "--threads", "2", &good, &bad]);
+    assert_eq!(code, 1, "a failed item exits 1:\n{out}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "two round lines + summary:\n{out}");
+    assert!(
+        lines[0].contains(r#""round":1,"requests":2,"ok":1,"errors":1"#),
+        "{}",
+        lines[0]
+    );
+    // Round 2 is answered entirely from cache: 2 hits, 0 misses.
+    assert!(lines[1].contains(r#""hits":2,"misses":0"#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""speedup":"#), "{}", lines[2]);
+}
+
+/// The ISSUE acceptance criterion: a warm-cache `dahliac batch` run over
+/// the MachSuite kernel suite is at least 5× faster than the cold run,
+/// and the server reports cache hit/miss counts.
+#[test]
+fn batch_kernels_warm_round_is_5x_faster() {
+    let (out, err, code) = run_code(&["batch", "--kernels", "--repeat", "2"]);
+    assert_eq!(code, 0, "kernel suite must compile clean\n{err}\n{out}");
+    let lines: Vec<&str> = out.lines().collect();
+    let summary = dahlia_server::json::Json::parse(lines.last().unwrap()).expect("summary JSON");
+    let batch = summary.get("batch").expect("batch envelope");
+    let cold = batch
+        .get("cold_wall_us")
+        .and_then(|v| v.as_u64())
+        .expect("cold_wall_us");
+    let warm = batch
+        .get("warm_wall_us")
+        .and_then(|v| v.as_u64())
+        .expect("warm_wall_us");
+    assert!(
+        cold >= 5 * warm.max(1),
+        "warm round not ≥5× faster: cold {cold} µs vs warm {warm} µs\n{out}"
+    );
+    // Hit/miss accounting: the warm round is all hits, and the stats
+    // object reports both counters.
+    let stats = batch.get("stats").expect("stats");
+    let hits = stats.get("hits").and_then(|v| v.as_u64()).expect("hits");
+    let misses = stats
+        .get("misses")
+        .and_then(|v| v.as_u64())
+        .expect("misses");
+    assert!(
+        hits >= 16,
+        "second round must hit for every kernel, hits = {hits}"
+    );
+    assert!(
+        misses >= 16 * 4,
+        "cold round computes 4 stages per kernel, misses = {misses}"
+    );
+    assert!(
+        lines[1].contains(r#""misses":0"#),
+        "warm round recomputed something: {}",
+        lines[1]
+    );
 }

@@ -33,7 +33,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for operators returning `bool` regardless of operand type.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Lte | BinOp::Gte)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Lte | BinOp::Gte
+        )
     }
 
     /// `true` for `&&` / `||`.
@@ -140,12 +143,18 @@ pub enum Type {
 impl Type {
     /// Is this a scalar (non-memory, non-index) type?
     pub fn is_scalar(&self) -> bool {
-        matches!(self, Type::Bool | Type::Float | Type::Double | Type::Bit(_) | Type::UBit(_))
+        matches!(
+            self,
+            Type::Bool | Type::Float | Type::Double | Type::Bit(_) | Type::UBit(_)
+        )
     }
 
     /// Is this a numeric scalar?
     pub fn is_numeric(&self) -> bool {
-        matches!(self, Type::Float | Type::Double | Type::Bit(_) | Type::UBit(_) | Type::Idx { .. })
+        matches!(
+            self,
+            Type::Float | Type::Double | Type::Bit(_) | Type::UBit(_) | Type::Idx { .. }
+        )
     }
 }
 
@@ -238,9 +247,18 @@ pub enum Expr {
     /// Variable reference.
     Var { name: Id, span: Span },
     /// Binary operation.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
     /// Unary operation.
-    Un { op: UnOp, arg: Box<Expr>, span: Span },
+    Un {
+        op: UnOp,
+        arg: Box<Expr>,
+        span: Span,
+    },
     /// Memory read: logical `A[i][j]` or physical `A{b}[i]`.
     Access {
         /// Memory or view name.
@@ -253,7 +271,11 @@ pub enum Expr {
         span: Span,
     },
     /// Function call in expression position (pure helper functions).
-    Call { func: Id, args: Vec<Expr>, span: Span },
+    Call {
+        func: Id,
+        args: Vec<Expr>,
+        span: Span,
+    },
 }
 
 impl Expr {
@@ -273,12 +295,18 @@ impl Expr {
 
     /// Convenience constructor for a synthesized variable reference.
     pub fn var(name: impl Into<Id>) -> Expr {
-        Expr::Var { name: name.into(), span: Span::synthetic() }
+        Expr::Var {
+            name: name.into(),
+            span: Span::synthetic(),
+        }
     }
 
     /// Convenience constructor for a synthesized integer literal.
     pub fn int(val: i64) -> Expr {
-        Expr::LitInt { val, span: Span::synthetic() }
+        Expr::LitInt {
+            val,
+            span: Span::synthetic(),
+        }
     }
 
     /// Does this expression syntactically mention `name`?
@@ -288,7 +316,12 @@ impl Expr {
             Expr::Var { name: n, .. } => n == name,
             Expr::Bin { lhs, rhs, .. } => lhs.mentions(name) || rhs.mentions(name),
             Expr::Un { arg, .. } => arg.mentions(name),
-            Expr::Access { mem, phys_bank, idxs, .. } => {
+            Expr::Access {
+                mem,
+                phys_bank,
+                idxs,
+                ..
+            } => {
                 mem == name
                     || phys_bank.as_ref().is_some_and(|b| b.mentions(name))
                     || idxs.iter().any(|i| i.mentions(name))
@@ -327,7 +360,7 @@ pub enum ViewKind {
 }
 
 /// Commands (statements).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Cmd {
     /// `let x = e;` or `let A: float[…];` (memory when `ty` is a `Mem`).
     Let {
@@ -433,6 +466,7 @@ pub enum Cmd {
     /// Bare expression in statement position (e.g. a call `f(x);`).
     Expr(Expr),
     /// Empty statement.
+    #[default]
     Skip,
 }
 
@@ -504,12 +538,6 @@ pub struct Program {
     pub body: Cmd,
 }
 
-impl Default for Cmd {
-    fn default() -> Self {
-        Cmd::Skip
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,7 +558,11 @@ mod tests {
     fn type_display() {
         assert_eq!(Type::Bit(32).to_string(), "bit<32>");
         assert_eq!(Type::Idx { lo: 0, hi: 4 }.to_string(), "idx{0..4}");
-        let m = MemType { elem: Box::new(Type::Float), ports: 2, dims: vec![Dim::flat(10)] };
+        let m = MemType {
+            elem: Box::new(Type::Float),
+            ports: 2,
+            dims: vec![Dim::flat(10)],
+        };
         assert_eq!(Type::Mem(m).to_string(), "float{2}[10]");
     }
 

@@ -152,7 +152,10 @@ impl Caps {
         if self.writes.contains(&key) {
             return Err(TypeError::new(
                 TypeErrorKind::WriteConflict,
-                format!("location `{}[{}]` is written twice in the same logical time step", key.0, key.1),
+                format!(
+                    "location `{}[{}]` is written twice in the same logical time step",
+                    key.0, key.1
+                ),
                 span,
             ));
         }
@@ -173,7 +176,12 @@ impl Caps {
         if self.claims.contains(view) {
             return Ok(());
         }
-        let keys: Vec<_> = self.avail.keys().filter(|(m, _)| m == root).cloned().collect();
+        let keys: Vec<_> = self
+            .avail
+            .keys()
+            .filter(|(m, _)| m == root)
+            .cloned()
+            .collect();
         for k in &keys {
             if self.avail[k] == 0 {
                 return Err(TypeError::new(
@@ -200,8 +208,12 @@ impl Caps {
     ///
     /// `AlreadyConsumed` if any bank has already lost a port this step.
     pub fn consume_all(&mut self, name: &str, ports: u32, span: Span) -> Result<(), TypeError> {
-        let keys: Vec<_> =
-            self.avail.keys().filter(|(m, _)| m == name).cloned().collect();
+        let keys: Vec<_> = self
+            .avail
+            .keys()
+            .filter(|(m, _)| m == name)
+            .cloned()
+            .collect();
         for k in &keys {
             let avail = self.avail[k];
             if avail < ports {
@@ -301,7 +313,11 @@ mod tests {
     use super::*;
 
     fn acc(root: &str, sets: Vec<BankSet>, banks: Vec<u64>) -> ResolvedAccess {
-        ResolvedAccess { root: root.into(), bank_sets: sets, dim_banks: banks }
+        ResolvedAccess {
+            root: root.into(),
+            bank_sets: sets,
+            dim_banks: banks,
+        }
     }
 
     #[test]
@@ -309,7 +325,8 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 1);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
         let err = caps
             .acquire_write(&a, ("A".into(), "1".into()), Span::synthetic())
             .unwrap_err();
@@ -321,8 +338,10 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 1);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
         assert_eq!(caps.remaining("A", &[0]), Some(0));
     }
 
@@ -331,8 +350,10 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 2);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
-        caps.acquire_write(&a, ("A".into(), "1".into()), Span::synthetic()).unwrap();
+        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
+        caps.acquire_write(&a, ("A".into(), "1".into()), Span::synthetic())
+            .unwrap();
         assert_eq!(caps.remaining("A", &[0]), Some(0));
     }
 
@@ -342,8 +363,10 @@ mod tests {
         caps.add_memory("A", &[2], 1);
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
         let a1 = acc("A", vec![BankSet::one(1)], vec![2]);
-        caps.acquire_write(&a0, ("A".into(), "b0".into()), Span::synthetic()).unwrap();
-        caps.acquire_write(&a1, ("A".into(), "b1".into()), Span::synthetic()).unwrap();
+        caps.acquire_write(&a0, ("A".into(), "b0".into()), Span::synthetic())
+            .unwrap();
+        caps.acquire_write(&a1, ("A".into(), "b1".into()), Span::synthetic())
+            .unwrap();
     }
 
     #[test]
@@ -351,9 +374,11 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 4);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap();
-        let err =
-            caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic()).unwrap_err();
+        caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
+        let err = caps
+            .acquire_write(&a, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap_err();
         assert_eq!(err.kind, TypeErrorKind::WriteConflict);
     }
 
@@ -363,7 +388,8 @@ mod tests {
         base.add_memory("A", &[2], 1);
         let mut left = base.clone();
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
-        left.acquire_read(&a0, ("A".into(), "0".into()), Span::synthetic()).unwrap();
+        left.acquire_read(&a0, ("A".into(), "0".into()), Span::synthetic())
+            .unwrap();
         let met = left.meet(&base);
         assert_eq!(met.remaining("A", &[0]), Some(0));
         assert_eq!(met.remaining("A", &[1]), Some(1));
@@ -388,7 +414,8 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[2], 1);
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
-        caps.acquire_read(&a0, ("A".into(), "x".into()), Span::synthetic()).unwrap();
+        caps.acquire_read(&a0, ("A".into(), "x".into()), Span::synthetic())
+            .unwrap();
         assert!(caps.consume_all("A", 1, Span::synthetic()).is_err());
     }
 }

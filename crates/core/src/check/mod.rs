@@ -180,16 +180,17 @@ impl Checker {
                         self.caps.add_memory(&p.name, &bank_dims(m), m.ports);
                         self.declare(
                             &p.name,
-                            Binding::Mem(MemEntry { ty: m.clone(), origin: Origin::Direct }),
+                            Binding::Mem(MemEntry {
+                                ty: m.clone(),
+                                origin: Origin::Direct,
+                            }),
                             f.span,
                         )
                         .expect("fresh scope");
                     }
                     r
                 }
-                t if t.is_scalar() => {
-                    self.declare(&p.name, Binding::Scalar(t.clone()), f.span)
-                }
+                t if t.is_scalar() => self.declare(&p.name, Binding::Scalar(t.clone()), f.span),
                 t => Err(TypeError::new(
                     TypeErrorKind::BadCall,
                     format!("parameter `{}` has non-parameter type `{t}`", p.name),
@@ -256,7 +257,14 @@ impl Checker {
     fn declare_memory(&mut self, name: &str, m: &MemType, span: Span) -> Result<(), TypeError> {
         self.validate_mem_type(m, span)?;
         self.caps.add_memory(name, &bank_dims(m), m.ports);
-        self.declare(name, Binding::Mem(MemEntry { ty: m.clone(), origin: Origin::Direct }), span)?;
+        self.declare(
+            name,
+            Binding::Mem(MemEntry {
+                ty: m.clone(),
+                origin: Origin::Direct,
+            }),
+            span,
+        )?;
         self.report.memories += 1;
         Ok(())
     }
@@ -273,19 +281,44 @@ impl Checker {
                 Ok(())
             }
             Cmd::Par(steps) => self.check_ordered(steps),
-            Cmd::Let { name, ty, init, span } => self.check_let(name, ty, init, *span),
-            Cmd::View { name, mem, kind, span } => self.check_view(name, mem, kind, *span),
+            Cmd::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => self.check_let(name, ty, init, *span),
+            Cmd::View {
+                name,
+                mem,
+                kind,
+                span,
+            } => self.check_view(name, mem, kind, *span),
             Cmd::Assign { name, rhs, span } => self.check_assign(name, rhs, *span),
-            Cmd::Store { mem, phys_bank, idxs, rhs, span } => {
+            Cmd::Store {
+                mem,
+                phys_bank,
+                idxs,
+                rhs,
+                span,
+            } => {
                 let rt = self.check_expr(rhs)?;
                 let et = self.check_access(mem, phys_bank.as_deref(), idxs, Mode::Write, *span)?;
                 join_scalar(&et, &rt, *span)?;
                 Ok(())
             }
-            Cmd::Reduce { target, target_idxs, op, rhs, span } => {
-                self.check_reduce(target, target_idxs, *op, rhs, *span)
-            }
-            Cmd::If { cond, then_branch, else_branch, span } => {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op,
+                rhs,
+                span,
+            } => self.check_reduce(target, target_idxs, *op, rhs, *span),
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let ct = self.check_expr(cond)?;
                 if ct != Type::Bool {
                     return Err(TypeError::new(
@@ -306,7 +339,7 @@ impl Checker {
                     self.pop_scope();
                     r2?;
                 }
-                let after_else = std::mem::replace(&mut self.caps, Caps::default());
+                let after_else = std::mem::take(&mut self.caps);
                 self.caps = after_then.meet(&after_else);
                 Ok(())
             }
@@ -324,9 +357,15 @@ impl Checker {
                 self.pop_scope();
                 r
             }
-            Cmd::For { var, lo, hi, unroll, body, combine, span } => {
-                self.check_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span)
-            }
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                body,
+                combine,
+                span,
+            } => self.check_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
             Cmd::Expr(Expr::Call { func, args, span }) => self.check_call(func, args, *span),
             Cmd::Expr(e) => {
                 self.check_expr(e)?;
@@ -344,7 +383,7 @@ impl Checker {
         for s in steps {
             self.caps = step_start.clone();
             self.check_cmd(s)?;
-            let after = std::mem::replace(&mut self.caps, Caps::default());
+            let after = std::mem::take(&mut self.caps);
             // Memories declared in this step stay visible (and fresh) in
             // later steps.
             step_start = after.step_entry(&entry);
@@ -398,7 +437,11 @@ impl Checker {
     fn check_assign(&mut self, name: &str, rhs: &Expr, span: Span) -> Result<(), TypeError> {
         let rt = self.check_expr(rhs)?;
         let (depth, binding) = self.lookup(name).ok_or_else(|| {
-            TypeError::new(TypeErrorKind::Unbound, format!("unbound variable `{name}`"), span)
+            TypeError::new(
+                TypeErrorKind::Unbound,
+                format!("unbound variable `{name}`"),
+                span,
+            )
         })?;
         match binding.clone() {
             Binding::Scalar(t) => {
@@ -460,14 +503,20 @@ impl Checker {
         if target_idxs.is_empty() {
             // Scalar reduction: `x += e` ≡ read + write of a register.
             let (depth, binding) = self.lookup(target).ok_or_else(|| {
-                TypeError::new(TypeErrorKind::Unbound, format!("unbound variable `{target}`"), span)
+                TypeError::new(
+                    TypeErrorKind::Unbound,
+                    format!("unbound variable `{target}`"),
+                    span,
+                )
             })?;
             let t = match binding {
                 Binding::Scalar(t) => t.clone(),
                 _ => {
                     return Err(TypeError::new(
                         TypeErrorKind::BadCombine,
-                        format!("reducer target `{target}` must be a scalar variable or memory location"),
+                        format!(
+                        "reducer target `{target}` must be a scalar variable or memory location"
+                    ),
                         span,
                     ))
                 }
@@ -490,12 +539,13 @@ impl Checker {
             join_scalar(&et, &rt, span)?;
             let read_state = std::mem::replace(&mut self.caps, entry);
             self.check_access(target, None, target_idxs, Mode::Write, span)?;
-            let write_state = std::mem::replace(&mut self.caps, Caps::default());
+            let write_state = std::mem::take(&mut self.caps);
             self.caps = read_state.meet(&write_state);
             Ok(())
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn check_for(
         &mut self,
         var: &str,
@@ -514,7 +564,7 @@ impl Checker {
             ));
         }
         let trips = (hi - lo) as u64;
-        if trips % unroll != 0 {
+        if !trips.is_multiple_of(unroll) {
             return Err(TypeError::new(
                 TypeErrorKind::UnevenUnroll,
                 format!("unroll factor {unroll} must evenly divide the trip count {trips}"),
@@ -563,7 +613,7 @@ impl Checker {
             self.in_combine = was;
             self.pop_scope();
             r?;
-            std::mem::replace(&mut self.caps, Caps::default())
+            std::mem::take(&mut self.caps)
         } else {
             entry
         };
@@ -573,12 +623,20 @@ impl Checker {
 
     fn check_call(&mut self, func: &str, args: &[Expr], span: Span) -> Result<(), TypeError> {
         let params = self.funcs.get(func).cloned().ok_or_else(|| {
-            TypeError::new(TypeErrorKind::Unbound, format!("unbound function `{func}`"), span)
+            TypeError::new(
+                TypeErrorKind::Unbound,
+                format!("unbound function `{func}`"),
+                span,
+            )
         })?;
         if params.len() != args.len() {
             return Err(TypeError::new(
                 TypeErrorKind::BadCall,
-                format!("`{func}` expects {} arguments, got {}", params.len(), args.len()),
+                format!(
+                    "`{func}` expects {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                ),
                 span,
             ));
         }
@@ -688,11 +746,17 @@ impl Checker {
                     if *f == 0 || d.banks % f != 0 {
                         return Err(TypeError::new(
                             TypeErrorKind::BadView,
-                            format!("shrink factor {f} must divide the banking factor {}", d.banks),
+                            format!(
+                                "shrink factor {f} must divide the banking factor {}",
+                                d.banks
+                            ),
                             span,
                         ));
                     }
-                    dims.push(Dim { size: d.size, banks: d.banks / f });
+                    dims.push(Dim {
+                        size: d.size,
+                        banks: d.banks / f,
+                    });
                 }
                 (dims, ViewOp::Shrink(factors.clone()))
             }
@@ -746,14 +810,24 @@ impl Checker {
                 }
                 (
                     vec![
-                        Dim { size: *factor, banks: *factor },
-                        Dim { size: d.size / factor, banks: d.banks / factor },
+                        Dim {
+                            size: *factor,
+                            banks: *factor,
+                        },
+                        Dim {
+                            size: d.size / factor,
+                            banks: d.banks / factor,
+                        },
                     ],
                     ViewOp::Split(*factor),
                 )
             }
         };
-        let ty = MemType { elem: parent.ty.elem.clone(), ports: parent.ty.ports, dims };
+        let ty = MemType {
+            elem: parent.ty.elem.clone(),
+            ports: parent.ty.ports,
+            dims,
+        };
         // Shift views track capabilities on their own logical banks (the
         // offset makes the bank mapping an unknown permutation), claiming
         // the underlying memory on first use per time step.
@@ -763,7 +837,13 @@ impl Checker {
         }
         self.declare(
             name,
-            Binding::Mem(MemEntry { ty, origin: Origin::View { parent: mem.to_string(), op } }),
+            Binding::Mem(MemEntry {
+                ty,
+                origin: Origin::View {
+                    parent: mem.to_string(),
+                    op,
+                },
+            }),
             span,
         )?;
         self.report.views += 1;
@@ -777,8 +857,13 @@ impl Checker {
             return Ok(());
         }
         let ok = match off {
-            Expr::LitInt { val, .. } => *val >= 0 && (*val as u64) % banks == 0,
-            Expr::Bin { op: BinOp::Mul, lhs, rhs, .. } => {
+            Expr::LitInt { val, .. } => *val >= 0 && (*val as u64).is_multiple_of(banks),
+            Expr::Bin {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+                ..
+            } => {
                 let lit = |e: &Expr| match e {
                     Expr::LitInt { val, .. } if *val > 0 => Some(*val as u64),
                     _ => None,
@@ -904,15 +989,19 @@ impl Checker {
         // index must mention every enclosing unrolled iterator.
         if mode == Mode::Write {
             for (z, _) in &self.unrolled {
-                let mentioned = idxs.iter().any(|e| e.mentions(z))
-                    || phys_bank.is_some_and(|b| b.mentions(z));
+                let mentioned =
+                    idxs.iter().any(|e| e.mentions(z)) || phys_bank.is_some_and(|b| b.mentions(z));
                 if !mentioned {
                     return Err(TypeError::new(
                         TypeErrorKind::WriteConflict,
                         format!(
                             "insufficient write capabilities: all {}-unrolled copies write \
                              `{mem}` at the same location (the index does not depend on `{z}`)",
-                            self.unrolled.iter().map(|(_, u)| u.to_string()).collect::<Vec<_>>().join("×"),
+                            self.unrolled
+                                .iter()
+                                .map(|(_, u)| u.to_string())
+                                .collect::<Vec<_>>()
+                                .join("×"),
                         ),
                         span,
                     ));
@@ -987,7 +1076,11 @@ impl Checker {
         if idxs.len() != dims.len() {
             return Err(TypeError::new(
                 TypeErrorKind::BadAccess,
-                format!("access has {} indices but the memory has {} dimensions", idxs.len(), dims.len()),
+                format!(
+                    "access has {} indices but the memory has {} dimensions",
+                    idxs.len(),
+                    dims.len()
+                ),
                 span,
             ));
         }
@@ -1114,11 +1207,18 @@ impl Checker {
             Expr::LitBool { .. } => Ok(Type::Bool),
             Expr::Var { name, span } => {
                 let (_, b) = self.lookup(name).ok_or_else(|| {
-                    TypeError::new(TypeErrorKind::Unbound, format!("unbound variable `{name}`"), *span)
+                    TypeError::new(
+                        TypeErrorKind::Unbound,
+                        format!("unbound variable `{name}`"),
+                        *span,
+                    )
                 })?;
                 match b {
                     Binding::Scalar(t) => Ok(t.clone()),
-                    Binding::Iter { unroll, .. } => Ok(Type::Idx { lo: 0, hi: *unroll as i64 }),
+                    Binding::Iter { unroll, .. } => Ok(Type::Idx {
+                        lo: 0,
+                        hi: *unroll as i64,
+                    }),
                     Binding::Mem(m) => Ok(Type::Mem(m.ty.clone())),
                     Binding::CombineReg(t) => {
                         if self.in_reduce_rhs {
@@ -1179,9 +1279,12 @@ impl Checker {
                     }
                 }
             }
-            Expr::Access { mem, phys_bank, idxs, span } => {
-                self.check_access(mem, phys_bank.as_deref(), idxs, Mode::Read, *span)
-            }
+            Expr::Access {
+                mem,
+                phys_bank,
+                idxs,
+                span,
+            } => self.check_access(mem, phys_bank.as_deref(), idxs, Mode::Read, *span),
             Expr::Call { func, span, .. } => Err(TypeError::new(
                 TypeErrorKind::BadCall,
                 format!("`{func}` is a procedure; calls are statements, not expressions"),
@@ -1292,7 +1395,9 @@ fn require_numeric(t: &Type, span: Span) -> Result<(), TypeError> {
 pub fn const_eval(e: &Expr) -> Option<i64> {
     match e {
         Expr::LitInt { val, .. } => Some(*val),
-        Expr::Un { op: UnOp::Neg, arg, .. } => Some(-const_eval(arg)?),
+        Expr::Un {
+            op: UnOp::Neg, arg, ..
+        } => Some(-const_eval(arg)?),
         Expr::Bin { op, lhs, rhs, .. } => {
             let (a, b) = (const_eval(lhs)?, const_eval(rhs)?);
             Some(match op {
@@ -1325,7 +1430,12 @@ pub fn print_expr(e: &Expr) -> String {
             };
             format!("{s}{}", print_expr(arg))
         }
-        Expr::Access { mem, phys_bank, idxs, .. } => {
+        Expr::Access {
+            mem,
+            phys_bank,
+            idxs,
+            ..
+        } => {
             let mut s = mem.clone();
             if let Some(b) = phys_bank {
                 s.push_str(&format!("{{{}}}", print_expr(b)));
@@ -1336,7 +1446,10 @@ pub fn print_expr(e: &Expr) -> String {
             s
         }
         Expr::Call { func, args, .. } => {
-            format!("{func}({})", args.iter().map(print_expr).collect::<Vec<_>>().join(","))
+            format!(
+                "{func}({})",
+                args.iter().map(print_expr).collect::<Vec<_>>().join(",")
+            )
         }
     }
 }

@@ -39,7 +39,10 @@ fn memories_cannot_be_copied() {
 #[test]
 fn read_then_write_same_step_rejected() {
     // "let x = A[0]; A[1] := 1; // Error: Previous read consumed A."
-    rejects("let A: float[10]; let x = A[0]; A[1] := 1.0;", TypeErrorKind::AlreadyConsumed);
+    rejects(
+        "let A: float[10]; let x = A[0]; A[1] := 1.0;",
+        TypeErrorKind::AlreadyConsumed,
+    );
 }
 
 #[test]
@@ -50,7 +53,10 @@ fn identical_reads_share_capability() {
 
 #[test]
 fn different_reads_conflict() {
-    rejects("let A: float[10]; let x = A[0]; let y = A[1];", TypeErrorKind::AlreadyConsumed);
+    rejects(
+        "let A: float[10]; let x = A[0]; let y = A[1];",
+        TypeErrorKind::AlreadyConsumed,
+    );
 }
 
 #[test]
@@ -126,7 +132,10 @@ fn same_bank_physical_conflict() {
 fn logical_indexing_deduces_bank() {
     // A[1] on a 2-banked memory is bank 1; A[2] is bank 0.
     accepts("let A: float[10 bank 2]; let x = A[0]; let y = A[1];");
-    rejects("let A: float[10 bank 2]; let x = A[0]; let y = A[2];", TypeErrorKind::AlreadyConsumed);
+    rejects(
+        "let A: float[10 bank 2]; let x = A[0]; let y = A[2];",
+        TypeErrorKind::AlreadyConsumed,
+    );
 }
 
 #[test]
@@ -441,7 +450,10 @@ fn split_requires_one_dimension() {
 
 #[test]
 fn split_factor_must_divide() {
-    rejects("let A: float[12 bank 4]; view sp = split A[by 3];", TypeErrorKind::BadView);
+    rejects(
+        "let A: float[12 bank 4]; view sp = split A[by 3];",
+        TypeErrorKind::BadView,
+    );
 }
 
 #[test]
@@ -506,7 +518,10 @@ fn iterator_range_must_fit() {
 
 #[test]
 fn wrong_arity_rejected() {
-    rejects("let M: float[4][4]; let x = M[0];", TypeErrorKind::BadAccess);
+    rejects(
+        "let M: float[4][4]; let x = M[0];",
+        TypeErrorKind::BadAccess,
+    );
 }
 
 // ----------------------------------------------------------- if / while

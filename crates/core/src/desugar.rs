@@ -36,7 +36,10 @@ pub fn inline_views(prog: &Program) -> Program {
 }
 
 fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
-    let mut d = Desugarer { unroll_loops, ..Desugarer::default() };
+    let mut d = Desugarer {
+        unroll_loops,
+        ..Desugarer::default()
+    };
     Program {
         decls: prog.decls.clone(),
         defs: prog
@@ -46,7 +49,10 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
                 name: f.name.clone(),
                 params: f.params.clone(),
                 body: {
-                    let mut fd = Desugarer { unroll_loops, ..Desugarer::default() };
+                    let mut fd = Desugarer {
+                        unroll_loops,
+                        ..Desugarer::default()
+                    };
                     for p in &f.params {
                         if let Type::Mem(m) = &p.ty {
                             fd.mems.insert(p.name.clone(), MemInfo::Direct(m.clone()));
@@ -59,7 +65,8 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
             .collect(),
         body: {
             for dec in &prog.decls {
-                d.mems.insert(dec.name.clone(), MemInfo::Direct(dec.ty.clone()));
+                d.mems
+                    .insert(dec.name.clone(), MemInfo::Direct(dec.ty.clone()));
             }
             d.cmd(&prog.body)
         },
@@ -69,7 +76,11 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
 #[derive(Debug, Clone)]
 enum MemInfo {
     Direct(MemType),
-    View { parent: Id, ty: MemType, kind: ViewKind },
+    View {
+        parent: Id,
+        ty: MemType,
+        kind: ViewKind,
+    },
 }
 
 impl MemInfo {
@@ -94,7 +105,12 @@ impl Desugarer {
             Cmd::Skip => Cmd::Skip,
             Cmd::Seq(cs) => Cmd::Seq(cs.iter().map(|c| self.cmd(c)).collect()),
             Cmd::Par(cs) => Cmd::Par(cs.iter().map(|c| self.cmd(c)).collect()),
-            Cmd::Let { name, ty, init, span } => {
+            Cmd::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => {
                 if let Some(Type::Mem(m)) = ty {
                     self.mems.insert(name.clone(), MemInfo::Direct(m.clone()));
                 }
@@ -105,32 +121,56 @@ impl Desugarer {
                     span: *span,
                 }
             }
-            Cmd::View { name, mem, kind, span } => {
+            Cmd::View {
+                name,
+                mem,
+                kind,
+                span,
+            } => {
                 // Record and erase: accesses are rewritten at use sites.
-                let parent_ty = self.mems.get(mem).map(|i| i.ty().clone()).unwrap_or(MemType {
-                    elem: Box::new(Type::Float),
-                    ports: 1,
-                    dims: vec![Dim::flat(1)],
-                });
+                let parent_ty = self
+                    .mems
+                    .get(mem)
+                    .map(|i| i.ty().clone())
+                    .unwrap_or(MemType {
+                        elem: Box::new(Type::Float),
+                        ports: 1,
+                        dims: vec![Dim::flat(1)],
+                    });
                 let ty = view_type(&parent_ty, kind);
                 let kind = match kind {
-                    ViewKind::Suffix { offsets } => {
-                        ViewKind::Suffix { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
-                    }
-                    ViewKind::Shift { offsets } => {
-                        ViewKind::Shift { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
-                    }
+                    ViewKind::Suffix { offsets } => ViewKind::Suffix {
+                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
+                    },
+                    ViewKind::Shift { offsets } => ViewKind::Shift {
+                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
+                    },
                     other => other.clone(),
                 };
-                self.mems.insert(name.clone(), MemInfo::View { parent: mem.clone(), ty, kind });
+                self.mems.insert(
+                    name.clone(),
+                    MemInfo::View {
+                        parent: mem.clone(),
+                        ty,
+                        kind,
+                    },
+                );
                 // Views cost no state; they disappear in the core language.
                 let _ = span;
                 Cmd::Skip
             }
-            Cmd::Assign { name, rhs, span } => {
-                Cmd::Assign { name: name.clone(), rhs: self.expr(rhs), span: *span }
-            }
-            Cmd::Store { mem, phys_bank, idxs, rhs, span } => {
+            Cmd::Assign { name, rhs, span } => Cmd::Assign {
+                name: name.clone(),
+                rhs: self.expr(rhs),
+                span: *span,
+            },
+            Cmd::Store {
+                mem,
+                phys_bank,
+                idxs,
+                rhs,
+                span,
+            } => {
                 let rhs = self.expr(rhs);
                 let (mem, idxs) = self.rewrite_access(mem, idxs);
                 Cmd::Store {
@@ -141,16 +181,33 @@ impl Desugarer {
                     span: *span,
                 }
             }
-            Cmd::Reduce { target, target_idxs, op, rhs, span } => {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op,
+                rhs,
+                span,
+            } => {
                 let rhs = self.expr(rhs);
                 let (target, target_idxs) = if target_idxs.is_empty() {
                     (target.clone(), Vec::new())
                 } else {
                     self.rewrite_access(target, target_idxs)
                 };
-                Cmd::Reduce { target, target_idxs, op: *op, rhs, span: *span }
+                Cmd::Reduce {
+                    target,
+                    target_idxs,
+                    op: *op,
+                    rhs,
+                    span: *span,
+                }
             }
-            Cmd::If { cond, then_branch, else_branch, span } => Cmd::If {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Cmd::If {
                 cond: self.expr(cond),
                 then_branch: Box::new(self.cmd(then_branch)),
                 else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
@@ -161,16 +218,27 @@ impl Desugarer {
                 body: Box::new(self.cmd(body)),
                 span: *span,
             },
-            Cmd::For { var, lo, hi, unroll, body, combine, span } => {
-                self.desugar_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span)
-            }
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                body,
+                combine,
+                span,
+            } => self.desugar_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
             Cmd::Expr(e) => Cmd::Expr(self.expr(e)),
         }
     }
 
     fn expr(&mut self, e: &Expr) -> Expr {
         match e {
-            Expr::Access { mem, phys_bank, idxs, span } => {
+            Expr::Access {
+                mem,
+                phys_bank,
+                idxs,
+                span,
+            } => {
                 let idxs: Vec<Expr> = idxs.iter().map(|i| self.expr(i)).collect();
                 let (mem, idxs) = self.rewrite_access(&mem.clone(), &idxs);
                 Expr::Access {
@@ -186,9 +254,11 @@ impl Desugarer {
                 rhs: Box::new(self.expr(rhs)),
                 span: *span,
             },
-            Expr::Un { op, arg, span } => {
-                Expr::Un { op: *op, arg: Box::new(self.expr(arg)), span: *span }
-            }
+            Expr::Un { op, arg, span } => Expr::Un {
+                op: *op,
+                arg: Box::new(self.expr(arg)),
+                span: *span,
+            },
             Expr::Call { func, args, span } => Expr::Call {
                 func: func.clone(),
                 args: args.iter().map(|a| self.expr(a)).collect(),
@@ -242,6 +312,7 @@ impl Desugarer {
     }
 
     /// The lockstep unrolling of §3.4 / §4.5.
+    #[allow(clippy::too_many_arguments)]
     fn desugar_for(
         &mut self,
         var: &str,
@@ -356,11 +427,17 @@ struct Substitution {
 
 impl Substitution {
     fn new() -> Self {
-        Substitution { exprs: HashMap::new(), renames: HashMap::new() }
+        Substitution {
+            exprs: HashMap::new(),
+            renames: HashMap::new(),
+        }
     }
 
     fn name(&self, n: &str) -> Id {
-        self.renames.get(n).cloned().unwrap_or_else(|| n.to_string())
+        self.renames
+            .get(n)
+            .cloned()
+            .unwrap_or_else(|| n.to_string())
     }
 
     fn cmd(&mut self, c: &Cmd) -> Cmd {
@@ -368,44 +445,73 @@ impl Substitution {
             Cmd::Skip => Cmd::Skip,
             Cmd::Seq(cs) => Cmd::Seq(cs.iter().map(|c| self.cmd(c)).collect()),
             Cmd::Par(cs) => Cmd::Par(cs.iter().map(|c| self.cmd(c)).collect()),
-            Cmd::Let { name, ty, init, span } => Cmd::Let {
+            Cmd::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => Cmd::Let {
                 name: self.name(name),
                 ty: ty.clone(),
                 init: init.as_ref().map(|e| self.expr(e)),
                 span: *span,
             },
-            Cmd::View { name, mem, kind, span } => Cmd::View {
+            Cmd::View {
+                name,
+                mem,
+                kind,
+                span,
+            } => Cmd::View {
                 name: self.name(name),
                 mem: self.name(mem),
                 kind: match kind {
                     ViewKind::Suffix { offsets } => ViewKind::Suffix {
                         offsets: offsets.iter().map(|o| self.expr(o)).collect(),
                     },
-                    ViewKind::Shift { offsets } => {
-                        ViewKind::Shift { offsets: offsets.iter().map(|o| self.expr(o)).collect() }
-                    }
+                    ViewKind::Shift { offsets } => ViewKind::Shift {
+                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
+                    },
                     other => other.clone(),
                 },
                 span: *span,
             },
-            Cmd::Assign { name, rhs, span } => {
-                Cmd::Assign { name: self.name(name), rhs: self.expr(rhs), span: *span }
-            }
-            Cmd::Store { mem, phys_bank, idxs, rhs, span } => Cmd::Store {
+            Cmd::Assign { name, rhs, span } => Cmd::Assign {
+                name: self.name(name),
+                rhs: self.expr(rhs),
+                span: *span,
+            },
+            Cmd::Store {
+                mem,
+                phys_bank,
+                idxs,
+                rhs,
+                span,
+            } => Cmd::Store {
                 mem: self.name(mem),
                 phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
                 idxs: idxs.iter().map(|i| self.expr(i)).collect(),
                 rhs: self.expr(rhs),
                 span: *span,
             },
-            Cmd::Reduce { target, target_idxs, op, rhs, span } => Cmd::Reduce {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op,
+                rhs,
+                span,
+            } => Cmd::Reduce {
                 target: self.name(target),
                 target_idxs: target_idxs.iter().map(|i| self.expr(i)).collect(),
                 op: *op,
                 rhs: self.expr(rhs),
                 span: *span,
             },
-            Cmd::If { cond, then_branch, else_branch, span } => Cmd::If {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Cmd::If {
                 cond: self.expr(cond),
                 then_branch: Box::new(self.cmd(then_branch)),
                 else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
@@ -416,7 +522,15 @@ impl Substitution {
                 body: Box::new(self.cmd(body)),
                 span: *span,
             },
-            Cmd::For { var, lo, hi, unroll, body, combine, span } => Cmd::For {
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                body,
+                combine,
+                span,
+            } => Cmd::For {
                 var: self.name(var),
                 lo: *lo,
                 hi: *hi,
@@ -433,7 +547,10 @@ impl Substitution {
         match e {
             Expr::Var { name, span } => match self.exprs.get(name) {
                 Some(repl) => repl.clone(),
-                None => Expr::Var { name: self.name(name), span: *span },
+                None => Expr::Var {
+                    name: self.name(name),
+                    span: *span,
+                },
             },
             Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
                 op: *op,
@@ -441,10 +558,17 @@ impl Substitution {
                 rhs: Box::new(self.expr(rhs)),
                 span: *span,
             },
-            Expr::Un { op, arg, span } => {
-                Expr::Un { op: *op, arg: Box::new(self.expr(arg)), span: *span }
-            }
-            Expr::Access { mem, phys_bank, idxs, span } => Expr::Access {
+            Expr::Un { op, arg, span } => Expr::Un {
+                op: *op,
+                arg: Box::new(self.expr(arg)),
+                span: *span,
+            },
+            Expr::Access {
+                mem,
+                phys_bank,
+                idxs,
+                span,
+            } => Expr::Access {
                 mem: self.name(mem),
                 phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
                 idxs: idxs.iter().map(|i| self.expr(i)).collect(),
@@ -467,33 +591,66 @@ fn view_type(parent: &MemType, kind: &ViewKind) -> MemType {
             .dims
             .iter()
             .zip(factors)
-            .map(|(d, f)| Dim { size: d.size, banks: d.banks / f.max(&1) })
+            .map(|(d, f)| Dim {
+                size: d.size,
+                banks: d.banks / f.max(&1),
+            })
             .collect(),
         ViewKind::Suffix { .. } | ViewKind::Shift { .. } => parent.dims.clone(),
         ViewKind::Split { factor } => {
             let d = parent.dims.first().copied().unwrap_or(Dim::flat(1));
             let f = (*factor).max(1);
-            vec![Dim { size: f, banks: f }, Dim { size: d.size / f, banks: (d.banks / f).max(1) }]
+            vec![
+                Dim { size: f, banks: f },
+                Dim {
+                    size: d.size / f,
+                    banks: (d.banks / f).max(1),
+                },
+            ]
         }
     };
-    MemType { elem: parent.elem.clone(), ports: parent.ports, dims }
+    MemType {
+        elem: parent.elem.clone(),
+        ports: parent.ports,
+        dims,
+    }
 }
 
 // Expression constructors used by the rewrites.
 fn add(a: Expr, b: impl IntoExpr) -> Expr {
-    Expr::Bin { op: BinOp::Add, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+    Expr::Bin {
+        op: BinOp::Add,
+        lhs: Box::new(a),
+        rhs: Box::new(b.into_expr()),
+        span: Span::synthetic(),
+    }
 }
 
 fn mul(a: Expr, b: impl IntoExpr) -> Expr {
-    Expr::Bin { op: BinOp::Mul, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+    Expr::Bin {
+        op: BinOp::Mul,
+        lhs: Box::new(a),
+        rhs: Box::new(b.into_expr()),
+        span: Span::synthetic(),
+    }
 }
 
 fn div(a: Expr, b: impl IntoExpr) -> Expr {
-    Expr::Bin { op: BinOp::Div, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+    Expr::Bin {
+        op: BinOp::Div,
+        lhs: Box::new(a),
+        rhs: Box::new(b.into_expr()),
+        span: Span::synthetic(),
+    }
 }
 
 fn modulo(a: Expr, b: impl IntoExpr) -> Expr {
-    Expr::Bin { op: BinOp::Mod, lhs: Box::new(a), rhs: Box::new(b.into_expr()), span: Span::synthetic() }
+    Expr::Bin {
+        op: BinOp::Mod,
+        lhs: Box::new(a),
+        rhs: Box::new(b.into_expr()),
+        span: Span::synthetic(),
+    }
 }
 
 trait IntoExpr {
@@ -524,11 +681,23 @@ mod tests {
     fn agree(src: &str) -> Outcome {
         let p = parse(src).unwrap();
         let d = desugar(&p);
-        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let opts = InterpOptions {
+            check_capabilities: false,
+            ..Default::default()
+        };
         let o1 = interpret_with(&p, &opts, &Map::new()).unwrap();
-        let o2 = interpret_with(&d, &opts, &Map::new())
-            .unwrap_or_else(|e| panic!("desugared program failed: {e}\n{}", crate::pretty::program(&d)));
-        assert_eq!(o1.mems, o2.mems, "memories diverged\n{}", crate::pretty::program(&d));
+        let o2 = interpret_with(&d, &opts, &Map::new()).unwrap_or_else(|e| {
+            panic!(
+                "desugared program failed: {e}\n{}",
+                crate::pretty::program(&d)
+            )
+        });
+        assert_eq!(
+            o1.mems,
+            o2.mems,
+            "memories diverged\n{}",
+            crate::pretty::program(&d)
+        );
         o1
     }
 
@@ -635,8 +804,13 @@ mod tests {
             Cmd::Seq(v) => {
                 assert!(matches!(v[1], Cmd::Skip), "view erased");
                 match &v[2] {
-                    Cmd::For { unroll: 2, body, .. } => match &**body {
-                        Cmd::Let { init: Some(Expr::Access { mem, .. }), .. } => {
+                    Cmd::For {
+                        unroll: 2, body, ..
+                    } => match &**body {
+                        Cmd::Let {
+                            init: Some(Expr::Access { mem, .. }),
+                            ..
+                        } => {
                             assert_eq!(mem, "A", "access redirected to the root memory");
                         }
                         other => panic!("unexpected body {other:?}"),
@@ -647,7 +821,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Functional agreement under the unchecked interpreter.
-        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let opts = InterpOptions {
+            check_capabilities: false,
+            ..Default::default()
+        };
         let o1 = interpret_with(&p, &opts, &Map::new()).unwrap();
         let o2 = interpret_with(&d, &opts, &Map::new()).unwrap();
         assert_eq!(o1.mems, o2.mems);
@@ -673,7 +850,12 @@ mod tests {
         let d = desugar(&p);
         match &d.body {
             Cmd::Seq(v) => match &v[1] {
-                Cmd::For { lo: 0, hi: 4, unroll: 1, .. } => {}
+                Cmd::For {
+                    lo: 0,
+                    hi: 4,
+                    unroll: 1,
+                    ..
+                } => {}
                 other => panic!("unexpected loop shape: {other:?}"),
             },
             other => panic!("unexpected: {other:?}"),

@@ -37,12 +37,18 @@ impl Error {
 
     /// Shorthand constructor for parse errors.
     pub fn parse(msg: impl Into<String>, span: Span) -> Self {
-        Error::Parse { msg: msg.into(), span }
+        Error::Parse {
+            msg: msg.into(),
+            span,
+        }
     }
 
     /// Shorthand constructor for interpreter errors.
     pub fn interp(msg: impl Into<String>, span: Span) -> Self {
-        Error::Interp { msg: msg.into(), span }
+        Error::Interp {
+            msg: msg.into(),
+            span,
+        }
     }
 }
 
@@ -79,13 +85,21 @@ pub struct TypeError {
 impl TypeError {
     /// Create a new type error.
     pub fn new(kind: TypeErrorKind, msg: impl Into<String>, span: Span) -> Self {
-        TypeError { kind, msg: msg.into(), span }
+        TypeError {
+            kind,
+            msg: msg.into(),
+            span,
+        }
     }
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] type error ({:?}): {}", self.span, self.kind, self.msg)
+        write!(
+            f,
+            "[{}] type error ({:?}): {}",
+            self.span, self.kind, self.msg
+        )
     }
 }
 

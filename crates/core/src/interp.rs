@@ -78,7 +78,10 @@ pub struct InterpOptions {
 
 impl Default for InterpOptions {
     fn default() -> Self {
-        InterpOptions { check_capabilities: true, max_steps: 200_000_000 }
+        InterpOptions {
+            check_capabilities: true,
+            max_steps: 200_000_000,
+        }
     }
 }
 
@@ -145,7 +148,10 @@ struct MemRt {
 enum RtOrigin {
     Direct(String),
     /// View with offsets captured at declaration time.
-    View { parent: Box<MemRt>, op: RtView },
+    View {
+        parent: Box<MemRt>,
+        op: RtView,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -154,7 +160,9 @@ enum RtView {
     /// Per-dimension additive offsets (both `suffix` and `shift`).
     Offset(Vec<i64>),
     /// Split with factor `f`; parent is 1-D.
-    Split { factor: u64 },
+    Split {
+        factor: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -202,7 +210,9 @@ impl Monitor {
         }
         if !self.writes.insert((mem.to_string(), addr)) {
             return Err(Error::interp(
-                format!("dynamic write conflict: `{mem}` address {addr} written twice in one time step"),
+                format!(
+                    "dynamic write conflict: `{mem}` address {addr} written twice in one time step"
+                ),
                 span,
             ));
         }
@@ -240,7 +250,10 @@ struct Machine {
 
 impl Machine {
     fn new(opts: InterpOptions) -> Self {
-        let monitor = Monitor { enabled: opts.check_capabilities, ..Monitor::default() };
+        let monitor = Monitor {
+            enabled: opts.check_capabilities,
+            ..Monitor::default()
+        };
         Machine {
             scopes: vec![HashMap::new()],
             mems: HashMap::new(),
@@ -285,7 +298,10 @@ impl Machine {
             Some(v) => {
                 if v.len() != n {
                     return Err(Error::interp(
-                        format!("initializer for `{name}` has {} values, expected {n}", v.len()),
+                        format!(
+                            "initializer for `{name}` has {} values, expected {n}",
+                            v.len()
+                        ),
                         span,
                     ));
                 }
@@ -293,17 +309,29 @@ impl Machine {
             }
             None => vec![zero; n],
         };
-        self.mems.insert(name.to_string(), MemData { ty: ty.clone(), data });
+        self.mems.insert(
+            name.to_string(),
+            MemData {
+                ty: ty.clone(),
+                data,
+            },
+        );
         self.monitor.ports.insert(name.to_string(), ty.ports);
         self.bind(
             name,
-            Slot::Mem(MemRt { ty: ty.clone(), origin: RtOrigin::Direct(name.to_string()) }),
+            Slot::Mem(MemRt {
+                ty: ty.clone(),
+                origin: RtOrigin::Direct(name.to_string()),
+            }),
         );
         Ok(())
     }
 
     fn bind(&mut self, name: &str, slot: Slot) {
-        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_string(), slot);
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(name.to_string(), slot);
     }
 
     fn lookup(&self, name: &str) -> Option<&Slot> {
@@ -322,7 +350,10 @@ impl Machine {
 
     fn burn(&mut self, span: Span) -> Result<(), Error> {
         if self.fuel == 0 {
-            return Err(Error::interp("execution fuel exhausted (runaway loop?)", span));
+            return Err(Error::interp(
+                "execution fuel exhausted (runaway loop?)",
+                span,
+            ));
         }
         self.fuel -= 1;
         Ok(())
@@ -348,7 +379,12 @@ impl Machine {
                 self.monitor.new_frame();
                 Ok(())
             }
-            Cmd::Let { name, ty, init, span } => match (ty, init) {
+            Cmd::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => match (ty, init) {
                 (Some(Type::Mem(m)), None) => self.alloc(name, m, None, *span),
                 (_, Some(e)) => {
                     let v = self.eval(e)?;
@@ -356,9 +392,17 @@ impl Machine {
                     self.bind(name, Slot::Val(v));
                     Ok(())
                 }
-                _ => Err(Error::interp(format!("`let {name}` needs an initializer"), *span)),
+                _ => Err(Error::interp(
+                    format!("`let {name}` needs an initializer"),
+                    *span,
+                )),
             },
-            Cmd::View { name, mem, kind, span } => {
+            Cmd::View {
+                name,
+                mem,
+                kind,
+                span,
+            } => {
                 let parent = self.mem_rt(mem, *span)?;
                 let rt = self.view_rt(&parent, kind, *span)?;
                 self.bind(name, Slot::Mem(rt));
@@ -368,17 +412,32 @@ impl Machine {
                 let v = self.eval(rhs)?;
                 self.set_var(name, v, *span)
             }
-            Cmd::Store { mem, phys_bank, idxs, rhs, span } => {
+            Cmd::Store {
+                mem,
+                phys_bank,
+                idxs,
+                rhs,
+                span,
+            } => {
                 let v = self.eval(rhs)?;
                 let rt = self.mem_rt(mem, *span)?;
                 let (root, addr, bank) = self.resolve(&rt, phys_bank.as_deref(), idxs, *span)?;
                 self.monitor.write(&root, addr, bank, *span)?;
                 self.store_raw(&root, addr, v, *span)
             }
-            Cmd::Reduce { target, target_idxs, op, rhs, span } => {
-                self.exec_reduce(target, target_idxs, *op, rhs, *span)
-            }
-            Cmd::If { cond, then_branch, else_branch, span } => {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op,
+                rhs,
+                span,
+            } => self.exec_reduce(target, target_idxs, *op, rhs, *span),
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let c = self.eval(cond)?;
                 let taken = match c {
                     Value::Bool(b) => b,
@@ -413,9 +472,15 @@ impl Machine {
                 r?;
                 self.monitor.new_frame();
             },
-            Cmd::For { var, lo, hi, unroll, body, combine, span } => {
-                self.exec_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span)
-            }
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                body,
+                combine,
+                span,
+            } => self.exec_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
             Cmd::Expr(Expr::Call { func, args, span }) => self.exec_call(func, args, *span),
             Cmd::Expr(e) => {
                 self.eval(e)?;
@@ -426,6 +491,7 @@ impl Machine {
 
     /// Doall loop: iteration groups of `unroll` copies run in lockstep —
     /// all copies of one logical time step share a monitor frame.
+    #[allow(clippy::too_many_arguments)]
     fn exec_for(
         &mut self,
         var: &str,
@@ -442,13 +508,16 @@ impl Machine {
             Cmd::Par(steps) => steps.iter().collect(),
             other => vec![other],
         };
-        let groups = trips / u as u64 + u64::from(trips % u as u64 != 0);
+        let groups = trips / u as u64 + u64::from(!trips.is_multiple_of(u as u64));
         for g in 0..groups {
             self.burn(span)?;
             // One private environment per copy, persisting across steps.
             let mut envs: Vec<HashMap<Id, Slot>> = vec![HashMap::new(); u];
             for (c, env) in envs.iter_mut().enumerate() {
-                env.insert(var.to_string(), Slot::Iter(lo + (g * u as u64) as i64 + c as i64));
+                env.insert(
+                    var.to_string(),
+                    Slot::Iter(lo + (g * u as u64) as i64 + c as i64),
+                );
             }
             for step in &steps {
                 self.monitor.new_frame();
@@ -478,8 +547,10 @@ impl Machine {
                         }
                     }
                 }
-                let mut scope: HashMap<Id, Slot> =
-                    regs.into_iter().map(|(k, vs)| (k, Slot::Combine(vs))).collect();
+                let mut scope: HashMap<Id, Slot> = regs
+                    .into_iter()
+                    .map(|(k, vs)| (k, Slot::Combine(vs)))
+                    .collect();
                 scope.insert(var.to_string(), Slot::Iter(lo + (g * u as u64) as i64));
                 self.scopes.push(scope);
                 let r = self.exec(comb);
@@ -522,7 +593,12 @@ impl Machine {
         if target_idxs.is_empty() {
             let cur = match self.lookup(target) {
                 Some(Slot::Val(v)) => *v,
-                _ => return Err(Error::interp(format!("unbound reducer target `{target}`"), span)),
+                _ => {
+                    return Err(Error::interp(
+                        format!("unbound reducer target `{target}`"),
+                        span,
+                    ))
+                }
             };
             let v = fold(self, cur)?;
             self.set_var(target, v, span)
@@ -558,7 +634,9 @@ impl Machine {
                     stack.push(rhs);
                 }
                 Expr::Un { arg, .. } => stack.push(arg),
-                Expr::Access { idxs, phys_bank, .. } => {
+                Expr::Access {
+                    idxs, phys_bank, ..
+                } => {
                     stack.extend(idxs.iter());
                     if let Some(b) = phys_bank {
                         stack.push(b);
@@ -579,7 +657,11 @@ impl Machine {
             .ok_or_else(|| Error::interp(format!("unbound function `{func}`"), span))?;
         if def.params.len() != args.len() {
             return Err(Error::interp(
-                format!("`{func}` expects {} arguments, got {}", def.params.len(), args.len()),
+                format!(
+                    "`{func}` expects {} arguments, got {}",
+                    def.params.len(),
+                    args.len()
+                ),
                 span,
             ));
         }
@@ -628,7 +710,10 @@ impl Machine {
                 let dims = pdims
                     .iter()
                     .zip(factors)
-                    .map(|(d, f)| Dim { size: d.size, banks: d.banks / f.max(&1) })
+                    .map(|(d, f)| Dim {
+                        size: d.size,
+                        banks: d.banks / f.max(&1),
+                    })
                     .collect();
                 (dims, RtView::Shrink)
             }
@@ -647,15 +732,25 @@ impl Machine {
                 (
                     vec![
                         Dim { size: f, banks: f },
-                        Dim { size: d.size / f, banks: (d.banks / f).max(1) },
+                        Dim {
+                            size: d.size / f,
+                            banks: (d.banks / f).max(1),
+                        },
                     ],
                     RtView::Split { factor: f },
                 )
             }
         };
         Ok(MemRt {
-            ty: MemType { elem: parent.ty.elem.clone(), ports: parent.ty.ports, dims },
-            origin: RtOrigin::View { parent: Box::new(parent.clone()), op },
+            ty: MemType {
+                elem: parent.ty.elem.clone(),
+                ports: parent.ty.ports,
+                dims,
+            },
+            origin: RtOrigin::View {
+                parent: Box::new(parent.clone()),
+                op,
+            },
         })
     }
 
@@ -671,9 +766,10 @@ impl Machine {
         let logical = if let Some(b) = phys_bank {
             let bank = self.eval(b)?.as_i64();
             let off = self
-                .eval(idxs.first().ok_or_else(|| {
-                    Error::interp("physical access needs an offset", span)
-                })?)?
+                .eval(
+                    idxs.first()
+                        .ok_or_else(|| Error::interp("physical access needs an offset", span))?,
+                )?
                 .as_i64();
             physical_to_logical(&rt.ty, bank, off, span)?
         } else {
@@ -706,7 +802,10 @@ impl Machine {
         for (i, (&ix, d)) in logical.iter().zip(&rt.ty.dims).enumerate() {
             if ix < 0 || ix as u64 >= d.size {
                 return Err(Error::interp(
-                    format!("index {ix} out of bounds in dimension {i} (size {})", d.size),
+                    format!(
+                        "index {ix} out of bounds in dimension {i} (size {})",
+                        d.size
+                    ),
                     span,
                 ));
             }
@@ -747,10 +846,9 @@ impl Machine {
             .mems
             .get(root)
             .ok_or_else(|| Error::interp(format!("unknown memory `{root}`"), span))?;
-        m.data
-            .get(addr as usize)
-            .copied()
-            .ok_or_else(|| Error::interp(format!("address {addr} out of bounds for `{root}`"), span))
+        m.data.get(addr as usize).copied().ok_or_else(|| {
+            Error::interp(format!("address {addr} out of bounds for `{root}`"), span)
+        })
     }
 
     fn store_raw(&mut self, root: &str, addr: u64, v: Value, span: Span) -> Result<(), Error> {
@@ -768,7 +866,10 @@ impl Machine {
                 *slot = elem;
                 Ok(())
             }
-            None => Err(Error::interp(format!("address {addr} out of bounds for `{root}`"), span)),
+            None => Err(Error::interp(
+                format!("address {addr} out of bounds for `{root}`"),
+                span,
+            )),
         }
     }
 
@@ -793,9 +894,10 @@ impl Machine {
                         Error::interp(format!("combine register `{name}` has no copy {c}"), *span)
                     })
                 }
-                Some(Slot::Mem(_)) => {
-                    Err(Error::interp(format!("memory `{name}` used as a value"), *span))
-                }
+                Some(Slot::Mem(_)) => Err(Error::interp(
+                    format!("memory `{name}` used as a value"),
+                    *span,
+                )),
                 None => Err(Error::interp(format!("unbound variable `{name}`"), *span)),
             },
             Expr::Bin { op, lhs, rhs, span } => {
@@ -825,15 +927,21 @@ impl Machine {
                     }),
                 }
             }
-            Expr::Access { mem, phys_bank, idxs, span } => {
+            Expr::Access {
+                mem,
+                phys_bank,
+                idxs,
+                span,
+            } => {
                 let rt = self.mem_rt(mem, *span)?;
                 let (root, addr, bank) = self.resolve(&rt, phys_bank.as_deref(), idxs, *span)?;
                 self.monitor.read(&root, addr, bank, *span)?;
                 self.load_raw(&root, addr, *span)
             }
-            Expr::Call { func, span, .. } => {
-                Err(Error::interp(format!("procedure `{func}` called in expression position"), *span))
-            }
+            Expr::Call { func, span, .. } => Err(Error::interp(
+                format!("procedure `{func}` called in expression position"),
+                *span,
+            )),
         }
     }
 }
@@ -843,7 +951,10 @@ impl Machine {
 fn physical_to_logical(ty: &MemType, bank: i64, off: i64, span: Span) -> Result<Vec<i64>, Error> {
     let total = ty.total_banks();
     if bank < 0 || bank as u64 >= total {
-        return Err(Error::interp(format!("bank {bank} out of range ({total} banks)"), span));
+        return Err(Error::interp(
+            format!("bank {bank} out of range ({total} banks)"),
+            span,
+        ));
     }
     // Unflatten the bank id per dimension (row-major).
     let mut rem = bank as u64;
@@ -861,7 +972,10 @@ fn physical_to_logical(ty: &MemType, bank: i64, off: i64, span: Span) -> Result<
         rem /= within;
     }
     if rem != 0 {
-        return Err(Error::interp(format!("offset {off} out of range for bank {bank}"), span));
+        return Err(Error::interp(
+            format!("offset {off} out of range for bank {bank}"),
+            span,
+        ));
     }
     Ok(ty
         .dims
@@ -953,7 +1067,10 @@ mod tests {
 
     fn run_unchecked(src: &str) -> Outcome {
         let p = parse(src).unwrap();
-        let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+        let opts = InterpOptions {
+            check_capabilities: false,
+            ..Default::default()
+        };
         interpret_with(&p, &opts, &HashMap::new()).unwrap()
     }
 
@@ -996,12 +1113,10 @@ mod tests {
 
     #[test]
     fn unrolled_loop_runs_all_copies() {
-        let o = run(
-            "let A: bit<32>[8 bank 2];
+        let o = run("let A: bit<32>[8 bank 2];
              for (let i = 0..8) unroll 2 { A[i] := i; }
              ---
-             let x = A[5];",
-        );
+             let x = A[5];");
         assert_eq!(o.vars["x"], Value::Int(5));
         assert_eq!(o.mems["A"], (0..8).map(Value::Int).collect::<Vec<_>>());
     }
@@ -1019,8 +1134,7 @@ mod tests {
 
     #[test]
     fn combine_reduces_over_copies() {
-        let o = run(
-            "let A: bit<32>[8 bank 4]; let B: bit<32>[8 bank 4];
+        let o = run("let A: bit<32>[8 bank 4]; let B: bit<32>[8 bank 4];
              for (let i = 0..8) unroll 4 { A[i] := i; B[i] := 2; }
              ---
              let dot = 0;
@@ -1028,51 +1142,44 @@ mod tests {
                let v = A[i] * B[i];
              } combine {
                dot += v;
-             }",
-        );
+             }");
         // dot = Σ 2i for i in 0..8 = 56.
         assert_eq!(o.vars["dot"], Value::Int(56));
     }
 
     #[test]
     fn memory_reduce_target() {
-        let o = run(
-            "let acc: bit<32>[2];
+        let o = run("let acc: bit<32>[2];
              for (let g = 0..4) {
                for (let i = 0..4) unroll 2 {
                  let v = 1;
                } combine {
                  acc[0] += v;
                }
-             }",
-        );
+             }");
         // 4 outer × 2 inner groups × 2 copies = 16.
         assert_eq!(o.mems["acc"][0], Value::Int(16));
     }
 
     #[test]
     fn shrink_view_access() {
-        let o = run(
-            "let A: bit<32>[8 bank 4];
+        let o = run("let A: bit<32>[8 bank 4];
              for (let i = 0..8) unroll 4 { A[i] := i * 10; }
              ---
              view sh = shrink A[by 2];
              for (let i = 0..8) unroll 2 { let x = sh[i]; }
              ---
-             let y = sh[3];",
-        );
+             let y = sh[3];");
         assert_eq!(o.vars["y"], Value::Int(30));
     }
 
     #[test]
     fn suffix_view_offsets() {
-        let o = run(
-            "let A: bit<32>[8 bank 2];
+        let o = run("let A: bit<32>[8 bank 2];
              for (let i = 0..8) unroll 2 { A[i] := i; }
              ---
              view s2 = suffix A[by 2*3];
-             let z = s2[1];",
-        );
+             let z = s2[1];");
         // s2[1] = A[7].
         assert_eq!(o.vars["z"], Value::Int(7));
     }
@@ -1080,13 +1187,11 @@ mod tests {
     #[test]
     fn split_view_translation() {
         // A[12 bank 4] split by 2: row 0 = {0,1,4,5,8,9}, row 1 = {2,3,6,7,10,11}.
-        let o = run(
-            "let A: bit<32>[12 bank 4];
+        let o = run("let A: bit<32>[12 bank 4];
              for (let i = 0..12) { A[i] := i; }
              ---
              view sp = split A[by 2];
-             let a = sp[0][2]; let b = sp[1][3];",
-        );
+             let a = sp[0][2]; let b = sp[1][3];");
         // sp[0][2] = A[4], sp[1][3] = A[7] — different banks, so one step.
         assert_eq!(o.vars["a"], Value::Int(4));
         assert_eq!(o.vars["b"], Value::Int(7));
@@ -1094,12 +1199,10 @@ mod tests {
 
     #[test]
     fn physical_access_roundtrip() {
-        let o = run(
-            "let A: bit<32>[8 bank 2];
+        let o = run("let A: bit<32>[8 bank 2];
              A{0}[1] := 42; A{1}[0] := 7;
              ---
-             let x = A[2]; let y = A[1];",
-        );
+             let x = A[2]; let y = A[1];");
         // Bank 0 offset 1 = element 2; bank 1 offset 0 = element 1.
         assert_eq!(o.vars["x"], Value::Int(42));
         assert_eq!(o.vars["y"], Value::Int(7));
@@ -1108,31 +1211,25 @@ mod tests {
     #[test]
     fn physical_multidim() {
         // M{3}[0] is logically M[1][1] under 2×2 banking.
-        let o = run(
-            "let M: bit<32>[4 bank 2][4 bank 2];
+        let o = run("let M: bit<32>[4 bank 2][4 bank 2];
              M{3}[0] := 9;
              ---
-             let x = M[1][1];",
-        );
+             let x = M[1][1];");
         assert_eq!(o.vars["x"], Value::Int(9));
     }
 
     #[test]
     fn if_else_and_while() {
-        let o = run(
-            "let x = 0; let n = 0;
-             while (n < 5) { n := n + 1; if (n % 2 == 0) { x := x + 10; } else { x := x + 1; } }",
-        );
+        let o = run("let x = 0; let n = 0;
+             while (n < 5) { n := n + 1; if (n % 2 == 0) { x := x + 10; } else { x := x + 1; } }");
         assert_eq!(o.vars["x"], Value::Int(23));
     }
 
     #[test]
     fn function_call_writes_through() {
-        let o = run(
-            "def set1(M: bit<32>[4], v: bit<32>) { M[0] := v; }
+        let o = run("def set1(M: bit<32>[4], v: bit<32>) { M[0] := v; }
              let A: bit<32>[4];
-             set1(A, 13);",
-        );
+             set1(A, 13);");
         assert_eq!(o.mems["A"][0], Value::Int(13));
     }
 
@@ -1150,7 +1247,10 @@ mod tests {
     #[test]
     fn fuel_guards_infinite_loops() {
         let p = parse("let t = true; while (t) { let x = 1; }").unwrap();
-        let opts = InterpOptions { check_capabilities: false, max_steps: 10_000 };
+        let opts = InterpOptions {
+            check_capabilities: false,
+            max_steps: 10_000,
+        };
         let err = interpret_with(&p, &opts, &HashMap::new()).unwrap_err();
         assert!(err.to_string().contains("fuel"), "{err}");
     }
@@ -1165,16 +1265,14 @@ mod tests {
     fn stencil_end_to_end() {
         // 1-D 3-tap stencil with a shift view; three reads per step need
         // three ports on the single bank.
-        let o = run(
-            "let inp: bit<32>{3}[8];
+        let o = run("let inp: bit<32>{3}[8];
              let out: bit<32>[8];
              for (let i = 0..8) { inp[i] := i * i; }
              ---
              for (let r = 0..6) {
                view w = shift inp[by r];
                out[r] := w[0] + w[1] + w[2];
-             }",
-        );
+             }");
         // out[r] = r² + (r+1)² + (r+2)².
         for r in 0..6i64 {
             assert_eq!(

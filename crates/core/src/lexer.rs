@@ -133,7 +133,14 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -161,11 +168,17 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, tok: Tok, start: (usize, u32, u32)) {
-        self.out.push(Token { tok, span: Span::new(start.0, self.pos, start.1, start.2) });
+        self.out.push(Token {
+            tok,
+            span: Span::new(start.0, self.pos, start.1, start.2),
+        });
     }
 
     fn err(&self, msg: impl Into<String>, start: (usize, u32, u32)) -> Error {
-        Error::Lex { msg: msg.into(), span: Span::new(start.0, self.pos.max(start.0 + 1), start.1, start.2) }
+        Error::Lex {
+            msg: msg.into(),
+            span: Span::new(start.0, self.pos.max(start.0 + 1), start.1, start.2),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, Error> {
@@ -235,19 +248,24 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start.0..self.pos];
         if is_float {
-            let v: f64 =
-                text.parse().map_err(|_| self.err(format!("bad float literal `{text}`"), start))?;
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal `{text}`"), start))?;
             self.push(Tok::Float(v), start);
         } else {
-            let v: i64 =
-                text.parse().map_err(|_| self.err(format!("bad int literal `{text}`"), start))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad int literal `{text}`"), start))?;
             self.push(Tok::Int(v), start);
         }
         Ok(())
     }
 
     fn ident(&mut self, start: (usize, u32, u32)) {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         let text = &self.src[start.0..self.pos];
@@ -406,40 +424,52 @@ mod tests {
 
     #[test]
     fn lexes_ordered_composition() {
-        assert_eq!(toks("x --- y"), vec![
-            Tok::Ident("x".into()),
-            Tok::SeqComp,
-            Tok::Ident("y".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("x --- y"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::SeqComp,
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn minus_vs_seqcomp_vs_minus_eq() {
-        assert_eq!(toks("a - b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Minus,
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
         assert_eq!(toks("a -= b")[1], Tok::MinusEq);
     }
 
     #[test]
     fn range_is_not_float() {
-        assert_eq!(toks("0..10"), vec![Tok::Int(0), Tok::DotDot, Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            toks("0..10"),
+            vec![Tok::Int(0), Tok::DotDot, Tok::Int(10), Tok::Eof]
+        );
         assert_eq!(toks("4.2"), vec![Tok::Float(4.2), Tok::Eof]);
         assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("x // hi\ny /* bye\nbye */ z"), vec![
-            Tok::Ident("x".into()),
-            Tok::Ident("y".into()),
-            Tok::Ident("z".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("x // hi\ny /* bye\nbye */ z"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Ident("y".into()),
+                Tok::Ident("z".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod ast;
 pub mod check;
 pub mod desugar;
+pub mod diag;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -34,6 +35,7 @@ pub mod span;
 
 pub use ast::{Cmd, Decl, Dim, Expr, FuncDef, MemType, Program, Type, ViewKind};
 pub use check::{typecheck, CheckReport};
+pub use diag::{Diagnostic, Phase};
 pub use error::{Error, TypeError, TypeErrorKind};
 pub use interp::{interpret, InterpOptions, Value};
 pub use parser::{parse, parse_expr};

@@ -17,7 +17,11 @@ use crate::span::Span;
 /// Returns [`Error::Lex`] or [`Error::Parse`] on malformed input.
 pub fn parse(src: &str) -> Result<Program, Error> {
     let tokens = lex(src)?;
-    Parser { toks: tokens, pos: 0 }.program()
+    Parser {
+        toks: tokens,
+        pos: 0,
+    }
+    .program()
 }
 
 /// Parse a single expression (used by tests and tools).
@@ -27,7 +31,10 @@ pub fn parse(src: &str) -> Result<Program, Error> {
 /// Returns an error if the input is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr, Error> {
     let tokens = lex(src)?;
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
     Ok(e)
@@ -78,7 +85,10 @@ impl Parser {
             self.bump();
             Ok(s)
         } else {
-            Err(Error::parse(format!("expected {t:?}, found {:?}", self.peek()), self.span()))
+            Err(Error::parse(
+                format!("expected {t:?}, found {:?}", self.peek()),
+                self.span(),
+            ))
         }
     }
 
@@ -89,7 +99,10 @@ impl Parser {
                 self.bump();
                 Ok((s, sp))
             }
-            other => Err(Error::parse(format!("expected identifier, found {other:?}"), self.span())),
+            other => Err(Error::parse(
+                format!("expected identifier, found {other:?}"),
+                self.span(),
+            )),
         }
     }
 
@@ -99,9 +112,10 @@ impl Parser {
                 self.bump();
                 Ok(v)
             }
-            ref other => {
-                Err(Error::parse(format!("expected integer, found {other:?}"), self.span()))
-            }
+            ref other => Err(Error::parse(
+                format!("expected integer, found {other:?}"),
+                self.span(),
+            )),
         }
     }
 
@@ -136,7 +150,10 @@ impl Parser {
         self.expect(&Tok::Semi)?;
         match ty {
             Type::Mem(m) => Ok(Decl { name, ty: m, span }),
-            other => Err(Error::parse(format!("`decl` requires a memory type, found `{other}`"), span)),
+            other => Err(Error::parse(
+                format!("`decl` requires a memory type, found `{other}`"),
+                span,
+            )),
         }
     }
 
@@ -159,7 +176,12 @@ impl Parser {
         }
         let body = self.block()?;
         let span = start.merge(self.prev_span());
-        Ok(FuncDef { name, params, body, span })
+        Ok(FuncDef {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     // ------------------------------------------------------------- types
@@ -182,7 +204,10 @@ impl Parser {
                 Type::UBit(n as u32)
             }
             other => {
-                return Err(Error::parse(format!("expected a type, found {other:?}"), self.prev_span()))
+                return Err(Error::parse(
+                    format!("expected a type, found {other:?}"),
+                    self.prev_span(),
+                ))
             }
         };
         // Optional port annotation `{k}` and dimension list `[n bank m]…`.
@@ -207,11 +232,18 @@ impl Parser {
         }
         if dims.is_empty() {
             if ports != 1 {
-                return Err(Error::parse("port annotation requires a memory type", self.prev_span()));
+                return Err(Error::parse(
+                    "port annotation requires a memory type",
+                    self.prev_span(),
+                ));
             }
             Ok(scalar)
         } else {
-            Ok(Type::Mem(MemType { elem: Box::new(scalar), ports, dims }))
+            Ok(Type::Mem(MemType {
+                elem: Box::new(scalar),
+                ports,
+                dims,
+            }))
         }
     }
 
@@ -250,7 +282,13 @@ impl Parser {
         let mut groups: Vec<Cmd> = steps
             .into_iter()
             .filter(|g| !g.is_empty())
-            .map(|mut g| if g.len() == 1 { g.pop().expect("len 1") } else { Cmd::Seq(g) })
+            .map(|mut g| {
+                if g.len() == 1 {
+                    g.pop().expect("len 1")
+                } else {
+                    Cmd::Seq(g)
+                }
+            })
             .collect();
         Ok(match groups.len() {
             0 => Cmd::Skip,
@@ -275,17 +313,33 @@ impl Parser {
             Tok::For => self.for_cmd(),
             Tok::LBrace => self.block(),
             Tok::Ident(_) => self.stmt_starting_with_ident(),
-            other => Err(Error::parse(format!("expected a command, found {other:?}"), self.span())),
+            other => Err(Error::parse(
+                format!("expected a command, found {other:?}"),
+                self.span(),
+            )),
         }
     }
 
     fn let_cmd(&mut self) -> Result<Cmd, Error> {
         let start = self.expect(&Tok::Let)?;
         let (name, _) = self.ident()?;
-        let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
-        let init = if self.eat(&Tok::Eq) { Some(self.expr()?) } else { None };
+        let ty = if self.eat(&Tok::Colon) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let init = if self.eat(&Tok::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let span = start.merge(self.prev_span());
-        Ok(Cmd::Let { name, ty, init, span })
+        Ok(Cmd::Let {
+            name,
+            ty,
+            init,
+            span,
+        })
     }
 
     fn view_cmd(&mut self) -> Result<Cmd, Error> {
@@ -301,7 +355,12 @@ impl Parser {
             let (mem, _) = self.ident()?;
             let kind = self.view_args(&kind_tok)?;
             let span = start.merge(self.prev_span());
-            cmds.push(Cmd::View { name: name.clone(), mem, kind, span });
+            cmds.push(Cmd::View {
+                name: name.clone(),
+                mem,
+                kind,
+                span,
+            });
             let more = self.eat(&Tok::Comma);
             if more != (i + 1 < names.len()) {
                 return Err(Error::parse(
@@ -310,7 +369,11 @@ impl Parser {
                 ));
             }
         }
-        Ok(if cmds.len() == 1 { cmds.pop().expect("len 1") } else { Cmd::Seq(cmds) })
+        Ok(if cmds.len() == 1 {
+            cmds.pop().expect("len 1")
+        } else {
+            Cmd::Seq(cmds)
+        })
     }
 
     /// Parse `[by …]…` according to the view kind keyword.
@@ -322,7 +385,10 @@ impl Parser {
             self.expect(&Tok::RBracket)?;
         }
         if offsets.is_empty() {
-            return Err(Error::parse("view requires at least one `[by …]`", self.span()));
+            return Err(Error::parse(
+                "view requires at least one `[by …]`",
+                self.span(),
+            ));
         }
         let const_factors = |offsets: &[Expr]| -> Result<Vec<u64>, Error> {
             offsets
@@ -337,19 +403,25 @@ impl Parser {
                 .collect()
         };
         match kind {
-            Tok::Shrink => Ok(ViewKind::Shrink { factors: const_factors(&offsets)? }),
+            Tok::Shrink => Ok(ViewKind::Shrink {
+                factors: const_factors(&offsets)?,
+            }),
             Tok::Suffix => Ok(ViewKind::Suffix { offsets }),
             Tok::Shift => Ok(ViewKind::Shift { offsets }),
             Tok::Split => {
                 let fs = const_factors(&offsets)?;
                 if fs.len() != 1 {
-                    return Err(Error::parse("`split` takes exactly one factor", self.span()));
+                    return Err(Error::parse(
+                        "`split` takes exactly one factor",
+                        self.span(),
+                    ));
                 }
                 Ok(ViewKind::Split { factor: fs[0] })
             }
-            other => {
-                Err(Error::parse(format!("expected a view kind, found {other:?}"), self.prev_span()))
-            }
+            other => Err(Error::parse(
+                format!("expected a view kind, found {other:?}"),
+                self.prev_span(),
+            )),
         }
     }
 
@@ -360,12 +432,21 @@ impl Parser {
         self.expect(&Tok::RParen)?;
         let then_branch = Box::new(self.block()?);
         let else_branch = if self.eat(&Tok::Else) {
-            Some(Box::new(if *self.peek() == Tok::If { self.if_cmd()? } else { self.block()? }))
+            Some(Box::new(if *self.peek() == Tok::If {
+                self.if_cmd()?
+            } else {
+                self.block()?
+            }))
         } else {
             None
         };
         let span = start.merge(self.prev_span());
-        Ok(Cmd::If { cond, then_branch, else_branch, span })
+        Ok(Cmd::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        })
     }
 
     fn while_cmd(&mut self) -> Result<Cmd, Error> {
@@ -388,15 +469,33 @@ impl Parser {
         self.expect(&Tok::DotDot)?;
         let hi = self.int()?;
         self.expect(&Tok::RParen)?;
-        let unroll = if self.eat(&Tok::Unroll) { self.int()? as u64 } else { 1 };
+        let unroll = if self.eat(&Tok::Unroll) {
+            self.int()? as u64
+        } else {
+            1
+        };
         if unroll == 0 {
-            return Err(Error::parse("unroll factor must be positive", self.prev_span()));
+            return Err(Error::parse(
+                "unroll factor must be positive",
+                self.prev_span(),
+            ));
         }
         let body = Box::new(self.block()?);
-        let combine =
-            if self.eat(&Tok::Combine) { Some(Box::new(self.block()?)) } else { None };
+        let combine = if self.eat(&Tok::Combine) {
+            Some(Box::new(self.block()?))
+        } else {
+            None
+        };
         let span = start.merge(self.prev_span());
-        Ok(Cmd::For { var, lo, hi, unroll, body, combine, span })
+        Ok(Cmd::For {
+            var,
+            lo,
+            hi,
+            unroll,
+            body,
+            combine,
+            span,
+        })
     }
 
     /// Statements beginning with an identifier: assignment, store, reducer,
@@ -426,12 +525,21 @@ impl Parser {
         };
         if let Some(op) = reducer {
             if phys_bank.is_some() {
-                return Err(Error::parse("reducers cannot target a physical bank", self.span()));
+                return Err(Error::parse(
+                    "reducers cannot target a physical bank",
+                    self.span(),
+                ));
             }
             self.bump();
             let rhs = self.expr()?;
             let span = start.merge(self.prev_span());
-            return Ok(Cmd::Reduce { target: name, target_idxs: idxs, op, rhs, span });
+            return Ok(Cmd::Reduce {
+                target: name,
+                target_idxs: idxs,
+                op,
+                rhs,
+                span,
+            });
         }
 
         if self.eat(&Tok::Assign) {
@@ -440,7 +548,13 @@ impl Parser {
             return if idxs.is_empty() && phys_bank.is_none() {
                 Ok(Cmd::Assign { name, rhs, span })
             } else {
-                Ok(Cmd::Store { mem: name, phys_bank, idxs, rhs, span })
+                Ok(Cmd::Store {
+                    mem: name,
+                    phys_bank,
+                    idxs,
+                    rhs,
+                    span,
+                })
             };
         }
 
@@ -451,7 +565,12 @@ impl Parser {
             }
             Expr::Var { name, span: start }
         } else {
-            Expr::Access { mem: name, phys_bank, idxs, span: start.merge(self.prev_span()) }
+            Expr::Access {
+                mem: name,
+                phys_bank,
+                idxs,
+                span: start.merge(self.prev_span()),
+            }
         };
         let e = self.binop_rhs(base, 0)?;
         Ok(Cmd::Expr(e))
@@ -515,7 +634,12 @@ impl Parser {
                 }
             }
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -527,14 +651,22 @@ impl Parser {
                 self.bump();
                 let arg = self.unary()?;
                 let span = sp.merge(arg.span());
-                Ok(Expr::Un { op: UnOp::Not, arg: Box::new(arg), span })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    arg: Box::new(arg),
+                    span,
+                })
             }
             Tok::Minus => {
                 let sp = self.span();
                 self.bump();
                 let arg = self.unary()?;
                 let span = sp.merge(arg.span());
-                Ok(Expr::Un { op: UnOp::Neg, arg: Box::new(arg), span })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    arg: Box::new(arg),
+                    span,
+                })
             }
             _ => self.postfix(),
         }
@@ -545,8 +677,14 @@ impl Parser {
         match self.bump() {
             Tok::Int(v) => Ok(Expr::LitInt { val: v, span: sp }),
             Tok::Float(v) => Ok(Expr::LitFloat { val: v, span: sp }),
-            Tok::True => Ok(Expr::LitBool { val: true, span: sp }),
-            Tok::False => Ok(Expr::LitBool { val: false, span: sp }),
+            Tok::True => Ok(Expr::LitBool {
+                val: true,
+                span: sp,
+            }),
+            Tok::False => Ok(Expr::LitBool {
+                val: false,
+                span: sp,
+            }),
             Tok::LParen => {
                 let e = self.expr()?;
                 self.expect(&Tok::RParen)?;
@@ -566,7 +704,11 @@ impl Parser {
                         }
                         self.expect(&Tok::RParen)?;
                     }
-                    return Ok(Expr::Call { func: name, args, span: sp.merge(self.prev_span()) });
+                    return Ok(Expr::Call {
+                        func: name,
+                        args,
+                        span: sp.merge(self.prev_span()),
+                    });
                 }
                 // Physical bank and/or indices?
                 let mut phys_bank = None;
@@ -584,10 +726,18 @@ impl Parser {
                 if idxs.is_empty() && phys_bank.is_none() {
                     Ok(Expr::Var { name, span: sp })
                 } else {
-                    Ok(Expr::Access { mem: name, phys_bank, idxs, span: sp.merge(self.prev_span()) })
+                    Ok(Expr::Access {
+                        mem: name,
+                        phys_bank,
+                        idxs,
+                        span: sp.merge(self.prev_span()),
+                    })
                 }
             }
-            other => Err(Error::parse(format!("expected an expression, found {other:?}"), sp)),
+            other => Err(Error::parse(
+                format!("expected an expression, found {other:?}"),
+                sp,
+            )),
         }
     }
 
@@ -614,7 +764,12 @@ mod tests {
     fn parses_memory_let() {
         let c = body("let A: float[8 bank 4];");
         match c {
-            Cmd::Let { name, ty: Some(Type::Mem(m)), init: None, .. } => {
+            Cmd::Let {
+                name,
+                ty: Some(Type::Mem(m)),
+                init: None,
+                ..
+            } => {
                 assert_eq!(name, "A");
                 assert_eq!(m.dims, vec![Dim::banked(8, 4)]);
                 assert_eq!(m.ports, 1);
@@ -627,7 +782,10 @@ mod tests {
     fn parses_multiported() {
         let c = body("let A: float{2}[10];");
         match c {
-            Cmd::Let { ty: Some(Type::Mem(m)), .. } => {
+            Cmd::Let {
+                ty: Some(Type::Mem(m)),
+                ..
+            } => {
                 assert_eq!(m.ports, 2);
                 assert_eq!(m.dims, vec![Dim::flat(10)]);
             }
@@ -679,12 +837,25 @@ mod tests {
              }",
         );
         match c {
-            Cmd::For { var, lo, hi, unroll, combine, .. } => {
+            Cmd::For {
+                var,
+                lo,
+                hi,
+                unroll,
+                combine,
+                ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!((lo, hi), (0, 10));
                 assert_eq!(unroll, 2);
                 let comb = combine.expect("combine block");
-                assert!(matches!(*comb, Cmd::Reduce { op: Reducer::AddAssign, .. }));
+                assert!(matches!(
+                    *comb,
+                    Cmd::Reduce {
+                        op: Reducer::AddAssign,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -698,14 +869,24 @@ mod tests {
         );
         let c = body("view w = shift orig[by row][by col];");
         match c {
-            Cmd::View { kind: ViewKind::Shift { offsets }, mem, .. } => {
+            Cmd::View {
+                kind: ViewKind::Shift { offsets },
+                mem,
+                ..
+            } => {
                 assert_eq!(mem, "orig");
                 assert_eq!(offsets.len(), 2);
             }
             other => panic!("unexpected: {other:?}"),
         }
         let c = body("view sp = split A[by 2];");
-        assert!(matches!(c, Cmd::View { kind: ViewKind::Split { factor: 2 }, .. }));
+        assert!(matches!(
+            c,
+            Cmd::View {
+                kind: ViewKind::Split { factor: 2 },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -714,7 +895,13 @@ mod tests {
         match c {
             Cmd::Seq(v) => {
                 assert_eq!(v.len(), 2);
-                assert!(matches!(v[0], Cmd::View { kind: ViewKind::Suffix { .. }, .. }));
+                assert!(matches!(
+                    v[0],
+                    Cmd::View {
+                        kind: ViewKind::Suffix { .. },
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -729,7 +916,12 @@ mod tests {
     fn parses_physical_access() {
         let c = body("A{0}[0] := 1;");
         match c {
-            Cmd::Store { mem, phys_bank, idxs, .. } => {
+            Cmd::Store {
+                mem,
+                phys_bank,
+                idxs,
+                ..
+            } => {
                 assert_eq!(mem, "A");
                 assert!(phys_bank.is_some());
                 assert_eq!(idxs.len(), 1);
@@ -737,7 +929,13 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         let e = parse_expr("M{3}[0]").unwrap();
-        assert!(matches!(e, Expr::Access { phys_bank: Some(_), .. }));
+        assert!(matches!(
+            e,
+            Expr::Access {
+                phys_bank: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -759,7 +957,11 @@ mod tests {
     fn expression_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Bin { op: BinOp::Add, rhs, .. } => {
+            Expr::Bin {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Bin { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected: {other:?}"),
@@ -772,7 +974,10 @@ mod tests {
     fn if_else_chain() {
         let c = body("if (x < 1) { y := 0; } else if (x < 2) { y := 1; } else { y := 2; }");
         match c {
-            Cmd::If { else_branch: Some(e), .. } => assert!(matches!(*e, Cmd::If { .. })),
+            Cmd::If {
+                else_branch: Some(e),
+                ..
+            } => assert!(matches!(*e, Cmd::If { .. })),
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -781,7 +986,12 @@ mod tests {
     fn memory_reducer_target() {
         let c = body("prod[i][j] += mul;");
         match c {
-            Cmd::Reduce { target, target_idxs, op: Reducer::AddAssign, .. } => {
+            Cmd::Reduce {
+                target,
+                target_idxs,
+                op: Reducer::AddAssign,
+                ..
+            } => {
                 assert_eq!(target, "prod");
                 assert_eq!(target_idxs.len(), 2);
             }

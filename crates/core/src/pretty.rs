@@ -58,7 +58,12 @@ pub fn expr(e: &Expr) -> String {
             };
             format!("{s}{}", expr(arg))
         }
-        Expr::Access { mem, phys_bank, idxs, .. } => {
+        Expr::Access {
+            mem,
+            phys_bank,
+            idxs,
+            ..
+        } => {
             let mut s = mem.clone();
             if let Some(b) = phys_bank {
                 let _ = write!(s, "{{{}}}", expr(b));
@@ -69,7 +74,10 @@ pub fn expr(e: &Expr) -> String {
             s
         }
         Expr::Call { func, args, .. } => {
-            format!("{func}({})", args.iter().map(expr).collect::<Vec<_>>().join(", "))
+            format!(
+                "{func}({})",
+                args.iter().map(expr).collect::<Vec<_>>().join(", ")
+            )
         }
     }
 }
@@ -108,15 +116,23 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             }
             out.push_str(";\n");
         }
-        Cmd::View { name, mem, kind, .. } => {
+        Cmd::View {
+            name, mem, kind, ..
+        } => {
             indent(depth, out);
             let args = |offsets: &[Expr]| {
-                offsets.iter().map(|o| format!("[by {}]", expr(o))).collect::<String>()
+                offsets
+                    .iter()
+                    .map(|o| format!("[by {}]", expr(o)))
+                    .collect::<String>()
             };
             let body = match kind {
                 ViewKind::Shrink { factors } => format!(
                     "shrink {mem}{}",
-                    factors.iter().map(|f| format!("[by {f}]")).collect::<String>()
+                    factors
+                        .iter()
+                        .map(|f| format!("[by {f}]"))
+                        .collect::<String>()
                 ),
                 ViewKind::Suffix { offsets } => format!("suffix {mem}{}", args(offsets)),
                 ViewKind::Shift { offsets } => format!("shift {mem}{}", args(offsets)),
@@ -128,7 +144,13 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             indent(depth, out);
             let _ = writeln!(out, "{name} := {};", expr(rhs));
         }
-        Cmd::Store { mem, phys_bank, idxs, rhs, .. } => {
+        Cmd::Store {
+            mem,
+            phys_bank,
+            idxs,
+            rhs,
+            ..
+        } => {
             indent(depth, out);
             let mut s = mem.clone();
             if let Some(b) = phys_bank {
@@ -139,7 +161,13 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{s} := {};", expr(rhs));
         }
-        Cmd::Reduce { target, target_idxs, op, rhs, .. } => {
+        Cmd::Reduce {
+            target,
+            target_idxs,
+            op,
+            rhs,
+            ..
+        } => {
             indent(depth, out);
             let mut s = target.clone();
             for i in target_idxs {
@@ -147,7 +175,12 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{s} {op} {};", expr(rhs));
         }
-        Cmd::If { cond, then_branch, else_branch, .. } => {
+        Cmd::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             indent(depth, out);
             let _ = writeln!(out, "if ({}) {{", expr(cond));
             cmd_into(then_branch, depth + 1, out);
@@ -166,7 +199,15 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
-        Cmd::For { var, lo, hi, unroll, body, combine, .. } => {
+        Cmd::For {
+            var,
+            lo,
+            hi,
+            unroll,
+            body,
+            combine,
+            ..
+        } => {
             indent(depth, out);
             let _ = write!(out, "for (let {var} = {lo}..{hi})");
             if *unroll > 1 {
@@ -247,6 +288,12 @@ mod tests {
 
     #[test]
     fn float_literals_keep_dot() {
-        assert_eq!(expr(&Expr::LitFloat { val: 2.0, span: crate::span::Span::synthetic() }), "2.0");
+        assert_eq!(
+            expr(&Expr::LitFloat {
+                val: 2.0,
+                span: crate::span::Span::synthetic()
+            }),
+            "2.0"
+        );
     }
 }

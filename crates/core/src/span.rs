@@ -19,7 +19,12 @@ pub struct Span {
 impl Span {
     /// Create a span covering `start..end` at the given line/column.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A zero-width placeholder span (used by synthesized AST nodes).
@@ -31,7 +36,11 @@ impl Span {
     ///
     /// Line/column information is taken from whichever span starts first.
     pub fn merge(self, other: Span) -> Span {
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),

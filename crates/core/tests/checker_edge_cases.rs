@@ -247,7 +247,10 @@ fn physical_bank_must_be_constant() {
 
 #[test]
 fn physical_bank_out_of_range() {
-    rejects("let A: float[8 bank 2]; let x = A{2}[0];", TypeErrorKind::BadAccess);
+    rejects(
+        "let A: float[8 bank 2]; let x = A{2}[0];",
+        TypeErrorKind::BadAccess,
+    );
 }
 
 #[test]

@@ -20,7 +20,11 @@ fn src_strategy() -> impl Strategy<Value = String> {
         prop::sample::select(vec!["float", "bit<32>"]),
     )
         .prop_map(|(b, p, t)| {
-            let pp = if p > 1 { format!("{{{p}}}") } else { String::new() };
+            let pp = if p > 1 {
+                format!("{{{p}}}")
+            } else {
+                String::new()
+            };
             format!("let A: {t}{pp}[12 bank {b}];\nlet B: {t}[12 bank {b}];\n")
         });
     let stmt = prop::sample::select(vec![
@@ -35,9 +39,8 @@ fn src_strategy() -> impl Strategy<Value = String> {
         "if (1 < 2) { B[0] := 1.0; } else { B[1] := 2.0; }".to_string(),
         "let n = 0;\nwhile (n < 3) { n := n + 1; }".to_string(),
     ]);
-    (decl, prop::collection::vec(stmt, 1..4)).prop_map(|(d, stmts)| {
-        format!("{d}let acc = 0.0;\n{}", stmts.join("\n---\n"))
-    })
+    (decl, prop::collection::vec(stmt, 1..4))
+        .prop_map(|(d, stmts)| format!("{d}let acc = 0.0;\n{}", stmts.join("\n---\n")))
 }
 
 proptest! {

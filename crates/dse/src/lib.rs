@@ -27,13 +27,17 @@
 //! ```
 
 pub mod pareto;
-pub mod rules;
 pub mod point;
+pub mod provider;
 pub mod report;
+pub mod rules;
 pub mod space;
 
 pub use pareto::{dominates, pareto_indices, pareto_mask};
 pub use point::{mark_pareto, DesignPoint};
+pub use provider::{
+    explore, DirectProvider, EstimateProvider, Exploration, PointOutcome, ProviderStats,
+};
 pub use report::{to_csv, Summary};
 pub use space::{Config, ConfigIter, ParamSpace};
 

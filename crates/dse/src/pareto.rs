@@ -64,7 +64,10 @@ mod tests {
         assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
         assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
         assert!(!dominates(&[1.0, 3.0], &[2.0, 1.0]), "incomparable");
-        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points do not dominate");
+        assert!(
+            !dominates(&[1.0, 1.0], &[1.0, 1.0]),
+            "equal points do not dominate"
+        );
     }
 
     #[test]
@@ -91,9 +94,13 @@ mod tests {
         let mut x = 0x1234_5678_u64;
         let mut pts = Vec::new();
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 33) % 1000;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) % 1000;
             pts.push(vec![a as f64, b as f64]);
         }

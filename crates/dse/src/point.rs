@@ -41,6 +41,22 @@ impl DesignPoint {
         ]
     }
 
+    /// A checker-rejected point: never estimated, never on the frontier.
+    pub fn rejected(config: Config) -> DesignPoint {
+        DesignPoint {
+            config,
+            cycles: 0,
+            luts: 0,
+            ffs: 0,
+            dsps: 0,
+            brams: 0,
+            lut_mems: 0,
+            accepted: false,
+            correct: false,
+            pareto: false,
+        }
+    }
+
     /// Build a point from an `hls_sim` estimate.
     pub fn from_estimate(config: Config, e: &hls_sim::Estimate, accepted: bool) -> DesignPoint {
         DesignPoint {

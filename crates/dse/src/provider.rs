@@ -1,0 +1,280 @@
+//! Estimation providers: how a design-space exploration turns one
+//! configuration's Dahlia source into an acceptance verdict and a
+//! hardware estimate.
+//!
+//! The paper's sweeps (Fig. 7/8) re-run nearly identical programs
+//! thousands of times, so *where* the pipeline runs matters: inline
+//! ([`DirectProvider`], the historical behaviour) or through a caching
+//! compilation service (`dahlia_server::CachedProvider`), which
+//! content-addresses every stage and dedups concurrent work. The
+//! [`EstimateProvider`] trait abstracts over both; [`explore`] drives a
+//! full checker-pruned sweep against any provider and reports cache
+//! hit/miss/latency statistics alongside the classic acceptance summary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dahlia_core::diag::Diagnostic;
+
+use crate::point::{mark_pareto, DesignPoint};
+use crate::space::{Config, ParamSpace};
+
+/// The outcome of evaluating one configuration's source program.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Did the Dahlia type checker accept the program?
+    pub accepted: bool,
+    /// HLS-substrate estimate of the lowered program (accepted points
+    /// only — the checker is the pruner, as in the Fig. 8 workflow).
+    pub estimate: Option<hls_sim::Estimate>,
+    /// Why the program was rejected, when it was.
+    pub diagnostic: Option<Diagnostic>,
+}
+
+/// Cumulative statistics a provider reports about its work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProviderStats {
+    /// Evaluations requested.
+    pub requests: u64,
+    /// Pipeline stages answered from a cache.
+    pub cache_hits: u64,
+    /// Pipeline stages actually computed.
+    pub cache_misses: u64,
+    /// Total wall-clock time spent evaluating, in microseconds.
+    pub latency_us: u64,
+}
+
+impl ProviderStats {
+    /// Fraction of stage lookups served from cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ProviderStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests, {} cache hits / {} misses ({:.1}% hit), {:.3} ms total",
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_ratio(),
+            self.latency_us as f64 / 1e3,
+        )
+    }
+}
+
+/// Anything that can evaluate a named Dahlia source for the DSE driver.
+///
+/// Implementations must be callable from multiple threads (`&self`): the
+/// batch executors fan evaluations out across a pool.
+pub trait EstimateProvider: Sync {
+    /// Evaluate one configuration's source text.
+    fn evaluate(&self, name: &str, source: &str) -> PointOutcome;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> ProviderStats;
+}
+
+/// The inline provider: parse → typecheck → lower → estimate on the
+/// calling thread, no caching. Every evaluation is a cache miss.
+#[derive(Debug, Default)]
+pub struct DirectProvider {
+    requests: AtomicU64,
+    misses: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+impl DirectProvider {
+    /// A fresh provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EstimateProvider for DirectProvider {
+    fn evaluate(&self, name: &str, source: &str) -> PointOutcome {
+        let t0 = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // Count only the stages that actually ran: 1 for a parse
+        // failure, 2 when the checker rejects, 4 (parse + typecheck +
+        // lower + estimate) for accepted programs.
+        let (stages_run, out) = match dahlia_core::parse(source) {
+            Err(e) => (
+                1,
+                PointOutcome {
+                    accepted: false,
+                    estimate: None,
+                    diagnostic: Some(e.diagnostic()),
+                },
+            ),
+            Ok(prog) => match dahlia_core::typecheck(&prog) {
+                Err(e) => (
+                    2,
+                    PointOutcome {
+                        accepted: false,
+                        estimate: None,
+                        diagnostic: Some(e.diagnostic()),
+                    },
+                ),
+                Ok(_) => {
+                    let est = hls_sim::estimate(&dahlia_backend::lower(&prog, name));
+                    (
+                        4,
+                        PointOutcome {
+                            accepted: true,
+                            estimate: Some(est),
+                            diagnostic: None,
+                        },
+                    )
+                }
+            },
+        };
+        self.misses.fetch_add(stages_run, Ordering::Relaxed);
+        self.latency_us
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn stats(&self) -> ProviderStats {
+        ProviderStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            latency_us: self.latency_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The result of [`explore`]: evaluated points plus provider statistics.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Every configuration in iteration order, Pareto-marked.
+    pub points: Vec<DesignPoint>,
+    /// Provider work accounting for this sweep (stats delta).
+    pub stats: ProviderStats,
+}
+
+impl Exploration {
+    /// The classic acceptance/Pareto summary.
+    pub fn summary(&self) -> crate::report::Summary {
+        crate::report::Summary::of(&self.points)
+    }
+
+    /// One-paragraph report: acceptance summary + provider stats.
+    pub fn report(&self) -> String {
+        format!("{}\nprovider: {}", self.summary(), self.stats)
+    }
+}
+
+/// Drive a checker-pruned sweep over `space` through `provider`.
+///
+/// `source_of` renders one configuration into Dahlia source; `name` is
+/// the kernel name used for lowering. Rejected configurations produce
+/// zero-resource points with `accepted = false` (the checker prunes them
+/// before estimation, as in the paper's Dahlia-directed workflow).
+pub fn explore(
+    space: &ParamSpace,
+    name: &str,
+    provider: &dyn EstimateProvider,
+    source_of: impl Fn(&Config) -> String,
+) -> Exploration {
+    let before = provider.stats();
+    let mut points = Vec::new();
+    for cfg in space {
+        let src = source_of(&cfg);
+        let out = provider.evaluate(name, &src);
+        points.push(match out.estimate {
+            Some(est) => DesignPoint::from_estimate(cfg, &est, out.accepted),
+            None => DesignPoint::rejected(cfg),
+        });
+    }
+    mark_pareto(&mut points);
+    let after = provider.stats();
+    Exploration {
+        points,
+        stats: ProviderStats {
+            requests: after.requests - before.requests,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            latency_us: after.latency_us - before.latency_us,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_space() -> ParamSpace {
+        ParamSpace::new()
+            .param("bank", [1, 2, 4])
+            .param("unroll", [1, 2, 4])
+    }
+
+    fn source_of(cfg: &Config) -> String {
+        format!(
+            "let A: float[8 bank {b}];\nfor (let i = 0..8) unroll {u} {{ A[i] := 1.0; }}",
+            b = cfg["bank"],
+            u = cfg["unroll"],
+        )
+    }
+
+    #[test]
+    fn direct_provider_matches_accepts() {
+        let p = DirectProvider::new();
+        for cfg in &tiny_space() {
+            let src = source_of(&cfg);
+            assert_eq!(
+                p.evaluate("k", &src).accepted,
+                crate::accepts(&src),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn explore_prunes_and_estimates() {
+        let p = DirectProvider::new();
+        let ex = explore(&tiny_space(), "k", &p, source_of);
+        assert_eq!(ex.points.len(), 9);
+        let s = ex.summary();
+        // unroll 1 always accepted; otherwise unroll must match banking.
+        assert_eq!(s.accepted, 5);
+        for pt in &ex.points {
+            assert_eq!(pt.accepted, pt.cycles > 0, "{:?}", pt.config);
+        }
+        assert_eq!(ex.stats.requests, 9);
+        assert!(ex.stats.cache_misses > 0);
+        assert!(ex.report().contains("provider: 9 requests"));
+    }
+
+    #[test]
+    fn direct_provider_counts_only_stages_that_ran() {
+        let p = DirectProvider::new();
+        let _ = p.evaluate("k", "let = oops");
+        assert_eq!(p.stats().cache_misses, 1, "parse failure runs one stage");
+        let _ = p.evaluate("k", "let A: float[8]; let x = A[0]; A[1] := 1.0;");
+        assert_eq!(p.stats().cache_misses, 3, "type failure adds parse + check");
+        let _ = p.evaluate("k", "let A: float[8 bank 4];");
+        assert_eq!(p.stats().cache_misses, 7, "accepted program adds all four");
+    }
+
+    #[test]
+    fn rejected_points_have_diagnostics() {
+        let p = DirectProvider::new();
+        let out = p.evaluate(
+            "k",
+            "let A: float[8];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }",
+        );
+        assert!(!out.accepted);
+        let d = out.diagnostic.expect("diagnostic");
+        assert_eq!(d.code, "type/insufficient-banks");
+    }
+}

@@ -9,7 +9,10 @@ use crate::point::DesignPoint;
 pub fn to_csv(points: &[DesignPoint], params: &[&str]) -> String {
     let mut out = String::new();
     let _ = write!(out, "{}", params.join(","));
-    let _ = writeln!(out, ",cycles,luts,ffs,dsps,brams,lut_mems,accepted,pareto,correct");
+    let _ = writeln!(
+        out,
+        ",cycles,luts,ffs,dsps,brams,lut_mems,accepted,pareto,correct"
+    );
     for p in points {
         for name in params {
             let _ = write!(out, "{},", p.config.get(*name).copied().unwrap_or(0));
@@ -109,7 +112,12 @@ mod tests {
 
     #[test]
     fn summary_ratios() {
-        let pts = vec![pt(1, 1, true), pt(2, 2, false), pt(3, 3, false), pt(4, 4, true)];
+        let pts = vec![
+            pt(1, 1, true),
+            pt(2, 2, false),
+            pt(3, 3, false),
+            pt(4, 4, true),
+        ];
         let s = Summary::of(&pts);
         assert_eq!(s.total, 4);
         assert_eq!(s.accepted, 2);

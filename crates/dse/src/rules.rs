@@ -53,17 +53,18 @@ impl SweptAccess {
     ///
     /// Returns the first violated rule.
     pub fn check(&self) -> Result<(), RuleViolation> {
-        if self.banks == 0 || self.size % self.banks != 0 {
+        if self.banks == 0 || !self.size.is_multiple_of(self.banks) {
             return Err(RuleViolation::BankingVsSize);
         }
-        if self.unroll == 0 || self.trips % self.unroll != 0 {
+        if self.unroll == 0 || !self.trips.is_multiple_of(self.unroll) {
             return Err(RuleViolation::UnrollVsTrips);
         }
         if self.unroll == 1 {
             return Ok(());
         }
         let matched = self.unroll == self.banks;
-        let bridged = self.shrinkable && self.unroll < self.banks && self.banks % self.unroll == 0;
+        let bridged =
+            self.shrinkable && self.unroll < self.banks && self.banks.is_multiple_of(self.unroll);
         if matched || bridged {
             Ok(())
         } else {
@@ -88,21 +89,33 @@ mod tests {
     use super::*;
 
     fn acc(size: u64, banks: u64, trips: u64, unroll: u64) -> SweptAccess {
-        SweptAccess { size, banks, trips, unroll, shrinkable: true }
+        SweptAccess {
+            size,
+            banks,
+            trips,
+            unroll,
+            shrinkable: true,
+        }
     }
 
     #[test]
     fn the_three_rules() {
         assert_eq!(acc(10, 3, 10, 1).check(), Err(RuleViolation::BankingVsSize));
         assert_eq!(acc(10, 2, 10, 3).check(), Err(RuleViolation::UnrollVsTrips));
-        assert_eq!(acc(16, 2, 16, 4).check(), Err(RuleViolation::UnrollVsBanking));
+        assert_eq!(
+            acc(16, 2, 16, 4).check(),
+            Err(RuleViolation::UnrollVsBanking)
+        );
         assert_eq!(acc(16, 4, 16, 4).check(), Ok(()));
         assert_eq!(acc(16, 4, 16, 2).check(), Ok(()), "shrink bridges 2 | 4");
     }
 
     #[test]
     fn without_shrink_only_exact_matches() {
-        let a = SweptAccess { shrinkable: false, ..acc(16, 4, 16, 2) };
+        let a = SweptAccess {
+            shrinkable: false,
+            ..acc(16, 4, 16, 2)
+        };
         assert_eq!(a.check(), Err(RuleViolation::UnrollVsBanking));
     }
 

@@ -33,7 +33,10 @@ impl ParamSpace {
             "duplicate parameter `{name}`"
         );
         let values: Vec<u64> = values.into_iter().collect();
-        assert!(!values.is_empty(), "parameter `{name}` needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "parameter `{name}` needs at least one value"
+        );
         self.params.push((name, values));
         self
     }
@@ -50,7 +53,10 @@ impl ParamSpace {
 
     /// Iterate every configuration.
     pub fn iter(&self) -> ConfigIter<'_> {
-        ConfigIter { space: self, next: Some(vec![0; self.params.len()]) }
+        ConfigIter {
+            space: self,
+            next: Some(vec![0; self.params.len()]),
+        }
     }
 
     /// Parameter names, in insertion order.

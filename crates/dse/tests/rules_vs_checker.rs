@@ -8,7 +8,7 @@ use dahlia_dse::{accepts, ParamSpace};
 /// Generate the template program for one configuration, with the idiomatic
 /// shrink view when the unroll factor properly divides the banking factor.
 fn template(size: u64, banks: u64, unroll: u64) -> String {
-    let (view, name) = if unroll > 1 && unroll < banks && banks % unroll == 0 {
+    let (view, name) = if unroll > 1 && unroll < banks && banks.is_multiple_of(unroll) {
         (format!("view s = shrink a[by {}];\n", banks / unroll), "s")
     } else {
         (String::new(), "a")

@@ -108,7 +108,10 @@ pub fn exec_cmd(sigma: Sigma, rho: Rho, c: &Cmd, fuel: &mut u64) -> EvalResult<(
             if r3.contains(a) {
                 return Err(Stuck::MemConsumed(a.clone()));
             }
-            let mem = s3.mems.get_mut(a).ok_or_else(|| Stuck::Unbound(a.clone()))?;
+            let mem = s3
+                .mems
+                .get_mut(a)
+                .ok_or_else(|| Stuck::Unbound(a.clone()))?;
             let slot = mem
                 .get_mut(usize::try_from(n).map_err(|_| Stuck::OutOfBounds(a.clone(), n))?)
                 .ok_or_else(|| Stuck::OutOfBounds(a.clone(), n))?;
@@ -269,7 +272,11 @@ mod tests {
 
     #[test]
     fn dynamic_type_errors_stick() {
-        let c = Cmd::Expr(Expr::Bop(Bop::And, Box::new(Expr::num(1)), Box::new(Expr::num(2))));
+        let c = Cmd::Expr(Expr::Bop(
+            Bop::And,
+            Box::new(Expr::num(1)),
+            Box::new(Expr::num(2)),
+        ));
         assert_eq!(run(st(), &c), Err(Stuck::DynamicType));
         let c = Cmd::seq(
             Cmd::Let("x".into(), Expr::num(1)),

@@ -40,7 +40,10 @@ pub fn step_expr(sigma: &Sigma, rho: &Rho, e: &Expr) -> Result<Option<(Rho, Expr
             if let Some((r, e2p)) = step_expr(sigma, rho, e2)? {
                 return Ok(Some((r, Expr::Bop(*op, e1.clone(), Box::new(e2p)))));
             }
-            let (v1, v2) = (e1.as_val().expect("lhs value"), e2.as_val().expect("rhs value"));
+            let (v1, v2) = (
+                e1.as_val().expect("lhs value"),
+                e2.as_val().expect("rhs value"),
+            );
             let v = op.apply(v1, v2).ok_or(Stuck::DynamicType)?;
             Ok(Some((rho.clone(), Expr::Val(v))))
         }
@@ -77,11 +80,7 @@ pub fn step_cmd(sigma: &Sigma, rho: &Rho, c: &Cmd) -> Step {
 }
 
 #[allow(clippy::type_complexity)]
-fn step_cmd_inner(
-    sigma: &Sigma,
-    rho: &Rho,
-    c: &Cmd,
-) -> Result<Option<(Sigma, Rho, Cmd)>, Stuck> {
+fn step_cmd_inner(sigma: &Sigma, rho: &Rho, c: &Cmd) -> Result<Option<(Sigma, Rho, Cmd)>, Stuck> {
     match c {
         Cmd::Skip => Ok(None),
         Cmd::Expr(e) => match step_expr(sigma, rho, e)? {
@@ -146,9 +145,7 @@ fn step_cmd_inner(
                 return Ok(Some((sigma.clone(), rho.clone(), (**c2).clone())));
             }
             match step_cmd_inner(sigma, rho, c1)? {
-                Some((s, r, c1p)) => {
-                    Ok(Some((s, r, Cmd::Seq(Box::new(c1p), c2.clone()))))
-                }
+                Some((s, r, c1p)) => Ok(Some((s, r, Cmd::Seq(Box::new(c1p), c2.clone())))),
                 None => unreachable!("non-skip command either steps or sticks"),
             }
         }
@@ -190,14 +187,12 @@ fn step_cmd_inner(
             let union: Rho = rho.union(captured).cloned().collect();
             Ok(Some((sigma.clone(), union, Cmd::Skip)))
         }
-        Cmd::If(x, c1, c2) => {
-            match sigma.vars.get(x) {
-                Some(Val::Bool(true)) => Ok(Some((sigma.clone(), rho.clone(), (**c1).clone()))),
-                Some(Val::Bool(false)) => Ok(Some((sigma.clone(), rho.clone(), (**c2).clone()))),
-                Some(Val::Num(_)) => Err(Stuck::DynamicType),
-                None => Err(Stuck::Unbound(x.clone())),
-            }
-        }
+        Cmd::If(x, c1, c2) => match sigma.vars.get(x) {
+            Some(Val::Bool(true)) => Ok(Some((sigma.clone(), rho.clone(), (**c1).clone()))),
+            Some(Val::Bool(false)) => Ok(Some((sigma.clone(), rho.clone(), (**c2).clone()))),
+            Some(Val::Num(_)) => Err(Stuck::DynamicType),
+            None => Err(Stuck::Unbound(x.clone())),
+        },
         // while x c → if x (c  while x c) skip
         Cmd::While(x, body) => Ok(Some((
             sigma.clone(),

@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn bop_apply() {
         assert_eq!(Bop::Add.apply(Val::Num(2), Val::Num(3)), Some(Val::Num(5)));
-        assert_eq!(Bop::Lt.apply(Val::Num(2), Val::Num(3)), Some(Val::Bool(true)));
+        assert_eq!(
+            Bop::Lt.apply(Val::Num(2), Val::Num(3)),
+            Some(Val::Bool(true))
+        );
         assert_eq!(Bop::And.apply(Val::Bool(true), Val::Num(1)), None);
         assert_eq!(Bop::Div.apply(Val::Num(1), Val::Num(0)), None);
     }

@@ -56,7 +56,11 @@ impl Checker {
 
     /// ρ̄: the memories of Δ* not consumed in ρ.
     pub fn rho_bar(&self, rho: &Rho) -> Delta {
-        self.delta_star.iter().filter(|(a, _)| !rho.contains(*a)).map(|(a, t)| (a.clone(), t.clone())).collect()
+        self.delta_star
+            .iter()
+            .filter(|(a, _)| !rho.contains(*a))
+            .map(|(a, t)| (a.clone(), t.clone()))
+            .collect()
     }
 
     /// `Γ, Δ₁ ⊢ e : τ ⊣ Δ₂`.
@@ -64,12 +68,20 @@ impl Checker {
     /// # Errors
     ///
     /// Returns [`TypeErr`] when no rule applies.
-    pub fn check_expr(&self, gamma: &Gamma, delta: Delta, e: &Expr) -> Result<(Ty, Delta), TypeErr> {
+    pub fn check_expr(
+        &self,
+        gamma: &Gamma,
+        delta: Delta,
+        e: &Expr,
+    ) -> Result<(Ty, Delta), TypeErr> {
         match e {
             Expr::Val(Val::Num(_)) => Ok((Ty::Bit(32), delta)),
             Expr::Val(Val::Bool(_)) => Ok((Ty::Bool, delta)),
             Expr::Var(x) => {
-                let t = gamma.get(x).ok_or_else(|| TypeErr::Unbound(x.clone()))?.clone();
+                let t = gamma
+                    .get(x)
+                    .ok_or_else(|| TypeErr::Unbound(x.clone()))?
+                    .clone();
                 Ok((t, delta))
             }
             Expr::Bop(op, e1, e2) => {
@@ -186,7 +198,9 @@ impl Checker {
                 match gamma.get(x) {
                     Some(Ty::Bool) => {}
                     Some(t) => {
-                        return Err(TypeErr::Mismatch(format!("`while` condition has type {t:?}")))
+                        return Err(TypeErr::Mismatch(format!(
+                            "`while` condition has type {t:?}"
+                        )))
                     }
                     None => return Err(TypeErr::Unbound(x.clone())),
                 }
@@ -334,7 +348,10 @@ mod tests {
             ),
         );
         let (_, d) = ck().check(&c).unwrap();
-        assert!(d.is_empty(), "both a and b are conservatively consumed: {d:?}");
+        assert!(
+            d.is_empty(),
+            "both a and b are conservatively consumed: {d:?}"
+        );
     }
 
     #[test]

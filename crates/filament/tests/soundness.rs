@@ -87,7 +87,11 @@ fn cmd_strategy() -> impl Strategy<Value = Cmd> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Cmd::seq(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Cmd::ordered(a, b)),
-            (prop::sample::select(vec!["b0", "b1", "v0"]), inner.clone(), inner.clone())
+            (
+                prop::sample::select(vec!["b0", "b1", "v0"]),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(x, a, b)| Cmd::If(x.into(), Box::new(a), Box::new(b))),
             // Loops over `b0` (initially false) terminate immediately unless
             // the body flips it — fuel handles the rest.
@@ -129,7 +133,10 @@ fn delta_of(ck: &Checker, rho: &Rho) -> Delta {
 /// are plain `bit<32>` in the calculus — and the generators deliberately
 /// produce such programs to exercise big/small-step agreement on them.
 fn is_conflict_stuckness(s: &filament::Stuck) -> bool {
-    matches!(s, filament::Stuck::MemConsumed(_) | filament::Stuck::Unbound(_))
+    matches!(
+        s,
+        filament::Stuck::MemConsumed(_) | filament::Stuck::Unbound(_)
+    )
 }
 
 proptest! {
@@ -263,8 +270,14 @@ fn incompleteness_witness() {
         ),
         Cmd::Expr(Expr::read("m1", Expr::num(0))),
     ]);
-    assert!(checker().check(&c2).is_err(), "conservative rejection expected");
-    assert!(bigstep::run(sigma0(), &c2).is_ok(), "but it runs fine dynamically");
+    assert!(
+        checker().check(&c2).is_err(),
+        "conservative rejection expected"
+    );
+    assert!(
+        bigstep::run(sigma0(), &c2).is_ok(),
+        "but it runs fine dynamically"
+    );
 }
 
 /// Canonical stuck witness: the type system is the only thing standing

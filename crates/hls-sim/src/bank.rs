@@ -39,7 +39,11 @@ impl UnrollCtx {
 
     /// Unroll factor of `var` (1 if not unrolled or unknown).
     pub fn factor(&self, var: &str) -> u64 {
-        self.vars.iter().find(|(v, _)| v == var).map(|(_, u)| *u).unwrap_or(1)
+        self.vars
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, u)| *u)
+            .unwrap_or(1)
     }
 
     fn unrolled_vars(&self) -> Vec<(String, u64)> {
@@ -105,7 +109,12 @@ pub fn analyze(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> BankStats
     let total: u64 = unrolled.iter().map(|(_, u)| *u).product::<u64>().max(1);
     if total > ENUM_CAP || access.idx.iter().any(|i| matches!(i, Idx::Dynamic)) {
         // Dynamic or huge: the tool must assume every copy can collide.
-        return BankStats { copies, max_demand: copies, mux_ways, distinct_banks: 1 };
+        return BankStats {
+            copies,
+            max_demand: copies,
+            mux_ways,
+            distinct_banks: 1,
+        };
     }
 
     let mut counts = std::collections::HashMap::<Vec<u64>, u64>::new();
@@ -119,7 +128,11 @@ pub fn analyze(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> BankStats
                 // Dynamic was handled by the early return; missing dims act
                 // like constants.
                 Some(Idx::Dynamic) | None => 0,
-                Some(Idx::Affine { var, stride, offset }) => {
+                Some(Idx::Affine {
+                    var,
+                    stride,
+                    offset,
+                }) => {
                     let c = unrolled
                         .iter()
                         .position(|(v, _)| v == var)
@@ -151,7 +164,12 @@ pub fn analyze(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> BankStats
 
     let max_demand = counts.values().copied().max().unwrap_or(1);
     let distinct_banks = counts.len() as u64;
-    BankStats { copies, max_demand, mux_ways, distinct_banks }
+    BankStats {
+        copies,
+        max_demand,
+        mux_ways,
+        distinct_banks,
+    }
 }
 
 /// Concrete (flat bank) targets of each copy of an access in one group,
@@ -175,7 +193,11 @@ pub fn copy_banks(access: &Access, array: &ArrayDecl, ctx: &UnrollCtx) -> Vec<u6
             let bank = match access.idx.get(d) {
                 Some(Idx::Const(n)) => n.rem_euclid(*b as i64) as u64,
                 Some(Idx::Dynamic) | None => 0,
-                Some(Idx::Affine { var, stride, offset }) => {
+                Some(Idx::Affine {
+                    var,
+                    stride,
+                    offset,
+                }) => {
                     let c = unrolled
                         .iter()
                         .position(|(v, _)| v == var)

@@ -1,0 +1,284 @@
+//! Stable content digests for IR and estimate artifacts.
+//!
+//! The compilation service content-addresses every pipeline artifact, so
+//! the IR and estimate types need a hash that is (a) independent of
+//! `std::collections::HashMap` seeding and Rust's unstable `Hash` layout
+//! guarantees, and (b) a pure function of the *semantic* content — two
+//! structurally equal kernels always digest equally, across processes and
+//! compilers. This module is that serde-free stable serialization: every
+//! field is fed to a FNV-1a accumulator in a fixed documented order, with
+//! length prefixes so concatenations cannot collide by reassociation.
+//!
+//! ```
+//! use hls_sim::{ArrayDecl, Kernel};
+//! use hls_sim::digest::StableDigest;
+//!
+//! let a = Kernel::new("k").array(ArrayDecl::new("x", 32, &[64]));
+//! let b = Kernel::new("k").array(ArrayDecl::new("x", 32, &[64]));
+//! assert_eq!(a.stable_digest(), b.stable_digest());
+//! assert_ne!(a.stable_digest(), Kernel::new("k2").stable_digest());
+//! ```
+
+use crate::estimate::Estimate;
+use crate::ir::{Access, ArrayDecl, Idx, Kernel, Loop, Op, Stmt};
+
+/// 128-bit FNV-1a accumulator (two independent 64-bit lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fnv {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh accumulator.
+    pub fn new() -> Fnv {
+        // Distinct offsets decorrelate the two lanes.
+        Fnv {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Fnv {
+        for &x in b {
+            self.lo = (self.lo ^ x as u64).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ (x as u64).rotate_left(17)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Fnv {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Absorb a `u64` as 8 little-endian bytes.
+    pub fn u64(&mut self, v: u64) -> &mut Fnv {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb an `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Fnv {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb an `f64` by bit pattern (canonicalizing the zero sign).
+    pub fn f64(&mut self, v: f64) -> &mut Fnv {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Absorb a tag byte (enum discriminants, field separators).
+    pub fn tag(&mut self, t: u8) -> &mut Fnv {
+        self.bytes(&[t])
+    }
+
+    /// Finish: fold the two lanes into a 128-bit value.
+    pub fn finish(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+/// Types with a stable, structure-derived content digest.
+pub trait StableDigest {
+    /// Feed this value's content into `h` in a fixed order.
+    fn absorb(&self, h: &mut Fnv);
+
+    /// The 128-bit digest of this value alone.
+    fn stable_digest(&self) -> u128 {
+        let mut h = Fnv::new();
+        self.absorb(&mut h);
+        h.finish()
+    }
+}
+
+impl StableDigest for Kernel {
+    fn absorb(&self, h: &mut Fnv) {
+        h.tag(b'K')
+            .str(&self.name)
+            .f64(self.clock_mhz)
+            .tag(self.pipeline as u8);
+        h.u64(self.arrays.len() as u64);
+        for a in &self.arrays {
+            a.absorb(h);
+        }
+        h.u64(self.body.len() as u64);
+        for s in &self.body {
+            s.absorb(h);
+        }
+    }
+}
+
+impl StableDigest for ArrayDecl {
+    fn absorb(&self, h: &mut Fnv) {
+        h.tag(b'A')
+            .str(&self.name)
+            .u64(self.elem_bits as u64)
+            .u64(self.ports as u64);
+        h.u64(self.dims.len() as u64);
+        for &d in &self.dims {
+            h.u64(d);
+        }
+        h.u64(self.partition.len() as u64);
+        for &p in &self.partition {
+            h.u64(p);
+        }
+    }
+}
+
+impl StableDigest for Stmt {
+    fn absorb(&self, h: &mut Fnv) {
+        match self {
+            Stmt::Loop(l) => {
+                h.tag(b'L');
+                l.absorb(h);
+            }
+            Stmt::Op(o) => {
+                h.tag(b'O');
+                o.absorb(h);
+            }
+        }
+    }
+}
+
+impl StableDigest for Loop {
+    fn absorb(&self, h: &mut Fnv) {
+        h.str(&self.var).u64(self.trips).u64(self.unroll);
+        h.u64(self.body.len() as u64);
+        for s in &self.body {
+            s.absorb(h);
+        }
+    }
+}
+
+impl StableDigest for Op {
+    fn absorb(&self, h: &mut Fnv) {
+        h.tag(self.kind as u8);
+        h.u64(self.reads.len() as u64);
+        for a in &self.reads {
+            a.absorb(h);
+        }
+        h.u64(self.writes.len() as u64);
+        for a in &self.writes {
+            a.absorb(h);
+        }
+    }
+}
+
+impl StableDigest for Access {
+    fn absorb(&self, h: &mut Fnv) {
+        h.str(&self.array);
+        h.u64(self.idx.len() as u64);
+        for i in &self.idx {
+            i.absorb(h);
+        }
+    }
+}
+
+impl StableDigest for Idx {
+    fn absorb(&self, h: &mut Fnv) {
+        match self {
+            Idx::Affine {
+                var,
+                stride,
+                offset,
+            } => {
+                h.tag(0).str(var).i64(*stride).i64(*offset);
+            }
+            Idx::Const(c) => {
+                h.tag(1).i64(*c);
+            }
+            Idx::Dynamic => {
+                h.tag(2);
+            }
+        }
+    }
+}
+
+impl StableDigest for Estimate {
+    fn absorb(&self, h: &mut Fnv) {
+        h.tag(b'E')
+            .str(&self.name)
+            .u64(self.cycles)
+            .u64(self.luts)
+            .u64(self.ffs)
+            .u64(self.dsps)
+            .u64(self.brams)
+            .u64(self.lut_mems)
+            .tag(self.correct as u8);
+        h.u64(self.notes.len() as u64);
+        for n in &self.notes {
+            h.str(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpKind;
+
+    fn sample_kernel(unroll: u64) -> Kernel {
+        Kernel::new("k")
+            .array(ArrayDecl::new("a", 32, &[64]).partitioned(&[4]))
+            .stmt(
+                Loop::new("i", 64)
+                    .unrolled(unroll)
+                    .stmt(
+                        Op::compute(OpKind::FMul)
+                            .read(Access::new("a", vec![Idx::var("i")]))
+                            .into_stmt(),
+                    )
+                    .into_stmt(),
+            )
+    }
+
+    #[test]
+    fn equal_structure_equal_digest() {
+        assert_eq!(
+            sample_kernel(4).stable_digest(),
+            sample_kernel(4).stable_digest()
+        );
+    }
+
+    #[test]
+    fn digest_sees_every_layer() {
+        let base = sample_kernel(4).stable_digest();
+        assert_ne!(base, sample_kernel(2).stable_digest(), "unroll factor");
+        let mut renamed = sample_kernel(4);
+        renamed.arrays[0].name = "b".into();
+        assert_ne!(base, renamed.stable_digest(), "array name");
+        let mut reclocked = sample_kernel(4);
+        reclocked.clock_mhz = 100.0;
+        assert_ne!(base, reclocked.stable_digest(), "clock");
+    }
+
+    #[test]
+    fn length_prefixes_prevent_reassociation() {
+        // ["ab", "c"] vs ["a", "bc"] must not collide.
+        let mut h1 = Fnv::new();
+        h1.str("ab").str("c");
+        let mut h2 = Fnv::new();
+        h2.str("a").str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn estimate_digest_tracks_fields() {
+        let e = crate::estimate(&sample_kernel(4));
+        let mut e2 = e.clone();
+        assert_eq!(e.stable_digest(), e2.stable_digest());
+        e2.cycles += 1;
+        assert_ne!(e.stable_digest(), e2.stable_digest());
+    }
+}

@@ -85,7 +85,10 @@ impl Estimate {
 
     /// Does the design fit on `dev`?
     pub fn fits(&self, dev: &Device) -> bool {
-        self.luts <= dev.luts && self.ffs <= dev.ffs && self.brams <= dev.brams && self.dsps <= dev.dsps
+        self.luts <= dev.luts
+            && self.ffs <= dev.ffs
+            && self.brams <= dev.brams
+            && self.dsps <= dev.dsps
     }
 }
 
@@ -123,7 +126,7 @@ pub fn estimate(k: &Kernel) -> Estimate {
         let h = splitmix(w.seed);
         luts = luts * (97 + h % 16) / 100;
         cycles = cycles * (100 + splitmix(h) % 26) / 100;
-        if splitmix(h ^ 0xbeef) % 7 == 0 {
+        if splitmix(h ^ 0xbeef).is_multiple_of(7) {
             correct = false;
             w.notes.push("simulated toolchain miscompilation".into());
         }
@@ -279,7 +282,9 @@ impl Walker<'_> {
         let mut depth = op.kind.latency();
         for access in op.reads.iter().chain(&op.writes) {
             depth = depth.max(1);
-            let Some(array) = self.kernel.array_named(&access.array) else { continue };
+            let Some(array) = self.kernel.array_named(&access.array) else {
+                continue;
+            };
             let stats = analyze(access, array, &self.ctx);
             if stats.mux_ways > 1 {
                 // K-way bank indirection per copy (Fig. 3b / Fig. 5).
@@ -377,7 +382,12 @@ mod tests {
         // Fig. 4b at partition 8: unroll 9 vs unroll 8.
         let eight = estimate(&vscale(576, 8, 8));
         let nine = estimate(&vscale(576, 8, 9));
-        assert!(nine.cycles > eight.cycles, "{} vs {}", nine.cycles, eight.cycles);
+        assert!(
+            nine.cycles > eight.cycles,
+            "{} vs {}",
+            nine.cycles,
+            eight.cycles
+        );
         assert!(nine.luts > eight.luts, "indirection muxes cost area");
     }
 
@@ -386,7 +396,11 @@ mod tests {
         // Fig. 4c: banking 7 does not divide 512.
         let even = estimate(&vscale(512, 8, 8));
         let uneven = estimate(&vscale(512, 7, 7));
-        assert!(uneven.notes.iter().any(|n| n.contains("padded")), "{:?}", uneven.notes);
+        assert!(
+            uneven.notes.iter().any(|n| n.contains("padded")),
+            "{:?}",
+            uneven.notes
+        );
         // Per-PE area is larger despite fewer PEs.
         assert!(uneven.luts * 8 > even.luts * 7);
     }

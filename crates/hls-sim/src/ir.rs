@@ -107,7 +107,10 @@ impl ArrayDecl {
     /// When it does not, the HLS tool silently pads banks and adds
     /// bounds-handling hardware (the Fig. 4c pitfall).
     pub fn evenly_banked(&self) -> bool {
-        self.dims.iter().zip(&self.partition).all(|(d, p)| d % p.max(&1) == 0)
+        self.dims
+            .iter()
+            .zip(&self.partition)
+            .all(|(d, p)| d % p.max(&1) == 0)
     }
 }
 
@@ -136,7 +139,12 @@ pub struct Loop {
 impl Loop {
     /// A sequential loop.
     pub fn new(var: impl Into<String>, trips: u64) -> Loop {
-        Loop { var: var.into(), trips, unroll: 1, body: Vec::new() }
+        Loop {
+            var: var.into(),
+            trips,
+            unroll: 1,
+            body: Vec::new(),
+        }
     }
 
     /// Set the unroll factor.
@@ -230,7 +238,11 @@ pub struct Op {
 impl Op {
     /// A compute op with no memory traffic.
     pub fn compute(kind: OpKind) -> Op {
-        Op { kind, reads: Vec::new(), writes: Vec::new() }
+        Op {
+            kind,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
     }
 
     /// Add a read access.
@@ -263,7 +275,10 @@ pub struct Access {
 impl Access {
     /// Build an access.
     pub fn new(array: impl Into<String>, idx: Vec<Idx>) -> Access {
-        Access { array: array.into(), idx }
+        Access {
+            array: array.into(),
+            idx,
+        }
     }
 }
 
@@ -288,12 +303,20 @@ pub enum Idx {
 impl Idx {
     /// `var` with stride 1, offset 0.
     pub fn var(v: impl Into<String>) -> Idx {
-        Idx::Affine { var: v.into(), stride: 1, offset: 0 }
+        Idx::Affine {
+            var: v.into(),
+            stride: 1,
+            offset: 0,
+        }
     }
 
     /// `stride * var + offset`.
     pub fn affine(v: impl Into<String>, stride: i64, offset: i64) -> Idx {
-        Idx::Affine { var: v.into(), stride, offset }
+        Idx::Affine {
+            var: v.into(),
+            stride,
+            offset,
+        }
     }
 }
 
@@ -318,7 +341,11 @@ mod tests {
             .stmt(
                 Loop::new("i", 16)
                     .unrolled(2)
-                    .stmt(Op::compute(OpKind::IntAlu).read(Access::new("a", vec![Idx::var("i")])).into_stmt())
+                    .stmt(
+                        Op::compute(OpKind::IntAlu)
+                            .read(Access::new("a", vec![Idx::var("i")]))
+                            .into_stmt(),
+                    )
                     .into_stmt(),
             );
         assert_eq!(k.arrays.len(), 1);

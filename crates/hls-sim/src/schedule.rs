@@ -43,7 +43,9 @@ pub fn schedule_group(ops: &[&Op], arrays: &[ArrayDecl], ctx: &UnrollCtx) -> Gro
 
     for op in ops {
         for access in op.reads.iter().chain(&op.writes) {
-            let Some(ai) = find(&access.array) else { continue };
+            let Some(ai) = find(&access.array) else {
+                continue;
+            };
             let array = &arrays[ai];
             let ports = array.ports.max(1);
             let banks = copy_banks(access, array, ctx);
@@ -65,7 +67,11 @@ pub fn schedule_group(ops: &[&Op], arrays: &[ArrayDecl], ctx: &UnrollCtx) -> Gro
             }
         }
     }
-    GroupSchedule { ii, transactions, worst_queue }
+    GroupSchedule {
+        ii,
+        transactions,
+        worst_queue,
+    }
 }
 
 /// Collect the `Op`s of a body, looking through nested loops (used when a

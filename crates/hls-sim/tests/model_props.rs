@@ -8,20 +8,26 @@ use hls_sim::{
 };
 
 fn kernel(n: u64, banks: u64, ports: u32, unroll: u64, stride: i64, offset: i64) -> Kernel {
-    Kernel::new(format!("prop-{n}-{banks}-{ports}-{unroll}-{stride}-{offset}"))
-        .array(ArrayDecl::new("a", 32, &[n]).partitioned(&[banks]).with_ports(ports))
-        .array(ArrayDecl::new("out", 32, &[n]).partitioned(&[banks]))
-        .stmt(
-            Loop::new("i", n)
-                .unrolled(unroll)
-                .stmt(
-                    Op::compute(OpKind::IntMul)
-                        .read(Access::new("a", vec![Idx::affine("i", stride, offset)]))
-                        .write(Access::new("out", vec![Idx::var("i")]))
-                        .into_stmt(),
-                )
-                .into_stmt(),
-        )
+    Kernel::new(format!(
+        "prop-{n}-{banks}-{ports}-{unroll}-{stride}-{offset}"
+    ))
+    .array(
+        ArrayDecl::new("a", 32, &[n])
+            .partitioned(&[banks])
+            .with_ports(ports),
+    )
+    .array(ArrayDecl::new("out", 32, &[n]).partitioned(&[banks]))
+    .stmt(
+        Loop::new("i", n)
+            .unrolled(unroll)
+            .stmt(
+                Op::compute(OpKind::IntMul)
+                    .read(Access::new("a", vec![Idx::affine("i", stride, offset)]))
+                    .write(Access::new("out", vec![Idx::var("i")]))
+                    .into_stmt(),
+            )
+            .into_stmt(),
+    )
 }
 
 fn params() -> impl Strategy<Value = (u64, u64, u32, u64, i64, i64)> {

@@ -52,7 +52,7 @@ while (span > 0) {{
 }
 
 /// Reference DIF FFT with the same butterfly schedule.
-pub fn fft_reference(n: usize, real: &mut Vec<f64>, img: &mut Vec<f64>, rt: &[f64], it: &[f64]) {
+pub fn fft_reference(n: usize, real: &mut [f64], img: &mut [f64], rt: &[f64], it: &[f64]) {
     let half = n / 2;
     let mut span = half;
     while span > 0 {
@@ -127,15 +127,23 @@ pub fn fft_strided_bench() -> Bench {
 pub fn fft_inputs(
     n: usize,
     seed: u64,
-) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+) -> (
+    HashMap<String, Vec<Value>>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+) {
     let mut rng = crate::Prng::new(seed);
     let real: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect();
     let img: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect();
     let half = n / 2;
-    let rt: Vec<f64> =
-        (0..half).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()).collect();
-    let it: Vec<f64> =
-        (0..half).map(|i| -(2.0 * std::f64::consts::PI * i as f64 / n as f64).sin()).collect();
+    let rt: Vec<f64> = (0..half)
+        .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
+        .collect();
+    let it: Vec<f64> = (0..half)
+        .map(|i| -(2.0 * std::f64::consts::PI * i as f64 / n as f64).sin())
+        .collect();
     let to_vals = |v: &[f64]| v.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>();
     let inputs = HashMap::from([
         ("real".to_string(), to_vals(&real)),

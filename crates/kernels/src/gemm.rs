@@ -60,8 +60,13 @@ impl GemmBlockedParams {
 /// natural choice a Dahlia programmer makes; the paper's four free banking
 /// parameters cover the operand matrices).
 pub fn gemm_blocked_source(p: &GemmBlockedParams) -> String {
-    let GemmBlockedParams { n, block, bank_m1: (f11, f12), bank_m2: (f21, f22), unroll: (ui, uj, uk) } =
-        *p;
+    let GemmBlockedParams {
+        n,
+        block,
+        bank_m1: (f11, f12),
+        bank_m2: (f21, f22),
+        unroll: (ui, uj, uk),
+    } = *p;
     let blocks = n / block;
     let mut views = String::new();
     let m1a = shrink_if_needed(&mut views, "m1v", &[f11, f12], &[ui, uk]);
@@ -114,7 +119,13 @@ pub fn gemm_blocked_reference(n: usize, block: usize, m1: &[f64], m2: &[f64]) ->
 /// the block offset `8·kk` shifts banks by a multiple of the partition
 /// factor, so the per-dimension patterns use the innermost iterator).
 pub fn gemm_blocked_baseline(p: &GemmBlockedParams) -> Kernel {
-    let GemmBlockedParams { n, block, bank_m1, bank_m2, unroll } = *p;
+    let GemmBlockedParams {
+        n,
+        block,
+        bank_m1,
+        bank_m2,
+        unroll,
+    } = *p;
     let blocks = n / block;
     let body = Loop::new("k", block)
         .unrolled(unroll.2)
@@ -135,7 +146,12 @@ pub fn gemm_blocked_baseline(p: &GemmBlockedParams) -> Kernel {
             .stmt(
                 Loop::new("i", n)
                     .unrolled(unroll.0)
-                    .stmt(Loop::new("j", block).unrolled(unroll.1).stmt(body.into_stmt()).into_stmt())
+                    .stmt(
+                        Loop::new("j", block)
+                            .unrolled(unroll.1)
+                            .stmt(body.into_stmt())
+                            .into_stmt(),
+                    )
                     .into_stmt(),
             )
             .into_stmt(),
@@ -248,7 +264,11 @@ pub fn gemm_ncubed_baseline(p: &GemmNcubedParams) -> Kernel {
 
 /// Default `gemm-ncubed` benchmark entry.
 pub fn gemm_ncubed_bench() -> Bench {
-    let p = GemmNcubedParams { n: 128, bank: 2, unroll: 2 };
+    let p = GemmNcubedParams {
+        n: 128,
+        bank: 2,
+        unroll: 2,
+    };
     Bench {
         name: "gemm-ncubed",
         source: gemm_ncubed_source(&p),
@@ -263,8 +283,7 @@ pub fn gemm_inputs(n: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<f64
     let m2 = float_input(&mut rng, n * n);
     let m1f: Vec<f64> = m1.iter().map(|v| v.as_f64()).collect();
     let m2f: Vec<f64> = m2.iter().map(|v| v.as_f64()).collect();
-    let inputs =
-        HashMap::from([("m1".to_string(), m1), ("m2".to_string(), m2)]);
+    let inputs = HashMap::from([("m1".to_string(), m1), ("m2".to_string(), m2)]);
     (inputs, m1f, m2f)
 }
 
@@ -318,7 +337,11 @@ mod tests {
 
     #[test]
     fn ncubed_correct() {
-        let p = GemmNcubedParams { n: 8, bank: 2, unroll: 2 };
+        let p = GemmNcubedParams {
+            n: 8,
+            bank: 2,
+            unroll: 2,
+        };
         let src = gemm_ncubed_source(&p);
         let (inputs, m1, m2) = gemm_inputs(8, 13);
         let out = run_checked(&src, &inputs);
@@ -328,7 +351,11 @@ mod tests {
 
     #[test]
     fn ncubed_sequential_also_correct() {
-        let p = GemmNcubedParams { n: 8, bank: 1, unroll: 1 };
+        let p = GemmNcubedParams {
+            n: 8,
+            bank: 1,
+            unroll: 1,
+        };
         let src = gemm_ncubed_source(&p);
         let (inputs, m1, m2) = gemm_inputs(8, 17);
         let out = run_checked(&src, &inputs);
@@ -340,10 +367,18 @@ mod tests {
     fn paper_unwritten_rules_hold_in_acceptance() {
         // unroll | banking and banking | size ⇒ accepted (via shrink);
         // violations ⇒ rejected.
-        for (bank, unroll, expect) in
-            [(4, 4, true), (4, 2, true), (4, 3, false), (2, 4, false), (3, 3, false)]
-        {
-            let p = GemmNcubedParams { n: 16, bank, unroll };
+        for (bank, unroll, expect) in [
+            (4, 4, true),
+            (4, 2, true),
+            (4, 3, false),
+            (2, 4, false),
+            (3, 3, false),
+        ] {
+            let p = GemmNcubedParams {
+                n: 16,
+                bank,
+                unroll,
+            };
             assert_eq!(
                 accepts(&gemm_ncubed_source(&p)),
                 expect,

@@ -54,7 +54,13 @@ while (cnt > 0) {{
 }
 
 /// Reference BFS levels.
-pub fn bfs_reference(n: usize, begin: &[i64], end: &[i64], edges: &[i64], start: usize) -> Vec<i64> {
+pub fn bfs_reference(
+    n: usize,
+    begin: &[i64],
+    end: &[i64],
+    edges: &[i64],
+    start: usize,
+) -> Vec<i64> {
     let mut level = vec![-1i64; n];
     level[start] = 0;
     let mut frontier = vec![start];
@@ -62,8 +68,8 @@ pub fn bfs_reference(n: usize, begin: &[i64], end: &[i64], edges: &[i64], start:
     while !frontier.is_empty() {
         let mut next = Vec::new();
         for &v in &frontier {
-            for j in begin[v] as usize..end[v] as usize {
-                let dst = edges[j] as usize;
+            for &e in &edges[begin[v] as usize..end[v] as usize] {
+                let dst = e as usize;
                 if level[dst] == -1 {
                     level[dst] = horizon + 1;
                     next.push(dst);
@@ -227,10 +233,36 @@ mod tests {
         // A line graph 0→1, everything else self-loops at node 2.
         let n = 4;
         let inputs = HashMap::from([
-            ("nodes_begin".to_string(), vec![0, 1, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()),
-            ("nodes_end".to_string(), vec![1, 2, 3, 4].into_iter().map(Value::Int).collect::<Vec<_>>()),
-            ("edges".to_string(), vec![1, 0, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()),
-            ("level".to_string(), vec![Value::Int(0), Value::Int(-1), Value::Int(-1), Value::Int(-1)]),
+            (
+                "nodes_begin".to_string(),
+                vec![0, 1, 2, 3]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "nodes_end".to_string(),
+                vec![1, 2, 3, 4]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "edges".to_string(),
+                vec![1, 0, 2, 3]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "level".to_string(),
+                vec![
+                    Value::Int(0),
+                    Value::Int(-1),
+                    Value::Int(-1),
+                    Value::Int(-1),
+                ],
+            ),
             ("queue".to_string(), vec![Value::Int(0); n]),
         ]);
         let out = run_checked(&bfs_queue_source(n as u64, 4), &inputs);

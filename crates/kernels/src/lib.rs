@@ -99,8 +99,16 @@ pub fn small_benches() -> Vec<Bench> {
         },
         Bench {
             name: "gemm-ncubed",
-            source: gemm::gemm_ncubed_source(&GemmNcubedParams { n: 8, bank: 2, unroll: 2 }),
-            baseline: gemm::gemm_ncubed_baseline(&GemmNcubedParams { n: 8, bank: 2, unroll: 2 }),
+            source: gemm::gemm_ncubed_source(&GemmNcubedParams {
+                n: 8,
+                bank: 2,
+                unroll: 2,
+            }),
+            baseline: gemm::gemm_ncubed_baseline(&GemmNcubedParams {
+                n: 8,
+                bank: 2,
+                unroll: 2,
+            }),
         },
         Bench {
             name: "kmp",
@@ -117,7 +125,11 @@ pub fn small_benches() -> Vec<Bench> {
             source: md::md_knn_source(&MdKnnParams::small()),
             baseline: md::md_knn_baseline(&MdKnnParams::small()),
         },
-        Bench { name: "nw", source: nw::nw_source(8, 8), baseline: nw::nw_baseline(8, 8) },
+        Bench {
+            name: "nw",
+            source: nw::nw_source(8, 8),
+            baseline: nw::nw_baseline(8, 8),
+        },
         Bench {
             name: "sort-merge",
             source: sort::sort_merge_source(16),
@@ -253,7 +265,10 @@ pub fn assert_ints_match(name: &str, got: &[Value], want: &[i64]) {
 /// checker rejects the direct access — exactly the paper's methodology.
 pub fn shrink_if_needed(decls: &mut String, mem: &str, banks: &[u64], unrolls: &[u64]) -> String {
     assert_eq!(banks.len(), unrolls.len());
-    let direct = banks.iter().zip(unrolls).all(|(b, u)| b == u.min(b) || *b == 1);
+    let direct = banks
+        .iter()
+        .zip(unrolls)
+        .all(|(b, u)| b == u.min(b) || *b == 1);
     let divisible = banks.iter().zip(unrolls).all(|(b, u)| {
         let u = (*u).max(1);
         u <= *b && b % u == 0

@@ -32,18 +32,36 @@ pub struct MdKnnParams {
 impl MdKnnParams {
     /// Paper-scale, sequential.
     pub fn paper_baseline() -> Self {
-        MdKnnParams { n: 64, k: 16, bank_d: (1, 1, 1), bank_f: 1, unroll: (1, 1) }
+        MdKnnParams {
+            n: 64,
+            k: 16,
+            bank_d: (1, 1, 1),
+            bank_f: 1,
+            unroll: (1, 1),
+        }
     }
 
     /// Interpreter-friendly.
     pub fn small() -> Self {
-        MdKnnParams { n: 8, k: 4, bank_d: (2, 2, 2), bank_f: 2, unroll: (2, 2) }
+        MdKnnParams {
+            n: 8,
+            k: 4,
+            bank_d: (2, 2, 2),
+            bank_f: 2,
+            unroll: (2, 2),
+        }
     }
 }
 
 /// Dahlia source for md-knn.
 pub fn md_knn_source(p: &MdKnnParams) -> String {
-    let MdKnnParams { n, k, bank_d: (b1, b2, b3), bank_f, unroll: (u0, u1) } = *p;
+    let MdKnnParams {
+        n,
+        k,
+        bank_d: (b1, b2, b3),
+        bank_f,
+        unroll: (u0, u1),
+    } = *p;
     let mut views = String::new();
     let dxa = shrink_if_needed(&mut views, "dxs", &[b1, b1], &[u0, u1]);
     let dya = shrink_if_needed(&mut views, "dys", &[b2, b2], &[u0, u1]);
@@ -90,7 +108,14 @@ for (let i = 0..{n}) unroll {u0} {{
 }
 
 /// Reference md-knn force computation.
-pub fn md_knn_reference(n: usize, k: usize, px: &[f64], py: &[f64], pz: &[f64], nl: &[i64]) -> Vec<f64> {
+pub fn md_knn_reference(
+    n: usize,
+    k: usize,
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    nl: &[i64],
+) -> Vec<f64> {
     let mut fx = vec![0.0; n];
     for i in 0..n {
         for j in 0..k {
@@ -106,7 +131,13 @@ pub fn md_knn_reference(n: usize, k: usize, px: &[f64], py: &[f64], pz: &[f64], 
 
 /// Baseline md-knn in the HLS IR.
 pub fn md_knn_baseline(p: &MdKnnParams) -> Kernel {
-    let MdKnnParams { n, k, bank_d, bank_f, unroll } = *p;
+    let MdKnnParams {
+        n,
+        k,
+        bank_d,
+        bank_f,
+        unroll,
+    } = *p;
     let gather = Loop::new("i", n).stmt(
         Loop::new("j", k)
             .stmt(
@@ -147,7 +178,9 @@ pub fn md_knn_baseline(p: &MdKnnParams) -> Kernel {
                 .write(Access::new("f_x", vec![Idx::var("i")]))
                 .into_stmt(),
         );
-    let force = Loop::new("i", n).unrolled(unroll.0).stmt(force_inner.into_stmt());
+    let force = Loop::new("i", n)
+        .unrolled(unroll.0)
+        .stmt(force_inner.into_stmt());
     Kernel::new("md-knn")
         .array(ArrayDecl::new("p_x", 32, &[n]))
         .array(ArrayDecl::new("p_y", 32, &[n]))
@@ -163,8 +196,18 @@ pub fn md_knn_baseline(p: &MdKnnParams) -> Kernel {
 
 /// Default md-knn bench entry.
 pub fn md_knn_bench() -> Bench {
-    let p = MdKnnParams { n: 64, k: 16, bank_d: (2, 2, 2), bank_f: 2, unroll: (2, 2) };
-    Bench { name: "md-knn", source: md_knn_source(&p), baseline: md_knn_baseline(&p) }
+    let p = MdKnnParams {
+        n: 64,
+        k: 16,
+        bank_d: (2, 2, 2),
+        bank_f: 2,
+        unroll: (2, 2),
+    };
+    Bench {
+        name: "md-knn",
+        source: md_knn_source(&p),
+        baseline: md_knn_baseline(&p),
+    }
 }
 
 /// Inputs for an md-knn run; returns the inputs plus raw copies.
@@ -173,12 +216,20 @@ pub fn md_knn_inputs(
     n: usize,
     k: usize,
     seed: u64,
-) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<i64>) {
+) -> (
+    HashMap<String, Vec<Value>>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<i64>,
+) {
     let mut rng = Prng::new(seed);
     let px = float_input(&mut rng, n);
     let py = float_input(&mut rng, n);
     let pz = float_input(&mut rng, n);
-    let nl: Vec<Value> = (0..n * k).map(|_| Value::Int(rng.below(n as u64) as i64)).collect();
+    let nl: Vec<Value> = (0..n * k)
+        .map(|_| Value::Int(rng.below(n as u64) as i64))
+        .collect();
     let raw = (
         px.iter().map(|v| v.as_f64()).collect(),
         py.iter().map(|v| v.as_f64()).collect(),
@@ -215,19 +266,37 @@ pub struct MdGridParams {
 impl MdGridParams {
     /// Paper-scale, sequential.
     pub fn paper_baseline() -> Self {
-        MdGridParams { b: 4, p: 8, bank_pos: (1, 1, 1), bank_np: 1, unroll: (1, 1) }
+        MdGridParams {
+            b: 4,
+            p: 8,
+            bank_pos: (1, 1, 1),
+            bank_np: 1,
+            unroll: (1, 1),
+        }
     }
 
     /// Interpreter-friendly.
     pub fn small() -> Self {
-        MdGridParams { b: 4, p: 4, bank_pos: (2, 2, 1), bank_np: 2, unroll: (2, 2) }
+        MdGridParams {
+            b: 4,
+            p: 4,
+            bank_pos: (2, 2, 1),
+            bank_np: 2,
+            unroll: (2, 2),
+        }
     }
 }
 
 /// Dahlia source for md-grid: forces between particles within each cell,
 /// with a data-dependent particle count per cell.
 pub fn md_grid_source(prm: &MdGridParams) -> String {
-    let MdGridParams { b, p, bank_pos: (b1, b2, bp), bank_np, unroll: (u0, u1) } = *prm;
+    let MdGridParams {
+        b,
+        p,
+        bank_pos: (b1, b2, bp),
+        bank_np,
+        unroll: (u0, u1),
+    } = *prm;
     let mut views = String::new();
     let pxa = shrink_if_needed(&mut views, "posx", &[1, b1, b2, bp], &[1, u0, u1, 1]);
     let pya = shrink_if_needed(&mut views, "posy", &[1, b1, b2, bp], &[1, u0, u1, 1]);
@@ -269,7 +338,14 @@ decl forcex: float[{b}][{b} bank {u0}][{b} bank {u1}][{p}];
 }
 
 /// Reference md-grid.
-pub fn md_grid_reference(b: usize, p: usize, posx: &[f64], posy: &[f64], posz: &[f64], np: &[i64]) -> Vec<f64> {
+pub fn md_grid_reference(
+    b: usize,
+    p: usize,
+    posx: &[f64],
+    posy: &[f64],
+    posz: &[f64],
+    np: &[i64],
+) -> Vec<f64> {
     let idx = |bx: usize, by: usize, bz: usize, q: usize| ((bx * b + by) * b + bz) * p + q;
     let cidx = |bx: usize, by: usize, bz: usize| (bx * b + by) * b + bz;
     let mut force = vec![0.0; b * b * b * p];
@@ -280,8 +356,11 @@ pub fn md_grid_reference(b: usize, p: usize, posx: &[f64], posy: &[f64], posz: &
                 for q in 0..p {
                     let mut acc = 0.0;
                     if q < cnt {
-                        let (xq, yq, zq) =
-                            (posx[idx(bx, by, bz, q)], posy[idx(bx, by, bz, q)], posz[idx(bx, by, bz, q)]);
+                        let (xq, yq, zq) = (
+                            posx[idx(bx, by, bz, q)],
+                            posy[idx(bx, by, bz, q)],
+                            posz[idx(bx, by, bz, q)],
+                        );
                         for pp in 0..p {
                             let dx = posx[idx(bx, by, bz, pp)] - xq;
                             let dy = posy[idx(bx, by, bz, pp)] - yq;
@@ -299,9 +378,21 @@ pub fn md_grid_reference(b: usize, p: usize, posx: &[f64], posy: &[f64], posz: &
 
 /// Baseline md-grid in the HLS IR.
 pub fn md_grid_baseline(prm: &MdGridParams) -> Kernel {
-    let MdGridParams { b, p, bank_pos, bank_np, unroll } = *prm;
-    let pos_idx =
-        || vec![Idx::var("bx"), Idx::var("by"), Idx::var("bz"), Idx::var("pp")];
+    let MdGridParams {
+        b,
+        p,
+        bank_pos,
+        bank_np,
+        unroll,
+    } = *prm;
+    let pos_idx = || {
+        vec![
+            Idx::var("bx"),
+            Idx::var("by"),
+            Idx::var("bz"),
+            Idx::var("pp"),
+        ]
+    };
     let inner = Loop::new("pp", p)
         .stmt(
             Op::compute(OpKind::FAdd)
@@ -314,16 +405,19 @@ pub fn md_grid_baseline(prm: &MdGridParams) -> Kernel {
         .stmt(Op::compute(OpKind::FMul).into_stmt())
         .stmt(Op::compute(OpKind::FMul).into_stmt())
         .stmt(Op::compute(OpKind::FAdd).into_stmt());
-    let q_loop = Loop::new("q", p)
-        .stmt(inner.into_stmt())
-        .stmt(
-            Op::compute(OpKind::Copy)
-                .write(Access::new(
-                    "forcex",
-                    vec![Idx::var("bx"), Idx::var("by"), Idx::var("bz"), Idx::var("q")],
-                ))
-                .into_stmt(),
-        );
+    let q_loop = Loop::new("q", p).stmt(inner.into_stmt()).stmt(
+        Op::compute(OpKind::Copy)
+            .write(Access::new(
+                "forcex",
+                vec![
+                    Idx::var("bx"),
+                    Idx::var("by"),
+                    Idx::var("bz"),
+                    Idx::var("q"),
+                ],
+            ))
+            .into_stmt(),
+    );
     let nest = Loop::new("bx", b).stmt(
         Loop::new("by", b)
             .unrolled(unroll.0)
@@ -359,8 +453,18 @@ pub fn md_grid_baseline(prm: &MdGridParams) -> Kernel {
 
 /// Default md-grid bench entry.
 pub fn md_grid_bench() -> Bench {
-    let p = MdGridParams { b: 4, p: 8, bank_pos: (2, 2, 1), bank_np: 2, unroll: (2, 2) };
-    Bench { name: "md-grid", source: md_grid_source(&p), baseline: md_grid_baseline(&p) }
+    let p = MdGridParams {
+        b: 4,
+        p: 8,
+        bank_pos: (2, 2, 1),
+        bank_np: 2,
+        unroll: (2, 2),
+    };
+    Bench {
+        name: "md-grid",
+        source: md_grid_source(&p),
+        baseline: md_grid_baseline(&p),
+    }
 }
 
 /// Inputs for an md-grid run.
@@ -369,13 +473,21 @@ pub fn md_grid_inputs(
     b: usize,
     p: usize,
     seed: u64,
-) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<i64>) {
+) -> (
+    HashMap<String, Vec<Value>>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<i64>,
+) {
     let mut rng = Prng::new(seed);
     let cells = b * b * b;
     let posx = float_input(&mut rng, cells * p);
     let posy = float_input(&mut rng, cells * p);
     let posz = float_input(&mut rng, cells * p);
-    let np: Vec<Value> = (0..cells).map(|_| Value::Int(1 + rng.below(p as u64) as i64)).collect();
+    let np: Vec<Value> = (0..cells)
+        .map(|_| Value::Int(1 + rng.below(p as u64) as i64))
+        .collect();
     let raw = (
         posx.iter().map(|v| v.as_f64()).collect(),
         posy.iter().map(|v| v.as_f64()).collect(),
@@ -409,7 +521,13 @@ mod tests {
 
     #[test]
     fn md_knn_sequential_correct() {
-        let p = MdKnnParams { n: 8, k: 4, bank_d: (1, 1, 1), bank_f: 1, unroll: (1, 1) };
+        let p = MdKnnParams {
+            n: 8,
+            k: 4,
+            bank_d: (1, 1, 1),
+            bank_f: 1,
+            unroll: (1, 1),
+        };
         let src = md_knn_source(&p);
         let (inputs, px, py, pz, nl) = md_knn_inputs(8, 4, 23);
         let out = run_checked(&src, &inputs);
@@ -431,7 +549,10 @@ mod tests {
         assert!(accepts(&mk(1, 1, 1, 1)));
         assert!(accepts(&mk(4, 4, 4, 4)));
         assert!(accepts(&mk(4, 2, 2, 4)), "shrink views bridge divisors");
-        assert!(!accepts(&mk(1, 1, 2, 1)), "parallel copies on an unbanked buffer");
+        assert!(
+            !accepts(&mk(1, 1, 2, 1)),
+            "parallel copies on an unbanked buffer"
+        );
         assert!(!accepts(&mk(4, 4, 3, 1)), "3 ∤ 4");
         assert!(!accepts(&mk(3, 1, 1, 1)), "3 ∤ 64 at declaration");
     }

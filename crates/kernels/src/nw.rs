@@ -62,15 +62,19 @@ for (let i = 1..{a1}) {{
 pub fn nw_reference(seqa: &[i64], seqb: &[i64]) -> Vec<i64> {
     let (a1, b1) = (seqa.len() + 1, seqb.len() + 1);
     let mut m = vec![0i64; a1 * b1];
-    for j in 0..b1 {
-        m[j] = j as i64 * GAP;
+    for (j, cell) in m.iter_mut().enumerate().take(b1) {
+        *cell = j as i64 * GAP;
     }
     for i in 0..a1 {
         m[i * b1] = i as i64 * GAP;
     }
     for i in 1..a1 {
         for j in 1..b1 {
-            let sc = if seqa[i - 1] == seqb[j - 1] { MATCH } else { MISMATCH };
+            let sc = if seqa[i - 1] == seqb[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let mut best = m[(i - 1) * b1 + (j - 1)] + sc;
             best = best.max(m[(i - 1) * b1 + j] + GAP);
             best = best.max(m[i * b1 + (j - 1)] + GAP);
@@ -85,7 +89,10 @@ pub fn nw_baseline(alen: u64, blen: u64) -> Kernel {
     let cell = Op::compute(OpKind::IntAlu)
         .read(Access::new("seqa", vec![Idx::affine("i", 1, -1)]))
         .read(Access::new("seqb", vec![Idx::affine("j", 1, -1)]))
-        .read(Access::new("m", vec![Idx::affine("i", 1, -1), Idx::affine("j", 1, -1)]))
+        .read(Access::new(
+            "m",
+            vec![Idx::affine("i", 1, -1), Idx::affine("j", 1, -1)],
+        ))
         .write(Access::new("m", vec![Idx::var("i"), Idx::var("j")]));
     let nest = Loop::new("i", alen).stmt(
         Loop::new("j", blen)
@@ -103,15 +110,26 @@ pub fn nw_baseline(alen: u64, blen: u64) -> Kernel {
 
 /// Default nw bench entry.
 pub fn nw_bench() -> Bench {
-    Bench { name: "nw", source: nw_source(32, 32), baseline: nw_baseline(32, 32) }
+    Bench {
+        name: "nw",
+        source: nw_source(32, 32),
+        baseline: nw_baseline(32, 32),
+    }
 }
 
 /// Inputs: two random sequences over a 4-symbol alphabet.
-pub fn nw_inputs(alen: usize, blen: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
+pub fn nw_inputs(
+    alen: usize,
+    blen: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
     let mut rng = Prng::new(seed);
     let a = int_input(&mut rng, alen, 4);
     let b = int_input(&mut rng, blen, 4);
-    let raw = (a.iter().map(|v| v.as_i64()).collect(), b.iter().map(|v| v.as_i64()).collect());
+    let raw = (
+        a.iter().map(|v| v.as_i64()).collect(),
+        b.iter().map(|v| v.as_i64()).collect(),
+    );
     let inputs = HashMap::from([("seqa".to_string(), a), ("seqb".to_string(), b)]);
     (inputs, raw.0, raw.1)
 }
@@ -131,8 +149,7 @@ mod tests {
     #[test]
     fn identical_sequences_score_perfectly() {
         let seq: Vec<Value> = (0..6).map(|i| Value::Int(i % 4)).collect();
-        let inputs =
-            HashMap::from([("seqa".to_string(), seq.clone()), ("seqb".to_string(), seq)]);
+        let inputs = HashMap::from([("seqa".to_string(), seq.clone()), ("seqb".to_string(), seq)]);
         let out = run_checked(&nw_source(6, 6), &inputs);
         // Bottom-right cell: 6 matches = score 6.
         assert_eq!(out.mems["m"].last().unwrap().as_i64(), 6);

@@ -78,7 +78,9 @@ pub fn sort_merge_baseline(n: u64) -> Kernel {
             .write(Access::new("a", vec![Idx::var("c")]))
             .into_stmt(),
     );
-    let pass = Loop::new("w", passes).stmt(merge.into_stmt()).stmt(copy.into_stmt());
+    let pass = Loop::new("w", passes)
+        .stmt(merge.into_stmt())
+        .stmt(copy.into_stmt());
     Kernel::new("sort-merge")
         .array(ArrayDecl::new("a", 32, &[n]).with_ports(2))
         .array(ArrayDecl::new("tmp", 32, &[n]))
@@ -87,7 +89,11 @@ pub fn sort_merge_baseline(n: u64) -> Kernel {
 
 /// Default sort-merge bench entry.
 pub fn sort_merge_bench() -> Bench {
-    Bench { name: "sort-merge", source: sort_merge_source(64), baseline: sort_merge_baseline(64) }
+    Bench {
+        name: "sort-merge",
+        source: sort_merge_source(64),
+        baseline: sort_merge_baseline(64),
+    }
 }
 
 // ------------------------------------------------------------- sort-radix
@@ -204,7 +210,11 @@ pub fn sort_radix_baseline(n: u64) -> Kernel {
 
 /// Default sort-radix bench entry.
 pub fn sort_radix_bench() -> Bench {
-    Bench { name: "sort-radix", source: sort_radix_source(64), baseline: sort_radix_baseline(64) }
+    Bench {
+        name: "sort-radix",
+        source: sort_radix_source(64),
+        baseline: sort_radix_baseline(64),
+    }
 }
 
 /// Inputs for either sort (keys fit in 8 bits for the radix passes).

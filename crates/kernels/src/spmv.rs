@@ -42,7 +42,13 @@ for (let i = 0..{n}) {{
 }
 
 /// Reference CRS SpMV.
-pub fn spmv_crs_reference(n: usize, vals: &[f64], cols: &[i64], rowd: &[i64], vec: &[f64]) -> Vec<f64> {
+pub fn spmv_crs_reference(
+    n: usize,
+    vals: &[f64],
+    cols: &[i64],
+    rowd: &[i64],
+    vec: &[f64],
+) -> Vec<f64> {
     let mut out = vec![0.0; n];
     for i in 0..n {
         let mut sum = 0.0;
@@ -74,7 +80,9 @@ pub fn spmv_crs_baseline(n: u64, nnz: u64) -> Kernel {
         )
         .stmt(inner.into_stmt())
         .stmt(
-            Op::compute(OpKind::Copy).write(Access::new("out", vec![Idx::var("i")])).into_stmt(),
+            Op::compute(OpKind::Copy)
+                .write(Access::new("out", vec![Idx::var("i")]))
+                .into_stmt(),
         );
     Kernel::new("spmv-crs")
         .array(ArrayDecl::new("vals", 32, &[nnz]))
@@ -100,7 +108,13 @@ pub fn spmv_crs_inputs(
     n: usize,
     per_row: usize,
     seed: u64,
-) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<i64>, Vec<i64>, Vec<f64>) {
+) -> (
+    HashMap<String, Vec<Value>>,
+    Vec<f64>,
+    Vec<i64>,
+    Vec<i64>,
+    Vec<f64>,
+) {
     let mut rng = Prng::new(seed);
     let nnz = n * per_row;
     let vals = float_input(&mut rng, nnz);
@@ -155,7 +169,13 @@ for (let i = 0..{n}) {{
 }
 
 /// Reference ELLPACK SpMV.
-pub fn spmv_ellpack_reference(n: usize, l: usize, nzval: &[f64], cols: &[i64], vec: &[f64]) -> Vec<f64> {
+pub fn spmv_ellpack_reference(
+    n: usize,
+    l: usize,
+    nzval: &[f64],
+    cols: &[i64],
+    vec: &[f64],
+) -> Vec<f64> {
     let mut out = vec![0.0; n];
     for i in 0..n {
         let mut sum = 0.0;
@@ -178,9 +198,11 @@ pub fn spmv_ellpack_baseline(n: u64, l: u64) -> Kernel {
                 .into_stmt(),
         )
         .stmt(Op::compute(OpKind::FAdd).into_stmt());
-    let outer = Loop::new("i", n)
-        .stmt(inner.into_stmt())
-        .stmt(Op::compute(OpKind::Copy).write(Access::new("out", vec![Idx::var("i")])).into_stmt());
+    let outer = Loop::new("i", n).stmt(inner.into_stmt()).stmt(
+        Op::compute(OpKind::Copy)
+            .write(Access::new("out", vec![Idx::var("i")]))
+            .into_stmt(),
+    );
     Kernel::new("spmv-ellpack")
         .array(ArrayDecl::new("nzval", 32, &[n, l]))
         .array(ArrayDecl::new("cols", 32, &[n, l]))
@@ -207,7 +229,9 @@ pub fn spmv_ellpack_inputs(
 ) -> (HashMap<String, Vec<Value>>, Vec<f64>, Vec<i64>, Vec<f64>) {
     let mut rng = Prng::new(seed);
     let nzval = float_input(&mut rng, n * l);
-    let cols: Vec<Value> = (0..n * l).map(|_| Value::Int(rng.below(n as u64) as i64)).collect();
+    let cols: Vec<Value> = (0..n * l)
+        .map(|_| Value::Int(rng.below(n as u64) as i64))
+        .collect();
     let vecv = float_input(&mut rng, n);
     let raw = (
         nzval.iter().map(|v| v.as_f64()).collect(),

@@ -55,8 +55,13 @@ impl Stencil2dParams {
 
 /// Dahlia source for a stencil2d configuration.
 pub fn stencil2d_source(p: &Stencil2dParams) -> String {
-    let Stencil2dParams { rows, cols, bank_orig: (br, bc), bank_filter: (f1, f2), unroll: (u1, u2) } =
-        *p;
+    let Stencil2dParams {
+        rows,
+        cols,
+        bank_orig: (br, bc),
+        bank_filter: (f1, f2),
+        unroll: (u1, u2),
+    } = *p;
     let (r_out, c_out) = (rows - 2, cols - 2);
     let mut top_views = String::new();
     let fa = shrink_if_needed(&mut top_views, "filter", &[f1, f2], &[u1, u2]);
@@ -105,7 +110,13 @@ pub fn stencil2d_reference(rows: usize, cols: usize, orig: &[f64], filter: &[f64
 /// Baseline stencil2d in the HLS IR (index arithmetic on flat arrays, as in
 /// the MachSuite C source).
 pub fn stencil2d_baseline(p: &Stencil2dParams) -> Kernel {
-    let Stencil2dParams { rows, cols, bank_orig, bank_filter, unroll } = *p;
+    let Stencil2dParams {
+        rows,
+        cols,
+        bank_orig,
+        bank_filter,
+        unroll,
+    } = *p;
     let inner = Loop::new("k2", 3)
         .unrolled(unroll.1)
         .stmt(
@@ -117,7 +128,12 @@ pub fn stencil2d_baseline(p: &Stencil2dParams) -> Kernel {
         .stmt(Op::compute(OpKind::FAdd).into_stmt());
     let nest = Loop::new("r", rows - 2).stmt(
         Loop::new("c", cols - 2)
-            .stmt(Loop::new("k1", 3).unrolled(unroll.0).stmt(inner.into_stmt()).into_stmt())
+            .stmt(
+                Loop::new("k1", 3)
+                    .unrolled(unroll.0)
+                    .stmt(inner.into_stmt())
+                    .into_stmt(),
+            )
             .stmt(
                 Op::compute(OpKind::Copy)
                     .write(Access::new("sol", vec![Idx::var("r"), Idx::var("c")]))
@@ -127,9 +143,7 @@ pub fn stencil2d_baseline(p: &Stencil2dParams) -> Kernel {
     );
     Kernel::new("stencil2d")
         .array(ArrayDecl::new("orig", 32, &[rows, cols]).partitioned(&[bank_orig.0, bank_orig.1]))
-        .array(
-            ArrayDecl::new("filter", 32, &[3, 3]).partitioned(&[bank_filter.0, bank_filter.1]),
-        )
+        .array(ArrayDecl::new("filter", 32, &[3, 3]).partitioned(&[bank_filter.0, bank_filter.1]))
         .array(ArrayDecl::new("sol", 32, &[rows, cols]))
         .stmt(nest.into_stmt())
 }
@@ -215,8 +229,14 @@ pub fn stencil3d_reference(d: usize, inp: &[f64]) -> Vec<f64> {
 /// Baseline stencil3d in the HLS IR.
 pub fn stencil3d_baseline(d: u64) -> Kernel {
     let taps = Op::compute(OpKind::FMul)
-        .read(Access::new("inp", vec![Idx::var("i"), Idx::var("j"), Idx::var("k")]))
-        .read(Access::new("inp", vec![Idx::affine("i", 1, 1), Idx::var("j"), Idx::var("k")]));
+        .read(Access::new(
+            "inp",
+            vec![Idx::var("i"), Idx::var("j"), Idx::var("k")],
+        ))
+        .read(Access::new(
+            "inp",
+            vec![Idx::affine("i", 1, 1), Idx::var("j"), Idx::var("k")],
+        ));
     let nest = Loop::new("i", d - 2).stmt(
         Loop::new("j", d - 2)
             .stmt(

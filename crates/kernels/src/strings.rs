@@ -130,8 +130,11 @@ pub fn kmp_baseline(ps: u64, ss: u64) -> Kernel {
         .stmt(Op::compute(OpKind::Logic).into_stmt())
         .stmt(Op::compute(OpKind::IntAlu).into_stmt())
     };
-    let build = walk_ops(Loop::new("q", ps))
-        .stmt(Op::compute(OpKind::Copy).write(Access::new("kmp_next", vec![Idx::var("q")])).into_stmt());
+    let build = walk_ops(Loop::new("q", ps)).stmt(
+        Op::compute(OpKind::Copy)
+            .write(Access::new("kmp_next", vec![Idx::var("q")]))
+            .into_stmt(),
+    );
     let scan = walk_ops(Loop::new("i", ss))
         .stmt(
             Op::compute(OpKind::IntAlu)
@@ -152,12 +155,20 @@ pub fn kmp_baseline(ps: u64, ss: u64) -> Kernel {
 
 /// Default kmp bench entry.
 pub fn kmp_bench() -> Bench {
-    Bench { name: "kmp", source: kmp_source(4, 256), baseline: kmp_baseline(4, 256) }
+    Bench {
+        name: "kmp",
+        source: kmp_source(4, 256),
+        baseline: kmp_baseline(4, 256),
+    }
 }
 
 /// Inputs for kmp: random text with the pattern planted every 16 symbols so
 /// matches are guaranteed.
-pub fn kmp_inputs(ps: usize, ss: usize, seed: u64) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
+pub fn kmp_inputs(
+    ps: usize,
+    ss: usize,
+    seed: u64,
+) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>) {
     let mut rng = Prng::new(seed);
     let pattern: Vec<i64> = (0..ps).map(|_| rng.below(3) as i64).collect();
     let mut input: Vec<i64> = (0..ss).map(|_| rng.below(3) as i64).collect();
@@ -167,8 +178,14 @@ pub fn kmp_inputs(ps: usize, ss: usize, seed: u64) -> (HashMap<String, Vec<Value
         at += 16;
     }
     let inputs = HashMap::from([
-        ("pattern".to_string(), pattern.iter().copied().map(Value::Int).collect::<Vec<_>>()),
-        ("input".to_string(), input.iter().copied().map(Value::Int).collect::<Vec<_>>()),
+        (
+            "pattern".to_string(),
+            pattern.iter().copied().map(Value::Int).collect::<Vec<_>>(),
+        ),
+        (
+            "input".to_string(),
+            input.iter().copied().map(Value::Int).collect::<Vec<_>>(),
+        ),
     ]);
     (inputs, pattern, input)
 }
@@ -223,7 +240,7 @@ pub fn aes_reference(
     state0: &[i64],
 ) -> Vec<i64> {
     let mut state = state0.to_vec();
-    let mut tmp = vec![0i64; 16];
+    let mut tmp = [0i64; 16];
     for r in 0..rounds {
         for i in 0..16 {
             tmp[i] = (sbox[state[i] as usize] + rk[r * 16 + i]) % 256;
@@ -254,7 +271,9 @@ pub fn aes_baseline(rounds: u64) -> Kernel {
             .write(Access::new("state", vec![Idx::var("i")]))
             .into_stmt(),
     );
-    let round = Loop::new("r", rounds).stmt(sub.into_stmt()).stmt(shift.into_stmt());
+    let round = Loop::new("r", rounds)
+        .stmt(sub.into_stmt())
+        .stmt(shift.into_stmt());
     Kernel::new("aes")
         .array(ArrayDecl::new("sbox", 32, &[256]))
         .array(ArrayDecl::new("rk", 32, &[rounds, 16]))
@@ -266,7 +285,11 @@ pub fn aes_baseline(rounds: u64) -> Kernel {
 
 /// Default aes bench entry.
 pub fn aes_bench() -> Bench {
-    Bench { name: "aes", source: aes_source(AES_ROUNDS), baseline: aes_baseline(AES_ROUNDS) }
+    Bench {
+        name: "aes",
+        source: aes_source(AES_ROUNDS),
+        baseline: aes_baseline(AES_ROUNDS),
+    }
 }
 
 /// Inputs for the cipher (S-box is a deterministic permutation-ish table).
@@ -274,7 +297,13 @@ pub fn aes_bench() -> Bench {
 pub fn aes_inputs(
     rounds: usize,
     seed: u64,
-) -> (HashMap<String, Vec<Value>>, Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+) -> (
+    HashMap<String, Vec<Value>>,
+    Vec<i64>,
+    Vec<i64>,
+    Vec<i64>,
+    Vec<i64>,
+) {
     let mut rng = Prng::new(seed);
     let sbox: Vec<i64> = (0..256).map(|i| ((i as i64) * 7 + 13) % 256).collect();
     let rk: Vec<i64> = (0..rounds * 16).map(|_| rng.below(256) as i64).collect();
@@ -307,15 +336,28 @@ mod tests {
         let (inputs, pattern, input) = kmp_inputs(4, 64, 3);
         let out = run_checked(&kmp_source(4, 64), &inputs);
         let want = kmp_reference(&pattern, &input);
-        assert_eq!(out.mems["n_matches"][0].as_i64(), want, "pattern {pattern:?}");
+        assert_eq!(
+            out.mems["n_matches"][0].as_i64(),
+            want,
+            "pattern {pattern:?}"
+        );
         assert!(want > 0, "workload should contain matches");
     }
 
     #[test]
     fn kmp_no_match_case() {
         let inputs = HashMap::from([
-            ("pattern".to_string(), vec![9, 9, 9, 9].into_iter().map(Value::Int).collect::<Vec<_>>()),
-            ("input".to_string(), vec![1; 32].into_iter().map(Value::Int).collect::<Vec<_>>()),
+            (
+                "pattern".to_string(),
+                vec![9, 9, 9, 9]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "input".to_string(),
+                vec![1; 32].into_iter().map(Value::Int).collect::<Vec<_>>(),
+            ),
         ]);
         let out = run_checked(&kmp_source(4, 32), &inputs);
         assert_eq!(out.mems["n_matches"][0].as_i64(), 0);

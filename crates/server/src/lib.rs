@@ -1,0 +1,446 @@
+//! # dahlia-server
+//!
+//! A concurrent, content-addressed **compilation service** for the full
+//! Dahlia pipeline. The paper's pitch is *predictable* accelerator
+//! design: parse → affine typecheck → desugar → lower → emit C++ →
+//! estimate is a deterministic function of the source text, which makes
+//! the whole pipeline memoizable and the service trivially scalable —
+//! exactly what a DSE sweep (thousands of near-identical programs) or a
+//! high-traffic playground deployment needs.
+//!
+//! Three layers:
+//!
+//! * [`pipeline`] — every stage artifact cached in an in-memory
+//!   content-addressed [`store`] keyed by `(source hash, stage,
+//!   options)`, with **single-flight** dedup: concurrent identical
+//!   requests run the compiler once and share the result;
+//! * [`pool`] — a hand-rolled, std-only work-stealing thread pool
+//!   executing batches;
+//! * [`protocol`] — a JSON-lines request/response protocol, exposed as a
+//!   library ([`Server::submit`], [`Server::submit_batch`],
+//!   [`Server::serve`]) and via the `dahliac serve` / `dahliac batch`
+//!   CLI modes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dahlia_server::{Request, Server, Stage};
+//!
+//! let server = Server::with_threads(4);
+//! let src = "let A: float[16 bank 4];
+//!            for (let i = 0..16) unroll 4 { A[i] := 1.0; }";
+//!
+//! // A batch of identical requests: the pipeline runs once, everyone
+//! // shares the artifacts.
+//! let reqs: Vec<Request> = (0..64)
+//!     .map(|i| Request::new(format!("r{i}"), Stage::Estimate, src, "scale"))
+//!     .collect();
+//! let responses = server.submit_batch(reqs);
+//! assert!(responses.iter().all(|r| r.ok()));
+//! assert!(responses.iter().all(|r| r.estimate().unwrap().correct));
+//!
+//! let stats = server.stats();
+//! assert_eq!(stats.requests, 64);
+//! // Four stages computed (parse, check, lower, est)…
+//! assert_eq!(stats.store.total_executions(), 4);
+//! // …and the other 63 requests were served from cache or joined the
+//! // in-flight computation.
+//! assert_eq!(responses.iter().filter(|r| r.cached).count(), 63);
+//! ```
+//!
+//! Errors are diagnostics, not strings, and are cached like successes:
+//!
+//! ```
+//! use dahlia_server::{Request, Server, Stage};
+//!
+//! let server = Server::with_threads(1);
+//! let bad = Request::new("x", Stage::Cpp, "let A: float[10]; let x = A[0]; A[1] := 1.0;", "k");
+//! let resp = server.submit(bad);
+//! assert!(!resp.ok());
+//! let line = resp.to_line();
+//! assert!(line.contains(r#""code":"type/already-consumed""#), "{line}");
+//! ```
+
+pub mod json;
+pub mod pipeline;
+pub mod pool;
+pub mod protocol;
+pub mod store;
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
+
+use json::{obj, Json};
+
+pub use pipeline::{Artifact, Options, Pipeline, Stage};
+pub use pool::Pool;
+pub use protocol::{Request, Response};
+pub use store::{CacheValue, Key, Store, StoreStats};
+
+struct Inner {
+    pipeline: Pipeline,
+    requests: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+impl Inner {
+    fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (value, cached) = self.pipeline.artifact(&req.source, req.stage, &req.options);
+        let latency_us = t0.elapsed().as_micros() as u64;
+        self.latency_us.fetch_add(latency_us, Ordering::Relaxed);
+        Response {
+            id: req.id.clone(),
+            stage: req.stage,
+            cached,
+            latency_us,
+            value,
+        }
+    }
+}
+
+/// Service-level statistics: request accounting plus store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served (batch items count individually).
+    pub requests: u64,
+    /// Total request service time, in microseconds.
+    pub latency_us: u64,
+    /// Cache/single-flight counters.
+    pub store: StoreStats,
+}
+
+impl ServerStats {
+    /// Encode as a JSON object with stable field order.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("requests", Json::Num(self.requests as f64)),
+            ("latency_us", Json::Num(self.latency_us as f64)),
+            ("hits", Json::Num(self.store.hits as f64)),
+            ("misses", Json::Num(self.store.misses as f64)),
+            ("joins", Json::Num(self.store.joins as f64)),
+            (
+                "executions",
+                Json::Obj(
+                    Stage::ALL
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name().to_string(),
+                                Json::Num(self.store.executions[s.index()] as f64),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests, {} hits / {} misses / {} joins, {} stage executions, {:.3} ms total",
+            self.requests,
+            self.store.hits,
+            self.store.misses,
+            self.store.joins,
+            self.store.total_executions(),
+            self.latency_us as f64 / 1e3,
+        )
+    }
+}
+
+/// Summary of one [`Server::serve`] session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Protocol lines handled (excluding blank lines).
+    pub lines: u64,
+    /// Lines that were not valid requests.
+    pub protocol_errors: u64,
+}
+
+/// The long-lived compilation service.
+///
+/// Create once, submit from many threads. See the crate docs for a
+/// quickstart.
+pub struct Server {
+    inner: Arc<Inner>,
+    pool: Pool,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
+impl Server {
+    /// A server with one worker per available core.
+    pub fn new() -> Server {
+        Server::build(Pipeline::new(), Pool::with_default_threads())
+    }
+
+    /// A server with exactly `threads` pool workers.
+    pub fn with_threads(threads: usize) -> Server {
+        Server::build(Pipeline::new(), Pool::new(threads))
+    }
+
+    /// Test instrumentation: every computed stage sleeps for `delay`,
+    /// widening the single-flight window deterministically.
+    pub fn with_compute_delay(threads: usize, delay: Duration) -> Server {
+        Server::build(Pipeline::with_compute_delay(delay), Pool::new(threads))
+    }
+
+    fn build(pipeline: Pipeline, pool: Pool) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                pipeline,
+                requests: AtomicU64::new(0),
+                latency_us: AtomicU64::new(0),
+            }),
+            pool,
+        }
+    }
+
+    /// Number of pool workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Serve one request on the calling thread.
+    pub fn submit(&self, req: Request) -> Response {
+        self.inner.handle(&req)
+    }
+
+    /// Serve a batch concurrently on the pool; responses come back in
+    /// request order. Identical in-flight requests are deduplicated by
+    /// the single-flight store, so a batch of 64 copies of one program
+    /// costs one compilation.
+    pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
+        let inner = Arc::clone(&self.inner);
+        self.pool.map(reqs, move |req| inner.handle(&req))
+    }
+
+    /// Service statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            latency_us: self.inner.latency_us.load(Ordering::Relaxed),
+            store: self.inner.pipeline.stats(),
+        }
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn cached_artifacts(&self) -> usize {
+        self.inner.pipeline.cached_artifacts()
+    }
+
+    /// Drop every cached artifact (counters survive). Used by benchmarks
+    /// to compare cold and warm service.
+    pub fn clear_cache(&self) {
+        self.inner.pipeline.clear_cache()
+    }
+
+    /// Run the JSON-lines protocol over a reader/writer pair until EOF:
+    /// one request per line, one response line each, in order. The
+    /// control line `{"op":"stats"}` emits a `{"stats":{...}}` line.
+    ///
+    /// This mode is strictly request/response: each line is answered
+    /// (on the calling thread) before the next is read, so a lone
+    /// `serve` client sees no pool parallelism — concurrency comes from
+    /// `submit_batch` or from multiple clients sharing one server.
+    pub fn serve<R: BufRead, W: Write>(
+        &self,
+        input: R,
+        mut output: W,
+    ) -> std::io::Result<ServeSummary> {
+        let mut summary = ServeSummary::default();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            summary.lines += 1;
+            let request = Json::parse(&line)
+                .map_err(|e| format!("bad JSON: {e}"))
+                .and_then(|v| {
+                    if v.get("op").and_then(Json::as_str) == Some("stats") {
+                        Ok(None)
+                    } else {
+                        Request::from_json(&v, lineno as u64).map(Some)
+                    }
+                });
+            match request {
+                Ok(None) => {
+                    writeln!(
+                        output,
+                        "{}",
+                        obj([("stats", self.stats().to_json())]).emit()
+                    )?;
+                }
+                Ok(Some(req)) => {
+                    let resp = self.submit(req);
+                    writeln!(output, "{}", resp.to_line())?;
+                }
+                Err(msg) => {
+                    summary.protocol_errors += 1;
+                    let err = obj([
+                        ("id", Json::Null),
+                        ("ok", Json::Bool(false)),
+                        (
+                            "error",
+                            obj([
+                                ("phase", Json::Str("protocol".into())),
+                                ("code", Json::Str("protocol/bad-request".into())),
+                                ("message", Json::Str(msg)),
+                                ("line", Json::Num((lineno + 1) as f64)),
+                            ]),
+                        ),
+                    ]);
+                    writeln!(output, "{}", err.emit())?;
+                }
+            }
+        }
+        output.flush()?;
+        Ok(summary)
+    }
+}
+
+/// A [`dahlia_dse::EstimateProvider`] that routes every evaluation
+/// through a [`Server`], so sweeps share one content-addressed cache:
+/// re-visiting a configuration (across strides, studies, or repeated
+/// sweeps) is a cache hit instead of a recompile.
+pub struct CachedProvider {
+    server: Server,
+}
+
+impl CachedProvider {
+    /// Wrap a server.
+    pub fn new(server: Server) -> CachedProvider {
+        CachedProvider { server }
+    }
+
+    /// The wrapped server (for stats or reuse).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+}
+
+impl Default for CachedProvider {
+    fn default() -> Self {
+        CachedProvider::new(Server::new())
+    }
+}
+
+impl EstimateProvider for CachedProvider {
+    fn evaluate(&self, name: &str, source: &str) -> PointOutcome {
+        let resp = self
+            .server
+            .submit(Request::new("dse", Stage::Estimate, source, name));
+        match resp.value {
+            Ok(Artifact::Estimate(e)) => PointOutcome {
+                accepted: true,
+                estimate: Some((*e).clone()),
+                diagnostic: None,
+            },
+            Ok(other) => unreachable!("est request returned {other:?}"),
+            Err(d) => PointOutcome {
+                accepted: false,
+                estimate: None,
+                diagnostic: Some(d),
+            },
+        }
+    }
+
+    fn stats(&self) -> ProviderStats {
+        let s = self.server.stats();
+        ProviderStats {
+            requests: s.requests,
+            cache_hits: s.store.hits + s.store.joins,
+            cache_misses: s.store.misses,
+            latency_us: s.latency_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "let A: float[8 bank 4];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+
+    #[test]
+    fn batch_of_distinct_programs_all_succeed() {
+        let server = Server::with_threads(4);
+        let reqs: Vec<Request> = [1u64, 2, 4, 8]
+            .into_iter()
+            .map(|b| {
+                Request::new(
+                    format!("b{b}"),
+                    Stage::Estimate,
+                    format!(
+                        "let A: float[16 bank {b}];\nfor (let i = 0..16) unroll {b} {{ A[i] := 1.0; }}"
+                    ),
+                    "k",
+                )
+            })
+            .collect();
+        let resps = server.submit_batch(reqs);
+        assert_eq!(resps.len(), 4);
+        assert!(
+            resps.iter().all(|r| r.ok()),
+            "{:?}",
+            resps.iter().map(|r| &r.value).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            resps.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["b1", "b2", "b4", "b8"]
+        );
+        // 4 programs × 4 stages (parse, check, lower, est).
+        assert_eq!(server.stats().store.total_executions(), 16);
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let server = Server::with_threads(1);
+        server.submit(Request::estimate("a", GOOD));
+        assert!(server.cached_artifacts() > 0);
+        server.clear_cache();
+        assert_eq!(server.cached_artifacts(), 0);
+        server.submit(Request::estimate("b", GOOD));
+        assert_eq!(server.stats().store.executions[Stage::Parse.index()], 2);
+    }
+
+    #[test]
+    fn cached_provider_agrees_with_direct() {
+        use dahlia_dse::DirectProvider;
+        let cached = CachedProvider::new(Server::with_threads(2));
+        let direct = DirectProvider::new();
+        for (b, u) in [(1u64, 1u64), (4, 4), (2, 4), (4, 2)] {
+            let src = format!(
+                "let A: float[16 bank {b}];\nfor (let i = 0..16) unroll {u} {{ A[i] := 1.0; }}"
+            );
+            let a = cached.evaluate("k", &src);
+            let d = direct.evaluate("k", &src);
+            assert_eq!(a.accepted, d.accepted, "bank {b} unroll {u}");
+            assert_eq!(a.estimate, d.estimate, "bank {b} unroll {u}");
+        }
+        // Second pass: the cached provider must not recompute anything.
+        let before = cached.stats();
+        for (b, u) in [(1u64, 1u64), (4, 4)] {
+            let src = format!(
+                "let A: float[16 bank {b}];\nfor (let i = 0..16) unroll {u} {{ A[i] := 1.0; }}"
+            );
+            cached.evaluate("k", &src);
+        }
+        let delta_misses = cached.stats().cache_misses - before.cache_misses;
+        assert_eq!(delta_misses, 0, "warm sweep must not recompute");
+    }
+}

@@ -1,0 +1,344 @@
+//! The staged compilation pipeline over the content-addressed store.
+//!
+//! Every stage is cached independently under `(source, stage, options)`,
+//! so a `check` request warms the cache for a later `est` request on the
+//! same program, and two requests differing only in kernel name share
+//! their parse and check artifacts... almost: options participate in
+//! every key for simplicity, so sharing happens whenever `(source,
+//! options)` match — the common case in sweeps, which resubmit identical
+//! requests wholesale.
+//!
+//! Stage dependencies (`est` needs `lower` needs `check` needs `parse`)
+//! are resolved recursively through the store, so each prerequisite is
+//! itself cached and single-flighted.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dahlia_core::diag::Diagnostic;
+use dahlia_core::{CheckReport, Program};
+use hls_sim::digest::Fnv;
+use hls_sim::{Estimate, Kernel};
+
+use crate::store::{CacheValue, Key, Store, StoreStats};
+
+/// Number of pipeline stages (array-sized counters index by
+/// [`Stage::index`]).
+pub const STAGE_COUNT: usize = 6;
+
+/// One stage of the compilation pipeline, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Source → AST.
+    Parse,
+    /// AST → affine-type report.
+    Check,
+    /// AST → desugared AST (unrolled loops, inlined views).
+    Desugar,
+    /// AST → kernel IR for the HLS substrate.
+    Lower,
+    /// AST → Vivado-HLS-style C++.
+    Cpp,
+    /// Kernel IR → area/latency estimate.
+    Estimate,
+}
+
+impl Stage {
+    /// All stages, in dependency order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Parse,
+        Stage::Check,
+        Stage::Desugar,
+        Stage::Lower,
+        Stage::Cpp,
+        Stage::Estimate,
+    ];
+
+    /// Dense index for per-stage counters.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Check => 1,
+            Stage::Desugar => 2,
+            Stage::Lower => 3,
+            Stage::Cpp => 4,
+            Stage::Estimate => 5,
+        }
+    }
+
+    /// Stable protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Check => "check",
+            Stage::Desugar => "desugar",
+            Stage::Lower => "lower",
+            Stage::Cpp => "cpp",
+            Stage::Estimate => "est",
+        }
+    }
+
+    /// Parse a protocol name.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// Per-request options that affect artifact content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Options {
+    /// Kernel name used by `lower`, `cpp`, and `est`.
+    pub kernel_name: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            kernel_name: "kernel".to_string(),
+        }
+    }
+}
+
+impl Options {
+    /// Options with the given kernel name.
+    pub fn named(kernel_name: impl Into<String>) -> Options {
+        Options {
+            kernel_name: kernel_name.into(),
+        }
+    }
+
+    /// Stable digest for cache keys.
+    pub fn digest(&self) -> u128 {
+        let mut h = Fnv::new();
+        h.tag(b'o').str(&self.kernel_name);
+        h.finish()
+    }
+}
+
+/// Stable digest of a source text.
+pub fn source_digest(source: &str) -> u128 {
+    let mut h = Fnv::new();
+    h.tag(b's').str(source);
+    h.finish()
+}
+
+/// A cached stage result. Artifacts wrap their payloads in [`Arc`] so a
+/// cache hit is a pointer clone, never a deep copy.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Parsed AST.
+    Ast(Arc<Program>),
+    /// Type-check statistics.
+    Check(Arc<CheckReport>),
+    /// Desugared AST.
+    Desugared(Arc<Program>),
+    /// Lowered kernel IR.
+    Ir(Arc<Kernel>),
+    /// Emitted C++.
+    Cpp(Arc<String>),
+    /// Area/latency estimate.
+    Estimate(Arc<Estimate>),
+}
+
+// Artifacts cross worker threads and live in the shared store.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync + Clone>() {}
+    assert_shareable::<Artifact>();
+};
+
+/// The staged pipeline: a store plus compute rules.
+#[derive(Default)]
+pub struct Pipeline {
+    store: Store,
+    /// Artificial per-computation delay — widens the single-flight window
+    /// so tests can pin the dedup behaviour deterministically.
+    delay: Option<Duration>,
+}
+
+impl Pipeline {
+    /// A fresh pipeline with an empty store.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// A pipeline whose every *computed* (not cached) stage sleeps for
+    /// `delay` first. Test instrumentation.
+    pub fn with_compute_delay(delay: Duration) -> Pipeline {
+        Pipeline {
+            store: Store::new(),
+            delay: Some(delay),
+        }
+    }
+
+    /// Store counters.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Number of cached artifacts.
+    pub fn cached_artifacts(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Drop all cached artifacts (counters survive).
+    pub fn clear_cache(&self) {
+        self.store.clear()
+    }
+
+    /// Produce `stage`'s artifact for `source`, computing (and caching)
+    /// any missing prerequisites. The `bool` is true when this call ran
+    /// no compute of its own (pure cache hit / single-flight join) —
+    /// note prerequisites may still have computed on this call.
+    pub fn artifact(&self, source: &str, stage: Stage, opts: &Options) -> (CacheValue, bool) {
+        let key = Key {
+            source: source_digest(source),
+            stage,
+            options: opts.digest(),
+        };
+        self.store.get_or_compute(key, || {
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            self.compute(source, stage, opts)
+        })
+    }
+
+    fn ast(&self, source: &str, opts: &Options) -> Result<Arc<Program>, Diagnostic> {
+        match self.artifact(source, Stage::Parse, opts).0? {
+            Artifact::Ast(p) => Ok(p),
+            other => unreachable!("parse stage produced {other:?}"),
+        }
+    }
+
+    fn checked_ast(&self, source: &str, opts: &Options) -> Result<Arc<Program>, Diagnostic> {
+        let ast = self.ast(source, opts)?;
+        self.artifact(source, Stage::Check, opts).0?;
+        Ok(ast)
+    }
+
+    fn ir(&self, source: &str, opts: &Options) -> Result<Arc<Kernel>, Diagnostic> {
+        match self.artifact(source, Stage::Lower, opts).0? {
+            Artifact::Ir(k) => Ok(k),
+            other => unreachable!("lower stage produced {other:?}"),
+        }
+    }
+
+    fn compute(&self, source: &str, stage: Stage, opts: &Options) -> CacheValue {
+        match stage {
+            Stage::Parse => match dahlia_core::parse(source) {
+                Ok(p) => Ok(Artifact::Ast(Arc::new(p))),
+                Err(e) => Err(e.diagnostic()),
+            },
+            Stage::Check => {
+                let ast = self.ast(source, opts)?;
+                match dahlia_core::typecheck(&ast) {
+                    Ok(report) => Ok(Artifact::Check(Arc::new(report))),
+                    Err(e) => Err(e.diagnostic()),
+                }
+            }
+            Stage::Desugar => {
+                let ast = self.checked_ast(source, opts)?;
+                Ok(Artifact::Desugared(Arc::new(
+                    dahlia_core::desugar::desugar(&ast),
+                )))
+            }
+            Stage::Lower => {
+                let ast = self.checked_ast(source, opts)?;
+                Ok(Artifact::Ir(Arc::new(dahlia_backend::lower(
+                    &ast,
+                    &opts.kernel_name,
+                ))))
+            }
+            Stage::Cpp => {
+                let ast = self.checked_ast(source, opts)?;
+                Ok(Artifact::Cpp(Arc::new(dahlia_backend::emit_cpp(
+                    &ast,
+                    &opts.kernel_name,
+                ))))
+            }
+            Stage::Estimate => {
+                let ir = self.ir(source, opts)?;
+                Ok(Artifact::Estimate(Arc::new(hls_sim::estimate(&ir))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "let A: float[8 bank 4];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+    const ILL_TYPED: &str = "let A: float[8];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+
+    #[test]
+    fn estimate_pulls_the_whole_chain() {
+        let p = Pipeline::new();
+        let opts = Options::named("k");
+        let (v, cached) = p.artifact(GOOD, Stage::Estimate, &opts);
+        assert!(!cached);
+        let est = match v.unwrap() {
+            Artifact::Estimate(e) => e,
+            other => panic!("{other:?}"),
+        };
+        assert!(est.correct);
+        // parse, check, lower, est each computed exactly once; cpp and
+        // desugar were never needed.
+        let ex = p.stats().executions;
+        assert_eq!(ex[Stage::Parse.index()], 1);
+        assert_eq!(ex[Stage::Check.index()], 1);
+        assert_eq!(ex[Stage::Lower.index()], 1);
+        assert_eq!(ex[Stage::Estimate.index()], 1);
+        assert_eq!(ex[Stage::Cpp.index()], 0);
+        assert_eq!(ex[Stage::Desugar.index()], 0);
+    }
+
+    #[test]
+    fn warm_requests_share_prerequisites() {
+        let p = Pipeline::new();
+        let opts = Options::named("k");
+        let _ = p.artifact(GOOD, Stage::Estimate, &opts);
+        let (_, cached) = p.artifact(GOOD, Stage::Estimate, &opts);
+        assert!(cached);
+        // A different terminal stage still reuses parse + check.
+        let (v, _) = p.artifact(GOOD, Stage::Cpp, &opts);
+        assert!(matches!(v.unwrap(), Artifact::Cpp(_)));
+        let ex = p.stats().executions;
+        assert_eq!(ex[Stage::Parse.index()], 1, "parse ran once total");
+        assert_eq!(ex[Stage::Check.index()], 1, "check ran once total");
+    }
+
+    #[test]
+    fn type_errors_propagate_and_cache() {
+        let p = Pipeline::new();
+        let opts = Options::default();
+        let (v, _) = p.artifact(ILL_TYPED, Stage::Estimate, &opts);
+        let d = v.unwrap_err();
+        assert_eq!(d.code, "type/insufficient-banks");
+        // Re-requesting any downstream stage re-uses the cached failure:
+        // check never runs twice.
+        let _ = p.artifact(ILL_TYPED, Stage::Cpp, &opts);
+        assert_eq!(p.stats().executions[Stage::Check.index()], 1);
+    }
+
+    #[test]
+    fn options_separate_cache_lines() {
+        let p = Pipeline::new();
+        let (a, _) = p.artifact(GOOD, Stage::Cpp, &Options::named("alpha"));
+        let (b, _) = p.artifact(GOOD, Stage::Cpp, &Options::named("beta"));
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let (Artifact::Cpp(a), Artifact::Cpp(b)) = (a, b) else {
+            panic!()
+        };
+        assert!(a.contains("void alpha("));
+        assert!(b.contains("void beta("));
+    }
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! A hand-rolled, std-only work-stealing thread pool.
+//!
+//! Each worker owns a deque; submissions are distributed round-robin and
+//! an idle worker first drains its own queue, then steals from its
+//! peers. A single condvar parks workers when the whole pool is empty.
+//! This is deliberately simple — jobs here are whole compilation
+//! requests (hundreds of microseconds to milliseconds), so per-job
+//! overhead is noise and the win is keeping every core busy while the
+//! single-flight store dedups overlapping work.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Count of queued (not yet started) jobs, guarded for the condvar.
+    pending: Mutex<usize>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pop from `home`'s queue, else steal from a peer.
+    fn grab(&self, home: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let mut q = self.queues[(home + k) % n].lock().unwrap();
+            if let Some(job) = q.pop_front() {
+                drop(q);
+                *self.pending.lock().unwrap() -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// The pool. Dropping it drains nothing: queued jobs are abandoned, but
+/// running jobs complete (workers are joined).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
+}
+
+impl Pool {
+    /// Spawn `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dahlia-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// One worker per available core (minus one for the submitter),
+    /// respecting `DAHLIA_SERVER_THREADS` when set.
+    pub fn with_default_threads() -> Pool {
+        if let Some(n) = std::env::var("DAHLIA_SERVER_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return Pool::new(n);
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Pool::new(cores.saturating_sub(1).max(1))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Enqueue a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        // Count the job before publishing it: a worker that pops it
+        // decrements `pending`, so the increment must already be visible
+        // (the reverse order can underflow the counter).
+        *self.shared.pending.lock().unwrap() += 1;
+        self.shared.queues[i]
+            .lock()
+            .unwrap()
+            .push_back(Box::new(job));
+        self.shared.wake.notify_one();
+    }
+
+    /// Run `f` over every item on the pool, preserving input order.
+    /// Blocks until all results are in. If `f` panicked for any item,
+    /// the original panic payload is re-raised on the calling thread.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let f = Arc::new(f);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, std::thread::Result<R>)>();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| match r.expect("worker delivered") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, home: usize) {
+    loop {
+        if let Some(job) = shared.grab(home) {
+            // A panicking job must not take the worker down with it: the
+            // pool would silently shrink and eventually hang `map`.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            continue;
+        }
+        let mut pending = shared.pending.lock().unwrap();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if *pending > 0 {
+                break;
+            }
+            pending = shared.wake.wait(pending).unwrap();
+        }
+        // Something is queued somewhere; loop around and grab it.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_is_actually_parallel() {
+        let pool = Pool::new(4);
+        let t0 = std::time::Instant::now();
+        pool.map((0..8).collect::<Vec<u64>>(), |_| {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+        });
+        // 8 × 40 ms of sleep across 4 workers ≈ 80 ms; serial would be 320.
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(300),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // One giant job on one queue must not serialize the rest.
+        let pool = Pool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        pool.execute(move || {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let quick: Vec<u64> = (0..32).collect();
+        let c3 = Arc::clone(&counter);
+        pool.map(quick, move |_| {
+            c3.fetch_add(1, Ordering::SeqCst);
+        });
+        // All 32 quick jobs completed even while the slow one was running.
+        assert!(counter.load(Ordering::SeqCst) >= 32);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = Pool::new(2);
+        for _ in 0..8 {
+            pool.execute(|| panic!("job panic"));
+        }
+        // Both workers survived all eight panics and still serve work.
+        let out = pool.map((0..16u64).collect(), |x| x + 1);
+        assert_eq!(out, (1..=16u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn execute_counts_before_publishing() {
+        // Regression: a worker popping a job before the submitter's
+        // counter increment used to underflow `pending` (panic in debug).
+        let pool = Pool::new(4);
+        for round in 0..50 {
+            let out = pool.map((0..32u64).collect(), move |x| x * round);
+            assert_eq!(out.len(), 32);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = Pool::new(2);
+        pool.map(vec![1, 2, 3], |x| x);
+        drop(pool); // must not hang
+    }
+}

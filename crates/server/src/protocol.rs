@@ -1,0 +1,235 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One request object per input line, one response object per output
+//! line, in order. Field order in responses is fixed (and pinned by the
+//! golden tests): `id`, `stage`, `ok`, `cached`, `latency_us`, then the
+//! stage payload (`estimate`, `report`, `cpp`, `ir`, `pretty`) or
+//! `error`.
+//!
+//! ```text
+//! → {"id":"r1","stage":"est","name":"scale","source":"let A: float[8 bank 8]; ..."}
+//! ← {"id":"r1","stage":"est","ok":true,"cached":false,"latency_us":412,"estimate":{...}}
+//! → {"op":"stats"}
+//! ← {"stats":{"requests":1,...}}
+//! ```
+
+use hls_sim::StableDigest;
+
+use crate::json::{obj, Json};
+use crate::pipeline::{Artifact, Options, Stage};
+use crate::store::CacheValue;
+
+/// One compilation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed back verbatim.
+    pub id: String,
+    /// Terminal stage to produce.
+    pub stage: Stage,
+    /// Dahlia source text.
+    pub source: String,
+    /// Options participating in the cache key.
+    pub options: Options,
+}
+
+impl Request {
+    /// Build a request.
+    pub fn new(
+        id: impl Into<String>,
+        stage: Stage,
+        source: impl Into<String>,
+        kernel_name: impl Into<String>,
+    ) -> Request {
+        Request {
+            id: id.into(),
+            stage,
+            source: source.into(),
+            options: Options::named(kernel_name),
+        }
+    }
+
+    /// An `est` request with default options.
+    pub fn estimate(id: impl Into<String>, source: impl Into<String>) -> Request {
+        Request::new(id, Stage::Estimate, source, "kernel")
+    }
+
+    /// Decode one protocol line. `seq` numbers requests with no `id`.
+    pub fn from_line(line: &str, seq: u64) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        Request::from_json(&v, seq)
+    }
+
+    /// Decode an already-parsed request object. `seq` numbers requests
+    /// with no `id`.
+    pub fn from_json(v: &Json, seq: u64) -> Result<Request, String> {
+        let id = match v.get("id") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(n)) => Json::Num(*n).emit(),
+            Some(other) => return Err(format!("bad id: {}", other.emit())),
+            None => format!("req-{seq}"),
+        };
+        let stage = match v.get("stage") {
+            Some(Json::Str(s)) => {
+                Stage::from_name(s).ok_or_else(|| format!("unknown stage `{s}`"))?
+            }
+            Some(other) => return Err(format!("bad stage: {}", other.emit())),
+            None => Stage::Estimate,
+        };
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("missing `source`")?
+            .to_string();
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("kernel");
+        Ok(Request {
+            id,
+            stage,
+            source,
+            options: Options::named(name),
+        })
+    }
+}
+
+/// One compilation response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: String,
+    /// The stage that was requested.
+    pub stage: Stage,
+    /// Served without computing *this* request's terminal stage
+    /// (cache hit or single-flight join).
+    pub cached: bool,
+    /// Wall-clock service time for this request, in microseconds.
+    pub latency_us: u64,
+    /// The artifact, or the diagnostic that rejected the program.
+    pub value: CacheValue,
+}
+
+impl Response {
+    /// Did the request succeed?
+    pub fn ok(&self) -> bool {
+        self.value.is_ok()
+    }
+
+    /// The estimate payload, when this was a successful `est` request.
+    pub fn estimate(&self) -> Option<&hls_sim::Estimate> {
+        match &self.value {
+            Ok(Artifact::Estimate(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Encode as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("stage".into(), Json::Str(self.stage.name().into())),
+            ("ok".into(), Json::Bool(self.ok())),
+            ("cached".into(), Json::Bool(self.cached)),
+            ("latency_us".into(), Json::Num(self.latency_us as f64)),
+        ];
+        match &self.value {
+            Ok(artifact) => fields.push(payload_field(artifact)),
+            Err(d) => fields.push((
+                "error".into(),
+                obj([
+                    ("phase", Json::Str(d.phase.name().into())),
+                    ("code", Json::Str(d.code.into())),
+                    ("message", Json::Str(d.message.clone())),
+                    ("line", Json::Num(d.span.line as f64)),
+                    ("col", Json::Num(d.span.col as f64)),
+                ]),
+            )),
+        }
+        Json::Obj(fields)
+    }
+
+    /// [`Response::to_json`], emitted as a compact line.
+    pub fn to_line(&self) -> String {
+        self.to_json().emit()
+    }
+}
+
+fn payload_field(artifact: &Artifact) -> (String, Json) {
+    match artifact {
+        Artifact::Ast(p) | Artifact::Desugared(p) => {
+            ("pretty".into(), Json::Str(dahlia_core::pretty::program(p)))
+        }
+        Artifact::Check(r) => (
+            "report".into(),
+            obj([
+                ("memories", Json::Num(r.memories as f64)),
+                ("views", Json::Num(r.views as f64)),
+                ("accesses", Json::Num(r.accesses as f64)),
+                ("functions", Json::Num(r.functions as f64)),
+                ("max_unroll", Json::Num(r.max_unroll as f64)),
+            ]),
+        ),
+        Artifact::Ir(k) => (
+            "ir".into(),
+            obj([
+                ("name", Json::Str(k.name.clone())),
+                ("arrays", Json::Num(k.arrays.len() as f64)),
+                ("stmts", Json::Num(k.body.len() as f64)),
+                ("digest", Json::Str(format!("{:032x}", k.stable_digest()))),
+            ]),
+        ),
+        Artifact::Cpp(text) => ("cpp".into(), Json::Str((**text).clone())),
+        Artifact::Estimate(e) => (
+            "estimate".into(),
+            obj([
+                ("name", Json::Str(e.name.clone())),
+                ("cycles", Json::Num(e.cycles as f64)),
+                ("luts", Json::Num(e.luts as f64)),
+                ("ffs", Json::Num(e.ffs as f64)),
+                ("dsps", Json::Num(e.dsps as f64)),
+                ("brams", Json::Num(e.brams as f64)),
+                ("lut_mems", Json::Num(e.lut_mems as f64)),
+                ("correct", Json::Bool(e.correct)),
+                (
+                    "notes",
+                    Json::Arr(e.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+            ]),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_decoding_defaults() {
+        let r = Request::from_line(r#"{"source":"let x = 1;"}"#, 7).unwrap();
+        assert_eq!(r.id, "req-7");
+        assert_eq!(r.stage, Stage::Estimate);
+        assert_eq!(r.options.kernel_name, "kernel");
+
+        let r = Request::from_line(
+            r#"{"id":"a","stage":"check","source":"let x = 1;","name":"k"}"#,
+            0,
+        )
+        .unwrap();
+        assert_eq!((r.id.as_str(), r.stage), ("a", Stage::Check));
+        assert_eq!(r.options.kernel_name, "k");
+    }
+
+    #[test]
+    fn request_decoding_rejects_garbage() {
+        assert!(Request::from_line("not json", 0).is_err());
+        assert!(Request::from_line(r#"{"stage":"bogus","source":""}"#, 0).is_err());
+        assert!(
+            Request::from_line(r#"{"stage":"est"}"#, 0).is_err(),
+            "missing source"
+        );
+        assert!(Request::from_line(r#"{"id":[1],"source":""}"#, 0).is_err());
+    }
+
+    #[test]
+    fn numeric_ids_are_echoed_as_text() {
+        let r = Request::from_line(r#"{"id":42,"source":"let x = 1;"}"#, 0).unwrap();
+        assert_eq!(r.id, "42");
+    }
+}

@@ -1,0 +1,301 @@
+//! The content-addressed artifact store with single-flight deduplication.
+//!
+//! Every pipeline stage result is cached under a [`Key`] —
+//! `(source hash, stage, options hash)` — where the hashes are stable
+//! 128-bit FNV digests ([`hls_sim::digest`]). The store also provides
+//! *single-flight* semantics: when several threads request the same
+//! missing key concurrently, exactly one computes it while the rest
+//! block on the in-flight entry and share its result. Deterministic
+//! failures (parse and type errors) are cached exactly like successes —
+//! a rejected program costs the checker once, no matter how many times a
+//! sweep re-submits it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::pipeline::{Artifact, Stage, STAGE_COUNT};
+use dahlia_core::diag::Diagnostic;
+
+/// What the cache stores per key: a stage artifact or the diagnostic
+/// that rejected the program (both deterministic, both shareable).
+pub type CacheValue = Result<Artifact, Diagnostic>;
+
+/// A content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// Digest of the source text.
+    pub source: u128,
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Digest of the request options (kernel name, …).
+    pub options: u128,
+}
+
+/// One in-flight computation other threads can wait on.
+struct Flight {
+    result: Mutex<Option<CacheValue>>,
+    done: Condvar,
+}
+
+enum Slot {
+    Ready(CacheValue),
+    InFlight(Arc<Flight>),
+}
+
+/// Cumulative store counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from a completed entry.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Lookups that joined another thread's in-flight computation.
+    pub joins: u64,
+    /// Computations actually executed, per stage (indexed by
+    /// [`Stage::index`]).
+    pub executions: [u64; STAGE_COUNT],
+}
+
+impl StoreStats {
+    /// Total computations across all stages.
+    pub fn total_executions(&self) -> u64 {
+        self.executions.iter().sum()
+    }
+}
+
+/// The concurrent artifact store.
+#[derive(Default)]
+pub struct Store {
+    map: Mutex<HashMap<Key, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joins: AtomicU64,
+    executions: [AtomicU64; STAGE_COUNT],
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Number of completed entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached entry (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut executions = [0u64; STAGE_COUNT];
+        for (i, e) in self.executions.iter().enumerate() {
+            executions[i] = e.load(Ordering::Relaxed);
+        }
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            executions,
+        }
+    }
+
+    /// Look `key` up; on a miss, run `compute` (exactly once across all
+    /// concurrent callers) and cache its result. Returns the value and
+    /// whether it was served without running `compute` on this call
+    /// (a cache hit or a single-flight join).
+    pub fn get_or_compute(
+        &self,
+        key: Key,
+        compute: impl FnOnce() -> CacheValue,
+    ) -> (CacheValue, bool) {
+        let flight = {
+            let mut map = self.map.lock().unwrap();
+            match map.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (v.clone(), true);
+                }
+                Some(Slot::InFlight(f)) => {
+                    let f = Arc::clone(f);
+                    drop(map);
+                    self.joins.fetch_add(1, Ordering::Relaxed);
+                    let mut slot = f.result.lock().unwrap();
+                    while slot.is_none() {
+                        slot = f.done.wait(slot).unwrap();
+                    }
+                    return (slot.as_ref().unwrap().clone(), true);
+                }
+                None => {
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    map.insert(key, Slot::InFlight(Arc::clone(&f)));
+                    f
+                }
+            }
+        };
+
+        // We are the designated computer for this key. A panicking
+        // compute must still resolve the flight — otherwise the InFlight
+        // slot wedges this key forever and every joiner (present and
+        // future) blocks on the condvar. Convert panics into cached
+        // internal diagnostics instead.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.executions[key.stage.index()].fetch_add(1, Ordering::Relaxed);
+        let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute)).unwrap_or_else(
+            |payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "compiler panicked".to_string());
+                Err(Diagnostic {
+                    phase: dahlia_core::diag::Phase::Internal,
+                    code: "internal/panic",
+                    message: msg,
+                    span: dahlia_core::Span::synthetic(),
+                })
+            },
+        );
+
+        let mut map = self.map.lock().unwrap();
+        map.insert(key, Slot::Ready(value.clone()));
+        drop(map);
+        let mut slot = flight.result.lock().unwrap();
+        *slot = Some(value.clone());
+        drop(slot);
+        flight.done.notify_all();
+        (value, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Options;
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(n: u128) -> Key {
+        Key {
+            source: n,
+            stage: Stage::Parse,
+            options: Options::default().digest(),
+        }
+    }
+
+    fn value() -> CacheValue {
+        Ok(Artifact::Cpp(Arc::new("x".to_string())))
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let store = Store::new();
+        let (_, cached) = store.get_or_compute(key(1), value);
+        assert!(!cached);
+        let (_, cached) = store.get_or_compute(key(1), || panic!("must not recompute"));
+        assert!(cached);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.joins), (1, 1, 0));
+        assert_eq!(s.executions[Stage::Parse.index()], 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let store = Store::new();
+        let _ = store.get_or_compute(key(1), value);
+        let _ = store.get_or_compute(key(2), value);
+        let mut other = key(1);
+        other.stage = Stage::Check;
+        let _ = store.get_or_compute(other, || Ok(Artifact::Cpp(Arc::new(String::new()))));
+        assert_eq!(store.stats().misses, 3);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let store = Store::new();
+        let diag = dahlia_core::parse("let = oops").unwrap_err().diagnostic();
+        let _ = store.get_or_compute(key(9), || Err(diag.clone()));
+        let (v, cached) = store.get_or_compute(key(9), || panic!("cached error"));
+        assert!(cached);
+        assert_eq!(v.unwrap_err(), diag);
+    }
+
+    #[test]
+    fn panicking_compute_resolves_the_flight() {
+        let store = Arc::new(Store::new());
+        let k = key(13);
+        // A joiner waiting on the panicking leader must be released with
+        // the internal diagnostic, not blocked forever.
+        let joiner = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                store.get_or_compute(k, value)
+            })
+        };
+        let (v, cached) = store.get_or_compute(k, || {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            panic!("compiler bug {}", 42)
+        });
+        assert!(!cached);
+        let d = v.unwrap_err();
+        assert_eq!(d.code, "internal/panic");
+        assert_eq!(d.phase, dahlia_core::diag::Phase::Internal);
+        assert!(d.message.contains("compiler bug 42"), "{}", d.message);
+        let (jv, jcached) = joiner.join().expect("joiner released");
+        assert!(jcached);
+        assert_eq!(jv.unwrap_err().code, "internal/panic");
+        // The key is not wedged: later lookups hit the cached diagnostic.
+        let (v2, cached2) = store.get_or_compute(k, || panic!("must not recompute"));
+        assert!(cached2);
+        assert_eq!(v2.unwrap_err().code, "internal/panic");
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight() {
+        let store = Arc::new(Store::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                let store = Arc::clone(&store);
+                let executions = Arc::clone(&executions);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let _ = store.get_or_compute(key(7), || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        value()
+                    });
+                });
+            }
+        });
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "exactly one computation"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.joins + stats.hits, 15);
+    }
+}

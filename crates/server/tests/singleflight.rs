@@ -1,0 +1,126 @@
+//! The acceptance-criterion concurrency test: 64 parallel submissions of
+//! the same program execute the pipeline exactly once.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use dahlia_server::{Request, Server, Stage};
+
+const SRC: &str = "let A: float[64 bank 8];\nlet B: float[64 bank 8];\n\
+                   for (let i = 0..64) unroll 8 { B[i] := A[i] * 2.0; }";
+
+#[test]
+fn sixty_four_way_submission_executes_once() {
+    // A compute delay widens the in-flight window so every thread truly
+    // overlaps: this pins single-flight joining, not just caching.
+    let server = Arc::new(Server::with_compute_delay(4, Duration::from_millis(60)));
+    let barrier = Arc::new(Barrier::new(64));
+
+    let responses: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    server.submit(Request::new(format!("r{i}"), Stage::Estimate, SRC, "scale"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(responses.iter().all(|r| r.ok()));
+    let est = responses[0].estimate().expect("estimate payload");
+    assert!(est.correct);
+    // Everyone got the same artifact.
+    for r in &responses {
+        assert_eq!(r.estimate(), Some(est));
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 64);
+    // THE claim: each pipeline stage ran exactly once.
+    assert_eq!(
+        stats.store.executions[Stage::Parse.index()],
+        1,
+        "parse ran once"
+    );
+    assert_eq!(
+        stats.store.executions[Stage::Check.index()],
+        1,
+        "check ran once"
+    );
+    assert_eq!(
+        stats.store.executions[Stage::Lower.index()],
+        1,
+        "lower ran once"
+    );
+    assert_eq!(
+        stats.store.executions[Stage::Estimate.index()],
+        1,
+        "estimate ran once"
+    );
+    assert_eq!(stats.store.total_executions(), 4);
+    // With the barrier + compute delay, the 63 non-leaders overlapped the
+    // computation rather than arriving after it finished.
+    assert!(
+        stats.store.joins >= 32,
+        "expected most submissions to join the in-flight computation, joins = {}",
+        stats.store.joins
+    );
+    // And every non-leader response is marked served-from-cache.
+    assert_eq!(responses.iter().filter(|r| r.cached).count(), 63);
+}
+
+#[test]
+fn batch_api_dedups_the_same_way() {
+    let server = Server::with_compute_delay(8, Duration::from_millis(20));
+    let reqs: Vec<Request> = (0..64)
+        .map(|i| Request::new(format!("b{i}"), Stage::Estimate, SRC, "scale"))
+        .collect();
+    let responses = server.submit_batch(reqs);
+    assert_eq!(responses.len(), 64);
+    assert!(responses.iter().all(|r| r.ok()));
+    // Request order is preserved.
+    assert_eq!(responses[17].id, "b17");
+    let stats = server.stats();
+    assert_eq!(
+        stats.store.total_executions(),
+        4,
+        "one pipeline for 64 batch items"
+    );
+}
+
+#[test]
+fn concurrent_distinct_programs_do_not_serialize() {
+    // 8 distinct programs across 8 threads with a 40 ms per-stage delay:
+    // if single-flight wrongly collapsed distinct keys, or the pool
+    // serialized, this would take ≫ 4 stages × 40 ms.
+    let server = Server::with_compute_delay(8, Duration::from_millis(40));
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| {
+            let trips = 16 * (i + 1);
+            Request::new(
+                format!("p{i}"),
+                Stage::Estimate,
+                format!("let A: float[{trips}];\nfor (let i = 0..{trips}) {{ A[i] := 1.0; }}"),
+                "k",
+            )
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let responses = server.submit_batch(reqs);
+    let elapsed = t0.elapsed();
+    assert!(responses.iter().all(|r| r.ok()));
+    assert_eq!(
+        server.stats().store.total_executions(),
+        32,
+        "8 programs × 4 stages"
+    );
+    // Serial execution would need 8 × 4 × 40 ms = 1280 ms.
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "batch took {elapsed:?}, looks serialized"
+    );
+}

@@ -38,7 +38,7 @@ pub const ZYNQ7020: Device = Device {
 /// `dim` evenly, else full partitioning.
 pub fn infer_banking(unroll: u64, dim: u64) -> u64 {
     let u = unroll.max(1);
-    (u..=dim).find(|b| dim % b == 0).unwrap_or(dim)
+    (u..=dim).find(|b| dim.is_multiple_of(*b)).unwrap_or(dim)
 }
 
 /// One point of the Spatial design sweep.
@@ -79,8 +79,14 @@ pub fn gemm_ncubed_kernel(n: u64, unroll: u64) -> Kernel {
                                 .unrolled(unroll)
                                 .stmt(
                                     Op::compute(OpKind::FMul)
-                                        .read(Access::new("a_sram", vec![Idx::var("i"), Idx::var("k")]))
-                                        .read(Access::new("b_sram", vec![Idx::var("k"), Idx::var("j")]))
+                                        .read(Access::new(
+                                            "a_sram",
+                                            vec![Idx::var("i"), Idx::var("k")],
+                                        ))
+                                        .read(Access::new(
+                                            "b_sram",
+                                            vec![Idx::var("k"), Idx::var("j")],
+                                        ))
                                         .into_stmt(),
                                 )
                                 .stmt(Op::compute(OpKind::FAdd).into_stmt())
@@ -200,7 +206,10 @@ mod tests {
     #[test]
     fn designs_fit_the_zynq() {
         for p in sweep(128, [1, 8, 16]) {
-            assert!(p.estimate.luts < ZYNQ7020.luts * 2, "sanity bound on the model");
+            assert!(
+                p.estimate.luts < ZYNQ7020.luts * 2,
+                "sanity bound on the model"
+            );
         }
     }
 }

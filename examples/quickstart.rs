@@ -42,7 +42,9 @@ for (let i = 0..16) {
 
     // 4. Functional simulation through the checked interpreter.
     let mut inputs = HashMap::new();
-    let ramp: Vec<interp::Value> = (0..256).map(|i| interp::Value::Float(i as f64 / 64.0)).collect();
+    let ramp: Vec<interp::Value> = (0..256)
+        .map(|i| interp::Value::Float(i as f64 / 64.0))
+        .collect();
     inputs.insert("m1".to_string(), ramp.clone());
     inputs.insert("m2".to_string(), ramp);
     let out = interp::interpret_with(&prog, &interp::InterpOptions::default(), &inputs)
@@ -58,7 +60,10 @@ for (let i = 0..16) {
 
     // 6. Estimate area and latency through the HLS toolchain substrate.
     let est = hls::estimate(&backend::lower(&prog, "matmul"));
-    println!("\nestimate: {} cycles, {} LUTs, {} DSPs, {} BRAMs", est.cycles, est.luts, est.dsps, est.brams);
+    println!(
+        "\nestimate: {} cycles, {} LUTs, {} DSPs, {} BRAMs",
+        est.cycles, est.luts, est.dsps, est.brams
+    );
     println!("runtime at 250 MHz: {:.3} ms", est.runtime_ms(250.0));
 
     // 7. Round-trip through the pretty-printer.

@@ -26,7 +26,10 @@ fn main() {
     typecheck(&parse(&src).unwrap()).expect("matched banking typechecks");
 
     // Over-banked: the generator inserts a shrink view over the window.
-    let shrunk = Stencil2dParams { bank_orig: (6, 6), ..matched };
+    let shrunk = Stencil2dParams {
+        bank_orig: (6, 6),
+        ..matched
+    };
     let src6 = stencil2d_source(&shrunk);
     assert!(src6.contains("shrink"), "shrink view expected");
     typecheck(&parse(&src6).unwrap()).expect("shrink bridges banking 6 → unroll 3");
@@ -34,7 +37,10 @@ fn main() {
 
     // Banking 4 cannot serve 3 parallel reads — a type error, with the
     // rule that fired in the message.
-    let broken = Stencil2dParams { bank_orig: (4, 4), ..matched };
+    let broken = Stencil2dParams {
+        bank_orig: (4, 4),
+        ..matched
+    };
     let err = typecheck(&parse(&stencil2d_source(&broken)).unwrap()).unwrap_err();
     println!("banking 4×4 with unroll 3×3 → {err}");
 
@@ -49,8 +55,14 @@ fn main() {
     let orig: Vec<f64> = (0..144).map(|_| next()).collect();
     let filter: Vec<f64> = (0..9).map(|_| next()).collect();
     let inputs = HashMap::from([
-        ("orig".to_string(), orig.iter().map(|&x| interp::Value::Float(x)).collect()),
-        ("filter".to_string(), filter.iter().map(|&x| interp::Value::Float(x)).collect()),
+        (
+            "orig".to_string(),
+            orig.iter().map(|&x| interp::Value::Float(x)).collect(),
+        ),
+        (
+            "filter".to_string(),
+            filter.iter().map(|&x| interp::Value::Float(x)).collect(),
+        ),
     ]);
     let out = interp::interpret_with(
         &parse(&src).unwrap(),

@@ -11,7 +11,10 @@ use dahlia::kernels::gemm::{gemm_ncubed_source, GemmNcubedParams};
 
 fn main() {
     println!("§2: unrolling the matmul inner loop against 8-way banking\n");
-    println!("{:>6} {:>9} {:>12} {:>9} {:>8}  dahlia?", "unroll", "LUTs", "runtime(ms)", "correct", "rule");
+    println!(
+        "{:>6} {:>9} {:>12} {:>9} {:>8}  dahlia?",
+        "unroll", "LUTs", "runtime(ms)", "correct", "rule"
+    );
 
     for u in 1..=16u64 {
         let est = dahlia::hls::estimate(&dahlia_bench_matmul(512, 8, u));

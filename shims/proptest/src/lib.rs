@@ -1,0 +1,706 @@
+//! A minimal, std-only stand-in for the [`proptest`] crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the property-test suites link against this shim instead of the real
+//! library. It implements the subset of the API the test suites use —
+//! [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_recursive`,
+//! `prop_oneof!`, `proptest!`, `prop_assert*`, `prop::sample::select`,
+//! `prop::collection::vec`, `any::<T>()`, and char-class string patterns —
+//! with deterministic random generation and **no shrinking**: a failing
+//! case reports the case index and seed rather than a minimized input.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Error raised by `prop_assert!` and friends inside a proptest body.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Fail the current test case with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias kept for API compatibility with real proptest's `Reject`.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator seeded per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from an arbitrary string (the test name), deterministically.
+        pub fn seeded(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `i128` in `[lo, hi)`.
+        pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo < hi);
+            let width = (hi - lo) as u128;
+            let raw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % width;
+            lo + raw as i128
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values. Unlike real proptest there is no value
+    /// tree and no shrinking: a strategy is just a samplable distribution.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy it selects.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` is the leaf distribution and `f`
+        /// wraps an inner strategy into one more layer. `depth` bounds the
+        /// nesting; the size hints are accepted for compatibility and
+        /// ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let layer = f(cur).boxed();
+                let l = leaf.clone();
+                cur = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // Lean toward the compound layer so generated trees
+                    // actually nest; the iteration bound terminates it.
+                    if rng.below(4) == 0 {
+                        l.sample(rng)
+                    } else {
+                        layer.sample(rng)
+                    }
+                }));
+            }
+            cur
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.sample(rng)))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the macro-collected arms.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as i128, self.end as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(*self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `&'static str` patterns: a tiny regex-ish sampler supporting literal
+    /// characters, `[...]` character classes (with `a-z` ranges), and the
+    /// `?`, `*`, `+` quantifiers on the preceding item.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            enum Item {
+                Lit(char),
+                Class(Vec<char>),
+            }
+            let mut items: Vec<(Item, u32, u32)> = Vec::new(); // (item, min, max)
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let item = if c == '[' {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(d) = chars.next() {
+                        if d == ']' {
+                            break;
+                        }
+                        if d == '-' {
+                            // range: prev already pushed; next char closes it
+                            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                                if hi != ']' {
+                                    chars.next();
+                                    for x in (lo as u32 + 1)..=(hi as u32) {
+                                        if let Some(ch) = char::from_u32(x) {
+                                            class.push(ch);
+                                        }
+                                    }
+                                    prev = None;
+                                    continue;
+                                }
+                            }
+                            class.push('-');
+                            prev = Some('-');
+                        } else {
+                            class.push(d);
+                            prev = Some(d);
+                        }
+                    }
+                    Item::Class(class)
+                } else if c == '\\' {
+                    Item::Lit(chars.next().unwrap_or('\\'))
+                } else {
+                    Item::Lit(c)
+                };
+                let (min, max) = match chars.peek() {
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 4)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 4)
+                    }
+                    _ => (1, 1),
+                };
+                items.push((item, min, max));
+            }
+            let mut out = String::new();
+            for (item, min, max) in &items {
+                let reps = *min + rng.below((*max - *min + 1) as u64) as u32;
+                for _ in 0..reps {
+                    match item {
+                        Item::Lit(c) => out.push(*c),
+                        Item::Class(class) => {
+                            if !class.is_empty() {
+                                out.push(class[rng.below(class.len() as u64) as usize]);
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite, smallish values: good enough for model tests.
+            (rng.in_range(-1_000_000, 1_000_000) as f64) / 64.0
+        }
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Any;
+
+    /// `any::<T>()` — the canonical strategy for a type.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly select one of the given values.
+    pub fn select<T: Clone, C: Into<Vec<T>>>(values: C) -> Select<T> {
+        let values = values.into();
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace mirrored from real proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between heterogeneous strategy expressions producing the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+/// Fail the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "assertion failed: `{:?}` != `{:?}`", __a, __b);
+    }};
+}
+
+/// Define `#[test]` functions that run a body over generated inputs.
+///
+/// Supports the subset of real proptest's grammar used in this repo:
+/// an optional `#![proptest_config(...)]` header and any number of
+/// `fn name(pat in strategy, ...) { body }` items (with outer attributes,
+/// including `#[test]`, which is passed through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@all ($cfg) $($rest)*);
+    };
+    (@all ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::seeded(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let __strat = ($($strat,)+);
+                for __case in 0..__cfg.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    let __outcome = (move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("proptest `{}` failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@all ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_select_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seeded("self");
+        let s = (1u64..=12, prop::sample::select(vec![2u32, 4]), -1i64..3);
+        for _ in 0..2000 {
+            let (a, b, c) = Strategy::sample(&s, &mut rng);
+            assert!((1..=12).contains(&a));
+            assert!(b == 2 || b == 4);
+            assert!((-1..3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_patterns_sample_char_classes() {
+        let mut rng = crate::test_runner::TestRng::seeded("pat");
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[xyz][01]", &mut rng);
+            let b: Vec<char> = s.chars().collect();
+            assert_eq!(b.len(), 2, "{s:?}");
+            assert!("xyz".contains(b[0]));
+            assert!("01".contains(b[1]));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // leaf payloads only exercise generation
+        enum T {
+            Leaf(u64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u64..4)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_runner::TestRng::seeded("rec");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_runs(v in prop::collection::vec(0u32..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+            for x in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+    }
+}

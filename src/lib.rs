@@ -13,10 +13,14 @@
 //! * [`hls`] — the traditional-HLS toolchain simulator (partitioning,
 //!   port-constrained scheduling, area/latency models);
 //! * [`spatial`] — the Spatial banking-inference comparator;
-//! * [`dse`] — design spaces, Pareto frontiers, reports;
-//! * [`kernels`] — the 16 MachSuite benchmark ports.
+//! * [`dse`] — design spaces, Pareto frontiers, estimation providers,
+//!   reports;
+//! * [`kernels`] — the 16 MachSuite benchmark ports;
+//! * [`server`] — the concurrent, content-addressed compilation service
+//!   (staged artifact cache, single-flight batch executor, JSON-lines
+//!   protocol, `dahliac serve` / `dahliac batch`).
 //!
-//! ## Quickstart
+//! ## Quickstart: the language
 //!
 //! ```
 //! use dahlia::core::{parse, typecheck, TypeErrorKind, Error};
@@ -33,11 +37,59 @@
 //! let p = parse("let A: float[10]; let x = A[0] --- A[1] := 1.0;").unwrap();
 //! assert!(typecheck(&p).is_ok());
 //! ```
+//!
+//! ## Quickstart: the compilation service
+//!
+//! The whole pipeline is deterministic, so the server content-addresses
+//! every stage artifact and dedups concurrent identical requests
+//! (single-flight). Batches of near-identical programs — DSE sweeps,
+//! repeated CI runs — are served from cache:
+//!
+//! ```
+//! use dahlia::server::{Request, Server, Stage};
+//!
+//! let server = Server::with_threads(4);
+//! let src = "let A: float[16 bank 4];
+//!            for (let i = 0..16) unroll 4 { A[i] := 1.0; }";
+//! let batch: Vec<Request> =
+//!     (0..32).map(|i| Request::new(format!("r{i}"), Stage::Estimate, src, "scale")).collect();
+//!
+//! let responses = server.submit_batch(batch);
+//! assert!(responses.iter().all(|r| r.ok()));
+//!
+//! // 32 requests, but parse/check/lower/estimate each ran only once.
+//! let stats = server.stats();
+//! assert_eq!(stats.requests, 32);
+//! assert_eq!(stats.store.total_executions(), 4);
+//! assert_eq!(responses.iter().filter(|r| r.cached).count(), 31);
+//! ```
+//!
+//! The same cache accelerates design-space exploration: route a sweep
+//! through [`server::CachedProvider`] and re-runs cost nothing:
+//!
+//! ```
+//! use dahlia::dse::{explore, EstimateProvider, ParamSpace};
+//! use dahlia::server::{CachedProvider, Server};
+//!
+//! let space = ParamSpace::new().param("bank", [1, 2, 4]).param("unroll", [1, 2, 4]);
+//! let provider = CachedProvider::new(Server::with_threads(2));
+//! let render = |cfg: &dahlia::dse::Config| format!(
+//!     "let A: float[8 bank {}];
+//!      for (let i = 0..8) unroll {} {{ A[i] := 1.0; }}",
+//!     cfg["bank"], cfg["unroll"],
+//! );
+//!
+//! let cold = explore(&space, "k", &provider, render);
+//! let warm = explore(&space, "k", &provider, render);
+//! assert_eq!(cold.summary().accepted, 5);
+//! assert_eq!(warm.stats.cache_misses, 0, "second sweep is all cache hits");
+//! ```
 
 pub use dahlia_backend as backend;
 pub use dahlia_core as core;
 pub use dahlia_dse as dse;
 pub use dahlia_kernels as kernels;
+pub use dahlia_server as server;
 pub use filament;
 pub use hls_sim as hls;
 pub use spatial_sim as spatial;

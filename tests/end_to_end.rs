@@ -25,7 +25,11 @@ fn every_bench_flows_through_the_whole_pipeline() {
         // Lowering and estimation succeed with sane outputs.
         let est = hls_sim::estimate(&lower(&prog, b.name));
         assert!(est.cycles > 0 && est.luts > 0, "{}", b.name);
-        assert!(est.fits(&hls_sim::VU9P), "{}: does not fit the paper's device", b.name);
+        assert!(
+            est.fits(&hls_sim::VU9P),
+            "{}: does not fit the paper's device",
+            b.name
+        );
     }
 }
 
@@ -38,7 +42,12 @@ fn well_typed_kernels_never_trip_the_dynamic_monitor() {
         let prog = parse(&b.source).unwrap();
         typecheck(&prog).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let r = interpret_with(&prog, &InterpOptions::default(), &HashMap::new());
-        assert!(r.is_ok(), "{}: checked interpretation failed: {}", b.name, r.unwrap_err());
+        assert!(
+            r.is_ok(),
+            "{}: checked interpretation failed: {}",
+            b.name,
+            r.unwrap_err()
+        );
     }
 }
 
@@ -46,7 +55,10 @@ fn well_typed_kernels_never_trip_the_dynamic_monitor() {
 fn desugaring_preserves_bench_semantics() {
     // §4.5: unrolling + view inlining preserve behaviour. The desugared
     // output is not meant to re-typecheck, so run both unchecked.
-    let opts = InterpOptions { check_capabilities: false, ..Default::default() };
+    let opts = InterpOptions {
+        check_capabilities: false,
+        ..Default::default()
+    };
     for b in small_benches() {
         let prog = parse(&b.source).unwrap();
         let sugar_free = desugar(&prog);
@@ -54,7 +66,11 @@ fn desugaring_preserves_bench_semantics() {
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let o2 = interpret_with(&sugar_free, &opts, &HashMap::new())
             .unwrap_or_else(|e| panic!("{} (desugared): {e}", b.name));
-        assert_eq!(o1.mems, o2.mems, "{}: desugaring changed the final state", b.name);
+        assert_eq!(
+            o1.mems, o2.mems,
+            "{}: desugaring changed the final state",
+            b.name
+        );
     }
 }
 
@@ -74,5 +90,7 @@ fn facade_reexports_work_together() {
     assert_eq!(dahlia::spatial::infer_banking(3, 128), 4);
     assert!(dahlia::dse::accepts("let x = 1;"));
     let c = dahlia::filament::Cmd::Skip;
-    assert!(dahlia::filament::Checker::with_memories([]).check(&c).is_ok());
+    assert!(dahlia::filament::Checker::with_memories([])
+        .check(&c)
+        .is_ok());
 }
