@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dahlia_bench::fig8::Study;
 use dahlia_bench::serve::sweep;
 use dahlia_dse::DirectProvider;
-use dahlia_server::{CachedProvider, Request, Server, Stage};
+use dahlia_server::{CachedProvider, Request, Server, ServerConfig, Stage};
 
 const STRIDE: usize = 211;
 
@@ -41,6 +41,37 @@ fn bench_warm_sweep(c: &mut Criterion) {
     c.bench_function("serve/warm_sweep", |b| {
         b.iter(|| sweep(Study::Stencil2d, STRIDE, &p).points.len())
     });
+}
+
+fn bench_warm_disk_sweep(c: &mut Criterion) {
+    // Warm the directory once, then measure fresh-server sweeps that are
+    // answered entirely by the persistent tier (the restart story:
+    // between cold_sweep and warm_sweep).
+    let dir = std::env::temp_dir().join(format!("dahlia-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let warmer = CachedProvider::new(
+        ServerConfig::new()
+            .threads(2)
+            .cache_dir(&dir)
+            .build()
+            .expect("cache dir"),
+    );
+    sweep(Study::Stencil2d, STRIDE, &warmer);
+    warmer.server().flush();
+    drop(warmer);
+    c.bench_function("serve/warm_disk_sweep", |b| {
+        b.iter(|| {
+            let p = CachedProvider::new(
+                ServerConfig::new()
+                    .threads(2)
+                    .cache_dir(&dir)
+                    .build()
+                    .expect("cache dir"),
+            );
+            sweep(Study::Stencil2d, STRIDE, &p).points.len()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn kernel_requests(round: u32) -> Vec<Request> {
@@ -81,6 +112,7 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
     targets = bench_direct_sweep, bench_cold_sweep, bench_warm_sweep,
-              bench_batch_kernels_cold, bench_batch_kernels_warm
+              bench_warm_disk_sweep, bench_batch_kernels_cold,
+              bench_batch_kernels_warm
 }
 criterion_main!(benches);

@@ -1,36 +1,49 @@
 //! Regenerates Fig. 7: the exhaustive 32,000-point gemm-blocked DSE.
-//! Pass a stride argument to subsample (default 1 = full sweep).
+//!
+//! Pass stride arguments to subsample (default 1 = the full sweep).
+//! Several strides may be given; every sweep runs through one shared
+//! `dahlia_server::CachedProvider`, so overlapping configurations are
+//! compiled once — re-running at a finer stride only pays for the new
+//! points.
 
 use dahlia_bench::fig7;
 use dahlia_dse::to_csv;
+use dahlia_server::CachedProvider;
 
 fn main() {
-    let stride: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let points = fig7::run(stride);
-    let summary = fig7::summarize(&points);
-    eprintln!("gemm-blocked DSE (stride {stride}): {summary}");
-    println!(
-        "# Fig. 7 — gemm-blocked design space ({} points)",
-        points.len()
-    );
-    println!("# {summary}");
-    let params = [
-        "bank_m1_d1",
-        "bank_m1_d2",
-        "bank_m2_d1",
-        "bank_m2_d2",
-        "unroll_i",
-        "unroll_j",
-        "unroll_k",
-    ];
-    // 7a: the Pareto-optimal points; 7b: the Dahlia-accepted points.
-    let pareto: Vec<_> = points.iter().filter(|p| p.pareto).cloned().collect();
-    let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();
-    println!("\n# Fig. 7a — Pareto-optimal points ({})", pareto.len());
-    print!("{}", to_csv(&pareto, &params));
-    println!("\n# Fig. 7b — Dahlia-accepted points ({})", accepted.len());
-    print!("{}", to_csv(&accepted, &params));
+    let strides = match dahlia_bench::strides_from_args(std::env::args().skip(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            std::process::exit(2);
+        }
+    };
+    let provider = CachedProvider::default();
+    for stride in strides {
+        let points = fig7::run_with(stride, &provider);
+        let summary = fig7::summarize(&points);
+        eprintln!("gemm-blocked DSE (stride {stride}): {summary}");
+        println!(
+            "# Fig. 7 — gemm-blocked design space (stride {stride}, {} points)",
+            points.len()
+        );
+        println!("# {summary}");
+        let params = [
+            "bank_m1_d1",
+            "bank_m1_d2",
+            "bank_m2_d1",
+            "bank_m2_d2",
+            "unroll_i",
+            "unroll_j",
+            "unroll_k",
+        ];
+        // 7a: the Pareto-optimal points; 7b: the Dahlia-accepted points.
+        let pareto: Vec<_> = points.iter().filter(|p| p.pareto).cloned().collect();
+        let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();
+        println!("\n# Fig. 7a — Pareto-optimal points ({})", pareto.len());
+        print!("{}", to_csv(&pareto, &params));
+        println!("\n# Fig. 7b — Dahlia-accepted points ({})", accepted.len());
+        print!("{}", to_csv(&accepted, &params));
+    }
+    eprintln!("cache: {}", provider.server().stats());
 }

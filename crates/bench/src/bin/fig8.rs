@@ -1,30 +1,43 @@
 //! Regenerates Fig. 8: Dahlia-directed DSE for stencil2d, md-knn, md-grid.
-//! Pass a stride argument to subsample (default 1 = full sweeps).
+//!
+//! Pass stride arguments to subsample (default 1 = full sweeps). Several
+//! strides may be given; all sweeps — across strides *and* studies —
+//! share one `dahlia_server::CachedProvider`, so overlapping
+//! configurations compile once and front-end artifacts are reused across
+//! differently-named requests.
 
-use dahlia_bench::fig8::{run, summarize, Study};
+use dahlia_bench::fig8::{run_with, summarize, Study};
 use dahlia_dse::to_csv;
+use dahlia_server::CachedProvider;
 
 fn main() {
-    let stride: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    for (study, fig) in [
-        (Study::Stencil2d, "8a"),
-        (Study::MdKnn, "8b"),
-        (Study::MdGrid, "8c"),
-    ] {
-        let points = run(study, stride);
-        let s = summarize(&points);
-        eprintln!("{}: {s}", study.name());
-        println!(
-            "\n# Fig. {fig} — {} ({} points swept): {s}",
-            study.name(),
-            points.len()
-        );
-        let names = study.space();
-        let params: Vec<&str> = names.names();
-        let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();
-        print!("{}", to_csv(&accepted, &params));
+    let strides = match dahlia_bench::strides_from_args(std::env::args().skip(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            std::process::exit(2);
+        }
+    };
+    let provider = CachedProvider::default();
+    for stride in strides {
+        for (study, fig) in [
+            (Study::Stencil2d, "8a"),
+            (Study::MdKnn, "8b"),
+            (Study::MdGrid, "8c"),
+        ] {
+            let points = run_with(study, stride, &provider);
+            let s = summarize(&points);
+            eprintln!("{} (stride {stride}): {s}", study.name());
+            println!(
+                "\n# Fig. {fig} — {} (stride {stride}, {} points swept): {s}",
+                study.name(),
+                points.len()
+            );
+            let names = study.space();
+            let params: Vec<&str> = names.names();
+            let accepted: Vec<_> = points.iter().filter(|p| p.accepted).cloned().collect();
+            print!("{}", to_csv(&accepted, &params));
+        }
     }
+    eprintln!("cache: {}", provider.server().stats());
 }

@@ -7,7 +7,10 @@
 //! (354 points / 1.1% in the paper); Pareto optimality is computed over
 //! the five objectives of §5.2.
 
-use dahlia_dse::{accepts, mark_pareto, Config, DesignPoint, ParamSpace, Summary};
+use dahlia_dse::{
+    accepts, explore_configs, mark_pareto, Config, DesignPoint, DirectProvider, EstimateProvider,
+    ParamSpace, Summary,
+};
 use dahlia_kernels::gemm::{gemm_blocked_baseline, gemm_blocked_source, GemmBlockedParams};
 
 /// The full 32,000-point parameter space.
@@ -45,10 +48,37 @@ pub fn evaluate(cfg: Config) -> DesignPoint {
 /// Run the exploration over every `stride`-th configuration (stride 1 =
 /// the paper's full 32,000-point sweep) and mark the Pareto frontier.
 pub fn run(stride: usize) -> Vec<DesignPoint> {
-    let mut points: Vec<DesignPoint> = space()
-        .iter()
-        .step_by(stride.max(1))
-        .map(evaluate)
+    run_with(stride, &DirectProvider::new())
+}
+
+/// [`run`] with the source-pipeline work (parse + affine check, plus
+/// lower/estimate for accepted programs) routed through an arbitrary
+/// [`EstimateProvider`] — the figure driver passes
+/// `dahlia_server::CachedProvider` so repeated strides share a
+/// content-addressed cache.
+///
+/// Fig. 7 measures the **full** space (7a's frontier spans points the
+/// checker rejects), so after the provider sweep every point's resource
+/// estimate is taken from the HLS-substrate baseline kernel — exactly
+/// what [`evaluate`] does — while the acceptance verdict comes from the
+/// provider. The result is point-for-point identical to the inline
+/// path. The provider does run lower/estimate for accepted sources
+/// (~1% of the space) even though only the verdict is used here; that
+/// is deliberate — those artifacts land in the shared cache, so finer
+/// strides and other consumers of the same server get them for free.
+pub fn run_with(stride: usize, provider: &dyn EstimateProvider) -> Vec<DesignPoint> {
+    let cfgs: Vec<Config> = space().iter().step_by(stride.max(1)).collect();
+    let ex = explore_configs(cfgs, "gemm_blocked", provider, |cfg| {
+        gemm_blocked_source(&params_of(cfg))
+    });
+    let mut points: Vec<DesignPoint> = ex
+        .points
+        .into_iter()
+        .map(|p| {
+            let est = hls_sim::estimate(&gemm_blocked_baseline(&params_of(&p.config)));
+            let accepted = p.accepted;
+            DesignPoint::from_estimate(p.config, &est, accepted)
+        })
         .collect();
     mark_pareto(&mut points);
     points

@@ -6,7 +6,9 @@
 //! (through the real pipeline: parse → check → lower → estimate), and the
 //! Pareto frontier is computed within the accepted set.
 
-use dahlia_dse::{accepts, mark_pareto, Config, DesignPoint, ParamSpace, Summary};
+use dahlia_dse::{
+    explore_configs, Config, DesignPoint, DirectProvider, EstimateProvider, ParamSpace, Summary,
+};
 use dahlia_kernels::md::{md_grid_source, md_knn_source, MdGridParams, MdKnnParams};
 use dahlia_kernels::stencil::{stencil2d_source, Stencil2dParams};
 
@@ -92,52 +94,23 @@ impl Study {
     }
 }
 
-/// Explore every `stride`-th configuration; accepted points are estimated
-/// through the full Dahlia pipeline, rejected points carry no estimate
-/// (mirroring the paper, which only measures the accepted space).
+/// Explore every `stride`-th configuration with the inline pipeline;
+/// accepted points are estimated through the full Dahlia pipeline,
+/// rejected points carry no estimate (mirroring the paper, which only
+/// measures the accepted space).
 pub fn run(study: Study, stride: usize) -> Vec<DesignPoint> {
-    let mut points = Vec::new();
-    for cfg in space_iter(study, stride) {
-        let src = study.source(&cfg);
-        if accepts(&src) {
-            let prog = dahlia_core::parse(&src).expect("accepted source parses");
-            let est = hls_sim::estimate(&dahlia_backend::lower(&prog, study.name()));
-            points.push(DesignPoint::from_estimate(cfg, &est, true));
-        } else {
-            points.push(DesignPoint {
-                config: cfg,
-                cycles: 0,
-                luts: 0,
-                ffs: 0,
-                dsps: 0,
-                brams: 0,
-                lut_mems: 0,
-                accepted: false,
-                correct: false,
-                pareto: false,
-            });
-        }
-    }
-    // Pareto within the accepted set only.
-    let mut accepted: Vec<DesignPoint> = points.iter().filter(|p| p.accepted).cloned().collect();
-    mark_pareto(&mut accepted);
-    for p in &mut points {
-        if p.accepted {
-            if let Some(a) = accepted.iter().find(|a| a.config == p.config) {
-                p.pareto = a.pareto;
-            }
-        }
-    }
-    points
+    run_with(study, stride, &DirectProvider::new())
 }
 
-fn space_iter(study: Study, stride: usize) -> impl Iterator<Item = Config> {
-    study
-        .space()
-        .iter()
-        .collect::<Vec<_>>()
-        .into_iter()
-        .step_by(stride.max(1))
+/// [`run`] through an arbitrary [`EstimateProvider`] — the figure driver
+/// passes `dahlia_server::CachedProvider` here so repeated strides (and
+/// the three studies of one invocation) share a content-addressed cache.
+/// Pareto is marked among the estimated (accepted, correct) points; the
+/// checker-rejected remainder is excluded, as in the paper's
+/// Dahlia-directed workflow.
+pub fn run_with(study: Study, stride: usize, provider: &dyn EstimateProvider) -> Vec<DesignPoint> {
+    let cfgs: Vec<Config> = study.space().iter().step_by(stride.max(1)).collect();
+    explore_configs(cfgs, study.name(), provider, |cfg| study.source(cfg)).points
 }
 
 /// Summary for a study run.

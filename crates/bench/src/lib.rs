@@ -23,3 +23,34 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod serve;
+
+/// Parse figure-driver arguments into sweep strides (default `[1]`,
+/// the full sweep). Shared by the `fig7` and `fig8` binaries, which
+/// accept several strides per invocation and run them against one
+/// caching provider. Rejects anything unparseable — a typo must not
+/// silently launch the full 32,000-point sweep.
+pub fn strides_from_args(args: impl Iterator<Item = String>) -> Result<Vec<usize>, String> {
+    let mut strides = Vec::new();
+    for a in args {
+        match a.parse::<usize>() {
+            Ok(n) if n > 0 => strides.push(n),
+            _ => return Err(format!("bad stride `{a}` (want a positive integer)")),
+        }
+    }
+    if strides.is_empty() {
+        strides.push(1);
+    }
+    Ok(strides)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn strides_default_and_reject() {
+        let parse = |xs: &[&str]| super::strides_from_args(xs.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]).unwrap(), vec![1]);
+        assert_eq!(parse(&["101", "7"]).unwrap(), vec![101, 7]);
+        assert!(parse(&["10x"]).is_err());
+        assert!(parse(&["0"]).is_err());
+    }
+}

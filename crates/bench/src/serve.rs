@@ -9,13 +9,18 @@
 //! 3. **served warm** — the same sweep again on the same server: every
 //!    stage is a cache hit.
 //!
-//! The acceptance claim for the service is that warm sweeps do no
-//! compiler work at all (`cache_misses == 0`) and finish far faster;
-//! `cargo bench --bench server` times the three modes, and the unit test
-//! here pins the invariants at reduced scale.
+//! With the persistent tier there is a fourth point between cold and
+//! warm: a **fresh process over a warm cache directory**
+//! ([`tiered_sweeps`]) pays disk reads but zero compiles. The
+//! acceptance claims: warm sweeps do no compiler work at all
+//! (`cache_misses == 0`), and warm-disk sweeps run zero pipeline stages
+//! in the fresh server. `cargo bench --bench server` times the modes;
+//! the unit tests here pin the invariants at reduced scale.
 
-use dahlia_dse::{explore, DirectProvider, EstimateProvider, Exploration, ProviderStats};
-use dahlia_server::{CachedProvider, Server};
+use std::path::Path;
+
+use dahlia_dse::{explore_configs, DirectProvider, EstimateProvider, Exploration, ProviderStats};
+use dahlia_server::{CachedProvider, Server, ServerConfig, StoreStats};
 
 use crate::fig8::Study;
 
@@ -50,16 +55,10 @@ impl std::fmt::Display for ServeComparison {
 }
 
 /// Run one sweep of `study` (every `stride`-th point) through `provider`.
+/// Points carry their real configurations (not subsample indices).
 pub fn sweep(study: Study, stride: usize, provider: &dyn EstimateProvider) -> Exploration {
-    let space = study.space();
-    let cfgs: Vec<_> = space.iter().step_by(stride.max(1)).collect();
-    let mut sub = dahlia_dse::ParamSpace::new();
-    // Rebuild a one-parameter index space so `explore` can iterate the
-    // subsample; the generator maps indices back to real configurations.
-    sub = sub.param("idx", 0..cfgs.len() as u64);
-    explore(&sub, study.name(), provider, |cfg| {
-        study.source(&cfgs[cfg["idx"] as usize])
-    })
+    let cfgs: Vec<_> = study.space().iter().step_by(stride.max(1)).collect();
+    explore_configs(cfgs, study.name(), provider, |cfg| study.source(cfg))
 }
 
 /// The three-way comparison at the given stride.
@@ -91,6 +90,76 @@ pub fn served_vs_cold(study: Study, stride: usize) -> ServeComparison {
     }
 }
 
+/// The cold / warm-disk / warm-memory comparison over one cache
+/// directory: tier two's reason to exist, measured.
+#[derive(Debug, Clone)]
+pub struct TierComparison {
+    /// Points in the (subsampled) space.
+    pub points: usize,
+    /// First sweep ever: empty memory, empty disk (computes + persists).
+    pub cold: ProviderStats,
+    /// Fresh server over the warm directory: disk reads, zero computes.
+    pub warm_disk: ProviderStats,
+    /// Same server again: pure memory hits.
+    pub warm_memory: ProviderStats,
+    /// The warm-disk server's store counters right after its sweep
+    /// (stage executions must be all zero; `disk.hits` carries the
+    /// read-through count).
+    pub warm_disk_store: StoreStats,
+}
+
+impl std::fmt::Display for TierComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "tiered sweeps over {} points", self.points)?;
+        writeln!(f, "  cold (compute+persist): {}", self.cold)?;
+        writeln!(f, "  warm disk (fresh proc): {}", self.warm_disk)?;
+        write!(f, "  warm memory:            {}", self.warm_memory)
+    }
+}
+
+/// Run the three-tier comparison for `study` at `stride`, using
+/// `cache_dir` as the persistent store (caller owns cleanup).
+pub fn tiered_sweeps(study: Study, stride: usize, cache_dir: &Path) -> TierComparison {
+    let server = |threads: usize| {
+        ServerConfig::new()
+            .threads(threads)
+            .cache_dir(cache_dir)
+            .build()
+            .expect("cache dir usable")
+    };
+
+    // Cold: compute everything, write-behind to disk, drain, drop.
+    let cold_provider = CachedProvider::new(server(2));
+    let cold = sweep(study, stride, &cold_provider);
+    cold_provider.server().flush();
+    drop(cold_provider);
+
+    // Warm disk: a *fresh* server (stand-in for a fresh process) over
+    // the same directory.
+    let disk_provider = CachedProvider::new(server(2));
+    let warm_disk = sweep(study, stride, &disk_provider);
+    let warm_disk_store = disk_provider.server().stats().store;
+
+    // Warm memory: the same server again.
+    let warm_memory = sweep(study, stride, &disk_provider);
+
+    // All tiers must agree on every verdict and estimate.
+    for (a, b) in cold.points.iter().zip(&warm_disk.points) {
+        assert_eq!(a, b, "disk round-trip changed a point");
+    }
+    for (a, b) in warm_disk.points.iter().zip(&warm_memory.points) {
+        assert_eq!(a, b, "memory hit changed a point");
+    }
+
+    TierComparison {
+        points: cold.points.len(),
+        cold: cold.stats,
+        warm_disk: warm_disk.stats,
+        warm_memory: warm_memory.stats,
+        warm_disk_store,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +178,32 @@ mod tests {
         );
         assert_eq!(cmp.served_warm.requests, cmp.served_cold.requests);
         assert!(cmp.served_warm.cache_hits >= cmp.served_warm.requests);
+    }
+
+    #[test]
+    fn warm_disk_sweeps_run_zero_pipeline_stages() {
+        let dir = std::env::temp_dir().join(format!("dahlia-tiered-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmp = tiered_sweeps(Study::Stencil2d, 181, &dir);
+        assert!(cmp.points > 10, "sweep too small to mean anything");
+        assert!(cmp.cold.cache_misses > 0, "cold sweep computes");
+        // The tentpole claim at bench scale: the fresh server over the
+        // warm directory computed nothing…
+        assert_eq!(
+            cmp.warm_disk.cache_misses, 0,
+            "warm-disk sweep recompiled something"
+        );
+        assert_eq!(
+            cmp.warm_disk_store.total_executions(),
+            0,
+            "warm-disk sweep ran a pipeline stage: {:?}",
+            cmp.warm_disk_store.executions
+        );
+        // …because every request came off disk…
+        assert!(cmp.warm_disk_store.disk.hits > 0);
+        // …and the second sweep on the same server stayed in memory.
+        assert_eq!(cmp.warm_memory.cache_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

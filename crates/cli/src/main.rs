@@ -6,12 +6,18 @@
 //! dahliac run    <file.fuse>          interpret (checked semantics)
 //! dahliac est    <file.fuse> [name]   estimate area/latency via hls-sim
 //! dahliac lower  <file.fuse>          dump the lowered kernel IR
-//! dahliac serve                       JSON-lines compile service on stdio
+//! dahliac serve  [opts]               JSON-lines compile service (stdio or TCP)
 //! dahliac batch  [opts] [files...]    compile a batch through the service
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
 //! the extension the original Dahlia compiler uses.)
+//!
+//! The service persists artifacts across processes with `--cache-dir`
+//! (or `DAHLIA_CACHE_DIR`): a warm directory lets a fresh process answer
+//! without running any pipeline stage. `serve --listen <addr>` exposes
+//! the protocol over TCP with pipelined, out-of-order responses; `batch
+//! --connect <addr>` drives such a server remotely.
 //!
 //! Exit codes are distinct per failure phase so scripts and test
 //! harnesses can tell rejection modes apart without scraping stderr:
@@ -20,7 +26,7 @@
 //! |---|---|
 //! | 0 | success |
 //! | 1 | runtime failure (interpreter error, batch item failed) |
-//! | 2 | usage or I/O error |
+//! | 2 | usage or I/O error (including network failures) |
 //! | 3 | lex/parse error |
 //! | 4 | affine type error |
 
@@ -32,7 +38,7 @@ use std::time::Instant;
 use dahlia_backend::{emit_cpp, lower};
 use dahlia_core::{interp, parse, typecheck, Error};
 use dahlia_server::json::{obj, Json};
-use dahlia_server::{Request, Server, Stage};
+use dahlia_server::{serve_listener, Client, Request, Server, ServerConfig, Stage};
 
 /// Runtime failure (interpreter, failed batch item).
 const EXIT_RUNTIME: u8 = 1;
@@ -50,15 +56,22 @@ const USAGE: &str = "usage: dahliac <command> [args]
   dahliac run    <file.fuse>          interpret (checked semantics)
   dahliac est    <file.fuse> [name]   estimate area/latency via hls-sim
   dahliac lower  <file.fuse>          dump the lowered kernel IR
-  dahliac serve                       JSON-lines compile service on stdio
-                                      (strict request/response order; the
-                                      cache still dedups repeat work)
+  dahliac serve  [--listen ADDR] [--pipeline] [--threads N]
+                 [--cache-dir DIR] [--max-entries N] [--max-bytes N]
+                                      JSON-lines compile service: stdio by
+                                      default (strict order), `--pipeline`
+                                      for out-of-order stdio responses,
+                                      `--listen` for a pipelined TCP server
+                                      (stop it with {\"op\":\"shutdown\"})
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
+                 [--cache-dir DIR] [--connect ADDR] [--shutdown]
                  [--verbose] [files...]
                                       compile a batch through the service
-                                      (N worker threads, default: cores-1)
+                                      (in-process by default; --connect
+                                      drives a remote `serve --listen`)
 
   <file.fuse> may be `-` for stdin.
+  --cache-dir (or DAHLIA_CACHE_DIR) persists artifacts across processes.
   exit codes: 0 ok, 1 runtime, 2 usage/io, 3 parse error, 4 type error";
 
 fn main() -> ExitCode {
@@ -242,39 +255,183 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn server_with_threads(threads: Option<String>) -> Result<Server, ExitCode> {
-    match threads {
-        None => Ok(Server::new()),
-        Some(t) => match t.parse::<usize>() {
-            Ok(n) if n > 0 => Ok(Server::with_threads(n)),
+fn parse_positive(flag: &str, raw: Option<String>) -> Result<Option<usize>, ExitCode> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
             _ => {
-                eprintln!("dahliac: --threads needs a positive integer, got `{t}`");
+                eprintln!("dahliac: {flag} needs a positive integer, got `{v}`");
                 Err(ExitCode::from(EXIT_USAGE))
             }
         },
     }
 }
 
-/// `dahliac serve`: the JSON-lines protocol over stdio.
-fn cmd_serve(args: &[String]) -> ExitCode {
-    if args.iter().any(|a| a == "--threads") {
-        eprintln!(
-            "dahliac: serve answers requests in order on one thread; \
-             --threads applies to `dahliac batch`"
-        );
-        return ExitCode::from(EXIT_USAGE);
+/// Service-facing options shared by `serve` and `batch`.
+struct ServiceOpts {
+    threads: Option<usize>,
+    /// `--cache-dir` as given on the command line (env fallback is
+    /// resolved in [`ServiceOpts::build`], so callers can tell an
+    /// explicit flag from ambient environment).
+    cache_dir_flag: Option<String>,
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
+}
+
+impl ServiceOpts {
+    /// Pull the shared flags out of `args`.
+    fn take(args: &mut Vec<String>) -> Result<ServiceOpts, ExitCode> {
+        let mut flags = Vec::new();
+        for f in ["--threads", "--cache-dir", "--max-entries", "--max-bytes"] {
+            match take_flag(args, f) {
+                Ok(v) => flags.push(v),
+                Err(e) => {
+                    eprintln!("dahliac: {e}");
+                    return Err(ExitCode::from(EXIT_USAGE));
+                }
+            }
+        }
+        let [threads, cache_dir, max_entries, max_bytes] = flags.try_into().unwrap();
+        Ok(ServiceOpts {
+            threads: parse_positive("--threads", threads)?,
+            cache_dir_flag: cache_dir,
+            max_entries: parse_positive("--max-entries", max_entries)?,
+            max_bytes: parse_positive("--max-bytes", max_bytes)?,
+        })
     }
+
+    /// The first local-server flag present, if any — these configure an
+    /// in-process server and are meaningless (so refused) with
+    /// `--connect`, where the remote server owns its own configuration.
+    fn local_only_flag(&self) -> Option<&'static str> {
+        if self.threads.is_some() {
+            Some("--threads")
+        } else if self.cache_dir_flag.is_some() {
+            Some("--cache-dir")
+        } else if self.max_entries.is_some() {
+            Some("--max-entries")
+        } else if self.max_bytes.is_some() {
+            Some("--max-bytes")
+        } else {
+            None
+        }
+    }
+
+    /// Build a server from these options. `--cache-dir` falls back to
+    /// the `DAHLIA_CACHE_DIR` environment variable.
+    fn build(&self) -> Result<Server, ExitCode> {
+        let mut cfg = ServerConfig::new();
+        if let Some(n) = self.threads {
+            cfg = cfg.threads(n);
+        }
+        let cache_dir = self
+            .cache_dir_flag
+            .clone()
+            .or_else(|| std::env::var("DAHLIA_CACHE_DIR").ok());
+        if let Some(dir) = &cache_dir {
+            cfg = cfg.cache_dir(dir);
+        }
+        if let Some(n) = self.max_entries {
+            cfg = cfg.max_entries(n);
+        }
+        if let Some(n) = self.max_bytes {
+            cfg = cfg.max_bytes(n);
+        }
+        cfg.build().map_err(|e| {
+            eprintln!("dahliac: cannot open cache directory: {e}");
+            ExitCode::from(EXIT_USAGE)
+        })
+    }
+}
+
+/// `dahliac serve`: the JSON-lines protocol over stdio or TCP.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let listen = match take_flag(&mut args, "--listen") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let pipeline = take_switch(&mut args, "--pipeline");
+    let opts = match ServiceOpts::take(&mut args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
     if !args.is_empty() {
         eprintln!("dahliac: serve takes no positional arguments (got {args:?})\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
     }
-    // One pool worker: the serve loop compiles on the calling thread, so
-    // a larger pool would only sit parked.
-    let server = Server::with_threads(1);
+    if listen.is_none() && !pipeline && opts.threads.is_some() {
+        eprintln!(
+            "dahliac: plain stdio serve answers requests in order on one \
+             thread; --threads needs --pipeline or --listen"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    // Plain stdio serve compiles on the calling thread, so default its
+    // pool to one parked worker; pipelined modes want real parallelism.
+    let opts = if listen.is_none() && !pipeline {
+        ServiceOpts {
+            threads: Some(1),
+            ..opts
+        }
+    } else {
+        opts
+    };
+    let server = match opts.build() {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    if let Some(addr) = listen {
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("dahliac: cannot listen on `{addr}`: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        let local = listener.local_addr().map(|a| a.to_string());
+        eprintln!(
+            "dahliac serve: listening on {}",
+            local.as_deref().unwrap_or(&addr)
+        );
+        let server = std::sync::Arc::new(server);
+        return match serve_listener(std::sync::Arc::clone(&server), listener) {
+            Ok(summary) => {
+                server.flush();
+                eprintln!(
+                    "dahliac serve: {} connections, {} lines, {} protocol errors, {}",
+                    summary.connections,
+                    summary.lines,
+                    summary.protocol_errors,
+                    server.stats()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dahliac serve: I/O error: {e}");
+                ExitCode::from(EXIT_USAGE)
+            }
+        };
+    }
+
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    match server.serve(stdin.lock(), stdout.lock()) {
+    let served = if pipeline {
+        // The pipelined writer runs on its own thread, which needs an
+        // owned (Send) handle rather than a StdoutLock.
+        server.serve_pipelined(stdin.lock(), std::io::stdout())
+    } else {
+        let stdout = std::io::stdout();
+        server.serve(stdin.lock(), stdout.lock())
+    };
+    match served {
         Ok(summary) => {
+            server.flush();
             eprintln!(
                 "dahliac serve: {} lines, {} protocol errors, {}",
                 summary.lines,
@@ -290,20 +447,94 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
-/// `dahliac batch`: compile many programs through the service, optionally
-/// several rounds, and report per-round wall time plus cache stats.
+/// The request set for one batch invocation.
+fn batch_programs(use_kernels: bool, files: &[String]) -> Result<Vec<(String, String)>, ExitCode> {
+    let mut programs: Vec<(String, String)> = Vec::new();
+    if use_kernels {
+        for b in dahlia_kernels::all_benches() {
+            programs.push((b.name.to_string(), b.source));
+        }
+    }
+    for path in files {
+        let src = read_source(path)?;
+        let name = if path == "-" {
+            "stdin".to_string()
+        } else {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().replace('-', "_"))
+                .unwrap_or_else(|| "kernel".to_string())
+        };
+        programs.push((name, src));
+    }
+    if programs.is_empty() {
+        eprintln!("dahliac: batch needs input programs (--kernels and/or files)\n{USAGE}");
+        return Err(ExitCode::from(EXIT_USAGE));
+    }
+    Ok(programs)
+}
+
+fn round_requests(programs: &[(String, String)], stage: Stage, round: u32) -> Vec<Request> {
+    programs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, src))| Request::new(format!("{i}:{name}#{round}"), stage, src, name))
+        .collect()
+}
+
+fn print_round_summary(round: u32, requests: usize, ok: usize, wall_us: u64, delta: [u64; 3]) {
+    println!(
+        "{}",
+        obj([
+            ("round", Json::Num(round as f64)),
+            ("requests", Json::Num(requests as f64)),
+            ("ok", Json::Num(ok as f64)),
+            ("errors", Json::Num((requests - ok) as f64)),
+            ("wall_us", Json::Num(wall_us as f64)),
+            ("hits", Json::Num(delta[0] as f64)),
+            ("misses", Json::Num(delta[1] as f64)),
+            ("joins", Json::Num(delta[2] as f64)),
+        ])
+        .emit()
+    );
+}
+
+fn print_batch_summary(repeat: u32, programs: usize, round_walls: &[u64], stats: Json) {
+    let cold = round_walls[0];
+    let warm = *round_walls.last().unwrap();
+    let speedup = cold as f64 / warm.max(1) as f64;
+    let mut fields = vec![
+        ("rounds", Json::Num(repeat as f64)),
+        ("programs", Json::Num(programs as f64)),
+        ("cold_wall_us", Json::Num(cold as f64)),
+        ("warm_wall_us", Json::Num(warm as f64)),
+    ];
+    if repeat > 1 {
+        fields.push(("speedup", Json::Num((speedup * 100.0).round() / 100.0)));
+    }
+    fields.push(("stats", stats));
+    println!("{}", obj([("batch", obj(fields))]).emit());
+}
+
+/// `dahliac batch`: compile many programs through the service (local or
+/// remote), optionally several rounds, and report per-round wall time
+/// plus cache stats.
 fn cmd_batch(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let (threads, repeat_raw, stage_raw) = match (
-        take_flag(&mut args, "--threads"),
+    let (repeat_raw, stage_raw, connect) = match (
         take_flag(&mut args, "--repeat"),
         take_flag(&mut args, "--stage"),
+        take_flag(&mut args, "--connect"),
     ) {
-        (Ok(t), Ok(r), Ok(s)) => (t, r, s),
+        (Ok(r), Ok(s), Ok(c)) => (r, s, c),
         (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
             eprintln!("dahliac: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
+    };
+    let opts = match ServiceOpts::take(&mut args) {
+        Ok(o) => o,
+        Err(code) => return code,
     };
     let repeat = match repeat_raw {
         None => 2,
@@ -327,36 +558,31 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
     let use_kernels = take_switch(&mut args, "--kernels");
     let verbose = take_switch(&mut args, "--verbose");
-
-    // Assemble the request set: the MachSuite kernel suite and/or files.
-    let mut programs: Vec<(String, String)> = Vec::new();
-    if use_kernels {
-        for b in dahlia_kernels::all_benches() {
-            programs.push((b.name.to_string(), b.source));
-        }
-    }
-    for path in &args {
-        match read_source(path) {
-            Ok(src) => {
-                let name = if path == "-" {
-                    "stdin".to_string()
-                } else {
-                    std::path::Path::new(path)
-                        .file_stem()
-                        .map(|s| s.to_string_lossy().replace('-', "_"))
-                        .unwrap_or_else(|| "kernel".to_string())
-                };
-                programs.push((name, src));
-            }
-            Err(code) => return code,
-        }
-    }
-    if programs.is_empty() {
-        eprintln!("dahliac: batch needs input programs (--kernels and/or files)\n{USAGE}");
+    let shutdown = take_switch(&mut args, "--shutdown");
+    if shutdown && connect.is_none() {
+        eprintln!("dahliac: --shutdown only makes sense with --connect");
         return ExitCode::from(EXIT_USAGE);
     }
+    if connect.is_some() {
+        if let Some(flag) = opts.local_only_flag() {
+            eprintln!(
+                "dahliac: {flag} configures an in-process server and is \
+                 ignored by the remote one; drop it or drop --connect"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
 
-    let server = match server_with_threads(threads) {
+    let programs = match batch_programs(use_kernels, &args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
+    if let Some(addr) = connect {
+        return batch_over_tcp(&addr, &programs, stage, repeat, verbose, shutdown);
+    }
+
+    let server = match opts.build() {
         Ok(s) => s,
         Err(code) => return code,
     };
@@ -365,67 +591,155 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let mut any_failed = false;
     let mut prev = server.stats();
     for round in 1..=repeat {
-        let reqs: Vec<Request> = programs
-            .iter()
-            .map(|(name, src)| Request::new(format!("{name}#{round}"), stage, src, name))
-            .collect();
+        let reqs = round_requests(&programs, stage, round);
+        let n = reqs.len();
         let t0 = Instant::now();
         let responses = server.submit_batch(reqs);
         let wall_us = t0.elapsed().as_micros() as u64;
         round_walls.push(wall_us);
 
         let ok = responses.iter().filter(|r| r.ok()).count();
-        let errors = responses.len() - ok;
-        any_failed |= errors > 0;
+        any_failed |= ok < n;
         if verbose {
             for r in &responses {
                 println!("{}", r.to_line());
             }
         }
         let now = server.stats();
-        println!(
-            "{}",
-            obj([
-                ("round", Json::Num(round as f64)),
-                ("requests", Json::Num(responses.len() as f64)),
-                ("ok", Json::Num(ok as f64)),
-                ("errors", Json::Num(errors as f64)),
-                ("wall_us", Json::Num(wall_us as f64)),
-                ("hits", Json::Num((now.store.hits - prev.store.hits) as f64)),
-                (
-                    "misses",
-                    Json::Num((now.store.misses - prev.store.misses) as f64)
-                ),
-                (
-                    "joins",
-                    Json::Num((now.store.joins - prev.store.joins) as f64)
-                ),
-            ])
-            .emit()
+        print_round_summary(
+            round,
+            n,
+            ok,
+            wall_us,
+            [
+                now.store.hits - prev.store.hits,
+                now.store.misses - prev.store.misses,
+                now.store.joins - prev.store.joins,
+            ],
         );
         prev = now;
     }
 
-    // Cold-vs-warm summary: round 1 fills the content-addressed cache,
-    // later rounds are served from it.
-    let cold = round_walls[0];
-    let warm = *round_walls.last().unwrap();
-    let speedup = cold as f64 / warm.max(1) as f64;
-    let mut fields = vec![
-        ("rounds", Json::Num(repeat as f64)),
-        ("programs", Json::Num(programs.len() as f64)),
-        ("cold_wall_us", Json::Num(cold as f64)),
-        ("warm_wall_us", Json::Num(warm as f64)),
-    ];
-    if repeat > 1 {
-        fields.push(("speedup", Json::Num((speedup * 100.0).round() / 100.0)));
-    }
-    fields.push(("stats", server.stats().to_json()));
-    println!("{}", obj([("batch", obj(fields))]).emit());
+    // Drain the write-behind queue so the printed stats (and the cache
+    // directory another process is about to inherit) are complete.
+    server.flush();
+    print_batch_summary(
+        repeat,
+        programs.len(),
+        &round_walls,
+        server.stats().to_json(),
+    );
 
     if any_failed {
         ExitCode::from(EXIT_RUNTIME)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Drive a remote `dahliac serve --listen` over the socket transport.
+/// Responses arrive pipelined and possibly out of order; correlation is
+/// by request id.
+fn batch_over_tcp(
+    addr: &str,
+    programs: &[(String, String)],
+    stage: Stage,
+    repeat: u32,
+    verbose: bool,
+    shutdown: bool,
+) -> ExitCode {
+    let mut client = match Client::connect_retry(addr, 50) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dahliac: cannot connect to `{addr}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    let run = |client: &mut Client| -> std::io::Result<ExitCode> {
+        let fetch_stats = |client: &mut Client| -> std::io::Result<Json> {
+            client.send_line(r#"{"op":"stats"}"#)?;
+            let line = client.recv_line()?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection during a stats request",
+                )
+            })?;
+            let v = Json::parse(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparseable stats line: {e}"),
+                )
+            })?;
+            Ok(v.get("stats").cloned().unwrap_or(Json::Null))
+        };
+        // Saturating: another client may reset nothing (counters are
+        // monotonic), but a defensive delta never underflows.
+        let counter =
+            |stats: &Json, key: &str| -> u64 { stats.get(key).and_then(Json::as_u64).unwrap_or(0) };
+        let delta = |now: &Json, prev: &Json, key: &str| -> u64 {
+            counter(now, key).saturating_sub(counter(prev, key))
+        };
+
+        let mut round_walls: Vec<u64> = Vec::new();
+        let mut any_failed = false;
+        let mut prev = fetch_stats(client)?;
+        for round in 1..=repeat {
+            let reqs = round_requests(programs, stage, round);
+            let n = reqs.len();
+            let t0 = Instant::now();
+            for r in &reqs {
+                client.send_line(&r.to_line())?;
+            }
+            let mut ok = 0usize;
+            for _ in 0..n {
+                let Some(line) = client.recv_line()? else {
+                    eprintln!("dahliac: server closed the connection mid-round");
+                    return Ok(ExitCode::from(EXIT_USAGE));
+                };
+                if verbose {
+                    println!("{line}");
+                }
+                let v = Json::parse(&line).unwrap_or(Json::Null);
+                if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                    ok += 1;
+                }
+            }
+            let wall_us = t0.elapsed().as_micros() as u64;
+            round_walls.push(wall_us);
+            any_failed |= ok < n;
+            let now = fetch_stats(client)?;
+            print_round_summary(
+                round,
+                n,
+                ok,
+                wall_us,
+                [
+                    delta(&now, &prev, "hits"),
+                    delta(&now, &prev, "misses"),
+                    delta(&now, &prev, "joins"),
+                ],
+            );
+            prev = now;
+        }
+
+        let stats = fetch_stats(client)?;
+        print_batch_summary(repeat, programs.len(), &round_walls, stats);
+        if shutdown {
+            client.shutdown_server()?;
+        }
+        Ok(if any_failed {
+            ExitCode::from(EXIT_RUNTIME)
+        } else {
+            ExitCode::SUCCESS
+        })
+    };
+
+    match run(&mut client) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dahliac: network error talking to `{addr}`: {e}");
+            ExitCode::from(EXIT_USAGE)
+        }
     }
 }

@@ -207,15 +207,31 @@ fn serve_rejects_positional_arguments() {
 }
 
 #[test]
-fn serve_rejects_threads_flag() {
-    // serve answers strictly in order on the calling thread; a --threads
-    // knob there would be a lie, so it is refused with a pointer.
+fn plain_serve_rejects_threads_flag() {
+    // Plain stdio serve answers strictly in order on the calling thread;
+    // a --threads knob there would be a lie, so it is refused with a
+    // pointer to the modes where it means something.
     let (_, err, code) = run_code(&["serve", "--threads", "4"]);
     assert_eq!(code, 2);
     assert!(
-        err.contains("--threads applies to `dahliac batch`"),
+        err.contains("--threads needs --pipeline or --listen"),
         "{err}"
     );
+}
+
+#[test]
+fn pipelined_serve_accepts_threads_and_answers_by_id() {
+    let req = format!(
+        r#"{{"id":"p1","stage":"check","source":"{}"}}"#,
+        GOOD.replace('\n', " ")
+    );
+    let (out, err, code) = run_stdin(
+        &["serve", "--pipeline", "--threads", "2"],
+        &format!("{req}\n"),
+    );
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains(r#""id":"p1""#), "{out}");
+    assert!(out.contains(r#""ok":true"#), "{out}");
 }
 
 #[test]
@@ -299,4 +315,79 @@ fn batch_kernels_warm_round_is_5x_faster() {
         "warm round recomputed something: {}",
         lines[1]
     );
+}
+
+/// The ISSUE 2 acceptance criterion: `dahliac batch` against a warm
+/// on-disk cache in a *fresh process* skips all pipeline stages,
+/// verified by the per-stage execution counters.
+#[test]
+fn warm_disk_cache_survives_process_restart() {
+    let dir = std::env::temp_dir().join(format!("dahliac-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--cache-dir", &dir_s]);
+    assert_eq!(code, 0, "cold process failed: {err}");
+
+    // A brand-new process over the same directory.
+    let (out, err, code) =
+        run_code(&["batch", "--kernels", "--repeat", "1", "--cache-dir", &dir_s]);
+    assert_eq!(code, 0, "warm process failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    let summary = dahlia_server::json::Json::parse(lines.last().unwrap()).expect("summary JSON");
+    let stats = summary
+        .get("batch")
+        .and_then(|b| b.get("stats"))
+        .expect("stats");
+    let ex = stats.get("executions").expect("executions");
+    for stage in ["parse", "check", "desugar", "lower", "cpp", "est"] {
+        assert_eq!(
+            ex.get(stage).and_then(|v| v.as_u64()),
+            Some(0),
+            "fresh process ran stage `{stage}`: {out}"
+        );
+    }
+    let disk_hits = stats
+        .get("disk")
+        .and_then(|d| d.get("hits"))
+        .and_then(|v| v.as_u64())
+        .expect("disk hits");
+    assert!(disk_hits >= 16, "warm process served off disk: {disk_hits}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end socket transport: a background `serve --listen` process
+/// driven by `batch --connect`, shut down gracefully over the protocol.
+#[test]
+fn batch_connect_drives_a_listening_server() {
+    let port = 21000 + std::process::id() % 20000;
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_dahliac"))
+        .args(["serve", "--listen", &addr, "--threads", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server spawns");
+
+    let (out, err, code) = run_code(&[
+        "batch",
+        "--kernels",
+        "--repeat",
+        "2",
+        "--connect",
+        &addr,
+        "--shutdown",
+    ]);
+    assert_eq!(code, 0, "remote batch failed: {err}\n{out}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(
+        lines[1].contains(r#""misses":0"#),
+        "warm TCP round recomputed something: {}",
+        lines[1]
+    );
+    assert!(lines.last().unwrap().contains(r#""speedup":"#), "{out}");
+
+    // --shutdown stopped the server gracefully: it exits 0 on its own.
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
 }

@@ -36,7 +36,8 @@ pub mod space;
 pub use pareto::{dominates, pareto_indices, pareto_mask};
 pub use point::{mark_pareto, DesignPoint};
 pub use provider::{
-    explore, DirectProvider, EstimateProvider, Exploration, PointOutcome, ProviderStats,
+    explore, explore_configs, DirectProvider, EstimateProvider, Exploration, PointOutcome,
+    ProviderStats,
 };
 pub use report::{to_csv, Summary};
 pub use space::{Config, ConfigIter, ParamSpace};

@@ -185,9 +185,22 @@ pub fn explore(
     provider: &dyn EstimateProvider,
     source_of: impl Fn(&Config) -> String,
 ) -> Exploration {
+    explore_configs(space.iter().collect(), name, provider, source_of)
+}
+
+/// [`explore`] over an explicit configuration list — the entry point for
+/// subsampled (strided) sweeps, which the figure drivers reuse so that
+/// repeated strides against one caching provider share every overlapping
+/// evaluation. The returned points carry the *original* configurations.
+pub fn explore_configs(
+    configs: Vec<Config>,
+    name: &str,
+    provider: &dyn EstimateProvider,
+    source_of: impl Fn(&Config) -> String,
+) -> Exploration {
     let before = provider.stats();
     let mut points = Vec::new();
-    for cfg in space {
+    for cfg in configs {
         let src = source_of(&cfg);
         let out = provider.evaluate(name, &src);
         points.push(match out.estimate {

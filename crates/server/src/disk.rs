@@ -1,0 +1,450 @@
+//! The on-disk artifact tier: a crash-safe, corruption-tolerant,
+//! content-addressed store under a cache directory.
+//!
+//! ## Layout
+//!
+//! One file per `(source digest, stage, options digest)` entry:
+//!
+//! ```text
+//! <root>/v1/<stage>/<ss>/<source:032x>-<options:032x>
+//! ```
+//!
+//! where `v1` is the on-disk [`FORMAT_VERSION`] (a format bump changes
+//! the directory, so stale entries are simply never consulted again),
+//! `<stage>` is the protocol stage name, and `<ss>` is the first byte of
+//! the source digest in hex — a 256-way fan-out that keeps directories
+//! small under sweep workloads.
+//!
+//! ## Entry format
+//!
+//! A fixed binary header followed by a JSON payload ([`crate::codec`]):
+//!
+//! ```text
+//! magic "dahliart" · u32 version · u8 stage · u128 source · u128 options
+//! · u64 payload length · payload · u128 FNV-1a checksum of payload
+//! ```
+//!
+//! Reads verify every field (magic, version, key echo, length, checksum)
+//! and treat *any* mismatch — truncation, garbage, a half-written file —
+//! as a miss plus a `corrupt` counter tick: the caller recomputes and
+//! rewrites. Nothing on disk is trusted.
+//!
+//! ## Crash safety
+//!
+//! Writes go to a unique temporary name in the same directory and are
+//! published with an atomic `rename`. A crash between write and rename
+//! leaves only a `.tmp-*` orphan, which readers never open; a crash
+//! mid-write corrupts only the temporary file. Either way the store
+//! stays readable.
+//!
+//! ## Write-behind
+//!
+//! [`DiskStore::store`] enqueues the entry and returns immediately; a
+//! dedicated writer thread encodes and persists in the background, so
+//! the compile path never waits on the filesystem. [`DiskStore::flush`]
+//! blocks until the queue drains, and dropping the store drains it too —
+//! which is how `dahliac batch` guarantees a warm cache before exiting.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hls_sim::digest::Fnv;
+
+use crate::codec;
+use crate::json::Json;
+use crate::store::{ArtifactTier, CacheValue, Key};
+
+/// On-disk format version; bumping it invalidates every existing entry
+/// (new directory, and old headers fail the version check).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"dahliart";
+/// Sanity cap on declared payload length (defends against a corrupt
+/// header asking us to allocate terabytes).
+const MAX_PAYLOAD: u64 = 256 * 1024 * 1024;
+
+/// Disk-tier counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups with no usable entry on disk.
+    pub misses: u64,
+    /// Entries rejected as corrupt (subset of `misses`).
+    pub corrupt: u64,
+    /// Entries persisted.
+    pub writes: u64,
+    /// Failed persistence attempts (I/O errors; the entry is skipped).
+    pub write_errors: u64,
+}
+
+/// State shared between the store handle and the writer thread.
+struct Inner {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    tmp_counter: AtomicU64,
+    pending: Mutex<u64>,
+    drained: Condvar,
+}
+
+/// The on-disk artifact store. See the module docs for the format.
+pub struct DiskStore {
+    inner: Arc<Inner>,
+    tx: Option<Sender<(Key, CacheValue)>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) the store rooted at `dir`. The store
+    /// owns `<dir>/v{FORMAT_VERSION}`; other versions' trees are left
+    /// untouched for older binaries.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let root = dir.into().join(format!("v{FORMAT_VERSION}"));
+        fs::create_dir_all(&root)?;
+        let inner = Arc::new(Inner {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+            pending: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+        let (tx, rx) = mpsc::channel::<(Key, CacheValue)>();
+        let worker = Arc::clone(&inner);
+        let writer = std::thread::Builder::new()
+            .name("dahlia-disk-writer".into())
+            .spawn(move || {
+                for (key, value) in rx {
+                    worker.write_entry(&key, &value);
+                    let mut pending = worker.pending.lock().unwrap();
+                    *pending -= 1;
+                    if *pending == 0 {
+                        worker.drained.notify_all();
+                    }
+                }
+            })?;
+        Ok(DiskStore {
+            inner,
+            tx: Some(tx),
+            writer: Some(writer),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskStats {
+        let i = &self.inner;
+        DiskStats {
+            hits: i.hits.load(Ordering::Relaxed),
+            misses: i.misses.load(Ordering::Relaxed),
+            corrupt: i.corrupt.load(Ordering::Relaxed),
+            writes: i.writes.load(Ordering::Relaxed),
+            write_errors: i.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block until every queued write has been persisted.
+    pub fn flush(&self) {
+        let mut pending = self.inner.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.inner.drained.wait(pending).unwrap();
+        }
+    }
+
+    /// The entry path for a key.
+    pub fn entry_path(&self, key: &Key) -> PathBuf {
+        self.inner.entry_path(key)
+    }
+}
+
+impl Inner {
+    fn entry_path(&self, key: &Key) -> PathBuf {
+        self.root
+            .join(key.stage.name())
+            .join(format!("{:02x}", (key.source >> 120) as u8))
+            .join(format!("{:032x}-{:032x}", key.source, key.options))
+    }
+
+    fn read_entry(&self, key: &Key) -> Result<CacheValue, bool> {
+        // Err(false): not found; Err(true): present but corrupt.
+        let mut file = match fs::File::open(self.entry_path(key)) {
+            Ok(f) => f,
+            Err(_) => return Err(false),
+        };
+        let mut header = [0u8; 8 + 4 + 1 + 16 + 16 + 8];
+        file.read_exact(&mut header).map_err(|_| true)?;
+        let (magic, rest) = header.split_at(8);
+        if magic != MAGIC {
+            return Err(true);
+        }
+        let version = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(true);
+        }
+        if rest[4] != key.stage.index() as u8 {
+            return Err(true);
+        }
+        let source = u128::from_le_bytes(rest[5..21].try_into().unwrap());
+        let options = u128::from_le_bytes(rest[21..37].try_into().unwrap());
+        if source != key.source || options != key.options {
+            return Err(true);
+        }
+        let len = u64::from_le_bytes(rest[37..45].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(true);
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload).map_err(|_| true)?;
+        let mut sum = [0u8; 16];
+        file.read_exact(&mut sum).map_err(|_| true)?;
+        if u128::from_le_bytes(sum) != checksum(&payload) {
+            return Err(true);
+        }
+        let text = std::str::from_utf8(&payload).map_err(|_| true)?;
+        let json = Json::parse(text).map_err(|_| true)?;
+        codec::decode(&json).ok_or(true)
+    }
+
+    fn write_entry(&self, key: &Key, value: &CacheValue) {
+        let Some(json) = codec::encode(value) else {
+            return; // memory-only artifact (AST); nothing to persist
+        };
+        let payload = json.emit().into_bytes();
+        let path = self.entry_path(key);
+        let result = (|| -> std::io::Result<()> {
+            let dir = path.parent().expect("entry paths have parents");
+            fs::create_dir_all(dir)?;
+            let tmp = dir.join(format!(
+                ".tmp-{}-{}",
+                std::process::id(),
+                self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            ));
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            f.write_all(&[key.stage.index() as u8])?;
+            f.write_all(&key.source.to_le_bytes())?;
+            f.write_all(&key.options.to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&payload)?;
+            f.write_all(&checksum(&payload).to_le_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            // The atomic publish: readers see the old state or the new
+            // entry, never a partial file.
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Persistence is best-effort: a failed write costs a
+                // future recompute, never a wrong answer.
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn checksum(payload: &[u8]) -> u128 {
+    let mut h = Fnv::new();
+    h.tag(b'D').u64(payload.len() as u64).bytes(payload);
+    h.finish()
+}
+
+impl ArtifactTier for DiskStore {
+    fn load(&self, key: &Key) -> Option<CacheValue> {
+        match self.inner.read_entry(key) {
+            Ok(v) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Err(corrupt) => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                if corrupt {
+                    self.inner.corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Key, value: &CacheValue) {
+        if let Some(tx) = self.tx.as_ref() {
+            *self.inner.pending.lock().unwrap() += 1;
+            tx.send((*key, value.clone())).expect("writer alive");
+        }
+    }
+
+    fn flush(&self) {
+        DiskStore::flush(self)
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStore::stats(self)
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        // Close the channel so the writer drains the queue and exits,
+        // then join it: dropping a store guarantees everything enqueued
+        // is on disk.
+        self.tx = None;
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Artifact, Stage};
+    use std::sync::atomic::AtomicU32;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "dahlia-disk-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn key(n: u128, stage: Stage) -> Key {
+        Key {
+            source: n,
+            stage,
+            options: 7,
+        }
+    }
+
+    fn cpp(text: &str) -> CacheValue {
+        Ok(Artifact::Cpp(Arc::new(text.to_string())))
+    }
+
+    #[test]
+    fn store_flush_load_roundtrip() {
+        let root = tmp_root("roundtrip");
+        let store = DiskStore::open(&root).unwrap();
+        let k = key(1, Stage::Cpp);
+        assert!(store.load(&k).is_none(), "cold store is empty");
+        store.store(&k, &cpp("void k() {}"));
+        store.flush();
+        let v = store.load(&k).expect("persisted entry loads");
+        match v.unwrap() {
+            Artifact::Cpp(t) => assert_eq!(*t, "void k() {}"),
+            other => panic!("{other:?}"),
+        }
+        let s = store.stats();
+        assert_eq!((s.writes, s.hits, s.misses, s.corrupt), (1, 1, 1, 0));
+        drop(store);
+        // A fresh handle on the same directory sees the entry: the store
+        // is genuinely persistent, not a warm process cache.
+        let reopened = DiskStore::open(&root).unwrap();
+        assert!(reopened.load(&k).is_some());
+        drop(reopened);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_and_garbage_entries_fall_back_to_miss() {
+        let root = tmp_root("corrupt");
+        let store = DiskStore::open(&root).unwrap();
+        let k = key(2, Stage::Estimate);
+        store.store(
+            &k,
+            &Ok(Artifact::Estimate(Arc::new(hls_sim::estimate(
+                &hls_sim::Kernel::new("k"),
+            )))),
+        );
+        store.flush();
+        let path = store.entry_path(&k);
+
+        // Truncate: keep the header, drop the tail.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(store.load(&k).is_none(), "truncated entry must miss");
+
+        // Garbage with a valid length: checksum rejects it.
+        fs::write(&path, b"dahliartgarbage-everywhere").unwrap();
+        assert!(store.load(&k).is_none(), "garbage entry must miss");
+
+        // Zero-byte file (crash during create).
+        fs::write(&path, b"").unwrap();
+        assert!(store.load(&k).is_none(), "empty entry must miss");
+
+        assert_eq!(store.stats().corrupt, 3);
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_bump_invalidates_cleanly() {
+        let root = tmp_root("version");
+        let store = DiskStore::open(&root).unwrap();
+        let k = key(3, Stage::Cpp);
+        store.store(&k, &cpp("x"));
+        store.flush();
+        // Rewrite the header with a future version; the entry must read
+        // as a miss, not be misinterpreted.
+        let path = store.entry_path(&k);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&k).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        // A file renamed (or hash-collided) onto the wrong path must not
+        // serve the wrong artifact: the header echoes the key.
+        let root = tmp_root("mismatch");
+        let store = DiskStore::open(&root).unwrap();
+        let a = key(4, Stage::Cpp);
+        let b = key(5, Stage::Cpp);
+        store.store(&a, &cpp("a"));
+        store.flush();
+        fs::create_dir_all(store.entry_path(&b).parent().unwrap()).unwrap();
+        fs::copy(store.entry_path(&a), store.entry_path(&b)).unwrap();
+        assert!(store.load(&b).is_none(), "key echo must reject");
+        assert!(store.load(&a).is_some());
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn orphan_tmp_files_never_shadow_entries() {
+        // Simulates a crash between write and rename: the orphan .tmp
+        // file is ignored by reads and does not block later publishes.
+        let root = tmp_root("orphan");
+        let store = DiskStore::open(&root).unwrap();
+        let k = key(6, Stage::Cpp);
+        let dir = store.entry_path(&k).parent().unwrap().to_path_buf();
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".tmp-999-0"), b"half-written junk").unwrap();
+        assert!(store.load(&k).is_none(), "orphan is not an entry");
+        store.store(&k, &cpp("real"));
+        store.flush();
+        assert!(store.load(&k).is_some(), "publish works around orphans");
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

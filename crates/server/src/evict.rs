@@ -1,0 +1,318 @@
+//! Size-aware LRU eviction for the in-memory artifact tier.
+//!
+//! PR 1's store grew without bound — fine for one sweep, fatal for a
+//! long-lived service. [`Lru`] bounds the memory tier by **entry count**
+//! and by **approximate resident bytes** ([`EvictConfig`]); when either
+//! cap is exceeded the least-recently-used entries are dropped (and
+//! counted, so eviction pressure is observable in server stats).
+//!
+//! The structure is a `HashMap` keyed by cache key plus a `BTreeMap`
+//! from a monotonic use-stamp back to the key: touches are `O(log n)`,
+//! eviction pops the smallest stamp. No wall clock is involved, so
+//! behaviour is fully deterministic and testable.
+//!
+//! Byte accounting uses [`weight`], a cheap structural estimate (exact
+//! for C++ text, walk-based for IR, pretty-print-based for ASTs). The
+//! caps bound the *artifact payloads*; per-entry bookkeeping overhead is
+//! folded in as a flat constant.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::pipeline::Artifact;
+use crate::store::{CacheValue, Key};
+
+/// Bounds for the in-memory tier. `usize::MAX` (the default) means
+/// unbounded, preserving PR 1 behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictConfig {
+    /// Maximum number of resident entries.
+    pub max_entries: usize,
+    /// Maximum approximate resident bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for EvictConfig {
+    fn default() -> Self {
+        EvictConfig {
+            max_entries: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+impl EvictConfig {
+    /// An unbounded configuration.
+    pub fn unbounded() -> EvictConfig {
+        EvictConfig::default()
+    }
+
+    /// Bound by entry count.
+    pub fn entries(mut self, max_entries: usize) -> EvictConfig {
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// Bound by approximate payload bytes.
+    pub fn bytes(mut self, max_bytes: usize) -> EvictConfig {
+        self.max_bytes = max_bytes;
+        self
+    }
+}
+
+/// Approximate resident size of a cache value, in bytes.
+///
+/// This is an *accounting* estimate, not an allocator measurement: it
+/// must be cheap (it runs once per insertion under the store lock),
+/// monotone in payload size, and stable across runs.
+pub fn weight(value: &CacheValue) -> usize {
+    const ENTRY_OVERHEAD: usize = 96;
+    ENTRY_OVERHEAD
+        + match value {
+            Ok(Artifact::Cpp(text)) => text.len(),
+            Ok(Artifact::Check(_)) => std::mem::size_of::<dahlia_core::CheckReport>(),
+            Ok(Artifact::Estimate(e)) => {
+                std::mem::size_of::<hls_sim::Estimate>()
+                    + e.name.len()
+                    + e.notes.iter().map(|n| n.len() + 24).sum::<usize>()
+            }
+            Ok(Artifact::Ir(k)) => kernel_weight(k),
+            // ASTs have no cheap structural size; charge the pretty-printed
+            // text times a small factor for node overhead. Printing is
+            // linear and runs once per computed artifact, which is noise
+            // next to the parse that produced it.
+            Ok(Artifact::Ast(p)) | Ok(Artifact::Desugared(p)) => {
+                8 * dahlia_core::pretty::program(p).len()
+            }
+            Err(d) => d.code.len() + d.message.len(),
+        }
+}
+
+fn kernel_weight(k: &hls_sim::Kernel) -> usize {
+    fn stmts(body: &[hls_sim::ir::Stmt]) -> usize {
+        body.iter()
+            .map(|s| match s {
+                hls_sim::ir::Stmt::Loop(l) => 64 + l.var.len() + stmts(&l.body),
+                hls_sim::ir::Stmt::Op(o) => {
+                    48 + o
+                        .reads
+                        .iter()
+                        .chain(&o.writes)
+                        .map(|a| 32 + a.array.len() + 24 * a.idx.len())
+                        .sum::<usize>()
+                }
+            })
+            .sum()
+    }
+    64 + k.name.len()
+        + k.arrays
+            .iter()
+            .map(|a| 48 + a.name.len() + 8 * (a.dims.len() + a.partition.len()))
+            .sum::<usize>()
+        + stmts(&k.body)
+}
+
+/// Eviction counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictStats {
+    /// Entries evicted so far.
+    pub evictions: u64,
+    /// Approximate bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: u64,
+    /// Approximate bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+/// The size-aware LRU map holding the memory tier's completed entries.
+///
+/// Not internally synchronized: the store wraps it in its own mutex
+/// (every operation needs the map anyway, so a second lock would only
+/// add overhead).
+#[derive(Debug, Default)]
+pub struct Lru {
+    cfg: EvictConfig,
+    entries: HashMap<Key, EntrySlot>,
+    order: BTreeMap<u64, Key>,
+    clock: u64,
+    bytes: usize,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+#[derive(Debug)]
+struct EntrySlot {
+    stamp: u64,
+    bytes: usize,
+    value: CacheValue,
+}
+
+impl Lru {
+    /// An empty map with the given bounds.
+    pub fn new(cfg: EvictConfig) -> Lru {
+        Lru {
+            cfg,
+            ..Lru::default()
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Eviction counters plus current residency.
+    pub fn stats(&self) -> EvictStats {
+        EvictStats {
+            evictions: self.evictions,
+            evicted_bytes: self.evicted_bytes,
+            resident_entries: self.entries.len() as u64,
+            resident_bytes: self.bytes as u64,
+        }
+    }
+
+    /// Drop every entry (counters survive; residency resets).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+
+    /// Look up and touch: a hit moves the entry to most-recently-used.
+    pub fn get(&mut self, key: &Key) -> Option<CacheValue> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.entries.get_mut(key)?;
+        self.order.remove(&slot.stamp);
+        slot.stamp = clock;
+        self.order.insert(clock, *key);
+        Some(slot.value.clone())
+    }
+
+    /// Insert (or replace) an entry as most-recently-used, then evict
+    /// least-recently-used entries until both caps hold again. The
+    /// just-inserted entry is evicted last — but *is* evicted if it alone
+    /// exceeds `max_bytes` (the cache never lies about its bound).
+    pub fn insert(&mut self, key: Key, value: CacheValue) {
+        let bytes = weight(&value);
+        self.insert_weighted(key, value, bytes);
+    }
+
+    /// [`Lru::insert`] with a pre-computed [`weight`]. The store calls
+    /// this so the weight estimate (which pretty-prints AST artifacts)
+    /// runs *outside* its global lock, not inside the critical section
+    /// every worker contends on.
+    pub fn insert_weighted(&mut self, key: Key, value: CacheValue, bytes: usize) {
+        self.clock += 1;
+        let slot = EntrySlot {
+            stamp: self.clock,
+            bytes,
+            value,
+        };
+        if let Some(old) = self.entries.insert(key, slot) {
+            self.order.remove(&old.stamp);
+            self.bytes -= old.bytes;
+        }
+        self.order.insert(self.clock, key);
+        self.bytes += bytes;
+        while self.entries.len() > self.cfg.max_entries || self.bytes > self.cfg.max_bytes {
+            let Some((&stamp, &victim)) = self.order.iter().next() else {
+                break;
+            };
+            self.order.remove(&stamp);
+            let slot = self.entries.remove(&victim).expect("order/entries in sync");
+            self.bytes -= slot.bytes;
+            self.evictions += 1;
+            self.evicted_bytes += slot.bytes as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Stage;
+    use std::sync::Arc;
+
+    fn key(n: u128) -> Key {
+        Key {
+            source: n,
+            stage: Stage::Cpp,
+            options: 0,
+        }
+    }
+
+    fn cpp(text: &str) -> CacheValue {
+        Ok(Artifact::Cpp(Arc::new(text.to_string())))
+    }
+
+    fn resident(lru: &mut Lru, n: u128) -> bool {
+        // Peek without disturbing order is not offered; use the entry map.
+        lru.entries.contains_key(&key(n))
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used() {
+        let mut lru = Lru::new(EvictConfig::unbounded().entries(2));
+        lru.insert(key(1), cpp("a"));
+        lru.insert(key(2), cpp("b"));
+        assert!(lru.get(&key(1)).is_some(), "touch 1: now 2 is LRU");
+        lru.insert(key(3), cpp("c"));
+        assert!(resident(&mut lru, 1), "recently touched survives");
+        assert!(!resident(&mut lru, 2), "LRU victim");
+        assert!(resident(&mut lru, 3));
+        let s = lru.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_entries, 2);
+    }
+
+    #[test]
+    fn byte_cap_evicts_until_under() {
+        let payload = "x".repeat(400);
+        let per_entry = weight(&cpp(&payload));
+        let mut lru = Lru::new(EvictConfig::unbounded().bytes(2 * per_entry));
+        lru.insert(key(1), cpp(&payload));
+        lru.insert(key(2), cpp(&payload));
+        assert_eq!(lru.stats().evictions, 0);
+        lru.insert(key(3), cpp(&payload));
+        assert_eq!(lru.stats().evictions, 1);
+        assert!(!resident(&mut lru, 1));
+        assert!(lru.bytes() <= 2 * per_entry);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_wedge_the_cache() {
+        let mut lru = Lru::new(EvictConfig::unbounded().bytes(64));
+        lru.insert(key(1), cpp(&"y".repeat(4096)));
+        assert_eq!(lru.len(), 0, "an entry above the cap cannot stay");
+        assert!(lru.is_empty());
+        assert_eq!(lru.bytes(), 0);
+    }
+
+    #[test]
+    fn replacement_does_not_double_count() {
+        let mut lru = Lru::new(EvictConfig::unbounded());
+        lru.insert(key(1), cpp("short"));
+        let b1 = lru.bytes();
+        lru.insert(key(1), cpp("a much longer replacement payload"));
+        assert!(lru.bytes() > b1);
+        assert_eq!(lru.len(), 1);
+        lru.clear();
+        assert_eq!((lru.len(), lru.bytes()), (0, 0));
+    }
+
+    #[test]
+    fn weight_is_monotone_in_payload() {
+        assert!(weight(&cpp(&"z".repeat(1000))) > weight(&cpp("z")));
+    }
+}

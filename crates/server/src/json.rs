@@ -49,6 +49,22 @@ impl Json {
         }
     }
 
+    /// Numeric payload as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e18 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Boolean payload.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -1,25 +1,48 @@
 //! # dahlia-server
 //!
-//! A concurrent, content-addressed **compilation service** for the full
-//! Dahlia pipeline. The paper's pitch is *predictable* accelerator
-//! design: parse → affine typecheck → desugar → lower → emit C++ →
-//! estimate is a deterministic function of the source text, which makes
-//! the whole pipeline memoizable and the service trivially scalable —
-//! exactly what a DSE sweep (thousands of near-identical programs) or a
-//! high-traffic playground deployment needs.
+//! A concurrent, content-addressed, **persistent** compilation service
+//! for the full Dahlia pipeline. The paper's pitch is *predictable*
+//! accelerator design: parse → affine typecheck → desugar → lower →
+//! emit C++ → estimate is a deterministic function of the source text,
+//! which makes the whole pipeline memoizable, durable, and the service
+//! trivially scalable — exactly what a DSE sweep (thousands of
+//! near-identical programs) or a high-traffic playground deployment
+//! needs.
 //!
-//! Three layers:
+//! ## The three-tier store
 //!
-//! * [`pipeline`] — every stage artifact cached in an in-memory
-//!   content-addressed [`store`] keyed by `(source hash, stage,
-//!   options)`, with **single-flight** dedup: concurrent identical
-//!   requests run the compiler once and share the result;
-//! * [`pool`] — a hand-rolled, std-only work-stealing thread pool
-//!   executing batches;
-//! * [`protocol`] — a JSON-lines request/response protocol, exposed as a
-//!   library ([`Server::submit`], [`Server::submit_batch`],
-//!   [`Server::serve`]) and via the `dahliac serve` / `dahliac batch`
-//!   CLI modes.
+//! Every stage artifact is cached under `(source digest, stage, options
+//! digest)` and looked up through three tiers (see [`store`]):
+//!
+//! 1. **memory** — a size-aware LRU ([`evict`]), bounded by entry count
+//!    and approximate bytes; a hit is a pointer clone;
+//! 2. **disk** — an optional crash-safe artifact store ([`disk`]):
+//!    read-through on a memory miss, write-behind after a compute, so a
+//!    fresh process inherits every prior process's work (`dahliac batch
+//!    --cache-dir` against a warm directory runs zero pipeline stages);
+//! 3. **compute** — the stage itself, under **single-flight** dedup:
+//!    concurrent identical requests run the compiler once and share the
+//!    result.
+//!
+//! The cache directory layout is
+//! `<dir>/v<N>/<stage>/<ss>/<source digest>-<options digest>` — one
+//! file per entry, atomic write-rename, versioned headers with
+//! checksums; corrupt or stale entries read as misses and are
+//! recomputed (see [`disk`] for the format).
+//!
+//! ## Transports
+//!
+//! * **library** — [`Server::submit`] / [`Server::submit_batch`];
+//! * **stdio** — [`Server::serve`] (strict request/response order, the
+//!   original protocol) and [`Server::serve_pipelined`];
+//! * **socket** — `dahliac serve --listen <addr>` ([`net`]): a TCP
+//!   listener where every connection runs a pipelined session against
+//!   the shared store, with graceful shutdown via `{"op":"shutdown"}`.
+//!
+//! Pipelined sessions answer **out of order**: requests dispatch to the
+//! worker pool as they are read and responses are written as they
+//! complete, correlated by `id` — a slow compile no longer convoys the
+//! fast requests behind it.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +71,21 @@
 //! assert_eq!(responses.iter().filter(|r| r.cached).count(), 63);
 //! ```
 //!
+//! A bounded, persistent server is one builder away:
+//!
+//! ```no_run
+//! use dahlia_server::ServerConfig;
+//!
+//! let server = ServerConfig::new()
+//!     .threads(8)
+//!     .cache_dir("/var/cache/dahlia")
+//!     .max_entries(100_000)
+//!     .max_bytes(256 << 20)
+//!     .build()
+//!     .expect("cache dir usable");
+//! # let _ = server;
+//! ```
+//!
 //! Errors are diagnostics, not strings, and are cached like successes:
 //!
 //! ```
@@ -61,25 +99,33 @@
 //! assert!(line.contains(r#""code":"type/already-consumed""#), "{line}");
 //! ```
 
+pub mod codec;
+pub mod disk;
+pub mod evict;
 pub mod json;
+pub mod net;
 pub mod pipeline;
 pub mod pool;
 pub mod protocol;
 pub mod store;
 
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
 
 use json::{obj, Json};
 
+pub use disk::{DiskStats, DiskStore};
+pub use evict::EvictConfig;
+pub use net::{serve_listener, Client, NetSummary};
 pub use pipeline::{Artifact, Options, Pipeline, Stage};
 pub use pool::Pool;
 pub use protocol::{Request, Response};
-pub use store::{CacheValue, Key, Store, StoreStats};
+pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
 struct Inner {
     pipeline: Pipeline,
@@ -111,32 +157,59 @@ pub struct ServerStats {
     pub requests: u64,
     /// Total request service time, in microseconds.
     pub latency_us: u64,
-    /// Cache/single-flight counters.
+    /// Cache/single-flight/eviction/disk counters.
     pub store: StoreStats,
 }
 
 impl ServerStats {
     /// Encode as a JSON object with stable field order.
     pub fn to_json(&self) -> Json {
+        let per_stage = |xs: &[u64; pipeline::STAGE_COUNT]| {
+            Json::Obj(
+                Stage::ALL
+                    .iter()
+                    .map(|s| (s.name().to_string(), Json::Num(xs[s.index()] as f64)))
+                    .collect(),
+            )
+        };
         obj([
             ("requests", Json::Num(self.requests as f64)),
             ("latency_us", Json::Num(self.latency_us as f64)),
             ("hits", Json::Num(self.store.hits as f64)),
             ("misses", Json::Num(self.store.misses as f64)),
             ("joins", Json::Num(self.store.joins as f64)),
+            ("joins_by_stage", per_stage(&self.store.joins_by_stage)),
+            ("executions", per_stage(&self.store.executions)),
             (
-                "executions",
-                Json::Obj(
-                    Stage::ALL
-                        .iter()
-                        .map(|s| {
-                            (
-                                s.name().to_string(),
-                                Json::Num(self.store.executions[s.index()] as f64),
-                            )
-                        })
-                        .collect(),
-                ),
+                "evict",
+                obj([
+                    ("evictions", Json::Num(self.store.evict.evictions as f64)),
+                    (
+                        "evicted_bytes",
+                        Json::Num(self.store.evict.evicted_bytes as f64),
+                    ),
+                    (
+                        "resident_entries",
+                        Json::Num(self.store.evict.resident_entries as f64),
+                    ),
+                    (
+                        "resident_bytes",
+                        Json::Num(self.store.evict.resident_bytes as f64),
+                    ),
+                ]),
+            ),
+            (
+                "disk",
+                obj([
+                    ("hits", Json::Num(self.store.disk.hits as f64)),
+                    ("misses", Json::Num(self.store.disk.misses as f64)),
+                    ("corrupt", Json::Num(self.store.disk.corrupt as f64)),
+                    ("writes", Json::Num(self.store.disk.writes as f64)),
+                    (
+                        "write_errors",
+                        Json::Num(self.store.disk.write_errors as f64),
+                    ),
+                ]),
             ),
         ])
     }
@@ -146,24 +219,138 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests, {} hits / {} misses / {} joins, {} stage executions, {:.3} ms total",
+            "{} requests, {} hits / {} misses / {} joins, {} disk hits, \
+             {} evictions, {} stage executions, {:.3} ms total",
             self.requests,
             self.store.hits,
             self.store.misses,
             self.store.joins,
+            self.store.disk.hits,
+            self.store.evict.evictions,
             self.store.total_executions(),
             self.latency_us as f64 / 1e3,
         )
     }
 }
 
-/// Summary of one [`Server::serve`] session.
+/// Summary of one serve session (stdio or one TCP connection).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeSummary {
     /// Protocol lines handled (excluding blank lines).
     pub lines: u64,
     /// Lines that were not valid requests.
     pub protocol_errors: u64,
+}
+
+/// One decoded protocol line: a control op or a compile request.
+enum Control {
+    Stats,
+    Shutdown,
+    Req(Request),
+}
+
+fn parse_control(line: &str, lineno: u64) -> Result<Control, String> {
+    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    match v.get("op").and_then(Json::as_str) {
+        Some("stats") => Ok(Control::Stats),
+        Some("shutdown") => Ok(Control::Shutdown),
+        Some(other) => Err(format!("unknown op `{other}`")),
+        None => Request::from_json(&v, lineno).map(Control::Req),
+    }
+}
+
+fn protocol_error_line(msg: String, lineno: usize) -> String {
+    obj([
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("protocol".into())),
+                ("code", Json::Str("protocol/bad-request".into())),
+                ("message", Json::Str(msg)),
+                ("line", Json::Num((lineno + 1) as f64)),
+            ]),
+        ),
+    ])
+    .emit()
+}
+
+fn shutdown_ack_line() -> String {
+    obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("shutdown".into())),
+    ])
+    .emit()
+}
+
+/// Configuration for a [`Server`]: worker pool size, memory-tier
+/// bounds, and the persistent cache directory.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    threads: Option<usize>,
+    compute_delay: Option<Duration>,
+    evict: EvictConfig,
+    cache_dir: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// Defaults: one worker per core, unbounded memory tier, no disk.
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Exactly `n` pool workers.
+    pub fn threads(mut self, n: usize) -> ServerConfig {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Test instrumentation: every computed stage sleeps for `delay`.
+    pub fn compute_delay(mut self, delay: Duration) -> ServerConfig {
+        self.compute_delay = Some(delay);
+        self
+    }
+
+    /// Bound the memory tier by entry count.
+    pub fn max_entries(mut self, n: usize) -> ServerConfig {
+        self.evict.max_entries = n;
+        self
+    }
+
+    /// Bound the memory tier by approximate payload bytes.
+    pub fn max_bytes(mut self, n: usize) -> ServerConfig {
+        self.evict.max_bytes = n;
+        self
+    }
+
+    /// Attach a persistent artifact store rooted at `dir` (created on
+    /// demand).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Build the server. Fails only if the cache directory cannot be
+    /// created.
+    pub fn build(self) -> std::io::Result<Server> {
+        let tier: Option<Arc<dyn ArtifactTier>> = match &self.cache_dir {
+            Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+            None => None,
+        };
+        let pipeline = Pipeline::with_store_config(
+            StoreConfig {
+                evict: self.evict,
+                tier,
+            },
+            self.compute_delay,
+        );
+        let pool = match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::with_default_threads(),
+        };
+        Ok(Server::build(pipeline, pool))
+    }
 }
 
 /// The long-lived compilation service.
@@ -237,25 +424,36 @@ impl Server {
         }
     }
 
-    /// Number of artifacts currently cached.
+    /// Number of artifacts currently cached in memory.
     pub fn cached_artifacts(&self) -> usize {
         self.inner.pipeline.cached_artifacts()
     }
 
-    /// Drop every cached artifact (counters survive). Used by benchmarks
-    /// to compare cold and warm service.
+    /// Drop every memory-cached artifact (counters and the persistent
+    /// tier survive). Used by benchmarks to compare cold, warm-disk,
+    /// and warm-memory service.
     pub fn clear_cache(&self) {
         self.inner.pipeline.clear_cache()
     }
 
+    /// Block until the persistent tier (if any) has durably written
+    /// every queued artifact. Dropping the server flushes too; this is
+    /// for handing a warm cache directory to another process while this
+    /// one keeps running.
+    pub fn flush(&self) {
+        self.inner.pipeline.flush()
+    }
+
     /// Run the JSON-lines protocol over a reader/writer pair until EOF:
     /// one request per line, one response line each, in order. The
-    /// control line `{"op":"stats"}` emits a `{"stats":{...}}` line.
+    /// control line `{"op":"stats"}` emits a `{"stats":{...}}` line;
+    /// `{"op":"shutdown"}` is acknowledged and ends the session.
     ///
     /// This mode is strictly request/response: each line is answered
     /// (on the calling thread) before the next is read, so a lone
-    /// `serve` client sees no pool parallelism — concurrency comes from
-    /// `submit_batch` or from multiple clients sharing one server.
+    /// `serve` client sees no pool parallelism — use
+    /// [`Server::serve_pipelined`] (or the socket transport) for
+    /// out-of-order completion.
     pub fn serve<R: BufRead, W: Write>(
         &self,
         input: R,
@@ -268,48 +466,129 @@ impl Server {
                 continue;
             }
             summary.lines += 1;
-            let request = Json::parse(&line)
-                .map_err(|e| format!("bad JSON: {e}"))
-                .and_then(|v| {
-                    if v.get("op").and_then(Json::as_str) == Some("stats") {
-                        Ok(None)
-                    } else {
-                        Request::from_json(&v, lineno as u64).map(Some)
-                    }
-                });
-            match request {
-                Ok(None) => {
+            match parse_control(&line, lineno as u64) {
+                Ok(Control::Stats) => {
                     writeln!(
                         output,
                         "{}",
                         obj([("stats", self.stats().to_json())]).emit()
                     )?;
                 }
-                Ok(Some(req)) => {
+                Ok(Control::Shutdown) => {
+                    writeln!(output, "{}", shutdown_ack_line())?;
+                    break;
+                }
+                Ok(Control::Req(req)) => {
                     let resp = self.submit(req);
                     writeln!(output, "{}", resp.to_line())?;
                 }
                 Err(msg) => {
                     summary.protocol_errors += 1;
-                    let err = obj([
-                        ("id", Json::Null),
-                        ("ok", Json::Bool(false)),
-                        (
-                            "error",
-                            obj([
-                                ("phase", Json::Str("protocol".into())),
-                                ("code", Json::Str("protocol/bad-request".into())),
-                                ("message", Json::Str(msg)),
-                                ("line", Json::Num((lineno + 1) as f64)),
-                            ]),
-                        ),
-                    ]);
-                    writeln!(output, "{}", err.emit())?;
+                    writeln!(output, "{}", protocol_error_line(msg, lineno))?;
                 }
             }
         }
         output.flush()?;
         Ok(summary)
+    }
+
+    /// Run the JSON-lines protocol with **pipelined, out-of-order
+    /// responses**: requests are dispatched to the worker pool as they
+    /// are read, and each response line is written as soon as its
+    /// compile finishes — a fast request overtakes a slow one submitted
+    /// before it. Clients correlate by the echoed `id`.
+    ///
+    /// Control lines (`stats`, `shutdown`) are answered from the read
+    /// loop and may therefore interleave with in-flight responses.
+    /// Returns at EOF or after a `shutdown` op, once every dispatched
+    /// request has been answered.
+    pub fn serve_pipelined<R, W>(&self, input: R, output: W) -> std::io::Result<ServeSummary>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        self.serve_pipelined_ctl(input, output, None)
+    }
+
+    /// [`Server::serve_pipelined`], optionally raising `shutdown` when a
+    /// client sends the shutdown op (how a TCP session stops the whole
+    /// listener; see [`net::serve_listener`]).
+    pub(crate) fn serve_pipelined_ctl<R, W>(
+        &self,
+        input: R,
+        mut output: W,
+        shutdown: Option<&AtomicBool>,
+    ) -> std::io::Result<ServeSummary>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        let (tx, rx) = mpsc::channel::<String>();
+        let mut summary = ServeSummary::default();
+        let mut read_err: Option<std::io::Error> = None;
+        let writer_result: std::io::Result<()> = std::thread::scope(|s| {
+            let writer = s.spawn(move || -> std::io::Result<()> {
+                // Flush per line: pipelined sessions are interactive and
+                // a buffered fast response would defeat the point.
+                for line in rx {
+                    writeln!(output, "{line}")?;
+                    output.flush()?;
+                }
+                Ok(())
+            });
+            for (lineno, line) in input.lines().enumerate() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        read_err = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                summary.lines += 1;
+                let sent = match parse_control(&line, lineno as u64) {
+                    Ok(Control::Stats) => tx.send(obj([("stats", self.stats().to_json())]).emit()),
+                    Ok(Control::Shutdown) => {
+                        if let Some(flag) = shutdown {
+                            flag.store(true, Ordering::SeqCst);
+                        }
+                        let _ = tx.send(shutdown_ack_line());
+                        break;
+                    }
+                    Ok(Control::Req(req)) => {
+                        let inner = Arc::clone(&self.inner);
+                        let tx = tx.clone();
+                        self.pool.execute(move || {
+                            let resp = inner.handle(&req);
+                            let _ = tx.send(resp.to_line());
+                        });
+                        Ok(())
+                    }
+                    Err(msg) => {
+                        summary.protocol_errors += 1;
+                        tx.send(protocol_error_line(msg, lineno))
+                    }
+                };
+                if sent.is_err() {
+                    // The writer died (client hung up mid-session);
+                    // there is nobody left to answer.
+                    break;
+                }
+            }
+            drop(tx);
+            writer.join().expect("writer thread")
+        });
+        if let Some(e) = read_err {
+            return Err(e);
+        }
+        // A vanished client (broken pipe) ends the session without
+        // failing it; real I/O errors surface.
+        match writer_result {
+            Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e),
+            _ => Ok(summary),
+        }
     }
 }
 
@@ -363,7 +642,7 @@ impl EstimateProvider for CachedProvider {
         let s = self.server.stats();
         ProviderStats {
             requests: s.requests,
-            cache_hits: s.store.hits + s.store.joins,
+            cache_hits: s.store.hits + s.store.joins + s.store.disk.hits,
             cache_misses: s.store.misses,
             latency_us: s.latency_us,
         }
@@ -416,6 +695,23 @@ mod tests {
         assert_eq!(server.cached_artifacts(), 0);
         server.submit(Request::estimate("b", GOOD));
         assert_eq!(server.stats().store.executions[Stage::Parse.index()], 2);
+    }
+
+    #[test]
+    fn bounded_server_reports_evictions() {
+        let server = ServerConfig::new()
+            .threads(1)
+            .max_entries(2)
+            .build()
+            .unwrap();
+        // One est request creates 4 artifacts; with a 2-entry cap the
+        // earlier ones must have been evicted along the way.
+        let resp = server.submit(Request::estimate("a", GOOD));
+        assert!(resp.ok());
+        let s = server.stats();
+        assert!(s.store.evict.evictions >= 2, "{:?}", s.store.evict);
+        assert!(s.store.evict.resident_entries <= 2);
+        assert!(server.cached_artifacts() <= 2);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! The socket transport: `dahliac serve --listen <addr>`.
+//!
+//! A std-only TCP server speaking the same JSON-lines protocol as the
+//! stdio mode, with **pipelined, out-of-order responses**: every
+//! connection runs a [`Server::serve_pipelined`] session, so a slow
+//! compile never convoys the fast requests submitted after it —
+//! responses carry the request `id` for correlation.
+//!
+//! Threading model: each connection gets a dedicated I/O thread, while
+//! the compile work it submits runs on the server's shared worker pool.
+//! Connections must *not* occupy pool workers themselves — a pool
+//! saturated with blocked connection loops could never run the compile
+//! jobs those connections are waiting on (a classic self-deadlock).
+//! Connection threads are cheap: they spend their lives parked in
+//! `read` or `write`.
+//!
+//! Shutdown is cooperative and graceful: any client may send
+//! `{"op":"shutdown"}`; the listener then stops accepting, every live
+//! session finishes its in-flight work, and [`serve_listener`] returns.
+//! The CLI flushes the persistent cache tier after that, so a warm
+//! restart inherits everything.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::{ServeSummary, Server};
+
+/// Summary of one [`serve_listener`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Protocol lines handled across all connections.
+    pub lines: u64,
+    /// Lines that were not valid requests.
+    pub protocol_errors: u64,
+}
+
+/// Accept loop: serve every connection until a client requests shutdown,
+/// then drain live sessions and return.
+///
+/// The listener is switched to non-blocking so the loop can observe the
+/// shutdown flag; connection I/O itself is ordinary blocking I/O on
+/// per-connection threads.
+pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<NetSummary> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let totals = Arc::new(Mutex::new(NetSummary::default()));
+    // Registry of live session sockets, so shutdown can unblock sessions
+    // parked in `read` (an idle client must not be able to hold the
+    // listener open forever). Sessions deregister themselves on exit,
+    // keeping the map — and its file descriptors — bounded by the number
+    // of *live* connections.
+    let sessions: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut next_conn: u64 = 0;
+
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Draining: refuse new work (the stream drops, the
+                    // client sees EOF).
+                    continue;
+                }
+                // The listener is nonblocking; the accepted socket must
+                // not be (inheritance is platform-dependent — Linux
+                // clears the flag, BSD-derived systems keep it, and a
+                // nonblocking session socket would make every read
+                // fail with WouldBlock).
+                let handle = stream
+                    .set_nonblocking(false)
+                    .and_then(|()| stream.try_clone());
+                let conn_handle = match handle {
+                    Ok(h) => h,
+                    // A per-connection setup failure (e.g. fd
+                    // exhaustion under load) drops that connection,
+                    // never the whole service.
+                    Err(_) => continue,
+                };
+                let conn_id = next_conn;
+                next_conn += 1;
+                sessions.lock().unwrap().insert(conn_id, conn_handle);
+                totals.lock().unwrap().connections += 1;
+                active.fetch_add(1, Ordering::SeqCst);
+                let t_server = Arc::clone(&server);
+                let t_shutdown = Arc::clone(&shutdown);
+                let t_active = Arc::clone(&active);
+                let t_totals = Arc::clone(&totals);
+                let t_sessions = Arc::clone(&sessions);
+                let spawned = std::thread::Builder::new()
+                    .name("dahlia-conn".into())
+                    .spawn(move || {
+                        let _ = stream.set_nodelay(true);
+                        let summary = handle_connection(&t_server, stream, &t_shutdown);
+                        if let Ok(s) = summary {
+                            let mut t = t_totals.lock().unwrap();
+                            t.lines += s.lines;
+                            t.protocol_errors += s.protocol_errors;
+                        }
+                        t_sessions.lock().unwrap().remove(&conn_id);
+                        t_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Same policy as clone failure: shed this
+                    // connection, keep serving (undo its accounting).
+                    sessions.lock().unwrap().remove(&conn_id);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Close the *read* half of every live session: a
+                    // parked reader sees EOF and its session winds down
+                    // normally, while in-flight responses still flush
+                    // through the intact write half.
+                    for (_, s) in sessions.lock().unwrap().iter() {
+                        let _ = s.shutdown(Shutdown::Read);
+                    }
+                    if active.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let summary = *totals.lock().unwrap();
+    Ok(summary)
+}
+
+fn handle_connection(
+    server: &Server,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> io::Result<ServeSummary> {
+    let reader = BufReader::new(stream.try_clone()?);
+    server.serve_pipelined_ctl(reader, stream, Some(shutdown))
+}
+
+/// A minimal protocol client for the socket transport, used by
+/// `dahliac batch --connect` and the integration tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serving `dahliac serve --listen` endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connect, retrying while the server is still binding (used by
+    /// scripts that start the server in the background).
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, attempts: u32) -> io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        Err(last.unwrap())
+    }
+
+    /// Send one protocol line (the newline is added here).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line; `None` on server-side EOF.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Ask the server to shut down gracefully (acknowledged with one
+    /// response line).
+    pub fn shutdown_server(&mut self) -> io::Result<Option<String>> {
+        self.send_line(r#"{"op":"shutdown"}"#)?;
+        self.recv_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::Server;
+
+    const GOOD: &str = "let A: float[8 bank 8]; for (let i = 0..8) unroll 8 { A[i] := 2.0; }";
+
+    fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<NetSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(Server::with_threads(2));
+        let handle =
+            std::thread::spawn(move || serve_listener(server, listener).expect("serve_listener"));
+        (addr, handle)
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_graceful_shutdown() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect_retry(addr, 20).expect("connect");
+        client
+            .send_line(&format!(
+                r#"{{"id":"t1","stage":"est","name":"k","source":"{GOOD}"}}"#
+            ))
+            .unwrap();
+        let resp = client.recv_line().unwrap().expect("response line");
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("t1"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+
+        // A second connection shares the first connection's cache.
+        let mut second = Client::connect(addr).expect("second connection");
+        second
+            .send_line(&format!(
+                r#"{{"id":"t2","stage":"est","name":"k","source":"{GOOD}"}}"#
+            ))
+            .unwrap();
+        let resp2 = second.recv_line().unwrap().expect("response");
+        let v2 = Json::parse(&resp2).unwrap();
+        assert_eq!(v2.get("cached").and_then(Json::as_bool), Some(true));
+        drop(second);
+
+        let ack = client.shutdown_server().unwrap().expect("shutdown ack");
+        assert!(ack.contains("shutdown"), "{ack}");
+        drop(client);
+        let summary = handle.join().expect("listener thread");
+        assert_eq!(summary.connections, 2);
+        assert_eq!(summary.lines, 3);
+        assert_eq!(summary.protocol_errors, 0);
+    }
+
+    #[test]
+    fn idle_connections_do_not_block_graceful_shutdown() {
+        // Regression: an idle client parked in `read` must not hold the
+        // listener open after another client requests shutdown, and
+        // late connection attempts must be refused, not served.
+        let (addr, handle) = spawn_server();
+        let mut idle = Client::connect_retry(addr, 20).expect("idle client");
+        let mut driver = Client::connect(addr).expect("driver client");
+        driver.shutdown_server().unwrap().expect("ack");
+        drop(driver);
+        // The listener unblocks the idle session and returns; the idle
+        // client sees a clean EOF.
+        let summary = handle.join().expect("listener returned");
+        assert_eq!(summary.connections, 2);
+        assert_eq!(idle.recv_line().unwrap(), None, "idle client got EOF");
+        // A post-shutdown connect may still reach the dying listener's
+        // backlog, but it is never served: reads yield EOF at best.
+        if let Ok(mut late) = Client::connect(addr) {
+            let _ = late.send_line(r#"{"op":"stats"}"#);
+            assert!(matches!(late.recv_line(), Ok(None) | Err(_)));
+        }
+    }
+
+    #[test]
+    fn bad_lines_get_protocol_errors_not_disconnects() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect_retry(addr, 20).expect("connect");
+        client.send_line("this is not json").unwrap();
+        let err = client.recv_line().unwrap().expect("error line");
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        // The session survives the bad line.
+        client
+            .send_line(&format!(
+                r#"{{"id":"ok","stage":"check","source":"{GOOD}"}}"#
+            ))
+            .unwrap();
+        let resp = client.recv_line().unwrap().expect("good response");
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+        client.shutdown_server().unwrap();
+        drop(client);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.protocol_errors, 1);
+    }
+}

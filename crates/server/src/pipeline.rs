@@ -2,11 +2,11 @@
 //!
 //! Every stage is cached independently under `(source, stage, options)`,
 //! so a `check` request warms the cache for a later `est` request on the
-//! same program, and two requests differing only in kernel name share
-//! their parse and check artifacts... almost: options participate in
-//! every key for simplicity, so sharing happens whenever `(source,
-//! options)` match — the common case in sweeps, which resubmit identical
-//! requests wholesale.
+//! same program. Stages whose artifact does not depend on the request
+//! options — `parse`, `check`, and `desugar` ignore the kernel name —
+//! are keyed by **source alone** ([`Stage::options_sensitive`]), so two
+//! requests differing only in kernel name share their front-end
+//! artifacts outright.
 //!
 //! Stage dependencies (`est` needs `lower` needs `check` needs `parse`)
 //! are resolved recursively through the store, so each prerequisite is
@@ -20,7 +20,7 @@ use dahlia_core::{CheckReport, Program};
 use hls_sim::digest::Fnv;
 use hls_sim::{Estimate, Kernel};
 
-use crate::store::{CacheValue, Key, Store, StoreStats};
+use crate::store::{CacheValue, Key, Store, StoreConfig, StoreStats};
 
 /// Number of pipeline stages (array-sized counters index by
 /// [`Stage::index`]).
@@ -81,6 +81,14 @@ impl Stage {
     /// Parse a protocol name.
     pub fn from_name(name: &str) -> Option<Stage> {
         Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Does this stage's artifact depend on the request [`Options`]?
+    /// Front-end stages ignore the kernel name, so their cache entries
+    /// are keyed by source alone and shared across differently-named
+    /// requests.
+    pub fn options_sensitive(self) -> bool {
+        matches!(self, Stage::Lower | Stage::Cpp | Stage::Estimate)
     }
 }
 
@@ -170,9 +178,23 @@ impl Pipeline {
         }
     }
 
+    /// A pipeline over a store with the given memory bounds and
+    /// persistent tier, plus an optional per-compute test delay.
+    pub fn with_store_config(cfg: StoreConfig, delay: Option<Duration>) -> Pipeline {
+        Pipeline {
+            store: Store::with_config(cfg),
+            delay,
+        }
+    }
+
     /// Store counters.
     pub fn stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Block until the persistent tier (if any) has written everything.
+    pub fn flush(&self) {
+        self.store.flush()
     }
 
     /// Number of cached artifacts.
@@ -193,7 +215,14 @@ impl Pipeline {
         let key = Key {
             source: source_digest(source),
             stage,
-            options: opts.digest(),
+            // Front-end stages ignore the options; keying them by source
+            // alone shares their artifacts across differently-named
+            // requests (and across their disk entries).
+            options: if stage.options_sensitive() {
+                opts.digest()
+            } else {
+                0
+            },
         };
         self.store.get_or_compute(key, || {
             if let Some(d) = self.delay {
@@ -319,6 +348,24 @@ mod tests {
         // check never runs twice.
         let _ = p.artifact(ILL_TYPED, Stage::Cpp, &opts);
         assert_eq!(p.stats().executions[Stage::Check.index()], 1);
+    }
+
+    #[test]
+    fn kernel_names_share_front_end_artifacts() {
+        // Requests that differ only in kernel name must share parse,
+        // check, and desugar entries (the finer-key ROADMAP item): only
+        // the back-end stages fork per name.
+        let p = Pipeline::new();
+        let _ = p.artifact(GOOD, Stage::Estimate, &Options::named("alpha"));
+        let _ = p.artifact(GOOD, Stage::Estimate, &Options::named("beta"));
+        let _ = p.artifact(GOOD, Stage::Desugar, &Options::named("alpha"));
+        let _ = p.artifact(GOOD, Stage::Desugar, &Options::named("gamma"));
+        let ex = p.stats().executions;
+        assert_eq!(ex[Stage::Parse.index()], 1, "parse shared across names");
+        assert_eq!(ex[Stage::Check.index()], 1, "check shared across names");
+        assert_eq!(ex[Stage::Desugar.index()], 1, "desugar shared across names");
+        assert_eq!(ex[Stage::Lower.index()], 2, "lower forks per name");
+        assert_eq!(ex[Stage::Estimate.index()], 2, "estimate forks per name");
     }
 
     #[test]

@@ -53,6 +53,22 @@ impl Request {
         Request::new(id, Stage::Estimate, source, "kernel")
     }
 
+    /// Encode as a request object (the client side of the protocol;
+    /// [`Request::from_json`] is the server side).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("id", Json::Str(self.id.clone())),
+            ("stage", Json::Str(self.stage.name().into())),
+            ("name", Json::Str(self.options.kernel_name.clone())),
+            ("source", Json::Str(self.source.clone())),
+        ])
+    }
+
+    /// [`Request::to_json`], emitted as a compact line.
+    pub fn to_line(&self) -> String {
+        self.to_json().emit()
+    }
+
     /// Decode one protocol line. `seq` numbers requests with no `id`.
     pub fn from_line(line: &str, seq: u64) -> Result<Request, String> {
         let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
@@ -225,6 +241,13 @@ mod tests {
             "missing source"
         );
         assert!(Request::from_line(r#"{"id":[1],"source":""}"#, 0).is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_format() {
+        let r = Request::new("c7", Stage::Cpp, "let x = 1;", "scale");
+        let back = Request::from_line(&r.to_line(), 0).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

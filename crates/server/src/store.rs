@@ -1,21 +1,38 @@
-//! The content-addressed artifact store with single-flight deduplication.
+//! The tiered, content-addressed artifact store with single-flight
+//! deduplication.
 //!
 //! Every pipeline stage result is cached under a [`Key`] —
 //! `(source hash, stage, options hash)` — where the hashes are stable
-//! 128-bit FNV digests ([`hls_sim::digest`]). The store also provides
-//! *single-flight* semantics: when several threads request the same
-//! missing key concurrently, exactly one computes it while the rest
-//! block on the in-flight entry and share its result. Deterministic
-//! failures (parse and type errors) are cached exactly like successes —
-//! a rejected program costs the checker once, no matter how many times a
-//! sweep re-submits it.
+//! 128-bit FNV digests ([`hls_sim::digest`]). Lookups run through up to
+//! three tiers:
+//!
+//! 1. **memory** — a size-aware LRU ([`crate::evict`]): hit = pointer
+//!    clone;
+//! 2. **disk** — an optional persistent [`ArtifactTier`]
+//!    ([`crate::disk::DiskStore`]): read-through on a memory miss,
+//!    write-behind after a compute, so a fresh process inherits every
+//!    prior process's work;
+//! 3. **compute** — the pipeline stage itself, wrapped in
+//!    *single-flight* semantics: when several threads request the same
+//!    missing key concurrently, exactly one computes it while the rest
+//!    block on the in-flight entry and share its result.
+//!
+//! Deterministic failures (parse and type errors) are cached exactly
+//! like successes — a rejected program costs the checker once, no matter
+//! how many times a sweep re-submits it. The one exception is
+//! [`Phase::Internal`] diagnostics (caught panics): they stay
+//! memory-only, so a tooling bug never poisons the persistent cache.
+//!
+//! [`Phase::Internal`]: dahlia_core::diag::Phase
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::disk::DiskStats;
+use crate::evict::{EvictConfig, EvictStats, Lru};
 use crate::pipeline::{Artifact, Stage, STAGE_COUNT};
-use dahlia_core::diag::Diagnostic;
+use dahlia_core::diag::{Diagnostic, Phase};
 
 /// What the cache stores per key: a stage artifact or the diagnostic
 /// that rejected the program (both deterministic, both shareable).
@@ -28,8 +45,32 @@ pub struct Key {
     pub source: u128,
     /// The pipeline stage.
     pub stage: Stage,
-    /// Digest of the request options (kernel name, …).
+    /// Digest of the request options (kernel name, …); zero for stages
+    /// whose artifact ignores the options (parse/check/desugar), so
+    /// differently-named requests share those entries.
     pub options: u128,
+}
+
+/// A persistent tier layered under the in-memory store.
+///
+/// Implementations must be callable from many threads. `load`/`store`
+/// failures are expressed as `None`/no-op: a tier can *miss*, it can
+/// never produce a wrong value (the disk tier enforces this with
+/// per-entry checksums).
+pub trait ArtifactTier: Send + Sync {
+    /// Fetch a previously persisted value, if one is intact.
+    fn load(&self, key: &Key) -> Option<CacheValue>;
+
+    /// Persist a computed value (may be asynchronous/write-behind).
+    fn store(&self, key: &Key, value: &CacheValue);
+
+    /// Block until pending writes are durable.
+    fn flush(&self) {}
+
+    /// Tier counters, if the implementation keeps any.
+    fn stats(&self) -> DiskStats {
+        DiskStats::default()
+    }
 }
 
 /// One in-flight computation other threads can wait on.
@@ -38,23 +79,25 @@ struct Flight {
     done: Condvar,
 }
 
-enum Slot {
-    Ready(CacheValue),
-    InFlight(Arc<Flight>),
-}
-
-/// Cumulative store counters (all monotonic).
+/// Cumulative store counters (all monotonic except residency).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Lookups answered from a completed entry.
+    /// Lookups answered from the memory tier.
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
     /// Lookups that joined another thread's in-flight computation.
     pub joins: u64,
+    /// Joins broken down by stage (indexed by [`Stage::index`]) — the
+    /// observable signal for which stages convoy under load.
+    pub joins_by_stage: [u64; STAGE_COUNT],
     /// Computations actually executed, per stage (indexed by
     /// [`Stage::index`]).
     pub executions: [u64; STAGE_COUNT],
+    /// Memory-tier eviction counters and residency.
+    pub evict: EvictStats,
+    /// Disk-tier counters (zero when no persistent tier is attached).
+    pub disk: DiskStats,
 }
 
 impl StoreStats {
@@ -64,98 +107,150 @@ impl StoreStats {
     }
 }
 
-/// The concurrent artifact store.
-#[derive(Default)]
+/// Configuration for a [`Store`]: memory bounds plus an optional
+/// persistent tier.
+#[derive(Clone, Default)]
+pub struct StoreConfig {
+    /// Memory-tier bounds (unbounded by default).
+    pub evict: EvictConfig,
+    /// Persistent tier, layered under memory (none by default).
+    pub tier: Option<Arc<dyn ArtifactTier>>,
+}
+
+struct Inner {
+    lru: Lru,
+    inflight: HashMap<Key, Arc<Flight>>,
+}
+
+/// The concurrent tiered artifact store.
 pub struct Store {
-    map: Mutex<HashMap<Key, Slot>>,
+    inner: Mutex<Inner>,
+    tier: Option<Arc<dyn ArtifactTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     joins: AtomicU64,
+    joins_by_stage: [AtomicU64; STAGE_COUNT],
     executions: [AtomicU64; STAGE_COUNT],
 }
 
+impl Default for Store {
+    fn default() -> Self {
+        Store::with_config(StoreConfig::default())
+    }
+}
+
 impl Store {
-    /// An empty store.
+    /// An unbounded, memory-only store (PR 1 behaviour).
     pub fn new() -> Store {
         Store::default()
     }
 
-    /// Number of completed entries currently cached.
-    pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .unwrap()
-            .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
-            .count()
+    /// A store with the given memory bounds and persistent tier.
+    pub fn with_config(cfg: StoreConfig) -> Store {
+        Store {
+            inner: Mutex::new(Inner {
+                lru: Lru::new(cfg.evict),
+                inflight: HashMap::new(),
+            }),
+            tier: cfg.tier,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            joins_by_stage: Default::default(),
+            executions: Default::default(),
+        }
     }
 
-    /// Is the store empty?
+    /// Number of completed entries currently resident in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().lru.len()
+    }
+
+    /// Is the memory tier empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drop every cached entry (counters are preserved).
+    /// Drop every memory-tier entry (counters and the persistent tier
+    /// are preserved — a cleared store re-warms from disk).
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.inner.lock().unwrap().lru.clear();
+    }
+
+    /// Block until the persistent tier has written everything queued.
+    pub fn flush(&self) {
+        if let Some(tier) = &self.tier {
+            tier.flush();
+        }
     }
 
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
         let mut executions = [0u64; STAGE_COUNT];
-        for (i, e) in self.executions.iter().enumerate() {
-            executions[i] = e.load(Ordering::Relaxed);
+        let mut joins_by_stage = [0u64; STAGE_COUNT];
+        for i in 0..STAGE_COUNT {
+            executions[i] = self.executions[i].load(Ordering::Relaxed);
+            joins_by_stage[i] = self.joins_by_stage[i].load(Ordering::Relaxed);
         }
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             joins: self.joins.load(Ordering::Relaxed),
+            joins_by_stage,
             executions,
+            evict: self.inner.lock().unwrap().lru.stats(),
+            disk: self.tier.as_ref().map(|t| t.stats()).unwrap_or_default(),
         }
     }
 
-    /// Look `key` up; on a miss, run `compute` (exactly once across all
-    /// concurrent callers) and cache its result. Returns the value and
-    /// whether it was served without running `compute` on this call
-    /// (a cache hit or a single-flight join).
+    /// Look `key` up through the tiers; on a full miss, run `compute`
+    /// (exactly once across all concurrent callers) and cache its
+    /// result. Returns the value and whether it was served without
+    /// running `compute` on this call (a memory/disk hit or a
+    /// single-flight join).
     pub fn get_or_compute(
         &self,
         key: Key,
         compute: impl FnOnce() -> CacheValue,
     ) -> (CacheValue, bool) {
         let flight = {
-            let mut map = self.map.lock().unwrap();
-            match map.get(&key) {
-                Some(Slot::Ready(v)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (v.clone(), true);
-                }
-                Some(Slot::InFlight(f)) => {
-                    let f = Arc::clone(f);
-                    drop(map);
-                    self.joins.fetch_add(1, Ordering::Relaxed);
-                    let mut slot = f.result.lock().unwrap();
-                    while slot.is_none() {
-                        slot = f.done.wait(slot).unwrap();
-                    }
-                    return (slot.as_ref().unwrap().clone(), true);
-                }
-                None => {
-                    let f = Arc::new(Flight {
-                        result: Mutex::new(None),
-                        done: Condvar::new(),
-                    });
-                    map.insert(key, Slot::InFlight(Arc::clone(&f)));
-                    f
-                }
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(v) = inner.lru.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (v, true);
             }
+            if let Some(f) = inner.inflight.get(&key) {
+                let f = Arc::clone(f);
+                drop(inner);
+                self.joins.fetch_add(1, Ordering::Relaxed);
+                self.joins_by_stage[key.stage.index()].fetch_add(1, Ordering::Relaxed);
+                let mut slot = f.result.lock().unwrap();
+                while slot.is_none() {
+                    slot = f.done.wait(slot).unwrap();
+                }
+                return (slot.as_ref().unwrap().clone(), true);
+            }
+            let f = Arc::new(Flight {
+                result: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            inner.inflight.insert(key, Arc::clone(&f));
+            f
         };
 
-        // We are the designated computer for this key. A panicking
-        // compute must still resolve the flight — otherwise the InFlight
-        // slot wedges this key forever and every joiner (present and
-        // future) blocks on the condvar. Convert panics into cached
-        // internal diagnostics instead.
+        // We are the designated fetcher for this key. Read through the
+        // persistent tier first: joiners benefit either way.
+        if let Some(tier) = &self.tier {
+            if let Some(value) = tier.load(&key) {
+                self.publish(key, &flight, value.clone());
+                return (value, true);
+            }
+        }
+
+        // Full miss: compute. A panicking compute must still resolve the
+        // flight — otherwise the in-flight slot wedges this key forever
+        // and every joiner (present and future) blocks on the condvar.
+        // Convert panics into cached internal diagnostics instead.
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.executions[key.stage.index()].fetch_add(1, Ordering::Relaxed);
         let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute)).unwrap_or_else(
@@ -166,7 +261,7 @@ impl Store {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "compiler panicked".to_string());
                 Err(Diagnostic {
-                    phase: dahlia_core::diag::Phase::Internal,
+                    phase: Phase::Internal,
                     code: "internal/panic",
                     message: msg,
                     span: dahlia_core::Span::synthetic(),
@@ -174,14 +269,34 @@ impl Store {
             },
         );
 
-        let mut map = self.map.lock().unwrap();
-        map.insert(key, Slot::Ready(value.clone()));
-        drop(map);
+        // Write-behind to the persistent tier — but never persist
+        // internal diagnostics: a caught panic is a tooling bug, not a
+        // property of the program, and must not outlive the process.
+        if let Some(tier) = &self.tier {
+            let internal = matches!(&value, Err(d) if d.phase == Phase::Internal);
+            if !internal {
+                tier.store(&key, &value);
+            }
+        }
+        self.publish(key, &flight, value.clone());
+        (value, false)
+    }
+
+    /// Install a resolved value: memory tier, then wake all joiners.
+    fn publish(&self, key: Key, flight: &Arc<Flight>, value: CacheValue) {
+        // Size the entry before taking the lock: the weight estimate can
+        // pretty-print an AST, which must not run inside the critical
+        // section every worker contends on.
+        let bytes = crate::evict::weight(&value);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.inflight.remove(&key);
+            inner.lru.insert_weighted(key, value.clone(), bytes);
+        }
         let mut slot = flight.result.lock().unwrap();
-        *slot = Some(value.clone());
+        *slot = Some(value);
         drop(slot);
         flight.done.notify_all();
-        (value, false)
     }
 }
 
@@ -214,6 +329,7 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.joins), (1, 1, 0));
         assert_eq!(s.executions[Stage::Parse.index()], 1);
         assert_eq!(store.len(), 1);
+        assert!(s.evict.resident_bytes > 0);
     }
 
     #[test]
@@ -239,6 +355,47 @@ mod tests {
     }
 
     #[test]
+    fn bounded_store_evicts_and_recomputes() {
+        let store = Store::with_config(StoreConfig {
+            evict: EvictConfig::unbounded().entries(2),
+            tier: None,
+        });
+        let _ = store.get_or_compute(key(1), value);
+        let _ = store.get_or_compute(key(2), value);
+        let _ = store.get_or_compute(key(1), value); // touch: 2 is now LRU
+        let _ = store.get_or_compute(key(3), value); // evicts 2
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evict.evictions, 1);
+        let (_, cached) = store.get_or_compute(key(1), || panic!("1 was touched"));
+        assert!(cached);
+        let (_, cached) = store.get_or_compute(key(2), value);
+        assert!(!cached, "evicted key recomputes");
+    }
+
+    #[test]
+    fn joins_are_counted_per_stage() {
+        let store = Arc::new(Store::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    store.get_or_compute(key(11), || {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        value()
+                    })
+                });
+            }
+        });
+        let s = store.stats();
+        assert_eq!(s.joins_by_stage.iter().sum::<u64>(), s.joins);
+        assert_eq!(s.joins_by_stage[Stage::Parse.index()], s.joins);
+        assert_eq!(s.joins_by_stage[Stage::Check.index()], 0);
+    }
+
+    #[test]
     fn panicking_compute_resolves_the_flight() {
         let store = Arc::new(Store::new());
         let k = key(13);
@@ -258,7 +415,7 @@ mod tests {
         assert!(!cached);
         let d = v.unwrap_err();
         assert_eq!(d.code, "internal/panic");
-        assert_eq!(d.phase, dahlia_core::diag::Phase::Internal);
+        assert_eq!(d.phase, Phase::Internal);
         assert!(d.message.contains("compiler bug 42"), "{}", d.message);
         let (jv, jcached) = joiner.join().expect("joiner released");
         assert!(jcached);

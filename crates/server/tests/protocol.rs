@@ -149,17 +149,45 @@ fn stats_line_and_protocol_errors() {
             "hits",
             "misses",
             "joins",
-            "executions"
+            "joins_by_stage",
+            "executions",
+            "evict",
+            "disk"
         ]
     );
     assert_eq!(s.get("requests").and_then(Json::as_u64), Some(1));
+    let stage_keys = vec!["parse", "check", "desugar", "lower", "cpp", "est"];
     let ex = s.get("executions").unwrap();
-    assert_eq!(
-        ex.keys(),
-        vec!["parse", "check", "desugar", "lower", "cpp", "est"]
-    );
+    assert_eq!(ex.keys(), stage_keys);
     assert_eq!(ex.get("parse").and_then(Json::as_u64), Some(1));
     assert_eq!(ex.get("cpp").and_then(Json::as_u64), Some(0));
+    // Per-stage join accounting is part of the contract (eviction
+    // tuning reads it), even when everything here is zero.
+    let joins = s.get("joins_by_stage").unwrap();
+    assert_eq!(joins.keys(), stage_keys);
+    assert_eq!(joins.get("check").and_then(Json::as_u64), Some(0));
+    let evict = s.get("evict").unwrap();
+    assert_eq!(
+        evict.keys(),
+        vec![
+            "evictions",
+            "evicted_bytes",
+            "resident_entries",
+            "resident_bytes"
+        ]
+    );
+    assert_eq!(evict.get("evictions").and_then(Json::as_u64), Some(0));
+    assert!(evict.get("resident_bytes").and_then(Json::as_u64).unwrap() > 0);
+    let disk = s.get("disk").unwrap();
+    assert_eq!(
+        disk.keys(),
+        vec!["hits", "misses", "corrupt", "writes", "write_errors"]
+    );
+    assert_eq!(
+        disk.get("hits").and_then(Json::as_u64),
+        Some(0),
+        "stdio serve has no disk tier"
+    );
 }
 
 #[test]
