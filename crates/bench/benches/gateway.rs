@@ -1,0 +1,63 @@
+//! Cluster scaling benches: the MachSuite batch through 1/2/4-shard
+//! gateways, plus the degenerate local-fallback path.
+//!
+//! The headline comparison is `gateway/cold_batch_1shard` vs
+//! `..._2shard` vs `..._4shard` — throughput scaling of compile work
+//! behind one front door — and `gateway/warm_batch_2shard`, the
+//! cache-locality dividend of rendezvous routing (every request is a
+//! warm hit on the shard that compiled it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dahlia_bench::cluster::{
+    cluster_batch, drive, machsuite_requests, shutdown_shards, spawn_shards,
+};
+use dahlia_gateway::GatewayConfig;
+
+const SHARD_THREADS: usize = 2;
+const SUBMITTERS: usize = 8;
+
+fn bench_cold_scaling(c: &mut Criterion) {
+    for shards in [1usize, 2, 4] {
+        c.bench_function(&format!("gateway/cold_batch_{shards}shard"), |b| {
+            b.iter(|| {
+                // A full cluster per iteration: spawn, cold batch, tear
+                // down — the measured unit is "stand up and serve".
+                cluster_batch(shards, SHARD_THREADS, SUBMITTERS).cold_wall_us
+            })
+        });
+    }
+}
+
+fn bench_warm_batches(c: &mut Criterion) {
+    for shards in [1usize, 2, 4] {
+        let cluster = spawn_shards(shards, SHARD_THREADS);
+        let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+        let requests = machsuite_requests();
+        drive(&gateway, &requests, SUBMITTERS); // warm every shard once
+        c.bench_function(&format!("gateway/warm_batch_{shards}shard"), |b| {
+            b.iter(|| drive(&gateway, &requests, SUBMITTERS))
+        });
+        drop(gateway);
+        shutdown_shards(cluster);
+    }
+}
+
+fn bench_local_fallback(c: &mut Criterion) {
+    // The empty-cluster degenerate case: every request compiles in the
+    // gateway's embedded server. The floor the cluster must beat.
+    let gateway = GatewayConfig::new(Vec::<String>::new()).build();
+    let requests = machsuite_requests();
+    drive(&gateway, &requests, SUBMITTERS);
+    c.bench_function("gateway/warm_batch_local_fallback", |b| {
+        b.iter(|| drive(&gateway, &requests, SUBMITTERS))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cold_scaling,
+    bench_warm_batches,
+    bench_local_fallback
+);
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! type checking, lowering, estimation, scheduling, and Pareto filtering.
 
 pub mod ablation;
+pub mod cluster;
 pub mod fig11;
 pub mod fig4;
 pub mod fig7;

@@ -8,6 +8,7 @@
 //! dahliac lower  <file.fuse>          dump the lowered kernel IR
 //! dahliac serve  [opts]               JSON-lines compile service (stdio or TCP)
 //! dahliac batch  [opts] [files...]    compile a batch through the service
+//! dahliac gateway [opts]              sharded cluster front-end over shards
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
@@ -17,7 +18,10 @@
 //! (or `DAHLIA_CACHE_DIR`): a warm directory lets a fresh process answer
 //! without running any pipeline stage. `serve --listen <addr>` exposes
 //! the protocol over TCP with pipelined, out-of-order responses; `batch
-//! --connect <addr>` drives such a server remotely.
+//! --connect <addr>` drives such a server remotely; `gateway --listen
+//! <addr> --shards a1,a2,…` routes requests across many servers by
+//! source digest (rendezvous hashing), with failover and an in-process
+//! fallback when the cluster is empty.
 //!
 //! Exit codes are distinct per failure phase so scripts and test
 //! harnesses can tell rejection modes apart without scraping stderr:
@@ -26,28 +30,36 @@
 //! |---|---|
 //! | 0 | success |
 //! | 1 | runtime failure (interpreter error, batch item failed) |
-//! | 2 | usage or I/O error (including network failures) |
+//! | 2 | usage or local I/O error |
 //! | 3 | lex/parse error |
 //! | 4 | affine type error |
+//! | 5 | network error (connect/serve failures over the socket transport) |
 
 use std::collections::HashMap;
-use std::io::Read as _;
+use std::io::{BufRead as _, Read as _};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use dahlia_backend::{emit_cpp, lower};
 use dahlia_core::{interp, parse, typecheck, Error};
+use dahlia_gateway::GatewayConfig;
 use dahlia_server::json::{obj, Json};
-use dahlia_server::{serve_listener, Client, Request, Server, ServerConfig, Stage};
+use dahlia_server::{
+    metrics, serve_listener, serve_sessions, Client, Request, Server, ServerConfig, SessionHost,
+    Stage,
+};
 
 /// Runtime failure (interpreter, failed batch item).
 const EXIT_RUNTIME: u8 = 1;
-/// Bad usage or I/O failure.
+/// Bad usage or local I/O failure.
 const EXIT_USAGE: u8 = 2;
 /// Lexical or syntax error in the input program.
 const EXIT_PARSE: u8 = 3;
 /// Time-sensitive affine type error.
 const EXIT_TYPE: u8 = 4;
+/// Network failure: could not connect to, talk to, or keep serving a
+/// socket peer.
+const EXIT_NET: u8 = 5;
 
 const USAGE: &str = "usage: dahliac <command> [args]
 
@@ -58,21 +70,36 @@ const USAGE: &str = "usage: dahliac <command> [args]
   dahliac lower  <file.fuse>          dump the lowered kernel IR
   dahliac serve  [--listen ADDR] [--pipeline] [--threads N]
                  [--cache-dir DIR] [--max-entries N] [--max-bytes N]
+                 [--cache-gc-max-bytes N] [--metrics ADDR]
                                       JSON-lines compile service: stdio by
                                       default (strict order), `--pipeline`
                                       for out-of-order stdio responses,
                                       `--listen` for a pipelined TCP server
-                                      (stop it with {\"op\":\"shutdown\"})
+                                      (stop it with {\"op\":\"shutdown\"});
+                                      --metrics serves GET /metrics
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
                  [--cache-dir DIR] [--connect ADDR] [--shutdown]
                  [--verbose] [files...]
                                       compile a batch through the service
                                       (in-process by default; --connect
-                                      drives a remote `serve --listen`)
+                                      drives a remote `serve --listen`;
+                                      --shutdown with no inputs just stops
+                                      the remote)
+  dahliac gateway --listen ADDR [--shards a1,a2,...] [--spawn-workers N]
+                 [--threads N] [--metrics ADDR]
+                                      cluster front-end: routes requests
+                                      across `serve --listen` shards by
+                                      source digest (rendezvous hashing),
+                                      re-routing on shard failure and
+                                      compiling locally when the cluster
+                                      is empty; --spawn-workers forks N
+                                      local shard processes on ephemeral
+                                      ports
 
   <file.fuse> may be `-` for stdin.
-  --cache-dir (or DAHLIA_CACHE_DIR) persists artifacts across processes.
-  exit codes: 0 ok, 1 runtime, 2 usage/io, 3 parse error, 4 type error";
+  --cache-dir (or DAHLIA_CACHE_DIR) persists artifacts across processes;
+  --cache-gc-max-bytes prunes the oldest artifacts past the budget.
+  exit codes: 0 ok, 1 runtime, 2 usage/io, 3 parse, 4 type, 5 network";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +110,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "gateway" => cmd_gateway(&args[1..]),
         "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -277,13 +305,20 @@ struct ServiceOpts {
     cache_dir_flag: Option<String>,
     max_entries: Option<usize>,
     max_bytes: Option<usize>,
+    cache_gc_max_bytes: Option<usize>,
 }
 
 impl ServiceOpts {
     /// Pull the shared flags out of `args`.
     fn take(args: &mut Vec<String>) -> Result<ServiceOpts, ExitCode> {
         let mut flags = Vec::new();
-        for f in ["--threads", "--cache-dir", "--max-entries", "--max-bytes"] {
+        for f in [
+            "--threads",
+            "--cache-dir",
+            "--max-entries",
+            "--max-bytes",
+            "--cache-gc-max-bytes",
+        ] {
             match take_flag(args, f) {
                 Ok(v) => flags.push(v),
                 Err(e) => {
@@ -292,12 +327,13 @@ impl ServiceOpts {
                 }
             }
         }
-        let [threads, cache_dir, max_entries, max_bytes] = flags.try_into().unwrap();
+        let [threads, cache_dir, max_entries, max_bytes, gc_max] = flags.try_into().unwrap();
         Ok(ServiceOpts {
             threads: parse_positive("--threads", threads)?,
             cache_dir_flag: cache_dir,
             max_entries: parse_positive("--max-entries", max_entries)?,
             max_bytes: parse_positive("--max-bytes", max_bytes)?,
+            cache_gc_max_bytes: parse_positive("--cache-gc-max-bytes", gc_max)?,
         })
     }
 
@@ -313,6 +349,8 @@ impl ServiceOpts {
             Some("--max-entries")
         } else if self.max_bytes.is_some() {
             Some("--max-bytes")
+        } else if self.cache_gc_max_bytes.is_some() {
+            Some("--cache-gc-max-bytes")
         } else {
             None
         }
@@ -338,6 +376,9 @@ impl ServiceOpts {
         if let Some(n) = self.max_bytes {
             cfg = cfg.max_bytes(n);
         }
+        if let Some(n) = self.cache_gc_max_bytes {
+            cfg = cfg.cache_gc_max_bytes(n as u64);
+        }
         cfg.build().map_err(|e| {
             eprintln!("dahliac: cannot open cache directory: {e}");
             ExitCode::from(EXIT_USAGE)
@@ -345,12 +386,37 @@ impl ServiceOpts {
     }
 }
 
+/// Bind and start the `--metrics` HTTP endpoint, announcing its
+/// resolved address on stderr (scripts read it like the listen line).
+fn start_metrics(
+    addr: &str,
+    host: std::sync::Arc<impl SessionHost + 'static>,
+) -> Result<(), ExitCode> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| {
+        eprintln!("dahliac: cannot bind metrics endpoint `{addr}`: {e}");
+        ExitCode::from(EXIT_USAGE)
+    })?;
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    metrics::spawn(listener, std::sync::Arc::new(move || host.stats_json())).map_err(|e| {
+        eprintln!("dahliac: cannot start metrics thread: {e}");
+        ExitCode::from(EXIT_USAGE)
+    })?;
+    eprintln!("dahliac: metrics on {local}");
+    Ok(())
+}
+
 /// `dahliac serve`: the JSON-lines protocol over stdio or TCP.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let listen = match take_flag(&mut args, "--listen") {
-        Ok(v) => v,
-        Err(e) => {
+    let (listen, metrics_addr) = match (
+        take_flag(&mut args, "--listen"),
+        take_flag(&mut args, "--metrics"),
+    ) {
+        (Ok(l), Ok(m)) => (l, m),
+        (Err(e), _) | (_, Err(e)) => {
             eprintln!("dahliac: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -383,9 +449,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         opts
     };
     let server = match opts.build() {
-        Ok(s) => s,
+        Ok(s) => std::sync::Arc::new(s),
         Err(code) => return code,
     };
+    if let Some(addr) = &metrics_addr {
+        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&server)) {
+            return code;
+        }
+    }
 
     if let Some(addr) = listen {
         let listener = match std::net::TcpListener::bind(&addr) {
@@ -400,7 +471,6 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "dahliac serve: listening on {}",
             local.as_deref().unwrap_or(&addr)
         );
-        let server = std::sync::Arc::new(server);
         return match serve_listener(std::sync::Arc::clone(&server), listener) {
             Ok(summary) => {
                 server.flush();
@@ -415,7 +485,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("dahliac serve: I/O error: {e}");
-                ExitCode::from(EXIT_USAGE)
+                ExitCode::from(EXIT_NET)
             }
         };
     }
@@ -443,6 +513,228 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("dahliac serve: I/O error: {e}");
             ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+/// A `dahliac serve` child forked by `gateway --spawn-workers`.
+struct SpawnedWorker {
+    child: std::process::Child,
+    addr: String,
+}
+
+/// Fork `n` local shard processes (`dahliac serve --listen 127.0.0.1:0`)
+/// and learn each one's ephemeral address from its announce line.
+fn spawn_local_workers(n: usize, threads: Option<usize>) -> Result<Vec<SpawnedWorker>, ExitCode> {
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().map_err(|e| {
+        eprintln!("dahliac: cannot locate own binary to fork workers: {e}");
+        ExitCode::from(EXIT_USAGE)
+    })?;
+    let mut workers = Vec::new();
+    for i in 0..n {
+        let mut cmd = Command::new(&exe);
+        cmd.args(["serve", "--listen", "127.0.0.1:0"]);
+        if let Some(t) = threads {
+            cmd.args(["--threads", &t.to_string()]);
+        }
+        let spawned = cmd.stdin(Stdio::null()).stderr(Stdio::piped()).spawn();
+        let mut child = match spawned {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dahliac: cannot spawn worker {i}: {e}");
+                shutdown_workers(&mut workers);
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        };
+        // Scan the worker's stderr for its announce line on a helper
+        // thread with a deadline: a worker wedged before binding (e.g.
+        // an unreachable inherited DAHLIA_CACHE_DIR) must fail gateway
+        // startup loudly, not hang it, and any lines the worker prints
+        // *before* the announce (warnings, a metrics line some day)
+        // must not break address capture. The same thread keeps
+        // draining stderr afterwards — pass-through, never a full pipe.
+        let mut stderr = std::io::BufReader::new(child.stderr.take().expect("piped stderr"));
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            let mut announced = false;
+            loop {
+                let mut line = String::new();
+                match stderr.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                if !announced {
+                    if let Some((_, addr)) = line.split_once("listening on ") {
+                        announced = true;
+                        let _ = tx.send(addr.trim().to_string());
+                        // The announce is consumed (the gateway prints
+                        // its own worker line); everything else passes
+                        // through.
+                        continue;
+                    }
+                }
+                eprint!("{line}");
+            }
+        });
+        let addr = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .ok()
+            .filter(|a| !a.is_empty());
+        let Some(addr) = addr else {
+            eprintln!("dahliac: worker {i} failed to announce its address in time");
+            let _ = child.kill();
+            let _ = child.wait();
+            shutdown_workers(&mut workers);
+            return Err(ExitCode::from(EXIT_USAGE));
+        };
+        eprintln!("dahliac gateway: worker {i} on {addr} (pid {})", child.id());
+        workers.push(SpawnedWorker { child, addr });
+    }
+    Ok(workers)
+}
+
+/// Stop every spawned worker: graceful protocol shutdown first, a kill
+/// for anything that does not wind down in time.
+fn shutdown_workers(workers: &mut Vec<SpawnedWorker>) {
+    for w in workers.iter_mut() {
+        if let Ok(mut c) = Client::connect_retry(w.addr.as_str(), 3) {
+            let _ = c.shutdown_server();
+        }
+    }
+    for w in workers.iter_mut() {
+        let mut stopped = false;
+        for _ in 0..50 {
+            if matches!(w.child.try_wait(), Ok(Some(_))) {
+                stopped = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        if !stopped {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+    workers.clear();
+}
+
+/// `dahliac gateway`: the sharded cluster front-end.
+fn cmd_gateway(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let (listen, shards_flag, spawn_raw, threads_raw, metrics_addr) = match (
+        take_flag(&mut args, "--listen"),
+        take_flag(&mut args, "--shards"),
+        take_flag(&mut args, "--spawn-workers"),
+        take_flag(&mut args, "--threads"),
+        take_flag(&mut args, "--metrics"),
+    ) {
+        (Ok(l), Ok(s), Ok(w), Ok(t), Ok(m)) => (l, s, w, t, m),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _, _) | (.., Err(e), _) | (.., Err(e)) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if !args.is_empty() {
+        eprintln!("dahliac: gateway takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(listen) = listen else {
+        eprintln!("dahliac: gateway needs --listen\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let threads = match parse_positive("--threads", threads_raw) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let spawn_workers = match parse_positive("--spawn-workers", spawn_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+
+    let mut shard_addrs: Vec<String> = shards_flag
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut workers = Vec::new();
+    if let Some(n) = spawn_workers {
+        match spawn_local_workers(n, threads) {
+            Ok(ws) => {
+                shard_addrs.extend(ws.iter().map(|w| w.addr.clone()));
+                workers = ws;
+            }
+            Err(code) => return code,
+        }
+    }
+    if shard_addrs.is_empty() {
+        eprintln!("dahliac: gateway needs shards (--shards and/or --spawn-workers)\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let mut cfg = GatewayConfig::new(shard_addrs);
+    if let Some(t) = threads {
+        cfg = cfg.threads(t);
+    }
+    let gateway = std::sync::Arc::new(cfg.build());
+    if let Some(addr) = &metrics_addr {
+        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&gateway)) {
+            shutdown_workers(&mut workers);
+            return code;
+        }
+    }
+    let listener = match std::net::TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dahliac: cannot listen on `{listen}`: {e}");
+            shutdown_workers(&mut workers);
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let local = listener.local_addr().map(|a| a.to_string());
+    eprintln!(
+        "dahliac gateway: listening on {} ({} shards, {} live)",
+        local.as_deref().unwrap_or(&listen),
+        gateway.shard_count(),
+        gateway.live_shards(),
+    );
+
+    let served = serve_sessions(std::sync::Arc::clone(&gateway), listener);
+    // Snapshot shard state before stopping spawned workers, so the
+    // summary reflects the serving run, not the teardown.
+    let snapshots = gateway.shard_snapshots();
+    shutdown_workers(&mut workers);
+    match served {
+        Ok(summary) => {
+            eprintln!(
+                "dahliac gateway: {} connections, {} lines, {} protocol errors; \
+                 {} requests ({} rerouted, {} local fallbacks)",
+                summary.connections,
+                summary.lines,
+                summary.protocol_errors,
+                gateway.requests(),
+                gateway.rerouted(),
+                gateway.local_fallbacks(),
+            );
+            for s in snapshots {
+                eprintln!(
+                    "dahliac gateway: shard {} {}: {} routed, {} failed, {} retried",
+                    s.addr,
+                    if s.alive { "up" } else { "down" },
+                    s.routed,
+                    s.failed,
+                    s.retried,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dahliac gateway: I/O error: {e}");
+            ExitCode::from(EXIT_NET)
         }
     }
 }
@@ -573,6 +865,20 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
 
+    // `--shutdown` with no inputs is a pure control action: stop the
+    // remote (server or gateway) without compiling anything.
+    if shutdown && !use_kernels && args.is_empty() {
+        let addr = connect.expect("checked above");
+        return match Client::connect_retry(addr.as_str(), 50).and_then(|mut c| c.shutdown_server())
+        {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("dahliac: cannot shut down `{addr}`: {e}");
+                ExitCode::from(EXIT_NET)
+            }
+        };
+    }
+
     let programs = match batch_programs(use_kernels, &args) {
         Ok(p) => p,
         Err(code) => return code,
@@ -652,7 +958,7 @@ fn batch_over_tcp(
         Ok(c) => c,
         Err(e) => {
             eprintln!("dahliac: cannot connect to `{addr}`: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            return ExitCode::from(EXIT_NET);
         }
     };
 
@@ -695,7 +1001,7 @@ fn batch_over_tcp(
             for _ in 0..n {
                 let Some(line) = client.recv_line()? else {
                     eprintln!("dahliac: server closed the connection mid-round");
-                    return Ok(ExitCode::from(EXIT_USAGE));
+                    return Ok(ExitCode::from(EXIT_NET));
                 };
                 if verbose {
                     println!("{line}");
@@ -739,7 +1045,7 @@ fn batch_over_tcp(
         Ok(code) => code,
         Err(e) => {
             eprintln!("dahliac: network error talking to `{addr}`: {e}");
-            ExitCode::from(EXIT_USAGE)
+            ExitCode::from(EXIT_NET)
         }
     }
 }

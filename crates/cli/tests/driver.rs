@@ -360,14 +360,10 @@ fn warm_disk_cache_survives_process_restart() {
 /// driven by `batch --connect`, shut down gracefully over the protocol.
 #[test]
 fn batch_connect_drives_a_listening_server() {
-    let port = 21000 + std::process::id() % 20000;
-    let addr = format!("127.0.0.1:{port}");
-    let mut server = Command::new(env!("CARGO_BIN_EXE_dahliac"))
-        .args(["serve", "--listen", &addr, "--threads", "2"])
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("server spawns");
+    let (mut server, addr) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
 
     let (out, err, code) = run_code(&[
         "batch",
@@ -390,4 +386,241 @@ fn batch_connect_drives_a_listening_server() {
     // --shutdown stopped the server gracefully: it exits 0 on its own.
     let status = server.wait().expect("server exits");
     assert!(status.success(), "server exit: {status:?}");
+}
+
+/// Spawn a `dahliac` child with piped stderr, scanning its stderr lines
+/// until `pattern` appears; returns the child, the captured value after
+/// `pattern` on that line, and a drain thread keeping the pipe empty.
+fn spawn_scan_all(args: &[&str], patterns: &[&str]) -> (std::process::Child, Vec<String>) {
+    use std::io::BufRead as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dahliac"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dahliac spawns");
+    let mut reader = std::io::BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut captured: Vec<Option<String>> = vec![None; patterns.len()];
+    for _ in 0..64 {
+        if captured.iter().all(Option::is_some) {
+            break;
+        }
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        for (slot, pattern) in captured.iter_mut().zip(patterns) {
+            if slot.is_none() {
+                if let Some((_, rest)) = line.split_once(pattern) {
+                    *slot = Some(rest.split_whitespace().next().unwrap().to_string());
+                }
+            }
+        }
+    }
+    let captured: Vec<String> = captured
+        .into_iter()
+        .zip(patterns)
+        .map(|(c, p)| c.unwrap_or_else(|| panic!("child never printed `{p}`")))
+        .collect();
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    (child, captured)
+}
+
+fn spawn_scan(args: &[&str], pattern: &str) -> (std::process::Child, String) {
+    let (child, mut captured) = spawn_scan_all(args, &[pattern]);
+    (child, captured.remove(0))
+}
+
+/// Satellite: network failures exit 5, distinct from local usage/io (2).
+#[test]
+fn network_errors_exit_5() {
+    // A "server" that accepts and immediately hangs up: the client
+    // connects fine, then every read sees EOF mid-protocol.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            drop(conn);
+        }
+    });
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &addr]);
+    assert_eq!(code, 5, "mid-protocol hangup is a network error: {err}");
+    assert!(
+        err.contains("network error") || err.contains("closed the connection"),
+        "{err}"
+    );
+}
+
+/// Tentpole end-to-end: a gateway over two forked workers serves the
+/// MachSuite batch, pins sources across rounds (warm round recomputes
+/// nothing), exposes /metrics, and winds down cleanly — workers
+/// included — from one shutdown op.
+#[test]
+fn gateway_spawns_workers_and_serves_batches() {
+    use std::io::{Read as _, Write as _};
+    // Ephemeral ports everywhere: the gateway announces both addresses
+    // on stderr ("metrics on …" precedes "gateway: listening on …").
+    let (mut gateway, captured) = spawn_scan_all(
+        &[
+            "gateway",
+            "--listen",
+            "127.0.0.1:0",
+            "--spawn-workers",
+            "2",
+            "--metrics",
+            "127.0.0.1:0",
+        ],
+        &["metrics on ", "gateway: listening on "],
+    );
+    let (metrics, addr) = (captured[0].clone(), captured[1].clone());
+
+    // Cold batch: everything compiles, split across the two workers.
+    let (out, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &addr]);
+    assert_eq!(code, 0, "cold batch failed: {err}\n{out}");
+    assert!(out.contains(r#""ok":16"#), "{out}");
+
+    // Warm batch through the same gateway: rendezvous pins every source
+    // to the shard that already compiled it — zero misses anywhere.
+    let (out, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &addr]);
+    assert_eq!(code, 0, "warm batch failed: {err}\n{out}");
+    let round = out.lines().next().unwrap();
+    assert!(
+        round.contains(r#""misses":0"#),
+        "warm round recomputed: {round}"
+    );
+    let summary = dahlia_server::json::Json::parse(out.lines().last().unwrap()).unwrap();
+    let stats = summary.get("batch").and_then(|b| b.get("stats")).unwrap();
+    let shards = stats
+        .get("gateway")
+        .and_then(|g| g.get("shards"))
+        .expect("per-shard stats in the aggregate");
+    let dahlia_server::json::Json::Arr(shards) = shards else {
+        panic!("shards is an array")
+    };
+    assert_eq!(shards.len(), 2);
+    for s in shards {
+        assert_eq!(s.get("alive").and_then(|v| v.as_bool()), Some(true));
+        assert!(
+            s.get("routed").and_then(|v| v.as_u64()).unwrap() > 0,
+            "both shards participated: {out}"
+        );
+        assert_eq!(s.get("failed").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    // Satellite: GET /metrics serves the same aggregated stats object.
+    let mut http = std::net::TcpStream::connect(&metrics).expect("metrics reachable");
+    write!(http, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    http.read_to_string(&mut response).expect("metrics body");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("body").trim();
+    let v = dahlia_server::json::Json::parse(body).expect("metrics json");
+    assert!(v.get("gateway").is_some(), "{body}");
+
+    // Shutdown-only batch stops the gateway, which stops its workers.
+    let (_, err, code) = run_code(&["batch", "--connect", &addr, "--shutdown"]);
+    assert_eq!(code, 0, "shutdown-only batch: {err}");
+    let status = gateway.wait().expect("gateway exits");
+    assert!(status.success(), "gateway exit: {status:?}");
+}
+
+/// Acceptance: hard-killing a shard process mid-run loses no requests —
+/// the batch after the kill still answers everything, exit 0.
+#[test]
+fn gateway_survives_a_shard_hard_kill() {
+    let (mut shard_a, addr_a) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (mut shard_b, addr_b) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (mut gateway, gw_addr) = spawn_scan(
+        &[
+            "gateway",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            &format!("{addr_a},{addr_b}"),
+        ],
+        "gateway: listening on ",
+    );
+
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "cold cluster batch: {err}");
+
+    // SIGKILL shard A: no graceful drain, no goodbye. The gateway must
+    // re-route its keys to shard B and answer everything.
+    shard_a.kill().expect("kill shard A");
+    shard_a.wait().expect("reap shard A");
+    let (out, err, code) =
+        run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "post-kill batch failed: {err}\n{out}");
+    assert!(out.contains(r#""ok":16"#), "all requests answered: {out}");
+
+    let (_, _, code) = run_code(&["batch", "--connect", &gw_addr, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(gateway.wait().expect("gateway exits").success());
+    let (_, _, code) = run_code(&["batch", "--connect", &addr_b, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(shard_b.wait().expect("shard B exits").success());
+}
+
+/// Satellite: `--cache-gc-max-bytes` keeps a serve cache directory
+/// bounded and reports what it pruned.
+#[test]
+fn serve_cache_gc_bounds_the_directory() {
+    let dir = std::env::temp_dir().join(format!("dahliac-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // Fill the cache unbounded.
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--cache-dir", &dir_s]);
+    assert_eq!(code, 0, "{err}");
+    let full: u64 = dir_size(&dir);
+    assert!(full > 4096, "cache has substance: {full} bytes");
+
+    // A fresh process with a tight budget prunes at startup and says so.
+    let (out, err, code) = run_code(&[
+        "batch",
+        "--kernels",
+        "--repeat",
+        "1",
+        "--cache-dir",
+        &dir_s,
+        "--cache-gc-max-bytes",
+        "2048",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    let summary = dahlia_server::json::Json::parse(out.lines().last().unwrap()).unwrap();
+    let disk = summary
+        .get("batch")
+        .and_then(|b| b.get("stats"))
+        .and_then(|s| s.get("disk"))
+        .expect("disk stats");
+    assert!(
+        disk.get("pruned_bytes").and_then(|v| v.as_u64()).unwrap() > 0,
+        "GC reported nothing pruned: {out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn dir_size(p: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(rd) = std::fs::read_dir(p) {
+        for e in rd.flatten() {
+            let path = e.path();
+            if path.is_dir() {
+                total += dir_size(&path);
+            } else {
+                total += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
 }

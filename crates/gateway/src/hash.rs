@@ -1,0 +1,119 @@
+//! Rendezvous (highest-random-weight) hashing over shard addresses.
+//!
+//! Every request key — the request's **source digest** — scores each
+//! shard independently ([`score`]); the request belongs to the live
+//! shard with the highest score. Two properties make this the right
+//! shape for a compile cluster:
+//!
+//! * **cache locality** — a given source always lands on the same
+//!   shard while that shard is alive, so its warm artifacts live in
+//!   exactly one place instead of being recomputed everywhere;
+//! * **minimal disruption** — when a shard dies, only the keys it
+//!   owned move (each to its second-choice shard); every other key
+//!   keeps its owner, so a failure invalidates one shard's worth of
+//!   locality, never the whole cluster's. When the shard returns, the
+//!   same keys move straight back.
+//!
+//! Scores are 128-bit FNV digests over `(shard address, key)`, the
+//! same stable hash the content-addressed store uses — deterministic
+//! across processes, so an operator can predict placement offline.
+
+use hls_sim::digest::Fnv;
+
+/// The rendezvous score of `shard` for `key` (higher wins).
+pub fn score(key: u128, shard: &str) -> u128 {
+    let mut h = Fnv::new();
+    h.tag(b'g').str(shard).bytes(&key.to_le_bytes());
+    h.finish()
+}
+
+/// Shard indices in descending preference order for `key`: the first
+/// entry is the owner, the second is where the key fails over, and so
+/// on. Ties (astronomically unlikely) break toward the lower index.
+pub fn rank(key: u128, shards: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(score(key, &shards[i])));
+    order
+}
+
+/// The preferred shard for `key` among those `alive` — `rank`'s first
+/// surviving entry, without building the whole permutation.
+pub fn owner(key: u128, shards: &[String], alive: impl Fn(usize) -> bool) -> Option<usize> {
+    (0..shards.len())
+        .filter(|&i| alive(i))
+        .max_by_key(|&i| score(key, &shards[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:4500")).collect()
+    }
+
+    /// A cheap deterministic key stream.
+    fn keys(n: usize) -> impl Iterator<Item = u128> {
+        (0..n as u128).map(|i| {
+            let mut h = Fnv::new();
+            h.tag(b'k').bytes(&i.to_le_bytes());
+            h.finish()
+        })
+    }
+
+    #[test]
+    fn rank_is_a_permutation_and_owner_is_its_head() {
+        let s = shards(5);
+        for key in keys(200) {
+            let mut r = rank(key, &s);
+            assert_eq!(r[0], owner(key, &s, |_| true).unwrap());
+            r.sort_unstable();
+            assert_eq!(r, (0..5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let s = shards(4);
+        let n = 4000;
+        let mut counts = [0usize; 4];
+        for key in keys(n) {
+            counts[owner(key, &s, |_| true).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Expected 1000 per shard; FNV should stay well inside ±40%.
+            assert!((600..=1400).contains(&c), "shard {i} got {c}/{n}");
+        }
+    }
+
+    #[test]
+    fn keys_move_only_off_the_dead_shard() {
+        let s = shards(4);
+        for dead in 0..4 {
+            for key in keys(500) {
+                let before = owner(key, &s, |_| true).unwrap();
+                let after = owner(key, &s, |i| i != dead).unwrap();
+                if before == dead {
+                    // Displaced keys land on their second choice…
+                    assert_eq!(after, rank(key, &s)[1]);
+                } else {
+                    // …and everyone else stays put.
+                    assert_eq!(after, before);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_under_shard_list_extension() {
+        // Adding a shard only *steals* keys for the new shard; it never
+        // shuffles keys between existing shards.
+        let four = shards(4);
+        let five = shards(5);
+        for key in keys(500) {
+            let a = owner(key, &four, |_| true).unwrap();
+            let b = owner(key, &five, |_| true).unwrap();
+            assert!(b == a || b == 4, "key moved between old shards: {a}→{b}");
+        }
+    }
+}

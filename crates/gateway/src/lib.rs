@@ -1,0 +1,583 @@
+//! # dahlia-gateway
+//!
+//! A sharded, fault-tolerant cluster front-end for the Dahlia compile
+//! service. The pipeline is a deterministic function of the source
+//! text — which is what made content-addressed caching and a
+//! persistent networked server possible, and it is also exactly what
+//! makes the service *shardable*: any replica can answer any request,
+//! so the only interesting question is where each request's warm cache
+//! should live. The gateway answers it with **rendezvous hashing on
+//! the source digest** ([`hash`]): every source is pinned to one shard
+//! while that shard is alive, so sweeps and repeated traffic hit warm
+//! caches instead of recompiling on whichever replica the load
+//! balancer picked.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                    ┌────────────────────────┐   pooled, pipelined
+//!  clients ──TCP──►  │  Gateway (SessionHost) │ ──TCP──► shard a1 (dahliac serve --listen)
+//!  (dahliac batch)   │  · rendezvous router   │ ──TCP──► shard a2
+//!                    │  · health checker      │ ──TCP──► shard a3
+//!                    │  · local fallback      │
+//!                    └────────────────────────┘
+//! ```
+//!
+//! * One [`PipelinedClient`] per shard multiplexes every in-flight
+//!   request over a single TCP session, correlated by wire id.
+//! * A background health checker pings live shards and re-dials dead
+//!   ones; a failed request poisons its shard's client immediately, so
+//!   in-flight *and* future requests re-route to the next shard in
+//!   rendezvous order without waiting for the next health tick.
+//! * When no shard is reachable the gateway compiles **locally** in an
+//!   embedded [`Server`] — an empty cluster degrades to PR 2's single
+//!   process, never to an outage.
+//!
+//! The gateway is itself a [`SessionHost`], so
+//! [`dahlia_server::serve_sessions`] gives it the same TCP front end,
+//! graceful shutdown, and pipelined session semantics as `dahliac
+//! serve` — clients cannot tell a gateway from a server, which is the
+//! point.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dahlia_gateway::GatewayConfig;
+//! use dahlia_server::{Request, Stage};
+//!
+//! let gw = GatewayConfig::new(["10.0.0.1:4500", "10.0.0.2:4500"]).build();
+//! let resp = gw.submit(&Request::new("r1", Stage::Estimate, "let x = 1;", "k"));
+//! assert!(resp.get("id").is_some());
+//! ```
+
+pub mod hash;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use dahlia_server::json::{obj, Json};
+use dahlia_server::{source_digest, PipelinedClient, Pool, Request, Server, SessionHost};
+
+/// Configuration for a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    shards: Vec<String>,
+    threads: Option<usize>,
+    health_interval: Duration,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl GatewayConfig {
+    /// A gateway over the given shard addresses (each a `dahliac serve
+    /// --listen` endpoint). An empty list is legal: every request then
+    /// falls back to local compilation.
+    pub fn new<S: Into<String>>(shards: impl IntoIterator<Item = S>) -> GatewayConfig {
+        GatewayConfig {
+            shards: shards.into_iter().map(Into::into).collect(),
+            threads: None,
+            health_interval: Duration::from_millis(250),
+            connect_timeout: Duration::from_millis(1000),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Size of the gateway's dispatch pool (defaults to four slots per
+    /// shard, clamped to 4..=32). Dispatch threads spend their lives
+    /// blocked on shard I/O, so this bounds in-flight requests, not CPU.
+    pub fn threads(mut self, n: usize) -> GatewayConfig {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// How often the health checker pings live shards and re-dials
+    /// dead ones.
+    pub fn health_interval(mut self, d: Duration) -> GatewayConfig {
+        self.health_interval = d;
+        self
+    }
+
+    /// Bound on each shard connection attempt.
+    pub fn connect_timeout(mut self, d: Duration) -> GatewayConfig {
+        self.connect_timeout = d;
+        self
+    }
+
+    /// Bound on each in-flight shard call: a shard that stops
+    /// answering (stopped process, silent partition — its TCP session
+    /// stays up) is declared dead after this long, releasing its
+    /// in-flight requests to re-route. Must exceed the slowest
+    /// legitimate compile.
+    pub fn io_timeout(mut self, d: Duration) -> GatewayConfig {
+        self.io_timeout = d;
+        self
+    }
+
+    /// Build the gateway: dial every shard (concurrently, best-effort)
+    /// and start the health checker.
+    pub fn build(self) -> Gateway {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| (self.shards.len() * 4).clamp(4, 32));
+        let inner = Arc::new(GwInner {
+            ids: self.shards.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|addr| Shard::new(addr.clone(), self.connect_timeout, self.io_timeout))
+                .collect(),
+            requests: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            local_fallbacks: AtomicU64::new(0),
+            local: OnceLock::new(),
+        });
+        // Initial dial, in parallel: one dead address must not make
+        // every other shard wait out its connect timeout.
+        std::thread::scope(|s| {
+            for shard in &inner.shards {
+                s.spawn(|| {
+                    shard.connect();
+                });
+            }
+        });
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let t_inner = Arc::clone(&inner);
+        let t_stop = Arc::clone(&stop);
+        let interval = self.health_interval;
+        let checker = std::thread::Builder::new()
+            .name("dahlia-gateway-health".into())
+            .spawn(move || loop {
+                {
+                    let (lock, cv) = &*t_stop;
+                    let stopped = cv
+                        .wait_timeout_while(lock.lock().unwrap(), interval, |stop| !*stop)
+                        .unwrap()
+                        .0;
+                    if *stopped {
+                        return;
+                    }
+                }
+                t_inner.health_pass();
+            })
+            .ok();
+        Gateway {
+            inner,
+            pool: Pool::new(threads),
+            stop,
+            checker,
+        }
+    }
+}
+
+/// One backend shard: its address, its pooled connection, and its
+/// routing counters.
+struct Shard {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    client: Mutex<Option<Arc<PipelinedClient>>>,
+    /// Requests dispatched to this shard (including ones that failed).
+    routed: AtomicU64,
+    /// Dispatches that failed here (connection died mid-call).
+    failed: AtomicU64,
+    /// Dispatches that landed here after failing on a preferred shard.
+    retried: AtomicU64,
+    /// Last stats object successfully polled from this shard; dead
+    /// shards keep contributing their final snapshot to the aggregate.
+    last_stats: Mutex<Option<Json>>,
+}
+
+impl Shard {
+    fn new(addr: String, connect_timeout: Duration, io_timeout: Duration) -> Shard {
+        Shard {
+            addr,
+            connect_timeout,
+            io_timeout,
+            client: Mutex::new(None),
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            last_stats: Mutex::new(None),
+        }
+    }
+
+    /// The live pooled client, if the shard is up.
+    fn live(&self) -> Option<Arc<PipelinedClient>> {
+        let guard = self.client.lock().unwrap();
+        match &*guard {
+            Some(c) if !c.is_dead() => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+
+    /// (Re)dial unless already connected. Returns liveness.
+    ///
+    /// The dial happens *outside* the client mutex: a black-holed
+    /// address makes each attempt last the full connect timeout, and
+    /// holding the lock that long would stall every `live()` check —
+    /// i.e. the router's ability to *skip* the dead shard — for the
+    /// duration. Two concurrent dials are harmless (last one wins; the
+    /// loser is dropped and poisoned).
+    fn connect(&self) -> bool {
+        if self.live().is_some() {
+            return true;
+        }
+        match PipelinedClient::connect_timeout(self.addr.as_str(), self.connect_timeout) {
+            Ok(c) => {
+                let client = Arc::new(c.with_io_timeout(self.io_timeout));
+                *self.client.lock().unwrap() = Some(client);
+                true
+            }
+            Err(_) => {
+                // Drop a poisoned handle so `live()` stays cheap.
+                let mut guard = self.client.lock().unwrap();
+                if matches!(&*guard, Some(c) if c.is_dead()) {
+                    *guard = None;
+                }
+                false
+            }
+        }
+    }
+
+    /// Ping a live shard for stats, refreshing the snapshot. `None`
+    /// when the shard is down (the failed call poisons the client).
+    fn poll_stats(&self) -> Option<Json> {
+        let client = self.live()?;
+        match client.stats() {
+            Ok(s) => {
+                *self.last_stats.lock().unwrap() = Some(s.clone());
+                Some(s)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+struct GwInner {
+    /// Shard addresses, in configuration order (the hash domain).
+    ids: Vec<String>,
+    shards: Vec<Shard>,
+    requests: AtomicU64,
+    /// Requests that failed on at least one shard and were re-routed.
+    rerouted: AtomicU64,
+    /// Requests answered by the embedded local server.
+    local_fallbacks: AtomicU64,
+    local: OnceLock<Server>,
+}
+
+impl GwInner {
+    fn local(&self) -> &Server {
+        // Lazy: a healthy cluster never pays for the fallback pool.
+        self.local.get_or_init(Server::new)
+    }
+
+    fn health_pass(&self) {
+        for shard in &self.shards {
+            if shard.live().is_some() {
+                shard.poll_stats();
+            } else {
+                shard.connect();
+            }
+        }
+    }
+
+    /// Route one request: try shards in rendezvous order, skipping dead
+    /// ones and poisoning/skipping any that fail mid-call; compile
+    /// locally when nothing is reachable.
+    fn submit(&self, req: &Request) -> Json {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = source_digest(&req.source);
+        let mut failed_before = false;
+        for i in hash::rank(key, &self.ids) {
+            let shard = &self.shards[i];
+            let Some(client) = shard.live() else { continue };
+            shard.routed.fetch_add(1, Ordering::Relaxed);
+            if failed_before {
+                shard.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            match client.call(req) {
+                Ok(resp) => {
+                    if failed_before {
+                        self.rerouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return resp;
+                }
+                Err(_) => {
+                    // The client poisoned itself; the next live shard
+                    // in rendezvous order inherits this key (and every
+                    // other key this shard owned).
+                    shard.failed.fetch_add(1, Ordering::Relaxed);
+                    failed_before = true;
+                }
+            }
+        }
+        self.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if failed_before {
+            self.rerouted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.local().submit(req.clone()).to_json()
+    }
+
+    /// The cluster-wide stats object: the numeric sum of every shard's
+    /// stats (live shards are polled; dead ones contribute their last
+    /// snapshot) plus the embedded local server's, with a `gateway`
+    /// section carrying routing state. Shaped like a single server's
+    /// stats, so existing clients (`dahliac batch`) read it unchanged.
+    fn stats_json(&self) -> Json {
+        let mut agg = Json::Obj(Vec::new());
+        let mut shard_objs = Vec::new();
+        let mut live = 0u64;
+        for shard in &self.shards {
+            let polled = shard.poll_stats();
+            let alive = polled.is_some();
+            if alive {
+                live += 1;
+            }
+            let snapshot = polled.or_else(|| shard.last_stats.lock().unwrap().clone());
+            if let Some(s) = &snapshot {
+                merge_sum(&mut agg, s);
+            }
+            shard_objs.push(obj([
+                ("addr", Json::Str(shard.addr.clone())),
+                ("alive", Json::Bool(alive)),
+                (
+                    "routed",
+                    Json::Num(shard.routed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "failed",
+                    Json::Num(shard.failed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "retried",
+                    Json::Num(shard.retried.load(Ordering::Relaxed) as f64),
+                ),
+            ]));
+        }
+        if let Some(local) = self.local.get() {
+            merge_sum(&mut agg, &local.stats().to_json());
+        }
+        let gateway = obj([
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rerouted",
+                Json::Num(self.rerouted.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "local_fallbacks",
+                Json::Num(self.local_fallbacks.load(Ordering::Relaxed) as f64),
+            ),
+            ("shards_live", Json::Num(live as f64)),
+            ("shards", Json::Arr(shard_objs)),
+        ]);
+        if let Json::Obj(fields) = &mut agg {
+            fields.push(("gateway".to_string(), gateway));
+        }
+        agg
+    }
+}
+
+/// Numeric deep-merge: numbers add, objects merge recursively (keys
+/// the accumulator lacks are appended in the contributor's order), and
+/// everything else keeps the accumulator's value. Summing per-shard
+/// stats this way survives counter additions without a schema here.
+fn merge_sum(acc: &mut Json, add: &Json) {
+    match (acc, add) {
+        (Json::Num(a), Json::Num(b)) => *a += *b,
+        (Json::Obj(af), Json::Obj(bf)) => {
+            for (k, v) in bf {
+                match af.iter_mut().find(|(ak, _)| ak == k) {
+                    Some((_, slot)) => merge_sum(slot, v),
+                    None => af.push((k.clone(), v.clone())),
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A point-in-time view of one shard, for tests, benches, and the CLI
+/// summary line.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// The shard's address as configured.
+    pub addr: String,
+    /// Is the pooled connection up right now?
+    pub alive: bool,
+    /// Requests dispatched to this shard.
+    pub routed: u64,
+    /// Dispatches that failed here.
+    pub failed: u64,
+    /// Dispatches that landed here after failing elsewhere.
+    pub retried: u64,
+    /// The shard server's own stats, as last successfully polled.
+    pub stats: Option<Json>,
+}
+
+/// The cluster router. See the crate docs for the architecture.
+pub struct Gateway {
+    inner: Arc<GwInner>,
+    pool: Pool,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    checker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Route one request and block for its response line (as JSON, with
+    /// the caller's id). Never errors: a fully-dead cluster compiles
+    /// locally.
+    pub fn submit(&self, req: &Request) -> Json {
+        self.inner.submit(req)
+    }
+
+    /// Run one synchronous health pass (what the background checker
+    /// does every interval): poll live shards, re-dial dead ones.
+    pub fn check_now(&self) {
+        self.inner.health_pass();
+    }
+
+    /// Number of shards whose pooled connection is currently live.
+    pub fn live_shards(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .filter(|s| s.live().is_some())
+            .count()
+    }
+
+    /// Total shard count (live or not).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Requests routed so far (including local fallbacks).
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed on some shard and were re-routed.
+    pub fn rerouted(&self) -> u64 {
+        self.inner.rerouted.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by the embedded local server.
+    pub fn local_fallbacks(&self) -> u64 {
+        self.inner.local_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard state, refreshing each live shard's stats snapshot.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                let polled = s.poll_stats();
+                ShardSnapshot {
+                    addr: s.addr.clone(),
+                    alive: polled.is_some(),
+                    routed: s.routed.load(Ordering::Relaxed),
+                    failed: s.failed.load(Ordering::Relaxed),
+                    retried: s.retried.load(Ordering::Relaxed),
+                    stats: polled.or_else(|| s.last_stats.lock().unwrap().clone()),
+                }
+            })
+            .collect()
+    }
+
+    /// The aggregated stats object (see [`SessionHost::stats_json`]).
+    pub fn stats_json(&self) -> Json {
+        self.inner.stats_json()
+    }
+}
+
+impl SessionHost for Gateway {
+    fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>) {
+        let inner = Arc::clone(&self.inner);
+        self.pool.execute(move || {
+            respond(inner.submit(&req).emit());
+        });
+    }
+
+    fn stats_json(&self) -> Json {
+        self.inner.stats_json()
+    }
+
+    fn dispatch_stats(&self, respond: Box<dyn FnOnce(Json) + Send>) {
+        // Gateway stats poll every shard over the network; that must
+        // not run on the session's read loop (a slow shard would stall
+        // every request line queued behind the stats op).
+        let inner = Arc::clone(&self.inner);
+        self.pool.execute(move || {
+            respond(inner.stats_json());
+        });
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(handle) = self.checker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dahlia_server::Stage;
+
+    const GOOD: &str = "let A: float[8 bank 4];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+
+    /// A port with nothing behind it: bind, read the address, drop.
+    fn dead_addr() -> String {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    }
+
+    #[test]
+    fn empty_cluster_compiles_locally() {
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let resp = gw.submit(&Request::new("r1", Stage::Estimate, GOOD, "k"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(gw.local_fallbacks(), 1);
+        let stats = gw.stats_json();
+        assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(1));
+        let gws = stats.get("gateway").unwrap();
+        assert_eq!(gws.get("shards_live").and_then(Json::as_u64), Some(0));
+        assert_eq!(gws.get("local_fallbacks").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn all_shards_dead_falls_back_locally() {
+        let gw = GatewayConfig::new([dead_addr(), dead_addr()])
+            .connect_timeout(Duration::from_millis(200))
+            .build();
+        assert_eq!(gw.live_shards(), 0);
+        let resp = gw.submit(&Request::new("r1", Stage::Check, GOOD, "k"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(gw.local_fallbacks(), 1);
+        // Dead shards never received anything.
+        for s in gw.shard_snapshots() {
+            assert!(!s.alive);
+            assert_eq!(s.routed, 0);
+        }
+    }
+
+    #[test]
+    fn merge_sum_adds_numbers_and_unions_objects() {
+        let mut acc = Json::parse(r#"{"a":1,"nested":{"x":2}}"#).unwrap();
+        merge_sum(
+            &mut acc,
+            &Json::parse(r#"{"a":10,"nested":{"x":5,"y":7},"b":3}"#).unwrap(),
+        );
+        assert_eq!(acc.emit(), r#"{"a":11,"nested":{"x":7,"y":7},"b":3}"#);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cluster integration tests: real TCP shards, a real gateway, the
+//! MachSuite suite as traffic.
+//!
+//! The three acceptance claims, pinned at test scale:
+//!
+//! 1. **golden** — a batch routed through a 2-shard gateway produces
+//!    byte-identical artifacts to a direct single-server run;
+//! 2. **pinning** — while every shard is alive, each source is served
+//!    by exactly one shard (the warm pass adds zero misses anywhere);
+//! 3. **failover** — killing a shard mid-batch loses no requests:
+//!    in-flight and future work re-routes to the survivors.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dahlia_gateway::GatewayConfig;
+use dahlia_server::json::Json;
+use dahlia_server::{serve_listener, Client, NetSummary, Request, Server, Stage};
+
+/// Spawn a real TCP shard around `server`; returns its address and the
+/// listener thread's handle.
+fn spawn_shard(server: Server) -> (String, std::thread::JoinHandle<NetSummary>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = Arc::new(server);
+    let handle =
+        std::thread::spawn(move || serve_listener(server, listener).expect("serve_listener"));
+    (addr, handle)
+}
+
+fn shutdown_shard(addr: &str) {
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    c.shutdown_server().expect("shutdown ack");
+}
+
+/// The MachSuite request set (id = kernel name).
+fn machsuite_requests() -> Vec<Request> {
+    dahlia_kernels::all_benches()
+        .into_iter()
+        .map(|b| Request::new(b.name, Stage::Estimate, b.source, b.name))
+        .collect()
+}
+
+/// Strip the per-run fields (`latency_us`, `cached`) so responses can
+/// be compared byte-for-byte across serving topologies.
+fn normalize(v: &Json) -> String {
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "latency_us" && k != "cached")
+                .cloned()
+                .collect(),
+        )
+        .emit(),
+        other => other.emit(),
+    }
+}
+
+fn shard_counter(stats: &Option<Json>, key: &str) -> u64 {
+    stats
+        .as_ref()
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn gateway_matches_direct_and_pins_sources() {
+    let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let gw = GatewayConfig::new([addr_a.clone(), addr_b.clone()]).build();
+    assert_eq!(gw.live_shards(), 2);
+
+    let direct = Server::with_threads(2);
+    let requests = machsuite_requests();
+    assert!(requests.len() >= 8, "MachSuite suite is the workload");
+
+    // Cold pass: every gateway response must be byte-identical to the
+    // direct server's (modulo timing fields).
+    for req in &requests {
+        let via_gateway = gw.submit(req);
+        let direct_resp = direct.submit(req.clone()).to_json();
+        assert_eq!(
+            normalize(&via_gateway),
+            normalize(&direct_resp),
+            "artifact diverged for {}",
+            req.id
+        );
+    }
+
+    // Pinning: the warm pass must add zero misses on every shard — each
+    // source went back to the shard that already holds its artifacts.
+    let cold = gw.shard_snapshots();
+    let cold_misses: u64 = cold.iter().map(|s| shard_counter(&s.stats, "misses")).sum();
+    assert!(cold_misses > 0, "cold pass computed somewhere");
+    for req in &requests {
+        let resp = gw.submit(req);
+        assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(true));
+    }
+    let warm = gw.shard_snapshots();
+    let warm_misses: u64 = warm.iter().map(|s| shard_counter(&s.stats, "misses")).sum();
+    assert_eq!(warm_misses, cold_misses, "warm pass recompiled somewhere");
+
+    // Both shards actually participated (rendezvous spread the suite),
+    // and every request went to a shard, never the local fallback.
+    for s in &warm {
+        assert!(s.alive);
+        assert!(s.routed > 0, "shard {} never used: {warm:?}", s.addr);
+        assert_eq!(s.failed, 0);
+    }
+    assert_eq!(
+        warm.iter().map(|s| s.routed).sum::<u64>(),
+        2 * requests.len() as u64
+    );
+    assert_eq!(gw.local_fallbacks(), 0);
+
+    // The aggregated stats object is shaped like a single server's,
+    // with the cluster section appended.
+    let stats = gw.stats_json();
+    assert_eq!(
+        stats.get("requests").and_then(Json::as_u64),
+        Some(2 * requests.len() as u64)
+    );
+    let shards = stats.get("gateway").and_then(|g| g.get("shards")).unwrap();
+    assert!(matches!(shards, Json::Arr(xs) if xs.len() == 2));
+
+    drop(gw);
+    shutdown_shard(&addr_a);
+    shutdown_shard(&addr_b);
+    join_a.join().unwrap();
+    join_b.join().unwrap();
+}
+
+#[test]
+fn killing_a_shard_mid_batch_loses_no_requests() {
+    // Shard A compiles slowly (widening the in-flight window we kill
+    // into); shard B is a normal survivor.
+    let (addr_a, join_a) = spawn_shard(Server::with_compute_delay(2, Duration::from_millis(30)));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let gw = Arc::new(
+        GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+            // A long interval keeps the health checker out of the
+            // story: re-routing below is driven purely by call failure.
+            .health_interval(Duration::from_secs(30))
+            .build(),
+    );
+    assert_eq!(gw.live_shards(), 2);
+
+    let programs: Vec<Request> = (0..24)
+        .map(|i| {
+            let b = 1u64 << (i % 4);
+            Request::new(
+                format!("r{i}"),
+                Stage::Estimate,
+                format!(
+                    "let A: float[16 bank {b}];\nfor (let i = 0..16) unroll {b} {{ A[i] := {}.0; }}",
+                    i + 1
+                ),
+                "k",
+            )
+        })
+        .collect();
+
+    // Fire the whole batch concurrently, and kill shard A while it is
+    // mid-flight. Graceful TCP teardown answers what it already read
+    // and drops the rest on the floor — dropped requests must re-route.
+    let killer = {
+        let addr_a = addr_a.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            shutdown_shard(&addr_a);
+        })
+    };
+    let responses: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = programs
+            .iter()
+            .map(|req| {
+                let gw = Arc::clone(&gw);
+                s.spawn(move || gw.submit(req))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    killer.join().unwrap();
+    join_a.join().unwrap();
+
+    // Zero failed requests — the acceptance bar.
+    for (req, resp) in programs.iter().zip(&responses) {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {} failed: {}",
+            req.id,
+            resp.emit()
+        );
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some(req.id.as_str()));
+    }
+
+    // The cluster keeps serving after the loss, and the artifacts agree
+    // with a direct run.
+    let direct = Server::with_threads(2);
+    for req in programs.iter().take(6) {
+        let after = gw.submit(req);
+        assert_eq!(normalize(&after), {
+            let d = direct.submit(req.clone()).to_json();
+            normalize(&d)
+        });
+    }
+    let snaps = gw.shard_snapshots();
+    let a = snaps.iter().find(|s| s.addr == addr_a).unwrap();
+    let b = snaps.iter().find(|s| s.addr == addr_b).unwrap();
+    assert!(!a.alive, "shard A is down");
+    assert!(b.alive, "shard B survived");
+    assert!(b.routed > 0);
+
+    drop(gw);
+    shutdown_shard(&addr_b);
+    join_b.join().unwrap();
+}
+
+#[test]
+fn dead_shard_keeps_contributing_its_last_stats_snapshot() {
+    let (addr, join) = spawn_shard(Server::with_threads(1));
+    let gw = GatewayConfig::new([addr.clone()])
+        .health_interval(Duration::from_secs(30))
+        .build();
+    let req = Request::new(
+        "r1",
+        Stage::Check,
+        "let A: float[4 bank 2]; for (let i = 0..4) unroll 2 { A[i] := 1.0; }",
+        "k",
+    );
+    gw.submit(&req);
+    let live_stats = gw.stats_json();
+    assert_eq!(live_stats.get("requests").and_then(Json::as_u64), Some(1));
+
+    shutdown_shard(&addr);
+    join.join().unwrap();
+    // Wait for the pooled client to observe the hangup.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while gw.live_shards() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(gw.live_shards(), 0);
+
+    // The aggregate survives on the snapshot: monotonic counters do not
+    // vanish when their shard does (deltas stay non-negative downstream).
+    let after = gw.stats_json();
+    assert_eq!(after.get("requests").and_then(Json::as_u64), Some(1));
+    let gws = after.get("gateway").unwrap();
+    assert_eq!(gws.get("shards_live").and_then(Json::as_u64), Some(0));
+}

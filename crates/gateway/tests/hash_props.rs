@@ -1,0 +1,93 @@
+//! Property tests for the rendezvous router: distribution and
+//! stability over randomized keys and shard sets. The headline
+//! property — keys move only off dead shards — is what makes failover
+//! cheap: a shard loss invalidates exactly one shard's cache locality.
+
+use proptest::prelude::*;
+
+use dahlia_gateway::hash::{owner, rank, score};
+
+fn shard_ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.1.0.{i}:4500")).collect()
+}
+
+fn key(lo: u64, hi: u64) -> u128 {
+    ((hi as u128) << 64) | lo as u128
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn rank_is_a_permutation_headed_by_the_owner(
+        lo in any::<u64>(), hi in any::<u64>(), n in 1usize..9
+    ) {
+        let shards = shard_ids(n);
+        let k = key(lo, hi);
+        let r = rank(k, &shards);
+        prop_assert_eq!(r[0], owner(k, &shards, |_| true).unwrap());
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keys_move_only_off_dead_shards(
+        lo in any::<u64>(), hi in any::<u64>(), n in 2usize..9, pick in any::<u64>()
+    ) {
+        let shards = shard_ids(n);
+        let k = key(lo, hi);
+        let dead = (pick as usize) % n;
+        let before = owner(k, &shards, |_| true).unwrap();
+        let after = owner(k, &shards, |i| i != dead).unwrap();
+        if before == dead {
+            // Displaced keys land on their second choice…
+            prop_assert_eq!(after, rank(k, &shards)[1]);
+        } else {
+            // …everything else stays pinned.
+            prop_assert_eq!(after, before);
+        }
+    }
+
+    #[test]
+    fn revived_shards_reclaim_exactly_their_keys(
+        lo in any::<u64>(), hi in any::<u64>(), n in 2usize..9, pick in any::<u64>()
+    ) {
+        // Kill-then-revive round-trips placement: failover is symmetric.
+        let shards = shard_ids(n);
+        let k = key(lo, hi);
+        let dead = (pick as usize) % n;
+        let original = owner(k, &shards, |_| true).unwrap();
+        let _failed_over = owner(k, &shards, |i| i != dead).unwrap();
+        let revived = owner(k, &shards, |_| true).unwrap();
+        prop_assert_eq!(revived, original);
+    }
+
+    #[test]
+    fn scores_are_deterministic_functions(
+        lo in any::<u64>(), hi in any::<u64>(), shard in any::<u16>()
+    ) {
+        let id = format!("10.1.0.{shard}:4500");
+        prop_assert_eq!(score(key(lo, hi), &id), score(key(lo, hi), &id));
+    }
+}
+
+#[test]
+fn load_spreads_across_shards() {
+    // Deterministic distribution check at a fixed scale: 4 shards,
+    // 4096 keys derived from a counter, each shard within ±40% of the
+    // uniform share.
+    let shards = shard_ids(4);
+    let n = 4096u64;
+    let mut counts = [0usize; 4];
+    for i in 0..n {
+        let k = key(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i);
+        counts[owner(k, &shards, |_| true).unwrap()] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (614..=1434).contains(&c),
+            "shard {i} got {c} of {n} keys: {counts:?}"
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! Protocol clients for the socket transport.
+//!
+//! Two tiers:
+//!
+//! * [`Client`] — the minimal line-oriented client used by `dahliac
+//!   batch --connect` and scripts: the caller owns correlation and
+//!   reads responses in whatever order the server emits them.
+//! * [`PipelinedClient`] — a **multiplexing** client for long-lived
+//!   pool connections (the gateway keeps one per shard): many callers
+//!   share one TCP session, each `call` is tagged with a private wire
+//!   id, and a background reader thread routes every response line to
+//!   the caller that is blocked on it. Control ops (`stats`,
+//!   `shutdown`), whose responses carry no id, are serialized: at most
+//!   one control round-trip is outstanding per connection, so the
+//!   id-less response on the wire always belongs to the one caller
+//!   waiting for it (hosts may answer control lines from different
+//!   threads — a gateway pools `stats` but acks `shutdown` inline — so
+//!   cross-op ordering cannot be assumed).
+//!
+//! Failure model: any I/O error (or server EOF) **poisons** the
+//! pipelined client — the flag flips, every waiter is released with an
+//! error, and all future calls fail fast. A poisoned client is never
+//! reused; the owner drops it and reconnects. That is precisely the
+//! signal a gateway needs to re-route in-flight requests to another
+//! shard.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead as _, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::Request;
+
+/// A minimal protocol client for the socket transport, used by
+/// `dahliac batch --connect` and the integration tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serving `dahliac serve --listen` endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connect, retrying while the server is still binding (used by
+    /// scripts that start the server in the background).
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, attempts: u32) -> io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        Err(last.unwrap())
+    }
+
+    /// Send one protocol line (the newline is added here).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line; `None` on server-side EOF.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Ask the server to shut down gracefully (acknowledged with one
+    /// response line).
+    pub fn shutdown_server(&mut self) -> io::Result<Option<String>> {
+        self.send_line(r#"{"op":"shutdown"}"#)?;
+        self.recv_line()
+    }
+}
+
+/// Wire-id prefix for multiplexed calls. Responses whose id carries it
+/// route back to the blocked caller; everything else is a control-op
+/// response and matches FIFO.
+const WIRE_PREFIX: &str = "px";
+
+/// Waiters for in-flight traffic on one connection.
+struct Waiters {
+    /// Compile calls, keyed by wire id.
+    calls: HashMap<u64, mpsc::Sender<Json>>,
+    /// Control ops, matched first-in-first-out.
+    control: VecDeque<mpsc::Sender<Json>>,
+}
+
+struct Shared {
+    dead: AtomicBool,
+    waiters: Mutex<Waiters>,
+}
+
+impl Shared {
+    /// Flip the poison flag and release every waiter (dropping their
+    /// senders makes each blocked `recv` fail).
+    fn poison(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut w = self.waiters.lock().unwrap();
+        w.calls.clear();
+        w.control.clear();
+    }
+}
+
+/// A multiplexing client: many threads share one pipelined session.
+///
+/// Each [`PipelinedClient::call`] rewrites the request id to a private
+/// wire id, blocks until the background reader delivers the matching
+/// response, and hands back the response JSON with the caller's
+/// original id restored — so concurrent calls interleave freely over
+/// one socket, in whatever order the server completes them.
+pub struct PipelinedClient {
+    shared: Arc<Shared>,
+    writer: Mutex<TcpStream>,
+    next_id: AtomicU64,
+    /// Bound on each call's wait for its response; `None` waits forever.
+    io_timeout: Option<Duration>,
+    /// Held across a whole control round-trip: with at most one control
+    /// op outstanding, FIFO matching cannot misattribute responses even
+    /// if the host answers control lines from different threads (a
+    /// gateway answers `stats` from a worker but `shutdown` inline).
+    control_gate: Mutex<()>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PipelinedClient {
+    /// Connect to a pipelined protocol endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        PipelinedClient::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connect with a bound on how long the TCP handshake may take —
+    /// what a health checker wants when probing a possibly-partitioned
+    /// shard (a plain `connect` to a black-holed address can hang for
+    /// minutes on the SYN timeout).
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> io::Result<PipelinedClient> {
+        let mut last = None;
+        for a in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&a, timeout) {
+                Ok(s) => return PipelinedClient::from_stream(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<PipelinedClient> {
+        stream.set_nodelay(true)?;
+        let shared = Arc::new(Shared {
+            dead: AtomicBool::new(false),
+            waiters: Mutex::new(Waiters {
+                calls: HashMap::new(),
+                control: VecDeque::new(),
+            }),
+        });
+        let reader_stream = stream.try_clone()?;
+        let t_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("dahlia-pipelined-client".into())
+            .spawn(move || reader_loop(reader_stream, &t_shared))?;
+        Ok(PipelinedClient {
+            shared,
+            writer: Mutex::new(stream),
+            next_id: AtomicU64::new(0),
+            io_timeout: None,
+            control_gate: Mutex::new(()),
+            reader: Some(reader),
+        })
+    }
+
+    /// Bound every call's wait for its response: a connection whose
+    /// peer stops answering (process stopped, network partitioned —
+    /// the TCP session itself stays "up") is poisoned after `timeout`
+    /// instead of parking its callers forever. The bound must exceed
+    /// the slowest legitimate compile; it exists to unstick threads,
+    /// not to police latency.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> PipelinedClient {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Has this connection failed? A dead client never recovers; drop
+    /// it and connect a fresh one.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Wait on a response channel, honoring the io timeout. A timeout
+    /// poisons the whole client: an abandoned in-flight response would
+    /// otherwise desynchronize the session, and an unresponsive peer
+    /// is indistinguishable from a dead one anyway.
+    fn recv_response(&self, rx: &mpsc::Receiver<Json>) -> io::Result<Json> {
+        match self.io_timeout {
+            None => rx.recv().map_err(|_| Self::dead_err()),
+            Some(t) => match rx.recv_timeout(t) {
+                Ok(v) => Ok(v),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(Self::dead_err()),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.poison();
+                    Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "server stopped answering",
+                    ))
+                }
+            },
+        }
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "connection to server lost",
+        )
+    }
+
+    fn write_line(&self, line: &str) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Send `req` and block for its response, returned with the
+    /// caller's original id restored. Fails (and poisons the client) on
+    /// any I/O error — including the connection dying while the request
+    /// was in flight, which is the caller's cue to retry elsewhere.
+    pub fn call(&self, req: &Request) -> io::Result<Json> {
+        if self.is_dead() {
+            return Err(Self::dead_err());
+        }
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let wire = Request {
+            id: format!("{WIRE_PREFIX}{n}"),
+            stage: req.stage,
+            source: req.source.clone(),
+            options: req.options.clone(),
+        };
+        let (tx, rx) = mpsc::channel();
+        self.shared.waiters.lock().unwrap().calls.insert(n, tx);
+        if let Err(e) = self.write_line(&wire.to_line()) {
+            self.shared.waiters.lock().unwrap().calls.remove(&n);
+            self.poison();
+            return Err(e);
+        }
+        // The reader may have died (and drained the map) before our
+        // insert became visible to it; re-checking after the insert
+        // guarantees the entry cannot be orphaned (the flag is raised
+        // before the drain, under the same waiter lock we used).
+        if self.is_dead() {
+            self.shared.waiters.lock().unwrap().calls.remove(&n);
+            return Err(Self::dead_err());
+        }
+        let mut v = self.recv_response(&rx)?;
+        set_id(&mut v, &req.id);
+        Ok(v)
+    }
+
+    /// Send a control line and block for its (id-less) response.
+    /// Control rounds are serialized by `control_gate`: one outstanding
+    /// id-less response at a time leaves FIFO matching nothing to
+    /// confuse.
+    fn control(&self, line: &str) -> io::Result<Json> {
+        let _gate = self.control_gate.lock().unwrap();
+        if self.is_dead() {
+            return Err(Self::dead_err());
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut w = self.writer.lock().unwrap();
+            self.shared.waiters.lock().unwrap().control.push_back(tx);
+            let sent = w
+                .write_all(line.as_bytes())
+                .and_then(|()| w.write_all(b"\n"))
+                .and_then(|()| w.flush());
+            if let Err(e) = sent {
+                drop(w);
+                self.poison();
+                return Err(e);
+            }
+        }
+        if self.is_dead() {
+            return Err(Self::dead_err());
+        }
+        self.recv_response(&rx)
+    }
+
+    /// Fetch the server's stats object (the payload under `"stats"`).
+    pub fn stats(&self) -> io::Result<Json> {
+        let v = self.control(r#"{"op":"stats"}"#)?;
+        v.get("stats").cloned().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "response had no stats payload")
+        })
+    }
+
+    /// Ask the server to shut down gracefully; returns the ack line.
+    pub fn shutdown_server(&self) -> io::Result<Json> {
+        self.control(r#"{"op":"shutdown"}"#)
+    }
+
+    /// Poison and unblock everything: waiters error out, the reader
+    /// thread sees EOF and exits.
+    fn poison(&self) {
+        self.shared.poison();
+        let _ = self.writer.lock().unwrap().shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for PipelinedClient {
+    fn drop(&mut self) {
+        self.poison();
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Unparseable or unmatched lines are dropped, not fatal: the
+        // waiter they might have answered will surface an error when
+        // the connection is eventually poisoned, and a line-level
+        // glitch must not take down the whole multiplexed session.
+        let Ok(v) = Json::parse(text) else { continue };
+        let wire = v
+            .get("id")
+            .and_then(Json::as_str)
+            .and_then(|s| s.strip_prefix(WIRE_PREFIX))
+            .and_then(|s| s.parse::<u64>().ok());
+        let waiter = {
+            let mut w = shared.waiters.lock().unwrap();
+            match wire {
+                Some(n) => w.calls.remove(&n),
+                None => w.control.pop_front(),
+            }
+        };
+        if let Some(tx) = waiter {
+            let _ = tx.send(v);
+        }
+    }
+    shared.poison();
+}
+
+/// Overwrite the response's `id` field in place (the wire id goes back
+/// to whatever the caller sent).
+fn set_id(v: &mut Json, id: &str) {
+    if let Json::Obj(fields) = v {
+        for (k, val) in fields.iter_mut() {
+            if k == "id" {
+                *val = Json::Str(id.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serve_listener, NetSummary, Server, Stage};
+    use std::net::{SocketAddr, TcpListener};
+
+    const GOOD: &str = "let A: float[8 bank 8]; for (let i = 0..8) unroll 8 { A[i] := 2.0; }";
+
+    fn spawn_server(threads: usize) -> (SocketAddr, std::thread::JoinHandle<NetSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(Server::with_threads(threads));
+        let handle =
+            std::thread::spawn(move || serve_listener(server, listener).expect("serve_listener"));
+        (addr, handle)
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex_over_one_connection() {
+        let (addr, handle) = spawn_server(4);
+        let client = Arc::new(PipelinedClient::connect(addr).expect("connect"));
+        let mut joins = Vec::new();
+        for i in 0..16 {
+            let client = Arc::clone(&client);
+            joins.push(std::thread::spawn(move || {
+                let req = Request::new(
+                    format!("caller-{i}"),
+                    Stage::Estimate,
+                    format!("let A: float[16 bank {b}]; for (let i = 0..16) unroll {b} {{ A[i] := 1.0; }}",
+                            b = 1 << (i % 4)),
+                    "k",
+                );
+                client.call(&req).expect("call")
+            }));
+        }
+        for (i, j) in joins.into_iter().enumerate() {
+            let v = j.join().expect("caller thread");
+            assert_eq!(
+                v.get("id").and_then(Json::as_str),
+                Some(format!("caller-{i}").as_str()),
+                "original id restored"
+            );
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(16));
+        client.shutdown_server().expect("shutdown ack");
+        drop(client);
+        let summary = handle.join().expect("listener");
+        assert_eq!(summary.connections, 1, "all calls shared one connection");
+    }
+
+    #[test]
+    fn server_death_poisons_and_releases_waiters() {
+        let (addr, handle) = spawn_server(2);
+        let client = Arc::new(PipelinedClient::connect(addr).expect("connect"));
+        // Shut the server down from a second connection; the pipelined
+        // session sees EOF and every subsequent call must fail fast
+        // instead of hanging.
+        let mut driver = Client::connect(addr).expect("driver");
+        driver.shutdown_server().expect("ack");
+        drop(driver);
+        handle.join().expect("listener wound down");
+        // The reader may take a moment to observe EOF.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !client.is_dead() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(client.is_dead(), "EOF poisons the client");
+        let err = client
+            .call(&Request::new("x", Stage::Check, GOOD, "k"))
+            .expect_err("dead client fails fast");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert!(client.stats().is_err());
+    }
+
+    #[test]
+    fn unresponsive_server_times_out_and_poisons() {
+        // A "server" that accepts and then never answers: the TCP
+        // session stays up, so only the io timeout can unstick callers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let client = PipelinedClient::connect(addr)
+            .expect("connect")
+            .with_io_timeout(Duration::from_millis(200));
+        let stream = hold.join().unwrap().expect("accepted");
+        let t0 = std::time::Instant::now();
+        let err = client
+            .call(&Request::new("x", Stage::Check, GOOD, "k"))
+            .expect_err("no answer must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(client.is_dead(), "timeout poisons the client");
+        assert!(client.stats().is_err(), "dead client fails fast");
+        drop(stream);
+    }
+
+    #[test]
+    fn connect_timeout_to_refused_port_errors_quickly() {
+        // Bind-then-drop guarantees a port nothing is listening on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t0 = std::time::Instant::now();
+        let err = PipelinedClient::connect_timeout(addr, Duration::from_millis(500));
+        assert!(err.is_err());
+        assert!(t0.elapsed() < Duration::from_secs(5), "{:?}", t0.elapsed());
+    }
+}

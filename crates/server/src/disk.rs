@@ -81,16 +81,24 @@ pub struct DiskStats {
     pub writes: u64,
     /// Failed persistence attempts (I/O errors; the entry is skipped).
     pub write_errors: u64,
+    /// Entry files deleted by garbage collection.
+    pub pruned_files: u64,
+    /// Bytes reclaimed by garbage collection.
+    pub pruned_bytes: u64,
 }
 
 /// State shared between the store handle and the writer thread.
 struct Inner {
     root: PathBuf,
+    /// Size budget for the artifact files; `None` disables GC.
+    gc_max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    pruned_files: AtomicU64,
+    pruned_bytes: AtomicU64,
     tmp_counter: AtomicU64,
     pending: Mutex<u64>,
     drained: Condvar,
@@ -108,31 +116,61 @@ impl DiskStore {
     /// owns `<dir>/v{FORMAT_VERSION}`; other versions' trees are left
     /// untouched for older binaries.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        DiskStore::open_bounded(dir, None)
+    }
+
+    /// [`DiskStore::open`] with a size budget: when the artifact files
+    /// exceed `gc_max_bytes`, the oldest-mtime entries are pruned —
+    /// once at startup (inheriting an oversized directory must not keep
+    /// it oversized) and again after each write-behind drain. Pruning
+    /// an entry only costs a future recompute; values are deterministic.
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        gc_max_bytes: Option<u64>,
+    ) -> std::io::Result<DiskStore> {
         let root = dir.into().join(format!("v{FORMAT_VERSION}"));
         fs::create_dir_all(&root)?;
         let inner = Arc::new(Inner {
             root,
+            gc_max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            pruned_files: AtomicU64::new(0),
+            pruned_bytes: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
             pending: Mutex::new(0),
             drained: Condvar::new(),
         });
+        inner.gc();
         let (tx, rx) = mpsc::channel::<(Key, CacheValue)>();
         let worker = Arc::clone(&inner);
         let writer = std::thread::Builder::new()
             .name("dahlia-disk-writer".into())
             .spawn(move || {
+                let mut wrote_since_gc = false;
                 for (key, value) in rx {
                     worker.write_entry(&key, &value);
+                    wrote_since_gc = true;
+                    // GC on the queue's quiet edges, *before* the final
+                    // decrement: `flush` returns only once the pass is
+                    // done, so its callers observe a bounded directory
+                    // and settled counters. The walk runs outside the
+                    // pending lock — enqueuers must never stall on it.
+                    if *worker.pending.lock().unwrap() == 1 {
+                        worker.gc();
+                        wrote_since_gc = false;
+                    }
                     let mut pending = worker.pending.lock().unwrap();
                     *pending -= 1;
                     if *pending == 0 {
                         worker.drained.notify_all();
                     }
+                }
+                if wrote_since_gc {
+                    worker.gc();
                 }
             })?;
         Ok(DiskStore {
@@ -151,7 +189,23 @@ impl DiskStore {
             corrupt: i.corrupt.load(Ordering::Relaxed),
             writes: i.writes.load(Ordering::Relaxed),
             write_errors: i.write_errors.load(Ordering::Relaxed),
+            pruned_files: i.pruned_files.load(Ordering::Relaxed),
+            pruned_bytes: i.pruned_bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Run one garbage-collection pass now (a no-op without a budget).
+    /// Returns the files and bytes pruned by *this* pass.
+    pub fn gc(&self) -> (u64, u64) {
+        let before = (
+            self.inner.pruned_files.load(Ordering::Relaxed),
+            self.inner.pruned_bytes.load(Ordering::Relaxed),
+        );
+        self.inner.gc();
+        (
+            self.inner.pruned_files.load(Ordering::Relaxed) - before.0,
+            self.inner.pruned_bytes.load(Ordering::Relaxed) - before.1,
+        )
     }
 
     /// Block until every queued write has been persisted.
@@ -254,6 +308,60 @@ impl Inner {
                 // Persistence is best-effort: a failed write costs a
                 // future recompute, never a wrong answer.
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One GC pass: walk every stage directory, and while the artifact
+    /// files exceed the budget, delete them oldest-mtime-first (ties
+    /// break by path for determinism). `.tmp-*` orphans are ignored —
+    /// they are invisible to readers and rewritten paths reclaim them.
+    /// All failures are soft: a file another process already removed
+    /// (shared cache directories are supported) just stops counting.
+    fn gc(&self) {
+        let Some(max) = self.gc_max_bytes else { return };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let mut total: u64 = 0;
+        let Ok(stages) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for stage in stages.flatten() {
+            let Ok(fans) = fs::read_dir(stage.path()) else {
+                continue;
+            };
+            for fan in fans.flatten() {
+                let Ok(entries) = fs::read_dir(fan.path()) else {
+                    continue;
+                };
+                for entry in entries.flatten() {
+                    if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                        continue;
+                    }
+                    let Ok(md) = entry.metadata() else { continue };
+                    if !md.is_file() {
+                        continue;
+                    }
+                    total += md.len();
+                    files.push((
+                        md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+                        md.len(),
+                        entry.path(),
+                    ));
+                }
+            }
+        }
+        if total <= max {
+            return;
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        for (_, len, path) in files {
+            if total <= max {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                self.pruned_files.fetch_add(1, Ordering::Relaxed);
+                self.pruned_bytes.fetch_add(len, Ordering::Relaxed);
             }
         }
     }
@@ -426,6 +534,79 @@ mod tests {
         fs::copy(store.entry_path(&a), store.entry_path(&b)).unwrap();
         assert!(store.load(&b).is_none(), "key echo must reject");
         assert!(store.load(&a).is_some());
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_prunes_oldest_entries_down_to_budget() {
+        let root = tmp_root("gc");
+        // Fill an *unbounded* store with entries of known, growing age.
+        let store = DiskStore::open(&root).unwrap();
+        let payload = "x".repeat(512);
+        for n in 0..8u128 {
+            store.store(&key(n, Stage::Cpp), &cpp(&payload));
+            store.flush();
+            // Distinct mtimes make the age ranking unambiguous.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        drop(store);
+
+        // Measure one entry so the budget can be phrased in entries.
+        let probe = DiskStore::open(&root).unwrap();
+        let entry_len = fs::metadata(probe.entry_path(&key(0, Stage::Cpp)))
+            .unwrap()
+            .len();
+        drop(probe);
+
+        // Reopen with room for ~3 entries: startup GC must prune the 5
+        // oldest and keep the 3 newest.
+        let bounded = DiskStore::open_bounded(&root, Some(3 * entry_len + entry_len / 2)).unwrap();
+        let s = bounded.stats();
+        assert_eq!(s.pruned_files, 5, "{s:?}");
+        assert_eq!(s.pruned_bytes, 5 * entry_len, "{s:?}");
+        for n in 0..5u128 {
+            assert!(
+                bounded.load(&key(n, Stage::Cpp)).is_none(),
+                "old entry {n} pruned"
+            );
+        }
+        for n in 5..8u128 {
+            assert!(
+                bounded.load(&key(n, Stage::Cpp)).is_some(),
+                "new entry {n} kept"
+            );
+        }
+        drop(bounded);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_runs_after_write_behind_flushes() {
+        let root = tmp_root("gc-flush");
+        let store = DiskStore::open_bounded(&root, Some(1)).unwrap();
+        store.store(&key(1, Stage::Cpp), &cpp("some payload"));
+        store.flush();
+        // The writer GCs after the drain; explicit gc() makes the check
+        // deterministic (it is idempotent and shares the counters).
+        store.gc();
+        let s = store.stats();
+        assert_eq!(s.writes, 1);
+        assert!(s.pruned_files >= 1, "{s:?}");
+        assert!(store.load(&key(1, Stage::Cpp)).is_none(), "over-budget");
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unbounded_store_never_prunes() {
+        let root = tmp_root("gc-off");
+        let store = DiskStore::open(&root).unwrap();
+        store.store(&key(1, Stage::Cpp), &cpp("payload"));
+        store.flush();
+        assert_eq!(store.gc(), (0, 0));
+        assert!(store.load(&key(1, Stage::Cpp)).is_some());
+        assert_eq!(store.stats().pruned_files, 0);
         drop(store);
         let _ = fs::remove_dir_all(&root);
     }

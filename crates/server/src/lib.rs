@@ -99,32 +99,38 @@
 //! assert!(line.contains(r#""code":"type/already-consumed""#), "{line}");
 //! ```
 
+pub mod client;
 pub mod codec;
 pub mod disk;
 pub mod evict;
 pub mod json;
+pub mod metrics;
 pub mod net;
 pub mod pipeline;
 pub mod pool;
 pub mod protocol;
+pub mod session;
 pub mod store;
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
 
 use json::{obj, Json};
+use session::Control;
 
+pub use client::{Client, PipelinedClient};
 pub use disk::{DiskStats, DiskStore};
 pub use evict::EvictConfig;
-pub use net::{serve_listener, Client, NetSummary};
-pub use pipeline::{Artifact, Options, Pipeline, Stage};
+pub use net::{serve_listener, serve_sessions, NetSummary};
+pub use pipeline::{source_digest, Artifact, Options, Pipeline, Stage};
 pub use pool::Pool;
 pub use protocol::{Request, Response};
+pub use session::SessionHost;
 pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
 struct Inner {
@@ -209,6 +215,14 @@ impl ServerStats {
                         "write_errors",
                         Json::Num(self.store.disk.write_errors as f64),
                     ),
+                    (
+                        "pruned_files",
+                        Json::Num(self.store.disk.pruned_files as f64),
+                    ),
+                    (
+                        "pruned_bytes",
+                        Json::Num(self.store.disk.pruned_bytes as f64),
+                    ),
                 ]),
             ),
         ])
@@ -242,48 +256,6 @@ pub struct ServeSummary {
     pub protocol_errors: u64,
 }
 
-/// One decoded protocol line: a control op or a compile request.
-enum Control {
-    Stats,
-    Shutdown,
-    Req(Request),
-}
-
-fn parse_control(line: &str, lineno: u64) -> Result<Control, String> {
-    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
-    match v.get("op").and_then(Json::as_str) {
-        Some("stats") => Ok(Control::Stats),
-        Some("shutdown") => Ok(Control::Shutdown),
-        Some(other) => Err(format!("unknown op `{other}`")),
-        None => Request::from_json(&v, lineno).map(Control::Req),
-    }
-}
-
-fn protocol_error_line(msg: String, lineno: usize) -> String {
-    obj([
-        ("id", Json::Null),
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj([
-                ("phase", Json::Str("protocol".into())),
-                ("code", Json::Str("protocol/bad-request".into())),
-                ("message", Json::Str(msg)),
-                ("line", Json::Num((lineno + 1) as f64)),
-            ]),
-        ),
-    ])
-    .emit()
-}
-
-fn shutdown_ack_line() -> String {
-    obj([
-        ("ok", Json::Bool(true)),
-        ("op", Json::Str("shutdown".into())),
-    ])
-    .emit()
-}
-
 /// Configuration for a [`Server`]: worker pool size, memory-tier
 /// bounds, and the persistent cache directory.
 #[derive(Debug, Clone, Default)]
@@ -292,6 +264,7 @@ pub struct ServerConfig {
     compute_delay: Option<Duration>,
     evict: EvictConfig,
     cache_dir: Option<PathBuf>,
+    cache_gc_max_bytes: Option<u64>,
 }
 
 impl ServerConfig {
@@ -331,11 +304,23 @@ impl ServerConfig {
         self
     }
 
+    /// Bound the persistent tier: when the artifact files under the
+    /// cache directory exceed `n` bytes, the oldest-mtime entries are
+    /// pruned (at startup and after write-behind flushes). Meaningless
+    /// without [`ServerConfig::cache_dir`].
+    pub fn cache_gc_max_bytes(mut self, n: u64) -> ServerConfig {
+        self.cache_gc_max_bytes = Some(n);
+        self
+    }
+
     /// Build the server. Fails only if the cache directory cannot be
     /// created.
     pub fn build(self) -> std::io::Result<Server> {
         let tier: Option<Arc<dyn ArtifactTier>> = match &self.cache_dir {
-            Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+            Some(dir) => Some(Arc::new(DiskStore::open_bounded(
+                dir,
+                self.cache_gc_max_bytes,
+            )?)),
             None => None,
         };
         let pipeline = Pipeline::with_store_config(
@@ -466,7 +451,7 @@ impl Server {
                 continue;
             }
             summary.lines += 1;
-            match parse_control(&line, lineno as u64) {
+            match session::parse_control(&line, lineno as u64) {
                 Ok(Control::Stats) => {
                     writeln!(
                         output,
@@ -475,7 +460,7 @@ impl Server {
                     )?;
                 }
                 Ok(Control::Shutdown) => {
-                    writeln!(output, "{}", shutdown_ack_line())?;
+                    writeln!(output, "{}", session::shutdown_ack_line())?;
                     break;
                 }
                 Ok(Control::Req(req)) => {
@@ -484,7 +469,7 @@ impl Server {
                 }
                 Err(msg) => {
                     summary.protocol_errors += 1;
-                    writeln!(output, "{}", protocol_error_line(msg, lineno))?;
+                    writeln!(output, "{}", session::protocol_error_line(msg, lineno))?;
                 }
             }
         }
@@ -507,88 +492,21 @@ impl Server {
         R: BufRead,
         W: Write + Send,
     {
-        self.serve_pipelined_ctl(input, output, None)
+        session::run_pipelined(self, input, output, None)
+    }
+}
+
+impl SessionHost for Server {
+    fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>) {
+        let inner = Arc::clone(&self.inner);
+        self.pool.execute(move || {
+            let resp = inner.handle(&req);
+            respond(resp.to_line());
+        });
     }
 
-    /// [`Server::serve_pipelined`], optionally raising `shutdown` when a
-    /// client sends the shutdown op (how a TCP session stops the whole
-    /// listener; see [`net::serve_listener`]).
-    pub(crate) fn serve_pipelined_ctl<R, W>(
-        &self,
-        input: R,
-        mut output: W,
-        shutdown: Option<&AtomicBool>,
-    ) -> std::io::Result<ServeSummary>
-    where
-        R: BufRead,
-        W: Write + Send,
-    {
-        let (tx, rx) = mpsc::channel::<String>();
-        let mut summary = ServeSummary::default();
-        let mut read_err: Option<std::io::Error> = None;
-        let writer_result: std::io::Result<()> = std::thread::scope(|s| {
-            let writer = s.spawn(move || -> std::io::Result<()> {
-                // Flush per line: pipelined sessions are interactive and
-                // a buffered fast response would defeat the point.
-                for line in rx {
-                    writeln!(output, "{line}")?;
-                    output.flush()?;
-                }
-                Ok(())
-            });
-            for (lineno, line) in input.lines().enumerate() {
-                let line = match line {
-                    Ok(l) => l,
-                    Err(e) => {
-                        read_err = Some(e);
-                        break;
-                    }
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                summary.lines += 1;
-                let sent = match parse_control(&line, lineno as u64) {
-                    Ok(Control::Stats) => tx.send(obj([("stats", self.stats().to_json())]).emit()),
-                    Ok(Control::Shutdown) => {
-                        if let Some(flag) = shutdown {
-                            flag.store(true, Ordering::SeqCst);
-                        }
-                        let _ = tx.send(shutdown_ack_line());
-                        break;
-                    }
-                    Ok(Control::Req(req)) => {
-                        let inner = Arc::clone(&self.inner);
-                        let tx = tx.clone();
-                        self.pool.execute(move || {
-                            let resp = inner.handle(&req);
-                            let _ = tx.send(resp.to_line());
-                        });
-                        Ok(())
-                    }
-                    Err(msg) => {
-                        summary.protocol_errors += 1;
-                        tx.send(protocol_error_line(msg, lineno))
-                    }
-                };
-                if sent.is_err() {
-                    // The writer died (client hung up mid-session);
-                    // there is nobody left to answer.
-                    break;
-                }
-            }
-            drop(tx);
-            writer.join().expect("writer thread")
-        });
-        if let Some(e) = read_err {
-            return Err(e);
-        }
-        // A vanished client (broken pipe) ends the session without
-        // failing it; real I/O errors surface.
-        match writer_result {
-            Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e),
-            _ => Ok(summary),
-        }
+    fn stats_json(&self) -> Json {
+        self.stats().to_json()
     }
 }
 

@@ -1,0 +1,116 @@
+//! `--metrics <addr>`: a minimal, std-only HTTP endpoint exposing the
+//! stats JSON.
+//!
+//! `GET /metrics` answers `200 OK` with the same stats object the
+//! protocol's `{"op":"stats"}` control line returns; anything else is a
+//! `404`. One background thread accepts; each request is answered on a
+//! short-lived connection thread and the socket closes after the
+//! response (`Connection: close`), so the endpoint never holds state.
+//!
+//! The endpoint is deliberately read-only and unauthenticated — it
+//! carries counters, never source text — and it runs for the life of
+//! the process: scrapers keep working while the protocol listener is
+//! draining a graceful shutdown.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::json::Json;
+
+/// The stats source: called once per scrape.
+pub type StatsFn = Arc<dyn Fn() -> Json + Send + Sync>;
+
+/// Serve `GET /metrics` on `listener` from a detached background
+/// thread, for the life of the process.
+pub fn spawn(listener: TcpListener, stats: StatsFn) -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("dahlia-metrics".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let stats = Arc::clone(&stats);
+                // A slow or stuck scraper must not block the accept
+                // loop; spawn failure (thread exhaustion) sheds the
+                // request, never the endpoint.
+                let _ = std::thread::Builder::new()
+                    .name("dahlia-metrics-conn".into())
+                    .spawn(move || {
+                        let _ = handle(stream, &stats);
+                    });
+            }
+        })?;
+    Ok(())
+}
+
+fn handle(stream: TcpStream, stats: &StatsFn) -> std::io::Result<()> {
+    // A silent peer (port scanner, wedged scraper) must not park this
+    // thread forever — the endpoint is unauthenticated and the process
+    // lives long; leaked connection threads would accumulate without
+    // bound.
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    // Drain the header block so well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut out = stream;
+    if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        let body = format!("{}\n", stats().emit());
+        write!(
+            out,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            out,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+    use std::io::Read as _;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect metrics");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_stats_json() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        spawn(listener, Arc::new(|| obj([("requests", Json::Num(7.0))]))).unwrap();
+        let response = get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let v = Json::parse(body.trim()).expect("json body");
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(7));
+
+        // Anything else is a 404, and the endpoint survives to answer
+        // the next scrape.
+        assert!(get(addr, "/other").starts_with("HTTP/1.1 404"), "404 path");
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200"));
+    }
+}

@@ -1,13 +1,16 @@
-//! The socket transport: `dahliac serve --listen <addr>`.
+//! The socket transport: `dahliac serve --listen <addr>` and
+//! `dahliac gateway --listen <addr>`.
 //!
-//! A std-only TCP server speaking the same JSON-lines protocol as the
-//! stdio mode, with **pipelined, out-of-order responses**: every
-//! connection runs a [`Server::serve_pipelined`] session, so a slow
-//! compile never convoys the fast requests submitted after it —
-//! responses carry the request `id` for correlation.
+//! A std-only TCP accept loop speaking the same JSON-lines protocol as
+//! the stdio mode, with **pipelined, out-of-order responses**: every
+//! connection runs a [`crate::session::run_pipelined`] session against a
+//! shared [`SessionHost`], so a slow compile never convoys the fast
+//! requests submitted after it — responses carry the request `id` for
+//! correlation. The host is the local [`Server`] for `serve` and the
+//! cluster router for `gateway`; the transport does not care.
 //!
 //! Threading model: each connection gets a dedicated I/O thread, while
-//! the compile work it submits runs on the server's shared worker pool.
+//! the compile work it submits runs on the host's worker pool.
 //! Connections must *not* occupy pool workers themselves — a pool
 //! saturated with blocked connection loops could never run the compile
 //! jobs those connections are waiting on (a classic self-deadlock).
@@ -16,20 +19,21 @@
 //!
 //! Shutdown is cooperative and graceful: any client may send
 //! `{"op":"shutdown"}`; the listener then stops accepting, every live
-//! session finishes its in-flight work, and [`serve_listener`] returns.
+//! session finishes its in-flight work, and [`serve_sessions`] returns.
 //! The CLI flushes the persistent cache tier after that, so a warm
 //! restart inherits everything.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
-use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::session::{self, SessionHost};
 use crate::{ServeSummary, Server};
 
-/// Summary of one [`serve_listener`] run.
+/// Summary of one [`serve_sessions`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetSummary {
     /// Connections accepted.
@@ -40,13 +44,22 @@ pub struct NetSummary {
     pub protocol_errors: u64,
 }
 
+/// [`serve_sessions`] with the local compile service as the host — the
+/// classic `dahliac serve --listen` shape.
+pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<NetSummary> {
+    serve_sessions(server, listener)
+}
+
 /// Accept loop: serve every connection until a client requests shutdown,
 /// then drain live sessions and return.
 ///
 /// The listener is switched to non-blocking so the loop can observe the
 /// shutdown flag; connection I/O itself is ordinary blocking I/O on
 /// per-connection threads.
-pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<NetSummary> {
+pub fn serve_sessions<H>(host: Arc<H>, listener: TcpListener) -> io::Result<NetSummary>
+where
+    H: SessionHost + 'static,
+{
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
@@ -87,7 +100,7 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
                 sessions.lock().unwrap().insert(conn_id, conn_handle);
                 totals.lock().unwrap().connections += 1;
                 active.fetch_add(1, Ordering::SeqCst);
-                let t_server = Arc::clone(&server);
+                let t_host = Arc::clone(&host);
                 let t_shutdown = Arc::clone(&shutdown);
                 let t_active = Arc::clone(&active);
                 let t_totals = Arc::clone(&totals);
@@ -96,7 +109,7 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
                     .name("dahlia-conn".into())
                     .spawn(move || {
                         let _ = stream.set_nodelay(true);
-                        let summary = handle_connection(&t_server, stream, &t_shutdown);
+                        let summary = handle_connection(t_host.as_ref(), stream, &t_shutdown);
                         if let Ok(s) = summary {
                             let mut t = t_totals.lock().unwrap();
                             t.lines += s.lines;
@@ -134,81 +147,22 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
     Ok(summary)
 }
 
-fn handle_connection(
-    server: &Server,
+fn handle_connection<H>(
+    host: &H,
     stream: TcpStream,
     shutdown: &AtomicBool,
-) -> io::Result<ServeSummary> {
+) -> io::Result<ServeSummary>
+where
+    H: SessionHost + ?Sized,
+{
     let reader = BufReader::new(stream.try_clone()?);
-    server.serve_pipelined_ctl(reader, stream, Some(shutdown))
-}
-
-/// A minimal protocol client for the socket transport, used by
-/// `dahliac batch --connect` and the integration tests.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    /// Connect to a serving `dahliac serve --listen` endpoint.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
-    }
-
-    /// Connect, retrying while the server is still binding (used by
-    /// scripts that start the server in the background).
-    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, attempts: u32) -> io::Result<Client> {
-        let mut last = None;
-        for _ in 0..attempts.max(1) {
-            match Client::connect(addr) {
-                Ok(c) => return Ok(c),
-                Err(e) => {
-                    last = Some(e);
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-            }
-        }
-        Err(last.unwrap())
-    }
-
-    /// Send one protocol line (the newline is added here).
-    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
-    }
-
-    /// Read one response line; `None` on server-side EOF.
-    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
-        use std::io::BufRead as _;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Ok(None);
-        }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
-        }
-        Ok(Some(line))
-    }
-
-    /// Ask the server to shut down gracefully (acknowledged with one
-    /// response line).
-    pub fn shutdown_server(&mut self) -> io::Result<Option<String>> {
-        self.send_line(r#"{"op":"shutdown"}"#)?;
-        self.recv_line()
-    }
+    session::run_pipelined(host, reader, stream, Some(shutdown))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::Client;
     use crate::json::Json;
     use crate::Server;
 

@@ -1,0 +1,183 @@
+//! The pipelined JSON-lines session, generalized over its host.
+//!
+//! PR 2 wired the pipelined session loop directly into [`Server`]; the
+//! cluster layer needs the *same* session semantics — out-of-order,
+//! id-correlated responses, `stats`/`shutdown` control ops, graceful
+//! drain — in front of a request **router** instead of a local compile
+//! pipeline. This module extracts the loop behind the [`SessionHost`]
+//! trait so both [`Server`] and `dahlia-gateway` speak one protocol from
+//! one implementation: every transport (stdio `--pipeline`, `serve
+//! --listen`, `gateway --listen`) is [`run_pipelined`] over a different
+//! host.
+//!
+//! [`Server`]: crate::Server
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+
+use crate::json::{obj, Json};
+use crate::protocol::Request;
+use crate::ServeSummary;
+
+/// A service that can answer protocol sessions: the local [`Server`]
+/// compiles requests itself; a gateway routes them to shards. Either
+/// way the session loop only needs to hand a request off and receive a
+/// finished response line back.
+///
+/// [`Server`]: crate::Server
+pub trait SessionHost: Send + Sync {
+    /// Dispatch one compile request off the session thread. `respond`
+    /// must eventually be called with the finished response line —
+    /// typically from a worker-pool thread, so a slow request never
+    /// blocks the session's read loop.
+    fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>);
+
+    /// The stats object answered to `{"op":"stats"}` (the payload under
+    /// the `"stats"` envelope).
+    fn stats_json(&self) -> Json;
+
+    /// Dispatch a stats request off the session thread. The default
+    /// answers inline, which is right when [`SessionHost::stats_json`]
+    /// only reads local counters; hosts whose stats involve I/O (a
+    /// gateway polls every shard) must override this to run on a
+    /// worker, or one slow backend stalls the whole session's read
+    /// loop.
+    fn dispatch_stats(&self, respond: Box<dyn FnOnce(Json) + Send>) {
+        respond(self.stats_json());
+    }
+}
+
+/// One decoded protocol line: a control op or a compile request.
+pub(crate) enum Control {
+    Stats,
+    Shutdown,
+    Req(Request),
+}
+
+pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> {
+    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    match v.get("op").and_then(Json::as_str) {
+        Some("stats") => Ok(Control::Stats),
+        Some("shutdown") => Ok(Control::Shutdown),
+        Some(other) => Err(format!("unknown op `{other}`")),
+        None => Request::from_json(&v, lineno).map(Control::Req),
+    }
+}
+
+pub(crate) fn protocol_error_line(msg: String, lineno: usize) -> String {
+    obj([
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("protocol".into())),
+                ("code", Json::Str("protocol/bad-request".into())),
+                ("message", Json::Str(msg)),
+                ("line", Json::Num((lineno + 1) as f64)),
+            ]),
+        ),
+    ])
+    .emit()
+}
+
+pub(crate) fn shutdown_ack_line() -> String {
+    obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("shutdown".into())),
+    ])
+    .emit()
+}
+
+/// Run one pipelined session over `input`/`output` against `host`:
+/// requests dispatch as they are read, responses are written as they
+/// complete (correlated by the echoed `id`), control lines are answered
+/// from the read loop. Returns at EOF or after a `shutdown` op (which
+/// also raises the optional `shutdown` flag — how a TCP session stops
+/// the whole listener), once every dispatched request has been answered.
+pub fn run_pipelined<H, R, W>(
+    host: &H,
+    input: R,
+    mut output: W,
+    shutdown: Option<&AtomicBool>,
+) -> std::io::Result<ServeSummary>
+where
+    H: SessionHost + ?Sized,
+    R: BufRead,
+    W: Write + Send,
+{
+    let (tx, rx) = mpsc::channel::<String>();
+    let mut summary = ServeSummary::default();
+    let mut read_err: Option<std::io::Error> = None;
+    let writer_result: std::io::Result<()> = std::thread::scope(|s| {
+        let writer = s.spawn(move || -> std::io::Result<()> {
+            // Flush per line: pipelined sessions are interactive and
+            // a buffered fast response would defeat the point.
+            for line in rx {
+                writeln!(output, "{line}")?;
+                output.flush()?;
+            }
+            Ok(())
+        });
+        for (lineno, line) in input.lines().enumerate() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_err = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            summary.lines += 1;
+            let sent = match parse_control(&line, lineno as u64) {
+                Ok(Control::Stats) => {
+                    let tx = tx.clone();
+                    host.dispatch_stats(Box::new(move |stats| {
+                        let _ = tx.send(obj([("stats", stats)]).emit());
+                    }));
+                    Ok(())
+                }
+                Ok(Control::Shutdown) => {
+                    if let Some(flag) = shutdown {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    let _ = tx.send(shutdown_ack_line());
+                    break;
+                }
+                Ok(Control::Req(req)) => {
+                    let tx = tx.clone();
+                    host.dispatch(
+                        req,
+                        Box::new(move |line| {
+                            let _ = tx.send(line);
+                        }),
+                    );
+                    Ok(())
+                }
+                Err(msg) => {
+                    summary.protocol_errors += 1;
+                    tx.send(protocol_error_line(msg, lineno))
+                }
+            };
+            if sent.is_err() {
+                // The writer died (client hung up mid-session);
+                // there is nobody left to answer.
+                break;
+            }
+        }
+        drop(tx);
+        writer.join().expect("writer thread")
+    });
+    if let Some(e) = read_err {
+        return Err(e);
+    }
+    // A vanished client (broken pipe) ends the session without
+    // failing it; real I/O errors surface.
+    match writer_result {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e),
+        _ => Ok(summary),
+    }
+}

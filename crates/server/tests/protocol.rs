@@ -181,7 +181,15 @@ fn stats_line_and_protocol_errors() {
     let disk = s.get("disk").unwrap();
     assert_eq!(
         disk.keys(),
-        vec!["hits", "misses", "corrupt", "writes", "write_errors"]
+        vec![
+            "hits",
+            "misses",
+            "corrupt",
+            "writes",
+            "write_errors",
+            "pruned_files",
+            "pruned_bytes"
+        ]
     );
     assert_eq!(
         disk.get("hits").and_then(Json::as_u64),

@@ -16,6 +16,9 @@
 //! * [`dse`] — design spaces, Pareto frontiers, estimation providers,
 //!   reports;
 //! * [`kernels`] — the 16 MachSuite benchmark ports;
+//! * [`gateway`] — the sharded, fault-tolerant cluster front-end:
+//!   rendezvous routing by source digest, pooled pipelined shard
+//!   clients, health checks, local fallback (`dahliac gateway`);
 //! * [`server`] — the concurrent, content-addressed compilation service
 //!   (staged artifact cache, single-flight batch executor, JSON-lines
 //!   protocol, `dahliac serve` / `dahliac batch`).
@@ -88,6 +91,7 @@
 pub use dahlia_backend as backend;
 pub use dahlia_core as core;
 pub use dahlia_dse as dse;
+pub use dahlia_gateway as gateway;
 pub use dahlia_kernels as kernels;
 pub use dahlia_server as server;
 pub use filament;
