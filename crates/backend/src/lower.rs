@@ -6,9 +6,10 @@
 //! path on which the toolchain simulator "sees" exactly the directives the
 //! real Dahlia compiler would emit as `#pragma HLS` hints.
 
-use dahlia_core::ast::{BinOp, Cmd, Expr, MemType, Program, Type};
+use dahlia_core::ast::{BinOp, Cmd, Expr, Id, MemType, Program, Type};
 use dahlia_core::check::const_eval;
 use dahlia_core::desugar::inline_views;
+use dahlia_core::SymbolSet;
 use hls_sim::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind, Stmt};
 
 /// Lower a program to a kernel for estimation.
@@ -19,11 +20,11 @@ pub fn lower(prog: &Program, name: &str) -> Kernel {
     let p = inline_views(prog);
     let mut lw = Lower {
         arrays: Vec::new(),
-        float_arrays: Vec::new(),
-        float_vars: std::collections::HashSet::new(),
+        float_arrays: SymbolSet::default(),
+        float_vars: SymbolSet::default(),
     };
     for d in &p.decls {
-        lw.add_array(&d.name, &d.ty);
+        lw.add_array(d.name, &d.ty);
     }
     lw.collect_arrays(&p.body);
     let body = lw.cmds(&p.body);
@@ -35,13 +36,13 @@ pub fn lower(prog: &Program, name: &str) -> Kernel {
 
 struct Lower {
     arrays: Vec<ArrayDecl>,
-    float_arrays: Vec<String>,
+    float_arrays: SymbolSet,
     /// Scalar variables known to hold floating-point values.
-    float_vars: std::collections::HashSet<String>,
+    float_vars: SymbolSet,
 }
 
 impl Lower {
-    fn add_array(&mut self, name: &str, m: &MemType) {
+    fn add_array(&mut self, name: Id, m: &MemType) {
         let dims: Vec<u64> = m.dims.iter().map(|d| d.size).collect();
         let parts: Vec<u64> = m.dims.iter().map(|d| d.banks).collect();
         let (bits, is_float) = match *m.elem {
@@ -52,10 +53,10 @@ impl Lower {
             _ => (32, false),
         };
         if is_float {
-            self.float_arrays.push(name.to_string());
+            self.float_arrays.insert(name);
         }
         self.arrays.push(
-            ArrayDecl::new(name, bits, &dims)
+            ArrayDecl::new(name.as_str(), bits, &dims)
                 .partitioned(&parts)
                 .with_ports(m.ports),
         );
@@ -69,7 +70,7 @@ impl Lower {
                 name,
                 ty: Some(Type::Mem(m)),
                 ..
-            } => self.add_array(name, m),
+            } => self.add_array(*name, m),
             Cmd::Seq(cs) | Cmd::Par(cs) => cs.iter().for_each(|c| self.collect_arrays(c)),
             Cmd::If {
                 then_branch,
@@ -103,14 +104,14 @@ impl Lower {
                 ..
             } => {
                 if matches!(ty, Some(Type::Float | Type::Double)) || self.is_float(e) {
-                    self.float_vars.insert(name.clone());
+                    self.float_vars.insert(*name);
                 }
                 self.stmt_ops(&[e], None)
             }
             Cmd::Assign { rhs: e, .. } | Cmd::Expr(e) => self.stmt_ops(&[e], None),
             Cmd::Let { .. } => Vec::new(),
             Cmd::Store { mem, idxs, rhs, .. } => {
-                self.stmt_ops(&[rhs], Some(Access::new(mem.clone(), self.idxs(idxs))))
+                self.stmt_ops(&[rhs], Some(Access::new(mem.as_str(), self.idxs(idxs))))
             }
             Cmd::Reduce {
                 target,
@@ -122,7 +123,7 @@ impl Lower {
                 let mut stmts = if target_idxs.is_empty() {
                     self.stmt_ops(&[rhs], None)
                 } else {
-                    let acc = Access::new(target.clone(), self.idxs(target_idxs));
+                    let acc = Access::new(target.as_str(), self.idxs(target_idxs));
                     let mut s = self.stmt_ops(&[rhs], Some(acc.clone()));
                     // Read-modify-write: the read side of the reducer.
                     s.push(Op::compute(OpKind::Copy).read(acc).into_stmt());
@@ -131,7 +132,7 @@ impl Lower {
                 // The fold operator itself.
                 let is_f = self.is_float(rhs)
                     || self.float_vars.contains(target)
-                    || (!target_idxs.is_empty() && self.float_arrays.iter().any(|a| a == target));
+                    || (!target_idxs.is_empty() && self.float_arrays.contains(target));
                 let kind = self.bin_kind(op.op(), is_f);
                 stmts.push(Op::compute(kind).into_stmt());
                 stmts
@@ -169,7 +170,7 @@ impl Lower {
                 combine,
                 ..
             } => {
-                let mut l = Loop::new(var.clone(), (hi - lo).max(0) as u64).unrolled(*unroll);
+                let mut l = Loop::new(var.as_str(), (hi - lo).max(0) as u64).unrolled(*unroll);
                 l.body = self.cmds(body);
                 if let Some(c) = combine {
                     l.body.extend(self.cmds(c));
@@ -216,7 +217,7 @@ impl Lower {
                 self.walk_expr(arg, float, kinds, reads);
             }
             Expr::Access { mem, idxs, .. } => {
-                reads.push(Access::new(mem.clone(), self.idxs(idxs)));
+                reads.push(Access::new(mem.as_str(), self.idxs(idxs)));
                 // Index computations contribute logic too, but only the
                 // non-trivial ones show up as datapath.
             }
@@ -262,7 +263,7 @@ impl Lower {
         match e {
             Expr::LitFloat { .. } => true,
             Expr::Var { name, .. } => self.float_vars.contains(name),
-            Expr::Access { mem, .. } => self.float_arrays.iter().any(|a| a == mem),
+            Expr::Access { mem, .. } => self.float_arrays.contains(mem),
             Expr::Bin { lhs, rhs, .. } => self.is_float(lhs) || self.is_float(rhs),
             Expr::Un { arg, .. } => self.is_float(arg),
             _ => false,
@@ -280,7 +281,7 @@ pub fn classify_idx(e: &Expr) -> Idx {
         return Idx::Const(n);
     }
     match e {
-        Expr::Var { name, .. } => Idx::var(name.clone()),
+        Expr::Var { name, .. } => Idx::var(name.as_str()),
         Expr::Bin { op, lhs, rhs, .. } => {
             let (l, r) = (classify_idx(lhs), classify_idx(rhs));
             match (op, l, r) {

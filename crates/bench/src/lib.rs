@@ -23,6 +23,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod frontend;
 pub mod serve;
 
 /// Parse figure-driver arguments into sweep strides (default `[1]`,

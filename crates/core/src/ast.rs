@@ -6,11 +6,15 @@
 //! (`shrink`, `suffix`, `shift`, `split`).
 
 use std::fmt;
+use std::sync::Arc;
 
+use crate::intern::Symbol;
 use crate::span::Span;
 
-/// An identifier (variable, memory, view, or function name).
-pub type Id = String;
+/// An identifier (variable, memory, view, or function name): an interned
+/// [`Symbol`] — `Copy`, 4 bytes, integer equality/hashing. See
+/// [`crate::intern`].
+pub type Id = Symbol;
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -198,8 +202,10 @@ impl Dim {
 /// [`Dim`] per dimension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemType {
-    /// Element type (must be scalar).
-    pub elem: Box<Type>,
+    /// Element type (must be scalar). `Arc` so cloning a memory type —
+    /// which the checker and desugarer do per view and per access chain —
+    /// never copies the element.
+    pub elem: Arc<Type>,
     /// Read/write ports per bank (`float{2}[...]`); 1 if unannotated.
     pub ports: u32,
     /// Dimensions, outermost first.
@@ -249,14 +255,14 @@ pub enum Expr {
     /// Binary operation.
     Bin {
         op: BinOp,
-        lhs: Box<Expr>,
-        rhs: Box<Expr>,
+        lhs: Arc<Expr>,
+        rhs: Arc<Expr>,
         span: Span,
     },
     /// Unary operation.
     Un {
         op: UnOp,
-        arg: Box<Expr>,
+        arg: Arc<Expr>,
         span: Span,
     },
     /// Memory read: logical `A[i][j]` or physical `A{b}[i]`.
@@ -264,7 +270,7 @@ pub enum Expr {
         /// Memory or view name.
         mem: Id,
         /// `Some(b)` for a physical access `A{b}[i]`.
-        phys_bank: Option<Box<Expr>>,
+        phys_bank: Option<Arc<Expr>>,
         /// One index per dimension.
         idxs: Vec<Expr>,
         /// Source location.
@@ -310,23 +316,27 @@ impl Expr {
     }
 
     /// Does this expression syntactically mention `name`?
-    pub fn mentions(&self, name: &str) -> bool {
+    pub fn mentions(&self, name: impl Into<Id>) -> bool {
+        self.mentions_sym(name.into())
+    }
+
+    fn mentions_sym(&self, name: Id) -> bool {
         match self {
             Expr::LitInt { .. } | Expr::LitFloat { .. } | Expr::LitBool { .. } => false,
-            Expr::Var { name: n, .. } => n == name,
-            Expr::Bin { lhs, rhs, .. } => lhs.mentions(name) || rhs.mentions(name),
-            Expr::Un { arg, .. } => arg.mentions(name),
+            Expr::Var { name: n, .. } => *n == name,
+            Expr::Bin { lhs, rhs, .. } => lhs.mentions_sym(name) || rhs.mentions_sym(name),
+            Expr::Un { arg, .. } => arg.mentions_sym(name),
             Expr::Access {
                 mem,
                 phys_bank,
                 idxs,
                 ..
             } => {
-                mem == name
-                    || phys_bank.as_ref().is_some_and(|b| b.mentions(name))
-                    || idxs.iter().any(|i| i.mentions(name))
+                *mem == name
+                    || phys_bank.as_ref().is_some_and(|b| b.mentions_sym(name))
+                    || idxs.iter().any(|i| i.mentions_sym(name))
             }
-            Expr::Call { args, .. } => args.iter().any(|a| a.mentions(name)),
+            Expr::Call { args, .. } => args.iter().any(|a| a.mentions_sym(name)),
         }
     }
 }
@@ -398,7 +408,7 @@ pub enum Cmd {
         /// Target memory or view.
         mem: Id,
         /// `Some(b)` for physical bank addressing.
-        phys_bank: Option<Box<Expr>>,
+        phys_bank: Option<Arc<Expr>>,
         /// One index per dimension.
         idxs: Vec<Expr>,
         /// Value to store.
@@ -431,9 +441,9 @@ pub enum Cmd {
         /// Condition.
         cond: Expr,
         /// Then branch.
-        then_branch: Box<Cmd>,
+        then_branch: Arc<Cmd>,
         /// Optional else branch.
-        else_branch: Option<Box<Cmd>>,
+        else_branch: Option<Arc<Cmd>>,
         /// Source location.
         span: Span,
     },
@@ -442,7 +452,7 @@ pub enum Cmd {
         /// Condition.
         cond: Expr,
         /// Body.
-        body: Box<Cmd>,
+        body: Arc<Cmd>,
         /// Source location.
         span: Span,
     },
@@ -457,9 +467,9 @@ pub enum Cmd {
         /// Unroll factor (1 = sequential).
         unroll: u64,
         /// Loop body.
-        body: Box<Cmd>,
+        body: Arc<Cmd>,
         /// Optional reduction block.
-        combine: Option<Box<Cmd>>,
+        combine: Option<Arc<Cmd>>,
         /// Source location.
         span: Span,
     },
@@ -545,7 +555,7 @@ mod tests {
     #[test]
     fn mem_type_totals() {
         let m = MemType {
-            elem: Box::new(Type::Float),
+            elem: Arc::new(Type::Float),
             ports: 1,
             dims: vec![Dim::banked(4, 2), Dim::banked(4, 2)],
         };
@@ -559,7 +569,7 @@ mod tests {
         assert_eq!(Type::Bit(32).to_string(), "bit<32>");
         assert_eq!(Type::Idx { lo: 0, hi: 4 }.to_string(), "idx{0..4}");
         let m = MemType {
-            elem: Box::new(Type::Float),
+            elem: Arc::new(Type::Float),
             ports: 2,
             dims: vec![Dim::flat(10)],
         };
@@ -570,8 +580,8 @@ mod tests {
     fn expr_mentions() {
         let e = Expr::Bin {
             op: BinOp::Add,
-            lhs: Box::new(Expr::var("i")),
-            rhs: Box::new(Expr::int(1)),
+            lhs: Arc::new(Expr::var("i")),
+            rhs: Arc::new(Expr::int(1)),
             span: Span::synthetic(),
         };
         assert!(e.mentions("i"));

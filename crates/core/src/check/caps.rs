@@ -2,10 +2,19 @@
 //!
 //! Each memory bank carries `ports` capabilities per logical time step.
 //! Reads acquire a *non-affine read capability* keyed by the syntactic
-//! access (so identical reads share one port); writes acquire *use-once
-//! write capabilities*. Ordered composition (`---`) restores capabilities
+//! access (so identical reads share one port); writes acquire *use-once*
+//! write capabilities. Ordered composition (`---`) restores capabilities
 //! by re-checking each step from the state at entry and then taking the
 //! pointwise meet of the results.
+//!
+//! Representation notes (this module is on the checker's hottest path):
+//! banks are tracked as **flat** ids — the row-major fold of the
+//! per-dimension bank coordinates — so the capability maps key on
+//! `(Symbol, u64)` instead of `(String, Vec<u64>)`; and the syntactic
+//! access identity is a 128-bit structural fingerprint
+//! ([`super::access_fingerprint`]) instead of a printed string. Cloning
+//! a `Caps` (every `---` step and `if` branch does) copies small `Copy`
+//! keys, never heap strings or coordinate vectors.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -51,17 +60,15 @@ pub struct ResolvedAccess {
 }
 
 impl ResolvedAccess {
-    /// Expand the per-dimension bank sets into concrete bank coordinates.
-    pub fn coords(&self) -> Vec<Vec<u64>> {
-        let mut acc: Vec<Vec<u64>> = vec![Vec::new()];
+    /// Expand the per-dimension bank sets into flat (row-major) bank ids.
+    pub fn flat_banks(&self) -> Vec<u64> {
+        let mut acc: Vec<u64> = vec![0];
         for (set, &banks) in self.bank_sets.iter().zip(&self.dim_banks) {
             let opts = set.expand(banks);
             let mut next = Vec::with_capacity(acc.len() * opts.len());
-            for prefix in &acc {
+            for &prefix in &acc {
                 for &b in &opts {
-                    let mut p = prefix.clone();
-                    p.push(b);
-                    next.push(p);
+                    next.push(prefix * banks + b);
                 }
             }
             acc = next;
@@ -72,15 +79,17 @@ impl ResolvedAccess {
 
 /// A canonical identity for a syntactic access, used for read-capability
 /// sharing: `A[i][0]` read twice in one time step is a single port use.
-pub type AccessKey = (Id, String);
+/// The second component is a structural fingerprint of the access shape
+/// (see `access_fingerprint` in the checker).
+pub type AccessKey = (Id, u128);
 
 /// The capability state for one point in the program.
 #[derive(Debug, Clone, Default)]
 pub struct Caps {
-    /// Remaining ports per (root memory, bank coordinate).
-    avail: BTreeMap<(Id, Vec<u64>), u32>,
+    /// Remaining ports per (root memory, flat bank id).
+    avail: BTreeMap<(Id, u64), u32>,
     /// Full port count per bank (the Δ* this state was built from).
-    capacity: BTreeMap<(Id, Vec<u64>), u32>,
+    capacity: BTreeMap<(Id, u64), u32>,
     /// Read capabilities held in the current time step.
     reads: BTreeSet<AccessKey>,
     /// Write capabilities spent in the current time step.
@@ -92,10 +101,12 @@ pub struct Caps {
 impl Caps {
     /// Register a freshly declared memory: every bank gets `ports`
     /// capabilities.
-    pub fn add_memory(&mut self, name: &str, dim_banks: &[u64], ports: u32) {
-        for coord in all_coords(dim_banks) {
-            self.avail.insert((name.to_string(), coord.clone()), ports);
-            self.capacity.insert((name.to_string(), coord), ports);
+    pub fn add_memory(&mut self, name: impl Into<Id>, dim_banks: &[u64], ports: u32) {
+        let name = name.into();
+        let total: u64 = dim_banks.iter().product::<u64>().max(1);
+        for bank in 0..total {
+            self.avail.insert((name, bank), ports);
+            self.capacity.insert((name, bank), ports);
         }
     }
 
@@ -105,15 +116,15 @@ impl Caps {
     pub fn step_entry(&self, entry: &Caps) -> Caps {
         let mut out = entry.clone();
         for (k, &cap) in &self.capacity {
-            out.capacity.entry(k.clone()).or_insert(cap);
-            out.avail.entry(k.clone()).or_insert(cap);
+            out.capacity.entry(*k).or_insert(cap);
+            out.avail.entry(*k).or_insert(cap);
         }
         out
     }
 
-    /// Remaining ports on a bank (for tests/diagnostics).
-    pub fn remaining(&self, name: &str, coord: &[u64]) -> Option<u32> {
-        self.avail.get(&(name.to_string(), coord.to_vec())).copied()
+    /// Remaining ports on a flat bank id (for tests/diagnostics).
+    pub fn remaining(&self, name: impl Into<Id>, bank: u64) -> Option<u32> {
+        self.avail.get(&(name.into(), bank)).copied()
     }
 
     /// Acquire a read capability.
@@ -153,8 +164,8 @@ impl Caps {
             return Err(TypeError::new(
                 TypeErrorKind::WriteConflict,
                 format!(
-                    "location `{}[{}]` is written twice in the same logical time step",
-                    key.0, key.1
+                    "location `{}[…]` is written twice in the same logical time step",
+                    key.0
                 ),
                 span,
             ));
@@ -172,22 +183,21 @@ impl Caps {
     /// # Errors
     ///
     /// `AlreadyConsumed` when some underlying bank has no port left.
-    pub fn acquire_claim(&mut self, root: &str, view: &str, span: Span) -> Result<(), TypeError> {
-        if self.claims.contains(view) {
+    pub fn acquire_claim(&mut self, root: Id, view: Id, span: Span) -> Result<(), TypeError> {
+        if self.claims.contains(&view) {
             return Ok(());
         }
         let keys: Vec<_> = self
             .avail
-            .keys()
-            .filter(|(m, _)| m == root)
-            .cloned()
+            .range((root, 0)..=(root, u64::MAX))
+            .map(|(k, _)| *k)
             .collect();
         for k in &keys {
             if self.avail[k] == 0 {
                 return Err(TypeError::new(
                     TypeErrorKind::AlreadyConsumed,
                     format!(
-                        "bank {:?} of memory `{root}` has no port left for the shift view `{view}` \
+                        "bank {} of memory `{root}` has no port left for the shift view `{view}` \
                          in this logical time step",
                         k.1
                     ),
@@ -198,7 +208,7 @@ impl Caps {
         for k in keys {
             *self.avail.get_mut(&k).expect("key collected above") -= 1;
         }
-        self.claims.insert(view.to_string());
+        self.claims.insert(view);
         Ok(())
     }
 
@@ -207,12 +217,17 @@ impl Caps {
     /// # Errors
     ///
     /// `AlreadyConsumed` if any bank has already lost a port this step.
-    pub fn consume_all(&mut self, name: &str, ports: u32, span: Span) -> Result<(), TypeError> {
+    pub fn consume_all(
+        &mut self,
+        name: impl Into<Id>,
+        ports: u32,
+        span: Span,
+    ) -> Result<(), TypeError> {
+        let name = name.into();
         let keys: Vec<_> = self
             .avail
-            .keys()
-            .filter(|(m, _)| m == name)
-            .cloned()
+            .range((name, 0)..=(name, u64::MAX))
+            .map(|(k, _)| *k)
             .collect();
         for k in &keys {
             let avail = self.avail[k];
@@ -231,15 +246,14 @@ impl Caps {
     }
 
     fn consume(&mut self, access: &ResolvedAccess, span: Span) -> Result<(), TypeError> {
-        let coords = access.coords();
+        let banks = access.flat_banks();
         // Check first so errors leave the state unchanged.
-        for coord in &coords {
-            let key = (access.root.clone(), coord.clone());
-            match self.avail.get(&key) {
+        for &bank in &banks {
+            match self.avail.get(&(access.root, bank)) {
                 None => {
                     return Err(TypeError::new(
                         TypeErrorKind::Unbound,
-                        format!("memory `{}` has no bank {:?}", access.root, coord),
+                        format!("memory `{}` has no bank {bank}", access.root),
                         span,
                     ))
                 }
@@ -247,9 +261,9 @@ impl Caps {
                     return Err(TypeError::new(
                         TypeErrorKind::AlreadyConsumed,
                         format!(
-                            "bank {:?} of memory `{}` was already consumed in this logical time step \
+                            "bank {bank} of memory `{}` was already consumed in this logical time step \
                              (insert `---` to sequence the accesses, or add ports/banks)",
-                            coord, access.root
+                            access.root
                         ),
                         span,
                     ));
@@ -257,9 +271,11 @@ impl Caps {
                 Some(_) => {}
             }
         }
-        for coord in coords {
-            let key = (access.root.clone(), coord);
-            *self.avail.get_mut(&key).expect("checked above") -= 1;
+        for bank in banks {
+            *self
+                .avail
+                .get_mut(&(access.root, bank))
+                .expect("checked above") -= 1;
         }
         Ok(())
     }
@@ -271,13 +287,13 @@ impl Caps {
         let mut avail = self.avail.clone();
         for (k, v) in &other.avail {
             avail
-                .entry(k.clone())
+                .entry(*k)
                 .and_modify(|mine| *mine = (*mine).min(*v))
                 .or_insert(*v);
         }
         let mut capacity = self.capacity.clone();
         for (k, v) in &other.capacity {
-            capacity.entry(k.clone()).or_insert(*v);
+            capacity.entry(*k).or_insert(*v);
         }
         Caps {
             avail,
@@ -289,23 +305,6 @@ impl Caps {
             claims: self.claims.intersection(&other.claims).cloned().collect(),
         }
     }
-}
-
-/// Cartesian product of bank indices across dimensions.
-pub fn all_coords(dim_banks: &[u64]) -> Vec<Vec<u64>> {
-    let mut acc: Vec<Vec<u64>> = vec![Vec::new()];
-    for &banks in dim_banks {
-        let mut next = Vec::with_capacity(acc.len() * banks as usize);
-        for prefix in &acc {
-            for b in 0..banks {
-                let mut p = prefix.clone();
-                p.push(b);
-                next.push(p);
-            }
-        }
-        acc = next;
-    }
-    acc
 }
 
 #[cfg(test)]
@@ -320,15 +319,19 @@ mod tests {
         }
     }
 
+    fn key(root: &str, tag: u128) -> AccessKey {
+        (root.into(), tag)
+    }
+
     #[test]
     fn single_port_read_then_write_fails() {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 1);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+        caps.acquire_read(&a, key("A", 0), Span::synthetic())
             .unwrap();
         let err = caps
-            .acquire_write(&a, ("A".into(), "1".into()), Span::synthetic())
+            .acquire_write(&a, key("A", 1), Span::synthetic())
             .unwrap_err();
         assert_eq!(err.kind, TypeErrorKind::AlreadyConsumed);
     }
@@ -338,11 +341,11 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 1);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+        caps.acquire_read(&a, key("A", 0), Span::synthetic())
             .unwrap();
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+        caps.acquire_read(&a, key("A", 0), Span::synthetic())
             .unwrap();
-        assert_eq!(caps.remaining("A", &[0]), Some(0));
+        assert_eq!(caps.remaining("A", 0), Some(0));
     }
 
     #[test]
@@ -350,11 +353,11 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 2);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_read(&a, ("A".into(), "0".into()), Span::synthetic())
+        caps.acquire_read(&a, key("A", 0), Span::synthetic())
             .unwrap();
-        caps.acquire_write(&a, ("A".into(), "1".into()), Span::synthetic())
+        caps.acquire_write(&a, key("A", 1), Span::synthetic())
             .unwrap();
-        assert_eq!(caps.remaining("A", &[0]), Some(0));
+        assert_eq!(caps.remaining("A", 0), Some(0));
     }
 
     #[test]
@@ -363,9 +366,9 @@ mod tests {
         caps.add_memory("A", &[2], 1);
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
         let a1 = acc("A", vec![BankSet::one(1)], vec![2]);
-        caps.acquire_write(&a0, ("A".into(), "b0".into()), Span::synthetic())
+        caps.acquire_write(&a0, key("A", 10), Span::synthetic())
             .unwrap();
-        caps.acquire_write(&a1, ("A".into(), "b1".into()), Span::synthetic())
+        caps.acquire_write(&a1, key("A", 11), Span::synthetic())
             .unwrap();
     }
 
@@ -374,10 +377,10 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[1], 4);
         let a = acc("A", vec![BankSet::one(0)], vec![1]);
-        caps.acquire_write(&a, ("A".into(), "0".into()), Span::synthetic())
+        caps.acquire_write(&a, key("A", 0), Span::synthetic())
             .unwrap();
         let err = caps
-            .acquire_write(&a, ("A".into(), "0".into()), Span::synthetic())
+            .acquire_write(&a, key("A", 0), Span::synthetic())
             .unwrap_err();
         assert_eq!(err.kind, TypeErrorKind::WriteConflict);
     }
@@ -388,25 +391,20 @@ mod tests {
         base.add_memory("A", &[2], 1);
         let mut left = base.clone();
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
-        left.acquire_read(&a0, ("A".into(), "0".into()), Span::synthetic())
+        left.acquire_read(&a0, key("A", 0), Span::synthetic())
             .unwrap();
         let met = left.meet(&base);
-        assert_eq!(met.remaining("A", &[0]), Some(0));
-        assert_eq!(met.remaining("A", &[1]), Some(1));
+        assert_eq!(met.remaining("A", 0), Some(0));
+        assert_eq!(met.remaining("A", 1), Some(1));
     }
 
     #[test]
-    fn all_coords_products() {
-        assert_eq!(all_coords(&[2, 2]).len(), 4);
-        assert_eq!(all_coords(&[1]), vec![vec![0]]);
-        assert_eq!(all_coords(&[3])[2], vec![2]);
-    }
-
-    #[test]
-    fn bankset_all_expands() {
+    fn flat_banks_are_row_major_products() {
         let a = acc("A", vec![BankSet::All, BankSet::one(1)], vec![2, 2]);
-        let coords = a.coords();
-        assert_eq!(coords, vec![vec![0, 1], vec![1, 1]]);
+        // (0,1) → 0·2+1 = 1, (1,1) → 1·2+1 = 3.
+        assert_eq!(a.flat_banks(), vec![1, 3]);
+        let b = acc("B", vec![BankSet::All], vec![3]);
+        assert_eq!(b.flat_banks(), vec![0, 1, 2]);
     }
 
     #[test]
@@ -414,8 +412,21 @@ mod tests {
         let mut caps = Caps::default();
         caps.add_memory("A", &[2], 1);
         let a0 = acc("A", vec![BankSet::one(0)], vec![2]);
-        caps.acquire_read(&a0, ("A".into(), "x".into()), Span::synthetic())
+        caps.acquire_read(&a0, key("A", 7), Span::synthetic())
             .unwrap();
         assert!(caps.consume_all("A", 1, Span::synthetic()).is_err());
+    }
+
+    #[test]
+    fn range_scans_do_not_cross_memories() {
+        // consume_all("A") must leave other memories untouched even when
+        // their symbols sort adjacently.
+        let mut caps = Caps::default();
+        caps.add_memory("A", &[2], 1);
+        caps.add_memory("B", &[2], 1);
+        caps.consume_all("A", 1, Span::synthetic()).unwrap();
+        assert_eq!(caps.remaining("A", 0), Some(0));
+        assert_eq!(caps.remaining("B", 0), Some(1));
+        assert_eq!(caps.remaining("B", 1), Some(1));
     }
 }

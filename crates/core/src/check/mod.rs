@@ -9,10 +9,11 @@
 
 pub mod caps;
 
-use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::ast::*;
 use crate::error::{Error, TypeError, TypeErrorKind};
+use crate::intern::SymbolMap;
 use crate::span::Span;
 use caps::{BankSet, Caps, ResolvedAccess};
 
@@ -59,7 +60,7 @@ enum Binding {
     /// Loop iterator with its unroll factor and dynamic range.
     Iter { unroll: u64, lo: i64, hi: i64 },
     /// Memory or view.
-    Mem(MemEntry),
+    Mem(Rc<MemEntry>),
     /// A variable declared in a `for` body, visible in the `combine` block
     /// as a tuple of the unrolled copies' values.
     CombineReg(Type),
@@ -94,9 +95,9 @@ enum ViewOp {
 }
 
 struct Checker {
-    scopes: Vec<HashMap<Id, Binding>>,
+    scopes: Vec<SymbolMap<Binding>>,
     caps: Caps,
-    funcs: HashMap<Id, Vec<Param>>,
+    funcs: SymbolMap<Rc<[Param]>>,
     /// Scope index of each enclosing `for` body.
     for_frames: Vec<usize>,
     /// Enclosing unrolled iterators (name, factor > 1).
@@ -109,9 +110,9 @@ struct Checker {
 impl Checker {
     fn new() -> Self {
         Checker {
-            scopes: vec![HashMap::new()],
+            scopes: vec![SymbolMap::default()],
             caps: Caps::default(),
-            funcs: HashMap::new(),
+            funcs: SymbolMap::default(),
             for_frames: Vec::new(),
             unrolled: Vec::new(),
             in_combine: false,
@@ -123,32 +124,32 @@ impl Checker {
     // ----------------------------------------------------------- scopes
 
     fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(SymbolMap::default());
     }
 
     fn pop_scope(&mut self) {
         self.scopes.pop();
     }
 
-    fn lookup(&self, name: &str) -> Option<(usize, &Binding)> {
+    fn lookup(&self, name: Id) -> Option<(usize, &Binding)> {
         for (i, s) in self.scopes.iter().enumerate().rev() {
-            if let Some(b) = s.get(name) {
+            if let Some(b) = s.get(&name) {
                 return Some((i, b));
             }
         }
         None
     }
 
-    fn declare(&mut self, name: &str, b: Binding, span: Span) -> Result<(), TypeError> {
+    fn declare(&mut self, name: Id, b: Binding, span: Span) -> Result<(), TypeError> {
         let top = self.scopes.last_mut().expect("scope stack nonempty");
-        if top.contains_key(name) {
+        if top.contains_key(&name) {
             return Err(TypeError::new(
                 TypeErrorKind::AlreadyDefined,
                 format!("`{name}` is already defined in this scope"),
                 span,
             ));
         }
-        top.insert(name.to_string(), b);
+        top.insert(name, b);
         Ok(())
     }
 
@@ -156,7 +157,7 @@ impl Checker {
 
     fn check_program(&mut self, prog: &Program) -> Result<(), TypeError> {
         for d in &prog.decls {
-            self.declare_memory(&d.name, &d.ty, d.span)?;
+            self.declare_memory(d.name, &d.ty, d.span)?;
         }
         for f in &prog.defs {
             self.check_func(f)?;
@@ -177,20 +178,20 @@ impl Checker {
                 Type::Mem(m) => {
                     let r = self.validate_mem_type(m, f.span);
                     if r.is_ok() {
-                        self.caps.add_memory(&p.name, &bank_dims(m), m.ports);
+                        self.caps.add_memory(p.name, &bank_dims(m), m.ports);
                         self.declare(
-                            &p.name,
-                            Binding::Mem(MemEntry {
+                            p.name,
+                            Binding::Mem(Rc::new(MemEntry {
                                 ty: m.clone(),
                                 origin: Origin::Direct,
-                            }),
+                            })),
                             f.span,
                         )
                         .expect("fresh scope");
                     }
                     r
                 }
-                t if t.is_scalar() => self.declare(&p.name, Binding::Scalar(t.clone()), f.span),
+                t if t.is_scalar() => self.declare(p.name, Binding::Scalar(t.clone()), f.span),
                 t => Err(TypeError::new(
                     TypeErrorKind::BadCall,
                     format!("parameter `{}` has non-parameter type `{t}`", p.name),
@@ -212,7 +213,7 @@ impl Checker {
         result?;
         // Register after checking the body: recursion is rejected as an
         // unbound call.
-        self.funcs.insert(f.name.clone(), f.params.clone());
+        self.funcs.insert(f.name, f.params.as_slice().into());
         self.report.functions += 1;
         Ok(())
     }
@@ -254,15 +255,15 @@ impl Checker {
         Ok(())
     }
 
-    fn declare_memory(&mut self, name: &str, m: &MemType, span: Span) -> Result<(), TypeError> {
+    fn declare_memory(&mut self, name: Id, m: &MemType, span: Span) -> Result<(), TypeError> {
         self.validate_mem_type(m, span)?;
         self.caps.add_memory(name, &bank_dims(m), m.ports);
         self.declare(
             name,
-            Binding::Mem(MemEntry {
+            Binding::Mem(Rc::new(MemEntry {
                 ty: m.clone(),
                 origin: Origin::Direct,
-            }),
+            })),
             span,
         )?;
         self.report.memories += 1;
@@ -286,14 +287,14 @@ impl Checker {
                 ty,
                 init,
                 span,
-            } => self.check_let(name, ty, init, *span),
+            } => self.check_let(*name, ty, init, *span),
             Cmd::View {
                 name,
                 mem,
                 kind,
                 span,
-            } => self.check_view(name, mem, kind, *span),
-            Cmd::Assign { name, rhs, span } => self.check_assign(name, rhs, *span),
+            } => self.check_view(*name, *mem, kind, *span),
+            Cmd::Assign { name, rhs, span } => self.check_assign(*name, rhs, *span),
             Cmd::Store {
                 mem,
                 phys_bank,
@@ -302,7 +303,7 @@ impl Checker {
                 span,
             } => {
                 let rt = self.check_expr(rhs)?;
-                let et = self.check_access(mem, phys_bank.as_deref(), idxs, Mode::Write, *span)?;
+                let et = self.check_access(*mem, phys_bank.as_deref(), idxs, Mode::Write, *span)?;
                 join_scalar(&et, &rt, *span)?;
                 Ok(())
             }
@@ -312,7 +313,7 @@ impl Checker {
                 op,
                 rhs,
                 span,
-            } => self.check_reduce(target, target_idxs, *op, rhs, *span),
+            } => self.check_reduce(*target, target_idxs, *op, rhs, *span),
             Cmd::If {
                 cond,
                 then_branch,
@@ -365,8 +366,8 @@ impl Checker {
                 body,
                 combine,
                 span,
-            } => self.check_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
-            Cmd::Expr(Expr::Call { func, args, span }) => self.check_call(func, args, *span),
+            } => self.check_for(*var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
+            Cmd::Expr(Expr::Call { func, args, span }) => self.check_call(*func, args, *span),
             Cmd::Expr(e) => {
                 self.check_expr(e)?;
                 Ok(())
@@ -398,7 +399,7 @@ impl Checker {
 
     fn check_let(
         &mut self,
-        name: &str,
+        name: Id,
         ty: &Option<Type>,
         init: &Option<Expr>,
         span: Span,
@@ -434,7 +435,7 @@ impl Checker {
         }
     }
 
-    fn check_assign(&mut self, name: &str, rhs: &Expr, span: Span) -> Result<(), TypeError> {
+    fn check_assign(&mut self, name: Id, rhs: &Expr, span: Span) -> Result<(), TypeError> {
         let rt = self.check_expr(rhs)?;
         let (depth, binding) = self.lookup(name).ok_or_else(|| {
             TypeError::new(
@@ -443,9 +444,9 @@ impl Checker {
                 span,
             )
         })?;
-        match binding.clone() {
+        match binding {
             Binding::Scalar(t) => {
-                join_scalar(&t, &rt, span)?;
+                join_scalar(t, &rt, span)?;
                 self.check_loop_dependency(name, depth, span, false)
             }
             Binding::Iter { .. } => Err(TypeError::new(
@@ -471,7 +472,7 @@ impl Checker {
     /// block (`is_reduce`).
     fn check_loop_dependency(
         &self,
-        name: &str,
+        name: Id,
         binding_depth: usize,
         span: Span,
         is_reduce: bool,
@@ -494,7 +495,7 @@ impl Checker {
 
     fn check_reduce(
         &mut self,
-        target: &str,
+        target: Id,
         target_idxs: &[Expr],
         _op: Reducer,
         rhs: &Expr,
@@ -548,7 +549,7 @@ impl Checker {
     #[allow(clippy::too_many_arguments)]
     fn check_for(
         &mut self,
-        var: &str,
+        var: Id,
         lo: i64,
         hi: i64,
         unroll: u64,
@@ -581,7 +582,7 @@ impl Checker {
         self.for_frames.push(self.scopes.len() - 1);
         self.declare(var, Binding::Iter { unroll, lo, hi }, span)?;
         if unroll > 1 {
-            self.unrolled.push((var.to_string(), unroll));
+            self.unrolled.push((var, unroll));
         }
         let body_result = self.check_cmd(body);
         if unroll > 1 {
@@ -600,7 +601,7 @@ impl Checker {
             // registers.
             self.push_scope();
             self.declare(var, Binding::Iter { unroll: 1, lo, hi }, span)?;
-            for (name, b) in &body_scope {
+            for (&name, b) in &body_scope {
                 if name == var {
                     continue;
                 }
@@ -621,8 +622,8 @@ impl Checker {
         Ok(())
     }
 
-    fn check_call(&mut self, func: &str, args: &[Expr], span: Span) -> Result<(), TypeError> {
-        let params = self.funcs.get(func).cloned().ok_or_else(|| {
+    fn check_call(&mut self, func: Id, args: &[Expr], span: Span) -> Result<(), TypeError> {
+        let params = self.funcs.get(&func).cloned().ok_or_else(|| {
             TypeError::new(
                 TypeErrorKind::Unbound,
                 format!("unbound function `{func}`"),
@@ -644,7 +645,7 @@ impl Checker {
             match &p.ty {
                 Type::Mem(want) => {
                     let name = match a {
-                        Expr::Var { name, .. } => name.clone(),
+                        Expr::Var { name, .. } => *name,
                         other => {
                             return Err(TypeError::new(
                                 TypeErrorKind::BadCall,
@@ -653,8 +654,8 @@ impl Checker {
                             ))
                         }
                     };
-                    let entry = match self.lookup(&name) {
-                        Some((_, Binding::Mem(e))) => e.clone(),
+                    let entry = match self.lookup(name) {
+                        Some((_, Binding::Mem(e))) => Rc::clone(e),
                         _ => {
                             return Err(TypeError::new(
                                 TypeErrorKind::BadCall,
@@ -675,8 +676,8 @@ impl Checker {
                     }
                     // The callee may touch any bank: consume the whole root
                     // memory for this time step.
-                    let (root, ports) = self.root_of(&name);
-                    self.caps.consume_all(&root, ports, span)?;
+                    let (root, ports) = self.root_of(name);
+                    self.caps.consume_all(root, ports, span)?;
                 }
                 t => {
                     let at = self.check_expr(a)?;
@@ -688,13 +689,13 @@ impl Checker {
     }
 
     /// Follow a view chain to the underlying physical memory.
-    fn root_of(&self, name: &str) -> (Id, u32) {
-        let mut cur = name.to_string();
+    fn root_of(&self, name: Id) -> (Id, u32) {
+        let mut cur = name;
         loop {
-            match self.lookup(&cur) {
+            match self.lookup(cur) {
                 Some((_, Binding::Mem(e))) => match &e.origin {
                     Origin::Direct => return (cur, e.ty.ports),
-                    Origin::View { parent, .. } => cur = parent.clone(),
+                    Origin::View { parent, .. } => cur = *parent,
                 },
                 _ => return (cur, 1),
             }
@@ -705,13 +706,13 @@ impl Checker {
 
     fn check_view(
         &mut self,
-        name: &str,
-        mem: &str,
+        name: Id,
+        mem: Id,
         kind: &ViewKind,
         span: Span,
     ) -> Result<(), TypeError> {
         let parent = match self.lookup(mem) {
-            Some((_, Binding::Mem(e))) => e.clone(),
+            Some((_, Binding::Mem(e))) => Rc::clone(e),
             Some(_) => {
                 return Err(TypeError::new(
                     TypeErrorKind::BadView,
@@ -837,13 +838,10 @@ impl Checker {
         }
         self.declare(
             name,
-            Binding::Mem(MemEntry {
+            Binding::Mem(Rc::new(MemEntry {
                 ty,
-                origin: Origin::View {
-                    parent: mem.to_string(),
-                    op,
-                },
-            }),
+                origin: Origin::View { parent: mem, op },
+            })),
             span,
         )?;
         self.report.views += 1;
@@ -893,14 +891,14 @@ impl Checker {
     /// as the second component).
     fn resolve_chain(
         &self,
-        name: &str,
+        name: Id,
         mut sets: Vec<BankSet>,
         span: Span,
     ) -> Result<(ResolvedAccess, Option<Id>), TypeError> {
-        let mut cur = name.to_string();
+        let mut cur = name;
         loop {
-            let entry = match self.lookup(&cur) {
-                Some((_, Binding::Mem(e))) => e.clone(),
+            let entry = match self.lookup(cur) {
+                Some((_, Binding::Mem(e))) => Rc::clone(e),
                 _ => {
                     return Err(TypeError::new(
                         TypeErrorKind::Unbound,
@@ -909,7 +907,7 @@ impl Checker {
                     ))
                 }
             };
-            match entry.origin {
+            match &entry.origin {
                 Origin::Direct => {
                     return Ok((
                         ResolvedAccess {
@@ -922,7 +920,7 @@ impl Checker {
                 }
                 Origin::View { parent, op } => {
                     if matches!(op, ViewOp::Shift) {
-                        let (phys_root, _) = self.root_of(&cur);
+                        let (phys_root, _) = self.root_of(cur);
                         return Ok((
                             ResolvedAccess {
                                 root: cur,
@@ -932,8 +930,8 @@ impl Checker {
                             Some(phys_root),
                         ));
                     }
-                    let pentry = match self.lookup(&parent) {
-                        Some((_, Binding::Mem(e))) => e.clone(),
+                    let pentry = match self.lookup(*parent) {
+                        Some((_, Binding::Mem(e))) => Rc::clone(e),
                         _ => {
                             return Err(TypeError::new(
                                 TypeErrorKind::Unbound,
@@ -942,8 +940,8 @@ impl Checker {
                             ))
                         }
                     };
-                    sets = map_banks(&op, &sets, &entry.ty, &pentry.ty);
-                    cur = parent;
+                    sets = map_banks(op, &sets, &entry.ty, &pentry.ty);
+                    cur = *parent;
                 }
             }
         }
@@ -953,14 +951,14 @@ impl Checker {
 
     fn check_access(
         &mut self,
-        mem: &str,
+        mem: Id,
         phys_bank: Option<&Expr>,
         idxs: &[Expr],
         mode: Mode,
         span: Span,
     ) -> Result<Type, TypeError> {
         let entry = match self.lookup(mem) {
-            Some((_, Binding::Mem(e))) => e.clone(),
+            Some((_, Binding::Mem(e))) => Rc::clone(e),
             Some(_) => {
                 return Err(TypeError::new(
                     TypeErrorKind::BadAccess,
@@ -988,7 +986,7 @@ impl Checker {
         // Parallel copies of a write must target distinct locations: the
         // index must mention every enclosing unrolled iterator.
         if mode == Mode::Write {
-            for (z, _) in &self.unrolled {
+            for &(z, _) in &self.unrolled {
                 let mentioned =
                     idxs.iter().any(|e| e.mentions(z)) || phys_bank.is_some_and(|b| b.mentions(z));
                 if !mentioned {
@@ -1011,9 +1009,9 @@ impl Checker {
 
         let (resolved, claim) = self.resolve_chain(mem, sets, span)?;
         if let Some(phys_root) = claim {
-            self.caps.acquire_claim(&phys_root, &resolved.root, span)?;
+            self.caps.acquire_claim(phys_root, resolved.root, span)?;
         }
-        let access_key = (mem.to_string(), key);
+        let access_key = (mem, key);
         match mode {
             Mode::Read => self.caps.acquire_read(&resolved, access_key, span)?,
             Mode::Write => self.caps.acquire_write(&resolved, access_key, span)?,
@@ -1027,7 +1025,7 @@ impl Checker {
         bank: &Expr,
         idxs: &[Expr],
         span: Span,
-    ) -> Result<(Vec<BankSet>, String), TypeError> {
+    ) -> Result<(Vec<BankSet>, u128), TypeError> {
         let b = const_eval(bank).ok_or_else(|| {
             TypeError::new(
                 TypeErrorKind::InvalidIndex,
@@ -1062,8 +1060,11 @@ impl Checker {
             rem /= nb;
         }
         let sets = coord.into_iter().map(BankSet::one).collect();
-        let key = format!("{{{b}}}:{}", print_expr(&idxs[0]));
-        Ok((sets, key))
+        let mut fp = Fingerprint::new();
+        fp.byte(0xFE); // physical-access tag
+        fp.u64(b as u64);
+        expr_fingerprint(&idxs[0], &mut fp);
+        Ok((sets, fp.finish()))
     }
 
     fn logical_access(
@@ -1071,7 +1072,7 @@ impl Checker {
         entry: &MemEntry,
         idxs: &[Expr],
         span: Span,
-    ) -> Result<(Vec<BankSet>, String), TypeError> {
+    ) -> Result<(Vec<BankSet>, u128), TypeError> {
         let dims = &entry.ty.dims;
         if idxs.len() != dims.len() {
             return Err(TypeError::new(
@@ -1085,13 +1086,14 @@ impl Checker {
             ));
         }
         let mut sets = Vec::with_capacity(dims.len());
-        let mut frags = Vec::with_capacity(dims.len());
+        let mut fp = Fingerprint::new();
         for (e, d) in idxs.iter().zip(dims) {
             let set = self.classify_index(e, d)?;
             sets.push(set);
-            frags.push(print_expr(e));
+            fp.byte(0xFF); // dimension separator
+            expr_fingerprint(e, &mut fp);
         }
-        Ok((sets, frags.join(",")))
+        Ok((sets, fp.finish()))
     }
 
     /// Determine which banks of one dimension an index expression can touch,
@@ -1108,7 +1110,7 @@ impl Checker {
             return Ok(BankSet::one(n as u64 % d.banks));
         }
         match e {
-            Expr::Var { name, span } => match self.lookup(name) {
+            Expr::Var { name, span } => match self.lookup(*name) {
                 Some((_, Binding::Iter { unroll, lo, hi })) => {
                     let (unroll, lo, hi) = (*unroll, *lo, *hi);
                     if lo < 0 || hi > d.size as i64 {
@@ -1206,7 +1208,7 @@ impl Checker {
             Expr::LitFloat { .. } => Ok(Type::Float),
             Expr::LitBool { .. } => Ok(Type::Bool),
             Expr::Var { name, span } => {
-                let (_, b) = self.lookup(name).ok_or_else(|| {
+                let (_, b) = self.lookup(*name).ok_or_else(|| {
                     TypeError::new(
                         TypeErrorKind::Unbound,
                         format!("unbound variable `{name}`"),
@@ -1284,7 +1286,7 @@ impl Checker {
                 phys_bank,
                 idxs,
                 span,
-            } => self.check_access(mem, phys_bank.as_deref(), idxs, Mode::Read, *span),
+            } => self.check_access(*mem, phys_bank.as_deref(), idxs, Mode::Read, *span),
             Expr::Call { func, span, .. } => Err(TypeError::new(
                 TypeErrorKind::BadCall,
                 format!("`{func}` is a procedure; calls are statements, not expressions"),
@@ -1413,22 +1415,79 @@ pub fn const_eval(e: &Expr) -> Option<i64> {
     }
 }
 
-/// Canonical printing for access keys (read-capability identity).
-pub fn print_expr(e: &Expr) -> String {
+/// A 128-bit FNV-1a accumulator for structural access fingerprints.
+///
+/// The checker identifies "the same syntactic access" (for read-port
+/// sharing and double-write detection) by this fingerprint instead of a
+/// printed string: the hot path hashes symbols and literals, it never
+/// allocates. Spans are excluded, so two textually identical accesses on
+/// different lines share as before. 128 bits makes an accidental
+/// collision between *different* accesses within one program
+/// astronomically unlikely.
+pub struct Fingerprint(u128);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// The FNV-1a 128-bit offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(0x6c62_272e_07bb_0142_62b8_2175_6295_c58d)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u128;
+        self.0 = self
+            .0
+            .wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Fold an expression's structure (operators, literals, interned
+/// identifiers — not spans) into `fp`. The structural identity used for
+/// [`caps::AccessKey`]s.
+pub fn expr_fingerprint(e: &Expr, fp: &mut Fingerprint) {
     match e {
-        Expr::LitInt { val, .. } => val.to_string(),
-        Expr::LitFloat { val, .. } => val.to_string(),
-        Expr::LitBool { val, .. } => val.to_string(),
-        Expr::Var { name, .. } => name.clone(),
+        Expr::LitInt { val, .. } => {
+            fp.byte(1);
+            fp.u64(*val as u64);
+        }
+        Expr::LitFloat { val, .. } => {
+            fp.byte(2);
+            fp.u64(val.to_bits());
+        }
+        Expr::LitBool { val, .. } => {
+            fp.byte(3);
+            fp.byte(*val as u8);
+        }
+        Expr::Var { name, .. } => {
+            fp.byte(4);
+            fp.u64(name.id() as u64);
+        }
         Expr::Bin { op, lhs, rhs, .. } => {
-            format!("({} {op} {})", print_expr(lhs), print_expr(rhs))
+            fp.byte(5);
+            fp.byte(*op as u8);
+            expr_fingerprint(lhs, fp);
+            expr_fingerprint(rhs, fp);
         }
         Expr::Un { op, arg, .. } => {
-            let s = match op {
-                UnOp::Not => "!",
-                UnOp::Neg => "-",
-            };
-            format!("{s}{}", print_expr(arg))
+            fp.byte(6);
+            fp.byte(*op as u8);
+            expr_fingerprint(arg, fp);
         }
         Expr::Access {
             mem,
@@ -1436,20 +1495,27 @@ pub fn print_expr(e: &Expr) -> String {
             idxs,
             ..
         } => {
-            let mut s = mem.clone();
-            if let Some(b) = phys_bank {
-                s.push_str(&format!("{{{}}}", print_expr(b)));
+            fp.byte(7);
+            fp.u64(mem.id() as u64);
+            match phys_bank {
+                Some(b) => {
+                    fp.byte(1);
+                    expr_fingerprint(b, fp);
+                }
+                None => fp.byte(0),
             }
+            fp.u64(idxs.len() as u64);
             for i in idxs {
-                s.push_str(&format!("[{}]", print_expr(i)));
+                expr_fingerprint(i, fp);
             }
-            s
         }
         Expr::Call { func, args, .. } => {
-            format!(
-                "{func}({})",
-                args.iter().map(print_expr).collect::<Vec<_>>().join(",")
-            )
+            fp.byte(8);
+            fp.u64(func.id() as u64);
+            fp.u64(args.len() as u64);
+            for a in args {
+                expr_fingerprint(a, fp);
+            }
         }
     }
 }

@@ -14,13 +14,21 @@
 //!    `split` views are rewritten to direct accesses on the underlying
 //!    memory using the index arithmetic of §3.6.
 //!
+//! Unrolling is **clone-free where it can be**: the per-copy rewriter
+//! ([`Substitution`]) is copy-on-write over the `Arc`-linked AST — a
+//! subtree that mentions neither the iterator nor a freshened local is
+//! returned as an `Arc` clone (a refcount bump), so the `k` copies of a
+//! body share every unchanged subtree instead of deep-cloning the body
+//! `k` times.
+//!
 //! The output is meant for *execution and lowering*, not re-type-checking:
 //! inlined index expressions like `A[2*g + 1]` are exactly the forms the
 //! surface type system rejects.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::ast::*;
+use crate::intern::{Symbol, SymbolMap};
 use crate::span::Span;
 
 /// Desugar a program: unroll loops and inline views.
@@ -46,7 +54,7 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
             .defs
             .iter()
             .map(|f| FuncDef {
-                name: f.name.clone(),
+                name: f.name,
                 params: f.params.clone(),
                 body: {
                     let mut fd = Desugarer {
@@ -55,7 +63,7 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
                     };
                     for p in &f.params {
                         if let Type::Mem(m) = &p.ty {
-                            fd.mems.insert(p.name.clone(), MemInfo::Direct(m.clone()));
+                            fd.mems.insert(p.name, MemInfo::Direct(m.clone()));
                         }
                     }
                     fd.cmd(&f.body)
@@ -65,8 +73,7 @@ fn desugar_with(prog: &Program, unroll_loops: bool) -> Program {
             .collect(),
         body: {
             for dec in &prog.decls {
-                d.mems
-                    .insert(dec.name.clone(), MemInfo::Direct(dec.ty.clone()));
+                d.mems.insert(dec.name, MemInfo::Direct(dec.ty.clone()));
             }
             d.cmd(&prog.body)
         },
@@ -94,7 +101,7 @@ impl MemInfo {
 
 #[derive(Default)]
 struct Desugarer {
-    mems: HashMap<Id, MemInfo>,
+    mems: SymbolMap<MemInfo>,
     fresh: u64,
     unroll_loops: bool,
 }
@@ -112,10 +119,10 @@ impl Desugarer {
                 span,
             } => {
                 if let Some(Type::Mem(m)) = ty {
-                    self.mems.insert(name.clone(), MemInfo::Direct(m.clone()));
+                    self.mems.insert(*name, MemInfo::Direct(m.clone()));
                 }
                 Cmd::Let {
-                    name: name.clone(),
+                    name: *name,
                     ty: ty.clone(),
                     init: init.as_ref().map(|e| self.expr(e)),
                     span: *span,
@@ -133,7 +140,7 @@ impl Desugarer {
                     .get(mem)
                     .map(|i| i.ty().clone())
                     .unwrap_or(MemType {
-                        elem: Box::new(Type::Float),
+                        elem: Arc::new(Type::Float),
                         ports: 1,
                         dims: vec![Dim::flat(1)],
                     });
@@ -148,9 +155,9 @@ impl Desugarer {
                     other => other.clone(),
                 };
                 self.mems.insert(
-                    name.clone(),
+                    *name,
                     MemInfo::View {
-                        parent: mem.clone(),
+                        parent: *mem,
                         ty,
                         kind,
                     },
@@ -160,7 +167,7 @@ impl Desugarer {
                 Cmd::Skip
             }
             Cmd::Assign { name, rhs, span } => Cmd::Assign {
-                name: name.clone(),
+                name: *name,
                 rhs: self.expr(rhs),
                 span: *span,
             },
@@ -172,10 +179,11 @@ impl Desugarer {
                 span,
             } => {
                 let rhs = self.expr(rhs);
-                let (mem, idxs) = self.rewrite_access(mem, idxs);
+                let idxs: Vec<Expr> = idxs.iter().map(|i| self.expr(i)).collect();
+                let (mem, idxs) = self.rewrite_access(*mem, idxs);
                 Cmd::Store {
                     mem,
-                    phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                    phys_bank: phys_bank.as_ref().map(|b| Arc::new(self.expr(b))),
                     idxs,
                     rhs,
                     span: *span,
@@ -190,9 +198,10 @@ impl Desugarer {
             } => {
                 let rhs = self.expr(rhs);
                 let (target, target_idxs) = if target_idxs.is_empty() {
-                    (target.clone(), Vec::new())
+                    (*target, Vec::new())
                 } else {
-                    self.rewrite_access(target, target_idxs)
+                    let idxs: Vec<Expr> = target_idxs.iter().map(|i| self.expr(i)).collect();
+                    self.rewrite_access(*target, idxs)
                 };
                 Cmd::Reduce {
                     target,
@@ -209,13 +218,13 @@ impl Desugarer {
                 span,
             } => Cmd::If {
                 cond: self.expr(cond),
-                then_branch: Box::new(self.cmd(then_branch)),
-                else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
+                then_branch: Arc::new(self.cmd(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Arc::new(self.cmd(e))),
                 span: *span,
             },
             Cmd::While { cond, body, span } => Cmd::While {
                 cond: self.expr(cond),
-                body: Box::new(self.cmd(body)),
+                body: Arc::new(self.cmd(body)),
                 span: *span,
             },
             Cmd::For {
@@ -226,7 +235,7 @@ impl Desugarer {
                 body,
                 combine,
                 span,
-            } => self.desugar_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
+            } => self.desugar_for(*var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
             Cmd::Expr(e) => Cmd::Expr(self.expr(e)),
         }
     }
@@ -240,27 +249,27 @@ impl Desugarer {
                 span,
             } => {
                 let idxs: Vec<Expr> = idxs.iter().map(|i| self.expr(i)).collect();
-                let (mem, idxs) = self.rewrite_access(&mem.clone(), &idxs);
+                let (mem, idxs) = self.rewrite_access(*mem, idxs);
                 Expr::Access {
                     mem,
-                    phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
+                    phys_bank: phys_bank.as_ref().map(|b| Arc::new(self.expr(b))),
                     idxs,
                     span: *span,
                 }
             }
             Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
                 op: *op,
-                lhs: Box::new(self.expr(lhs)),
-                rhs: Box::new(self.expr(rhs)),
+                lhs: Arc::new(self.expr(lhs)),
+                rhs: Arc::new(self.expr(rhs)),
                 span: *span,
             },
             Expr::Un { op, arg, span } => Expr::Un {
                 op: *op,
-                arg: Box::new(self.expr(arg)),
+                arg: Arc::new(self.expr(arg)),
                 span: *span,
             },
             Expr::Call { func, args, span } => Expr::Call {
-                func: func.clone(),
+                func: *func,
                 args: args.iter().map(|a| self.expr(a)).collect(),
                 span: *span,
             },
@@ -269,19 +278,15 @@ impl Desugarer {
     }
 
     /// Rewrite a (possibly view) access into a root-memory access with the
-    /// §3.6 index arithmetic applied.
-    fn rewrite_access(&mut self, mem: &str, idxs: &[Expr]) -> (Id, Vec<Expr>) {
-        let mut name = mem.to_string();
-        let mut idxs: Vec<Expr> = idxs.to_vec();
+    /// §3.6 index arithmetic applied. Borrows the view table; nothing is
+    /// cloned along the chain.
+    fn rewrite_access(&self, mem: Id, mut idxs: Vec<Expr>) -> (Id, Vec<Expr>) {
+        let mut name = mem;
         loop {
-            let info = match self.mems.get(&name) {
-                Some(i) => i.clone(),
-                None => return (name, idxs),
-            };
-            match info {
-                MemInfo::Direct(_) => return (name, idxs),
-                MemInfo::View { parent, ty, kind } => {
-                    idxs = match &kind {
+            match self.mems.get(&name) {
+                None | Some(MemInfo::Direct(_)) => return (name, idxs),
+                Some(MemInfo::View { parent, ty, kind }) => {
+                    idxs = match kind {
                         // sh[i] compiles to A[i].
                         ViewKind::Shrink { .. } => idxs,
                         // v[i] compiles to M[e + i].
@@ -294,7 +299,7 @@ impl Desugarer {
                         ViewKind::Split { factor } => {
                             let parent_banks = self
                                 .mems
-                                .get(&parent)
+                                .get(parent)
                                 .map(|p| p.ty().dims[0].banks)
                                 .unwrap_or(ty.dims[0].banks * ty.dims[1].banks);
                             let b = (parent_banks / factor).max(1) as i64;
@@ -305,7 +310,7 @@ impl Desugarer {
                             vec![add(add(quot, mid), rem)]
                         }
                     };
-                    name = parent;
+                    name = *parent;
                 }
             }
         }
@@ -315,7 +320,7 @@ impl Desugarer {
     #[allow(clippy::too_many_arguments)]
     fn desugar_for(
         &mut self,
-        var: &str,
+        var: Id,
         lo: i64,
         hi: i64,
         unroll: u64,
@@ -325,12 +330,12 @@ impl Desugarer {
     ) -> Cmd {
         if !self.unroll_loops || (unroll <= 1 && combine.is_none()) {
             return Cmd::For {
-                var: var.to_string(),
+                var,
                 lo,
                 hi,
                 unroll: if self.unroll_loops { 1 } else { unroll },
-                body: Box::new(self.cmd(body)),
-                combine: combine.map(|c| Box::new(self.cmd(c))),
+                body: Arc::new(self.cmd(body)),
+                combine: combine.map(|c| Arc::new(self.cmd(c))),
                 span,
             };
         }
@@ -352,15 +357,13 @@ impl Desugarer {
             let copies: Vec<Cmd> = (0..u)
                 .map(|c| {
                     // i ↦ u·g + c + lo, body-locals freshened per copy.
-                    let mut sub = Substitution::new();
-                    sub.exprs.insert(
-                        var.to_string(),
-                        add(mul(Expr::var(&gvar), u as i64), lo + c as i64),
-                    );
-                    for l in &locals {
-                        sub.renames.insert(l.clone(), copy_name(l, c));
+                    let mut sub = Substitution::default();
+                    sub.exprs
+                        .insert(var, add(mul(Expr::var(gvar), u as i64), lo + c as i64));
+                    for &l in &locals {
+                        sub.renames.insert(l, copy_name(l, c));
                     }
-                    sub.cmd(step)
+                    sub.cmd_owned(step)
                 })
                 .collect();
             new_steps.push(Cmd::Seq(copies));
@@ -371,13 +374,13 @@ impl Desugarer {
             // applications of the reducer, one ordered step.
             let mut folded: Vec<Cmd> = Vec::new();
             for c in 0..u {
-                let mut sub = Substitution::new();
+                let mut sub = Substitution::default();
                 sub.exprs
-                    .insert(var.to_string(), add(mul(Expr::var(&gvar), u as i64), lo));
-                for l in &locals {
-                    sub.renames.insert(l.clone(), copy_name(l, c));
+                    .insert(var, add(mul(Expr::var(gvar), u as i64), lo));
+                for &l in &locals {
+                    sub.renames.insert(l, copy_name(l, c));
                 }
-                folded.push(sub.cmd(comb));
+                folded.push(sub.cmd_owned(comb));
             }
             new_steps.push(Cmd::Par(folded));
         }
@@ -388,20 +391,20 @@ impl Desugarer {
             lo: 0,
             hi: groups as i64,
             unroll: 1,
-            body: Box::new(body),
+            body: Arc::new(body),
             combine: None,
             span,
         }
     }
 
-    fn fresh_name(&mut self, base: &str) -> String {
+    fn fresh_name(&mut self, base: Id) -> Id {
         self.fresh += 1;
-        format!("{base}__g{}", self.fresh)
+        Symbol::intern(&format!("{base}__g{}", self.fresh))
     }
 }
 
-fn copy_name(base: &str, copy: u64) -> String {
-    format!("{base}__u{copy}")
+fn copy_name(base: Id, copy: u64) -> Id {
+    Symbol::intern(&format!("{base}__u{copy}"))
 }
 
 /// Names bound by `let`/`view` at the top level of a loop body.
@@ -411,7 +414,7 @@ fn top_level_lets(body: &Cmd) -> Vec<Id> {
     while let Some(c) = stack.pop() {
         match c {
             Cmd::Seq(cs) | Cmd::Par(cs) => stack.extend(cs.iter()),
-            Cmd::Let { name, .. } | Cmd::View { name, .. } => out.push(name.clone()),
+            Cmd::Let { name, .. } | Cmd::View { name, .. } => out.push(*name),
             _ => {}
         }
     }
@@ -420,108 +423,221 @@ fn top_level_lets(body: &Cmd) -> Vec<Id> {
 
 /// Capture-avoiding-enough substitution for desugared loop bodies: maps
 /// iterator variables to expressions and renames body-local binders.
+///
+/// The rewriter is **copy-on-write**: every method returns `None` when
+/// the subtree is unaffected, and the `*_arc` wrappers turn that into an
+/// `Arc::clone` of the original node. The k unrolled copies of a loop
+/// body therefore share every subtree that mentions neither the
+/// iterator nor a per-copy local — no deep clones.
+#[derive(Default)]
 struct Substitution {
-    exprs: HashMap<Id, Expr>,
-    renames: HashMap<Id, Id>,
+    exprs: SymbolMap<Expr>,
+    renames: SymbolMap<Id>,
 }
 
 impl Substitution {
-    fn new() -> Self {
-        Substitution {
-            exprs: HashMap::new(),
-            renames: HashMap::new(),
+    fn name(&self, n: Id) -> Id {
+        self.renames.get(&n).copied().unwrap_or(n)
+    }
+
+    /// Rewrite a command into an owned value (for callers that splice the
+    /// result into a new `Vec<Cmd>`). Unchanged subtrees cost a shallow
+    /// clone: child links are `Arc`, so no recursion into shared nodes.
+    fn cmd_owned(&self, c: &Cmd) -> Cmd {
+        self.cmd(c).unwrap_or_else(|| c.clone())
+    }
+
+    fn cmd_arc(&self, c: &Arc<Cmd>) -> Arc<Cmd> {
+        match self.cmd(c) {
+            Some(new) => Arc::new(new),
+            None => Arc::clone(c),
         }
     }
 
-    fn name(&self, n: &str) -> Id {
-        self.renames
-            .get(n)
-            .cloned()
-            .unwrap_or_else(|| n.to_string())
+    fn expr_arc(&self, e: &Arc<Expr>) -> Arc<Expr> {
+        match self.expr(e) {
+            Some(new) => Arc::new(new),
+            None => Arc::clone(e),
+        }
     }
 
-    fn cmd(&mut self, c: &Cmd) -> Cmd {
+    /// Rewrite a slice of commands; `None` when every element is
+    /// unchanged.
+    fn cmds(&self, cs: &[Cmd]) -> Option<Vec<Cmd>> {
+        let rewritten: Vec<Option<Cmd>> = cs.iter().map(|c| self.cmd(c)).collect();
+        if rewritten.iter().all(Option::is_none) {
+            return None;
+        }
+        Some(
+            rewritten
+                .into_iter()
+                .zip(cs)
+                .map(|(new, old)| new.unwrap_or_else(|| old.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rewrite a slice of expressions; `None` when every element is
+    /// unchanged.
+    fn exprs(&self, es: &[Expr]) -> Option<Vec<Expr>> {
+        let rewritten: Vec<Option<Expr>> = es.iter().map(|e| self.expr(e)).collect();
+        if rewritten.iter().all(Option::is_none) {
+            return None;
+        }
+        Some(
+            rewritten
+                .into_iter()
+                .zip(es)
+                .map(|(new, old)| new.unwrap_or_else(|| old.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rewrite a command; `None` when the subtree is unaffected.
+    fn cmd(&self, c: &Cmd) -> Option<Cmd> {
         match c {
-            Cmd::Skip => Cmd::Skip,
-            Cmd::Seq(cs) => Cmd::Seq(cs.iter().map(|c| self.cmd(c)).collect()),
-            Cmd::Par(cs) => Cmd::Par(cs.iter().map(|c| self.cmd(c)).collect()),
+            Cmd::Skip => None,
+            Cmd::Seq(cs) => self.cmds(cs).map(Cmd::Seq),
+            Cmd::Par(cs) => self.cmds(cs).map(Cmd::Par),
             Cmd::Let {
                 name,
                 ty,
                 init,
                 span,
-            } => Cmd::Let {
-                name: self.name(name),
-                ty: ty.clone(),
-                init: init.as_ref().map(|e| self.expr(e)),
-                span: *span,
-            },
+            } => {
+                let new_name = self.name(*name);
+                let new_init = init.as_ref().map(|e| self.expr(e));
+                if new_name == *name && !matches!(new_init, Some(Some(_))) {
+                    return None;
+                }
+                Some(Cmd::Let {
+                    name: new_name,
+                    ty: ty.clone(),
+                    init: match (init, new_init) {
+                        (_, Some(Some(e))) => Some(e),
+                        (old, _) => old.clone(),
+                    },
+                    span: *span,
+                })
+            }
             Cmd::View {
                 name,
                 mem,
                 kind,
                 span,
-            } => Cmd::View {
-                name: self.name(name),
-                mem: self.name(mem),
-                kind: match kind {
-                    ViewKind::Suffix { offsets } => ViewKind::Suffix {
-                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
-                    },
-                    ViewKind::Shift { offsets } => ViewKind::Shift {
-                        offsets: offsets.iter().map(|o| self.expr(o)).collect(),
-                    },
-                    other => other.clone(),
-                },
-                span: *span,
-            },
-            Cmd::Assign { name, rhs, span } => Cmd::Assign {
-                name: self.name(name),
-                rhs: self.expr(rhs),
-                span: *span,
-            },
+            } => {
+                let (new_name, new_mem) = (self.name(*name), self.name(*mem));
+                let new_kind = match kind {
+                    ViewKind::Suffix { offsets } => {
+                        self.exprs(offsets).map(|o| ViewKind::Suffix { offsets: o })
+                    }
+                    ViewKind::Shift { offsets } => {
+                        self.exprs(offsets).map(|o| ViewKind::Shift { offsets: o })
+                    }
+                    _ => None,
+                };
+                if new_name == *name && new_mem == *mem && new_kind.is_none() {
+                    return None;
+                }
+                Some(Cmd::View {
+                    name: new_name,
+                    mem: new_mem,
+                    kind: new_kind.unwrap_or_else(|| kind.clone()),
+                    span: *span,
+                })
+            }
+            Cmd::Assign { name, rhs, span } => {
+                let new_name = self.name(*name);
+                let new_rhs = self.expr(rhs);
+                if new_name == *name && new_rhs.is_none() {
+                    return None;
+                }
+                Some(Cmd::Assign {
+                    name: new_name,
+                    rhs: new_rhs.unwrap_or_else(|| rhs.clone()),
+                    span: *span,
+                })
+            }
             Cmd::Store {
                 mem,
                 phys_bank,
                 idxs,
                 rhs,
                 span,
-            } => Cmd::Store {
-                mem: self.name(mem),
-                phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
-                idxs: idxs.iter().map(|i| self.expr(i)).collect(),
-                rhs: self.expr(rhs),
-                span: *span,
-            },
+            } => {
+                let new_mem = self.name(*mem);
+                let new_bank = phys_bank.as_ref().map(|b| self.expr_arc(b));
+                let new_idxs = self.exprs(idxs);
+                let new_rhs = self.expr(rhs);
+                let bank_changed = matches!(
+                    (&new_bank, phys_bank),
+                    (Some(n), Some(o)) if !Arc::ptr_eq(n, o)
+                );
+                if new_mem == *mem && !bank_changed && new_idxs.is_none() && new_rhs.is_none() {
+                    return None;
+                }
+                Some(Cmd::Store {
+                    mem: new_mem,
+                    phys_bank: new_bank,
+                    idxs: new_idxs.unwrap_or_else(|| idxs.clone()),
+                    rhs: new_rhs.unwrap_or_else(|| rhs.clone()),
+                    span: *span,
+                })
+            }
             Cmd::Reduce {
                 target,
                 target_idxs,
                 op,
                 rhs,
                 span,
-            } => Cmd::Reduce {
-                target: self.name(target),
-                target_idxs: target_idxs.iter().map(|i| self.expr(i)).collect(),
-                op: *op,
-                rhs: self.expr(rhs),
-                span: *span,
-            },
+            } => {
+                let new_target = self.name(*target);
+                let new_idxs = self.exprs(target_idxs);
+                let new_rhs = self.expr(rhs);
+                if new_target == *target && new_idxs.is_none() && new_rhs.is_none() {
+                    return None;
+                }
+                Some(Cmd::Reduce {
+                    target: new_target,
+                    target_idxs: new_idxs.unwrap_or_else(|| target_idxs.clone()),
+                    op: *op,
+                    rhs: new_rhs.unwrap_or_else(|| rhs.clone()),
+                    span: *span,
+                })
+            }
             Cmd::If {
                 cond,
                 then_branch,
                 else_branch,
                 span,
-            } => Cmd::If {
-                cond: self.expr(cond),
-                then_branch: Box::new(self.cmd(then_branch)),
-                else_branch: else_branch.as_ref().map(|e| Box::new(self.cmd(e))),
-                span: *span,
-            },
-            Cmd::While { cond, body, span } => Cmd::While {
-                cond: self.expr(cond),
-                body: Box::new(self.cmd(body)),
-                span: *span,
-            },
+            } => {
+                let new_cond = self.expr(cond);
+                let new_then = self.cmd_arc(then_branch);
+                let new_else = else_branch.as_ref().map(|e| self.cmd_arc(e));
+                let branches_changed = !Arc::ptr_eq(&new_then, then_branch)
+                    || matches!((&new_else, else_branch), (Some(n), Some(o)) if !Arc::ptr_eq(n, o));
+                if new_cond.is_none() && !branches_changed {
+                    return None;
+                }
+                Some(Cmd::If {
+                    cond: new_cond.unwrap_or_else(|| cond.clone()),
+                    then_branch: new_then,
+                    else_branch: new_else,
+                    span: *span,
+                })
+            }
+            Cmd::While { cond, body, span } => {
+                let new_cond = self.expr(cond);
+                let new_body = self.cmd_arc(body);
+                if new_cond.is_none() && Arc::ptr_eq(&new_body, body) {
+                    return None;
+                }
+                Some(Cmd::While {
+                    cond: new_cond.unwrap_or_else(|| cond.clone()),
+                    body: new_body,
+                    span: *span,
+                })
+            }
             Cmd::For {
                 var,
                 lo,
@@ -530,56 +646,99 @@ impl Substitution {
                 body,
                 combine,
                 span,
-            } => Cmd::For {
-                var: self.name(var),
-                lo: *lo,
-                hi: *hi,
-                unroll: *unroll,
-                body: Box::new(self.cmd(body)),
-                combine: combine.as_ref().map(|c| Box::new(self.cmd(c))),
-                span: *span,
-            },
-            Cmd::Expr(e) => Cmd::Expr(self.expr(e)),
+            } => {
+                let new_var = self.name(*var);
+                let new_body = self.cmd_arc(body);
+                let new_comb = combine.as_ref().map(|c| self.cmd_arc(c));
+                let changed = new_var != *var
+                    || !Arc::ptr_eq(&new_body, body)
+                    || matches!((&new_comb, combine), (Some(n), Some(o)) if !Arc::ptr_eq(n, o));
+                if !changed {
+                    return None;
+                }
+                Some(Cmd::For {
+                    var: new_var,
+                    lo: *lo,
+                    hi: *hi,
+                    unroll: *unroll,
+                    body: new_body,
+                    combine: new_comb,
+                    span: *span,
+                })
+            }
+            Cmd::Expr(e) => self.expr(e).map(Cmd::Expr),
         }
     }
 
-    fn expr(&mut self, e: &Expr) -> Expr {
+    /// Rewrite an expression; `None` when the subtree is unaffected.
+    fn expr(&self, e: &Expr) -> Option<Expr> {
         match e {
-            Expr::Var { name, span } => match self.exprs.get(name) {
-                Some(repl) => repl.clone(),
-                None => Expr::Var {
-                    name: self.name(name),
+            Expr::Var { name, span } => {
+                if let Some(repl) = self.exprs.get(name) {
+                    return Some(repl.clone());
+                }
+                let new_name = self.name(*name);
+                if new_name == *name {
+                    None
+                } else {
+                    Some(Expr::Var {
+                        name: new_name,
+                        span: *span,
+                    })
+                }
+            }
+            Expr::Bin { op, lhs, rhs, span } => {
+                let (nl, nr) = (self.expr(lhs), self.expr(rhs));
+                if nl.is_none() && nr.is_none() {
+                    return None;
+                }
+                Some(Expr::Bin {
+                    op: *op,
+                    lhs: match nl {
+                        Some(l) => Arc::new(l),
+                        None => Arc::clone(lhs),
+                    },
+                    rhs: match nr {
+                        Some(r) => Arc::new(r),
+                        None => Arc::clone(rhs),
+                    },
                     span: *span,
-                },
-            },
-            Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
+                })
+            }
+            Expr::Un { op, arg, span } => self.expr(arg).map(|a| Expr::Un {
                 op: *op,
-                lhs: Box::new(self.expr(lhs)),
-                rhs: Box::new(self.expr(rhs)),
+                arg: Arc::new(a),
                 span: *span,
-            },
-            Expr::Un { op, arg, span } => Expr::Un {
-                op: *op,
-                arg: Box::new(self.expr(arg)),
-                span: *span,
-            },
+            }),
             Expr::Access {
                 mem,
                 phys_bank,
                 idxs,
                 span,
-            } => Expr::Access {
-                mem: self.name(mem),
-                phys_bank: phys_bank.as_ref().map(|b| Box::new(self.expr(b))),
-                idxs: idxs.iter().map(|i| self.expr(i)).collect(),
+            } => {
+                let new_mem = self.name(*mem);
+                let new_bank = phys_bank.as_ref().map(|b| self.expr_arc(b));
+                let new_idxs = self.exprs(idxs);
+                let bank_changed = matches!(
+                    (&new_bank, phys_bank),
+                    (Some(n), Some(o)) if !Arc::ptr_eq(n, o)
+                );
+                if new_mem == *mem && !bank_changed && new_idxs.is_none() {
+                    return None;
+                }
+                Some(Expr::Access {
+                    mem: new_mem,
+                    phys_bank: new_bank,
+                    idxs: new_idxs.unwrap_or_else(|| idxs.clone()),
+                    span: *span,
+                })
+            }
+            Expr::Call { func, args, span } => self.exprs(args).map(|a| Expr::Call {
+                func: *func,
+                args: a,
                 span: *span,
-            },
-            Expr::Call { func, args, span } => Expr::Call {
-                func: func.clone(),
-                args: args.iter().map(|a| self.expr(a)).collect(),
-                span: *span,
-            },
-            other => other.clone(),
+            }),
+            _ => None,
         }
     }
 }
@@ -610,7 +769,7 @@ fn view_type(parent: &MemType, kind: &ViewKind) -> MemType {
         }
     };
     MemType {
-        elem: parent.elem.clone(),
+        elem: Arc::clone(&parent.elem),
         ports: parent.ports,
         dims,
     }
@@ -620,8 +779,8 @@ fn view_type(parent: &MemType, kind: &ViewKind) -> MemType {
 fn add(a: Expr, b: impl IntoExpr) -> Expr {
     Expr::Bin {
         op: BinOp::Add,
-        lhs: Box::new(a),
-        rhs: Box::new(b.into_expr()),
+        lhs: Arc::new(a),
+        rhs: Arc::new(b.into_expr()),
         span: Span::synthetic(),
     }
 }
@@ -629,8 +788,8 @@ fn add(a: Expr, b: impl IntoExpr) -> Expr {
 fn mul(a: Expr, b: impl IntoExpr) -> Expr {
     Expr::Bin {
         op: BinOp::Mul,
-        lhs: Box::new(a),
-        rhs: Box::new(b.into_expr()),
+        lhs: Arc::new(a),
+        rhs: Arc::new(b.into_expr()),
         span: Span::synthetic(),
     }
 }
@@ -638,8 +797,8 @@ fn mul(a: Expr, b: impl IntoExpr) -> Expr {
 fn div(a: Expr, b: impl IntoExpr) -> Expr {
     Expr::Bin {
         op: BinOp::Div,
-        lhs: Box::new(a),
-        rhs: Box::new(b.into_expr()),
+        lhs: Arc::new(a),
+        rhs: Arc::new(b.into_expr()),
         span: Span::synthetic(),
     }
 }
@@ -647,8 +806,8 @@ fn div(a: Expr, b: impl IntoExpr) -> Expr {
 fn modulo(a: Expr, b: impl IntoExpr) -> Expr {
     Expr::Bin {
         op: BinOp::Mod,
-        lhs: Box::new(a),
-        rhs: Box::new(b.into_expr()),
+        lhs: Arc::new(a),
+        rhs: Arc::new(b.into_expr()),
         span: Span::synthetic(),
     }
 }
@@ -811,7 +970,7 @@ mod tests {
                             init: Some(Expr::Access { mem, .. }),
                             ..
                         } => {
-                            assert_eq!(mem, "A", "access redirected to the root memory");
+                            assert_eq!(*mem, "A", "access redirected to the root memory");
                         }
                         other => panic!("unexpected body {other:?}"),
                     },
@@ -859,6 +1018,55 @@ mod tests {
                 other => panic!("unexpected loop shape: {other:?}"),
             },
             other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_shares_unaffected_subtrees() {
+        // A subtree that mentions neither the iterator nor a body-local
+        // must come back as the *same* Arc allocation, not a copy.
+        let p = parse(
+            "let A: bit<32>[4]; let B: bit<32>[4];
+             for (let j = 0..4) { if (B[0] > 2) { A[0] := 1; } }",
+        )
+        .unwrap();
+        let body = match &p.body {
+            Cmd::Seq(v) => match &v[2] {
+                Cmd::For { body, .. } => Arc::clone(body),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut sub = Substitution::default();
+        sub.exprs.insert(Symbol::intern("j"), Expr::int(7));
+        // `j` is not mentioned anywhere in the body: the rewrite is a no-op
+        // and the arc is shared.
+        let out = sub.cmd_arc(&body);
+        assert!(Arc::ptr_eq(&out, &body), "unchanged body must be shared");
+    }
+
+    #[test]
+    fn substitution_rewrites_only_touched_branches() {
+        let p = parse("let A: bit<32>[8]; A[i] := B[0] + i;").unwrap();
+        let (store_idxs, rhs) = match &p.body {
+            Cmd::Seq(v) => match &v[1] {
+                Cmd::Store { idxs, rhs, .. } => (idxs.clone(), rhs.clone()),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut sub = Substitution::default();
+        sub.exprs.insert(Symbol::intern("i"), Expr::int(3));
+        // The index mentions `i`: rewritten.
+        assert!(sub.exprs(&store_idxs).is_some());
+        // In `B[0] + i`, the left operand is untouched and must be shared
+        // by pointer with the original.
+        let new_rhs = sub.expr(&rhs).expect("rhs mentions `i`");
+        match (&rhs, &new_rhs) {
+            (Expr::Bin { lhs: old, .. }, Expr::Bin { lhs: new, .. }) => {
+                assert!(Arc::ptr_eq(old, new), "untouched operand must be shared");
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

@@ -1,0 +1,326 @@
+//! Global string interning for identifiers.
+//!
+//! Every identifier in a Dahlia program — variables, memories, views,
+//! functions, loop iterators — is interned once into a process-global
+//! table and thereafter carried as a [`Symbol`]: a `Copy` `u32` handle.
+//! Equality and hashing are integer operations, scope maps key on a
+//! 4-byte value instead of a heap string, and the lexer emits identifier
+//! tokens without allocating.
+//!
+//! The interner is **lock-sharded**: the string → symbol map is split
+//! across [`SHARD_COUNT`] mutexes selected by a hash of the string, so
+//! concurrent compiles (the server runs one per worker thread) rarely
+//! contend. Symbol → string resolution goes through an append-only table
+//! under a `RwLock` that writers touch only on a genuinely new string —
+//! after warm-up, resolution is an uncontended read lock plus an index.
+//!
+//! Interned strings live for the process lifetime (they are leaked into
+//! `&'static str`). That is the standard compiler-interner trade-off and
+//! is bounded by the number of *distinct* identifiers ever seen, not by
+//! the number of compiles; symbols are stable within a process but NOT
+//! across processes, so anything persisted (see `dahlia-server`'s codec)
+//! stores the string and re-interns on decode.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// Number of mutex shards in the string → symbol direction.
+pub const SHARD_COUNT: usize = 16;
+
+/// An interned identifier: a `Copy` handle into the global intern table.
+///
+/// Ordering is by intern id (arrival order), not lexicographic — stable
+/// within a process, which is all the checker's capability maps need.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+/// FNV-1a string hasher for the shard maps: the shard index already
+/// cost one FNV pass, and SipHash on short identifiers is the single
+/// hottest instruction path in the lexer — a second FNV pass is ~3x
+/// cheaper and identifiers are not attacker-controlled hash-DoS input
+/// here (a source file is compiled by the submitter's own request).
+#[derive(Default, Clone)]
+struct StrHasher(u64);
+
+impl Hasher for StrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type ShardMap = HashMap<&'static str, Symbol, BuildHasherDefault<StrHasher>>;
+
+struct Interner {
+    shards: [Mutex<ShardMap>; SHARD_COUNT],
+    /// Append-only symbol → string table; a symbol's id indexes it.
+    strings: RwLock<Vec<&'static str>>,
+}
+
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(ShardMap::default())),
+        strings: RwLock::new(Vec::new()),
+    })
+}
+
+/// FNV-1a over the bytes; only used to pick a shard.
+fn shard_of(s: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARD_COUNT
+}
+
+impl Symbol {
+    /// Intern a string, returning its stable in-process handle. The same
+    /// string always yields the same symbol, from any thread.
+    pub fn intern(s: &str) -> Symbol {
+        let interner = global();
+        let mut shard = interner.shards[shard_of(s)].lock().unwrap();
+        if let Some(&sym) = shard.get(s) {
+            return sym;
+        }
+        // New string: leak it once, append to the resolution table. The
+        // shard lock is held across the append, so double-insertion of
+        // one string is impossible; distinct strings in other shards
+        // append concurrently under the write lock.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut strings = interner.strings.write().unwrap();
+        let id = u32::try_from(strings.len()).expect("interner full (2^32 distinct identifiers)");
+        strings.push(leaked);
+        drop(strings);
+        let sym = Symbol(id);
+        shard.insert(leaked, sym);
+        sym
+    }
+
+    /// The interned string. O(1): a read lock and an index.
+    pub fn resolve(self) -> &'static str {
+        global().strings.read().unwrap()[self.0 as usize]
+    }
+
+    /// Alias for [`Symbol::resolve`], for call sites that read better
+    /// with string vocabulary.
+    pub fn as_str(self) -> &'static str {
+        self.resolve()
+    }
+
+    /// The raw intern id (diagnostics and tests only — ids are not
+    /// stable across processes).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+/// Occupancy of the process-global intern table.
+///
+/// Interned strings are never reclaimed (see the module docs), so a
+/// long-lived server compiling many distinct identifiers grows this
+/// monotonically — the numbers are surfaced in the serving stats /
+/// `--metrics` endpoint precisely so operators can watch it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Number of distinct interned strings.
+    pub symbols: u64,
+    /// Total bytes of leaked string payload.
+    pub bytes: u64,
+}
+
+/// Current global interner occupancy.
+pub fn stats() -> InternStats {
+    let strings = global().strings.read().unwrap();
+    InternStats {
+        symbols: strings.len() as u64,
+        bytes: strings.iter().map(|s| s.len() as u64).sum(),
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.resolve())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.resolve())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.resolve() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.resolve() == *other
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.resolve()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.resolve()
+    }
+}
+
+/// A no-mixing hasher for [`Symbol`] keys: intern ids are already
+/// uniformly spread small integers, so a single multiply by a 64-bit
+/// odd constant (Fibonacci hashing) beats SipHash by a wide margin in
+/// the checker's and interpreter's scope maps.
+#[derive(Default, Clone)]
+pub struct SymbolHasher(u64);
+
+impl Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u32 writes (derived Hash on compound keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// A `HashMap` keyed by symbols with the cheap [`SymbolHasher`].
+pub type SymbolMap<V> = HashMap<Symbol, V, BuildHasherDefault<SymbolHasher>>;
+
+/// A `HashSet` of symbols with the cheap [`SymbolHasher`].
+pub type SymbolSet = HashSet<Symbol, BuildHasherDefault<SymbolHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = Symbol::intern("gemm_blocked");
+        let b = Symbol::intern("gemm_blocked");
+        assert_eq!(a, b);
+        // Resolution returns the same leaked allocation both times.
+        assert!(std::ptr::eq(a.resolve(), b.resolve()));
+        assert_eq!(a.resolve(), "gemm_blocked");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("intern_test_x");
+        let b = Symbol::intern("intern_test_y");
+        assert_ne!(a, b);
+        assert_eq!(a.resolve(), "intern_test_x");
+        assert_eq!(b.resolve(), "intern_test_y");
+    }
+
+    #[test]
+    fn string_comparisons_and_conversions() {
+        let s: Symbol = "abc".into();
+        assert_eq!(s, "abc");
+        assert_eq!("abc", s);
+        assert!(s != "abd");
+        assert_eq!(s.to_string(), "abc");
+        assert_eq!(format!("{s:?}"), "\"abc\"");
+        let from_string: Symbol = String::from("abc").into();
+        assert_eq!(s, from_string);
+    }
+
+    #[test]
+    fn symbol_map_round_trips() {
+        let mut m: SymbolMap<i32> = SymbolMap::default();
+        m.insert("k1".into(), 1);
+        m.insert("k2".into(), 2);
+        assert_eq!(m[&Symbol::intern("k1")], 1);
+        assert_eq!(m[&Symbol::intern("k2")], 2);
+        let mut s = SymbolSet::default();
+        s.insert("k1".into());
+        assert!(s.contains(&Symbol::intern("k1")));
+        assert!(!s.contains(&Symbol::intern("k3")));
+    }
+
+    #[test]
+    fn stats_track_occupancy() {
+        let before = stats();
+        let name = "occupancy_probe_symbol_xyz";
+        let _ = Symbol::intern(name);
+        let after = stats();
+        assert!(after.symbols > before.symbols);
+        assert!(after.bytes >= before.bytes + name.len() as u64);
+        // Re-interning the same string adds nothing.
+        let _ = Symbol::intern(name);
+        assert_eq!(stats(), after);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        // Many threads interning an overlapping set of names must all
+        // observe identical symbols (single id per string).
+        let names: Vec<String> = (0..64).map(|i| format!("conc_{}", i % 16)).collect();
+        let results: Vec<Vec<Symbol>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let names = &names;
+                    scope.spawn(move || names.iter().map(|n| Symbol::intern(n)).collect())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in &results[1..] {
+            assert_eq!(*w, results[0]);
+        }
+        for (n, s) in names.iter().zip(&results[0]) {
+            assert_eq!(s.resolve(), n);
+        }
+    }
+}

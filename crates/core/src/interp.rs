@@ -11,10 +11,11 @@
 //! copies of a logical time step run against the same monitor frame, which
 //! is what makes bank conflicts between copies observable.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::ast::*;
 use crate::error::Error;
+use crate::intern::SymbolMap;
 use crate::span::Span;
 
 /// A runtime value.
@@ -118,10 +119,10 @@ pub fn interpret_with(
 ) -> Result<Outcome, Error> {
     let mut m = Machine::new(opts.clone());
     for d in &prog.decls {
-        m.alloc(&d.name, &d.ty, inputs.get(&d.name), d.span)?;
+        m.alloc(d.name, &d.ty, inputs.get(d.name.as_str()), d.span)?;
     }
     for f in &prog.defs {
-        m.funcs.insert(f.name.clone(), f.clone());
+        m.funcs.insert(f.name, f.clone());
     }
     m.exec(&prog.body)?;
     Ok(m.finish())
@@ -146,7 +147,7 @@ struct MemRt {
 
 #[derive(Debug, Clone)]
 enum RtOrigin {
-    Direct(String),
+    Direct(Id),
     /// View with offsets captured at declaration time.
     View {
         parent: Box<MemRt>,
@@ -172,17 +173,20 @@ struct MemData {
 }
 
 /// The dynamic capability monitor: port usage per bank per time frame.
+///
+/// Keys are interned symbols, so the per-access bookkeeping is integer
+/// hashing — no string allocation on the interpreter's hot path.
 #[derive(Debug, Default)]
 struct Monitor {
     enabled: bool,
     /// Port counts per root memory.
-    ports: HashMap<String, u32>,
+    ports: SymbolMap<u32>,
     /// Ports used this frame per (memory, flat bank id).
-    used: HashMap<(String, u64), u32>,
+    used: HashMap<(Id, u64), u32>,
     /// Addresses read this frame (identical reads share a port).
-    reads: HashSet<(String, u64)>,
+    reads: std::collections::HashSet<(Id, u64)>,
     /// Addresses written this frame (double writes are illegal).
-    writes: HashSet<(String, u64)>,
+    writes: std::collections::HashSet<(Id, u64)>,
 }
 
 impl Monitor {
@@ -192,23 +196,23 @@ impl Monitor {
         self.writes.clear();
     }
 
-    fn read(&mut self, mem: &str, addr: u64, bank: u64, span: Span) -> Result<(), Error> {
+    fn read(&mut self, mem: Id, addr: u64, bank: u64, span: Span) -> Result<(), Error> {
         if !self.enabled {
             return Ok(());
         }
-        if self.reads.contains(&(mem.to_string(), addr)) {
+        if self.reads.contains(&(mem, addr)) {
             return Ok(());
         }
         self.consume(mem, bank, span)?;
-        self.reads.insert((mem.to_string(), addr));
+        self.reads.insert((mem, addr));
         Ok(())
     }
 
-    fn write(&mut self, mem: &str, addr: u64, bank: u64, span: Span) -> Result<(), Error> {
+    fn write(&mut self, mem: Id, addr: u64, bank: u64, span: Span) -> Result<(), Error> {
         if !self.enabled {
             return Ok(());
         }
-        if !self.writes.insert((mem.to_string(), addr)) {
+        if !self.writes.insert((mem, addr)) {
             return Err(Error::interp(
                 format!(
                     "dynamic write conflict: `{mem}` address {addr} written twice in one time step"
@@ -219,9 +223,9 @@ impl Monitor {
         self.consume(mem, bank, span)
     }
 
-    fn consume(&mut self, mem: &str, bank: u64, span: Span) -> Result<(), Error> {
-        let ports = self.ports.get(mem).copied().unwrap_or(1);
-        let used = self.used.entry((mem.to_string(), bank)).or_insert(0);
+    fn consume(&mut self, mem: Id, bank: u64, span: Span) -> Result<(), Error> {
+        let ports = self.ports.get(&mem).copied().unwrap_or(1);
+        let used = self.used.entry((mem, bank)).or_insert(0);
         if *used >= ports {
             return Err(Error::interp(
                 format!(
@@ -238,9 +242,9 @@ impl Monitor {
 }
 
 struct Machine {
-    scopes: Vec<HashMap<Id, Slot>>,
-    mems: HashMap<String, MemData>,
-    funcs: HashMap<Id, FuncDef>,
+    scopes: Vec<SymbolMap<Slot>>,
+    mems: SymbolMap<MemData>,
+    funcs: SymbolMap<FuncDef>,
     monitor: Monitor,
     fuel: u64,
     /// When executing a `combine` reducer, selects which unrolled copy's
@@ -255,9 +259,9 @@ impl Machine {
             ..Monitor::default()
         };
         Machine {
-            scopes: vec![HashMap::new()],
-            mems: HashMap::new(),
-            funcs: HashMap::new(),
+            scopes: vec![SymbolMap::default()],
+            mems: SymbolMap::default(),
+            funcs: SymbolMap::default(),
             monitor,
             fuel: opts.max_steps,
             combine_copy: None,
@@ -271,11 +275,15 @@ impl Machine {
             .expect("top scope")
             .into_iter()
             .filter_map(|(k, v)| match v {
-                Slot::Val(v) => Some((k, v)),
+                Slot::Val(v) => Some((k.to_string(), v)),
                 _ => None,
             })
             .collect();
-        let mems = self.mems.into_iter().map(|(k, m)| (k, m.data)).collect();
+        let mems = self
+            .mems
+            .into_iter()
+            .map(|(k, m)| (k.to_string(), m.data))
+            .collect();
         Outcome { mems, vars }
     }
 
@@ -283,7 +291,7 @@ impl Machine {
 
     fn alloc(
         &mut self,
-        name: &str,
+        name: Id,
         ty: &MemType,
         init: Option<&Vec<Value>>,
         span: Span,
@@ -310,37 +318,37 @@ impl Machine {
             None => vec![zero; n],
         };
         self.mems.insert(
-            name.to_string(),
+            name,
             MemData {
                 ty: ty.clone(),
                 data,
             },
         );
-        self.monitor.ports.insert(name.to_string(), ty.ports);
+        self.monitor.ports.insert(name, ty.ports);
         self.bind(
             name,
             Slot::Mem(MemRt {
                 ty: ty.clone(),
-                origin: RtOrigin::Direct(name.to_string()),
+                origin: RtOrigin::Direct(name),
             }),
         );
         Ok(())
     }
 
-    fn bind(&mut self, name: &str, slot: Slot) {
+    fn bind(&mut self, name: Id, slot: Slot) {
         self.scopes
             .last_mut()
             .expect("scope stack nonempty")
-            .insert(name.to_string(), slot);
+            .insert(name, slot);
     }
 
-    fn lookup(&self, name: &str) -> Option<&Slot> {
-        self.scopes.iter().rev().find_map(|s| s.get(name))
+    fn lookup(&self, name: Id) -> Option<&Slot> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name))
     }
 
-    fn set_var(&mut self, name: &str, v: Value, span: Span) -> Result<(), Error> {
+    fn set_var(&mut self, name: Id, v: Value, span: Span) -> Result<(), Error> {
         for s in self.scopes.iter_mut().rev() {
-            if let Some(slot) = s.get_mut(name) {
+            if let Some(slot) = s.get_mut(&name) {
                 *slot = Slot::Val(v);
                 return Ok(());
             }
@@ -385,11 +393,11 @@ impl Machine {
                 init,
                 span,
             } => match (ty, init) {
-                (Some(Type::Mem(m)), None) => self.alloc(name, m, None, *span),
+                (Some(Type::Mem(m)), None) => self.alloc(*name, m, None, *span),
                 (_, Some(e)) => {
                     let v = self.eval(e)?;
                     let v = coerce(v, ty.as_ref());
-                    self.bind(name, Slot::Val(v));
+                    self.bind(*name, Slot::Val(v));
                     Ok(())
                 }
                 _ => Err(Error::interp(
@@ -403,14 +411,14 @@ impl Machine {
                 kind,
                 span,
             } => {
-                let parent = self.mem_rt(mem, *span)?;
+                let parent = self.mem_rt(*mem, *span)?;
                 let rt = self.view_rt(&parent, kind, *span)?;
-                self.bind(name, Slot::Mem(rt));
+                self.bind(*name, Slot::Mem(rt));
                 Ok(())
             }
             Cmd::Assign { name, rhs, span } => {
                 let v = self.eval(rhs)?;
-                self.set_var(name, v, *span)
+                self.set_var(*name, v, *span)
             }
             Cmd::Store {
                 mem,
@@ -420,10 +428,10 @@ impl Machine {
                 span,
             } => {
                 let v = self.eval(rhs)?;
-                let rt = self.mem_rt(mem, *span)?;
+                let rt = self.mem_rt(*mem, *span)?;
                 let (root, addr, bank) = self.resolve(&rt, phys_bank.as_deref(), idxs, *span)?;
-                self.monitor.write(&root, addr, bank, *span)?;
-                self.store_raw(&root, addr, v, *span)
+                self.monitor.write(root, addr, bank, *span)?;
+                self.store_raw(root, addr, v, *span)
             }
             Cmd::Reduce {
                 target,
@@ -431,7 +439,7 @@ impl Machine {
                 op,
                 rhs,
                 span,
-            } => self.exec_reduce(target, target_idxs, *op, rhs, *span),
+            } => self.exec_reduce(*target, target_idxs, *op, rhs, *span),
             Cmd::If {
                 cond,
                 then_branch,
@@ -448,7 +456,7 @@ impl Machine {
                         ))
                     }
                 };
-                self.scopes.push(HashMap::new());
+                self.scopes.push(SymbolMap::default());
                 let r = if taken {
                     self.exec(then_branch)
                 } else if let Some(e) = else_branch {
@@ -466,7 +474,7 @@ impl Machine {
                     return Ok(());
                 }
                 self.monitor.new_frame();
-                self.scopes.push(HashMap::new());
+                self.scopes.push(SymbolMap::default());
                 let r = self.exec(body);
                 self.scopes.pop();
                 r?;
@@ -480,8 +488,8 @@ impl Machine {
                 body,
                 combine,
                 span,
-            } => self.exec_for(var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
-            Cmd::Expr(Expr::Call { func, args, span }) => self.exec_call(func, args, *span),
+            } => self.exec_for(*var, *lo, *hi, *unroll, body, combine.as_deref(), *span),
+            Cmd::Expr(Expr::Call { func, args, span }) => self.exec_call(*func, args, *span),
             Cmd::Expr(e) => {
                 self.eval(e)?;
                 Ok(())
@@ -494,7 +502,7 @@ impl Machine {
     #[allow(clippy::too_many_arguments)]
     fn exec_for(
         &mut self,
-        var: &str,
+        var: Id,
         lo: i64,
         hi: i64,
         unroll: u64,
@@ -512,17 +520,14 @@ impl Machine {
         for g in 0..groups {
             self.burn(span)?;
             // One private environment per copy, persisting across steps.
-            let mut envs: Vec<HashMap<Id, Slot>> = vec![HashMap::new(); u];
+            let mut envs: Vec<SymbolMap<Slot>> = vec![SymbolMap::default(); u];
             for (c, env) in envs.iter_mut().enumerate() {
-                env.insert(
-                    var.to_string(),
-                    Slot::Iter(lo + (g * u as u64) as i64 + c as i64),
-                );
+                env.insert(var, Slot::Iter(lo + (g * u as u64) as i64 + c as i64));
             }
             for step in &steps {
                 self.monitor.new_frame();
                 for env in envs.iter_mut() {
-                    let iter_val = match env.get(var) {
+                    let iter_val = match env.get(&var) {
                         Some(Slot::Iter(v)) => *v,
                         _ => unreachable!("iterator bound above"),
                     };
@@ -539,19 +544,19 @@ impl Machine {
             self.monitor.new_frame();
             if let Some(comb) = combine {
                 // Collect per-copy values of body-local scalars.
-                let mut regs: HashMap<Id, Vec<Value>> = HashMap::new();
+                let mut regs: SymbolMap<Vec<Value>> = SymbolMap::default();
                 for env in &envs {
-                    for (k, slot) in env {
+                    for (&k, slot) in env {
                         if let Slot::Val(v) = slot {
-                            regs.entry(k.clone()).or_default().push(*v);
+                            regs.entry(k).or_default().push(*v);
                         }
                     }
                 }
-                let mut scope: HashMap<Id, Slot> = regs
+                let mut scope: SymbolMap<Slot> = regs
                     .into_iter()
                     .map(|(k, vs)| (k, Slot::Combine(vs)))
                     .collect();
-                scope.insert(var.to_string(), Slot::Iter(lo + (g * u as u64) as i64));
+                scope.insert(var, Slot::Iter(lo + (g * u as u64) as i64));
                 self.scopes.push(scope);
                 let r = self.exec(comb);
                 self.scopes.pop();
@@ -564,7 +569,7 @@ impl Machine {
 
     fn exec_reduce(
         &mut self,
-        target: &str,
+        target: Id,
         target_idxs: &[Expr],
         op: Reducer,
         rhs: &Expr,
@@ -607,12 +612,12 @@ impl Machine {
             let (root, addr, bank) = self.resolve(&rt, None, target_idxs, span)?;
             // Read and write happen in separate micro-steps of the
             // reduction tree; the monitor sees them in distinct frames.
-            self.monitor.read(&root, addr, bank, span)?;
-            let cur = self.load_raw(&root, addr, span)?;
+            self.monitor.read(root, addr, bank, span)?;
+            let cur = self.load_raw(root, addr, span)?;
             let v = fold(self, cur)?;
             self.monitor.new_frame();
-            self.monitor.write(&root, addr, bank, span)?;
-            self.store_raw(&root, addr, v, span)?;
+            self.monitor.write(root, addr, bank, span)?;
+            self.store_raw(root, addr, v, span)?;
             self.monitor.new_frame();
             Ok(())
         }
@@ -625,7 +630,7 @@ impl Machine {
         while let Some(e) = stack.pop() {
             match e {
                 Expr::Var { name, .. } => {
-                    if let Some(Slot::Combine(vs)) = self.lookup(name) {
+                    if let Some(Slot::Combine(vs)) = self.lookup(*name) {
                         arity = Some(arity.map_or(vs.len(), |a: usize| a.max(vs.len())));
                     }
                 }
@@ -649,10 +654,10 @@ impl Machine {
         arity
     }
 
-    fn exec_call(&mut self, func: &str, args: &[Expr], span: Span) -> Result<(), Error> {
+    fn exec_call(&mut self, func: Id, args: &[Expr], span: Span) -> Result<(), Error> {
         let def = self
             .funcs
-            .get(func)
+            .get(&func)
             .cloned()
             .ok_or_else(|| Error::interp(format!("unbound function `{func}`"), span))?;
         if def.params.len() != args.len() {
@@ -665,12 +670,12 @@ impl Machine {
                 span,
             ));
         }
-        let mut frame: HashMap<Id, Slot> = HashMap::new();
+        let mut frame: SymbolMap<Slot> = SymbolMap::default();
         for (p, a) in def.params.iter().zip(args) {
             match &p.ty {
                 Type::Mem(_) => {
                     let name = match a {
-                        Expr::Var { name, .. } => name,
+                        Expr::Var { name, .. } => *name,
                         other => {
                             return Err(Error::interp(
                                 "memory arguments must be memory names",
@@ -679,11 +684,11 @@ impl Machine {
                         }
                     };
                     let rt = self.mem_rt(name, span)?;
-                    frame.insert(p.name.clone(), Slot::Mem(rt));
+                    frame.insert(p.name, Slot::Mem(rt));
                 }
                 _ => {
                     let v = self.eval(a)?;
-                    frame.insert(p.name.clone(), Slot::Val(v));
+                    frame.insert(p.name, Slot::Val(v));
                 }
             }
         }
@@ -696,7 +701,7 @@ impl Machine {
 
     // ------------------------------------------------------ memory model
 
-    fn mem_rt(&self, name: &str, span: Span) -> Result<MemRt, Error> {
+    fn mem_rt(&self, name: Id, span: Span) -> Result<MemRt, Error> {
         match self.lookup(name) {
             Some(Slot::Mem(rt)) => Ok(rt.clone()),
             _ => Err(Error::interp(format!("`{name}` is not a memory"), span)),
@@ -761,7 +766,7 @@ impl Machine {
         phys_bank: Option<&Expr>,
         idxs: &[Expr],
         span: Span,
-    ) -> Result<(String, u64, u64), Error> {
+    ) -> Result<(Id, u64, u64), Error> {
         // Evaluate logical per-dimension indices.
         let logical = if let Some(b) = phys_bank {
             let bank = self.eval(b)?.as_i64();
@@ -798,7 +803,7 @@ impl Machine {
         rt: &MemRt,
         logical: &[i64],
         span: Span,
-    ) -> Result<(String, u64, u64), Error> {
+    ) -> Result<(Id, u64, u64), Error> {
         for (i, (&ix, d)) in logical.iter().zip(&rt.ty.dims).enumerate() {
             if ix < 0 || ix as u64 >= d.size {
                 return Err(Error::interp(
@@ -819,7 +824,7 @@ impl Machine {
                     addr = addr * d.size + ix as u64;
                     bank = bank * d.banks + (ix as u64 % d.banks);
                 }
-                Ok((name.clone(), addr, bank))
+                Ok((*name, addr, bank))
             }
             RtOrigin::View { parent, op } => {
                 let plogical: Vec<i64> = match op {
@@ -841,20 +846,20 @@ impl Machine {
         }
     }
 
-    fn load_raw(&self, root: &str, addr: u64, span: Span) -> Result<Value, Error> {
+    fn load_raw(&self, root: Id, addr: u64, span: Span) -> Result<Value, Error> {
         let m = self
             .mems
-            .get(root)
+            .get(&root)
             .ok_or_else(|| Error::interp(format!("unknown memory `{root}`"), span))?;
         m.data.get(addr as usize).copied().ok_or_else(|| {
             Error::interp(format!("address {addr} out of bounds for `{root}`"), span)
         })
     }
 
-    fn store_raw(&mut self, root: &str, addr: u64, v: Value, span: Span) -> Result<(), Error> {
+    fn store_raw(&mut self, root: Id, addr: u64, v: Value, span: Span) -> Result<(), Error> {
         let m = self
             .mems
-            .get_mut(root)
+            .get_mut(&root)
             .ok_or_else(|| Error::interp(format!("unknown memory `{root}`"), span))?;
         let elem = match *m.ty.elem {
             Type::Float | Type::Double => Value::Float(v.as_f64()),
@@ -880,7 +885,7 @@ impl Machine {
             Expr::LitInt { val, .. } => Ok(Value::Int(*val)),
             Expr::LitFloat { val, .. } => Ok(Value::Float(*val)),
             Expr::LitBool { val, .. } => Ok(Value::Bool(*val)),
-            Expr::Var { name, span } => match self.lookup(name) {
+            Expr::Var { name, span } => match self.lookup(*name) {
                 Some(Slot::Val(v)) => Ok(*v),
                 Some(Slot::Iter(v)) => Ok(Value::Int(*v)),
                 Some(Slot::Combine(vs)) => {
@@ -933,10 +938,10 @@ impl Machine {
                 idxs,
                 span,
             } => {
-                let rt = self.mem_rt(mem, *span)?;
+                let rt = self.mem_rt(*mem, *span)?;
                 let (root, addr, bank) = self.resolve(&rt, phys_bank.as_deref(), idxs, *span)?;
-                self.monitor.read(&root, addr, bank, *span)?;
-                self.load_raw(&root, addr, *span)
+                self.monitor.read(root, addr, bank, *span)?;
+                self.load_raw(root, addr, *span)
             }
             Expr::Call { func, span, .. } => Err(Error::interp(
                 format!("procedure `{func}` called in expression position"),

@@ -1,15 +1,20 @@
 //! Hand-written lexer for the Dahlia surface language.
 
 use crate::error::Error;
+use crate::intern::Symbol;
 use crate::span::Span;
 
 /// The tokens of the Dahlia surface language.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Identifiers carry an interned [`Symbol`], so `Tok` is `Copy` and the
+/// lexer allocates nothing per token: after the first sighting of a
+/// name, lexing it again is a hash probe, not a `String`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Tok {
     // Literals and identifiers.
     Int(i64),
     Float(f64),
-    Ident(String),
+    Ident(Symbol),
     // Keywords.
     Let,
     View,
@@ -104,7 +109,7 @@ impl Tok {
 }
 
 /// A token paired with its source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     /// The token itself.
     pub tok: Tok,
@@ -139,7 +144,10 @@ impl<'a> Lexer<'a> {
             pos: 0,
             line: 1,
             col: 1,
-            out: Vec::new(),
+            // Dahlia source averages well under 6 bytes per token;
+            // reserving up front keeps the token vector from reallocating
+            // during the lex.
+            out: Vec::with_capacity(src.len() / 5 + 8),
         }
     }
 
@@ -269,7 +277,10 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = &self.src[start.0..self.pos];
-        let tok = Tok::keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()));
+        // Keywords match on the borrowed slice; identifiers intern it —
+        // zero per-token allocation either way (interning allocates only
+        // the first time a distinct name is ever seen, process-wide).
+        let tok = Tok::keyword(text).unwrap_or_else(|| Tok::Ident(Symbol::intern(text)));
         self.push(tok, start);
     }
 

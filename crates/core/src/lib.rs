@@ -27,16 +27,18 @@ pub mod check;
 pub mod desugar;
 pub mod diag;
 pub mod error;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod span;
 
-pub use ast::{Cmd, Decl, Dim, Expr, FuncDef, MemType, Program, Type, ViewKind};
+pub use ast::{Cmd, Decl, Dim, Expr, FuncDef, Id, MemType, Program, Type, ViewKind};
 pub use check::{typecheck, CheckReport};
 pub use diag::{Diagnostic, Phase};
 pub use error::{Error, TypeError, TypeErrorKind};
+pub use intern::{InternStats, Symbol, SymbolMap, SymbolSet};
 pub use interp::{interpret, InterpOptions, Value};
 pub use parser::{parse, parse_expr};
 pub use span::{Span, Spanned};

@@ -5,6 +5,8 @@
 //! composes commands within a step (unordered composition, high
 //! precedence). So `a; b --- c` is `Par([Seq([a, b]), c])`.
 
+use std::sync::Arc;
+
 use crate::ast::*;
 use crate::error::Error;
 use crate::lexer::{lex, Tok, Token};
@@ -63,7 +65,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].tok.clone();
+        let t = self.toks[self.pos].tok;
         if self.pos < self.toks.len() - 1 {
             self.pos += 1;
         }
@@ -93,7 +95,7 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<(Id, Span), Error> {
-        match self.peek().clone() {
+        match *self.peek() {
             Tok::Ident(s) => {
                 let sp = self.span();
                 self.bump();
@@ -222,7 +224,7 @@ impl Parser {
             let size = self.int()? as u64;
             let mut banks = 1u64;
             if let Tok::Ident(w) = self.peek() {
-                if w == "bank" {
+                if *w == "bank" {
                     self.bump();
                     banks = self.int()? as u64;
                 }
@@ -240,7 +242,7 @@ impl Parser {
             Ok(scalar)
         } else {
             Ok(Type::Mem(MemType {
-                elem: Box::new(scalar),
+                elem: Arc::new(scalar),
                 ports,
                 dims,
             }))
@@ -356,7 +358,7 @@ impl Parser {
             let kind = self.view_args(&kind_tok)?;
             let span = start.merge(self.prev_span());
             cmds.push(Cmd::View {
-                name: name.clone(),
+                name: *name,
                 mem,
                 kind,
                 span,
@@ -430,9 +432,9 @@ impl Parser {
         self.expect(&Tok::LParen)?;
         let cond = self.expr()?;
         self.expect(&Tok::RParen)?;
-        let then_branch = Box::new(self.block()?);
+        let then_branch = Arc::new(self.block()?);
         let else_branch = if self.eat(&Tok::Else) {
-            Some(Box::new(if *self.peek() == Tok::If {
+            Some(Arc::new(if *self.peek() == Tok::If {
                 self.if_cmd()?
             } else {
                 self.block()?
@@ -454,7 +456,7 @@ impl Parser {
         self.expect(&Tok::LParen)?;
         let cond = self.expr()?;
         self.expect(&Tok::RParen)?;
-        let body = Box::new(self.block()?);
+        let body = Arc::new(self.block()?);
         let span = start.merge(self.prev_span());
         Ok(Cmd::While { cond, body, span })
     }
@@ -480,9 +482,9 @@ impl Parser {
                 self.prev_span(),
             ));
         }
-        let body = Box::new(self.block()?);
+        let body = Arc::new(self.block()?);
         let combine = if self.eat(&Tok::Combine) {
-            Some(Box::new(self.block()?))
+            Some(Arc::new(self.block()?))
         } else {
             None
         };
@@ -507,7 +509,7 @@ impl Parser {
         let mut phys_bank = None;
         if *self.peek() == Tok::LBrace {
             self.bump();
-            phys_bank = Some(Box::new(self.expr()?));
+            phys_bank = Some(Arc::new(self.expr()?));
             self.expect(&Tok::RBrace)?;
         }
         let mut idxs = Vec::new();
@@ -636,8 +638,8 @@ impl Parser {
             let span = lhs.span().merge(rhs.span());
             lhs = Expr::Bin {
                 op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+                lhs: Arc::new(lhs),
+                rhs: Arc::new(rhs),
                 span,
             };
         }
@@ -653,7 +655,7 @@ impl Parser {
                 let span = sp.merge(arg.span());
                 Ok(Expr::Un {
                     op: UnOp::Not,
-                    arg: Box::new(arg),
+                    arg: Arc::new(arg),
                     span,
                 })
             }
@@ -664,7 +666,7 @@ impl Parser {
                 let span = sp.merge(arg.span());
                 Ok(Expr::Un {
                     op: UnOp::Neg,
-                    arg: Box::new(arg),
+                    arg: Arc::new(arg),
                     span,
                 })
             }
@@ -714,7 +716,7 @@ impl Parser {
                 let mut phys_bank = None;
                 if *self.peek() == Tok::LBrace && !self.brace_is_block() {
                     self.bump();
-                    phys_bank = Some(Box::new(self.expr()?));
+                    phys_bank = Some(Arc::new(self.expr()?));
                     self.expect(&Tok::RBrace)?;
                 }
                 let mut idxs = Vec::new();

@@ -49,7 +49,7 @@ pub fn expr(e: &Expr) -> String {
             }
         }
         Expr::LitBool { val, .. } => val.to_string(),
-        Expr::Var { name, .. } => name.clone(),
+        Expr::Var { name, .. } => name.to_string(),
         Expr::Bin { op, lhs, rhs, .. } => format!("({} {} {})", expr(lhs), op, expr(rhs)),
         Expr::Un { op, arg, .. } => {
             let s = match op {
@@ -64,7 +64,7 @@ pub fn expr(e: &Expr) -> String {
             idxs,
             ..
         } => {
-            let mut s = mem.clone();
+            let mut s = mem.to_string();
             if let Some(b) = phys_bank {
                 let _ = write!(s, "{{{}}}", expr(b));
             }
@@ -152,7 +152,7 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             ..
         } => {
             indent(depth, out);
-            let mut s = mem.clone();
+            let mut s = mem.to_string();
             if let Some(b) = phys_bank {
                 let _ = write!(s, "{{{}}}", expr(b));
             }
@@ -169,7 +169,7 @@ fn cmd_into(c: &Cmd, depth: usize, out: &mut String) {
             ..
         } => {
             indent(depth, out);
-            let mut s = target.clone();
+            let mut s = target.to_string();
             for i in target_idxs {
                 let _ = write!(s, "[{}]", expr(i));
             }

@@ -1,0 +1,175 @@
+//! Property test: desugaring preserves semantics.
+//!
+//! For generated programs with nested `unroll` loops, `combine` blocks,
+//! and every view kind, `interp(desugar(p))` must agree with
+//! `interp(p)` on all memory contents (the checked interpreter's
+//! capability monitor is off — desugared output is meant for execution
+//! and lowering, not re-type-checking). This is the guard rail for the
+//! clone-free copy-on-write rewriter: a substitution bug that corrupted
+//! or wrongly shared a subtree shows up as a state divergence here.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dahlia_core::desugar::{desugar, inline_views};
+use dahlia_core::interp::{interpret_with, InterpOptions};
+use dahlia_core::parse;
+
+/// Generator parameters: a memory geometry (size divisible by banks),
+/// an unroll factor dividing the trip count, and a program shape.
+fn params() -> impl Strategy<Value = (u64, u64, u64, i64, usize)> {
+    (
+        prop::sample::select(vec![8u64, 12, 16, 24]),
+        prop::sample::select(vec![1u64, 2, 4]),
+        prop::sample::select(vec![1u64, 2, 4]),
+        1i64..6,
+        0usize..7,
+    )
+}
+
+/// Build one of seven program shapes from the parameters. Every shape
+/// is valid under the unchecked interpreter by construction (indices in
+/// bounds, geometry divisible).
+fn source(n: u64, banks: u64, unroll: u64, c: i64, shape: usize) -> String {
+    // Clamp to a legal geometry: banks | n and unroll | n.
+    let banks = if n.is_multiple_of(banks) { banks } else { 1 };
+    let unroll = if n.is_multiple_of(unroll) { unroll } else { 1 };
+    match shape {
+        // Plain banked write loop.
+        0 => format!(
+            "let A: bit<32>[{n} bank {banks}];
+             for (let i = 0..{n}) unroll {unroll} {{ A[i] := i * {c}; }}"
+        ),
+        // Ordered body with a per-copy local.
+        1 => format!(
+            "let A: bit<32>[{n} bank {banks}]; let B: bit<32>[{n} bank {banks}];
+             for (let i = 0..{n}) unroll {unroll} {{
+               let x = i * {c}
+               ---
+               A[i] := x
+               ---
+               B[i] := A[i] + x;
+             }}"
+        ),
+        // Reduction through a combine block.
+        2 => format!(
+            "let A: bit<32>[{n} bank {banks}]; let out: bit<32>[1];
+             for (let i = 0..{n}) unroll {unroll} {{ A[i] := i + {c}; }}
+             ---
+             for (let i = 0..{n}) unroll {unroll} {{
+               let v = A[i];
+             }} combine {{
+               out[0] += v;
+             }}"
+        ),
+        // Shrink view re-read at a smaller parallelism.
+        3 => {
+            let shrink = if banks > 1 { 2 } else { 1 };
+            let u2 = banks / shrink.min(banks);
+            let u2 = if u2 == 0 || !n.is_multiple_of(u2) {
+                1
+            } else {
+                u2
+            };
+            format!(
+                "let A: bit<32>[{n} bank {banks}]; let B: bit<32>[{n} bank {banks}];
+                 for (let i = 0..{n}) unroll {unroll} {{ A[i] := i * {c}; }}
+                 ---
+                 view sh = shrink A[by {shrink}];
+                 for (let i = 0..{n}) unroll {u2} {{ B[i] := sh[i]; }}"
+            )
+        }
+        // Suffix view with a dynamic aligned offset. The window stride
+        // is at least 2 so `s[1]` stays in bounds on the last window.
+        4 => {
+            let stride = banks.max(2);
+            let windows = n / stride;
+            format!(
+                "let A: bit<32>{{4}}[{n} bank {banks}]; let out: bit<32>[{windows}];
+                 for (let i = 0..{n}) unroll {unroll} {{ A[i] := i * i + {c}; }}
+                 ---
+                 for (let g = 0..{windows}) {{
+                   view s = suffix A[by {stride}*g];
+                   out[g] := s[0] + s[1];
+                 }}"
+            )
+        }
+        // Split view under nested unrolled loops with a combine.
+        5 => {
+            let f = if banks.is_multiple_of(2) { 2 } else { 1 };
+            let inner = n / f;
+            let iu = if inner.is_multiple_of(2) { 2 } else { 1 };
+            format!(
+                "let A: bit<32>[{n} bank {banks}]; let out: bit<32>[{inner}];
+                 for (let i = 0..{n}) {{ A[i] := i * {c}; }}
+                 ---
+                 view sp = split A[by {f}];
+                 for (let i = 0..{inner}) unroll {iu} {{
+                   for (let j = 0..{f}) unroll {f} {{
+                     let v = sp[j][i];
+                   }} combine {{
+                     out[i] += v;
+                   }}
+                 }}"
+            )
+        }
+        // Nested unrolled loops over a 2-D memory.
+        _ => {
+            let m = banks * 3;
+            format!(
+                "let M: bit<32>[{n} bank {banks}][{m} bank {banks}];
+                 for (let i = 0..{n}) unroll {unroll} {{
+                   for (let j = 0..{m}) unroll {banks} {{
+                     M[i][j] := i * 10 + j + {c};
+                   }}
+                 }}"
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn desugaring_preserves_interpretation((n, banks, unroll, c, shape) in params()) {
+        let src = source(n, banks, unroll, c, shape);
+        let p = parse(&src).unwrap_or_else(|e| panic!("generated source must parse: {e}\n{src}"));
+        let opts = InterpOptions {
+            check_capabilities: false,
+            ..Default::default()
+        };
+        let reference = interpret_with(&p, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("surface program runs: {e}\n{src}"));
+
+        let d = desugar(&p);
+        let desugared = interpret_with(&d, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("desugared program runs: {e}\n{src}"));
+        prop_assert_eq!(
+            &reference.mems,
+            &desugared.mems,
+            "desugar changed memory state for\n{}",
+            src
+        );
+
+        // View inlining alone must also preserve semantics.
+        let v = inline_views(&p);
+        let inlined = interpret_with(&v, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("view-inlined program runs: {e}\n{src}"));
+        prop_assert_eq!(
+            &reference.mems,
+            &inlined.mems,
+            "inline_views changed memory state for\n{}",
+            src
+        );
+
+        // Desugaring is idempotent on its own output: a second pass over
+        // an already-unrolled, view-free program is the identity modulo
+        // interpretation.
+        let dd = desugar(&d);
+        let twice = interpret_with(&dd, &opts, &HashMap::new())
+            .unwrap_or_else(|e| panic!("double-desugared program runs: {e}\n{src}"));
+        prop_assert_eq!(&reference.mems, &twice.mems);
+    }
+}

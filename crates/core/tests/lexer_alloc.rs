@@ -1,0 +1,119 @@
+//! Allocation accounting for the lexer: identifier tokens must not heap
+//! allocate once their names are interned.
+//!
+//! The pre-interning lexer built a `String` for every identifier-shaped
+//! lexeme — even ones immediately discarded by parser lookahead. With
+//! the global interner, lexing a warm source performs **no per-token
+//! allocation**: this test pins that with a counting global allocator
+//! (an integration test gets its own binary, so the allocator swap
+//! cannot leak into other suites).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dahlia_core::lexer::{lex, Tok};
+
+/// The allocation counter is process-global; libtest runs tests on
+/// parallel threads by default, so each measuring test takes this lock
+/// to keep the other test's allocations out of its window.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// A source with a dense identifier population: repeated names, names
+/// that are *almost* keywords, and names only ever seen under parser
+/// lookahead positions.
+fn busy_source() -> String {
+    let mut src = String::from("let unrolled = 1; let forever = 2; let banker = 3;\n");
+    for i in 0..40 {
+        src.push_str(&format!(
+            "alpha_{m} := alpha_{m} + beta_{m} * banker + unrolled - forever;\n",
+            m = i % 8
+        ));
+    }
+    src
+}
+
+#[test]
+fn warm_identifier_lexing_is_allocation_independent() {
+    let _guard = MEASURE.lock().unwrap();
+    let src = busy_source();
+
+    // Pass 1 warms the interner (first sighting of each distinct name
+    // allocates exactly once, process-wide).
+    let first = lex(&src).expect("lexes");
+    let idents = first
+        .iter()
+        .filter(|t| matches!(t.tok, Tok::Ident(_)))
+        .count();
+    assert!(idents > 200, "the source is identifier-dense: {idents}");
+
+    // Pass 2: same source, warm interner. The only permitted
+    // allocations are the token vector itself (pre-sized: one reserve)
+    // and allocator noise — nothing proportional to the token count.
+    let mut second = Vec::new();
+    let allocs = allocs_during(|| {
+        second = lex(&src).expect("lexes");
+    });
+    assert!(
+        allocs <= 4,
+        "warm lex of {idents} identifiers performed {allocs} allocations — \
+         identifier lexing must not allocate per token"
+    );
+
+    // Token streams are equal, and equality is allocation-independent:
+    // the same spelling yields the very same interned symbol.
+    assert_eq!(first, second);
+    for (a, b) in first.iter().zip(&second) {
+        if let (Tok::Ident(x), Tok::Ident(y)) = (&a.tok, &b.tok) {
+            assert_eq!(x, y);
+            assert!(
+                std::ptr::eq(x.as_str(), y.as_str()),
+                "equal identifiers resolve to one interned allocation"
+            );
+        }
+    }
+}
+
+#[test]
+fn keyword_lookahead_discards_do_not_allocate() {
+    // The PR-motivating case: `Tok::keyword` used to allocate a String
+    // for every identifier even when the token was immediately discarded
+    // by lookahead. Keywords themselves never allocate; identifiers
+    // allocate at most once ever.
+    let _guard = MEASURE.lock().unwrap();
+    let src = "for while if else let view unroll combine def decl by true false";
+    let _warm = lex(src).expect("lexes");
+    let allocs = allocs_during(|| {
+        let _ = lex(src).expect("lexes");
+    });
+    assert!(allocs <= 2, "keyword-only source allocated {allocs} times");
+}

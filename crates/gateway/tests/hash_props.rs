@@ -26,7 +26,7 @@ proptest! {
         let k = key(lo, hi);
         let r = rank(k, &shards);
         prop_assert_eq!(r[0], owner(k, &shards, |_| true).unwrap());
-        let mut sorted = r.clone();
+        let mut sorted = r;
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }

@@ -4,18 +4,16 @@
 //! to read them back, so this module defines a self-contained JSON codec
 //! for every persistable [`CacheValue`]:
 //!
+//! * `ast` / `desugared` — the full [`Program`] AST (see
+//!   [`crate::ast_codec`]: identifiers stored as strings and re-interned
+//!   on decode, spans preserved), so a fresh process over a warm cache
+//!   directory serves **all six** stages from disk;
 //! * `check` — the [`CheckReport`] counters;
 //! * `cpp` — the emitted C++ text;
 //! * `ir` — the full lowered [`Kernel`] (arrays, loop nest, ops);
 //! * `est` — the [`Estimate`];
 //! * `err` — a structured [`Diagnostic`] (rejections are deterministic
 //!   and cached exactly like successes).
-//!
-//! Parse and desugar artifacts (full ASTs with spans) are deliberately
-//! **not** persisted: re-parsing is cheaper than a faithful AST codec,
-//! and no terminal request below `check` benefits from disk at all.
-//! [`encode`] returns `None` for them and the disk tier simply skips the
-//! write — the memory tier still caches them for the process lifetime.
 //!
 //! Robustness contract: [`decode`] never panics on malformed input; any
 //! structural surprise yields `None`, which the disk tier treats as a
@@ -29,15 +27,20 @@ use dahlia_core::{CheckReport, Span};
 use hls_sim::ir::{Access, ArrayDecl, Idx, Kernel, Loop, Op, OpKind, Stmt};
 use hls_sim::Estimate;
 
+use crate::ast_codec::program_from_json;
 use crate::json::{obj, Json};
 use crate::pipeline::Artifact;
 use crate::store::CacheValue;
 
-/// Encode a cache value for persistence. `None` means this value is not
-/// persistable (AST artifacts) and must stay memory-only.
+/// Encode a cache value for persistence. Every artifact kind (and every
+/// diagnostic) is persistable; `None` is reserved for future
+/// memory-only kinds.
 pub fn encode(value: &CacheValue) -> Option<Json> {
     match value {
-        Ok(Artifact::Ast(_)) | Ok(Artifact::Desugared(_)) => None,
+        Ok(Artifact::Ast(p)) => Some(obj([("ast", crate::ast_codec::program_to_json(p))])),
+        Ok(Artifact::Desugared(p)) => {
+            Some(obj([("desugared", crate::ast_codec::program_to_json(p))]))
+        }
         Ok(Artifact::Check(r)) => Some(obj([("check", check_to_json(r))])),
         Ok(Artifact::Cpp(text)) => Some(obj([("cpp", Json::Str((**text).clone()))])),
         Ok(Artifact::Ir(k)) => Some(obj([("ir", kernel_to_json(k))])),
@@ -48,6 +51,12 @@ pub fn encode(value: &CacheValue) -> Option<Json> {
 
 /// Decode a persisted cache value. `None` on any structural mismatch.
 pub fn decode(v: &Json) -> Option<CacheValue> {
+    if let Some(p) = v.get("ast") {
+        return Some(Ok(Artifact::Ast(Arc::new(program_from_json(p)?))));
+    }
+    if let Some(p) = v.get("desugared") {
+        return Some(Ok(Artifact::Desugared(Arc::new(program_from_json(p)?))));
+    }
     if let Some(r) = v.get("check") {
         return Some(Ok(Artifact::Check(Arc::new(check_from_json(r)?))));
     }
@@ -425,13 +434,15 @@ mod tests {
     }
 
     #[test]
-    fn every_persistable_stage_roundtrips() {
+    fn every_stage_roundtrips() {
         let p = Pipeline::new();
         let opts = Options::named("k");
-        for stage in [Stage::Check, Stage::Lower, Stage::Cpp, Stage::Estimate] {
+        for stage in Stage::ALL {
             let (v, _) = p.artifact(GOOD, stage, &opts);
             let back = roundtrip(&v);
             match (v.unwrap(), back.unwrap()) {
+                (Artifact::Ast(a), Artifact::Ast(b)) => assert_eq!(*a, *b),
+                (Artifact::Desugared(a), Artifact::Desugared(b)) => assert_eq!(*a, *b),
                 (Artifact::Check(a), Artifact::Check(b)) => assert_eq!(*a, *b),
                 (Artifact::Cpp(a), Artifact::Cpp(b)) => assert_eq!(*a, *b),
                 (Artifact::Ir(a), Artifact::Ir(b)) => {
@@ -465,12 +476,30 @@ mod tests {
     }
 
     #[test]
-    fn ast_artifacts_are_not_persistable() {
+    fn ast_artifacts_reintern_symbols_on_decode() {
+        // Symbols are process-local; the codec must store strings. A
+        // decoded program is structurally equal AND its identifiers
+        // resolve to the same text (re-interned, not raw ids).
         let p = Pipeline::new();
-        let opts = Options::default();
-        for stage in [Stage::Parse, Stage::Desugar] {
-            let (v, _) = p.artifact(GOOD, stage, &opts);
-            assert!(encode(&v).is_none(), "{stage:?} must stay memory-only");
+        let (v, _) = p.artifact(GOOD, Stage::Parse, &Options::default());
+        let back = roundtrip(&v);
+        let (Ok(Artifact::Ast(orig)), Ok(Artifact::Ast(decoded))) = (v, back) else {
+            panic!("parse stage shape changed");
+        };
+        assert_eq!(orig.decls.len(), decoded.decls.len());
+        match (&orig.body, &decoded.body) {
+            (dahlia_core::Cmd::Seq(a), dahlia_core::Cmd::Seq(b)) => {
+                let (
+                    dahlia_core::Cmd::Let { name: na, .. },
+                    dahlia_core::Cmd::Let { name: nb, .. },
+                ) = (&a[0], &b[0])
+                else {
+                    panic!("expected let");
+                };
+                assert_eq!(na, nb);
+                assert_eq!(nb.as_str(), "A");
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -479,6 +508,9 @@ mod tests {
         for bad in [
             "{}",
             r#"{"cpp":7}"#,
+            r#"{"ast":{}}"#,
+            r#"{"ast":7}"#,
+            r#"{"desugared":{"decls":[],"defs":[],"body":{"seq":[7]}}}"#,
             r#"{"est":{"name":"k"}}"#,
             r#"{"ir":{"name":"k","clock_mhz":250,"pipeline":true,"arrays":[{}],"body":[]}}"#,
             r#"{"err":{"phase":"nope","code":"x","message":"m","start":0,"end":0,"line":0,"col":0}}"#,

@@ -99,6 +99,7 @@
 //! assert!(line.contains(r#""code":"type/already-consumed""#), "{line}");
 //! ```
 
+pub mod ast_codec;
 pub mod client;
 pub mod codec;
 pub mod disk;
@@ -186,6 +187,19 @@ impl ServerStats {
             ("joins", Json::Num(self.store.joins as f64)),
             ("joins_by_stage", per_stage(&self.store.joins_by_stage)),
             ("executions", per_stage(&self.store.executions)),
+            ("compute_nanos", per_stage(&self.store.compute_nanos)),
+            // Global intern-table occupancy: interned identifiers are
+            // never reclaimed, so this is the one counter the memory
+            // bounds (--max-entries/--max-bytes, disk GC) cannot touch —
+            // surfaced so operators can watch it grow. Gateway stats sum
+            // shard values: the total across the cluster.
+            ("intern", {
+                let i = dahlia_core::intern::stats();
+                obj([
+                    ("symbols", Json::Num(i.symbols as f64)),
+                    ("bytes", Json::Num(i.bytes as f64)),
+                ])
+            }),
             (
                 "evict",
                 obj([

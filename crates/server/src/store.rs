@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::disk::DiskStats;
 use crate::evict::{EvictConfig, EvictStats, Lru};
@@ -94,6 +95,12 @@ pub struct StoreStats {
     /// Computations actually executed, per stage (indexed by
     /// [`Stage::index`]).
     pub executions: [u64; STAGE_COUNT],
+    /// Cumulative wall time spent *computing* each stage, in
+    /// nanoseconds (indexed by [`Stage::index`]) — cache hits and joins
+    /// contribute nothing, so `compute_nanos[i] / executions[i]` is the
+    /// observable mean cost of a real miss, and a front-end perf
+    /// regression shows up in production stats, not just in benches.
+    pub compute_nanos: [u64; STAGE_COUNT],
     /// Memory-tier eviction counters and residency.
     pub evict: EvictStats,
     /// Disk-tier counters (zero when no persistent tier is attached).
@@ -131,6 +138,7 @@ pub struct Store {
     joins: AtomicU64,
     joins_by_stage: [AtomicU64; STAGE_COUNT],
     executions: [AtomicU64; STAGE_COUNT],
+    compute_nanos: [AtomicU64; STAGE_COUNT],
 }
 
 impl Default for Store {
@@ -158,6 +166,7 @@ impl Store {
             joins: AtomicU64::new(0),
             joins_by_stage: Default::default(),
             executions: Default::default(),
+            compute_nanos: Default::default(),
         }
     }
 
@@ -188,9 +197,11 @@ impl Store {
     pub fn stats(&self) -> StoreStats {
         let mut executions = [0u64; STAGE_COUNT];
         let mut joins_by_stage = [0u64; STAGE_COUNT];
+        let mut compute_nanos = [0u64; STAGE_COUNT];
         for i in 0..STAGE_COUNT {
             executions[i] = self.executions[i].load(Ordering::Relaxed);
             joins_by_stage[i] = self.joins_by_stage[i].load(Ordering::Relaxed);
+            compute_nanos[i] = self.compute_nanos[i].load(Ordering::Relaxed);
         }
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -198,6 +209,7 @@ impl Store {
             joins: self.joins.load(Ordering::Relaxed),
             joins_by_stage,
             executions,
+            compute_nanos,
             evict: self.inner.lock().unwrap().lru.stats(),
             disk: self.tier.as_ref().map(|t| t.stats()).unwrap_or_default(),
         }
@@ -253,6 +265,7 @@ impl Store {
         // Convert panics into cached internal diagnostics instead.
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.executions[key.stage.index()].fetch_add(1, Ordering::Relaxed);
+        let compute_start = Instant::now();
         let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute)).unwrap_or_else(
             |payload| {
                 let msg = payload
@@ -268,6 +281,9 @@ impl Store {
                 })
             },
         );
+
+        self.compute_nanos[key.stage.index()]
+            .fetch_add(compute_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         // Write-behind to the persistent tier — but never persist
         // internal diagnostics: a caught panic is a tooling bug, not a
@@ -342,6 +358,26 @@ mod tests {
         let _ = store.get_or_compute(other, || Ok(Artifact::Cpp(Arc::new(String::new()))));
         assert_eq!(store.stats().misses, 3);
         assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn compute_time_accrues_only_on_real_computes() {
+        let store = Store::new();
+        let _ = store.get_or_compute(key(21), || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            value()
+        });
+        let after_miss = store.stats();
+        let t = after_miss.compute_nanos[Stage::Parse.index()];
+        assert!(t >= 5_000_000, "computed stage accrued wall time: {t}");
+        assert_eq!(after_miss.compute_nanos[Stage::Check.index()], 0);
+        // A hit adds nothing.
+        let _ = store.get_or_compute(key(21), || panic!("cached"));
+        assert_eq!(
+            store.stats().compute_nanos[Stage::Parse.index()],
+            t,
+            "hits must not accrue compute time"
+        );
     }
 
     #[test]

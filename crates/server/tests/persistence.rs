@@ -202,3 +202,103 @@ fn est_entry_path_is_content_addressed_and_stable() {
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn warm_restart_serves_parse_and_desugar_from_disk() {
+    // The acceptance criterion for the AST codec: a fresh process over a
+    // warm directory answers front-end requests — parse and desugar, the
+    // two stages that used to be memory-only — with ZERO pipeline stage
+    // executions.
+    let dir = tmp_dir("ast-warm");
+    let first = server_with_cache(&dir);
+    let cold: Vec<_> = PROGRAMS
+        .iter()
+        .enumerate()
+        .map(|(i, src)| first.submit(Request::new(format!("c{i}"), Stage::Desugar, *src, "k")))
+        .collect();
+    assert!(cold.iter().all(|r| r.ok()));
+    drop(first);
+
+    let second = server_with_cache(&dir);
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let pr = second.submit(Request::new(format!("p{i}"), Stage::Parse, *src, "k"));
+        assert!(pr.ok() && pr.cached, "parse came from disk");
+        let dr = second.submit(Request::new(format!("d{i}"), Stage::Desugar, *src, "k"));
+        assert!(dr.ok() && dr.cached, "desugar came from disk");
+        // The decoded desugared program is structurally identical to the
+        // one the first process computed.
+        match (&cold[i].value, &dr.value) {
+            (
+                Ok(dahlia_server::Artifact::Desugared(a)),
+                Ok(dahlia_server::Artifact::Desugared(b)),
+            ) => assert_eq!(a, b, "desugared AST survived the disk round-trip"),
+            other => panic!("unexpected artifact shapes: {other:?}"),
+        }
+    }
+    let s = second.stats();
+    assert_eq!(
+        s.store.total_executions(),
+        0,
+        "warm-disk restart ran a front-end stage: {:?}",
+        s.store.executions
+    );
+    assert!(s.store.disk.hits >= 2 * PROGRAMS.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbled_ast_entries_degrade_to_recompute_never_panic() {
+    let dir = tmp_dir("ast-corrupt");
+    let first = server_with_cache(&dir);
+    let cold: Vec<_> = PROGRAMS
+        .iter()
+        .enumerate()
+        .map(|(i, src)| first.submit(Request::new(format!("c{i}"), Stage::Desugar, *src, "k")))
+        .collect();
+    drop(first);
+
+    // Vandalize ONLY the parse/desugar entries: truncation, JSON garbage,
+    // and a structurally-valid JSON body that is not a program.
+    let mut victims = 0;
+    for stage_dir in ["parse", "desugar"] {
+        let mut stack = vec![dir.join("v1").join(stage_dir)];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&d) else {
+                continue;
+            };
+            for entry in entries {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    match victims % 3 {
+                        0 => {
+                            let bytes = std::fs::read(&path).unwrap();
+                            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+                        }
+                        1 => std::fs::write(&path, b"{ not json").unwrap(),
+                        _ => std::fs::write(&path, b"{\"ast\":{\"decls\":7}}").unwrap(),
+                    }
+                    victims += 1;
+                }
+            }
+        }
+    }
+    assert!(victims > 0, "parse/desugar entries were persisted");
+
+    let second = server_with_cache(&dir);
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let dr = second.submit(Request::new(format!("r{i}"), Stage::Desugar, *src, "k"));
+        assert!(dr.ok(), "corruption never fails a request");
+        match (&cold[i].value, &dr.value) {
+            (
+                Ok(dahlia_server::Artifact::Desugared(a)),
+                Ok(dahlia_server::Artifact::Desugared(b)),
+            ) => assert_eq!(a, b, "recompute agrees with the original"),
+            other => panic!("unexpected artifact shapes: {other:?}"),
+        }
+    }
+    let s = second.stats();
+    assert!(s.store.total_executions() > 0, "stages re-ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -151,6 +151,8 @@ fn stats_line_and_protocol_errors() {
             "joins",
             "joins_by_stage",
             "executions",
+            "compute_nanos",
+            "intern",
             "evict",
             "disk"
         ]
@@ -166,6 +168,16 @@ fn stats_line_and_protocol_errors() {
     let joins = s.get("joins_by_stage").unwrap();
     assert_eq!(joins.keys(), stage_keys);
     assert_eq!(joins.get("check").and_then(Json::as_u64), Some(0));
+    // Wall-time counters: the computed stage accrued time, the
+    // never-run stage did not.
+    let nanos = s.get("compute_nanos").unwrap();
+    assert_eq!(nanos.keys(), stage_keys);
+    assert!(nanos.get("parse").and_then(Json::as_u64) > Some(0));
+    assert_eq!(nanos.get("cpp").and_then(Json::as_u64), Some(0));
+    // The intern table holds at least this session's identifiers.
+    let intern = s.get("intern").unwrap();
+    assert_eq!(intern.keys(), vec!["symbols", "bytes"]);
+    assert!(intern.get("symbols").and_then(Json::as_u64) > Some(0));
     let evict = s.get("evict").unwrap();
     assert_eq!(
         evict.keys(),
