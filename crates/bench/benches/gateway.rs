@@ -1,16 +1,19 @@
 //! Cluster scaling benches: the MachSuite batch through 1/2/4-shard
-//! gateways, plus the degenerate local-fallback path.
+//! gateways, replicated and not, plus the degenerate local-fallback
+//! path.
 //!
-//! The headline comparison is `gateway/cold_batch_1shard` vs
+//! The headline comparisons are `gateway/cold_batch_1shard` vs
 //! `..._2shard` vs `..._4shard` — throughput scaling of compile work
-//! behind one front door — and `gateway/warm_batch_2shard`, the
-//! cache-locality dividend of rendezvous routing (every request is a
-//! warm hit on the shard that compiled it).
+//! behind one front door — `gateway/warm_batch_2shard` (the
+//! cache-locality dividend of rendezvous routing), and
+//! `gateway/failover_batch_{2,4}shard_x2` (the availability dividend
+//! of `--replication 2`: a post-kill batch that recomputes nothing).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dahlia_bench::cluster::{
-    cluster_batch, drive, machsuite_requests, shutdown_shards, spawn_shards,
+    cluster_batch, cluster_batch_replicated, drive, failover_batch, machsuite_requests,
+    shutdown_shards, spawn_shards,
 };
 use dahlia_gateway::GatewayConfig;
 
@@ -43,6 +46,28 @@ fn bench_warm_batches(c: &mut Criterion) {
     }
 }
 
+fn bench_replicated(c: &mut Criterion) {
+    // The cost side: a replicated cold batch does R× the compile work
+    // cluster-wide (fan-out is async, so cold wall time should stay
+    // close to the unreplicated run).
+    for shards in [2usize, 4] {
+        c.bench_function(&format!("gateway/cold_batch_{shards}shard_x2"), |b| {
+            b.iter(|| cluster_batch_replicated(shards, 2, SHARD_THREADS, SUBMITTERS).cold_wall_us)
+        });
+    }
+    // The dividend side: kill a shard, re-drive the batch — warm
+    // failover, zero recomputed stages.
+    for shards in [2usize, 4] {
+        c.bench_function(&format!("gateway/failover_batch_{shards}shard_x2"), |b| {
+            b.iter(|| {
+                let run = failover_batch(shards, 2, SHARD_THREADS, SUBMITTERS);
+                assert_eq!(run.recomputed_stages, 0, "{run}");
+                run.failover_wall_us
+            })
+        });
+    }
+}
+
 fn bench_local_fallback(c: &mut Criterion) {
     // The empty-cluster degenerate case: every request compiles in the
     // gateway's embedded server. The floor the cluster must beat.
@@ -58,6 +83,7 @@ criterion_group!(
     benches,
     bench_cold_scaling,
     bench_warm_batches,
+    bench_replicated,
     bench_local_fallback
 );
 criterion_main!(benches);

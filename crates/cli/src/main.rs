@@ -9,6 +9,7 @@
 //! dahliac serve  [opts]               JSON-lines compile service (stdio or TCP)
 //! dahliac batch  [opts] [files...]    compile a batch through the service
 //! dahliac gateway [opts]              sharded cluster front-end over shards
+//! dahliac gateway-admin <op> [opts]   drain/undrain shards on a live gateway
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
@@ -85,16 +86,28 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       drives a remote `serve --listen`;
                                       --shutdown with no inputs just stops
                                       the remote)
-  dahliac gateway --listen ADDR [--shards a1,a2,...] [--spawn-workers N]
-                 [--threads N] [--metrics ADDR]
+  dahliac gateway --listen ADDR [--shards a1[=W],a2,...] [--spawn-workers N]
+                 [--replication N] [--threads N] [--metrics ADDR]
                                       cluster front-end: routes requests
                                       across `serve --listen` shards by
-                                      source digest (rendezvous hashing),
-                                      re-routing on shard failure and
-                                      compiling locally when the cluster
-                                      is empty; --spawn-workers forks N
-                                      local shard processes on ephemeral
-                                      ports
+                                      source digest (weighted rendezvous
+                                      hashing; `addr=2` owns twice the
+                                      keys), re-routing on shard failure
+                                      and compiling locally when the
+                                      cluster is empty; --replication N
+                                      fans new artifacts out to the top-N
+                                      shards so failover serves them warm;
+                                      --spawn-workers forks N local shard
+                                      processes on ephemeral ports
+  dahliac gateway-admin <drain|undrain> --connect ADDR SHARD [--weight W]
+                                      administer a live gateway: `drain`
+                                      routes new keys past SHARD and
+                                      migrates its warm keys to the
+                                      survivors (rolling restarts);
+                                      `undrain` puts it back — or joins
+                                      SHARD as a brand-new shard
+                                      (optionally weighted) for live
+                                      re-sharding
 
   <file.fuse> may be `-` for stdin.
   --cache-dir (or DAHLIA_CACHE_DIR) persists artifacts across processes;
@@ -111,6 +124,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "gateway" => cmd_gateway(&args[1..]),
+        "gateway-admin" => cmd_gateway_admin(&args[1..]),
         "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -622,15 +636,21 @@ fn shutdown_workers(workers: &mut Vec<SpawnedWorker>) {
 /// `dahliac gateway`: the sharded cluster front-end.
 fn cmd_gateway(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let (listen, shards_flag, spawn_raw, threads_raw, metrics_addr) = match (
+    let (listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr) = match (
         take_flag(&mut args, "--listen"),
         take_flag(&mut args, "--shards"),
         take_flag(&mut args, "--spawn-workers"),
+        take_flag(&mut args, "--replication"),
         take_flag(&mut args, "--threads"),
         take_flag(&mut args, "--metrics"),
     ) {
-        (Ok(l), Ok(s), Ok(w), Ok(t), Ok(m)) => (l, s, w, t, m),
-        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _, _) | (.., Err(e), _) | (.., Err(e)) => {
+        (Ok(l), Ok(s), Ok(w), Ok(r), Ok(t), Ok(m)) => (l, s, w, r, t, m),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), _, _)
+        | (.., Err(e), _)
+        | (.., Err(e)) => {
             eprintln!("dahliac: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
@@ -647,25 +667,34 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(code) => return code,
     };
+    let replication = match parse_positive("--replication", replication_raw) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let spawn_workers = match parse_positive("--spawn-workers", spawn_raw) {
         Ok(n) => n,
         Err(code) => return code,
     };
 
-    let mut shard_addrs: Vec<String> = shards_flag
-        .map(|s| {
-            s.split(',')
-                .map(str::trim)
-                .filter(|a| !a.is_empty())
-                .map(str::to_string)
-                .collect()
-        })
-        .unwrap_or_default();
+    // `--shards a1=2,a2,…`: each entry is an address with an optional
+    // rendezvous weight (see `dahlia_gateway::hash::parse_weighted`).
+    let mut shard_addrs: Vec<(String, f64)> = Vec::new();
+    if let Some(s) = shards_flag {
+        for entry in s.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+            match dahlia_gateway::hash::parse_weighted(entry) {
+                Ok(pair) => shard_addrs.push(pair),
+                Err(e) => {
+                    eprintln!("dahliac: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+    }
     let mut workers = Vec::new();
     if let Some(n) = spawn_workers {
         match spawn_local_workers(n, threads) {
             Ok(ws) => {
-                shard_addrs.extend(ws.iter().map(|w| w.addr.clone()));
+                shard_addrs.extend(ws.iter().map(|w| (w.addr.clone(), 1.0)));
                 workers = ws;
             }
             Err(code) => return code,
@@ -676,7 +705,10 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     }
 
-    let mut cfg = GatewayConfig::new(shard_addrs);
+    let mut cfg = GatewayConfig::new_weighted(shard_addrs);
+    if let Some(r) = replication {
+        cfg = cfg.replication(r);
+    }
     if let Some(t) = threads {
         cfg = cfg.threads(t);
     }
@@ -722,18 +754,104 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
             );
             for s in snapshots {
                 eprintln!(
-                    "dahliac gateway: shard {} {}: {} routed, {} failed, {} retried",
+                    "dahliac gateway: shard {} {}{}: weight {}, {} routed, {} failed, \
+                     {} retried, {} replicated, {} drained keys",
                     s.addr,
                     if s.alive { "up" } else { "down" },
+                    if s.draining { " (draining)" } else { "" },
+                    s.weight,
                     s.routed,
                     s.failed,
                     s.retried,
+                    s.replicated,
+                    s.drained_keys,
                 );
             }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("dahliac gateway: I/O error: {e}");
+            ExitCode::from(EXIT_NET)
+        }
+    }
+}
+
+/// `dahliac gateway-admin`: drive a live gateway's drain/undrain ops
+/// over the wire protocol. Prints the gateway's ack object on stdout;
+/// exit 0 when the gateway accepted the op, 1 when it refused (e.g.
+/// unknown shard), 5 when the gateway is unreachable.
+fn cmd_gateway_admin(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let (connect, weight_raw) = match (
+        take_flag(&mut args, "--connect"),
+        take_flag(&mut args, "--weight"),
+    ) {
+        (Ok(c), Ok(w)) => (c, w),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let (op, shard) = match args.as_slice() {
+        [op, shard] if op == "drain" || op == "undrain" => (op.clone(), shard.clone()),
+        [op, ..] if op != "drain" && op != "undrain" => {
+            eprintln!(
+                "dahliac: gateway-admin op must be `drain` or `undrain`, got `{op}`\n{USAGE}"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        _ => {
+            eprintln!("dahliac: gateway-admin needs an op and a shard address\n{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let Some(addr) = connect else {
+        eprintln!("dahliac: gateway-admin needs --connect\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let weight = match weight_raw {
+        None => None,
+        Some(w) => match w.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => Some(v),
+            _ => {
+                eprintln!("dahliac: --weight needs a positive number, got `{w}`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    if weight.is_some() && op == "drain" {
+        eprintln!("dahliac: --weight only makes sense with `undrain` (joining a shard)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let mut fields = vec![("op", Json::Str(op)), ("shard", Json::Str(shard))];
+    if let Some(w) = weight {
+        fields.push(("weight", Json::Num(w)));
+    }
+    let line = obj(fields).emit();
+    let sent = Client::connect_retry(addr.as_str(), 50).and_then(|mut c| {
+        c.send_line(&line)?;
+        c.recv_line()
+    });
+    match sent {
+        Ok(Some(ack)) => {
+            println!("{ack}");
+            let ok = Json::parse(&ack)
+                .ok()
+                .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                .unwrap_or(false);
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_RUNTIME)
+            }
+        }
+        Ok(None) => {
+            eprintln!("dahliac: `{addr}` closed the connection without answering");
+            ExitCode::from(EXIT_NET)
+        }
+        Err(e) => {
+            eprintln!("dahliac: cannot reach gateway `{addr}`: {e}");
             ExitCode::from(EXIT_NET)
         }
     }

@@ -571,6 +571,253 @@ fn gateway_survives_a_shard_hard_kill() {
     assert!(shard_b.wait().expect("shard B exits").success());
 }
 
+/// Fetch a host's stats object over the wire protocol.
+fn fetch_stats(addr: &str) -> dahlia_server::json::Json {
+    let mut c = dahlia_server::Client::connect_retry(addr, 50).expect("connect for stats");
+    c.send_line(r#"{"op":"stats"}"#).expect("send stats");
+    let line = c.recv_line().expect("read stats").expect("stats line");
+    dahlia_server::json::Json::parse(&line)
+        .expect("stats json")
+        .get("stats")
+        .cloned()
+        .expect("stats payload")
+}
+
+/// Sum the per-stage `executions` object in a stats payload.
+fn total_executions(stats: &dahlia_server::json::Json) -> u64 {
+    match stats.get("executions") {
+        Some(dahlia_server::json::Json::Obj(fields)) => {
+            fields.iter().filter_map(|(_, v)| v.as_u64()).sum()
+        }
+        _ => 0,
+    }
+}
+
+/// Warm-failover acceptance: with `--replication 2`, SIGKILLing a
+/// shard loses zero requests AND recomputes zero pipeline stages —
+/// the survivor already holds every displaced artifact.
+#[test]
+fn replicated_gateway_fails_over_warm_after_sigkill() {
+    let (mut shard_a, addr_a) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (mut shard_b, addr_b) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (mut gateway, gw_addr) = spawn_scan(
+        &[
+            "gateway",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            &format!("{addr_a},{addr_b}"),
+            "--replication",
+            "2",
+        ],
+        "gateway: listening on ",
+    );
+
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "cold cluster batch: {err}");
+
+    // Wait for the replication fan-out to drain: with R = 2 over two
+    // shards every kernel reaches both, so the aggregate request count
+    // hits 2 × 16.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let baseline = loop {
+        let stats = fetch_stats(&gw_addr);
+        if stats.get("requests").and_then(|v| v.as_u64()).unwrap_or(0) >= 32 {
+            break stats;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication fan-out never completed: {}",
+            stats.emit()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let cold_executions = total_executions(&baseline);
+    assert!(cold_executions > 0, "cold batch computed somewhere");
+
+    // SIGKILL shard A: no drain, no goodbye. Everything it owned is
+    // already warm on shard B.
+    shard_a.kill().expect("kill shard A");
+    shard_a.wait().expect("reap shard A");
+    let (out, err, code) =
+        run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "post-kill batch failed: {err}\n{out}");
+    assert!(out.contains(r#""ok":16"#), "all requests answered: {out}");
+    let round = out.lines().next().unwrap();
+    assert!(
+        round.contains(r#""misses":0"#),
+        "failover recomputed a stage: {round}"
+    );
+    let after = fetch_stats(&gw_addr);
+    assert_eq!(
+        total_executions(&after),
+        cold_executions,
+        "warm failover must not execute any pipeline stage: {}",
+        after.emit()
+    );
+    // The dead shard still contributes its final snapshot, and the
+    // gateway reports the failover in its own section.
+    let gw_section = after.get("gateway").expect("gateway section");
+    assert_eq!(
+        gw_section.get("replication").and_then(|v| v.as_u64()),
+        Some(2)
+    );
+    assert_eq!(
+        gw_section.get("shards_live").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    let (_, _, code) = run_code(&["batch", "--connect", &gw_addr, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(gateway.wait().expect("gateway exits").success());
+    let (_, _, code) = run_code(&["batch", "--connect", &addr_b, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(shard_b.wait().expect("shard B exits").success());
+}
+
+/// Drain acceptance: `dahliac gateway-admin drain` during a batch
+/// fails zero requests, the stats show migrated keys, and `undrain`
+/// puts the shard back.
+#[test]
+fn gateway_admin_drains_a_shard_during_a_batch() {
+    let (shard_a, addr_a) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (shard_b, addr_b) = spawn_scan(
+        &["serve", "--listen", "127.0.0.1:0", "--threads", "2"],
+        "listening on ",
+    );
+    let (mut gateway, gw_addr) = spawn_scan(
+        &[
+            "gateway",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            &format!("{addr_a},{addr_b}"),
+        ],
+        "gateway: listening on ",
+    );
+
+    // Cold batch pins every kernel to its rendezvous owner.
+    let (_, err, code) = run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "cold cluster batch: {err}");
+
+    // Second batch racing the drain: fire the batch, then drain shard
+    // A while it runs.
+    let batch = {
+        let gw_addr = gw_addr.clone();
+        std::thread::spawn(move || {
+            run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr])
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let (out, err, code) = run_code(&["gateway-admin", "drain", "--connect", &gw_addr, &addr_a]);
+    assert_eq!(code, 0, "drain refused: {err}\n{out}");
+    let ack = dahlia_server::json::Json::parse(out.trim()).expect("drain ack json");
+    assert_eq!(ack.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(ack.get("op").and_then(|v| v.as_str()), Some("drain"));
+    let (out, err, code) = batch.join().expect("batch thread");
+    assert_eq!(code, 0, "batch raced by drain failed: {err}\n{out}");
+    assert!(out.contains(r#""ok":16"#), "zero failed requests: {out}");
+
+    // The migration walk shows up in the stats: keys moved off A.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let migrated = loop {
+        let stats = fetch_stats(&gw_addr);
+        let shards = stats
+            .get("gateway")
+            .and_then(|g| g.get("shards"))
+            .cloned()
+            .expect("per-shard stats");
+        let dahlia_server::json::Json::Arr(shards) = shards else {
+            panic!("shards is an array")
+        };
+        let a = shards
+            .iter()
+            .find(|s| s.get("addr").and_then(|v| v.as_str()) == Some(addr_a.as_str()))
+            .expect("shard A entry");
+        assert_eq!(a.get("draining").and_then(|v| v.as_bool()), Some(true));
+        let drained = a.get("drained_keys").and_then(|v| v.as_u64()).unwrap_or(0);
+        if drained > 0 {
+            break drained;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no keys migrated: {}",
+            stats.emit()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(migrated > 0);
+
+    // A post-drain batch routes past A and stays fully warm.
+    let (out, err, code) =
+        run_code(&["batch", "--kernels", "--repeat", "1", "--connect", &gw_addr]);
+    assert_eq!(code, 0, "post-drain batch: {err}");
+    assert!(
+        out.lines().next().unwrap().contains(r#""misses":0"#),
+        "post-drain round recomputed: {out}"
+    );
+
+    // Undrain: the shard rejoins the rotation.
+    let (out, err, code) = run_code(&["gateway-admin", "undrain", "--connect", &gw_addr, &addr_a]);
+    assert_eq!(code, 0, "undrain refused: {err}\n{out}");
+    let ack = dahlia_server::json::Json::parse(out.trim()).expect("undrain ack json");
+    assert_eq!(ack.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(ack.get("joined").and_then(|v| v.as_bool()), Some(false));
+
+    let (_, _, code) = run_code(&["batch", "--connect", &gw_addr, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(gateway.wait().expect("gateway exits").success());
+    for (mut child, addr) in [(shard_a, addr_a), (shard_b, addr_b)] {
+        let (_, _, code) = run_code(&["batch", "--connect", &addr, "--shutdown"]);
+        assert_eq!(code, 0);
+        assert!(child.wait().expect("shard exits").success());
+    }
+}
+
+/// gateway-admin rejects bad usage locally and surfaces gateway
+/// refusals as exit 1 (vs 5 for an unreachable gateway).
+#[test]
+fn gateway_admin_usage_and_refusals() {
+    let (_, err, code) = run_code(&["gateway-admin", "frobnicate", "--connect", "x", "y"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("drain"), "{err}");
+
+    let (_, err, code) = run_code(&["gateway-admin", "drain", "x"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--connect"), "{err}");
+
+    let (_, err, code) = run_code(&[
+        "gateway-admin",
+        "drain",
+        "--connect",
+        "x",
+        "--weight",
+        "2",
+        "y",
+    ]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--weight"), "{err}");
+
+    // A plain server refuses admin ops over the protocol: exit 1, and
+    // the refusal names the op.
+    let (mut server, addr) = spawn_scan(&["serve", "--listen", "127.0.0.1:0"], "listening on ");
+    let (out, _, code) = run_code(&["gateway-admin", "drain", "--connect", &addr, "10.0.0.9:1"]);
+    assert_eq!(code, 1, "unsupported op is a refusal, not a crash: {out}");
+    assert!(out.contains("protocol/unsupported-op"), "{out}");
+    let (_, _, code) = run_code(&["batch", "--connect", &addr, "--shutdown"]);
+    assert_eq!(code, 0);
+    assert!(server.wait().expect("server exits").success());
+}
+
 /// Satellite: `--cache-gc-max-bytes` keeps a serve cache directory
 /// bounded and reports what it pruned.
 #[test]

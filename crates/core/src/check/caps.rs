@@ -12,7 +12,7 @@
 //! per-dimension bank coordinates — so the capability maps key on
 //! `(Symbol, u64)` instead of `(String, Vec<u64>)`; and the syntactic
 //! access identity is a 128-bit structural fingerprint
-//! ([`super::access_fingerprint`]) instead of a printed string. Cloning
+//! (`access_fingerprint` in the checker) instead of a printed string. Cloning
 //! a `Caps` (every `---` step and `if` branch does) copies small `Copy`
 //! keys, never heap strings or coordinate vectors.
 

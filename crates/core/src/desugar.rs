@@ -15,7 +15,7 @@
 //!    memory using the index arithmetic of §3.6.
 //!
 //! Unrolling is **clone-free where it can be**: the per-copy rewriter
-//! ([`Substitution`]) is copy-on-write over the `Arc`-linked AST — a
+//! (the private `Substitution`) is copy-on-write over the `Arc`-linked AST — a
 //! subtree that mentions neither the iterator nor a freshened local is
 //! returned as an `Arc` clone (a refcount bump), so the `k` copies of a
 //! body share every unchanged subtree instead of deep-cloning the body

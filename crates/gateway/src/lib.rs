@@ -1,16 +1,16 @@
 //! # dahlia-gateway
 //!
-//! A sharded, fault-tolerant cluster front-end for the Dahlia compile
-//! service. The pipeline is a deterministic function of the source
-//! text — which is what made content-addressed caching and a
-//! persistent networked server possible, and it is also exactly what
-//! makes the service *shardable*: any replica can answer any request,
-//! so the only interesting question is where each request's warm cache
-//! should live. The gateway answers it with **rendezvous hashing on
-//! the source digest** ([`hash`]): every source is pinned to one shard
-//! while that shard is alive, so sweeps and repeated traffic hit warm
-//! caches instead of recompiling on whichever replica the load
-//! balancer picked.
+//! A sharded, fault-tolerant, **highly available** cluster front-end
+//! for the Dahlia compile service. The pipeline is a deterministic
+//! function of the source text — which is what made content-addressed
+//! caching and a persistent networked server possible, and it is also
+//! exactly what makes the service *shardable*: any replica can answer
+//! any request, so the only interesting question is where each
+//! request's warm cache should live. The gateway answers it with
+//! **weighted rendezvous hashing on the source digest** ([`hash`]):
+//! every source is pinned to one shard while that shard is alive, so
+//! sweeps and repeated traffic hit warm caches instead of recompiling
+//! on whichever replica the load balancer picked.
 //!
 //! ## Architecture
 //!
@@ -18,13 +18,25 @@
 //!                    ┌────────────────────────┐   pooled, pipelined
 //!  clients ──TCP──►  │  Gateway (SessionHost) │ ──TCP──► shard a1 (dahliac serve --listen)
 //!  (dahliac batch)   │  · rendezvous router   │ ──TCP──► shard a2
-//!                    │  · health checker      │ ──TCP──► shard a3
+//!                    │  · replication fan-out │ ──TCP──► shard a3
+//!                    │  · drain/join admin    │
+//!                    │  · health checker      │
 //!                    │  · local fallback      │
 //!                    └────────────────────────┘
 //! ```
 //!
 //! * One [`PipelinedClient`] per shard multiplexes every in-flight
 //!   request over a single TCP session, correlated by wire id.
+//! * **Replication** ([`GatewayConfig::replication`], default 1):
+//!   every newly computed artifact fans out to the top-N shards in
+//!   rendezvous order, so killing the primary serves warm artifacts
+//!   from the secondary without recomputing a single pipeline stage.
+//! * **Draining** ([`Gateway::drain`], or the `{"op":"drain"}` wire
+//!   op): a draining shard stops receiving new keys, finishes its
+//!   in-flight work, and a background task walks its warm keys through
+//!   the surviving replica set — a rolling restart costs zero failed
+//!   requests. [`Gateway::undrain`] re-activates it, or **joins** an
+//!   address the topology has never seen (live re-sharding).
 //! * A background health checker pings live shards and re-dials dead
 //!   ones; a failed request poisons its shard's client immediately, so
 //!   in-flight *and* future requests re-route to the next shard in
@@ -45,24 +57,39 @@
 //! use dahlia_gateway::GatewayConfig;
 //! use dahlia_server::{Request, Stage};
 //!
-//! let gw = GatewayConfig::new(["10.0.0.1:4500", "10.0.0.2:4500"]).build();
+//! let gw = GatewayConfig::new(["10.0.0.1:4500", "10.0.0.2:4500"])
+//!     .replication(2)
+//!     .build();
 //! let resp = gw.submit(&Request::new("r1", Stage::Estimate, "let x = 1;", "k"));
 //! assert!(resp.get("id").is_some());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod hash;
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 use dahlia_server::json::{obj, Json};
-use dahlia_server::{source_digest, PipelinedClient, Pool, Request, Server, SessionHost};
+use dahlia_server::{source_digest, AdminOp, PipelinedClient, Pool, Request, Server, SessionHost};
+
+/// Bound on the per-shard warm-key ledger the drain migrator walks.
+/// Oldest entries fall off first; a dropped entry costs one recompute
+/// after a drain, never a wrong answer.
+const WARM_KEY_CAP: usize = 8192;
+
+/// Byte bound on the sources retained in one shard's warm-key ledger
+/// (the ledger clones each request, source text included).
+const WARM_KEY_MAX_BYTES: usize = 64 << 20;
 
 /// Configuration for a [`Gateway`].
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
-    shards: Vec<String>,
+    shards: Vec<(String, f64)>,
+    replication: usize,
     threads: Option<usize>,
     health_interval: Duration,
     connect_timeout: Duration,
@@ -71,16 +98,35 @@ pub struct GatewayConfig {
 
 impl GatewayConfig {
     /// A gateway over the given shard addresses (each a `dahliac serve
-    /// --listen` endpoint). An empty list is legal: every request then
-    /// falls back to local compilation.
+    /// --listen` endpoint), all with rendezvous weight 1. An empty
+    /// list is legal: every request then falls back to local
+    /// compilation.
     pub fn new<S: Into<String>>(shards: impl IntoIterator<Item = S>) -> GatewayConfig {
+        GatewayConfig::new_weighted(shards.into_iter().map(|s| (s.into(), 1.0)))
+    }
+
+    /// A gateway over weighted shard addresses: a shard with twice the
+    /// weight owns twice the key space in expectation (see
+    /// [`hash::weighted_score`]). Weights must be finite and positive.
+    pub fn new_weighted(shards: impl IntoIterator<Item = (String, f64)>) -> GatewayConfig {
         GatewayConfig {
-            shards: shards.into_iter().map(Into::into).collect(),
+            shards: shards.into_iter().collect(),
+            replication: 1,
             threads: None,
             health_interval: Duration::from_millis(250),
             connect_timeout: Duration::from_millis(1000),
             io_timeout: Duration::from_secs(30),
         }
+    }
+
+    /// Replication factor (default 1): every newly computed artifact
+    /// fans out to the first `n` live shards in rendezvous order, so
+    /// any of them can serve the key warm when the primary dies.
+    /// Clamped to at least 1; values beyond the shard count behave as
+    /// "replicate everywhere".
+    pub fn replication(mut self, n: usize) -> GatewayConfig {
+        self.replication = n.max(1);
+        self
     }
 
     /// Size of the gateway's dispatch pool (defaults to four slots per
@@ -121,26 +167,42 @@ impl GatewayConfig {
             .threads
             .unwrap_or_else(|| (self.shards.len() * 4).clamp(4, 32));
         let inner = Arc::new(GwInner {
-            ids: self.shards.clone(),
-            shards: self
-                .shards
-                .iter()
-                .map(|addr| Shard::new(addr.clone(), self.connect_timeout, self.io_timeout))
-                .collect(),
+            topology: RwLock::new(
+                self.shards
+                    .iter()
+                    .map(|(addr, weight)| {
+                        Arc::new(Shard::new(
+                            addr.clone(),
+                            *weight,
+                            self.connect_timeout,
+                            self.io_timeout,
+                        ))
+                    })
+                    .collect(),
+            ),
+            replication: self.replication,
+            connect_timeout: self.connect_timeout,
+            io_timeout: self.io_timeout,
             requests: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
+            replica_writes: AtomicU64::new(0),
+            replica_failures: AtomicU64::new(0),
             local_fallbacks: AtomicU64::new(0),
             local: OnceLock::new(),
+            pool: Pool::new(threads),
         });
         // Initial dial, in parallel: one dead address must not make
         // every other shard wait out its connect timeout.
-        std::thread::scope(|s| {
-            for shard in &inner.shards {
-                s.spawn(|| {
-                    shard.connect();
-                });
-            }
-        });
+        {
+            let topo = inner.topology.read().unwrap();
+            std::thread::scope(|s| {
+                for shard in topo.iter() {
+                    s.spawn(|| {
+                        shard.connect();
+                    });
+                }
+            });
+        }
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let t_inner = Arc::clone(&inner);
         let t_stop = Arc::clone(&stop);
@@ -163,42 +225,126 @@ impl GatewayConfig {
             .ok();
         Gateway {
             inner,
-            pool: Pool::new(threads),
             stop,
             checker,
         }
     }
 }
 
-/// One backend shard: its address, its pooled connection, and its
-/// routing counters.
+/// The warm-key ledger of one shard: every source this gateway routed
+/// there, so a drain can re-home the shard's working set. Bounded FIFO
+/// by entry count ([`WARM_KEY_CAP`]) *and* by retained source bytes
+/// ([`WARM_KEY_MAX_BYTES`]) — large-program workloads must not turn
+/// drain bookkeeping into a memory leak.
+struct WarmKeys {
+    map: HashMap<u128, Request>,
+    order: VecDeque<u128>,
+    bytes: usize,
+}
+
+impl WarmKeys {
+    fn new() -> WarmKeys {
+        WarmKeys {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+        }
+    }
+
+    fn record(&mut self, key: u128, req: &Request) {
+        if self.map.insert(key, req.clone()).is_none() {
+            self.order.push_back(key);
+            self.bytes += req.source.len();
+            while self.order.len() > WARM_KEY_CAP || self.bytes > WARM_KEY_MAX_BYTES {
+                let Some(old) = self.order.pop_front() else {
+                    break;
+                };
+                if let Some(dropped) = self.map.remove(&old) {
+                    self.bytes -= dropped.source.len();
+                }
+            }
+        }
+    }
+
+    fn take_all(&mut self) -> Vec<Request> {
+        self.order.clear();
+        self.bytes = 0;
+        self.map.drain().map(|(_, req)| req).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One backend shard: its address, rendezvous weight, pooled
+/// connection, drain state, and routing counters.
 struct Shard {
     addr: String,
+    /// Rendezvous weight, as f64 bits — atomic so `undrain` can
+    /// re-weight a live shard without a topology write lock.
+    weight: AtomicU64,
     connect_timeout: Duration,
     io_timeout: Duration,
     client: Mutex<Option<Arc<PipelinedClient>>>,
+    /// Draining shards receive no new keys; in-flight work completes.
+    draining: AtomicBool,
     /// Requests dispatched to this shard (including ones that failed).
     routed: AtomicU64,
     /// Dispatches that failed here (connection died mid-call).
     failed: AtomicU64,
     /// Dispatches that landed here after failing on a preferred shard.
     retried: AtomicU64,
+    /// Replication fan-out calls dispatched *to* this shard.
+    replicated: AtomicU64,
+    /// Warm keys migrated *off* this shard by drain ops.
+    drained_keys: AtomicU64,
     /// Last stats object successfully polled from this shard; dead
     /// shards keep contributing their final snapshot to the aggregate.
     last_stats: Mutex<Option<Json>>,
+    /// Sources this gateway routed here, for drain migration.
+    warm_keys: Mutex<WarmKeys>,
 }
 
 impl Shard {
-    fn new(addr: String, connect_timeout: Duration, io_timeout: Duration) -> Shard {
+    fn new(addr: String, weight: f64, connect_timeout: Duration, io_timeout: Duration) -> Shard {
         Shard {
             addr,
+            weight: AtomicU64::new(weight.to_bits()),
             connect_timeout,
             io_timeout,
             client: Mutex::new(None),
+            draining: AtomicBool::new(false),
             routed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
+            replicated: AtomicU64::new(0),
+            drained_keys: AtomicU64::new(0),
             last_stats: Mutex::new(None),
+            warm_keys: Mutex::new(WarmKeys::new()),
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        f64::from_bits(self.weight.load(Ordering::Relaxed))
+    }
+
+    fn set_weight(&self, w: f64) {
+        self.weight.store(w.to_bits(), Ordering::Relaxed);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Record a warm key, unless the shard is draining. The check
+    /// happens under the ledger lock and `drain` takes its snapshot
+    /// under the same lock *after* raising the flag, so a key can
+    /// never slip in behind the migration walk and strand there.
+    fn record_warm(&self, key: u128, req: &Request) {
+        let mut ledger = self.warm_keys.lock().unwrap();
+        if !self.is_draining() {
+            ledger.record(key, req);
         }
     }
 
@@ -255,15 +401,31 @@ impl Shard {
 }
 
 struct GwInner {
-    /// Shard addresses, in configuration order (the hash domain).
-    ids: Vec<String>,
-    shards: Vec<Shard>,
+    /// The shard set, in configuration order. Guarded by a `RwLock` so
+    /// `undrain` can **join** new shards while traffic flows; routing
+    /// takes brief read locks and clones `Arc`s out.
+    topology: RwLock<Vec<Arc<Shard>>>,
+    /// Replication factor: newly computed artifacts fan out to this
+    /// many shards in rendezvous order.
+    replication: usize,
+    connect_timeout: Duration,
+    io_timeout: Duration,
     requests: AtomicU64,
     /// Requests that failed on at least one shard and were re-routed.
     rerouted: AtomicU64,
+    /// Replication fan-out calls dispatched (across all shards).
+    replica_writes: AtomicU64,
+    /// Replica fan-outs that could not be delivered (replica dead at
+    /// dispatch, or the call failed): the key is singly-held until its
+    /// next cold touch or a drain re-homes it.
+    replica_failures: AtomicU64,
     /// Requests answered by the embedded local server.
     local_fallbacks: AtomicU64,
     local: OnceLock<Server>,
+    /// Dispatch pool: session requests, stats polls, replication
+    /// fan-out, and admin ops all run here, never on a session's read
+    /// loop.
+    pool: Pool,
 }
 
 impl GwInner {
@@ -272,8 +434,13 @@ impl GwInner {
         self.local.get_or_init(Server::new)
     }
 
+    /// A point-in-time copy of the shard set (configuration order).
+    fn shards(&self) -> Vec<Arc<Shard>> {
+        self.topology.read().unwrap().clone()
+    }
+
     fn health_pass(&self) {
-        for shard in &self.shards {
+        for shard in self.shards() {
             if shard.live().is_some() {
                 shard.poll_stats();
             } else {
@@ -282,15 +449,35 @@ impl GwInner {
         }
     }
 
-    /// Route one request: try shards in rendezvous order, skipping dead
-    /// ones and poisoning/skipping any that fail mid-call; compile
-    /// locally when nothing is reachable.
-    fn submit(&self, req: &Request) -> Json {
+    /// The shard set in rendezvous preference order for `key`, with
+    /// draining shards filtered out — the candidate list for routing
+    /// and the domain of the replica set.
+    fn candidates(&self, key: u128) -> Vec<Arc<Shard>> {
+        let topo = self.topology.read().unwrap();
+        let weighted: Vec<(&str, f64)> =
+            topo.iter().map(|s| (s.addr.as_str(), s.weight())).collect();
+        hash::weighted_rank(key, &weighted)
+            .into_iter()
+            .map(|i| Arc::clone(&topo[i]))
+            .filter(|s| !s.is_draining())
+            .collect()
+    }
+
+    fn submit(self: &Arc<Self>, req: &Request) -> Json {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.route(req, true)
+    }
+
+    /// Route one request: try candidate shards in rendezvous order,
+    /// skipping dead ones and poisoning/skipping any that fail
+    /// mid-call; compile locally when nothing is reachable. With
+    /// `fan_out`, a newly computed artifact is replicated to the rest
+    /// of the top-N replica set in the background.
+    fn route(self: &Arc<Self>, req: &Request, fan_out: bool) -> Json {
         let key = source_digest(&req.source);
+        let candidates = self.candidates(key);
         let mut failed_before = false;
-        for i in hash::rank(key, &self.ids) {
-            let shard = &self.shards[i];
+        for (i, shard) in candidates.iter().enumerate() {
             let Some(client) = shard.live() else { continue };
             shard.routed.fetch_add(1, Ordering::Relaxed);
             if failed_before {
@@ -300,6 +487,10 @@ impl GwInner {
                 Ok(resp) => {
                     if failed_before {
                         self.rerouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shard.record_warm(key, req);
+                    if fan_out {
+                        self.replicate(key, req, &candidates, i, &resp);
                     }
                     return resp;
                 }
@@ -319,6 +510,157 @@ impl GwInner {
         self.local().submit(req.clone()).to_json()
     }
 
+    /// Fan a **newly computed** artifact out to the remaining members
+    /// of the key's replica set — the first `replication` candidates in
+    /// rendezvous order, minus the shard that just answered. Fire and
+    /// forget on the pool: replication is a cache warmer, and a slow or
+    /// dying replica must never add latency to the caller's response.
+    /// Warm hits (`cached: true`) skip the fan-out; their replica set
+    /// was warmed when the artifact was first computed.
+    ///
+    /// Best-effort: a replica that is down (or whose call fails) is
+    /// *not* retried — the key stays singly-held until the next cold
+    /// touch or a drain re-homes it. `replica_failures` counts those
+    /// misses so operators can see degraded redundancy.
+    fn replicate(
+        self: &Arc<Self>,
+        key: u128,
+        req: &Request,
+        candidates: &[Arc<Shard>],
+        answered: usize,
+        resp: &Json,
+    ) {
+        if self.replication <= 1 {
+            return;
+        }
+        if resp.get("cached").and_then(Json::as_bool) != Some(false) {
+            return;
+        }
+        for (i, shard) in candidates.iter().enumerate().take(self.replication) {
+            if i == answered {
+                continue;
+            }
+            let Some(client) = shard.live() else {
+                self.replica_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            shard.replicated.fetch_add(1, Ordering::Relaxed);
+            self.replica_writes.fetch_add(1, Ordering::Relaxed);
+            let inner = Arc::clone(self);
+            let shard = Arc::clone(shard);
+            let req = req.clone();
+            self.pool.execute(move || match client.call(&req) {
+                Ok(_) => shard.record_warm(key, &req),
+                Err(_) => {
+                    inner.replica_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    }
+
+    /// Mark `addr` draining and kick off the background key walk. The
+    /// ack reports how many warm keys were scheduled for migration;
+    /// the per-shard `drained_keys` counter reports progress.
+    fn drain(self: &Arc<Self>, addr: &str) -> Json {
+        let Some(shard) = self.find(addr) else {
+            return admin_error("drain", addr, format!("no shard `{addr}` in the topology"));
+        };
+        // Flag first, snapshot second, both ordered against
+        // `record_warm`'s flag-check-under-the-ledger-lock: any route
+        // completing after this point either landed its key in this
+        // snapshot or saw the flag and skipped recording — nothing can
+        // strand in a draining shard's ledger behind the walk.
+        let already = shard.draining.swap(true, Ordering::SeqCst);
+        let keys = shard.warm_keys.lock().unwrap().take_all();
+        let scheduled = keys.len();
+        if scheduled > 0 {
+            let inner = Arc::clone(self);
+            let t_shard = Arc::clone(&shard);
+            let spawned = std::thread::Builder::new()
+                .name("dahlia-gateway-drain".into())
+                .spawn(move || {
+                    for req in keys {
+                        // Route without fan-out accounting as client
+                        // traffic: migration is bookkeeping, and the
+                        // draining shard is already out of the
+                        // candidate set.
+                        inner.route(&req, true);
+                        t_shard.drained_keys.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            if spawned.is_err() {
+                // Thread exhaustion: the keys are lost from the ledger
+                // but not from the world — the new owners recompute on
+                // first touch. Report zero scheduled.
+                return drain_ack(addr, already, 0);
+            }
+        }
+        drain_ack(addr, already, scheduled)
+    }
+
+    /// Re-activate a draining shard (optionally re-weighting it), or
+    /// **join** `addr` as a brand-new shard (weight defaults to 1) —
+    /// the live re-sharding path.
+    fn undrain(&self, addr: &str, weight: Option<f64>) -> Json {
+        if let Some(shard) = self.find(addr) {
+            if let Some(w) = weight {
+                shard.set_weight(w);
+            }
+            shard.draining.store(false, Ordering::SeqCst);
+            let alive = shard.connect();
+            return obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("undrain".into())),
+                ("shard", Json::Str(addr.into())),
+                ("joined", Json::Bool(false)),
+                ("alive", Json::Bool(alive)),
+                ("weight", Json::Num(shard.weight())),
+            ]);
+        }
+        let shard = {
+            let mut topo = self.topology.write().unwrap();
+            // Re-check under the write lock: two concurrent joins of
+            // the same address must not double it.
+            match topo.iter().find(|s| s.addr == addr) {
+                Some(existing) => {
+                    if let Some(w) = weight {
+                        existing.set_weight(w);
+                    }
+                    existing.draining.store(false, Ordering::SeqCst);
+                    Arc::clone(existing)
+                }
+                None => {
+                    let shard = Arc::new(Shard::new(
+                        addr.to_string(),
+                        weight.unwrap_or(1.0),
+                        self.connect_timeout,
+                        self.io_timeout,
+                    ));
+                    topo.push(Arc::clone(&shard));
+                    shard
+                }
+            }
+        };
+        let alive = shard.connect();
+        obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("undrain".into())),
+            ("shard", Json::Str(addr.into())),
+            ("joined", Json::Bool(true)),
+            ("alive", Json::Bool(alive)),
+            ("weight", Json::Num(shard.weight())),
+        ])
+    }
+
+    fn find(&self, addr: &str) -> Option<Arc<Shard>> {
+        self.topology
+            .read()
+            .unwrap()
+            .iter()
+            .find(|s| s.addr == addr)
+            .cloned()
+    }
+
     /// The cluster-wide stats object: the numeric sum of every shard's
     /// stats (live shards are polled; dead ones contribute their last
     /// snapshot) plus the embedded local server's, with a `gateway`
@@ -328,11 +670,15 @@ impl GwInner {
         let mut agg = Json::Obj(Vec::new());
         let mut shard_objs = Vec::new();
         let mut live = 0u64;
-        for shard in &self.shards {
+        let mut draining = 0u64;
+        for shard in self.shards() {
             let polled = shard.poll_stats();
             let alive = polled.is_some();
             if alive {
                 live += 1;
+            }
+            if shard.is_draining() {
+                draining += 1;
             }
             let snapshot = polled.or_else(|| shard.last_stats.lock().unwrap().clone());
             if let Some(s) = &snapshot {
@@ -341,6 +687,8 @@ impl GwInner {
             shard_objs.push(obj([
                 ("addr", Json::Str(shard.addr.clone())),
                 ("alive", Json::Bool(alive)),
+                ("draining", Json::Bool(shard.is_draining())),
+                ("weight", Json::Num(shard.weight())),
                 (
                     "routed",
                     Json::Num(shard.routed.load(Ordering::Relaxed) as f64),
@@ -352,6 +700,18 @@ impl GwInner {
                 (
                     "retried",
                     Json::Num(shard.retried.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "replicated",
+                    Json::Num(shard.replicated.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "drained_keys",
+                    Json::Num(shard.drained_keys.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "warm_keys",
+                    Json::Num(shard.warm_keys.lock().unwrap().len() as f64),
                 ),
             ]));
         }
@@ -368,10 +728,20 @@ impl GwInner {
                 Json::Num(self.rerouted.load(Ordering::Relaxed) as f64),
             ),
             (
+                "replica_writes",
+                Json::Num(self.replica_writes.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "replica_failures",
+                Json::Num(self.replica_failures.load(Ordering::Relaxed) as f64),
+            ),
+            (
                 "local_fallbacks",
                 Json::Num(self.local_fallbacks.load(Ordering::Relaxed) as f64),
             ),
+            ("replication", Json::Num(self.replication as f64)),
             ("shards_live", Json::Num(live as f64)),
+            ("shards_draining", Json::Num(draining as f64)),
             ("shards", Json::Arr(shard_objs)),
         ]);
         if let Json::Obj(fields) = &mut agg {
@@ -379,6 +749,32 @@ impl GwInner {
         }
         agg
     }
+}
+
+fn drain_ack(addr: &str, already: bool, scheduled: usize) -> Json {
+    obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("drain".into())),
+        ("shard", Json::Str(addr.into())),
+        ("already_draining", Json::Bool(already)),
+        ("keys_scheduled", Json::Num(scheduled as f64)),
+    ])
+}
+
+fn admin_error(op: &str, shard: &str, message: String) -> Json {
+    obj([
+        ("ok", Json::Bool(false)),
+        ("op", Json::Str(op.into())),
+        ("shard", Json::Str(shard.into())),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("protocol".into())),
+                ("code", Json::Str("protocol/unknown-shard".into())),
+                ("message", Json::Str(message)),
+            ]),
+        ),
+    ])
 }
 
 /// Numeric deep-merge: numbers add, objects merge recursively (keys
@@ -408,12 +804,20 @@ pub struct ShardSnapshot {
     pub addr: String,
     /// Is the pooled connection up right now?
     pub alive: bool,
+    /// Is the shard draining (routing skips it)?
+    pub draining: bool,
+    /// The shard's rendezvous weight.
+    pub weight: f64,
     /// Requests dispatched to this shard.
     pub routed: u64,
     /// Dispatches that failed here.
     pub failed: u64,
     /// Dispatches that landed here after failing elsewhere.
     pub retried: u64,
+    /// Replication fan-out calls dispatched to this shard.
+    pub replicated: u64,
+    /// Warm keys migrated off this shard by drain ops.
+    pub drained_keys: u64,
     /// The shard server's own stats, as last successfully polled.
     pub stats: Option<Json>,
 }
@@ -421,7 +825,6 @@ pub struct ShardSnapshot {
 /// The cluster router. See the crate docs for the architecture.
 pub struct Gateway {
     inner: Arc<GwInner>,
-    pool: Pool,
     stop: Arc<(Mutex<bool>, Condvar)>,
     checker: Option<std::thread::JoinHandle<()>>,
 }
@@ -440,10 +843,32 @@ impl Gateway {
         self.inner.health_pass();
     }
 
+    /// Mark `addr` draining: new keys route past it, in-flight work
+    /// completes, and a background task migrates its warm keys to the
+    /// surviving replica set. Returns the ack object (`keys_scheduled`
+    /// counts the migration backlog; per-shard `drained_keys` in the
+    /// stats reports progress).
+    pub fn drain(&self, addr: &str) -> Json {
+        self.inner.drain(addr)
+    }
+
+    /// Re-activate a draining shard — or, if `addr` is not in the
+    /// topology, **join** it as a new shard with the given rendezvous
+    /// weight (default 1). Rendezvous hashing moves only the keys the
+    /// new shard owns; everything else stays pinned.
+    pub fn undrain(&self, addr: &str, weight: Option<f64>) -> Json {
+        self.inner.undrain(addr, weight)
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.inner.replication
+    }
+
     /// Number of shards whose pooled connection is currently live.
     pub fn live_shards(&self) -> usize {
         self.inner
-            .shards
+            .shards()
             .iter()
             .filter(|s| s.live().is_some())
             .count()
@@ -451,7 +876,7 @@ impl Gateway {
 
     /// Total shard count (live or not).
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.inner.topology.read().unwrap().len()
     }
 
     /// Requests routed so far (including local fallbacks).
@@ -464,6 +889,17 @@ impl Gateway {
         self.inner.rerouted.load(Ordering::Relaxed)
     }
 
+    /// Replication fan-out calls dispatched so far.
+    pub fn replica_writes(&self) -> u64 {
+        self.inner.replica_writes.load(Ordering::Relaxed)
+    }
+
+    /// Replica fan-outs that could not be delivered (dead replica or
+    /// failed call) — nonzero means some keys are singly-held.
+    pub fn replica_failures(&self) -> u64 {
+        self.inner.replica_failures.load(Ordering::Relaxed)
+    }
+
     /// Requests answered by the embedded local server.
     pub fn local_fallbacks(&self) -> u64 {
         self.inner.local_fallbacks.load(Ordering::Relaxed)
@@ -472,16 +908,20 @@ impl Gateway {
     /// Per-shard state, refreshing each live shard's stats snapshot.
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         self.inner
-            .shards
+            .shards()
             .iter()
             .map(|s| {
                 let polled = s.poll_stats();
                 ShardSnapshot {
                     addr: s.addr.clone(),
                     alive: polled.is_some(),
+                    draining: s.is_draining(),
+                    weight: s.weight(),
                     routed: s.routed.load(Ordering::Relaxed),
                     failed: s.failed.load(Ordering::Relaxed),
                     retried: s.retried.load(Ordering::Relaxed),
+                    replicated: s.replicated.load(Ordering::Relaxed),
+                    drained_keys: s.drained_keys.load(Ordering::Relaxed),
                     stats: polled.or_else(|| s.last_stats.lock().unwrap().clone()),
                 }
             })
@@ -497,7 +937,7 @@ impl Gateway {
 impl SessionHost for Gateway {
     fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>) {
         let inner = Arc::clone(&self.inner);
-        self.pool.execute(move || {
+        self.inner.pool.execute(move || {
             respond(inner.submit(&req).emit());
         });
     }
@@ -511,8 +951,21 @@ impl SessionHost for Gateway {
         // not run on the session's read loop (a slow shard would stall
         // every request line queued behind the stats op).
         let inner = Arc::clone(&self.inner);
-        self.pool.execute(move || {
+        self.inner.pool.execute(move || {
             respond(inner.stats_json());
+        });
+    }
+
+    fn dispatch_admin(&self, op: AdminOp, respond: Box<dyn FnOnce(String) + Send>) {
+        // Admin ops touch the topology lock and may dial a joining
+        // shard (a full connect timeout) — worker-pool territory.
+        let inner = Arc::clone(&self.inner);
+        self.inner.pool.execute(move || {
+            let ack = match op {
+                AdminOp::Drain { shard } => inner.drain(&shard),
+                AdminOp::Undrain { shard, weight } => inner.undrain(&shard, weight),
+            };
+            respond(ack.emit());
         });
     }
 }
@@ -553,6 +1006,7 @@ mod tests {
         let gws = stats.get("gateway").unwrap();
         assert_eq!(gws.get("shards_live").and_then(Json::as_u64), Some(0));
         assert_eq!(gws.get("local_fallbacks").and_then(Json::as_u64), Some(1));
+        assert_eq!(gws.get("replication").and_then(Json::as_u64), Some(1));
     }
 
     #[test]
@@ -569,6 +1023,71 @@ mod tests {
             assert!(!s.alive);
             assert_eq!(s.routed, 0);
         }
+    }
+
+    #[test]
+    fn draining_every_shard_falls_back_locally() {
+        let addr = dead_addr();
+        let gw = GatewayConfig::new([addr.clone()])
+            .connect_timeout(Duration::from_millis(200))
+            .build();
+        let ack = gw.drain(&addr);
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ack.get("keys_scheduled").and_then(Json::as_u64), Some(0));
+        let resp = gw.submit(&Request::new("r1", Stage::Check, GOOD, "k"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(gw.local_fallbacks(), 1);
+        let snaps = gw.shard_snapshots();
+        assert!(snaps[0].draining);
+        assert_eq!(snaps[0].routed, 0);
+    }
+
+    #[test]
+    fn drain_of_unknown_shard_is_an_error_ack() {
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let ack = gw.drain("10.9.9.9:1");
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(false));
+        let code = ack
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str);
+        assert_eq!(code, Some("protocol/unknown-shard"));
+    }
+
+    #[test]
+    fn undrain_joins_a_new_shard_into_the_topology() {
+        let gw = GatewayConfig::new(Vec::<String>::new())
+            .connect_timeout(Duration::from_millis(100))
+            .build();
+        assert_eq!(gw.shard_count(), 0);
+        let ack = gw.undrain(&dead_addr(), Some(2.0));
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ack.get("joined").and_then(Json::as_bool), Some(true));
+        assert_eq!(gw.shard_count(), 1);
+        let snaps = gw.shard_snapshots();
+        assert_eq!(snaps[0].weight, 2.0);
+        assert!(!snaps[0].draining);
+        // Joining the same address again is idempotent.
+        let again = gw.undrain(&snaps[0].addr, None);
+        assert_eq!(again.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(gw.shard_count(), 1);
+    }
+
+    #[test]
+    fn undrain_reweights_an_existing_shard() {
+        let addr = dead_addr();
+        let gw = GatewayConfig::new([addr.clone()])
+            .connect_timeout(Duration::from_millis(100))
+            .build();
+        assert_eq!(gw.shard_snapshots()[0].weight, 1.0);
+        let ack = gw.undrain(&addr, Some(3.0));
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ack.get("joined").and_then(Json::as_bool), Some(false));
+        assert_eq!(ack.get("weight").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(gw.shard_snapshots()[0].weight, 3.0);
+        // Without a weight the op leaves the current weight in place.
+        let ack = gw.undrain(&addr, None);
+        assert_eq!(ack.get("weight").and_then(Json::as_f64), Some(3.0));
     }
 
     #[test]

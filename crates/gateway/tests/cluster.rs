@@ -1,14 +1,20 @@
 //! Cluster integration tests: real TCP shards, a real gateway, the
 //! MachSuite suite as traffic.
 //!
-//! The three acceptance claims, pinned at test scale:
+//! The acceptance claims, pinned at test scale:
 //!
 //! 1. **golden** — a batch routed through a 2-shard gateway produces
 //!    byte-identical artifacts to a direct single-server run;
 //! 2. **pinning** — while every shard is alive, each source is served
 //!    by exactly one shard (the warm pass adds zero misses anywhere);
 //! 3. **failover** — killing a shard mid-batch loses no requests:
-//!    in-flight and future work re-routes to the survivors.
+//!    in-flight and future work re-routes to the survivors;
+//! 4. **warm failover** — with `--replication 2`, killing the primary
+//!    mid-batch additionally recomputes **zero** pipeline stages:
+//!    every displaced key is already warm on its replica;
+//! 5. **draining** — draining a shard during a batch fails zero
+//!    requests, migrates its warm keys to the survivors, and undrain
+//!    restores the original placement.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -217,6 +223,262 @@ fn killing_a_shard_mid_batch_loses_no_requests() {
 
     drop(gw);
     shutdown_shard(&addr_b);
+    join_b.join().unwrap();
+}
+
+/// Poll `probe` every 10 ms until it returns true or `secs` elapse.
+fn wait_for(secs: u64, mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+    loop {
+        if probe() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Sum a per-stage `executions` object across every shard snapshot
+/// (dead shards contribute their final stats snapshot).
+fn cluster_executions(gw: &dahlia_gateway::Gateway) -> u64 {
+    gw.shard_snapshots()
+        .iter()
+        .map(|s| {
+            s.stats
+                .as_ref()
+                .and_then(|v| v.get("executions"))
+                .map(|ex| match ex {
+                    Json::Obj(fields) => fields.iter().filter_map(|(_, v)| v.as_u64()).sum::<u64>(),
+                    _ => 0,
+                })
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn shard_requests(gw: &dahlia_gateway::Gateway) -> u64 {
+    gw.shard_snapshots()
+        .iter()
+        .map(|s| shard_counter(&s.stats, "requests"))
+        .sum()
+}
+
+/// The tentpole acceptance test: with replication 2, every newly
+/// computed artifact fans out to the secondary, so killing the primary
+/// mid-batch loses zero requests AND recomputes zero pipeline stages —
+/// the cluster serves the whole displaced working set warm.
+#[test]
+fn replicated_cluster_fails_over_warm() {
+    let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let gw = Arc::new(
+        GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+            .replication(2)
+            // Keep the health checker out of the story: failover below
+            // is driven purely by call failure.
+            .health_interval(Duration::from_secs(30))
+            .build(),
+    );
+    assert_eq!(gw.live_shards(), 2);
+    let requests = machsuite_requests();
+    let n = requests.len() as u64;
+
+    // Cold pass: primaries compute, replicas warm up in the background.
+    for req in &requests {
+        let resp = gw.submit(req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    // With R = 2 over 2 shards, every request reaches both shards —
+    // one primary call plus one background replica write. Wait for the
+    // fan-out to drain before taking the execution baseline.
+    assert!(
+        wait_for(20, || shard_requests(&gw) >= 2 * n),
+        "replication fan-out never completed: {} of {} shard requests",
+        shard_requests(&gw),
+        2 * n
+    );
+    assert_eq!(gw.replica_writes(), n, "every cold compute fanned out");
+    let baseline = cluster_executions(&gw);
+    assert!(baseline > 0, "cold pass computed somewhere");
+
+    // Kill shard A mid-batch: in-flight and future requests must land
+    // warm on shard B. Zero lost requests, zero recomputed stages.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        shutdown_shard(&addr_a);
+    });
+    let responses: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                let gw = Arc::clone(&gw);
+                s.spawn(move || gw.submit(req))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    killer.join().unwrap();
+    join_a.join().unwrap();
+
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {} failed: {}",
+            req.id,
+            resp.emit()
+        );
+    }
+    assert_eq!(gw.local_fallbacks(), 0, "no request fell back locally");
+    assert_eq!(
+        cluster_executions(&gw),
+        baseline,
+        "warm failover must not recompute any pipeline stage"
+    );
+
+    drop(gw);
+    shutdown_shard(&addr_b);
+    join_b.join().unwrap();
+}
+
+/// Draining a shard during a batch: zero failed requests, the drained
+/// shard's warm keys migrate to the survivor, and new traffic routes
+/// past it until undrain puts it back.
+#[test]
+fn draining_a_shard_mid_batch_loses_nothing_and_migrates_keys() {
+    let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let gw = Arc::new(
+        GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+            .health_interval(Duration::from_secs(30))
+            .build(),
+    );
+    assert_eq!(gw.live_shards(), 2);
+    let requests = machsuite_requests();
+
+    // Cold pass pins every source to its rendezvous owner.
+    for req in &requests {
+        assert_eq!(gw.submit(req).get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let owned_by_a = gw
+        .shard_snapshots()
+        .iter()
+        .find(|s| s.addr == addr_a)
+        .unwrap()
+        .routed;
+    assert!(owned_by_a > 0, "rendezvous gave shard A some keys");
+
+    // Drain shard A while a second batch is in flight.
+    let drainer = {
+        let gw = Arc::clone(&gw);
+        let addr_a = addr_a.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            gw.drain(&addr_a)
+        })
+    };
+    let responses: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                let gw = Arc::clone(&gw);
+                s.spawn(move || gw.submit(req))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ack = drainer.join().unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
+    let scheduled = ack
+        .get("keys_scheduled")
+        .and_then(Json::as_u64)
+        .expect("drain ack carries keys_scheduled");
+    assert!(scheduled > 0, "shard A had warm keys to migrate: {ack:?}");
+
+    // The batch the drain raced lost nothing.
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {} failed during drain: {}",
+            req.id,
+            resp.emit()
+        );
+    }
+
+    // The background walk re-homes every scheduled key.
+    assert!(
+        wait_for(20, || {
+            gw.shard_snapshots()
+                .iter()
+                .find(|s| s.addr == addr_a)
+                .unwrap()
+                .drained_keys
+                >= scheduled
+        }),
+        "migration never completed"
+    );
+
+    // Post-drain traffic routes entirely past shard A and is fully
+    // warm on the survivor.
+    let routed_a_before = gw
+        .shard_snapshots()
+        .iter()
+        .find(|s| s.addr == addr_a)
+        .unwrap()
+        .routed;
+    for req in &requests {
+        let resp = gw.submit(req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            resp.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "migrated key recomputed: {}",
+            resp.emit()
+        );
+    }
+    let snap_a = gw
+        .shard_snapshots()
+        .into_iter()
+        .find(|s| s.addr == addr_a)
+        .unwrap();
+    assert!(snap_a.draining);
+    assert_eq!(
+        snap_a.routed, routed_a_before,
+        "a draining shard received new keys"
+    );
+    assert_eq!(gw.local_fallbacks(), 0);
+
+    // Undrain: shard A rejoins, its keys come straight back (its own
+    // warm cache is intact — zero recomputes again).
+    let ack = gw.undrain(&addr_a, None);
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(ack.get("joined").and_then(Json::as_bool), Some(false));
+    let executions_before = cluster_executions(&gw);
+    let mut back_on_a = 0u64;
+    for req in &requests {
+        let resp = gw.submit(req);
+        assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(true));
+    }
+    let snap_a = gw
+        .shard_snapshots()
+        .into_iter()
+        .find(|s| s.addr == addr_a)
+        .unwrap();
+    back_on_a += snap_a.routed - routed_a_before;
+    assert!(back_on_a > 0, "undrained shard got its keys back");
+    assert_eq!(
+        cluster_executions(&gw),
+        executions_before,
+        "undrain recomputed something"
+    );
+
+    drop(gw);
+    shutdown_shard(&addr_a);
+    shutdown_shard(&addr_b);
+    join_a.join().unwrap();
     join_b.join().unwrap();
 }
 

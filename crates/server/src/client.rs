@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use crate::json::Json;
+use crate::json::{obj, Json};
 use crate::protocol::Request;
 
 /// A minimal protocol client for the socket transport, used by
@@ -323,6 +323,34 @@ impl PipelinedClient {
     /// Ask the server to shut down gracefully; returns the ack line.
     pub fn shutdown_server(&self) -> io::Result<Json> {
         self.control(r#"{"op":"shutdown"}"#)
+    }
+
+    /// Ask a gateway to drain `shard` (see
+    /// [`crate::AdminOp::Drain`]); returns the ack object. A plain
+    /// server answers with a `protocol/unsupported-op` error (`ok:
+    /// false`), not an I/O failure.
+    pub fn drain_shard(&self, shard: &str) -> io::Result<Json> {
+        self.control(
+            &obj([
+                ("op", Json::Str("drain".into())),
+                ("shard", Json::Str(shard.into())),
+            ])
+            .emit(),
+        )
+    }
+
+    /// Ask a gateway to undrain `shard` — or join it as a new shard
+    /// with the given rendezvous weight (see
+    /// [`crate::AdminOp::Undrain`]); returns the ack object.
+    pub fn undrain_shard(&self, shard: &str, weight: Option<f64>) -> io::Result<Json> {
+        let mut fields = vec![
+            ("op", Json::Str("undrain".into())),
+            ("shard", Json::Str(shard.into())),
+        ];
+        if let Some(w) = weight {
+            fields.push(("weight", Json::Num(w)));
+        }
+        self.control(&obj(fields).emit())
     }
 
     /// Poison and unblock everything: waiters error out, the reader

@@ -4,7 +4,7 @@
 //! to read them back, so this module defines a self-contained JSON codec
 //! for every persistable [`CacheValue`]:
 //!
-//! * `ast` / `desugared` — the full [`Program`] AST (see
+//! * `ast` / `desugared` — the full [`Program`](dahlia_core::Program) AST (see
 //!   [`crate::ast_codec`]: identifiers stored as strings and re-interned
 //!   on decode, spans preserved), so a fresh process over a warm cache
 //!   directory serves **all six** stages from disk;

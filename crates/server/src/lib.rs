@@ -99,6 +99,8 @@
 //! assert!(line.contains(r#""code":"type/already-consumed""#), "{line}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast_codec;
 pub mod client;
 pub mod codec;
@@ -131,7 +133,7 @@ pub use net::{serve_listener, serve_sessions, NetSummary};
 pub use pipeline::{source_digest, Artifact, Options, Pipeline, Stage};
 pub use pool::Pool;
 pub use protocol::{Request, Response};
-pub use session::SessionHost;
+pub use session::{AdminOp, SessionHost};
 pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
 struct Inner {
@@ -476,6 +478,11 @@ impl Server {
                 Ok(Control::Shutdown) => {
                     writeln!(output, "{}", session::shutdown_ack_line())?;
                     break;
+                }
+                Ok(Control::Admin(op)) => {
+                    // A plain server has no topology to administer; the
+                    // strict loop answers inline like every other line.
+                    writeln!(output, "{}", session::admin_unsupported_line(&op))?;
                 }
                 Ok(Control::Req(req)) => {
                     let resp = self.submit(req);

@@ -20,6 +20,48 @@ use crate::json::{obj, Json};
 use crate::protocol::Request;
 use crate::ServeSummary;
 
+/// A cluster-administration control op: `{"op":"drain",...}` and
+/// `{"op":"undrain",...}` lines. Admin ops steer a **gateway**'s
+/// topology; a plain server answers them with a
+/// `protocol/unsupported-op` error (the default
+/// [`SessionHost::dispatch_admin`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminOp {
+    /// Mark a shard draining: new keys route past it, in-flight work
+    /// completes, and its warm keys migrate to the surviving replica
+    /// set in the background.
+    Drain {
+        /// The shard's address, exactly as configured.
+        shard: String,
+    },
+    /// Re-activate a draining shard — or, when the address is not in
+    /// the topology, **join** it as a new shard (live re-sharding).
+    Undrain {
+        /// The shard's address.
+        shard: String,
+        /// Rendezvous weight: applied to a joining shard (default 1)
+        /// or re-weighting an existing one.
+        weight: Option<f64>,
+    },
+}
+
+impl AdminOp {
+    /// The wire name of this op (`drain` / `undrain`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdminOp::Drain { .. } => "drain",
+            AdminOp::Undrain { .. } => "undrain",
+        }
+    }
+
+    /// The shard address the op targets.
+    pub fn shard(&self) -> &str {
+        match self {
+            AdminOp::Drain { shard } | AdminOp::Undrain { shard, .. } => shard,
+        }
+    }
+}
+
 /// A service that can answer protocol sessions: the local [`Server`]
 /// compiles requests itself; a gateway routes them to shards. Either
 /// way the session loop only needs to hand a request off and receive a
@@ -46,13 +88,30 @@ pub trait SessionHost: Send + Sync {
     fn dispatch_stats(&self, respond: Box<dyn FnOnce(Json) + Send>) {
         respond(self.stats_json());
     }
+
+    /// Dispatch an [`AdminOp`] off the session thread. The default
+    /// rejects the op with a `protocol/unsupported-op` error — the
+    /// right answer for a plain server, whose topology has nothing to
+    /// drain. A gateway overrides this to mutate its shard set.
+    fn dispatch_admin(&self, op: AdminOp, respond: Box<dyn FnOnce(String) + Send>) {
+        respond(admin_unsupported_line(&op));
+    }
 }
 
 /// One decoded protocol line: a control op or a compile request.
 pub(crate) enum Control {
     Stats,
     Shutdown,
+    Admin(AdminOp),
     Req(Request),
+}
+
+fn parse_admin_shard(v: &Json, op: &str) -> Result<String, String> {
+    match v.get("shard") {
+        Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(other) => Err(format!("bad `shard` in {op} op: {}", other.emit())),
+        None => Err(format!("{op} op needs a `shard` address")),
+    }
 }
 
 pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> {
@@ -60,9 +119,53 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
     match v.get("op").and_then(Json::as_str) {
         Some("stats") => Ok(Control::Stats),
         Some("shutdown") => Ok(Control::Shutdown),
+        Some("drain") => Ok(Control::Admin(AdminOp::Drain {
+            shard: parse_admin_shard(&v, "drain")?,
+        })),
+        Some("undrain") => {
+            let weight = match v.get("weight") {
+                None => None,
+                Some(Json::Num(w)) if w.is_finite() && *w > 0.0 => Some(*w),
+                Some(other) => {
+                    return Err(format!(
+                        "bad `weight` in undrain op (want a positive number): {}",
+                        other.emit()
+                    ))
+                }
+            };
+            Ok(Control::Admin(AdminOp::Undrain {
+                shard: parse_admin_shard(&v, "undrain")?,
+                weight,
+            }))
+        }
         Some(other) => Err(format!("unknown op `{other}`")),
         None => Request::from_json(&v, lineno).map(Control::Req),
     }
+}
+
+/// The default admin-op rejection: this endpoint has no cluster
+/// topology to administer.
+pub(crate) fn admin_unsupported_line(op: &AdminOp) -> String {
+    obj([
+        ("ok", Json::Bool(false)),
+        ("op", Json::Str(op.name().into())),
+        ("shard", Json::Str(op.shard().into())),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("protocol".into())),
+                ("code", Json::Str("protocol/unsupported-op".into())),
+                (
+                    "message",
+                    Json::Str(format!(
+                        "`{}` administers a gateway's shard topology; this endpoint is not a gateway",
+                        op.name()
+                    )),
+                ),
+            ]),
+        ),
+    ])
+    .emit()
 }
 
 pub(crate) fn protocol_error_line(msg: String, lineno: usize) -> String {
@@ -146,6 +249,16 @@ where
                     }
                     let _ = tx.send(shutdown_ack_line());
                     break;
+                }
+                Ok(Control::Admin(op)) => {
+                    let tx = tx.clone();
+                    host.dispatch_admin(
+                        op,
+                        Box::new(move |line| {
+                            let _ = tx.send(line);
+                        }),
+                    );
+                    Ok(())
                 }
                 Ok(Control::Req(req)) => {
                     let tx = tx.clone();

@@ -1,0 +1,249 @@
+//! Golden tests for `docs/PROTOCOL.md`: the spec's JSON examples are
+//! extracted and checked against the real codec, so the document
+//! cannot drift from the implementation.
+//!
+//! Conventions (documented in the spec itself):
+//!
+//! * every fenced ```` ```jsonl ```` block is an example; lines are
+//!   prefixed `C: ` (client→server), `S: ` (server→client), or `C! `
+//!   (deliberately malformed client input);
+//! * every `C:`/`S:` line must parse as JSON and be in the codec's
+//!   canonical compact form (`Json::parse(line).emit() == line`);
+//! * every `C:` compile request must round-trip through the real
+//!   [`Request`] codec byte-for-byte;
+//! * the block tagged `golden-session` is replayed against a real
+//!   in-process [`Server`] in strict stdio mode and compared
+//!   response-for-response, with only `latency_us` normalized.
+
+use dahlia_server::json::Json;
+use dahlia_server::{Request, Server};
+
+const SPEC: &str = include_str!("../docs/PROTOCOL.md");
+
+/// One extracted example block: its fence info string and its lines.
+struct Block {
+    info: String,
+    lines: Vec<(Prefix, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Prefix {
+    Client,
+    Server,
+    ClientRaw,
+}
+
+fn extract_blocks() -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Block> = None;
+    for line in SPEC.lines() {
+        if let Some(info) = line.strip_prefix("```") {
+            match current.take() {
+                Some(block) => blocks.push(block),
+                None if info.trim_start().starts_with("jsonl") => {
+                    current = Some(Block {
+                        info: info.trim().to_string(),
+                        lines: Vec::new(),
+                    });
+                }
+                None => {
+                    // A non-jsonl fence opens: skip until it closes.
+                    current = Some(Block {
+                        info: String::new(),
+                        lines: Vec::new(),
+                    });
+                }
+            }
+            continue;
+        }
+        if let Some(block) = &mut current {
+            if block.info.is_empty() {
+                continue; // inside a non-jsonl fence
+            }
+            let (prefix, rest) = if let Some(rest) = line.strip_prefix("C: ") {
+                (Prefix::Client, rest)
+            } else if let Some(rest) = line.strip_prefix("S: ") {
+                (Prefix::Server, rest)
+            } else if let Some(rest) = line.strip_prefix("C! ") {
+                (Prefix::ClientRaw, rest)
+            } else {
+                panic!("unprefixed line in a jsonl block: `{line}`");
+            };
+            block.lines.push((prefix, rest.to_string()));
+        }
+    }
+    assert!(current.is_none(), "unclosed fence in PROTOCOL.md");
+    blocks.retain(|b| !b.info.is_empty());
+    assert!(
+        blocks.len() >= 6,
+        "expected the spec's example blocks, found {}",
+        blocks.len()
+    );
+    blocks
+}
+
+/// Set a top-level `latency_us` field to 0 and re-emit — the only
+/// nondeterministic field in a replayed session.
+fn normalize(line: &str) -> String {
+    let mut v = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line `{line}`: {e}"));
+    if let Json::Obj(fields) = &mut v {
+        for (k, val) in fields.iter_mut() {
+            if k == "latency_us" {
+                *val = Json::Num(0.0);
+            }
+        }
+    }
+    v.emit()
+}
+
+#[test]
+fn every_example_is_canonical_json() {
+    for block in extract_blocks() {
+        for (prefix, line) in &block.lines {
+            if *prefix == Prefix::ClientRaw {
+                continue;
+            }
+            let v = Json::parse(line)
+                .unwrap_or_else(|e| panic!("spec example fails to parse: `{line}`: {e}"));
+            assert_eq!(
+                v.emit(),
+                *line,
+                "spec example is not in the codec's canonical compact form"
+            );
+        }
+    }
+}
+
+#[test]
+fn compile_request_examples_roundtrip_through_the_request_codec() {
+    let mut seen = 0;
+    for block in extract_blocks() {
+        for (prefix, line) in &block.lines {
+            if *prefix != Prefix::Client {
+                continue;
+            }
+            let v = Json::parse(line).expect("checked canonical");
+            if v.get("op").is_some() {
+                continue;
+            }
+            let req = Request::from_line(line, 0)
+                .unwrap_or_else(|e| panic!("spec request rejected by the codec: `{line}`: {e}"));
+            assert_eq!(
+                req.to_line(),
+                *line,
+                "spec request does not round-trip byte-for-byte"
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen >= 4, "expected several compile-request examples");
+}
+
+#[test]
+fn control_op_examples_use_known_ops_and_well_typed_fields() {
+    let mut ops = Vec::new();
+    for block in extract_blocks() {
+        for (prefix, line) in &block.lines {
+            if *prefix != Prefix::Client {
+                continue;
+            }
+            let v = Json::parse(line).expect("checked canonical");
+            let Some(op) = v.get("op").and_then(Json::as_str) else {
+                continue;
+            };
+            assert!(
+                matches!(op, "stats" | "shutdown" | "drain" | "undrain"),
+                "spec documents unknown op `{op}`"
+            );
+            if matches!(op, "drain" | "undrain") {
+                assert!(
+                    matches!(v.get("shard"), Some(Json::Str(s)) if !s.is_empty()),
+                    "admin op example lacks a shard address: `{line}`"
+                );
+            }
+            if let Some(w) = v.get("weight") {
+                assert_eq!(op, "undrain", "only undrain takes a weight");
+                assert!(
+                    matches!(w, Json::Num(n) if *n > 0.0),
+                    "weight must be a positive number: `{line}`"
+                );
+            }
+            ops.push(op.to_string());
+        }
+    }
+    for required in ["stats", "shutdown", "drain", "undrain"] {
+        assert!(
+            ops.iter().any(|o| o == required),
+            "spec has no example for op `{required}`"
+        );
+    }
+}
+
+#[test]
+fn response_examples_pin_the_field_order() {
+    // Compile responses must lead with id, stage, ok, cached,
+    // latency_us — the order the protocol freezes.
+    let mut seen = 0;
+    for block in extract_blocks() {
+        for (prefix, line) in &block.lines {
+            if *prefix != Prefix::Server {
+                continue;
+            }
+            let v = Json::parse(line).expect("checked canonical");
+            if v.get("stage").is_none() {
+                continue;
+            }
+            let keys = v.keys();
+            assert_eq!(
+                &keys[..5],
+                &["id", "stage", "ok", "cached", "latency_us"],
+                "response example field order drifted: `{line}`"
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen >= 4, "expected several compile-response examples");
+}
+
+#[test]
+fn the_worked_session_replays_byte_for_byte_against_a_real_server() {
+    let blocks = extract_blocks();
+    let session = blocks
+        .iter()
+        .find(|b| b.info.contains("golden-session"))
+        .expect("PROTOCOL.md has a golden-session block");
+
+    let input: String = session
+        .lines
+        .iter()
+        .filter(|(p, _)| matches!(p, Prefix::Client | Prefix::ClientRaw))
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+    let expected: Vec<String> = session
+        .lines
+        .iter()
+        .filter(|(p, _)| *p == Prefix::Server)
+        .map(|(_, l)| normalize(l))
+        .collect();
+
+    let server = Server::with_threads(1);
+    let mut out: Vec<u8> = Vec::new();
+    let summary = server
+        .serve(std::io::Cursor::new(input.into_bytes()), &mut out)
+        .expect("strict session runs");
+    assert_eq!(summary.protocol_errors, 1, "the malformed line counts");
+
+    let actual: Vec<String> = String::from_utf8(out)
+        .expect("utf-8 output")
+        .lines()
+        .map(normalize)
+        .collect();
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "response count drifted from the spec"
+    );
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        assert_eq!(a, e, "response {i} drifted from the spec");
+    }
+}
