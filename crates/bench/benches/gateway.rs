@@ -1,89 +1,124 @@
-//! Cluster scaling benches: the MachSuite batch through 1/2/4-shard
-//! gateways, replicated and not, plus the degenerate local-fallback
-//! path.
+//! `cargo bench --bench gateway` — cluster latency benchmark.
 //!
-//! The headline comparisons are `gateway/cold_batch_1shard` vs
-//! `..._2shard` vs `..._4shard` — throughput scaling of compile work
-//! behind one front door — `gateway/warm_batch_2shard` (the
-//! cache-locality dividend of rendezvous routing), and
-//! `gateway/failover_batch_{2,4}shard_x2` (the availability dividend
-//! of `--replication 2`: a post-kill batch that recomputes nothing).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Drives the MachSuite batch through live in-process clusters (real
+//! TCP shards behind a [`dahlia_gateway::Gateway`]) and reduces each
+//! scenario's per-request latencies to `p50`/`p99`/`mean` (nearest
+//! rank over the full sample set — see
+//! [`dahlia_bench::cluster::LatencyStats`]), then updates
+//! `BENCH_gateway.json` at the repository root: the first run of each
+//! scenario pins its `baseline`, later runs rewrite `current` and the
+//! derived `speedup` ratios.
+//!
+//! Scenarios:
+//!
+//! * `cold_2shard` — every request computes somewhere (tail dominated
+//!   by the slowest kernel's pipeline);
+//! * `warm_{1,2,4}shard` — shard-cache hits behind one front door,
+//!   the latency floor of the routing layer itself;
+//! * `warm_2shard_traced` — the same warm batch with request-scoped
+//!   tracing on every request: the observability overhead headline;
+//! * `warm_local_fallback` — the empty-cluster degenerate case, served
+//!   by the gateway's embedded local server.
+//!
+//! Flags (after `--`):
+//!   `--quick`  fewer rounds and shard widths (the CI smoke mode);
+//!   `--test`   passed by `cargo test` to harness-less benches: runs
+//!              the cheapest scenario once and skips the trajectory
+//!              write.
 
 use dahlia_bench::cluster::{
-    cluster_batch, cluster_batch_replicated, drive, failover_batch, machsuite_requests,
-    shutdown_shards, spawn_shards,
+    drive, drive_latencies, gateway_trajectory_path, machsuite_requests, merge_gateway_trajectory,
+    shutdown_shards, spawn_shards, LatencyStats,
 };
 use dahlia_gateway::GatewayConfig;
+use dahlia_server::json::Json;
 
 const SHARD_THREADS: usize = 2;
 const SUBMITTERS: usize = 8;
 
-fn bench_cold_scaling(c: &mut Criterion) {
-    for shards in [1usize, 2, 4] {
-        c.bench_function(&format!("gateway/cold_batch_{shards}shard"), |b| {
-            b.iter(|| {
-                // A full cluster per iteration: spawn, cold batch, tear
-                // down — the measured unit is "stand up and serve".
-                cluster_batch(shards, SHARD_THREADS, SUBMITTERS).cold_wall_us
-            })
-        });
-    }
+/// Cold batch through `shards` shards: one sample per request, first
+/// touch, then tear the cluster down.
+fn cold_scenario(shards: usize) -> LatencyStats {
+    let cluster = spawn_shards(shards, SHARD_THREADS);
+    let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+    let requests = machsuite_requests();
+    let samples = drive_latencies(&gateway, &requests, SUBMITTERS, false);
+    drop(gateway);
+    shutdown_shards(cluster);
+    LatencyStats::from_samples(samples)
 }
 
-fn bench_warm_batches(c: &mut Criterion) {
-    for shards in [1usize, 2, 4] {
-        let cluster = spawn_shards(shards, SHARD_THREADS);
-        let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
-        let requests = machsuite_requests();
-        drive(&gateway, &requests, SUBMITTERS); // warm every shard once
-        c.bench_function(&format!("gateway/warm_batch_{shards}shard"), |b| {
-            b.iter(|| drive(&gateway, &requests, SUBMITTERS))
-        });
-        drop(gateway);
-        shutdown_shards(cluster);
+/// Warm batch through `shards` shards: one throwaway round warms every
+/// shard, then `rounds` measured rounds, traced or not.
+fn warm_scenario(shards: usize, rounds: usize, traced: bool) -> LatencyStats {
+    let cluster = spawn_shards(shards, SHARD_THREADS);
+    let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+    let requests = machsuite_requests();
+    drive(&gateway, &requests, SUBMITTERS);
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        samples.extend(drive_latencies(&gateway, &requests, SUBMITTERS, traced));
     }
+    drop(gateway);
+    shutdown_shards(cluster);
+    LatencyStats::from_samples(samples)
 }
 
-fn bench_replicated(c: &mut Criterion) {
-    // The cost side: a replicated cold batch does R× the compile work
-    // cluster-wide (fan-out is async, so cold wall time should stay
-    // close to the unreplicated run).
-    for shards in [2usize, 4] {
-        c.bench_function(&format!("gateway/cold_batch_{shards}shard_x2"), |b| {
-            b.iter(|| cluster_batch_replicated(shards, 2, SHARD_THREADS, SUBMITTERS).cold_wall_us)
-        });
-    }
-    // The dividend side: kill a shard, re-drive the batch — warm
-    // failover, zero recomputed stages.
-    for shards in [2usize, 4] {
-        c.bench_function(&format!("gateway/failover_batch_{shards}shard_x2"), |b| {
-            b.iter(|| {
-                let run = failover_batch(shards, 2, SHARD_THREADS, SUBMITTERS);
-                assert_eq!(run.recomputed_stages, 0, "{run}");
-                run.failover_wall_us
-            })
-        });
-    }
-}
-
-fn bench_local_fallback(c: &mut Criterion) {
-    // The empty-cluster degenerate case: every request compiles in the
-    // gateway's embedded server. The floor the cluster must beat.
+/// The empty-cluster floor: every request answered by the gateway's
+/// embedded local server.
+fn local_fallback_scenario(rounds: usize) -> LatencyStats {
     let gateway = GatewayConfig::new(Vec::<String>::new()).build();
     let requests = machsuite_requests();
     drive(&gateway, &requests, SUBMITTERS);
-    c.bench_function("gateway/warm_batch_local_fallback", |b| {
-        b.iter(|| drive(&gateway, &requests, SUBMITTERS))
-    });
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        samples.extend(drive_latencies(&gateway, &requests, SUBMITTERS, false));
+    }
+    LatencyStats::from_samples(samples)
 }
 
-criterion_group!(
-    benches,
-    bench_cold_scaling,
-    bench_warm_batches,
-    bench_replicated,
-    bench_local_fallback
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let quick = test_mode || args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 2 } else { 8 };
+
+    let mut scenarios: Vec<(String, LatencyStats)> = Vec::new();
+    if test_mode {
+        scenarios.push(("warm_local_fallback".into(), local_fallback_scenario(1)));
+    } else {
+        scenarios.push(("cold_2shard".into(), cold_scenario(2)));
+        let widths: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+        for &shards in widths {
+            scenarios.push((
+                format!("warm_{shards}shard"),
+                warm_scenario(shards, rounds, false),
+            ));
+        }
+        scenarios.push(("warm_2shard_traced".into(), warm_scenario(2, rounds, true)));
+        scenarios.push((
+            "warm_local_fallback".into(),
+            local_fallback_scenario(rounds),
+        ));
+    }
+
+    for (name, s) in &scenarios {
+        println!(
+            "gateway/{name:<22} p50 {:>7} µs | p99 {:>7} µs | mean {:>7} µs | n {}",
+            s.p50_us, s.p99_us, s.mean_us, s.requests
+        );
+    }
+
+    if test_mode {
+        println!("test-mode: skipping BENCH_gateway.json update");
+        return;
+    }
+
+    let path = gateway_trajectory_path();
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| Json::parse(&s).ok());
+    let merged = merge_gateway_trajectory(existing.as_ref(), &scenarios);
+    std::fs::write(&path, merged.emit() + "\n").expect("write BENCH_gateway.json");
+    println!("recorded {}", path.display());
+}

@@ -77,15 +77,19 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       for out-of-order stdio responses,
                                       `--listen` for a pipelined TCP server
                                       (stop it with {\"op\":\"shutdown\"});
-                                      --metrics serves GET /metrics
+                                      --metrics serves GET /metrics (JSON,
+                                      or Prometheus text with
+                                      ?format=prometheus) and GET /healthz
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
                  [--cache-dir DIR] [--connect ADDR] [--shutdown]
-                 [--verbose] [files...]
+                 [--verbose] [--trace] [files...]
                                       compile a batch through the service
                                       (in-process by default; --connect
                                       drives a remote `serve --listen`;
                                       --shutdown with no inputs just stops
-                                      the remote)
+                                      the remote); --trace requests a span
+                                      breakdown per response and dumps the
+                                      trace journal after the batch
   dahliac gateway --listen ADDR [--shards a1[=W],a2,...] [--spawn-workers N]
                  [--replication N] [--threads N] [--metrics ADDR]
                                       cluster front-end: routes requests
@@ -414,7 +418,13 @@ fn start_metrics(
         .local_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_string());
-    metrics::spawn(listener, std::sync::Arc::new(move || host.stats_json())).map_err(|e| {
+    let stats_host = std::sync::Arc::clone(&host);
+    metrics::spawn(
+        listener,
+        std::sync::Arc::new(move || stats_host.stats_json()),
+        std::sync::Arc::new(move || host.health_json()),
+    )
+    .map_err(|e| {
         eprintln!("dahliac: cannot start metrics thread: {e}");
         ExitCode::from(EXIT_USAGE)
     })?;
@@ -884,11 +894,23 @@ fn batch_programs(use_kernels: bool, files: &[String]) -> Result<Vec<(String, St
     Ok(programs)
 }
 
-fn round_requests(programs: &[(String, String)], stage: Stage, round: u32) -> Vec<Request> {
+fn round_requests(
+    programs: &[(String, String)],
+    stage: Stage,
+    round: u32,
+    traced: bool,
+) -> Vec<Request> {
     programs
         .iter()
         .enumerate()
-        .map(|(i, (name, src))| Request::new(format!("{i}:{name}#{round}"), stage, src, name))
+        .map(|(i, (name, src))| {
+            let req = Request::new(format!("{i}:{name}#{round}"), stage, src, name);
+            if traced {
+                req.traced(format!("t{round}-{i}"))
+            } else {
+                req
+            }
+        })
         .collect()
 }
 
@@ -968,6 +990,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
     let use_kernels = take_switch(&mut args, "--kernels");
     let verbose = take_switch(&mut args, "--verbose");
+    let traced = take_switch(&mut args, "--trace");
     let shutdown = take_switch(&mut args, "--shutdown");
     if shutdown && connect.is_none() {
         eprintln!("dahliac: --shutdown only makes sense with --connect");
@@ -1003,7 +1026,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
 
     if let Some(addr) = connect {
-        return batch_over_tcp(&addr, &programs, stage, repeat, verbose, shutdown);
+        return batch_over_tcp(&addr, &programs, stage, repeat, verbose, traced, shutdown);
     }
 
     let server = match opts.build() {
@@ -1015,7 +1038,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let mut any_failed = false;
     let mut prev = server.stats();
     for round in 1..=repeat {
-        let reqs = round_requests(&programs, stage, round);
+        let reqs = round_requests(&programs, stage, round, traced);
         let n = reqs.len();
         let t0 = Instant::now();
         let responses = server.submit_batch(reqs);
@@ -1053,6 +1076,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         &round_walls,
         server.stats().to_json(),
     );
+    if traced {
+        // The journal dump, in the same envelope the wire op answers
+        // with, so scripts parse both paths identically.
+        println!(
+            "{}",
+            obj([("trace", SessionHost::trace_json(&server))]).emit()
+        );
+    }
 
     if any_failed {
         ExitCode::from(EXIT_RUNTIME)
@@ -1070,6 +1101,7 @@ fn batch_over_tcp(
     stage: Stage,
     repeat: u32,
     verbose: bool,
+    traced: bool,
     shutdown: bool,
 ) -> ExitCode {
     let mut client = match Client::connect_retry(addr, 50) {
@@ -1109,7 +1141,7 @@ fn batch_over_tcp(
         let mut any_failed = false;
         let mut prev = fetch_stats(client)?;
         for round in 1..=repeat {
-            let reqs = round_requests(programs, stage, round);
+            let reqs = round_requests(programs, stage, round, traced);
             let n = reqs.len();
             let t0 = Instant::now();
             for r in &reqs {
@@ -1149,6 +1181,18 @@ fn batch_over_tcp(
 
         let stats = fetch_stats(client)?;
         print_batch_summary(repeat, programs.len(), &round_walls, stats);
+        if traced {
+            // Dump the remote's trace journal (gateway or server —
+            // the op is the same) as the batch's last output line.
+            client.send_line(r#"{"op":"trace"}"#)?;
+            let line = client.recv_line()?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection during a trace request",
+                )
+            })?;
+            println!("{line}");
+        }
         if shutdown {
             client.shutdown_server()?;
         }

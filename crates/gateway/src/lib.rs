@@ -71,10 +71,14 @@ pub mod hash;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dahlia_obs::{Journal, Span, TraceEntry};
 use dahlia_server::json::{obj, Json};
-use dahlia_server::{source_digest, AdminOp, PipelinedClient, Pool, Request, Server, SessionHost};
+use dahlia_server::{
+    obs_json, source_digest, AdminOp, PipelinedClient, Pool, Request, Server, SessionHost,
+    TRACE_JOURNAL_CAP,
+};
 
 /// Bound on the per-shard warm-key ledger the drain migrator walks.
 /// Oldest entries fall off first; a dropped entry costs one recompute
@@ -188,6 +192,7 @@ impl GatewayConfig {
             replica_writes: AtomicU64::new(0),
             replica_failures: AtomicU64::new(0),
             local_fallbacks: AtomicU64::new(0),
+            journal: Journal::new(TRACE_JOURNAL_CAP),
             local: OnceLock::new(),
             pool: Pool::new(threads),
         });
@@ -252,7 +257,11 @@ impl WarmKeys {
     }
 
     fn record(&mut self, key: u128, req: &Request) {
-        if self.map.insert(key, req.clone()).is_none() {
+        // Migration replays are bookkeeping, not client traffic: strip
+        // the trace id so a drain walk doesn't flood shard journals.
+        let mut stored = req.clone();
+        stored.trace = None;
+        if self.map.insert(key, stored).is_none() {
             self.order.push_back(key);
             self.bytes += req.source.len();
             while self.order.len() > WARM_KEY_CAP || self.bytes > WARM_KEY_MAX_BYTES {
@@ -421,6 +430,9 @@ struct GwInner {
     replica_failures: AtomicU64,
     /// Requests answered by the embedded local server.
     local_fallbacks: AtomicU64,
+    /// Ring buffer of completed traced requests: gateway hops plus the
+    /// shard-reported spans, dumped by `{"op":"trace"}`.
+    journal: Journal,
     local: OnceLock<Server>,
     /// Dispatch pool: session requests, stats polls, replication
     /// fan-out, and admin ops all run here, never on a session's read
@@ -477,20 +489,43 @@ impl GwInner {
         let key = source_digest(&req.source);
         let candidates = self.candidates(key);
         let mut failed_before = false;
+        let traced = req.trace.is_some();
+        let t_route = Instant::now();
+        let mut gw_spans: Vec<Span> = Vec::new();
         for (i, shard) in candidates.iter().enumerate() {
             let Some(client) = shard.live() else { continue };
             shard.routed.fetch_add(1, Ordering::Relaxed);
             if failed_before {
                 shard.retried.fetch_add(1, Ordering::Relaxed);
             }
+            let t_attempt = Instant::now();
             match client.call(req) {
-                Ok(resp) => {
+                Ok(mut resp) => {
                     if failed_before {
                         self.rerouted.fetch_add(1, Ordering::Relaxed);
                     }
                     shard.record_warm(key, req);
-                    if fan_out {
-                        self.replicate(key, req, &candidates, i, &resp);
+                    let fanned = if fan_out {
+                        self.replicate(key, req, &candidates, i, &resp)
+                    } else {
+                        0
+                    };
+                    if traced {
+                        gw_spans.push(Span::with_detail(
+                            format!("shard:{}", shard.addr),
+                            (t_attempt.elapsed().as_nanos() / 1_000) as u64,
+                            if failed_before { "rerouted" } else { "routed" },
+                        ));
+                        if fanned > 0 {
+                            // Fire-and-forget: the span records the
+                            // fan-out degree, not its (off-path) cost.
+                            gw_spans.push(Span::with_detail(
+                                "replicate",
+                                0,
+                                format!("fanout={fanned}"),
+                            ));
+                        }
+                        self.finish_trace(req, &mut resp, gw_spans, t_route);
                     }
                     return resp;
                 }
@@ -500,6 +535,13 @@ impl GwInner {
                     // other key this shard owned).
                     shard.failed.fetch_add(1, Ordering::Relaxed);
                     failed_before = true;
+                    if traced {
+                        gw_spans.push(Span::with_detail(
+                            format!("shard:{}", shard.addr),
+                            (t_attempt.elapsed().as_nanos() / 1_000) as u64,
+                            "failed",
+                        ));
+                    }
                 }
             }
         }
@@ -507,7 +549,37 @@ impl GwInner {
         if failed_before {
             self.rerouted.fetch_add(1, Ordering::Relaxed);
         }
-        self.local().submit(req.clone()).to_json()
+        let t_local = Instant::now();
+        let mut resp = self.local().submit(req.clone()).to_json();
+        if traced {
+            gw_spans.push(Span::with_detail(
+                "local",
+                (t_local.elapsed().as_nanos() / 1_000) as u64,
+                "fallback",
+            ));
+            self.finish_trace(req, &mut resp, gw_spans, t_route);
+        }
+        resp
+    }
+
+    /// Stamp the gateway-side spans onto a traced response (in front of
+    /// whatever the shard reported) and record the combined span list
+    /// in the gateway's own journal.
+    fn finish_trace(&self, req: &Request, resp: &mut Json, spans: Vec<Span>, t0: Instant) {
+        let Some(trace_id) = &req.trace else { return };
+        obs_json::prepend_trace_spans(resp, trace_id, &spans);
+        let combined = match resp.get("trace").and_then(|t| t.get("spans")) {
+            Some(Json::Arr(items)) => items.iter().filter_map(obs_json::span_from_json).collect(),
+            _ => spans,
+        };
+        self.journal.push(TraceEntry {
+            trace: trace_id.clone(),
+            id: req.id.clone(),
+            stage: req.stage.name().to_string(),
+            ok: resp.get("ok").and_then(Json::as_bool).unwrap_or(false),
+            wall_us: (t0.elapsed().as_nanos() / 1_000) as u64,
+            spans: combined,
+        });
     }
 
     /// Fan a **newly computed** artifact out to the remaining members
@@ -529,13 +601,14 @@ impl GwInner {
         candidates: &[Arc<Shard>],
         answered: usize,
         resp: &Json,
-    ) {
+    ) -> usize {
         if self.replication <= 1 {
-            return;
+            return 0;
         }
         if resp.get("cached").and_then(Json::as_bool) != Some(false) {
-            return;
+            return 0;
         }
+        let mut dispatched = 0;
         for (i, shard) in candidates.iter().enumerate().take(self.replication) {
             if i == answered {
                 continue;
@@ -546,9 +619,13 @@ impl GwInner {
             };
             shard.replicated.fetch_add(1, Ordering::Relaxed);
             self.replica_writes.fetch_add(1, Ordering::Relaxed);
+            dispatched += 1;
             let inner = Arc::clone(self);
             let shard = Arc::clone(shard);
-            let req = req.clone();
+            // Replica warms are cache writes, not client traffic: drop
+            // the trace id so they don't show up in shard journals.
+            let mut req = req.clone();
+            req.trace = None;
             self.pool.execute(move || match client.call(&req) {
                 Ok(_) => shard.record_warm(key, &req),
                 Err(_) => {
@@ -556,6 +633,7 @@ impl GwInner {
                 }
             });
         }
+        dispatched
     }
 
     /// Mark `addr` draining and kick off the background key walk. The
@@ -716,8 +794,13 @@ impl GwInner {
             ]));
         }
         if let Some(local) = self.local.get() {
-            merge_sum(&mut agg, &local.stats().to_json());
+            // The SessionHost form carries the `hist` section beside
+            // the flat counters, same as a shard's stats line.
+            merge_sum(&mut agg, &SessionHost::stats_json(local));
         }
+        // Bucket counts summed correctly across shards; percentile
+        // fields did not. Re-derive them from the merged buckets.
+        obs_json::fix_percentiles(&mut agg);
         let gateway = obj([
             (
                 "requests",
@@ -946,6 +1029,29 @@ impl SessionHost for Gateway {
         self.inner.stats_json()
     }
 
+    fn trace_json(&self) -> Json {
+        obs_json::journal_to_json(&self.inner.journal)
+    }
+
+    fn health_json(&self) -> Json {
+        let (mut live, mut draining, mut dead) = (0u64, 0u64, 0u64);
+        for shard in self.inner.shards() {
+            if shard.is_draining() {
+                draining += 1;
+            } else if shard.live().is_some() {
+                live += 1;
+            } else {
+                dead += 1;
+            }
+        }
+        obj([
+            ("ok", Json::Bool(true)),
+            ("shards_live", Json::Num(live as f64)),
+            ("shards_draining", Json::Num(draining as f64)),
+            ("shards_dead", Json::Num(dead as f64)),
+        ])
+    }
+
     fn dispatch_stats(&self, respond: Box<dyn FnOnce(Json) + Send>) {
         // Gateway stats poll every shard over the network; that must
         // not run on the session's read loop (a slow shard would stall
@@ -1088,6 +1194,53 @@ mod tests {
         // Without a weight the op leaves the current weight in place.
         let ack = gw.undrain(&addr, None);
         assert_eq!(ack.get("weight").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn traced_local_fallback_records_gateway_spans_and_journals() {
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let resp = gw.submit(&Request::new("r1", Stage::Estimate, GOOD, "k").traced("t-local"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        let trace = resp.get("trace").expect("traced response carries a trace");
+        assert_eq!(trace.get("id").and_then(Json::as_str), Some("t-local"));
+        let Some(Json::Arr(spans)) = trace.get("spans") else {
+            panic!("spans array");
+        };
+        // The gateway's own hop leads; the embedded server's stage
+        // spans follow.
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("local"));
+        assert_eq!(
+            spans[0].get("detail").and_then(Json::as_str),
+            Some("fallback")
+        );
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("stage:est")));
+
+        // The combined entry landed in the gateway's journal.
+        let journal = SessionHost::trace_json(&gw);
+        let Some(Json::Arr(entries)) = journal.get("entries") else {
+            panic!("journal entries");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("trace").and_then(Json::as_str),
+            Some("t-local")
+        );
+        assert!(entries[0].get("wall_us").and_then(Json::as_u64).is_some());
+
+        // Untraced requests stay trace-free, and the merged stats
+        // carry the local server's hist section.
+        let bare = gw.submit(&Request::new("r2", Stage::Check, GOOD, "k"));
+        assert!(bare.get("trace").is_none());
+        let stats = gw.stats_json();
+        assert!(stats.get("hist").is_some(), "local hist merged into agg");
+
+        // Liveness summary: an empty cluster is still alive.
+        let health = SessionHost::health_json(&gw);
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(health.get("shards_live").and_then(Json::as_u64), Some(0));
+        assert_eq!(health.get("shards_dead").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -48,14 +48,14 @@ fn machsuite_requests() -> Vec<Request> {
         .collect()
 }
 
-/// Strip the per-run fields (`latency_us`, `cached`) so responses can
-/// be compared byte-for-byte across serving topologies.
+/// Strip the per-run fields (`latency_us`, `cached`, `trace`) so
+/// responses can be compared byte-for-byte across serving topologies.
 fn normalize(v: &Json) -> String {
     match v {
         Json::Obj(fields) => Json::Obj(
             fields
                 .iter()
-                .filter(|(k, _)| k != "latency_us" && k != "cached")
+                .filter(|(k, _)| k != "latency_us" && k != "cached" && k != "trace")
                 .cloned()
                 .collect(),
         )
@@ -480,6 +480,169 @@ fn draining_a_shard_mid_batch_loses_nothing_and_migrates_keys() {
     shutdown_shard(&addr_b);
     join_a.join().unwrap();
     join_b.join().unwrap();
+}
+
+/// A traced request through a 2-shard gateway reports the full span
+/// tree — the gateway hop first, then the shard's queue wait and
+/// per-stage compute spans — lands in the gateway's journal, and the
+/// merged cluster stats carry a hist section with percentiles
+/// re-derived from the summed buckets.
+#[test]
+fn traced_request_reports_gateway_and_stage_spans_and_merged_hist() {
+    use dahlia_server::SessionHost;
+    let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let gw = GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+        .health_interval(Duration::from_secs(30))
+        .build();
+    let src = "let A: float[8 bank 4];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+
+    let resp = gw.submit(&Request::new("t1", Stage::Estimate, src, "k").traced("tr-1"));
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        resp.keys().last().copied(),
+        Some("trace"),
+        "trace is the trailing field"
+    );
+    let trace = resp.get("trace").unwrap();
+    assert_eq!(trace.get("id").and_then(Json::as_str), Some("tr-1"));
+    let Some(Json::Arr(spans)) = trace.get("spans") else {
+        panic!("spans array");
+    };
+    let name = |s: &Json| {
+        s.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    assert!(
+        name(&spans[0]).starts_with("shard:"),
+        "gateway hop leads: {}",
+        trace.emit()
+    );
+    assert_eq!(
+        spans[0].get("detail").and_then(Json::as_str),
+        Some("routed")
+    );
+    assert!(spans.iter().any(|s| name(s) == "queue"), "{}", trace.emit());
+    for stage in ["stage:parse", "stage:check", "stage:lower", "stage:est"] {
+        assert!(
+            spans.iter().any(|s| name(s) == stage),
+            "missing {stage}: {}",
+            trace.emit()
+        );
+    }
+    // The remote spans nest under the gateway hop: their sum cannot
+    // exceed the round-trip the gateway measured.
+    let hop_us = spans[0].get("us").and_then(Json::as_u64).unwrap();
+    let nested: u64 = spans[1..]
+        .iter()
+        .filter_map(|s| s.get("us").and_then(Json::as_u64))
+        .sum();
+    assert!(nested <= hop_us, "nested {nested}us > hop {hop_us}us");
+
+    // The combined entry is queryable from the gateway's journal.
+    let journal = SessionHost::trace_json(&gw);
+    let Some(Json::Arr(entries)) = journal.get("entries") else {
+        panic!("journal entries");
+    };
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].get("trace").and_then(Json::as_str), Some("tr-1"));
+    assert_eq!(entries[0].get("stage").and_then(Json::as_str), Some("est"));
+
+    // An untraced request is byte-compatible with the old protocol.
+    let bare = gw.submit(&Request::new("t2", Stage::Estimate, src, "k"));
+    assert!(bare.get("trace").is_none());
+
+    // Merged stats: bucket counts summed across shards, count and
+    // percentiles re-derived from the merged buckets.
+    let stats = gw.stats_json();
+    let lat = stats
+        .get("hist")
+        .and_then(|h| h.get("latency_us"))
+        .expect("merged hist section");
+    assert_eq!(lat.get("count").and_then(Json::as_u64), Some(2));
+    let p50 = lat.get("p50").and_then(Json::as_f64).unwrap();
+    let p99 = lat.get("p99").and_then(Json::as_f64).unwrap();
+    assert!(p50 <= p99 && p99 > 0.0, "p50={p50} p99={p99}");
+
+    // Liveness summary backing /healthz.
+    let health = SessionHost::health_json(&gw);
+    assert_eq!(health.get("shards_live").and_then(Json::as_u64), Some(2));
+    assert_eq!(health.get("shards_dead").and_then(Json::as_u64), Some(0));
+
+    drop(gw);
+    shutdown_shard(&addr_a);
+    shutdown_shard(&addr_b);
+    join_a.join().unwrap();
+    join_b.join().unwrap();
+}
+
+/// A shard that accepts one connection, reads one byte, and slams it —
+/// a deterministic mid-call failure, the in-process stand-in for
+/// SIGKILLing the primary.
+fn spawn_flaky_shard() -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            use std::io::Read;
+            let mut buf = [0u8; 1];
+            let _ = stream.read(&mut buf);
+            // Drop the stream: EOF with the request in flight.
+        }
+    });
+    (addr, handle)
+}
+
+/// Killing the primary mid-call leaves a visible failover hop in the
+/// span tree: the dead shard's failed attempt, then the survivor
+/// answering as a re-route.
+#[test]
+fn failover_records_the_reroute_hop_in_the_span_tree() {
+    let (flaky_addr, flaky_join) = spawn_flaky_shard();
+    let (real_addr, real_join) = spawn_shard(Server::with_threads(2));
+    // The flaky shard massively out-weighs the survivor, so rendezvous
+    // prefers it for the key — the first attempt always dies mid-call.
+    let gw =
+        GatewayConfig::new_weighted([(flaky_addr.clone(), 1_000_000.0), (real_addr.clone(), 1.0)])
+            .health_interval(Duration::from_secs(30))
+            .build();
+    let src = "let A: float[4 bank 2]; for (let i = 0..4) unroll 2 { A[i] := 1.0; }";
+
+    let resp = gw.submit(&Request::new("f1", Stage::Estimate, src, "k").traced("tr-fail"));
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        resp.emit()
+    );
+    let trace = resp.get("trace").unwrap();
+    let Some(Json::Arr(spans)) = trace.get("spans") else {
+        panic!("spans array: {}", trace.emit());
+    };
+    let name = |s: &Json| {
+        s.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let detail = |s: &Json| {
+        s.get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    assert_eq!(name(&spans[0]), format!("shard:{flaky_addr}"));
+    assert_eq!(detail(&spans[0]), "failed");
+    assert_eq!(name(&spans[1]), format!("shard:{real_addr}"));
+    assert_eq!(detail(&spans[1]), "rerouted");
+    assert!(spans.iter().any(|s| name(s) == "stage:est"));
+
+    drop(gw);
+    flaky_join.join().unwrap();
+    shutdown_shard(&real_addr);
+    real_join.join().unwrap();
 }
 
 #[test]

@@ -1,0 +1,305 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! Bucket `i` (for `i > 0`) holds observations in `[2^(i-1), 2^i)`;
+//! bucket 0 holds exact zeros. Upper bounds are therefore `2^i - 1`,
+//! which keeps every bound exactly representable and makes merging
+//! across processes trivial: two histograms with the same bucketing
+//! merge by adding counts. Percentiles are estimated by linear
+//! interpolation inside the covering bucket — at most a factor-of-two
+//! relative error, which is the precision tail-latency work actually
+//! needs, in exchange for a fixed 65-slot array and wait-free
+//! recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit-length of a `u64`, plus a
+/// dedicated zero bucket.
+pub const BUCKETS: usize = 65;
+
+/// Inclusive upper bound of bucket `i`: 0 for bucket 0, `2^i - 1`
+/// otherwise (saturating at `u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match 1u64.checked_shl(i as u32) {
+        Some(top) => top - 1,
+        None => u64::MAX,
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// A wait-free histogram: recording is two relaxed atomic adds (plus
+/// a compare-and-swap loop for the running max), so it can sit on the
+/// per-request and per-stage hot paths. Values are unit-agnostic; the
+/// caller decides whether it is counting microseconds or nanoseconds
+/// and names the exported metric accordingly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Concurrent recorders may
+    /// land between the individual loads; the snapshot is consistent
+    /// enough for monitoring (counts never go backwards).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_upper_bound(i), c));
+                count += c;
+            }
+        }
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: sparse `(upper_bound, count)`
+/// pairs in ascending bound order, plus the total count, sum, and
+/// observed max. Snapshots merge across shards ([`HistSnapshot::merge`])
+/// and answer percentile queries ([`HistSnapshot::quantile`]) — always
+/// merge first, then query, because percentiles do not sum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSnapshot {
+    /// Sparse non-empty buckets as `(inclusive upper bound, count)`,
+    /// ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty, or when rebuilt from a
+    /// wire form that does not carry the max).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Rebuild a snapshot from sparse `(upper_bound, count)` pairs —
+    /// the inverse of the wire encoding. Pairs are sorted and
+    /// deduplicated (counts for a repeated bound add); the max is
+    /// unknown and left at 0, so [`HistSnapshot::quantile`] falls back
+    /// to bucket bounds alone.
+    pub fn from_buckets(pairs: impl IntoIterator<Item = (u64, u64)>, sum: u64) -> Self {
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        for (bound, count) in pairs {
+            if count == 0 {
+                continue;
+            }
+            match buckets.iter_mut().find(|(b, _)| *b == bound) {
+                Some((_, c)) => *c += count,
+                None => buckets.push((bound, count)),
+            }
+        }
+        buckets.sort_by_key(|&(b, _)| b);
+        let count = buckets.iter().map(|&(_, c)| c).sum();
+        HistSnapshot {
+            buckets,
+            count,
+            sum,
+            max: 0,
+        }
+    }
+
+    /// Fold another snapshot into this one: bucket counts, totals, and
+    /// sums add; the max takes the larger.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for &(bound, count) in &other.buckets {
+            match self.buckets.iter_mut().find(|(b, _)| *b == bound) {
+                Some((_, c)) => *c += count,
+                None => self.buckets.push((bound, count)),
+            }
+        }
+        self.buckets.sort_by_key(|&(b, _)| b);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the covering bucket. Returns 0 for an
+    /// empty histogram. The estimate is clamped to the observed max
+    /// when one is known, so a lone large outlier cannot report a p99
+    /// beyond anything that actually happened.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(hi, c) in &self.buckets {
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let lo = bucket_lower_bound(hi);
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    ((rank - cum as f64) / c as f64).clamp(0.0, 1.0)
+                };
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return if self.max > 0 {
+                    est.min(self.max as f64)
+                } else {
+                    est
+                };
+            }
+            cum = next;
+        }
+        // Unreachable when counts are consistent; be defensive.
+        self.buckets.last().map_or(0.0, |&(hi, _)| hi as f64)
+    }
+
+    /// The conventional p50/p95/p99 triple.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// Inclusive lower bound of the bucket whose upper bound is `hi`.
+fn bucket_lower_bound(hi: u64) -> u64 {
+    if hi <= 1 {
+        // Bucket 0 is the exact-zero bucket; bucket 1 covers only {1}.
+        hi
+    } else {
+        hi / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_powers_of_two_minus_one() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(4), 15);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in the bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5);
+        // True p50 is 500; log-bucketing bounds the error by 2x.
+        assert!((250.0..=1000.0).contains(&p50), "p50 = {p50}");
+        assert!(s.quantile(0.99) <= 1000.0);
+        assert!(s.quantile(1.0) <= 1000.0);
+    }
+
+    #[test]
+    fn zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0.0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets, vec![(0, 1)]);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_then_quantile_matches_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+            union.record(v);
+        }
+        for v in 1000..=1100u64 {
+            b.record(v);
+            union.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let u = union.snapshot();
+        assert_eq!(m.count, u.count);
+        assert_eq!(m.sum, u.sum);
+        assert_eq!(m.buckets, u.buckets);
+        assert_eq!(m.quantile(0.99), u.quantile(0.99));
+    }
+
+    #[test]
+    fn from_buckets_roundtrips_counts() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 900, 901, 902] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let rebuilt = HistSnapshot::from_buckets(s.buckets.iter().copied(), s.sum);
+        assert_eq!(rebuilt.buckets, s.buckets);
+        assert_eq!(rebuilt.count, s.count);
+        assert_eq!(rebuilt.sum, s.sum);
+        assert_eq!(rebuilt.max, 0); // max does not survive the wire
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability primitives for the Dahlia compile cluster.
+//!
+//! The serving stack's original statistics were flat sums — one
+//! cumulative `latency_us`, one `compute_nanos` total per stage —
+//! which answer "how much work happened" but not "how is it
+//! distributed" or "where did *this* request go". This crate supplies
+//! the three missing primitives, dependency-free and `std`-only like
+//! the rest of the workspace:
+//!
+//! * [`Histogram`] — a lock-free, log-bucketed (power-of-two bounds)
+//!   latency/cost histogram with p50/p95/p99 extraction. Recording is
+//!   a couple of relaxed atomic adds, cheap enough for every request
+//!   and every pipeline stage. Snapshots ([`HistSnapshot`]) are plain
+//!   data: they merge across shards and re-derive percentiles after
+//!   the merge, which is the only sound order (percentiles do not
+//!   sum; bucket counts do).
+//! * [`Span`] / [`TraceEntry`] / [`Journal`] — request-scoped trace
+//!   spans (queue wait, per-stage compute, cache tier, re-route hops,
+//!   replication fan-out) and a bounded in-process ring buffer that
+//!   retains the most recent traced requests for the `{"op":"trace"}`
+//!   control line.
+//! * [`prom`] — Prometheus text-exposition rendering (metric-name and
+//!   label validation, sample and histogram lines) so `/metrics` can
+//!   speak the standard scrape format as well as JSON.
+//!
+//! This crate deliberately knows nothing about JSON or the wire
+//! protocol: `dahlia-server` depends on it (never the reverse) and
+//! owns the encoding of these types into stats objects and trace
+//! responses.
+
+#![warn(missing_docs)]
+
+mod hist;
+pub mod prom;
+mod trace;
+
+pub use hist::{bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use trace::{next_trace_id, Journal, Span, Tier, TraceEntry};

@@ -262,6 +262,9 @@ impl PipelinedClient {
             stage: req.stage,
             source: req.source.clone(),
             options: req.options.clone(),
+            // The trace id rides the rewritten wire request so the
+            // shard's span breakdown comes back under the caller's id.
+            trace: req.trace.clone(),
         };
         let (tx, rx) = mpsc::channel();
         self.shared.waiters.lock().unwrap().calls.insert(n, tx);

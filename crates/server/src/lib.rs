@@ -109,6 +109,7 @@ pub mod evict;
 pub mod json;
 pub mod metrics;
 pub mod net;
+pub mod obs_json;
 pub mod pipeline;
 pub mod pool;
 pub mod protocol;
@@ -122,6 +123,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
+use dahlia_obs::{Histogram, Journal, Span, TraceEntry};
 
 use json::{obj, Json};
 use session::Control;
@@ -136,26 +138,104 @@ pub use protocol::{Request, Response};
 pub use session::{AdminOp, SessionHost};
 pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
+/// Traced requests retained by a host's in-process journal (ring
+/// buffer; pushing beyond this evicts the oldest entry). Shared by the
+/// server and the gateway so `{"op":"trace"}` answers are comparably
+/// sized across the cluster.
+pub const TRACE_JOURNAL_CAP: usize = 256;
+
 struct Inner {
     pipeline: Pipeline,
     requests: AtomicU64,
     latency_us: AtomicU64,
+    latency_hist: Histogram,
+    queue_hist: Histogram,
+    journal: Journal,
 }
 
 impl Inner {
     fn handle(&self, req: &Request) -> Response {
+        self.handle_queued(req, None)
+    }
+
+    /// Serve one request. `queue_us` is how long the request waited in
+    /// the worker pool before this thread picked it up (known only on
+    /// the dispatched paths; direct `submit` calls never queue).
+    fn handle_queued(&self, req: &Request, queue_us: Option<u64>) -> Response {
         let t0 = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let (value, cached) = self.pipeline.artifact(&req.source, req.stage, &req.options);
-        let latency_us = t0.elapsed().as_micros() as u64;
+        if let Some(q) = queue_us {
+            self.queue_hist.record(q);
+        }
+        let (value, cached, trace) = match &req.trace {
+            None => {
+                let (value, cached) = self.pipeline.artifact(&req.source, req.stage, &req.options);
+                (value, cached, None)
+            }
+            Some(trace_id) => {
+                let (value, cached, mut spans) =
+                    self.pipeline
+                        .artifact_traced(&req.source, req.stage, &req.options);
+                if let Some(q) = queue_us {
+                    spans.insert(0, Span::new("queue", q));
+                }
+                (value, cached, Some((trace_id.clone(), spans)))
+            }
+        };
+        // Floor division on every span and on the wall clock keeps the
+        // invariant "stage spans sum ≤ wall latency" exact.
+        let latency_us = (t0.elapsed().as_nanos() / 1_000) as u64;
         self.latency_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_hist.record(latency_us);
+        let trace = trace.map(|(trace_id, spans)| {
+            self.journal.push(TraceEntry {
+                trace: trace_id.clone(),
+                id: req.id.clone(),
+                stage: req.stage.name().to_string(),
+                ok: value.is_ok(),
+                wall_us: latency_us,
+                spans: spans.clone(),
+            });
+            obs_json::trace_field(&trace_id, &spans)
+        });
         Response {
             id: req.id.clone(),
             stage: req.stage,
             cached,
             latency_us,
             value,
+            trace,
         }
+    }
+
+    /// The `hist` section of the stats object: request-latency, pool
+    /// queue-wait, and per-stage compute-cost distributions, beside
+    /// (never replacing) the flat sums.
+    fn hist_json(&self) -> Json {
+        obj([
+            (
+                "latency_us",
+                obs_json::hist_to_json(&self.latency_hist.snapshot()),
+            ),
+            (
+                "queue_us",
+                obs_json::hist_to_json(&self.queue_hist.snapshot()),
+            ),
+            ("compute_us", {
+                let hists = self.pipeline.compute_hists();
+                Json::Obj(
+                    Stage::ALL
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name().to_string(),
+                                obs_json::hist_to_json(&hists[s.index()]),
+                            )
+                        })
+                        .collect(),
+                )
+            }),
+        ])
     }
 }
 
@@ -392,6 +472,9 @@ impl Server {
                 pipeline,
                 requests: AtomicU64::new(0),
                 latency_us: AtomicU64::new(0),
+                latency_hist: Histogram::new(),
+                queue_hist: Histogram::new(),
+                journal: Journal::new(TRACE_JOURNAL_CAP),
             }),
             pool,
         }
@@ -413,7 +496,11 @@ impl Server {
     /// costs one compilation.
     pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
         let inner = Arc::clone(&self.inner);
-        self.pool.map(reqs, move |req| inner.handle(&req))
+        let enqueued = Instant::now();
+        self.pool.map(reqs, move |req| {
+            let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
+            inner.handle_queued(&req, Some(queue_us))
+        })
     }
 
     /// Service statistics so far.
@@ -472,7 +559,14 @@ impl Server {
                     writeln!(
                         output,
                         "{}",
-                        obj([("stats", self.stats().to_json())]).emit()
+                        obj([("stats", SessionHost::stats_json(self))]).emit()
+                    )?;
+                }
+                Ok(Control::Trace) => {
+                    writeln!(
+                        output,
+                        "{}",
+                        obj([("trace", SessionHost::trace_json(self))]).emit()
                     )?;
                 }
                 Ok(Control::Shutdown) => {
@@ -520,14 +614,24 @@ impl Server {
 impl SessionHost for Server {
     fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>) {
         let inner = Arc::clone(&self.inner);
+        let enqueued = Instant::now();
         self.pool.execute(move || {
-            let resp = inner.handle(&req);
+            let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
+            let resp = inner.handle_queued(&req, Some(queue_us));
             respond(resp.to_line());
         });
     }
 
     fn stats_json(&self) -> Json {
-        self.stats().to_json()
+        let mut v = self.stats().to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields.push(("hist".to_string(), self.inner.hist_json()));
+        }
+        v
+    }
+
+    fn trace_json(&self) -> Json {
+        obs_json::journal_to_json(&self.inner.journal)
     }
 }
 
@@ -651,6 +755,66 @@ mod tests {
         assert!(s.store.evict.evictions >= 2, "{:?}", s.store.evict);
         assert!(s.store.evict.resident_entries <= 2);
         assert!(server.cached_artifacts() <= 2);
+    }
+
+    #[test]
+    fn traced_requests_carry_spans_and_fill_the_journal() {
+        let server = Server::with_threads(2);
+        let resp = server.submit(Request::estimate("a", GOOD).traced("t-x"));
+        assert!(resp.ok());
+        let trace = resp
+            .trace
+            .as_ref()
+            .expect("traced response carries a trace object");
+        assert_eq!(trace.get("id").and_then(Json::as_str), Some("t-x"));
+        let Some(Json::Arr(spans)) = trace.get("spans") else {
+            panic!("spans array: {trace:?}")
+        };
+        assert!(!spans.is_empty());
+        let sum: u64 = spans
+            .iter()
+            .filter_map(|s| s.get("us").and_then(Json::as_u64))
+            .sum();
+        assert!(
+            sum <= resp.latency_us,
+            "span sum {sum} > wall {}",
+            resp.latency_us
+        );
+        // The response line puts trace last, after the payload.
+        let line = resp.to_line();
+        let keys = resp
+            .to_json()
+            .keys()
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>();
+        assert_eq!(keys.last().map(String::as_str), Some("trace"), "{line}");
+
+        // The journal retained the entry; untraced requests add nothing.
+        let untraced = server.submit(Request::estimate("b", GOOD));
+        assert!(untraced.trace.is_none());
+        assert!(!untraced.to_line().contains("\"trace\""));
+        let journal = SessionHost::trace_json(&server);
+        let Some(Json::Arr(entries)) = journal.get("entries") else {
+            panic!("{journal:?}")
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("trace").and_then(Json::as_str), Some("t-x"));
+
+        // The stats object grew a hist section beside the flat sums.
+        let stats = SessionHost::stats_json(&server);
+        assert!(stats.get("latency_us").is_some(), "flat sum survives");
+        let hist = stats.get("hist").expect("hist section");
+        assert_eq!(
+            hist.get("latency_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert!(hist
+            .get("compute_us")
+            .and_then(|c| c.get("parse"))
+            .is_some());
     }
 
     #[test]

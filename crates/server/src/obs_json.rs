@@ -1,0 +1,332 @@
+//! JSON encodings for the `dahlia-obs` types.
+//!
+//! `dahlia-obs` is deliberately wire-agnostic; this module owns the
+//! mapping between its plain-data types and the protocol's [`Json`]
+//! values:
+//!
+//! * histograms encode as `{"count","sum","p50","p95","p99","buckets"}`
+//!   where `buckets` is an object keyed by decimal upper bounds — a
+//!   shape chosen so the gateway's recursive sum-merge of shard stats
+//!   adds bucket counts correctly. Percentiles do **not** sum, so after
+//!   merging the gateway calls [`fix_percentiles`] to re-derive them
+//!   from the merged buckets;
+//! * spans and trace entries encode as the `trace` objects riding
+//!   responses and the `{"op":"trace"}` journal dump.
+
+use crate::json::{obj, Json};
+use dahlia_obs::prom::{sanitize_name, PromWriter};
+use dahlia_obs::{HistSnapshot, Journal, Span, TraceEntry};
+
+/// Encode a histogram snapshot. Bucket counts become an object keyed by
+/// the decimal upper bound (`{"1023": 7, ...}`); `p50`/`p95`/`p99` are
+/// pre-computed for direct consumption but must be recomputed after any
+/// merge ([`fix_percentiles`]).
+pub fn hist_to_json(snap: &HistSnapshot) -> Json {
+    let (p50, p95, p99) = snap.percentiles();
+    obj([
+        ("count", Json::Num(snap.count as f64)),
+        ("sum", Json::Num(snap.sum as f64)),
+        ("p50", Json::Num(p50)),
+        ("p95", Json::Num(p95)),
+        ("p99", Json::Num(p99)),
+        (
+            "buckets",
+            Json::Obj(
+                snap.buckets
+                    .iter()
+                    .map(|&(bound, count)| (bound.to_string(), Json::Num(count as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a histogram object produced by [`hist_to_json`] (possibly
+/// after sum-merging several of them). Returns `None` unless the value
+/// has the histogram shape (`count`, `sum`, and a `buckets` object).
+pub fn hist_from_json(v: &Json) -> Option<HistSnapshot> {
+    let sum = v.get("sum")?.as_u64()?;
+    v.get("count")?.as_u64()?;
+    let Some(Json::Obj(buckets)) = v.get("buckets") else {
+        return None;
+    };
+    let pairs = buckets
+        .iter()
+        .filter_map(|(bound, count)| Some((bound.parse::<u64>().ok()?, count.as_u64()?)));
+    Some(HistSnapshot::from_buckets(pairs, sum))
+}
+
+/// Walk a (possibly merged) stats value and rewrite the `p50`/`p95`/
+/// `p99` and `count` fields of every histogram-shaped object from its
+/// `buckets` — the only sound way to aggregate percentiles. The gateway
+/// calls this after sum-merging shard stats, where the bucket counts
+/// added correctly but the percentile fields added nonsense.
+pub fn fix_percentiles(v: &mut Json) {
+    if let Some(snap) = hist_from_json(v) {
+        let (p50, p95, p99) = snap.percentiles();
+        if let Json::Obj(fields) = v {
+            for (k, val) in fields.iter_mut() {
+                match k.as_str() {
+                    "count" => *val = Json::Num(snap.count as f64),
+                    "p50" => *val = Json::Num(p50),
+                    "p95" => *val = Json::Num(p95),
+                    "p99" => *val = Json::Num(p99),
+                    _ => {}
+                }
+            }
+        }
+        return;
+    }
+    if let Json::Obj(fields) = v {
+        for (_, val) in fields.iter_mut() {
+            fix_percentiles(val);
+        }
+    }
+}
+
+/// Render a stats object as Prometheus text exposition (0.0.4).
+///
+/// Scalar leaves become `dahlia_*`-prefixed gauges (booleans as 0/1),
+/// histogram-shaped objects become full histogram families
+/// (`_bucket`/`_sum`/`_count`), and arrays of address-labelled objects
+/// (the gateway's `shards`) become per-shard samples with a `shard`
+/// label. Strings and anything else unrenderable are skipped — a
+/// scrape never fails on an unexpected stats shape.
+pub fn stats_to_prometheus(stats: &Json) -> String {
+    let mut w = PromWriter::new();
+    walk_prom(&mut w, "dahlia", stats);
+    w.finish()
+}
+
+fn walk_prom(w: &mut PromWriter, prefix: &str, v: &Json) {
+    match v {
+        Json::Num(n) => w.sample(prefix, "gauge", &[], *n),
+        Json::Bool(b) => w.sample(prefix, "gauge", &[], if *b { 1.0 } else { 0.0 }),
+        Json::Obj(fields) => {
+            if let Some(snap) = hist_from_json(v) {
+                w.histogram(prefix, &[], &snap);
+                return;
+            }
+            for (k, val) in fields {
+                walk_prom(w, &format!("{prefix}_{}", sanitize_name(k)), val);
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                let Some(addr) = item.get("addr").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Json::Obj(fields) = item else { continue };
+                for (k, val) in fields {
+                    let value = match val {
+                        Json::Num(n) => *n,
+                        Json::Bool(b) => {
+                            if *b {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        _ => continue,
+                    };
+                    let name = format!("{prefix}_{}", sanitize_name(k));
+                    w.sample(&name, "gauge", &[("shard", addr)], value);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Encode one span as `{"name","us"[,"detail"]}`.
+pub fn span_to_json(span: &Span) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(span.name.clone())),
+        ("us".to_string(), Json::Num(span.us as f64)),
+    ];
+    if let Some(d) = &span.detail {
+        fields.push(("detail".to_string(), Json::Str(d.clone())));
+    }
+    Json::Obj(fields)
+}
+
+/// Decode a span object (ignoring unknown fields). Returns `None` when
+/// `name` or `us` is missing.
+pub fn span_from_json(v: &Json) -> Option<Span> {
+    let name = v.get("name")?.as_str()?.to_string();
+    let us = v.get("us")?.as_u64()?;
+    Some(Span {
+        name,
+        us,
+        detail: v.get("detail").and_then(Json::as_str).map(str::to_string),
+    })
+}
+
+/// Encode the `trace` object appended to a traced response:
+/// `{"id":<trace id>,"spans":[...]}`.
+pub fn trace_field(trace_id: &str, spans: &[Span]) -> Json {
+    obj([
+        ("id", Json::Str(trace_id.to_string())),
+        ("spans", Json::Arr(spans.iter().map(span_to_json).collect())),
+    ])
+}
+
+/// Encode one journal entry for the `{"op":"trace"}` dump.
+pub fn trace_entry_to_json(entry: &TraceEntry) -> Json {
+    obj([
+        ("trace", Json::Str(entry.trace.clone())),
+        ("id", Json::Str(entry.id.clone())),
+        ("stage", Json::Str(entry.stage.clone())),
+        ("ok", Json::Bool(entry.ok)),
+        ("wall_us", Json::Num(entry.wall_us as f64)),
+        (
+            "spans",
+            Json::Arr(entry.spans.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+/// Encode a whole journal: retention bound, lifetime eviction count,
+/// and the retained entries oldest-first.
+pub fn journal_to_json(journal: &Journal) -> Json {
+    let (entries, dropped) = journal.snapshot();
+    obj([
+        ("capacity", Json::Num(journal.capacity() as f64)),
+        ("dropped", Json::Num(dropped as f64)),
+        (
+            "entries",
+            Json::Arr(entries.iter().map(trace_entry_to_json).collect()),
+        ),
+    ])
+}
+
+/// Splice gateway-side spans in front of the span list of a response's
+/// `trace` object (inserting the object if the response has none — a
+/// shard that predates tracing answered). The response keeps its field
+/// order; `trace` stays the trailing field.
+pub fn prepend_trace_spans(resp: &mut Json, trace_id: &str, spans: &[Span]) {
+    if spans.is_empty() {
+        return;
+    }
+    let Json::Obj(fields) = resp else { return };
+    let mut prefixed: Vec<Json> = spans.iter().map(span_to_json).collect();
+    match fields.iter_mut().find(|(k, _)| k == "trace") {
+        Some((_, Json::Obj(trace_fields))) => {
+            match trace_fields.iter_mut().find(|(k, _)| k == "spans") {
+                Some((_, Json::Arr(existing))) => {
+                    prefixed.append(existing);
+                    *existing = prefixed;
+                }
+                _ => trace_fields.push(("spans".to_string(), Json::Arr(prefixed))),
+            }
+        }
+        _ => fields.push(("trace".to_string(), trace_field(trace_id, spans))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dahlia_obs::Histogram;
+
+    #[test]
+    fn hist_roundtrips_and_merges_through_json() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 500, 501] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let v = hist_to_json(&snap);
+        let back = hist_from_json(&v).expect("hist shape");
+        assert_eq!(back.buckets, snap.buckets);
+        assert_eq!(back.count, snap.count);
+        assert_eq!(back.sum, snap.sum);
+
+        // Sum-merging two encoded histograms (what the gateway's
+        // merge_sum does) adds bucket counts; fix_percentiles then
+        // repairs the percentile fields in place.
+        let mut merged = v.clone();
+        if let (Json::Obj(a), Json::Obj(b)) = (&mut merged, &v) {
+            for (k, val) in a.iter_mut() {
+                if let (Json::Num(x), Some(Json::Num(y))) = (
+                    &mut *val,
+                    b.iter().find(|(bk, _)| bk == k).map(|(_, bv)| bv),
+                ) {
+                    *x += y;
+                } else if let (Json::Obj(xb), Some(Json::Obj(yb))) = (
+                    &mut *val,
+                    b.iter().find(|(bk, _)| bk == k).map(|(_, bv)| bv),
+                ) {
+                    for (bk, bv) in xb.iter_mut() {
+                        if let (Json::Num(x), Some(Json::Num(y))) = (
+                            &mut *bv,
+                            yb.iter().find(|(k2, _)| k2 == bk).map(|(_, v2)| v2),
+                        ) {
+                            *x += y;
+                        }
+                    }
+                }
+            }
+        }
+        fix_percentiles(&mut merged);
+        let fixed = hist_from_json(&merged).unwrap();
+        assert_eq!(fixed.count, snap.count * 2);
+        assert_eq!(fixed.sum, snap.sum * 2);
+        // Expected percentile: the bucket-doubled snapshot *as rebuilt
+        // from the wire* (max unknown, like the real merge path).
+        let doubled =
+            HistSnapshot::from_buckets(snap.buckets.iter().map(|&(b, c)| (b, c * 2)), snap.sum * 2);
+        assert_eq!(
+            merged.get("p99").and_then(Json::as_f64).unwrap(),
+            doubled.quantile(0.99),
+            "percentiles re-derived from merged buckets"
+        );
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let s = Span::with_detail("stage:parse", 42, "computed");
+        assert_eq!(span_from_json(&span_to_json(&s)), Some(s));
+        let bare = Span::new("queue", 7);
+        assert_eq!(span_from_json(&span_to_json(&bare)), Some(bare));
+    }
+
+    #[test]
+    fn prepend_inserts_or_splices() {
+        let shard_span = Span::with_detail("stage:est", 10, "memory");
+        let gw = [Span::new("shard:127.0.0.1:1", 33)];
+
+        // Response already carrying a trace: gateway spans go first.
+        let mut resp = obj([
+            ("id", Json::Str("r1".into())),
+            ("trace", trace_field("t1", &[shard_span])),
+        ]);
+        prepend_trace_spans(&mut resp, "t1", &gw);
+        let spans = resp.get("trace").unwrap().get("spans").unwrap();
+        let Json::Arr(spans) = spans else { panic!() };
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0].get("name").unwrap().as_str(),
+            Some("shard:127.0.0.1:1")
+        );
+
+        // No trace object yet: one is appended.
+        let mut bare = obj([("id", Json::Str("r2".into()))]);
+        prepend_trace_spans(&mut bare, "t9", &gw);
+        assert_eq!(
+            bare.get("trace").unwrap().get("id").unwrap().as_str(),
+            Some("t9")
+        );
+    }
+
+    #[test]
+    fn fix_percentiles_leaves_non_histograms_alone() {
+        let mut v = obj([
+            ("requests", Json::Num(3.0)),
+            ("nested", obj([("p99", Json::Num(123.0))])),
+        ]);
+        let before = v.emit();
+        fix_percentiles(&mut v);
+        assert_eq!(v.emit(), before, "no histogram shape, no rewrites");
+    }
+}

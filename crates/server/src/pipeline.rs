@@ -12,15 +12,21 @@
 //! are resolved recursively through the store, so each prerequisite is
 //! itself cached and single-flighted.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dahlia_core::diag::Diagnostic;
 use dahlia_core::{CheckReport, Program};
+use dahlia_obs::Span;
 use hls_sim::digest::Fnv;
 use hls_sim::{Estimate, Kernel};
 
 use crate::store::{CacheValue, Key, Store, StoreConfig, StoreStats};
+
+/// Span collector threaded through a traced request's stage recursion.
+/// One per request; the mutex only serializes the request's own thread
+/// (prerequisites resolve on the calling thread).
+type SpanSink = Mutex<Vec<Span>>;
 
 /// Number of pipeline stages (array-sized counters index by
 /// [`Stage::index`]).
@@ -192,6 +198,12 @@ impl Pipeline {
         self.store.stats()
     }
 
+    /// Per-stage compute-cost histogram snapshots (µs), indexed by
+    /// [`Stage::index`].
+    pub fn compute_hists(&self) -> [dahlia_obs::HistSnapshot; STAGE_COUNT] {
+        self.store.compute_hists()
+    }
+
     /// Block until the persistent tier (if any) has written everything.
     pub fn flush(&self) {
         self.store.flush()
@@ -212,6 +224,33 @@ impl Pipeline {
     /// no compute of its own (pure cache hit / single-flight join) —
     /// note prerequisites may still have computed on this call.
     pub fn artifact(&self, source: &str, stage: Stage, opts: &Options) -> (CacheValue, bool) {
+        self.artifact_inner(source, stage, opts, None)
+    }
+
+    /// [`Pipeline::artifact`] with a per-stage span breakdown: one span
+    /// per stage lookup this request touched, in completion order, each
+    /// annotated with the cache tier that answered (`memory`, `disk`,
+    /// `join`, `computed`). Span times are disjoint — a stage's span
+    /// charges only its own work, never its prerequisites' — so the
+    /// spans sum to at most the request's wall latency.
+    pub fn artifact_traced(
+        &self,
+        source: &str,
+        stage: Stage,
+        opts: &Options,
+    ) -> (CacheValue, bool, Vec<Span>) {
+        let sink = SpanSink::default();
+        let (value, cached) = self.artifact_inner(source, stage, opts, Some(&sink));
+        (value, cached, sink.into_inner().unwrap())
+    }
+
+    fn artifact_inner(
+        &self,
+        source: &str,
+        stage: Stage,
+        opts: &Options,
+        sink: Option<&SpanSink>,
+    ) -> (CacheValue, bool) {
         let key = Key {
             source: source_digest(source),
             stage,
@@ -224,69 +263,117 @@ impl Pipeline {
                 0
             },
         };
-        self.store.get_or_compute(key, || {
+        // Spans must not double-charge time: this stage's lookup wall
+        // time includes any prerequisites computed inside the closure,
+        // which record their own spans. Charging this stage only the
+        // *remainder* keeps spans disjoint, so their sum telescopes to
+        // the root lookup's wall time (≤ the request's wall latency).
+        let charged_before: u64 =
+            sink.map_or(0, |s| s.lock().unwrap().iter().map(|span| span.us).sum());
+        let t0 = Instant::now();
+        let (value, tier) = self.store.get_or_compute_tiered(key, || {
             if let Some(d) = self.delay {
                 std::thread::sleep(d);
             }
-            self.compute(source, stage, opts)
-        })
+            self.compute(source, stage, opts, sink)
+        });
+        if let Some(sink) = sink {
+            let total_us = (t0.elapsed().as_nanos() / 1_000) as u64;
+            let name = format!("stage:{}", stage.name());
+            let mut spans = sink.lock().unwrap();
+            let charged_during: u64 =
+                spans.iter().map(|span| span.us).sum::<u64>() - charged_before;
+            // A stage can be looked up more than once per request (e.g.
+            // `check`'s compute re-fetches the already-recorded parse
+            // artifact). Only the first lookup gets a span; re-lookup
+            // overhead folds into the stage that caused it.
+            if !spans.iter().any(|span| span.name == name) {
+                spans.push(Span::with_detail(
+                    name,
+                    total_us.saturating_sub(charged_during),
+                    tier.name(),
+                ));
+            }
+        }
+        (value, tier.cached())
     }
 
-    fn ast(&self, source: &str, opts: &Options) -> Result<Arc<Program>, Diagnostic> {
-        match self.artifact(source, Stage::Parse, opts).0? {
+    fn ast(
+        &self,
+        source: &str,
+        opts: &Options,
+        sink: Option<&SpanSink>,
+    ) -> Result<Arc<Program>, Diagnostic> {
+        match self.artifact_inner(source, Stage::Parse, opts, sink).0? {
             Artifact::Ast(p) => Ok(p),
             other => unreachable!("parse stage produced {other:?}"),
         }
     }
 
-    fn checked_ast(&self, source: &str, opts: &Options) -> Result<Arc<Program>, Diagnostic> {
-        let ast = self.ast(source, opts)?;
-        self.artifact(source, Stage::Check, opts).0?;
+    fn checked_ast(
+        &self,
+        source: &str,
+        opts: &Options,
+        sink: Option<&SpanSink>,
+    ) -> Result<Arc<Program>, Diagnostic> {
+        let ast = self.ast(source, opts, sink)?;
+        self.artifact_inner(source, Stage::Check, opts, sink).0?;
         Ok(ast)
     }
 
-    fn ir(&self, source: &str, opts: &Options) -> Result<Arc<Kernel>, Diagnostic> {
-        match self.artifact(source, Stage::Lower, opts).0? {
+    fn ir(
+        &self,
+        source: &str,
+        opts: &Options,
+        sink: Option<&SpanSink>,
+    ) -> Result<Arc<Kernel>, Diagnostic> {
+        match self.artifact_inner(source, Stage::Lower, opts, sink).0? {
             Artifact::Ir(k) => Ok(k),
             other => unreachable!("lower stage produced {other:?}"),
         }
     }
 
-    fn compute(&self, source: &str, stage: Stage, opts: &Options) -> CacheValue {
+    fn compute(
+        &self,
+        source: &str,
+        stage: Stage,
+        opts: &Options,
+        sink: Option<&SpanSink>,
+    ) -> CacheValue {
         match stage {
             Stage::Parse => match dahlia_core::parse(source) {
                 Ok(p) => Ok(Artifact::Ast(Arc::new(p))),
                 Err(e) => Err(e.diagnostic()),
             },
             Stage::Check => {
-                let ast = self.ast(source, opts)?;
+                let ast = self.ast(source, opts, sink)?;
                 match dahlia_core::typecheck(&ast) {
                     Ok(report) => Ok(Artifact::Check(Arc::new(report))),
                     Err(e) => Err(e.diagnostic()),
                 }
             }
             Stage::Desugar => {
-                let ast = self.checked_ast(source, opts)?;
+                let ast = self.checked_ast(source, opts, sink)?;
                 Ok(Artifact::Desugared(Arc::new(
                     dahlia_core::desugar::desugar(&ast),
                 )))
             }
             Stage::Lower => {
-                let ast = self.checked_ast(source, opts)?;
+                let ast = self.checked_ast(source, opts, sink)?;
                 Ok(Artifact::Ir(Arc::new(dahlia_backend::lower(
                     &ast,
                     &opts.kernel_name,
                 ))))
             }
             Stage::Cpp => {
-                let ast = self.checked_ast(source, opts)?;
+                let ast = self.checked_ast(source, opts, sink)?;
                 Ok(Artifact::Cpp(Arc::new(dahlia_backend::emit_cpp(
                     &ast,
                     &opts.kernel_name,
                 ))))
             }
             Stage::Estimate => {
-                let ir = self.ir(source, opts)?;
+                let ir = self.ir(source, opts, sink)?;
                 Ok(Artifact::Estimate(Arc::new(hls_sim::estimate(&ir))))
             }
         }
@@ -379,6 +466,49 @@ mod tests {
         };
         assert!(a.contains("void alpha("));
         assert!(b.contains("void beta("));
+    }
+
+    #[test]
+    fn traced_estimate_spans_every_stage_and_sums_under_wall() {
+        let p = Pipeline::new();
+        let opts = Options::named("k");
+        let t0 = std::time::Instant::now();
+        let (v, cached, spans) = p.artifact_traced(GOOD, Stage::Estimate, &opts);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        assert!(v.is_ok());
+        assert!(!cached);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["stage:parse", "stage:check", "stage:lower", "stage:est"],
+            "cold est touches the dependency chain in completion order"
+        );
+        assert!(
+            spans
+                .iter()
+                .all(|s| s.detail.as_deref() == Some("computed")),
+            "{spans:?}"
+        );
+        let sum: u64 = spans.iter().map(|s| s.us).sum();
+        assert!(sum <= wall_us, "spans sum {sum} > wall {wall_us}");
+
+        // Warm repeat: one memory-tier span for the terminal stage only.
+        let (_, cached, spans) = p.artifact_traced(GOOD, Stage::Estimate, &opts);
+        assert!(cached);
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].name, "stage:est");
+        assert_eq!(spans[0].detail.as_deref(), Some("memory"));
+    }
+
+    #[test]
+    fn traced_failure_still_produces_spans() {
+        let p = Pipeline::new();
+        let (v, _, spans) = p.artifact_traced(ILL_TYPED, Stage::Estimate, &Options::default());
+        assert!(v.is_err());
+        assert!(
+            spans.iter().any(|s| s.name == "stage:check"),
+            "the failing stage appears in the breakdown: {spans:?}"
+        );
     }
 
     #[test]

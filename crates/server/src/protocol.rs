@@ -30,6 +30,11 @@ pub struct Request {
     pub source: String,
     /// Options participating in the cache key.
     pub options: Options,
+    /// Trace id, when the caller asked for a span breakdown. Sent as
+    /// `"trace":"<id>"` (or `"trace":true` to have the service mint an
+    /// id); propagated gateway → shard, echoed in the response's
+    /// `trace` object, and retained in the host's trace journal.
+    pub trace: Option<String>,
 }
 
 impl Request {
@@ -45,7 +50,14 @@ impl Request {
             stage,
             source: source.into(),
             options: Options::named(kernel_name),
+            trace: None,
         }
+    }
+
+    /// The same request with tracing enabled under `trace_id`.
+    pub fn traced(mut self, trace_id: impl Into<String>) -> Request {
+        self.trace = Some(trace_id.into());
+        self
     }
 
     /// An `est` request with default options.
@@ -56,12 +68,19 @@ impl Request {
     /// Encode as a request object (the client side of the protocol;
     /// [`Request::from_json`] is the server side).
     pub fn to_json(&self) -> Json {
-        obj([
-            ("id", Json::Str(self.id.clone())),
-            ("stage", Json::Str(self.stage.name().into())),
-            ("name", Json::Str(self.options.kernel_name.clone())),
-            ("source", Json::Str(self.source.clone())),
-        ])
+        let mut fields = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("stage".to_string(), Json::Str(self.stage.name().into())),
+            (
+                "name".to_string(),
+                Json::Str(self.options.kernel_name.clone()),
+            ),
+            ("source".to_string(), Json::Str(self.source.clone())),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), Json::Str(trace.clone())));
+        }
+        Json::Obj(fields)
     }
 
     /// [`Request::to_json`], emitted as a compact line.
@@ -97,11 +116,19 @@ impl Request {
             .ok_or("missing `source`")?
             .to_string();
         let name = v.get("name").and_then(Json::as_str).unwrap_or("kernel");
+        let trace = match v.get("trace") {
+            Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
+            // `"trace":true` asks the service to mint the id.
+            Some(Json::Bool(true)) => Some(dahlia_obs::next_trace_id()),
+            Some(Json::Bool(false)) | Some(Json::Null) | None => None,
+            Some(other) => return Err(format!("bad trace: {}", other.emit())),
+        };
         Ok(Request {
             id,
             stage,
             source,
             options: Options::named(name),
+            trace,
         })
     }
 }
@@ -120,6 +147,11 @@ pub struct Response {
     pub latency_us: u64,
     /// The artifact, or the diagnostic that rejected the program.
     pub value: CacheValue,
+    /// The span breakdown for a traced request
+    /// (`{"id":...,"spans":[...]}`), appended as the trailing `trace`
+    /// field. `None` for untraced requests — the response line is then
+    /// byte-identical to the pre-tracing protocol.
+    pub trace: Option<Json>,
 }
 
 impl Response {
@@ -157,6 +189,9 @@ impl Response {
                     ("col", Json::Num(d.span.col as f64)),
                 ]),
             )),
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".into(), trace.clone()));
         }
         Json::Obj(fields)
     }
@@ -248,6 +283,31 @@ mod tests {
         let r = Request::new("c7", Stage::Cpp, "let x = 1;", "scale");
         let back = Request::from_line(&r.to_line(), 0).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn trace_field_decodes_roundtrips_and_stays_optional() {
+        // Explicit id rides the wire verbatim, both directions.
+        let r = Request::new("c7", Stage::Cpp, "let x = 1;", "scale").traced("t-abc");
+        assert!(
+            r.to_line().ends_with(r#""trace":"t-abc"}"#),
+            "{}",
+            r.to_line()
+        );
+        let back = Request::from_line(&r.to_line(), 0).unwrap();
+        assert_eq!(back, r);
+
+        // `"trace":true` mints an id; false/null/absent disable tracing.
+        let minted = Request::from_line(r#"{"source":"let x = 1;","trace":true}"#, 0).unwrap();
+        assert!(minted.trace.is_some());
+        for line in [
+            r#"{"source":"let x = 1;","trace":false}"#,
+            r#"{"source":"let x = 1;","trace":null}"#,
+            r#"{"source":"let x = 1;"}"#,
+        ] {
+            assert_eq!(Request::from_line(line, 0).unwrap().trace, None, "{line}");
+        }
+        assert!(Request::from_line(r#"{"source":"","trace":7}"#, 0).is_err());
     }
 
     #[test]

@@ -79,6 +79,25 @@ pub trait SessionHost: Send + Sync {
     /// the `"stats"` envelope).
     fn stats_json(&self) -> Json;
 
+    /// The trace-journal object answered to `{"op":"trace"}` (the
+    /// payload under the `"trace"` envelope): retention capacity,
+    /// lifetime drop count, and the retained traced requests. The
+    /// default is an empty journal for hosts that keep none.
+    fn trace_json(&self) -> Json {
+        obj([
+            ("capacity", Json::Num(0.0)),
+            ("dropped", Json::Num(0.0)),
+            ("entries", Json::Arr(Vec::new())),
+        ])
+    }
+
+    /// The liveness object served by `GET /healthz` (merged with the
+    /// transport's uptime field). A gateway overrides this to add its
+    /// live/draining/dead shard counts.
+    fn health_json(&self) -> Json {
+        obj([("ok", Json::Bool(true))])
+    }
+
     /// Dispatch a stats request off the session thread. The default
     /// answers inline, which is right when [`SessionHost::stats_json`]
     /// only reads local counters; hosts whose stats involve I/O (a
@@ -101,6 +120,7 @@ pub trait SessionHost: Send + Sync {
 /// One decoded protocol line: a control op or a compile request.
 pub(crate) enum Control {
     Stats,
+    Trace,
     Shutdown,
     Admin(AdminOp),
     Req(Request),
@@ -118,6 +138,7 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
     let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     match v.get("op").and_then(Json::as_str) {
         Some("stats") => Ok(Control::Stats),
+        Some("trace") => Ok(Control::Trace),
         Some("shutdown") => Ok(Control::Shutdown),
         Some("drain") => Ok(Control::Admin(AdminOp::Drain {
             shard: parse_admin_shard(&v, "drain")?,
@@ -242,6 +263,11 @@ where
                         let _ = tx.send(obj([("stats", stats)]).emit());
                     }));
                     Ok(())
+                }
+                Ok(Control::Trace) => {
+                    // The journal is in-process state; answering inline
+                    // (like stats' default) never blocks on I/O.
+                    tx.send(obj([("trace", host.trace_json())]).emit())
                 }
                 Ok(Control::Shutdown) => {
                     if let Some(flag) = shutdown {

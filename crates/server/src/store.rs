@@ -34,6 +34,7 @@ use crate::disk::DiskStats;
 use crate::evict::{EvictConfig, EvictStats, Lru};
 use crate::pipeline::{Artifact, Stage, STAGE_COUNT};
 use dahlia_core::diag::{Diagnostic, Phase};
+use dahlia_obs::{HistSnapshot, Histogram, Tier};
 
 /// What the cache stores per key: a stage artifact or the diagnostic
 /// that rejected the program (both deterministic, both shareable).
@@ -139,6 +140,7 @@ pub struct Store {
     joins_by_stage: [AtomicU64; STAGE_COUNT],
     executions: [AtomicU64; STAGE_COUNT],
     compute_nanos: [AtomicU64; STAGE_COUNT],
+    compute_hist: [Histogram; STAGE_COUNT],
 }
 
 impl Default for Store {
@@ -167,6 +169,7 @@ impl Store {
             joins_by_stage: Default::default(),
             executions: Default::default(),
             compute_nanos: Default::default(),
+            compute_hist: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -225,11 +228,24 @@ impl Store {
         key: Key,
         compute: impl FnOnce() -> CacheValue,
     ) -> (CacheValue, bool) {
+        let (value, tier) = self.get_or_compute_tiered(key, compute);
+        (value, tier.cached())
+    }
+
+    /// [`Store::get_or_compute`], additionally reporting **which tier**
+    /// answered: memory hit, disk read-through, single-flight join, or
+    /// a fresh computation. Request tracing attributes each stage
+    /// lookup with this.
+    pub fn get_or_compute_tiered(
+        &self,
+        key: Key,
+        compute: impl FnOnce() -> CacheValue,
+    ) -> (CacheValue, Tier) {
         let flight = {
             let mut inner = self.inner.lock().unwrap();
             if let Some(v) = inner.lru.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return (v, true);
+                return (v, Tier::Memory);
             }
             if let Some(f) = inner.inflight.get(&key) {
                 let f = Arc::clone(f);
@@ -240,7 +256,7 @@ impl Store {
                 while slot.is_none() {
                     slot = f.done.wait(slot).unwrap();
                 }
-                return (slot.as_ref().unwrap().clone(), true);
+                return (slot.as_ref().unwrap().clone(), Tier::Join);
             }
             let f = Arc::new(Flight {
                 result: Mutex::new(None),
@@ -255,7 +271,7 @@ impl Store {
         if let Some(tier) = &self.tier {
             if let Some(value) = tier.load(&key) {
                 self.publish(key, &flight, value.clone());
-                return (value, true);
+                return (value, Tier::Disk);
             }
         }
 
@@ -282,8 +298,11 @@ impl Store {
             },
         );
 
-        self.compute_nanos[key.stage.index()]
-            .fetch_add(compute_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let nanos = compute_start.elapsed().as_nanos() as u64;
+        self.compute_nanos[key.stage.index()].fetch_add(nanos, Ordering::Relaxed);
+        // Beside the flat sum: the per-stage compute-cost distribution
+        // (microseconds), for the stats `hist` section and /metrics.
+        self.compute_hist[key.stage.index()].record(nanos / 1_000);
 
         // Write-behind to the persistent tier — but never persist
         // internal diagnostics: a caught panic is a tooling bug, not a
@@ -295,7 +314,14 @@ impl Store {
             }
         }
         self.publish(key, &flight, value.clone());
-        (value, false)
+        (value, Tier::Computed)
+    }
+
+    /// Snapshots of the per-stage compute-cost histograms (µs), indexed
+    /// by [`Stage::index`]. Stages that never computed yield empty
+    /// snapshots.
+    pub fn compute_hists(&self) -> [HistSnapshot; STAGE_COUNT] {
+        std::array::from_fn(|i| self.compute_hist[i].snapshot())
     }
 
     /// Install a resolved value: memory tier, then wake all joiners.
@@ -460,6 +486,20 @@ mod tests {
         let (v2, cached2) = store.get_or_compute(k, || panic!("must not recompute"));
         assert!(cached2);
         assert_eq!(v2.unwrap_err().code, "internal/panic");
+    }
+
+    #[test]
+    fn tiered_lookup_reports_which_tier_answered() {
+        let store = Store::new();
+        let (_, tier) = store.get_or_compute_tiered(key(31), value);
+        assert_eq!(tier, Tier::Computed);
+        let (_, tier) = store.get_or_compute_tiered(key(31), || panic!("cached"));
+        assert_eq!(tier, Tier::Memory);
+        // The per-stage compute histogram counted exactly the one
+        // execution, none of the hits.
+        let hists = store.compute_hists();
+        assert_eq!(hists[Stage::Parse.index()].count, 1);
+        assert_eq!(hists[Stage::Check.index()].count, 0);
     }
 
     #[test]

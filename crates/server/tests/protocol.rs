@@ -154,10 +154,29 @@ fn stats_line_and_protocol_errors() {
             "compute_nanos",
             "intern",
             "evict",
-            "disk"
+            "disk",
+            "hist"
         ]
     );
     assert_eq!(s.get("requests").and_then(Json::as_u64), Some(1));
+    // The hist section carries distributions beside the flat sums:
+    // request latency, pool queue wait, per-stage compute cost.
+    let hist = s.get("hist").unwrap();
+    assert_eq!(hist.keys(), vec!["latency_us", "queue_us", "compute_us"]);
+    let lat = hist.get("latency_us").unwrap();
+    assert_eq!(
+        lat.keys(),
+        vec!["count", "sum", "p50", "p95", "p99", "buckets"]
+    );
+    assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        hist.get("compute_us")
+            .unwrap()
+            .get("parse")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
     let stage_keys = vec!["parse", "check", "desugar", "lower", "cpp", "est"];
     let ex = s.get("executions").unwrap();
     assert_eq!(ex.keys(), stage_keys);

@@ -16,6 +16,9 @@
 //! * [`dse`] — design spaces, Pareto frontiers, estimation providers,
 //!   reports;
 //! * [`kernels`] — the 16 MachSuite benchmark ports;
+//! * [`obs`] — observability primitives shared by the serving stack:
+//!   lock-free log-bucketed histograms, request trace spans, the
+//!   bounded trace journal, Prometheus text exposition;
 //! * [`gateway`] — the sharded, fault-tolerant cluster front-end:
 //!   rendezvous routing by source digest, pooled pipelined shard
 //!   clients, health checks, local fallback (`dahliac gateway`);
@@ -93,6 +96,7 @@ pub use dahlia_core as core;
 pub use dahlia_dse as dse;
 pub use dahlia_gateway as gateway;
 pub use dahlia_kernels as kernels;
+pub use dahlia_obs as obs;
 pub use dahlia_server as server;
 pub use filament;
 pub use hls_sim as hls;

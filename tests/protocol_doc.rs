@@ -1,8 +1,8 @@
-//! Golden tests for `docs/PROTOCOL.md`: the spec's JSON examples are
-//! extracted and checked against the real codec, so the document
-//! cannot drift from the implementation.
+//! Golden tests for `docs/PROTOCOL.md` and `docs/OBSERVABILITY.md`:
+//! the specs' JSON examples are extracted and checked against the real
+//! codec, so the documents cannot drift from the implementation.
 //!
-//! Conventions (documented in the spec itself):
+//! Conventions (documented in the specs themselves):
 //!
 //! * every fenced ```` ```jsonl ```` block is an example; lines are
 //!   prefixed `C: ` (client→server), `S: ` (server→client), or `C! `
@@ -13,12 +13,15 @@
 //!   [`Request`] codec byte-for-byte;
 //! * the block tagged `golden-session` is replayed against a real
 //!   in-process [`Server`] in strict stdio mode and compared
-//!   response-for-response, with only `latency_us` normalized.
+//!   response-for-response, with only `latency_us` normalized;
+//! * every fenced ```` ```prometheus ```` block must be valid text
+//!   exposition (checked with the [`dahlia_obs::prom`] validators).
 
 use dahlia_server::json::Json;
 use dahlia_server::{Request, Server};
 
 const SPEC: &str = include_str!("../docs/PROTOCOL.md");
+const OBS_SPEC: &str = include_str!("../docs/OBSERVABILITY.md");
 
 /// One extracted example block: its fence info string and its lines.
 struct Block {
@@ -33,10 +36,28 @@ enum Prefix {
     ClientRaw,
 }
 
+/// The jsonl blocks from both documents: PROTOCOL.md first, then
+/// OBSERVABILITY.md. Every convention test runs over the union.
 fn extract_blocks() -> Vec<Block> {
+    let protocol = extract_blocks_from("PROTOCOL.md", SPEC);
+    assert!(
+        protocol.len() >= 6,
+        "expected PROTOCOL.md's example blocks, found {}",
+        protocol.len()
+    );
+    let obs = extract_blocks_from("OBSERVABILITY.md", OBS_SPEC);
+    assert!(
+        obs.len() >= 2,
+        "expected OBSERVABILITY.md's example blocks, found {}",
+        obs.len()
+    );
+    protocol.into_iter().chain(obs).collect()
+}
+
+fn extract_blocks_from(doc: &str, spec: &str) -> Vec<Block> {
     let mut blocks = Vec::new();
     let mut current: Option<Block> = None;
-    for line in SPEC.lines() {
+    for line in spec.lines() {
         if let Some(info) = line.strip_prefix("```") {
             match current.take() {
                 Some(block) => blocks.push(block),
@@ -67,18 +88,13 @@ fn extract_blocks() -> Vec<Block> {
             } else if let Some(rest) = line.strip_prefix("C! ") {
                 (Prefix::ClientRaw, rest)
             } else {
-                panic!("unprefixed line in a jsonl block: `{line}`");
+                panic!("unprefixed line in a jsonl block of {doc}: `{line}`");
             };
             block.lines.push((prefix, rest.to_string()));
         }
     }
-    assert!(current.is_none(), "unclosed fence in PROTOCOL.md");
+    assert!(current.is_none(), "unclosed fence in {doc}");
     blocks.retain(|b| !b.info.is_empty());
-    assert!(
-        blocks.len() >= 6,
-        "expected the spec's example blocks, found {}",
-        blocks.len()
-    );
     blocks
 }
 
@@ -152,7 +168,7 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
                 continue;
             };
             assert!(
-                matches!(op, "stats" | "shutdown" | "drain" | "undrain"),
+                matches!(op, "stats" | "trace" | "shutdown" | "drain" | "undrain"),
                 "spec documents unknown op `{op}`"
             );
             if matches!(op, "drain" | "undrain") {
@@ -171,7 +187,7 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
             ops.push(op.to_string());
         }
     }
-    for required in ["stats", "shutdown", "drain", "undrain"] {
+    for required in ["stats", "trace", "shutdown", "drain", "undrain"] {
         assert!(
             ops.iter().any(|o| o == required),
             "spec has no example for op `{required}`"
@@ -203,6 +219,70 @@ fn response_examples_pin_the_field_order() {
         }
     }
     assert!(seen >= 4, "expected several compile-response examples");
+}
+
+#[test]
+fn the_exposition_examples_are_valid_prometheus_text() {
+    // ```prometheus fences in OBSERVABILITY.md must hold lines a real
+    // scraper would accept: `# TYPE <name> <kind>` comments and
+    // `name{labels} value` samples, names and labels validated by the
+    // same code that writes the live endpoint's output.
+    let mut samples = 0;
+    let mut in_fence = false;
+    for line in OBS_SPEC.lines() {
+        if let Some(info) = line.strip_prefix("```") {
+            in_fence = !in_fence && info.trim() == "prometheus";
+            continue;
+        }
+        if !in_fence || line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# TYPE ") {
+            let mut parts = comment.split_whitespace();
+            let name = parts.next().expect("family name");
+            assert!(
+                dahlia_obs::prom::valid_metric_name(name),
+                "bad family name in exposition example: `{line}`"
+            );
+            assert!(
+                matches!(parts.next(), Some("gauge" | "counter" | "histogram")),
+                "unknown family kind in exposition example: `{line}`"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample line");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            dahlia_obs::prom::valid_metric_name(name),
+            "bad metric name in exposition example: `{line}`"
+        );
+        if let Some(labels) = name_part
+            .strip_prefix(name)
+            .filter(|labels| !labels.is_empty())
+        {
+            let inner = labels
+                .strip_prefix('{')
+                .and_then(|l| l.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("bad label block: `{line}`"));
+            for pair in inner.split(',') {
+                let (label, quoted) = pair.split_once('=').expect("label=\"value\"");
+                assert!(
+                    dahlia_obs::prom::valid_label_name(label),
+                    "bad label name in exposition example: `{line}`"
+                );
+                assert!(
+                    quoted.starts_with('"') && quoted.ends_with('"'),
+                    "unquoted label value: `{line}`"
+                );
+            }
+        }
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparsable sample value: `{line}`"));
+        samples += 1;
+    }
+    assert!(!in_fence, "unclosed prometheus fence in OBSERVABILITY.md");
+    assert!(samples >= 8, "expected a real exposition excerpt");
 }
 
 #[test]
