@@ -17,6 +17,10 @@
 //!   the latency floor of the routing layer itself;
 //! * `warm_2shard_traced` — the same warm batch with request-scoped
 //!   tracing on every request: the observability overhead headline;
+//! * `warm_2shard_slowlog` — the warm batch with the slow threshold at
+//!   0 ms, so every untraced request is captured into the slow-request
+//!   log: pins the cost of the always-on span recording plus a
+//!   worst-case capture rate;
 //! * `warm_local_fallback` — the empty-cluster degenerate case, served
 //!   by the gateway's embedded local server.
 //!
@@ -49,10 +53,16 @@ fn cold_scenario(shards: usize) -> LatencyStats {
 }
 
 /// Warm batch through `shards` shards: one throwaway round warms every
-/// shard, then `rounds` measured rounds, traced or not.
-fn warm_scenario(shards: usize, rounds: usize, traced: bool) -> LatencyStats {
+/// shard, then `rounds` measured rounds, traced or not. With
+/// `capture_all`, the slow threshold drops to 0 ms so the slow-request
+/// log captures every request — the worst-case capture overhead.
+fn warm_scenario(shards: usize, rounds: usize, traced: bool, capture_all: bool) -> LatencyStats {
     let cluster = spawn_shards(shards, SHARD_THREADS);
-    let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+    let mut cfg = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone()));
+    if capture_all {
+        cfg = cfg.slow_threshold_ms(0);
+    }
+    let gateway = cfg.build();
     let requests = machsuite_requests();
     drive(&gateway, &requests, SUBMITTERS);
     let mut samples = Vec::new();
@@ -92,10 +102,17 @@ fn main() {
         for &shards in widths {
             scenarios.push((
                 format!("warm_{shards}shard"),
-                warm_scenario(shards, rounds, false),
+                warm_scenario(shards, rounds, false, false),
             ));
         }
-        scenarios.push(("warm_2shard_traced".into(), warm_scenario(2, rounds, true)));
+        scenarios.push((
+            "warm_2shard_traced".into(),
+            warm_scenario(2, rounds, true, false),
+        ));
+        scenarios.push((
+            "warm_2shard_slowlog".into(),
+            warm_scenario(2, rounds, false, true),
+        ));
         scenarios.push((
             "warm_local_fallback".into(),
             local_fallback_scenario(rounds),

@@ -10,6 +10,7 @@
 //! dahliac batch  [opts] [files...]    compile a batch through the service
 //! dahliac gateway [opts]              sharded cluster front-end over shards
 //! dahliac gateway-admin <op> [opts]   drain/undrain shards on a live gateway
+//! dahliac top    --connect ADDR       live load console over a server/gateway
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
@@ -37,7 +38,7 @@
 //! | 5 | network error (connect/serve failures over the socket transport) |
 
 use std::collections::HashMap;
-use std::io::{BufRead as _, Read as _};
+use std::io::{BufRead as _, Read as _, Write as _};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -72,6 +73,7 @@ const USAGE: &str = "usage: dahliac <command> [args]
   dahliac serve  [--listen ADDR] [--pipeline] [--threads N]
                  [--cache-dir DIR] [--max-entries N] [--max-bytes N]
                  [--cache-gc-max-bytes N] [--metrics ADDR]
+                 [--trace-journal N] [--slow-threshold-ms MS]
                                       JSON-lines compile service: stdio by
                                       default (strict order), `--pipeline`
                                       for out-of-order stdio responses,
@@ -79,19 +81,26 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       (stop it with {\"op\":\"shutdown\"});
                                       --metrics serves GET /metrics (JSON,
                                       or Prometheus text with
-                                      ?format=prometheus) and GET /healthz
+                                      ?format=prometheus) and GET /healthz;
+                                      --trace-journal bounds the trace ring
+                                      buffer; requests slower than
+                                      --slow-threshold-ms land in the slow
+                                      log ({\"op\":\"slowlog\"}) with spans
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
                  [--cache-dir DIR] [--connect ADDR] [--shutdown]
-                 [--verbose] [--trace] [files...]
+                 [--verbose] [--trace] [--slowlog] [files...]
                                       compile a batch through the service
                                       (in-process by default; --connect
                                       drives a remote `serve --listen`;
                                       --shutdown with no inputs just stops
                                       the remote); --trace requests a span
                                       breakdown per response and dumps the
-                                      trace journal after the batch
+                                      trace journal after the batch;
+                                      --slowlog dumps the slow-request log
+                                      as the last output line
   dahliac gateway --listen ADDR [--shards a1[=W],a2,...] [--spawn-workers N]
                  [--replication N] [--threads N] [--metrics ADDR]
+                 [--trace-journal N] [--slow-threshold-ms MS]
                                       cluster front-end: routes requests
                                       across `serve --listen` shards by
                                       source digest (weighted rendezvous
@@ -102,7 +111,19 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       fans new artifacts out to the top-N
                                       shards so failover serves them warm;
                                       --spawn-workers forks N local shard
-                                      processes on ephemeral ports
+                                      processes on ephemeral ports;
+                                      --trace-journal / --slow-threshold-ms
+                                      configure the gateway's own journal
+                                      and slow-request capture
+  dahliac top    --connect ADDR [--interval-ms N] [--once]
+                                      live cluster console: polls the
+                                      windowed stats of a server or gateway
+                                      and redraws per-shard routed/s,
+                                      err/s, windowed p99, queue depth,
+                                      warm keys and drain state beside the
+                                      cluster totals; --once prints a
+                                      single machine-readable JSON snapshot
+                                      and exits (for scripts and CI)
   dahliac gateway-admin <drain|undrain> --connect ADDR SHARD [--weight W]
                                       administer a live gateway: `drain`
                                       routes new keys past SHARD and
@@ -129,6 +150,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args[1..]),
         "gateway" => cmd_gateway(&args[1..]),
         "gateway-admin" => cmd_gateway_admin(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -314,6 +336,21 @@ fn parse_positive(flag: &str, raw: Option<String>) -> Result<Option<usize>, Exit
     }
 }
 
+/// Like [`parse_positive`] but zero is legal — for thresholds where 0
+/// means "capture everything" (`--slow-threshold-ms 0`).
+fn parse_nonneg(flag: &str, raw: Option<String>) -> Result<Option<u64>, ExitCode> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            _ => {
+                eprintln!("dahliac: {flag} needs a non-negative integer, got `{v}`");
+                Err(ExitCode::from(EXIT_USAGE))
+            }
+        },
+    }
+}
+
 /// Service-facing options shared by `serve` and `batch`.
 struct ServiceOpts {
     threads: Option<usize>,
@@ -324,6 +361,8 @@ struct ServiceOpts {
     max_entries: Option<usize>,
     max_bytes: Option<usize>,
     cache_gc_max_bytes: Option<usize>,
+    trace_journal: Option<usize>,
+    slow_threshold_ms: Option<u64>,
 }
 
 impl ServiceOpts {
@@ -336,6 +375,8 @@ impl ServiceOpts {
             "--max-entries",
             "--max-bytes",
             "--cache-gc-max-bytes",
+            "--trace-journal",
+            "--slow-threshold-ms",
         ] {
             match take_flag(args, f) {
                 Ok(v) => flags.push(v),
@@ -345,13 +386,19 @@ impl ServiceOpts {
                 }
             }
         }
-        let [threads, cache_dir, max_entries, max_bytes, gc_max] = flags.try_into().unwrap();
+        let [threads, cache_dir, max_entries, max_bytes, gc_max, journal, slow_ms] =
+            flags.try_into().unwrap();
         Ok(ServiceOpts {
             threads: parse_positive("--threads", threads)?,
             cache_dir_flag: cache_dir,
             max_entries: parse_positive("--max-entries", max_entries)?,
             max_bytes: parse_positive("--max-bytes", max_bytes)?,
             cache_gc_max_bytes: parse_positive("--cache-gc-max-bytes", gc_max)?,
+            // A zero-capacity journal would silently drop every trace;
+            // reject it as usage rather than clamping behind the
+            // operator's back.
+            trace_journal: parse_positive("--trace-journal", journal)?,
+            slow_threshold_ms: parse_nonneg("--slow-threshold-ms", slow_ms)?,
         })
     }
 
@@ -369,6 +416,10 @@ impl ServiceOpts {
             Some("--max-bytes")
         } else if self.cache_gc_max_bytes.is_some() {
             Some("--cache-gc-max-bytes")
+        } else if self.trace_journal.is_some() {
+            Some("--trace-journal")
+        } else if self.slow_threshold_ms.is_some() {
+            Some("--slow-threshold-ms")
         } else {
             None
         }
@@ -396,6 +447,12 @@ impl ServiceOpts {
         }
         if let Some(n) = self.cache_gc_max_bytes {
             cfg = cfg.cache_gc_max_bytes(n as u64);
+        }
+        if let Some(n) = self.trace_journal {
+            cfg = cfg.trace_journal(n);
+        }
+        if let Some(ms) = self.slow_threshold_ms {
+            cfg = cfg.slow_threshold_ms(ms);
         }
         cfg.build().map_err(|e| {
             eprintln!("dahliac: cannot open cache directory: {e}");
@@ -646,25 +703,27 @@ fn shutdown_workers(workers: &mut Vec<SpawnedWorker>) {
 /// `dahliac gateway`: the sharded cluster front-end.
 fn cmd_gateway(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let (listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr) = match (
-        take_flag(&mut args, "--listen"),
-        take_flag(&mut args, "--shards"),
-        take_flag(&mut args, "--spawn-workers"),
-        take_flag(&mut args, "--replication"),
-        take_flag(&mut args, "--threads"),
-        take_flag(&mut args, "--metrics"),
-    ) {
-        (Ok(l), Ok(s), Ok(w), Ok(r), Ok(t), Ok(m)) => (l, s, w, r, t, m),
-        (Err(e), ..)
-        | (_, Err(e), ..)
-        | (_, _, Err(e), ..)
-        | (_, _, _, Err(e), _, _)
-        | (.., Err(e), _)
-        | (.., Err(e)) => {
-            eprintln!("dahliac: {e}");
-            return ExitCode::from(EXIT_USAGE);
+    let mut flags = Vec::new();
+    for f in [
+        "--listen",
+        "--shards",
+        "--spawn-workers",
+        "--replication",
+        "--threads",
+        "--metrics",
+        "--trace-journal",
+        "--slow-threshold-ms",
+    ] {
+        match take_flag(&mut args, f) {
+            Ok(v) => flags.push(v),
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
         }
-    };
+    }
+    let [listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr, journal_raw, slow_raw] =
+        flags.try_into().unwrap();
     if !args.is_empty() {
         eprintln!("dahliac: gateway takes no positional arguments (got {args:?})\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
@@ -682,6 +741,14 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let spawn_workers = match parse_positive("--spawn-workers", spawn_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let trace_journal = match parse_positive("--trace-journal", journal_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let slow_threshold_ms = match parse_nonneg("--slow-threshold-ms", slow_raw) {
         Ok(n) => n,
         Err(code) => return code,
     };
@@ -721,6 +788,12 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     }
     if let Some(t) = threads {
         cfg = cfg.threads(t);
+    }
+    if let Some(n) = trace_journal {
+        cfg = cfg.trace_journal(n);
+    }
+    if let Some(ms) = slow_threshold_ms {
+        cfg = cfg.slow_threshold_ms(ms);
     }
     let gateway = std::sync::Arc::new(cfg.build());
     if let Some(addr) = &metrics_addr {
@@ -867,6 +940,237 @@ fn cmd_gateway_admin(args: &[String]) -> ExitCode {
     }
 }
 
+/// One `{"op":"stats"}` round trip: the payload under the `stats`
+/// envelope. Shared by `batch --connect` round accounting and `top`.
+fn fetch_remote_stats(client: &mut Client) -> std::io::Result<Json> {
+    client.send_line(r#"{"op":"stats"}"#)?;
+    let line = client.recv_line()?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection during a stats request",
+        )
+    })?;
+    let v = Json::parse(&line).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unparseable stats line: {e}"),
+        )
+    })?;
+    Ok(v.get("stats").cloned().unwrap_or(Json::Null))
+}
+
+/// One row of the `top` shard table, lifted from the gateway's
+/// `shards` array.
+struct TopShard {
+    addr: String,
+    alive: bool,
+    draining: bool,
+    rate: f64,
+    error_rate: f64,
+    p99_us: f64,
+    queue_depth: f64,
+    warm_keys: f64,
+}
+
+/// The fields `top` renders, extracted from one stats poll. Works
+/// against a gateway (per-shard table + cluster totals) and a plain
+/// server (totals only — the table is empty).
+struct TopSnapshot {
+    requests: f64,
+    rate: f64,
+    error_rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    in_flight: f64,
+    queue_depth: f64,
+    shards_live: Option<f64>,
+    shards: Vec<TopShard>,
+}
+
+impl TopSnapshot {
+    fn from_stats(stats: &Json) -> TopSnapshot {
+        let num = |v: Option<&Json>, k: &str| v.and_then(|o| o.get(k)).and_then(Json::as_f64);
+        let window = stats.get("window");
+        let hist = window.and_then(|w| w.get("latency_us"));
+        let gateway = stats.get("gateway");
+        let mut shards = Vec::new();
+        if let Some(Json::Arr(items)) = gateway.and_then(|g| g.get("shards")) {
+            for item in items {
+                shards.push(TopShard {
+                    addr: item
+                        .get("addr")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    alive: item.get("alive").and_then(Json::as_bool).unwrap_or(false),
+                    draining: item
+                        .get("draining")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    rate: num(Some(item), "window_rate").unwrap_or(0.0),
+                    error_rate: num(Some(item), "window_error_rate").unwrap_or(0.0),
+                    p99_us: num(Some(item), "window_p99_us").unwrap_or(0.0),
+                    queue_depth: num(Some(item), "queue_depth").unwrap_or(0.0),
+                    warm_keys: num(Some(item), "warm_keys").unwrap_or(0.0),
+                });
+            }
+        }
+        TopSnapshot {
+            requests: num(Some(stats), "requests").unwrap_or(0.0),
+            rate: num(window, "rate").unwrap_or(0.0),
+            error_rate: num(window, "error_rate").unwrap_or(0.0),
+            p50_us: num(hist, "p50").unwrap_or(0.0),
+            p99_us: num(hist, "p99").unwrap_or(0.0),
+            in_flight: num(window, "in_flight").unwrap_or(0.0),
+            queue_depth: num(window, "queue_depth").unwrap_or(0.0),
+            shards_live: num(gateway, "shards_live"),
+            shards,
+        }
+    }
+
+    /// The `--once` machine-readable form: one compact JSON object
+    /// under a `top` envelope, round-trippable by `Json::parse`.
+    fn to_json(&self, addr: &str) -> Json {
+        let mut fields = vec![
+            ("addr", Json::Str(addr.to_string())),
+            ("requests", Json::Num(self.requests)),
+            ("rate", Json::Num(self.rate)),
+            ("error_rate", Json::Num(self.error_rate)),
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+            ("in_flight", Json::Num(self.in_flight)),
+            ("queue_depth", Json::Num(self.queue_depth)),
+        ];
+        if let Some(live) = self.shards_live {
+            fields.push(("shards_live", Json::Num(live)));
+        }
+        fields.push((
+            "shards",
+            Json::Arr(
+                self.shards
+                    .iter()
+                    .map(|s| {
+                        obj([
+                            ("addr", Json::Str(s.addr.clone())),
+                            ("alive", Json::Bool(s.alive)),
+                            ("draining", Json::Bool(s.draining)),
+                            ("rate", Json::Num(s.rate)),
+                            ("error_rate", Json::Num(s.error_rate)),
+                            ("p99_us", Json::Num(s.p99_us)),
+                            ("queue_depth", Json::Num(s.queue_depth)),
+                            ("warm_keys", Json::Num(s.warm_keys)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        obj([(
+            "top",
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// The interactive console frame.
+    fn render(&self, addr: &str, elapsed_s: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("dahliac top — {addr} — up {elapsed_s}s\n"));
+        out.push_str(&format!(
+            "cluster: {:>8.1} req/s  {:>6.1} err/s  p50 {:>8.0}us  p99 {:>8.0}us  \
+             in-flight {:>3.0}  queue {:>3.0}",
+            self.rate, self.error_rate, self.p50_us, self.p99_us, self.in_flight, self.queue_depth,
+        ));
+        if let Some(live) = self.shards_live {
+            out.push_str(&format!("  live {live:.0}/{}", self.shards.len()));
+        }
+        out.push('\n');
+        if !self.shards.is_empty() {
+            out.push_str(&format!(
+                "\n{:<24} {:>5} {:>10} {:>8} {:>10} {:>6} {:>7}\n",
+                "SHARD", "STATE", "ROUTED/S", "ERR/S", "P99(us)", "QUEUE", "WARM"
+            ));
+            for s in &self.shards {
+                let state = if s.draining {
+                    "drain"
+                } else if s.alive {
+                    "up"
+                } else {
+                    "down"
+                };
+                out.push_str(&format!(
+                    "{:<24} {:>5} {:>10.1} {:>8.1} {:>10.0} {:>6.0} {:>7.0}\n",
+                    s.addr, state, s.rate, s.error_rate, s.p99_us, s.queue_depth, s.warm_keys,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `dahliac top`: a live load console over a server or gateway's wire
+/// protocol. Redraws every `--interval-ms` until interrupted; `--once`
+/// prints a single machine-readable snapshot and exits.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let (connect, interval_raw) = match (
+        take_flag(&mut args, "--connect"),
+        take_flag(&mut args, "--interval-ms"),
+    ) {
+        (Ok(c), Ok(i)) => (c, i),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let once = take_switch(&mut args, "--once");
+    if !args.is_empty() {
+        eprintln!("dahliac: top takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(addr) = connect else {
+        eprintln!("dahliac: top needs --connect\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let interval = match parse_positive("--interval-ms", interval_raw) {
+        Ok(n) => n.unwrap_or(2000) as u64,
+        Err(code) => return code,
+    };
+
+    let mut client = match Client::connect_retry(addr.as_str(), 50) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dahliac: cannot connect to `{addr}`: {e}");
+            return ExitCode::from(EXIT_NET);
+        }
+    };
+    let t0 = Instant::now();
+    loop {
+        let stats = match fetch_remote_stats(&mut client) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dahliac: network error talking to `{addr}`: {e}");
+                return ExitCode::from(EXIT_NET);
+            }
+        };
+        let snap = TopSnapshot::from_stats(&stats);
+        if once {
+            println!("{}", snap.to_json(&addr).emit());
+            return ExitCode::SUCCESS;
+        }
+        // ANSI clear + home: a real terminal redraw, not a scroll.
+        print!(
+            "\x1b[2J\x1b[H{}",
+            snap.render(&addr, t0.elapsed().as_secs())
+        );
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
+}
+
 /// The request set for one batch invocation.
 fn batch_programs(use_kernels: bool, files: &[String]) -> Result<Vec<(String, String)>, ExitCode> {
     let mut programs: Vec<(String, String)> = Vec::new();
@@ -991,6 +1295,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let use_kernels = take_switch(&mut args, "--kernels");
     let verbose = take_switch(&mut args, "--verbose");
     let traced = take_switch(&mut args, "--trace");
+    let slowlog = take_switch(&mut args, "--slowlog");
     let shutdown = take_switch(&mut args, "--shutdown");
     if shutdown && connect.is_none() {
         eprintln!("dahliac: --shutdown only makes sense with --connect");
@@ -1026,7 +1331,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
 
     if let Some(addr) = connect {
-        return batch_over_tcp(&addr, &programs, stage, repeat, verbose, traced, shutdown);
+        return batch_over_tcp(
+            &addr, &programs, stage, repeat, verbose, traced, slowlog, shutdown,
+        );
     }
 
     let server = match opts.build() {
@@ -1084,6 +1391,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             obj([("trace", SessionHost::trace_json(&server))]).emit()
         );
     }
+    if slowlog {
+        // The slow-request log, same envelope as the wire op. A full
+        // dump (cursor 0): a batch run is one-shot, not a poller.
+        println!(
+            "{}",
+            obj([("slowlog", SessionHost::slowlog_json(&server, 0))]).emit()
+        );
+    }
 
     if any_failed {
         ExitCode::from(EXIT_RUNTIME)
@@ -1095,6 +1410,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 /// Drive a remote `dahliac serve --listen` over the socket transport.
 /// Responses arrive pipelined and possibly out of order; correlation is
 /// by request id.
+#[allow(clippy::too_many_arguments)]
 fn batch_over_tcp(
     addr: &str,
     programs: &[(String, String)],
@@ -1102,6 +1418,7 @@ fn batch_over_tcp(
     repeat: u32,
     verbose: bool,
     traced: bool,
+    slowlog: bool,
     shutdown: bool,
 ) -> ExitCode {
     let mut client = match Client::connect_retry(addr, 50) {
@@ -1113,22 +1430,6 @@ fn batch_over_tcp(
     };
 
     let run = |client: &mut Client| -> std::io::Result<ExitCode> {
-        let fetch_stats = |client: &mut Client| -> std::io::Result<Json> {
-            client.send_line(r#"{"op":"stats"}"#)?;
-            let line = client.recv_line()?.ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection during a stats request",
-                )
-            })?;
-            let v = Json::parse(&line).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unparseable stats line: {e}"),
-                )
-            })?;
-            Ok(v.get("stats").cloned().unwrap_or(Json::Null))
-        };
         // Saturating: another client may reset nothing (counters are
         // monotonic), but a defensive delta never underflows.
         let counter =
@@ -1139,7 +1440,7 @@ fn batch_over_tcp(
 
         let mut round_walls: Vec<u64> = Vec::new();
         let mut any_failed = false;
-        let mut prev = fetch_stats(client)?;
+        let mut prev = fetch_remote_stats(client)?;
         for round in 1..=repeat {
             let reqs = round_requests(programs, stage, round, traced);
             let n = reqs.len();
@@ -1164,7 +1465,7 @@ fn batch_over_tcp(
             let wall_us = t0.elapsed().as_micros() as u64;
             round_walls.push(wall_us);
             any_failed |= ok < n;
-            let now = fetch_stats(client)?;
+            let now = fetch_remote_stats(client)?;
             print_round_summary(
                 round,
                 n,
@@ -1179,7 +1480,7 @@ fn batch_over_tcp(
             prev = now;
         }
 
-        let stats = fetch_stats(client)?;
+        let stats = fetch_remote_stats(client)?;
         print_batch_summary(repeat, programs.len(), &round_walls, stats);
         if traced {
             // Dump the remote's trace journal (gateway or server —
@@ -1189,6 +1490,17 @@ fn batch_over_tcp(
                 std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed the connection during a trace request",
+                )
+            })?;
+            println!("{line}");
+        }
+        if slowlog {
+            // And the remote's slow-request log, full dump.
+            client.send_line(r#"{"op":"slowlog"}"#)?;
+            let line = client.recv_line()?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection during a slowlog request",
                 )
             })?;
             println!("{line}");

@@ -73,11 +73,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
-use dahlia_obs::{Journal, Span, TraceEntry};
+use dahlia_obs::{Journal, SlowLog, Span, TraceEntry, Window};
 use dahlia_server::json::{obj, Json};
 use dahlia_server::{
     obs_json, source_digest, AdminOp, PipelinedClient, Pool, Request, Server, SessionHost,
-    TRACE_JOURNAL_CAP,
+    DEFAULT_SLOW_THRESHOLD_MS, SLOWLOG_CAP, TRACE_JOURNAL_CAP,
 };
 
 /// Bound on the per-shard warm-key ledger the drain migrator walks.
@@ -98,6 +98,8 @@ pub struct GatewayConfig {
     health_interval: Duration,
     connect_timeout: Duration,
     io_timeout: Duration,
+    trace_journal: usize,
+    slow_threshold_ms: u64,
 }
 
 impl GatewayConfig {
@@ -120,6 +122,8 @@ impl GatewayConfig {
             health_interval: Duration::from_millis(250),
             connect_timeout: Duration::from_millis(1000),
             io_timeout: Duration::from_secs(30),
+            trace_journal: TRACE_JOURNAL_CAP,
+            slow_threshold_ms: DEFAULT_SLOW_THRESHOLD_MS,
         }
     }
 
@@ -151,6 +155,25 @@ impl GatewayConfig {
     /// Bound on each shard connection attempt.
     pub fn connect_timeout(mut self, d: Duration) -> GatewayConfig {
         self.connect_timeout = d;
+        self
+    }
+
+    /// Retention of the gateway's own trace journal (the `{"op":
+    /// "trace"}` ring buffer of combined gateway + shard span lists).
+    /// Clamped to at least 1.
+    pub fn trace_journal(mut self, cap: usize) -> GatewayConfig {
+        self.trace_journal = cap.max(1);
+        self
+    }
+
+    /// Slow-request capture threshold, milliseconds: a routed request
+    /// whose gateway-observed wall latency exceeds this lands in the
+    /// gateway's slow log with its span breakdown (shard attempts,
+    /// fail-overs, local fallback — plus the shard's own stage spans
+    /// when the request was traced). Zero captures everything
+    /// measurable, which is what benches and tests want.
+    pub fn slow_threshold_ms(mut self, ms: u64) -> GatewayConfig {
+        self.slow_threshold_ms = ms;
         self
     }
 
@@ -192,7 +215,11 @@ impl GatewayConfig {
             replica_writes: AtomicU64::new(0),
             replica_failures: AtomicU64::new(0),
             local_fallbacks: AtomicU64::new(0),
-            journal: Journal::new(TRACE_JOURNAL_CAP),
+            journal: Journal::new(self.trace_journal),
+            window: Window::with_default_clock(),
+            in_flight: AtomicU64::new(0),
+            slowlog: SlowLog::new(SLOWLOG_CAP),
+            slow_threshold_us: self.slow_threshold_ms.saturating_mul(1_000),
             local: OnceLock::new(),
             pool: Pool::new(threads),
         });
@@ -308,6 +335,11 @@ struct Shard {
     replicated: AtomicU64,
     /// Warm keys migrated *off* this shard by drain ops.
     drained_keys: AtomicU64,
+    /// Sliding window over the gateway-observed round trips to this
+    /// shard: dispatch rate, failure rate, and windowed round-trip
+    /// latency percentiles as *this* gateway saw them (network
+    /// included), beside the shard's own self-reported window.
+    window: Window,
     /// Last stats object successfully polled from this shard; dead
     /// shards keep contributing their final snapshot to the aggregate.
     last_stats: Mutex<Option<Json>>,
@@ -329,6 +361,7 @@ impl Shard {
             retried: AtomicU64::new(0),
             replicated: AtomicU64::new(0),
             drained_keys: AtomicU64::new(0),
+            window: Window::with_default_clock(),
             last_stats: Mutex::new(None),
             warm_keys: Mutex::new(WarmKeys::new()),
         }
@@ -433,6 +466,16 @@ struct GwInner {
     /// Ring buffer of completed traced requests: gateway hops plus the
     /// shard-reported spans, dumped by `{"op":"trace"}`.
     journal: Journal,
+    /// Sliding window over every routed request (client traffic and
+    /// drain migrations alike): live cluster throughput, error rate,
+    /// and windowed end-to-end latency as the gateway observed it.
+    window: Window,
+    /// Requests currently inside [`GwInner::route`].
+    in_flight: AtomicU64,
+    /// Slow-request captures: routed requests whose wall latency
+    /// crossed [`GwInner::slow_threshold_us`], with span breakdowns.
+    slowlog: SlowLog,
+    slow_threshold_us: u64,
     local: OnceLock<Server>,
     /// Dispatch pool: session requests, stats polls, replication
     /// fan-out, and admin ops all run here, never on a session's read
@@ -485,13 +528,56 @@ impl GwInner {
     /// mid-call; compile locally when nothing is reachable. With
     /// `fan_out`, a newly computed artifact is replicated to the rest
     /// of the top-N replica set in the background.
+    ///
+    /// Hop spans are recorded for *every* request (the bench suite
+    /// pins the overhead at noise level): the traced path echoes them
+    /// to the client, the slow log captures them retroactively when
+    /// the request crosses the threshold, and the fast path simply
+    /// drops them.
     fn route(self: &Arc<Self>, req: &Request, fan_out: bool) -> Json {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let t_route = Instant::now();
+        let mut gw_spans: Vec<Span> = Vec::new();
+        let mut resp = self.route_attempts(req, fan_out, &mut gw_spans);
+        let wall_us = (t_route.elapsed().as_nanos() / 1_000) as u64;
+        let ok = resp.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        self.window.record(wall_us, ok);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if req.trace.is_some() {
+            self.finish_trace(req, &mut resp, gw_spans.clone(), t_route);
+        }
+        if wall_us > self.slow_threshold_us {
+            // Traced responses carry the combined gateway + shard span
+            // list by now — capture that; otherwise the gateway hops.
+            let spans = match resp.get("trace").and_then(|t| t.get("spans")) {
+                Some(Json::Arr(items)) => {
+                    items.iter().filter_map(obs_json::span_from_json).collect()
+                }
+                _ => gw_spans,
+            };
+            self.slowlog.push(TraceEntry {
+                trace: req.trace.clone().unwrap_or_default(),
+                id: req.id.clone(),
+                stage: req.stage.name().to_string(),
+                ok,
+                wall_us,
+                spans,
+            });
+        }
+        resp
+    }
+
+    /// The shard-attempt loop of [`GwInner::route`], appending one hop
+    /// span per attempt to `gw_spans`.
+    fn route_attempts(
+        self: &Arc<Self>,
+        req: &Request,
+        fan_out: bool,
+        gw_spans: &mut Vec<Span>,
+    ) -> Json {
         let key = source_digest(&req.source);
         let candidates = self.candidates(key);
         let mut failed_before = false;
-        let traced = req.trace.is_some();
-        let t_route = Instant::now();
-        let mut gw_spans: Vec<Span> = Vec::new();
         for (i, shard) in candidates.iter().enumerate() {
             let Some(client) = shard.live() else { continue };
             shard.routed.fetch_add(1, Ordering::Relaxed);
@@ -500,7 +586,12 @@ impl GwInner {
             }
             let t_attempt = Instant::now();
             match client.call(req) {
-                Ok(mut resp) => {
+                Ok(resp) => {
+                    let attempt_us = (t_attempt.elapsed().as_nanos() / 1_000) as u64;
+                    shard.window.record(
+                        attempt_us,
+                        resp.get("ok").and_then(Json::as_bool) == Some(true),
+                    );
                     if failed_before {
                         self.rerouted.fetch_add(1, Ordering::Relaxed);
                     }
@@ -510,22 +601,19 @@ impl GwInner {
                     } else {
                         0
                     };
-                    if traced {
+                    gw_spans.push(Span::with_detail(
+                        format!("shard:{}", shard.addr),
+                        attempt_us,
+                        if failed_before { "rerouted" } else { "routed" },
+                    ));
+                    if fanned > 0 {
+                        // Fire-and-forget: the span records the
+                        // fan-out degree, not its (off-path) cost.
                         gw_spans.push(Span::with_detail(
-                            format!("shard:{}", shard.addr),
-                            (t_attempt.elapsed().as_nanos() / 1_000) as u64,
-                            if failed_before { "rerouted" } else { "routed" },
+                            "replicate",
+                            0,
+                            format!("fanout={fanned}"),
                         ));
-                        if fanned > 0 {
-                            // Fire-and-forget: the span records the
-                            // fan-out degree, not its (off-path) cost.
-                            gw_spans.push(Span::with_detail(
-                                "replicate",
-                                0,
-                                format!("fanout={fanned}"),
-                            ));
-                        }
-                        self.finish_trace(req, &mut resp, gw_spans, t_route);
                     }
                     return resp;
                 }
@@ -533,15 +621,15 @@ impl GwInner {
                     // The client poisoned itself; the next live shard
                     // in rendezvous order inherits this key (and every
                     // other key this shard owned).
+                    let attempt_us = (t_attempt.elapsed().as_nanos() / 1_000) as u64;
+                    shard.window.record(attempt_us, false);
                     shard.failed.fetch_add(1, Ordering::Relaxed);
                     failed_before = true;
-                    if traced {
-                        gw_spans.push(Span::with_detail(
-                            format!("shard:{}", shard.addr),
-                            (t_attempt.elapsed().as_nanos() / 1_000) as u64,
-                            "failed",
-                        ));
-                    }
+                    gw_spans.push(Span::with_detail(
+                        format!("shard:{}", shard.addr),
+                        attempt_us,
+                        "failed",
+                    ));
                 }
             }
         }
@@ -550,15 +638,12 @@ impl GwInner {
             self.rerouted.fetch_add(1, Ordering::Relaxed);
         }
         let t_local = Instant::now();
-        let mut resp = self.local().submit(req.clone()).to_json();
-        if traced {
-            gw_spans.push(Span::with_detail(
-                "local",
-                (t_local.elapsed().as_nanos() / 1_000) as u64,
-                "fallback",
-            ));
-            self.finish_trace(req, &mut resp, gw_spans, t_route);
-        }
+        let resp = self.local().submit(req.clone()).to_json();
+        gw_spans.push(Span::with_detail(
+            "local",
+            (t_local.elapsed().as_nanos() / 1_000) as u64,
+            "fallback",
+        ));
         resp
     }
 
@@ -762,6 +847,7 @@ impl GwInner {
             if let Some(s) = &snapshot {
                 merge_sum(&mut agg, s);
             }
+            let w = shard.window.snapshot();
             shard_objs.push(obj([
                 ("addr", Json::Str(shard.addr.clone())),
                 ("alive", Json::Bool(alive)),
@@ -790,6 +876,25 @@ impl GwInner {
                 (
                     "warm_keys",
                     Json::Num(shard.warm_keys.lock().unwrap().len() as f64),
+                ),
+                // Windowed round trips as this gateway observed them
+                // (scalar fields only: the shards array renders as
+                // per-shard labelled Prometheus gauges).
+                ("window_routed", Json::Num(w.requests as f64)),
+                ("window_rate", Json::Num(w.rate_per_s())),
+                ("window_error_rate", Json::Num(w.error_rate_per_s())),
+                ("window_p99_us", Json::Num(w.hist.quantile(0.99))),
+                // The shard's own self-reported gauges, lifted out of
+                // its last stats snapshot (zero when never polled) so
+                // consoles see per-shard queue pressure, not just the
+                // cluster-merged sums.
+                (
+                    "in_flight",
+                    Json::Num(shard_window_gauge(&snapshot, "in_flight")),
+                ),
+                (
+                    "queue_depth",
+                    Json::Num(shard_window_gauge(&snapshot, "queue_depth")),
                 ),
             ]));
         }
@@ -825,6 +930,24 @@ impl GwInner {
             ("replication", Json::Num(self.replication as f64)),
             ("shards_live", Json::Num(live as f64)),
             ("shards_draining", Json::Num(draining as f64)),
+            // The gateway's *own* live window — end-to-end latency as
+            // clients saw it, fail-overs included — beside the
+            // shard-merged `window` at the top level.
+            (
+                "window",
+                obs_json::window_to_json(
+                    &self.window.snapshot(),
+                    self.in_flight.load(Ordering::Relaxed),
+                    0,
+                ),
+            ),
+            (
+                "journals",
+                obj([
+                    ("trace_dropped", Json::Num(self.journal.dropped() as f64)),
+                    ("slowlog_dropped", Json::Num(self.slowlog.dropped() as f64)),
+                ]),
+            ),
             ("shards", Json::Arr(shard_objs)),
         ]);
         if let Json::Obj(fields) = &mut agg {
@@ -832,6 +955,17 @@ impl GwInner {
         }
         agg
     }
+}
+
+/// A gauge from the `window` section of a shard's self-reported stats
+/// snapshot, defaulting to 0 for never-polled (or pre-window) shards.
+fn shard_window_gauge(snapshot: &Option<Json>, key: &str) -> f64 {
+    snapshot
+        .as_ref()
+        .and_then(|s| s.get("window"))
+        .and_then(|w| w.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
 }
 
 fn drain_ack(addr: &str, already: bool, scheduled: usize) -> Json {
@@ -1033,6 +1167,10 @@ impl SessionHost for Gateway {
         obs_json::journal_to_json(&self.inner.journal)
     }
 
+    fn slowlog_json(&self, since: u64) -> Json {
+        obs_json::slowlog_to_json(&self.inner.slowlog.snapshot_since(since))
+    }
+
     fn health_json(&self) -> Json {
         let (mut live, mut draining, mut dead) = (0u64, 0u64, 0u64);
         for shard in self.inner.shards() {
@@ -1049,6 +1187,14 @@ impl SessionHost for Gateway {
             ("shards_live", Json::Num(live as f64)),
             ("shards_draining", Json::Num(draining as f64)),
             ("shards_dead", Json::Num(dead as f64)),
+            (
+                "trace_dropped",
+                Json::Num(self.inner.journal.dropped() as f64),
+            ),
+            (
+                "slowlog_dropped",
+                Json::Num(self.inner.slowlog.dropped() as f64),
+            ),
         ])
     }
 
@@ -1241,6 +1387,90 @@ mod tests {
         assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(health.get("shards_live").and_then(Json::as_u64), Some(0));
         assert_eq!(health.get("shards_dead").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn windows_and_slowlog_capture_untraced_routed_work() {
+        let gw = GatewayConfig::new(Vec::<String>::new())
+            .slow_threshold_ms(0)
+            .build();
+        let resp = gw.submit(&Request::new("r1", Stage::Estimate, GOOD, "k"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(resp.get("trace").is_none(), "untraced response stays bare");
+
+        let stats = gw.stats_json();
+        let gws = stats.get("gateway").unwrap();
+        let window = gws.get("window").expect("gateway window section");
+        assert_eq!(window.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(window.get("errors").and_then(Json::as_u64), Some(0));
+        assert!(window.get("rate").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(window.get("in_flight").and_then(Json::as_u64), Some(0));
+        let journals = gws.get("journals").expect("gateway journals section");
+        assert_eq!(
+            journals.get("trace_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            journals.get("slowlog_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        // A zero threshold captured the request — spans and all —
+        // without the client asking for a trace.
+        let log = SessionHost::slowlog_json(&gw, 0);
+        assert_eq!(log.get("last_seq").and_then(Json::as_u64), Some(1));
+        let Some(Json::Arr(entries)) = log.get("entries") else {
+            panic!("slowlog entries");
+        };
+        assert_eq!(entries.len(), 1);
+        assert!(
+            entries[0].get("trace").is_none(),
+            "untraced capture carries no trace id"
+        );
+        assert_eq!(entries[0].get("id").and_then(Json::as_str), Some("r1"));
+        let Some(Json::Arr(spans)) = entries[0].get("spans") else {
+            panic!("span breakdown");
+        };
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("local"));
+        // Cursoring past the newest capture drains the view.
+        let tail = SessionHost::slowlog_json(&gw, 1);
+        let Some(Json::Arr(rest)) = tail.get("entries") else {
+            panic!();
+        };
+        assert!(rest.is_empty());
+        // Slow capture is not tracing: the trace journal stayed empty.
+        let journal = SessionHost::trace_json(&gw);
+        let Some(Json::Arr(traced)) = journal.get("entries") else {
+            panic!();
+        };
+        assert!(traced.is_empty());
+
+        // Health carries both drop counters for probes.
+        let health = SessionHost::health_json(&gw);
+        assert_eq!(health.get("trace_dropped").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            health.get("slowlog_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn shard_entries_carry_window_gauges() {
+        let addr = dead_addr();
+        let gw = GatewayConfig::new([addr])
+            .connect_timeout(Duration::from_millis(100))
+            .build();
+        let stats = gw.stats_json();
+        let Some(Json::Arr(shards)) = stats.get("gateway").and_then(|g| g.get("shards")) else {
+            panic!("shards array");
+        };
+        let s = &shards[0];
+        assert_eq!(s.get("window_routed").and_then(Json::as_u64), Some(0));
+        assert_eq!(s.get("window_rate").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(s.get("window_p99_us").and_then(Json::as_f64), Some(0.0));
+        // The whole object stays machine-parseable (no NaN leaks from
+        // the empty windowed histogram).
+        assert!(Json::parse(&stats.emit()).is_ok());
     }
 
     #[test]

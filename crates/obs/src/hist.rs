@@ -64,6 +64,19 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Zero every counter. Used by the sliding window when a ring slot
+    /// is reused for a new time bucket; a racing [`Histogram::record`]
+    /// may land between the individual stores and be partially lost,
+    /// which is acceptable for monitoring data (the loss is bounded by
+    /// one in-flight observation per racing thread).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters. Concurrent recorders may
     /// land between the individual loads; the snapshot is consistent
     /// enough for monitoring (counts never go backwards).
@@ -118,12 +131,14 @@ impl HistSnapshot {
                 continue;
             }
             match buckets.iter_mut().find(|(b, _)| *b == bound) {
-                Some((_, c)) => *c += count,
+                Some((_, c)) => *c = c.saturating_add(count),
                 None => buckets.push((bound, count)),
             }
         }
         buckets.sort_by_key(|&(b, _)| b);
-        let count = buckets.iter().map(|&(_, c)| c).sum();
+        let count = buckets
+            .iter()
+            .fold(0u64, |acc, &(_, c)| acc.saturating_add(c));
         HistSnapshot {
             buckets,
             count,
@@ -133,17 +148,19 @@ impl HistSnapshot {
     }
 
     /// Fold another snapshot into this one: bucket counts, totals, and
-    /// sums add; the max takes the larger.
+    /// sums add (saturating — a cluster that has genuinely accumulated
+    /// `u64::MAX` worth of latency pins rather than wrapping); the max
+    /// takes the larger.
     pub fn merge(&mut self, other: &HistSnapshot) {
         for &(bound, count) in &other.buckets {
             match self.buckets.iter_mut().find(|(b, _)| *b == bound) {
-                Some((_, c)) => *c += count,
+                Some((_, c)) => *c = c.saturating_add(count),
                 None => self.buckets.push((bound, count)),
             }
         }
         self.buckets.sort_by_key(|&(b, _)| b);
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -282,6 +299,86 @@ mod tests {
         assert_eq!(rebuilt.count, s.count);
         assert_eq!(rebuilt.sum, s.sum);
         assert_eq!(rebuilt.max, 0); // max does not survive the wire
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_changes_nothing() {
+        let h = Histogram::new();
+        for v in [3u64, 90, 2000] {
+            h.record(v);
+        }
+        let mut s = h.snapshot();
+        let before = s.clone();
+        s.merge(&HistSnapshot::default());
+        assert_eq!(s, before, "empty right-hand side is the identity");
+        // And the reverse: empty += s equals s.
+        let mut empty = HistSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn sums_saturate_near_u64_max_instead_of_wrapping_quantiles() {
+        // Two observations of u64::MAX: the wait-free `sum` counter
+        // wraps (the cost of a relaxed fetch_add), but counts, max,
+        // and quantiles stay exact, and snapshot merging saturates
+        // instead of wrapping a second time.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets, vec![(u64::MAX, 2)]);
+        assert_eq!(s.quantile(1.0), u64::MAX as f64);
+        let top = (1u64 << 63) as f64;
+        assert!(s.quantile(0.99) >= top, "{}", s.quantile(0.99));
+        let mut m = s.clone();
+        m.merge(&s);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, u64::MAX, "merge saturates, never wraps");
+        assert_eq!(m.quantile(1.0), u64::MAX as f64);
+    }
+
+    #[test]
+    fn single_bucket_distribution_reports_p50_equal_to_p99() {
+        // Bucket 1 covers only {1}: interpolation has no room, so all
+        // quantiles collapse exactly.
+        let ones = Histogram::new();
+        for _ in 0..100 {
+            ones.record(1);
+        }
+        let s = ones.snapshot();
+        assert_eq!(s.buckets.len(), 1);
+        let (p50, _, p99) = s.percentiles();
+        assert_eq!(p50, p99, "single bucket: p50 == p99");
+        assert_eq!(p99, 1.0);
+
+        // A wider bucket: the upper quantiles interpolate past the
+        // observed max and the clamp collapses them onto it.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 1);
+        let (_, p95, p99) = s.percentiles();
+        assert_eq!(p95, p99, "clamped to the observed max");
+        assert_eq!(p99, 777.0);
+    }
+
+    #[test]
+    fn reset_returns_the_histogram_to_empty() {
+        let h = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            h.record(v);
+        }
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert!(s.buckets.is_empty());
+        h.record(5);
+        assert_eq!(h.snapshot().count, 1, "usable after reset");
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! * [`prom`] — Prometheus text-exposition rendering (metric-name and
 //!   label validation, sample and histogram lines) so `/metrics` can
 //!   speak the standard scrape format as well as JSON.
+//! * [`Window`] — a sliding window (ring of fixed-duration buckets of
+//!   counters + histograms, rotated by a pluggable [`Clock`]) that
+//!   turns the lifetime aggregates into live signals: windowed
+//!   throughput, error rate, and p50/p95/p99 over the last couple of
+//!   minutes instead of since process start.
+//! * [`SlowLog`] — a cursor-addressable bounded journal of requests
+//!   that exceeded a latency threshold, captured retroactively from
+//!   always-on span recording so nobody has to have asked for a trace
+//!   before the regression happened.
 //!
 //! This crate deliberately knows nothing about JSON or the wire
 //! protocol: `dahlia-server` depends on it (never the reverse) and
@@ -32,7 +41,14 @@
 
 mod hist;
 pub mod prom;
+mod slowlog;
 mod trace;
+mod window;
 
 pub use hist::{bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use slowlog::{SlowEntry, SlowLog, SlowLogSnapshot};
 pub use trace::{next_trace_id, Journal, Span, Tier, TraceEntry};
+pub use window::{
+    Clock, MonotonicClock, TestClock, Window, WindowSnapshot, DEFAULT_WINDOW_BUCKETS,
+    DEFAULT_WINDOW_BUCKET_MS,
+};

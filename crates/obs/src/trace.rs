@@ -139,6 +139,13 @@ impl Journal {
         let inner = self.inner.lock().unwrap();
         (inner.entries.iter().cloned().collect(), inner.dropped)
     }
+
+    /// How many entries have been evicted over the journal's lifetime,
+    /// without cloning the retained entries — cheap enough for every
+    /// stats poll and health probe.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
 }
 
 /// Mint a process-unique trace id (`t1`, `t2`, …). Used when a client

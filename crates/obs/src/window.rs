@@ -1,0 +1,346 @@
+//! Sliding-window live telemetry.
+//!
+//! Every statistic the service exposed before this module is a
+//! lifetime aggregate — good for "how much work has ever happened",
+//! useless for "what is the cluster doing *right now*". A [`Window`]
+//! fills the gap: a ring of `N` fixed-duration buckets, each holding
+//! wait-free counters (requests, errors) plus a log-bucketed
+//! [`Histogram`], advanced by a pluggable [`Clock`] so tests can drive
+//! rotation deterministically. A snapshot covers the last
+//! `N × bucket_ms` milliseconds (less while the window is still
+//! filling) and yields windowed throughput, error rate, and
+//! p50/p95/p99.
+//!
+//! Recording stays wait-free: the recorder computes its bucket from
+//! the clock, claims a stale slot with one compare-and-swap on the
+//! slot's epoch (the winner zeroes the slot's counters), and then
+//! does the same relaxed atomic adds a lifetime histogram does. A
+//! racing recorder can land an observation in a slot mid-reset; the
+//! loss is bounded by one bucket's worth of one thread's writes,
+//! which is monitoring-grade accuracy — the same trade every snapshot
+//! of live atomics already makes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// A time source for [`Window`] rotation: monotonic milliseconds since
+/// an arbitrary (per-clock) origin. Production uses [`MonotonicClock`];
+/// tests use [`TestClock`] and advance it by hand, which makes bucket
+/// eviction — normally a wall-clock phenomenon — deterministic.
+pub trait Clock: Send + Sync {
+    /// Milliseconds elapsed since this clock's origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production [`Clock`]: monotonic milliseconds since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually-advanced [`Clock`] for deterministic tests.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    ms: AtomicU64,
+}
+
+impl TestClock {
+    /// A test clock at time zero.
+    pub fn new() -> Self {
+        TestClock::default()
+    }
+
+    /// Advance the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+/// One ring slot: the epoch (bucket number since the clock's origin)
+/// it currently holds data for, and that bucket's counters.
+#[derive(Debug)]
+struct Slot {
+    /// `epoch + 1` of the data in this slot; 0 means never used. The
+    /// offset keeps "empty" distinguishable from "epoch 0".
+    stamp: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    hist: Histogram,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            hist: Histogram::new(),
+        }
+    }
+}
+
+/// A sliding window of live counters: a ring of `len` buckets, each
+/// `bucket_ms` wide, recording request outcomes and latencies. See the
+/// module docs for the concurrency story.
+pub struct Window {
+    clock: Arc<dyn Clock>,
+    bucket_ms: u64,
+    slots: Vec<Slot>,
+}
+
+/// The default window geometry: 12 buckets of 10 s — two minutes of
+/// history, refreshed every 10 s.
+pub const DEFAULT_WINDOW_BUCKETS: usize = 12;
+/// Width of one default bucket, milliseconds.
+pub const DEFAULT_WINDOW_BUCKET_MS: u64 = 10_000;
+
+impl Window {
+    /// A window of `len` buckets, each `bucket_ms` wide, rotated by
+    /// `clock`. Both dimensions are clamped to at least 1.
+    pub fn new(clock: Arc<dyn Clock>, len: usize, bucket_ms: u64) -> Self {
+        Window {
+            clock,
+            bucket_ms: bucket_ms.max(1),
+            slots: (0..len.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The default production window: 12 × 10 s on a monotonic clock.
+    pub fn with_default_clock() -> Self {
+        Window::new(
+            Arc::new(MonotonicClock::new()),
+            DEFAULT_WINDOW_BUCKETS,
+            DEFAULT_WINDOW_BUCKET_MS,
+        )
+    }
+
+    /// Total span the window can cover, milliseconds.
+    pub fn span_ms(&self) -> u64 {
+        self.bucket_ms * self.slots.len() as u64
+    }
+
+    /// The slot for `epoch`, reset (via a CAS the winner performs) if
+    /// it still holds an older bucket's data.
+    fn slot_for(&self, epoch: u64) -> &Slot {
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let want = epoch + 1;
+        let seen = slot.stamp.load(Ordering::Acquire);
+        if seen < want
+            && slot
+                .stamp
+                .compare_exchange(seen, want, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            // This thread won the rotation: zero the evicted bucket.
+            slot.requests.store(0, Ordering::Relaxed);
+            slot.errors.store(0, Ordering::Relaxed);
+            slot.hist.reset();
+        }
+        slot
+    }
+
+    /// Record one finished request: its latency (microseconds) and
+    /// whether it succeeded.
+    pub fn record(&self, latency_us: u64, ok: bool) {
+        let epoch = self.clock.now_ms() / self.bucket_ms;
+        let slot = self.slot_for(epoch);
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.hist.record(latency_us);
+    }
+
+    /// Sum the live buckets into a plain-data snapshot. Only slots
+    /// stamped within the last `len` epochs count; anything older is
+    /// evicted data awaiting reuse.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let now_ms = self.clock.now_ms();
+        let epoch = now_ms / self.bucket_ms;
+        let oldest = (epoch + 1).saturating_sub(self.slots.len() as u64);
+        let mut snap = WindowSnapshot::default();
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == 0 || stamp - 1 < oldest || stamp - 1 > epoch {
+                continue;
+            }
+            snap.requests += slot.requests.load(Ordering::Relaxed);
+            snap.errors += slot.errors.load(Ordering::Relaxed);
+            snap.hist.merge(&slot.hist.snapshot());
+        }
+        // Covered: from the start of the oldest live bucket to now —
+        // at most the full span, and never zero (the current bucket is
+        // always at least this instant old, so clamp to 1 ms).
+        snap.covered_ms = (now_ms + 1 - oldest * self.bucket_ms)
+            .min(self.span_ms())
+            .max(1);
+        snap
+    }
+}
+
+/// Plain-data sum of a [`Window`]'s live buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// Requests finished inside the window.
+    pub requests: u64,
+    /// Failed requests inside the window.
+    pub errors: u64,
+    /// How much wall time the window actually covers, milliseconds
+    /// (less than the full span while the window is still filling).
+    pub covered_ms: u64,
+    /// Latency distribution of the windowed requests.
+    pub hist: HistSnapshot,
+}
+
+impl WindowSnapshot {
+    /// Windowed throughput, requests per second.
+    pub fn rate_per_s(&self) -> f64 {
+        self.requests as f64 * 1000.0 / self.covered_ms.max(1) as f64
+    }
+
+    /// Windowed error rate, errors per second.
+    pub fn error_rate_per_s(&self) -> f64 {
+        self.errors as f64 * 1000.0 / self.covered_ms.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(len: usize, bucket_ms: u64) -> (Arc<TestClock>, Window) {
+        let clock = Arc::new(TestClock::new());
+        let w = Window::new(clock.clone(), len, bucket_ms);
+        (clock, w)
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let (_, w) = window(4, 1000);
+        let s = w.snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.hist.count, 0);
+        assert_eq!(s.rate_per_s(), 0.0);
+    }
+
+    #[test]
+    fn records_land_in_the_current_bucket_and_rates_derive() {
+        let (clock, w) = window(4, 1000);
+        for _ in 0..10 {
+            w.record(100, true);
+        }
+        w.record(5000, false);
+        clock.advance(999); // still the first bucket
+        let s = w.snapshot();
+        assert_eq!(s.requests, 11);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.hist.count, 11);
+        assert_eq!(s.covered_ms, 1000);
+        assert!((s.rate_per_s() - 11.0).abs() < 1e-9, "{}", s.rate_per_s());
+        assert!((s.error_rate_per_s() - 1.0).abs() < 1e-9);
+        assert!(s.hist.quantile(0.99) <= 5000.0);
+        assert!(s.hist.quantile(0.99) >= 100.0);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_snapshot() {
+        let (clock, w) = window(4, 1000);
+        w.record(10, true);
+        clock.advance(3999); // last ms still inside the 4-bucket span
+        assert_eq!(w.snapshot().requests, 1);
+        clock.advance(1); // now 4 full buckets past the record
+        assert_eq!(w.snapshot().requests, 0, "aged out without any record");
+    }
+
+    #[test]
+    fn wraparound_evicts_the_reused_slot() {
+        // Satellite: bucket eviction after a full ring rotation.
+        let (clock, w) = window(3, 100);
+        w.record(1, true); // epoch 0 → slot 0
+        clock.advance(100);
+        w.record(2, true); // epoch 1 → slot 1
+        clock.advance(100);
+        w.record(3, true); // epoch 2 → slot 2
+        assert_eq!(w.snapshot().requests, 3);
+        clock.advance(100);
+        w.record(4, true); // epoch 3 wraps onto slot 0 and must reset it
+        let s = w.snapshot();
+        assert_eq!(s.requests, 3, "epoch 0's count evicted by the wrap");
+        assert_eq!(s.hist.count, 3);
+        // Two more rotations with no traffic: everything ages out but
+        // the stale slots are only reclaimed lazily, so the snapshot
+        // must ignore them by stamp, not by content.
+        clock.advance(300);
+        assert_eq!(w.snapshot().requests, 0);
+    }
+
+    #[test]
+    fn covered_ms_grows_then_saturates_at_the_span() {
+        let (clock, w) = window(4, 1000);
+        assert_eq!(w.snapshot().covered_ms, 1, "clamped floor at t=0");
+        clock.advance(500);
+        assert_eq!(w.snapshot().covered_ms, 501);
+        // Once the ring has fully rotated, coverage runs from the
+        // start of the oldest live bucket: between 3 and 4 buckets
+        // depending on where in the current bucket "now" falls.
+        clock.advance(10_000); // now = 10_500, oldest live epoch = 7
+        assert_eq!(w.snapshot().covered_ms, 3501);
+        clock.advance(1_499); // now = 11_999: a bucket boundary - 1
+        assert_eq!(w.snapshot().covered_ms, 4000, "saturates at the span");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_near_lossless() {
+        let clock = Arc::new(TestClock::new());
+        let w = Arc::new(Window::new(clock, 8, 10));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let w = w.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        w.record(i, i % 10 != 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The clock never advanced, so no rotation raced: exact totals.
+        let s = w.snapshot();
+        assert_eq!(s.requests, 4000);
+        assert_eq!(s.errors, 400);
+        assert_eq!(s.hist.count, 4000);
+    }
+}

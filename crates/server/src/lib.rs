@@ -123,7 +123,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
-use dahlia_obs::{Histogram, Journal, Span, TraceEntry};
+use dahlia_obs::{Histogram, Journal, SlowLog, Span, TraceEntry, Window};
 
 use json::{obj, Json};
 use session::Control;
@@ -138,11 +138,21 @@ pub use protocol::{Request, Response};
 pub use session::{AdminOp, SessionHost};
 pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
-/// Traced requests retained by a host's in-process journal (ring
-/// buffer; pushing beyond this evicts the oldest entry). Shared by the
-/// server and the gateway so `{"op":"trace"}` answers are comparably
-/// sized across the cluster.
+/// Default trace-journal retention (ring buffer; pushing beyond this
+/// evicts the oldest entry). Shared by the server and the gateway so
+/// `{"op":"trace"}` answers are comparably sized across the cluster;
+/// override with `--trace-journal` ([`ServerConfig::trace_journal`]).
 pub const TRACE_JOURNAL_CAP: usize = 256;
+
+/// Slow-request log retention: captures beyond this evict the oldest
+/// (counted in `dropped`; sequence numbers keep advancing).
+pub const SLOWLOG_CAP: usize = 256;
+
+/// Default slow-request capture threshold, milliseconds: a request
+/// whose wall latency exceeds this lands in the slow log with its full
+/// span breakdown, traced by the client or not. Override with
+/// `--slow-threshold-ms` ([`ServerConfig::slow_threshold_ms`]).
+pub const DEFAULT_SLOW_THRESHOLD_MS: u64 = 1_000;
 
 struct Inner {
     pipeline: Pipeline,
@@ -151,6 +161,15 @@ struct Inner {
     latency_hist: Histogram,
     queue_hist: Histogram,
     journal: Journal,
+    /// Live sliding window over finished requests (throughput, error
+    /// rate, windowed latency percentiles).
+    window: Window,
+    /// Requests currently executing a pipeline lookup.
+    in_flight: AtomicU64,
+    /// Requests dispatched to the pool but not yet picked up.
+    queue_depth: AtomicU64,
+    slowlog: SlowLog,
+    slow_threshold_us: u64,
 }
 
 impl Inner {
@@ -164,30 +183,42 @@ impl Inner {
     fn handle_queued(&self, req: &Request, queue_us: Option<u64>) -> Response {
         let t0 = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
         if let Some(q) = queue_us {
+            // The request left the pool queue for this worker thread.
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
             self.queue_hist.record(q);
         }
-        let (value, cached, trace) = match &req.trace {
-            None => {
-                let (value, cached) = self.pipeline.artifact(&req.source, req.stage, &req.options);
-                (value, cached, None)
-            }
-            Some(trace_id) => {
-                let (value, cached, mut spans) =
-                    self.pipeline
-                        .artifact_traced(&req.source, req.stage, &req.options);
-                if let Some(q) = queue_us {
-                    spans.insert(0, Span::new("queue", q));
-                }
-                (value, cached, Some((trace_id.clone(), spans)))
-            }
-        };
+        // Spans are recorded for *every* request — the traced path
+        // echoes them to the client, and the slow log captures them
+        // retroactively when the request crosses the threshold; on the
+        // fast path they are simply dropped. The bench suite pins this
+        // always-on collection at noise level against the old untraced
+        // path (one mutex-guarded Vec push per stage lookup).
+        let (value, cached, mut spans) =
+            self.pipeline
+                .artifact_traced(&req.source, req.stage, &req.options);
+        if let Some(q) = queue_us {
+            spans.insert(0, Span::new("queue", q));
+        }
         // Floor division on every span and on the wall clock keeps the
         // invariant "stage spans sum ≤ wall latency" exact.
         let latency_us = (t0.elapsed().as_nanos() / 1_000) as u64;
         self.latency_us.fetch_add(latency_us, Ordering::Relaxed);
         self.latency_hist.record(latency_us);
-        let trace = trace.map(|(trace_id, spans)| {
+        self.window.record(latency_us, value.is_ok());
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if latency_us > self.slow_threshold_us {
+            self.slowlog.push(TraceEntry {
+                trace: req.trace.clone().unwrap_or_default(),
+                id: req.id.clone(),
+                stage: req.stage.name().to_string(),
+                ok: value.is_ok(),
+                wall_us: latency_us,
+                spans: spans.clone(),
+            });
+        }
+        let trace = req.trace.as_ref().map(|trace_id| {
             self.journal.push(TraceEntry {
                 trace: trace_id.clone(),
                 id: req.id.clone(),
@@ -196,7 +227,7 @@ impl Inner {
                 wall_us: latency_us,
                 spans: spans.clone(),
             });
-            obs_json::trace_field(&trace_id, &spans)
+            obs_json::trace_field(trace_id, &spans)
         });
         Response {
             id: req.id.clone(),
@@ -235,6 +266,28 @@ impl Inner {
                         .collect(),
                 )
             }),
+        ])
+    }
+
+    /// The `window` section of the stats object: live (sliding-window)
+    /// throughput, error rate, windowed latency percentiles, and the
+    /// instantaneous in-flight/queue-depth gauges.
+    fn window_json(&self) -> Json {
+        obs_json::window_to_json(
+            &self.window.snapshot(),
+            self.in_flight.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The `journals` section of the stats object: lifetime eviction
+    /// counts of the bounded rings, surfaced here so the Prometheus
+    /// exposition (a mechanical walk of this object) makes silent
+    /// overflow alertable.
+    fn journals_json(&self) -> Json {
+        obj([
+            ("trace_dropped", Json::Num(self.journal.dropped() as f64)),
+            ("slowlog_dropped", Json::Num(self.slowlog.dropped() as f64)),
         ])
     }
 }
@@ -361,6 +414,8 @@ pub struct ServerConfig {
     evict: EvictConfig,
     cache_dir: Option<PathBuf>,
     cache_gc_max_bytes: Option<u64>,
+    trace_journal: Option<usize>,
+    slow_threshold_ms: Option<u64>,
 }
 
 impl ServerConfig {
@@ -409,6 +464,22 @@ impl ServerConfig {
         self
     }
 
+    /// Retain `cap` entries in the trace journal instead of the
+    /// default [`TRACE_JOURNAL_CAP`]. `cap` is clamped to at least 1
+    /// here; the CLI rejects `--trace-journal 0` with a usage error.
+    pub fn trace_journal(mut self, cap: usize) -> ServerConfig {
+        self.trace_journal = Some(cap);
+        self
+    }
+
+    /// Capture requests slower than `ms` milliseconds into the slow
+    /// log (default [`DEFAULT_SLOW_THRESHOLD_MS`]; 0 captures every
+    /// request that takes any measurable time at all).
+    pub fn slow_threshold_ms(mut self, ms: u64) -> ServerConfig {
+        self.slow_threshold_ms = Some(ms);
+        self
+    }
+
     /// Build the server. Fails only if the cache directory cannot be
     /// created.
     pub fn build(self) -> std::io::Result<Server> {
@@ -430,7 +501,12 @@ impl ServerConfig {
             Some(n) => Pool::new(n),
             None => Pool::with_default_threads(),
         };
-        Ok(Server::build(pipeline, pool))
+        Ok(Server::build_telemetry(
+            pipeline,
+            pool,
+            self.trace_journal.unwrap_or(TRACE_JOURNAL_CAP),
+            self.slow_threshold_ms.unwrap_or(DEFAULT_SLOW_THRESHOLD_MS),
+        ))
     }
 }
 
@@ -467,6 +543,15 @@ impl Server {
     }
 
     fn build(pipeline: Pipeline, pool: Pool) -> Server {
+        Server::build_telemetry(pipeline, pool, TRACE_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS)
+    }
+
+    fn build_telemetry(
+        pipeline: Pipeline,
+        pool: Pool,
+        journal_cap: usize,
+        slow_threshold_ms: u64,
+    ) -> Server {
         Server {
             inner: Arc::new(Inner {
                 pipeline,
@@ -474,7 +559,12 @@ impl Server {
                 latency_us: AtomicU64::new(0),
                 latency_hist: Histogram::new(),
                 queue_hist: Histogram::new(),
-                journal: Journal::new(TRACE_JOURNAL_CAP),
+                journal: Journal::new(journal_cap),
+                window: Window::with_default_clock(),
+                in_flight: AtomicU64::new(0),
+                queue_depth: AtomicU64::new(0),
+                slowlog: SlowLog::new(SLOWLOG_CAP),
+                slow_threshold_us: slow_threshold_ms.saturating_mul(1_000),
             }),
             pool,
         }
@@ -497,6 +587,9 @@ impl Server {
     pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
         let inner = Arc::clone(&self.inner);
         let enqueued = Instant::now();
+        self.inner
+            .queue_depth
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
         self.pool.map(reqs, move |req| {
             let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
             inner.handle_queued(&req, Some(queue_us))
@@ -569,6 +662,13 @@ impl Server {
                         obj([("trace", SessionHost::trace_json(self))]).emit()
                     )?;
                 }
+                Ok(Control::Slowlog { since }) => {
+                    writeln!(
+                        output,
+                        "{}",
+                        obj([("slowlog", SessionHost::slowlog_json(self, since))]).emit()
+                    )?;
+                }
                 Ok(Control::Shutdown) => {
                     writeln!(output, "{}", session::shutdown_ack_line())?;
                     break;
@@ -615,6 +715,7 @@ impl SessionHost for Server {
     fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>) {
         let inner = Arc::clone(&self.inner);
         let enqueued = Instant::now();
+        self.inner.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.pool.execute(move || {
             let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
             let resp = inner.handle_queued(&req, Some(queue_us));
@@ -626,12 +727,32 @@ impl SessionHost for Server {
         let mut v = self.stats().to_json();
         if let Json::Obj(fields) = &mut v {
             fields.push(("hist".to_string(), self.inner.hist_json()));
+            fields.push(("window".to_string(), self.inner.window_json()));
+            fields.push(("journals".to_string(), self.inner.journals_json()));
         }
         v
     }
 
     fn trace_json(&self) -> Json {
         obs_json::journal_to_json(&self.inner.journal)
+    }
+
+    fn slowlog_json(&self, since: u64) -> Json {
+        obs_json::slowlog_to_json(&self.inner.slowlog.snapshot_since(since))
+    }
+
+    fn health_json(&self) -> Json {
+        obj([
+            ("ok", Json::Bool(true)),
+            (
+                "trace_dropped",
+                Json::Num(self.inner.journal.dropped() as f64),
+            ),
+            (
+                "slowlog_dropped",
+                Json::Num(self.inner.slowlog.dropped() as f64),
+            ),
+        ])
     }
 }
 
@@ -815,6 +936,82 @@ mod tests {
             .get("compute_us")
             .and_then(|c| c.get("parse"))
             .is_some());
+    }
+
+    #[test]
+    fn slow_requests_are_captured_without_a_trace() {
+        // Threshold 0: anything measurable is "slow". The client never
+        // asks for a trace, yet the capture carries the span breakdown.
+        let server = ServerConfig::new()
+            .threads(1)
+            .slow_threshold_ms(0)
+            .build()
+            .unwrap();
+        let resp = server.submit(Request::estimate("r1", GOOD));
+        assert!(resp.ok());
+        assert!(resp.trace.is_none(), "no trace requested, none returned");
+
+        let log = SessionHost::slowlog_json(&server, 0);
+        assert_eq!(log.get("last_seq").and_then(Json::as_u64), Some(1));
+        let Some(Json::Arr(entries)) = log.get("entries") else {
+            panic!("{log:?}")
+        };
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("seq").and_then(Json::as_u64), Some(1));
+        assert_eq!(e.get("id").and_then(Json::as_str), Some("r1"));
+        assert!(e.get("trace").is_none(), "untraced capture has no trace id");
+        let Some(Json::Arr(spans)) = e.get("spans") else {
+            panic!("{e:?}")
+        };
+        assert!(!spans.is_empty(), "full span breakdown captured");
+
+        // The cursor: polling from last_seq returns nothing new.
+        let tail = SessionHost::slowlog_json(&server, 1);
+        let Some(Json::Arr(rest)) = tail.get("entries") else {
+            panic!("{tail:?}")
+        };
+        assert!(rest.is_empty());
+
+        // The trace journal stays reserved for client-requested traces.
+        let journal = SessionHost::trace_json(&server);
+        let Some(Json::Arr(traced)) = journal.get("entries") else {
+            panic!("{journal:?}")
+        };
+        assert!(traced.is_empty());
+    }
+
+    #[test]
+    fn stats_carry_window_and_journal_sections() {
+        let server = Server::with_threads(2);
+        server.submit_batch(vec![
+            Request::estimate("a", GOOD),
+            Request::estimate("b", GOOD),
+        ]);
+        let stats = SessionHost::stats_json(&server);
+        let window = stats.get("window").expect("window section");
+        assert_eq!(window.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(window.get("errors").and_then(Json::as_u64), Some(0));
+        assert!(window.get("rate").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(window.get("in_flight").and_then(Json::as_u64), Some(0));
+        assert_eq!(window.get("queue_depth").and_then(Json::as_u64), Some(0));
+        let hist = window.get("latency_us").expect("windowed histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+        assert!(hist.get("p99").is_some());
+        let journals = stats.get("journals").expect("journals section");
+        assert_eq!(
+            journals.get("trace_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            journals.get("slowlog_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+        // Health carries the same drop counters for alerting.
+        let health = SessionHost::health_json(&server);
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        assert!(health.get("trace_dropped").is_some());
+        assert!(health.get("slowlog_dropped").is_some());
     }
 
     #[test]

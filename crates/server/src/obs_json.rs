@@ -15,7 +15,9 @@
 
 use crate::json::{obj, Json};
 use dahlia_obs::prom::{sanitize_name, PromWriter};
-use dahlia_obs::{HistSnapshot, Journal, Span, TraceEntry};
+use dahlia_obs::{
+    HistSnapshot, Journal, SlowEntry, SlowLogSnapshot, Span, TraceEntry, WindowSnapshot,
+};
 
 /// Encode a histogram snapshot. Bucket counts become an object keyed by
 /// the decimal upper bound (`{"1023": 7, ...}`); `p50`/`p95`/`p99` are
@@ -196,6 +198,63 @@ pub fn journal_to_json(journal: &Journal) -> Json {
         (
             "entries",
             Json::Arr(entries.iter().map(trace_entry_to_json).collect()),
+        ),
+    ])
+}
+
+/// Encode a window snapshot plus the host's instantaneous gauges as
+/// the `window` section of a stats object. Every field is chosen to
+/// aggregate correctly under the gateway's recursive sum-merge:
+/// counts, rates (per-shard rates sum to the cluster rate), and
+/// gauges add, and the embedded histogram merges bucket-wise with its
+/// percentiles re-derived by [`fix_percentiles`]. The window's
+/// `covered_ms` is deliberately **not** encoded — coverage does not
+/// sum across shards.
+pub fn window_to_json(snap: &WindowSnapshot, in_flight: u64, queue_depth: u64) -> Json {
+    obj([
+        ("requests", Json::Num(snap.requests as f64)),
+        ("errors", Json::Num(snap.errors as f64)),
+        ("rate", Json::Num(snap.rate_per_s())),
+        ("error_rate", Json::Num(snap.error_rate_per_s())),
+        ("in_flight", Json::Num(in_flight as f64)),
+        ("queue_depth", Json::Num(queue_depth as f64)),
+        ("latency_us", hist_to_json(&snap.hist)),
+    ])
+}
+
+/// Encode one slow-log capture: its cursor, then the same fields as a
+/// trace-journal entry. The `trace` field appears only when the slow
+/// request also happened to be traced by its client.
+pub fn slow_entry_to_json(e: &SlowEntry) -> Json {
+    let mut fields = vec![("seq".to_string(), Json::Num(e.seq as f64))];
+    if !e.entry.trace.is_empty() {
+        fields.push(("trace".to_string(), Json::Str(e.entry.trace.clone())));
+    }
+    fields.extend([
+        ("id".to_string(), Json::Str(e.entry.id.clone())),
+        ("stage".to_string(), Json::Str(e.entry.stage.clone())),
+        ("ok".to_string(), Json::Bool(e.entry.ok)),
+        ("wall_us".to_string(), Json::Num(e.entry.wall_us as f64)),
+        (
+            "spans".to_string(),
+            Json::Arr(e.entry.spans.iter().map(span_to_json).collect()),
+        ),
+    ]);
+    Json::Obj(fields)
+}
+
+/// Encode a slow-log snapshot for the `{"op":"slowlog"}` answer:
+/// retention bound, lifetime eviction count, the newest capture's
+/// sequence number (the poller's next `since` cursor), and the
+/// retained captures oldest-first.
+pub fn slowlog_to_json(snap: &SlowLogSnapshot) -> Json {
+    obj([
+        ("capacity", Json::Num(snap.capacity as f64)),
+        ("dropped", Json::Num(snap.dropped as f64)),
+        ("last_seq", Json::Num(snap.last_seq as f64)),
+        (
+            "entries",
+            Json::Arr(snap.entries.iter().map(slow_entry_to_json).collect()),
         ),
     ])
 }

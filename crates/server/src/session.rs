@@ -91,6 +91,21 @@ pub trait SessionHost: Send + Sync {
         ])
     }
 
+    /// The slow-request log answered to `{"op":"slowlog"}` (the
+    /// payload under the `"slowlog"` envelope): retention capacity,
+    /// lifetime drop count, the newest capture's sequence number, and
+    /// the retained captures newer than the `since` cursor. The
+    /// default is an empty log for hosts that keep none.
+    fn slowlog_json(&self, since: u64) -> Json {
+        let _ = since;
+        obj([
+            ("capacity", Json::Num(0.0)),
+            ("dropped", Json::Num(0.0)),
+            ("last_seq", Json::Num(0.0)),
+            ("entries", Json::Arr(Vec::new())),
+        ])
+    }
+
     /// The liveness object served by `GET /healthz` (merged with the
     /// transport's uptime field). A gateway overrides this to add its
     /// live/draining/dead shard counts.
@@ -121,6 +136,7 @@ pub trait SessionHost: Send + Sync {
 pub(crate) enum Control {
     Stats,
     Trace,
+    Slowlog { since: u64 },
     Shutdown,
     Admin(AdminOp),
     Req(Request),
@@ -139,6 +155,18 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
     match v.get("op").and_then(Json::as_str) {
         Some("stats") => Ok(Control::Stats),
         Some("trace") => Ok(Control::Trace),
+        Some("slowlog") => {
+            let since = match v.get("since") {
+                None | Some(Json::Null) => 0,
+                Some(s) => s.as_u64().ok_or_else(|| {
+                    format!(
+                        "bad `since` in slowlog op (want a non-negative integer): {}",
+                        s.emit()
+                    )
+                })?,
+            };
+            Ok(Control::Slowlog { since })
+        }
         Some("shutdown") => Ok(Control::Shutdown),
         Some("drain") => Ok(Control::Admin(AdminOp::Drain {
             shard: parse_admin_shard(&v, "drain")?,
@@ -268,6 +296,10 @@ where
                     // The journal is in-process state; answering inline
                     // (like stats' default) never blocks on I/O.
                     tx.send(obj([("trace", host.trace_json())]).emit())
+                }
+                Ok(Control::Slowlog { since }) => {
+                    // In-process state too: answered inline like trace.
+                    tx.send(obj([("slowlog", host.slowlog_json(since))]).emit())
                 }
                 Ok(Control::Shutdown) => {
                     if let Some(flag) = shutdown {

@@ -155,7 +155,9 @@ fn stats_line_and_protocol_errors() {
             "intern",
             "evict",
             "disk",
-            "hist"
+            "hist",
+            "window",
+            "journals"
         ]
     );
     assert_eq!(s.get("requests").and_then(Json::as_u64), Some(1));

@@ -168,9 +168,19 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
                 continue;
             };
             assert!(
-                matches!(op, "stats" | "trace" | "shutdown" | "drain" | "undrain"),
+                matches!(
+                    op,
+                    "stats" | "trace" | "slowlog" | "shutdown" | "drain" | "undrain"
+                ),
                 "spec documents unknown op `{op}`"
             );
+            if let Some(s) = v.get("since") {
+                assert_eq!(op, "slowlog", "only slowlog takes a cursor");
+                assert!(
+                    matches!(s, Json::Num(n) if *n >= 0.0 && n.fract() == 0.0),
+                    "since must be a non-negative integer: `{line}`"
+                );
+            }
             if matches!(op, "drain" | "undrain") {
                 assert!(
                     matches!(v.get("shard"), Some(Json::Str(s)) if !s.is_empty()),
@@ -187,7 +197,7 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
             ops.push(op.to_string());
         }
     }
-    for required in ["stats", "trace", "shutdown", "drain", "undrain"] {
+    for required in ["stats", "trace", "slowlog", "shutdown", "drain", "undrain"] {
         assert!(
             ops.iter().any(|o| o == required),
             "spec has no example for op `{required}`"
