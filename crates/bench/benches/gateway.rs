@@ -21,6 +21,10 @@
 //!   0 ms, so every untraced request is captured into the slow-request
 //!   log: pins the cost of the always-on span recording plus a
 //!   worst-case capture rate;
+//! * `warm_2shard_telemetry` — the warm batch with durable telemetry
+//!   on (50 ms sampling into an on-disk ring, one armed alert rule,
+//!   warm-key ledger checkpoints): pins the cost of the sampler
+//!   running beside the hot path next to the `warm_2shard` floor;
 //! * `warm_local_fallback` — the empty-cluster degenerate case, served
 //!   by the gateway's embedded local server.
 //!
@@ -55,12 +59,34 @@ fn cold_scenario(shards: usize) -> LatencyStats {
 /// Warm batch through `shards` shards: one throwaway round warms every
 /// shard, then `rounds` measured rounds, traced or not. With
 /// `capture_all`, the slow threshold drops to 0 ms so the slow-request
-/// log captures every request — the worst-case capture overhead.
-fn warm_scenario(shards: usize, rounds: usize, traced: bool, capture_all: bool) -> LatencyStats {
+/// log captures every request — the worst-case capture overhead. With
+/// `telemetry`, the gateway samples durable telemetry to a scratch
+/// on-disk ring every 50 ms with one armed alert rule — the cost of
+/// the sampler thread beside the hot path.
+fn warm_scenario(
+    shards: usize,
+    rounds: usize,
+    traced: bool,
+    capture_all: bool,
+    telemetry: bool,
+) -> LatencyStats {
     let cluster = spawn_shards(shards, SHARD_THREADS);
     let mut cfg = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone()));
     if capture_all {
         cfg = cfg.slow_threshold_ms(0);
+    }
+    let tele_dir = telemetry.then(|| {
+        let dir =
+            std::env::temp_dir().join(format!("dahlia-bench-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create telemetry scratch dir");
+        dir
+    });
+    if let Some(dir) = &tele_dir {
+        cfg = cfg
+            .telemetry_dir(dir)
+            .telemetry_interval_ms(50)
+            .alert_rule("window.error_rate > 0.5 for 1s");
     }
     let gateway = cfg.build();
     let requests = machsuite_requests();
@@ -71,6 +97,9 @@ fn warm_scenario(shards: usize, rounds: usize, traced: bool, capture_all: bool) 
     }
     drop(gateway);
     shutdown_shards(cluster);
+    if let Some(dir) = tele_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     LatencyStats::from_samples(samples)
 }
 
@@ -102,16 +131,20 @@ fn main() {
         for &shards in widths {
             scenarios.push((
                 format!("warm_{shards}shard"),
-                warm_scenario(shards, rounds, false, false),
+                warm_scenario(shards, rounds, false, false, false),
             ));
         }
         scenarios.push((
             "warm_2shard_traced".into(),
-            warm_scenario(2, rounds, true, false),
+            warm_scenario(2, rounds, true, false, false),
         ));
         scenarios.push((
             "warm_2shard_slowlog".into(),
-            warm_scenario(2, rounds, false, true),
+            warm_scenario(2, rounds, false, true, false),
+        ));
+        scenarios.push((
+            "warm_2shard_telemetry".into(),
+            warm_scenario(2, rounds, false, false, true),
         ));
         scenarios.push((
             "warm_local_fallback".into(),

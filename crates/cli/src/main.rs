@@ -11,6 +11,8 @@
 //! dahliac gateway [opts]              sharded cluster front-end over shards
 //! dahliac gateway-admin <op> [opts]   drain/undrain shards on a live gateway
 //! dahliac top    --connect ADDR       live load console over a server/gateway
+//! dahliac history --connect ADDR      query the on-disk telemetry ring
+//! dahliac alerts --connect ADDR       dump alert states and transitions
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
@@ -24,6 +26,13 @@
 //! <addr> --shards a1,a2,…` routes requests across many servers by
 //! source digest (rendezvous hashing), with failover and an in-process
 //! fallback when the cluster is empty.
+//!
+//! With `--telemetry-dir` a server or gateway samples its own stats to
+//! a crash-safe on-disk ring, answerable after a restart via `dahliac
+//! history`; `--alert-rule "window.error_rate > 0.05 for 30s"` arms
+//! declarative alerts (`dahliac alerts` reads the transition journal),
+//! and the gateway's `--auto-drain-after N` drains a shard that fails
+//! N consecutive health checks.
 //!
 //! Exit codes are distinct per failure phase so scripts and test
 //! harnesses can tell rejection modes apart without scraping stderr:
@@ -74,6 +83,8 @@ const USAGE: &str = "usage: dahliac <command> [args]
                  [--cache-dir DIR] [--max-entries N] [--max-bytes N]
                  [--cache-gc-max-bytes N] [--metrics ADDR]
                  [--trace-journal N] [--slow-threshold-ms MS]
+                 [--telemetry-dir DIR] [--telemetry-interval-ms MS]
+                 [--alert-rule RULE]... [--alert-rules FILE]
                                       JSON-lines compile service: stdio by
                                       default (strict order), `--pipeline`
                                       for out-of-order stdio responses,
@@ -85,7 +96,15 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       --trace-journal bounds the trace ring
                                       buffer; requests slower than
                                       --slow-threshold-ms land in the slow
-                                      log ({\"op\":\"slowlog\"}) with spans
+                                      log ({\"op\":\"slowlog\"}) with spans;
+                                      --telemetry-dir samples stats to a
+                                      crash-safe on-disk ring every
+                                      --telemetry-interval-ms (default
+                                      1000), served by {\"op\":\"history\"};
+                                      --alert-rule arms a threshold alert
+                                      (e.g. \"window.error_rate > 0.05
+                                      for 30s\"; repeatable, or one per
+                                      line from --alert-rules FILE)
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
                  [--cache-dir DIR] [--connect ADDR] [--shutdown]
                  [--verbose] [--trace] [--slowlog] [files...]
@@ -101,6 +120,9 @@ const USAGE: &str = "usage: dahliac <command> [args]
   dahliac gateway --listen ADDR [--shards a1[=W],a2,...] [--spawn-workers N]
                  [--replication N] [--threads N] [--metrics ADDR]
                  [--trace-journal N] [--slow-threshold-ms MS]
+                 [--telemetry-dir DIR] [--telemetry-interval-ms MS]
+                 [--alert-rule RULE]... [--alert-rules FILE]
+                 [--auto-drain-after N]
                                       cluster front-end: routes requests
                                       across `serve --listen` shards by
                                       source digest (weighted rendezvous
@@ -114,16 +136,43 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       processes on ephemeral ports;
                                       --trace-journal / --slow-threshold-ms
                                       configure the gateway's own journal
-                                      and slow-request capture
+                                      and slow-request capture;
+                                      --telemetry-dir also persists the
+                                      warm-key ledger across restarts;
+                                      alert rules may bind remediation
+                                      (\"... -> drain\"), and
+                                      --auto-drain-after N drains a shard
+                                      after N consecutive health-check
+                                      failures (never the last live one;
+                                      0 = off, the default)
   dahliac top    --connect ADDR [--interval-ms N] [--once]
                                       live cluster console: polls the
                                       windowed stats of a server or gateway
                                       and redraws per-shard routed/s,
                                       err/s, windowed p99, queue depth,
                                       warm keys and drain state beside the
-                                      cluster totals; --once prints a
-                                      single machine-readable JSON snapshot
+                                      cluster totals, with two-minute
+                                      req/s and p99 sparklines when the
+                                      remote keeps durable telemetry;
+                                      --once prints a single
+                                      machine-readable JSON snapshot
                                       and exits (for scripts and CI)
+  dahliac history --connect ADDR --series PATH [--since MS] [--step MS]
+                                      query the remote's on-disk telemetry
+                                      ring: dotted stats path (e.g.
+                                      window.error_rate, gateway.requests,
+                                      window.latency_us), points since a
+                                      wall-clock ms cursor, downsampled
+                                      into --step-sized bins (min/max/mean,
+                                      or merged-bucket p50/p95/p99 for
+                                      histogram series); prints the
+                                      {\"history\":...} envelope
+  dahliac alerts --connect ADDR [--since SEQ]
+                                      dump the remote's alert rule states
+                                      (0 ok, 1 pending, 2 firing) and its
+                                      firing/resolved transition journal
+                                      past a sequence cursor; prints the
+                                      {\"alerts\":...} envelope
   dahliac gateway-admin <drain|undrain> --connect ADDR SHARD [--weight W]
                                       administer a live gateway: `drain`
                                       routes new keys past SHARD and
@@ -151,6 +200,8 @@ fn main() -> ExitCode {
         "gateway" => cmd_gateway(&args[1..]),
         "gateway-admin" => cmd_gateway_admin(&args[1..]),
         "top" => cmd_top(&args[1..]),
+        "history" => cmd_history(&args[1..]),
+        "alerts" => cmd_alerts(&args[1..]),
         "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -351,6 +402,44 @@ fn parse_nonneg(flag: &str, raw: Option<String>) -> Result<Option<u64>, ExitCode
     }
 }
 
+/// Collect every `--alert-rule RULE` occurrence plus the contents of an
+/// optional `--alert-rules FILE` (one rule per line; blank lines and
+/// `#` comments skipped). Rule *syntax* is validated by the service
+/// build, which reports the offending rule text.
+fn take_alert_rules(args: &mut Vec<String>) -> Result<Vec<String>, ExitCode> {
+    let mut rules = Vec::new();
+    loop {
+        match take_flag(args, "--alert-rule") {
+            Ok(Some(r)) => rules.push(r),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                return Err(ExitCode::from(EXIT_USAGE));
+            }
+        }
+    }
+    let file = match take_flag(args, "--alert-rules") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dahliac: {e}");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    };
+    if let Some(path) = file {
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            eprintln!("dahliac: cannot read alert rules file `{path}`: {e}");
+            ExitCode::from(EXIT_USAGE)
+        })?;
+        rules.extend(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string),
+        );
+    }
+    Ok(rules)
+}
+
 /// Service-facing options shared by `serve` and `batch`.
 struct ServiceOpts {
     threads: Option<usize>,
@@ -363,6 +452,9 @@ struct ServiceOpts {
     cache_gc_max_bytes: Option<usize>,
     trace_journal: Option<usize>,
     slow_threshold_ms: Option<u64>,
+    telemetry_dir: Option<String>,
+    telemetry_interval_ms: Option<usize>,
+    alert_rules: Vec<String>,
 }
 
 impl ServiceOpts {
@@ -377,6 +469,8 @@ impl ServiceOpts {
             "--cache-gc-max-bytes",
             "--trace-journal",
             "--slow-threshold-ms",
+            "--telemetry-dir",
+            "--telemetry-interval-ms",
         ] {
             match take_flag(args, f) {
                 Ok(v) => flags.push(v),
@@ -386,8 +480,9 @@ impl ServiceOpts {
                 }
             }
         }
-        let [threads, cache_dir, max_entries, max_bytes, gc_max, journal, slow_ms] =
+        let [threads, cache_dir, max_entries, max_bytes, gc_max, journal, slow_ms, tele_dir, tele_ms] =
             flags.try_into().unwrap();
+        let alert_rules = take_alert_rules(args)?;
         Ok(ServiceOpts {
             threads: parse_positive("--threads", threads)?,
             cache_dir_flag: cache_dir,
@@ -399,6 +494,11 @@ impl ServiceOpts {
             // operator's back.
             trace_journal: parse_positive("--trace-journal", journal)?,
             slow_threshold_ms: parse_nonneg("--slow-threshold-ms", slow_ms)?,
+            telemetry_dir: tele_dir,
+            // A zero sampling interval would spin the sampler thread;
+            // usage error, same policy as the journal capacity.
+            telemetry_interval_ms: parse_positive("--telemetry-interval-ms", tele_ms)?,
+            alert_rules,
         })
     }
 
@@ -420,6 +520,12 @@ impl ServiceOpts {
             Some("--trace-journal")
         } else if self.slow_threshold_ms.is_some() {
             Some("--slow-threshold-ms")
+        } else if self.telemetry_dir.is_some() {
+            Some("--telemetry-dir")
+        } else if self.telemetry_interval_ms.is_some() {
+            Some("--telemetry-interval-ms")
+        } else if !self.alert_rules.is_empty() {
+            Some("--alert-rule")
         } else {
             None
         }
@@ -454,8 +560,19 @@ impl ServiceOpts {
         if let Some(ms) = self.slow_threshold_ms {
             cfg = cfg.slow_threshold_ms(ms);
         }
+        if let Some(dir) = &self.telemetry_dir {
+            cfg = cfg.telemetry_dir(dir);
+        }
+        if let Some(ms) = self.telemetry_interval_ms {
+            cfg = cfg.telemetry_interval_ms(ms as u64);
+        }
+        for rule in &self.alert_rules {
+            cfg = cfg.alert_rule(rule);
+        }
+        // Build failures are all operator input: an unopenable cache or
+        // telemetry directory, or an alert rule that does not parse.
         cfg.build().map_err(|e| {
-            eprintln!("dahliac: cannot open cache directory: {e}");
+            eprintln!("dahliac: cannot start service: {e}");
             ExitCode::from(EXIT_USAGE)
         })
     }
@@ -713,6 +830,9 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         "--metrics",
         "--trace-journal",
         "--slow-threshold-ms",
+        "--telemetry-dir",
+        "--telemetry-interval-ms",
+        "--auto-drain-after",
     ] {
         match take_flag(&mut args, f) {
             Ok(v) => flags.push(v),
@@ -722,8 +842,12 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
             }
         }
     }
-    let [listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr, journal_raw, slow_raw] =
+    let [listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr, journal_raw, slow_raw, tele_dir, tele_ms_raw, drain_after_raw] =
         flags.try_into().unwrap();
+    let alert_rules = match take_alert_rules(&mut args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     if !args.is_empty() {
         eprintln!("dahliac: gateway takes no positional arguments (got {args:?})\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
@@ -749,6 +873,15 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let slow_threshold_ms = match parse_nonneg("--slow-threshold-ms", slow_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let telemetry_interval_ms = match parse_positive("--telemetry-interval-ms", tele_ms_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    // Zero is the documented "off" value, so non-negative.
+    let auto_drain_after = match parse_nonneg("--auto-drain-after", drain_after_raw) {
         Ok(n) => n,
         Err(code) => return code,
     };
@@ -795,7 +928,28 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     if let Some(ms) = slow_threshold_ms {
         cfg = cfg.slow_threshold_ms(ms);
     }
-    let gateway = std::sync::Arc::new(cfg.build());
+    if let Some(dir) = &tele_dir {
+        cfg = cfg.telemetry_dir(dir);
+    }
+    if let Some(ms) = telemetry_interval_ms {
+        cfg = cfg.telemetry_interval_ms(ms as u64);
+    }
+    for rule in &alert_rules {
+        cfg = cfg.alert_rule(rule);
+    }
+    if let Some(n) = auto_drain_after {
+        cfg = cfg.auto_drain_after(n);
+    }
+    // `try_build` surfaces telemetry-directory and alert-rule problems
+    // as startup usage errors instead of panicking mid-flight.
+    let gateway = match cfg.try_build() {
+        Ok(g) => std::sync::Arc::new(g),
+        Err(e) => {
+            eprintln!("dahliac: cannot start gateway: {e}");
+            shutdown_workers(&mut workers);
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     if let Some(addr) = &metrics_addr {
         if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&gateway)) {
             shutdown_workers(&mut workers);
@@ -940,6 +1094,110 @@ fn cmd_gateway_admin(args: &[String]) -> ExitCode {
     }
 }
 
+/// Send one control line to a live server or gateway and print its
+/// answer verbatim (the canonical compact envelope, one line, ready
+/// for `jq`). Shared by `history` and `alerts`.
+fn control_round_trip(addr: &str, line: &str) -> ExitCode {
+    let sent = Client::connect_retry(addr, 50).and_then(|mut c| {
+        c.send_line(line)?;
+        c.recv_line()
+    });
+    match sent {
+        Ok(Some(answer)) => {
+            println!("{answer}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            eprintln!("dahliac: `{addr}` closed the connection without answering");
+            ExitCode::from(EXIT_NET)
+        }
+        Err(e) => {
+            eprintln!("dahliac: cannot reach `{addr}`: {e}");
+            ExitCode::from(EXIT_NET)
+        }
+    }
+}
+
+/// `dahliac history`: query a remote's durable telemetry ring for one
+/// series, downsampled into `--step`-sized bins since a wall-clock
+/// millisecond cursor.
+fn cmd_history(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let mut flags = Vec::new();
+    for f in ["--connect", "--series", "--since", "--step"] {
+        match take_flag(&mut args, f) {
+            Ok(v) => flags.push(v),
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let [connect, series, since_raw, step_raw] = flags.try_into().unwrap();
+    if !args.is_empty() {
+        eprintln!("dahliac: history takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(addr) = connect else {
+        eprintln!("dahliac: history needs --connect\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let Some(series) = series else {
+        eprintln!("dahliac: history needs --series (e.g. window.error_rate)\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let since = match parse_nonneg("--since", since_raw) {
+        Ok(n) => n.unwrap_or(0),
+        Err(code) => return code,
+    };
+    let step = match parse_nonneg("--step", step_raw) {
+        Ok(n) => n.unwrap_or(0),
+        Err(code) => return code,
+    };
+    let line = obj([
+        ("op", Json::Str("history".to_string())),
+        ("series", Json::Str(series)),
+        ("since", Json::Num(since as f64)),
+        ("step", Json::Num(step as f64)),
+    ])
+    .emit();
+    control_round_trip(&addr, &line)
+}
+
+/// `dahliac alerts`: dump a remote's alert rule states and transition
+/// journal (optionally only entries past a `--since` sequence cursor).
+fn cmd_alerts(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let (connect, since_raw) = match (
+        take_flag(&mut args, "--connect"),
+        take_flag(&mut args, "--since"),
+    ) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dahliac: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if !args.is_empty() {
+        eprintln!("dahliac: alerts takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(addr) = connect else {
+        eprintln!("dahliac: alerts needs --connect\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let since = match parse_nonneg("--since", since_raw) {
+        Ok(n) => n.unwrap_or(0),
+        Err(code) => return code,
+    };
+    let line = obj([
+        ("op", Json::Str("alerts".to_string())),
+        ("since", Json::Num(since as f64)),
+    ])
+    .emit();
+    control_round_trip(&addr, &line)
+}
+
 /// One `{"op":"stats"}` round trip: the payload under the `stats`
 /// envelope. Shared by `batch --connect` round accounting and `top`.
 fn fetch_remote_stats(client: &mut Client) -> std::io::Result<Json> {
@@ -957,6 +1215,90 @@ fn fetch_remote_stats(client: &mut Client) -> std::io::Result<Json> {
         )
     })?;
     Ok(v.get("stats").cloned().unwrap_or(Json::Null))
+}
+
+/// Scale a series onto the eight spark glyphs (▁▂▃▄▅▆▇█), newest bin
+/// last. `None` when the series is empty, so `top` omits the row
+/// entirely on remotes running without `--telemetry-dir`.
+fn sparkline(values: &[f64]) -> Option<String> {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return None;
+    }
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    Some(
+        values
+            .iter()
+            .map(|v| {
+                let i = if max > 0.0 {
+                    ((v / max) * 7.0).round() as usize
+                } else {
+                    0
+                };
+                BARS[i.min(7)]
+            })
+            .collect(),
+    )
+}
+
+/// One `{"op":"history"}` round trip, reduced to the per-bin value a
+/// sparkline plots: `mean` for scalar series, `p99` for histogram
+/// series. A remote without durable telemetry answers with zero
+/// points, which comes back as an empty vector.
+fn fetch_history_series(
+    client: &mut Client,
+    series: &str,
+    since: u64,
+    step: u64,
+) -> std::io::Result<Vec<f64>> {
+    let line = obj([
+        ("op", Json::Str("history".to_string())),
+        ("series", Json::Str(series.to_string())),
+        ("since", Json::Num(since as f64)),
+        ("step", Json::Num(step as f64)),
+    ])
+    .emit();
+    client.send_line(&line)?;
+    let answer = client.recv_line()?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection during a history request",
+        )
+    })?;
+    let v = Json::parse(&answer).unwrap_or(Json::Null);
+    let mut out = Vec::new();
+    if let Some(Json::Arr(points)) = v.get("history").and_then(|h| h.get("points")) {
+        for p in points {
+            out.push(
+                p.get("mean")
+                    .and_then(Json::as_f64)
+                    .or_else(|| p.get("p99").and_then(Json::as_f64))
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// The sparkline rows of a `top` frame: the last two minutes of
+/// windowed throughput and p99 latency from the remote's durable
+/// telemetry, in 4-second bins. Empty (no rows rendered) when the
+/// remote runs without `--telemetry-dir`.
+fn fetch_top_sparks(client: &mut Client) -> std::io::Result<Vec<(&'static str, String)>> {
+    const HORIZON_MS: u64 = 120_000;
+    const STEP_MS: u64 = 4_000;
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let since = now_ms.saturating_sub(HORIZON_MS);
+    let mut rows = Vec::new();
+    for (label, series) in [("req/s", "window.rate"), ("p99us", "window.latency_us")] {
+        let values = fetch_history_series(client, series, since, STEP_MS)?;
+        if let Some(spark) = sparkline(&values) {
+            rows.push((label, spark));
+        }
+    }
+    Ok(rows)
 }
 
 /// One row of the `top` shard table, lifted from the gateway's
@@ -1076,7 +1418,7 @@ impl TopSnapshot {
     }
 
     /// The interactive console frame.
-    fn render(&self, addr: &str, elapsed_s: u64) -> String {
+    fn render(&self, addr: &str, elapsed_s: u64, sparks: &[(&'static str, String)]) -> String {
         let mut out = String::new();
         out.push_str(&format!("dahliac top — {addr} — up {elapsed_s}s\n"));
         out.push_str(&format!(
@@ -1088,6 +1430,12 @@ impl TopSnapshot {
             out.push_str(&format!("  live {live:.0}/{}", self.shards.len()));
         }
         out.push('\n');
+        if !sparks.is_empty() {
+            out.push('\n');
+            for (label, spark) in sparks {
+                out.push_str(&format!("{label:>6}  {spark}  (2m, 4s bins)\n"));
+            }
+        }
         if !self.shards.is_empty() {
             out.push_str(&format!(
                 "\n{:<24} {:>5} {:>10} {:>8} {:>10} {:>6} {:>7}\n",
@@ -1161,10 +1509,17 @@ fn cmd_top(args: &[String]) -> ExitCode {
             println!("{}", snap.to_json(&addr).emit());
             return ExitCode::SUCCESS;
         }
+        let sparks = match fetch_top_sparks(&mut client) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dahliac: network error talking to `{addr}`: {e}");
+                return ExitCode::from(EXIT_NET);
+            }
+        };
         // ANSI clear + home: a real terminal redraw, not a scroll.
         print!(
             "\x1b[2J\x1b[H{}",
-            snap.render(&addr, t0.elapsed().as_secs())
+            snap.render(&addr, t0.elapsed().as_secs(), &sparks)
         );
         let _ = std::io::stdout().flush();
         std::thread::sleep(std::time::Duration::from_millis(interval));

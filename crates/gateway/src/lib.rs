@@ -67,17 +67,22 @@
 #![warn(missing_docs)]
 
 pub mod hash;
+mod ledger;
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
-use dahlia_obs::{Journal, SlowLog, Span, TraceEntry, Window};
+use dahlia_obs::{
+    AlertEngine, Clock, Journal, Sampler, SlowLog, Span, TraceEntry, Tsdb, WallClock, Window,
+};
 use dahlia_server::json::{obj, Json};
 use dahlia_server::{
-    obs_json, source_digest, AdminOp, PipelinedClient, Pool, Request, Server, SessionHost,
-    DEFAULT_SLOW_THRESHOLD_MS, SLOWLOG_CAP, TRACE_JOURNAL_CAP,
+    obs_json, parse_alert_rules, source_digest, AdminOp, PipelinedClient, Pool, Request, Server,
+    SessionHost, ALERT_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS, DEFAULT_TELEMETRY_INTERVAL_MS,
+    SLOWLOG_CAP, TRACE_JOURNAL_CAP,
 };
 
 /// Bound on the per-shard warm-key ledger the drain migrator walks.
@@ -100,6 +105,10 @@ pub struct GatewayConfig {
     io_timeout: Duration,
     trace_journal: usize,
     slow_threshold_ms: u64,
+    telemetry_dir: Option<PathBuf>,
+    telemetry_interval_ms: u64,
+    alert_rules: Vec<String>,
+    auto_drain_after: u64,
 }
 
 impl GatewayConfig {
@@ -124,6 +133,10 @@ impl GatewayConfig {
             io_timeout: Duration::from_secs(30),
             trace_journal: TRACE_JOURNAL_CAP,
             slow_threshold_ms: DEFAULT_SLOW_THRESHOLD_MS,
+            telemetry_dir: None,
+            telemetry_interval_ms: DEFAULT_TELEMETRY_INTERVAL_MS,
+            alert_rules: Vec::new(),
+            auto_drain_after: 0,
         }
     }
 
@@ -187,9 +200,73 @@ impl GatewayConfig {
         self
     }
 
+    /// Persist cluster telemetry under `dir` (created on demand): the
+    /// crash-safe on-disk sample ring the `{"op":"history"}` control
+    /// line answers from, plus the warm-key ledger checkpoint that
+    /// lets a restarted gateway keep routing hot keys to warm shards.
+    pub fn telemetry_dir(mut self, dir: impl Into<PathBuf>) -> GatewayConfig {
+        self.telemetry_dir = Some(dir.into());
+        self
+    }
+
+    /// Sample (and evaluate alert rules) every `ms` milliseconds
+    /// instead of the default [`DEFAULT_TELEMETRY_INTERVAL_MS`].
+    /// Clamped to at least 1ms.
+    pub fn telemetry_interval_ms(mut self, ms: u64) -> GatewayConfig {
+        self.telemetry_interval_ms = ms;
+        self
+    }
+
+    /// Add a declarative alert rule (`gateway.shards_dead >= 1 for 5s
+    /// -> drain`). Repeatable; bad grammar fails
+    /// [`GatewayConfig::try_build`] with `InvalidInput`. A rule whose
+    /// action is `drain` additionally triggers the auto-drain
+    /// remediation when it fires.
+    pub fn alert_rule(mut self, rule: impl Into<String>) -> GatewayConfig {
+        self.alert_rules.push(rule.into());
+        self
+    }
+
+    /// Auto-drain remediation: drain a shard after `n` consecutive
+    /// health-check failures (0, the default, disables it). The last
+    /// live shard is never drained, and each drain lands in the alert
+    /// journal and the per-shard `auto_drained` counter.
+    pub fn auto_drain_after(mut self, n: u64) -> GatewayConfig {
+        self.auto_drain_after = n;
+        self
+    }
+
     /// Build the gateway: dial every shard (concurrently, best-effort)
     /// and start the health checker.
+    ///
+    /// Panics if the telemetry directory cannot be opened or an alert
+    /// rule does not parse — use [`GatewayConfig::try_build`] to
+    /// surface those as errors (the CLI does).
     pub fn build(self) -> Gateway {
+        self.try_build().expect("gateway telemetry configuration")
+    }
+
+    /// [`GatewayConfig::build`], with telemetry/alert configuration
+    /// errors reported instead of panicking.
+    pub fn try_build(self) -> std::io::Result<Gateway> {
+        let rules = parse_alert_rules(&self.alert_rules)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let tsdb = match &self.telemetry_dir {
+            Some(dir) => Some(Arc::new(Tsdb::open(dir)?)),
+            None => None,
+        };
+        let ledger_path = self
+            .telemetry_dir
+            .as_ref()
+            .map(|dir| dir.join(ledger::LEDGER_FILE));
+        // Alert timestamps and on-disk sample timestamps share a wall
+        // clock so history cursors stay meaningful across restarts.
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let engine = Arc::new(AlertEngine::new(
+            rules,
+            Arc::clone(&clock),
+            ALERT_JOURNAL_CAP,
+        ));
         let threads = self
             .threads
             .unwrap_or_else(|| (self.shards.len() * 4).clamp(4, 32));
@@ -222,7 +299,22 @@ impl GatewayConfig {
             slow_threshold_us: self.slow_threshold_ms.saturating_mul(1_000),
             local: OnceLock::new(),
             pool: Pool::new(threads),
+            tsdb,
+            engine,
+            clock,
+            auto_drain_after: self.auto_drain_after,
+            ledger_path,
         });
+        // Rehydrate the warm-key ledger from the last checkpoint (an
+        // unreadable file reads as empty) so drains after a gateway
+        // restart still know where the heat lives.
+        if let Some(path) = &inner.ledger_path {
+            for (addr, req) in ledger::load(path) {
+                if let Some(shard) = inner.find(&addr) {
+                    shard.record_warm(source_digest(&req.source), &req);
+                }
+            }
+        }
         // Initial dial, in parallel: one dead address must not make
         // every other shard wait out its connect timeout.
         {
@@ -255,11 +347,18 @@ impl GatewayConfig {
                 t_inner.health_pass();
             })
             .ok();
-        Gateway {
+        let sampler = (inner.tsdb.is_some() || inner.engine.rule_count() > 0).then(|| {
+            let t_inner = Arc::clone(&inner);
+            Sampler::spawn(self.telemetry_interval_ms.max(1), move || {
+                t_inner.telemetry_tick()
+            })
+        });
+        Ok(Gateway {
             inner,
             stop,
             checker,
-        }
+            _sampler: sampler,
+        })
     }
 }
 
@@ -308,6 +407,15 @@ impl WarmKeys {
         self.map.drain().map(|(_, req)| req).collect()
     }
 
+    /// A snapshot of the retained requests in insertion order, for the
+    /// on-disk ledger checkpoint.
+    fn entries(&self) -> Vec<Request> {
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).cloned())
+            .collect()
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }
@@ -335,6 +443,12 @@ struct Shard {
     replicated: AtomicU64,
     /// Warm keys migrated *off* this shard by drain ops.
     drained_keys: AtomicU64,
+    /// Health-check failures since the last successful check. Reset to
+    /// zero on every pass the shard answers; crossing
+    /// `auto_drain_after` triggers the auto-drain remediation.
+    consecutive_failures: AtomicU64,
+    /// Times the auto-drain remediation drained this shard.
+    auto_drained: AtomicU64,
     /// Sliding window over the gateway-observed round trips to this
     /// shard: dispatch rate, failure rate, and windowed round-trip
     /// latency percentiles as *this* gateway saw them (network
@@ -361,6 +475,8 @@ impl Shard {
             retried: AtomicU64::new(0),
             replicated: AtomicU64::new(0),
             drained_keys: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            auto_drained: AtomicU64::new(0),
             window: Window::with_default_clock(),
             last_stats: Mutex::new(None),
             warm_keys: Mutex::new(WarmKeys::new()),
@@ -481,6 +597,20 @@ struct GwInner {
     /// fan-out, and admin ops all run here, never on a session's read
     /// loop.
     pool: Pool,
+    /// The on-disk telemetry ring (`--telemetry-dir`), fed by the
+    /// sampler thread and read back by `{"op":"history"}`.
+    tsdb: Option<Arc<Tsdb>>,
+    /// The alert engine: rules evaluated on every sampler tick, plus
+    /// the transition/event journal `{"op":"alerts"}` reads. Always
+    /// present — with zero rules it is just the auto-drain journal.
+    engine: Arc<AlertEngine>,
+    /// Wall clock shared by the sample ring and the alert journal.
+    clock: Arc<dyn Clock>,
+    /// Consecutive health-check failures before a shard is auto-
+    /// drained; 0 disables the remediation.
+    auto_drain_after: u64,
+    /// Warm-key ledger checkpoint path (under the telemetry dir).
+    ledger_path: Option<PathBuf>,
 }
 
 impl GwInner {
@@ -494,14 +624,93 @@ impl GwInner {
         self.topology.read().unwrap().clone()
     }
 
-    fn health_pass(&self) {
+    fn health_pass(self: &Arc<Self>) {
         for shard in self.shards() {
-            if shard.live().is_some() {
-                shard.poll_stats();
+            let healthy = if shard.live().is_some() {
+                shard.poll_stats().is_some()
             } else {
-                shard.connect();
+                shard.connect()
+            };
+            if healthy {
+                shard.consecutive_failures.store(0, Ordering::Relaxed);
+            } else {
+                let fails = shard.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.auto_drain_after > 0 && fails == self.auto_drain_after {
+                    self.auto_drain(&shard, "auto_drain", fails as f64);
+                }
             }
         }
+    }
+
+    /// The auto-drain remediation: drain `shard`, journal the event
+    /// under `rule`, and bump its `auto_drained` counter. Refuses to
+    /// act when the shard is already draining or when no *other*
+    /// non-draining shard is live — draining the last live shard would
+    /// trade a degraded cluster for a local-fallback-only one.
+    fn auto_drain(self: &Arc<Self>, shard: &Arc<Shard>, rule: &str, value: f64) {
+        if shard.is_draining() {
+            return;
+        }
+        let survivors = self
+            .shards()
+            .iter()
+            .filter(|s| s.addr != shard.addr && !s.is_draining() && s.live().is_some())
+            .count();
+        if survivors == 0 {
+            return;
+        }
+        shard.auto_drained.fetch_add(1, Ordering::Relaxed);
+        self.engine
+            .record_event(rule, "auto_drain", value, &shard.addr);
+        self.drain(&shard.addr);
+    }
+
+    /// One sampler tick: snapshot the cluster stats into the on-disk
+    /// ring, evaluate the alert rules against the same snapshot (a
+    /// newly fired rule bound to the `drain` action drains the
+    /// unhealthiest shard), and checkpoint the warm-key ledger.
+    fn telemetry_tick(self: &Arc<Self>) {
+        let stats = self.stats_json();
+        if let Some(tsdb) = &self.tsdb {
+            tsdb.append(self.clock.now_ms(), stats.emit().as_bytes());
+        }
+        let fired = self
+            .engine
+            .eval(&|path| obs_json::resolve_series(&stats, path).and_then(Json::as_f64));
+        for rule in fired {
+            if rule.action.as_deref() == Some("drain") {
+                // The rule names a cluster condition, not a shard; aim
+                // the remediation at the shard failing its health
+                // checks the longest (config order breaks ties).
+                let worst = self
+                    .shards()
+                    .into_iter()
+                    .filter(|s| !s.is_draining())
+                    .max_by_key(|s| s.consecutive_failures.load(Ordering::Relaxed));
+                if let Some(shard) = worst {
+                    let fails = shard.consecutive_failures.load(Ordering::Relaxed);
+                    if fails > 0 {
+                        self.auto_drain(&shard, &rule.text, fails as f64);
+                    }
+                }
+            }
+        }
+        self.save_ledger();
+    }
+
+    /// Checkpoint every shard's warm-key ledger to disk, best-effort
+    /// (a failed write costs recovery freshness, never traffic).
+    fn save_ledger(&self) {
+        let Some(path) = &self.ledger_path else {
+            return;
+        };
+        let mut entries = Vec::new();
+        for shard in self.shards() {
+            for req in shard.warm_keys.lock().unwrap().entries() {
+                entries.push((shard.addr.clone(), req));
+            }
+        }
+        let _ = ledger::save(path, &entries);
     }
 
     /// The shard set in rendezvous preference order for `key`, with
@@ -834,6 +1043,7 @@ impl GwInner {
         let mut shard_objs = Vec::new();
         let mut live = 0u64;
         let mut draining = 0u64;
+        let mut dead = 0u64;
         for shard in self.shards() {
             let polled = shard.poll_stats();
             let alive = polled.is_some();
@@ -842,6 +1052,8 @@ impl GwInner {
             }
             if shard.is_draining() {
                 draining += 1;
+            } else if !alive {
+                dead += 1;
             }
             let snapshot = polled.or_else(|| shard.last_stats.lock().unwrap().clone());
             if let Some(s) = &snapshot {
@@ -872,6 +1084,14 @@ impl GwInner {
                 (
                     "drained_keys",
                     Json::Num(shard.drained_keys.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "auto_drained",
+                    Json::Num(shard.auto_drained.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "consecutive_failures",
+                    Json::Num(shard.consecutive_failures.load(Ordering::Relaxed) as f64),
                 ),
                 (
                     "warm_keys",
@@ -930,6 +1150,8 @@ impl GwInner {
             ("replication", Json::Num(self.replication as f64)),
             ("shards_live", Json::Num(live as f64)),
             ("shards_draining", Json::Num(draining as f64)),
+            ("shards_dead", Json::Num(dead as f64)),
+            ("auto_drain_after", Json::Num(self.auto_drain_after as f64)),
             // The gateway's *own* live window — end-to-end latency as
             // clients saw it, fail-overs included — beside the
             // shard-merged `window` at the top level.
@@ -951,7 +1173,33 @@ impl GwInner {
             ("shards", Json::Arr(shard_objs)),
         ]);
         if let Json::Obj(fields) = &mut agg {
+            // Shard-side telemetry sections would sum meaninglessly
+            // across the cluster and collide with the gateway's own:
+            // drop them, then attach the gateway's at the root (the
+            // same layout a single server exposes, so the
+            // `dahlia_alert_state{rule=...}` gauge family renders
+            // identically from either).
+            fields.retain(|(k, _)| k != "telemetry" && k != "alerts" && k != "alert_state");
             fields.push(("gateway".to_string(), gateway));
+            if let Some(tsdb) = &self.tsdb {
+                fields.push((
+                    "telemetry".to_string(),
+                    obs_json::tsdb_stats_to_json(&tsdb.stats()),
+                ));
+            }
+            if self.engine.rule_count() > 0 {
+                fields.push((
+                    "alerts".to_string(),
+                    obj([
+                        ("rules", Json::Num(self.engine.rule_count() as f64)),
+                        ("firing", Json::Num(self.engine.firing() as f64)),
+                    ]),
+                ));
+                fields.push((
+                    "alert_state".to_string(),
+                    obs_json::alert_states_to_json(&self.engine.states()),
+                ));
+            }
         }
         agg
     }
@@ -1044,6 +1292,8 @@ pub struct Gateway {
     inner: Arc<GwInner>,
     stop: Arc<(Mutex<bool>, Condvar)>,
     checker: Option<std::thread::JoinHandle<()>>,
+    /// The telemetry sampler thread; dropping it joins.
+    _sampler: Option<Sampler>,
 }
 
 impl Gateway {
@@ -1195,7 +1445,26 @@ impl SessionHost for Gateway {
                 "slowlog_dropped",
                 Json::Num(self.inner.slowlog.dropped() as f64),
             ),
+            (
+                "alerts_firing",
+                Json::Num(self.inner.engine.firing() as f64),
+            ),
         ])
+    }
+
+    fn history_json(&self, series: &str, since: u64, step: u64) -> Json {
+        let samples = match &self.inner.tsdb {
+            Some(tsdb) => obs_json::decode_samples(tsdb.scan_since(since)),
+            None => Vec::new(),
+        };
+        obs_json::history_to_json(series, since, step, &samples)
+    }
+
+    fn alerts_json(&self, since: u64) -> Json {
+        obs_json::alertlog_to_json(
+            &self.inner.engine.snapshot_since(since),
+            &self.inner.engine.states(),
+        )
     }
 
     fn dispatch_stats(&self, respond: Box<dyn FnOnce(Json) + Send>) {
@@ -1230,6 +1499,10 @@ impl Drop for Gateway {
         if let Some(handle) = self.checker.take() {
             let _ = handle.join();
         }
+        // Stop the sampler before the final ledger checkpoint so a
+        // racing tick cannot overwrite it with a staler view.
+        self._sampler = None;
+        self.inner.save_ledger();
     }
 }
 

@@ -677,3 +677,140 @@ fn dead_shard_keeps_contributing_its_last_stats_snapshot() {
     let gws = after.get("gateway").unwrap();
     assert_eq!(gws.get("shards_live").and_then(Json::as_u64), Some(0));
 }
+
+/// Durable-telemetry acceptance: a shard that fails consecutive
+/// health checks is auto-drained (journalled, counted, never the last
+/// live shard), the warm-key ledger survives a gateway restart, and
+/// `{"op":"history"}` answers from the on-disk ring written before the
+/// restart.
+#[test]
+fn auto_drain_and_durable_telemetry_survive_a_gateway_restart() {
+    use dahlia_server::SessionHost;
+
+    let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
+    let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
+    let dir = std::env::temp_dir().join(format!("dahlia-gw-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let gw = GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+        .health_interval(Duration::from_millis(20))
+        .connect_timeout(Duration::from_millis(200))
+        .telemetry_dir(&dir)
+        .telemetry_interval_ms(20)
+        .auto_drain_after(2)
+        .build();
+    for req in machsuite_requests() {
+        gw.submit(&req);
+    }
+
+    // Kill B: two failed health passes later the gateway drains it.
+    shutdown_shard(&addr_b);
+    join_b.join().unwrap();
+    assert!(
+        wait_for(10, || gw
+            .shard_snapshots()
+            .iter()
+            .any(|s| s.addr == addr_b && s.draining)),
+        "dead shard was never auto-drained"
+    );
+
+    // The remediation left an audit trail: an alert-journal event with
+    // the drained address, and the per-shard counter.
+    let alerts = SessionHost::alerts_json(&gw, 0);
+    let Some(Json::Arr(events)) = alerts.get("entries") else {
+        panic!("{alerts:?}")
+    };
+    assert!(
+        events.iter().any(|e| {
+            e.get("event").and_then(Json::as_str) == Some("auto_drain")
+                && e.get("detail").and_then(Json::as_str) == Some(addr_b.as_str())
+        }),
+        "no auto_drain event for {addr_b}: {alerts:?}"
+    );
+    let stats = gw.stats_json();
+    let Some(Json::Arr(shards)) = stats.get("gateway").and_then(|g| g.get("shards")) else {
+        panic!("{stats:?}")
+    };
+    let b_entry = shards
+        .iter()
+        .find(|s| s.get("addr").and_then(Json::as_str) == Some(addr_b.as_str()))
+        .unwrap();
+    assert_eq!(b_entry.get("auto_drained").and_then(Json::as_u64), Some(1));
+    // The sampler has been writing the ring all along.
+    assert!(
+        stats
+            .get("telemetry")
+            .and_then(|t| t.get("appended"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "{stats:?}"
+    );
+
+    // Restart the gateway on the same telemetry dir.
+    drop(gw);
+    let gw2 = GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+        .health_interval(Duration::from_millis(20))
+        .connect_timeout(Duration::from_millis(200))
+        .telemetry_dir(&dir)
+        .telemetry_interval_ms(20)
+        .auto_drain_after(2)
+        .build();
+
+    // The warm-key ledger came back from the checkpoint: the surviving
+    // shard's warm keys are known before any new traffic flows.
+    let stats2 = gw2.stats_json();
+    let Some(Json::Arr(shards2)) = stats2.get("gateway").and_then(|g| g.get("shards")) else {
+        panic!("{stats2:?}")
+    };
+    let warm: u64 = shards2
+        .iter()
+        .filter_map(|s| s.get("warm_keys").and_then(Json::as_u64))
+        .sum();
+    assert!(warm > 0, "ledger not rehydrated: {stats2:?}");
+
+    // History answers from the ring written by the *previous* gateway.
+    let history = SessionHost::history_json(&gw2, "gateway.requests", 0, 0);
+    let Some(Json::Arr(points)) = history.get("points") else {
+        panic!("{history:?}")
+    };
+    assert!(
+        !points.is_empty(),
+        "no pre-restart history points: {history:?}"
+    );
+
+    // B is still dead: gw2 auto-drains it again (A survives it).
+    assert!(
+        wait_for(10, || gw2
+            .shard_snapshots()
+            .iter()
+            .any(|s| s.addr == addr_b && s.draining)),
+        "restarted gateway never re-drained the dead shard"
+    );
+    // Kill A too: now the last live shard is failing, and the guard
+    // must refuse to drain it.
+    shutdown_shard(&addr_a);
+    join_a.join().unwrap();
+    assert!(
+        wait_for(5, || {
+            gw2.shard_snapshots()
+                .iter()
+                .find(|s| s.addr == addr_a)
+                .map(|s| !s.alive)
+                .unwrap_or(false)
+        }),
+        "shard A never observed dead"
+    );
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        !gw2.shard_snapshots()
+            .iter()
+            .find(|s| s.addr == addr_a)
+            .unwrap()
+            .draining,
+        "the last live shard must never be auto-drained"
+    );
+
+    drop(gw2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -31,6 +31,17 @@
 //!   that exceeded a latency threshold, captured retroactively from
 //!   always-on span recording so nobody has to have asked for a trace
 //!   before the regression happened.
+//! * [`Tsdb`] / [`Sampler`] — durable telemetry: a crash-safe,
+//!   append-only on-disk ring of periodic stats snapshots (checksummed
+//!   records, byte-bounded segment rotation, torn-tail recovery after
+//!   SIGKILL) fed by a fixed-interval sampler thread, plus
+//!   [`downsample`] for turning the recovered series into the bounded
+//!   min/max/mean bins the `{"op":"history"}` control line answers.
+//! * [`AlertEngine`] — declarative threshold rules
+//!   (`window.error_rate > 0.05 for 30s`) with for-duration
+//!   hysteresis, a bounded sequence-numbered transition journal read
+//!   via `{"op":"alerts"}`, and optional remediation-action bindings
+//!   (the gateway binds `drain`).
 //!
 //! This crate deliberately knows nothing about JSON or the wire
 //! protocol: `dahlia-server` depends on it (never the reverse) and
@@ -39,16 +50,23 @@
 
 #![warn(missing_docs)]
 
+mod alert;
 mod hist;
 pub mod prom;
 mod slowlog;
 mod trace;
+mod tsdb;
 mod window;
 
+pub use alert::{AlertEngine, AlertEvent, AlertLogSnapshot, AlertState, Cmp, Rule, RuleState};
 pub use hist::{bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
 pub use slowlog::{SlowEntry, SlowLog, SlowLogSnapshot};
 pub use trace::{next_trace_id, Journal, Span, Tier, TraceEntry};
+pub use tsdb::{
+    downsample, Bin, Sampler, Tsdb, TsdbOptions, TsdbStats, DEFAULT_RETAIN_BYTES,
+    DEFAULT_SEGMENT_BYTES, TSDB_VERSION,
+};
 pub use window::{
-    Clock, MonotonicClock, TestClock, Window, WindowSnapshot, DEFAULT_WINDOW_BUCKETS,
+    Clock, MonotonicClock, TestClock, WallClock, Window, WindowSnapshot, DEFAULT_WINDOW_BUCKETS,
     DEFAULT_WINDOW_BUCKET_MS,
 };

@@ -86,6 +86,29 @@ impl Clock for TestClock {
     }
 }
 
+/// A wall [`Clock`]: milliseconds since the UNIX epoch. Use it where
+/// timestamps must stay comparable across process restarts — the
+/// on-disk telemetry ring reopens files written by a previous process,
+/// so a per-process monotonic origin would fold every restart back to
+/// zero and interleave epochs.
+#[derive(Debug, Default)]
+pub struct WallClock;
+
+impl WallClock {
+    /// A wall clock.
+    pub fn new() -> Self {
+        WallClock
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64)
+    }
+}
+
 /// One ring slot: the epoch (bucket number since the clock's origin)
 /// it currently holds data for, and that bucket's counters.
 #[derive(Debug)]

@@ -123,7 +123,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dahlia_dse::{EstimateProvider, PointOutcome, ProviderStats};
-use dahlia_obs::{Histogram, Journal, SlowLog, Span, TraceEntry, Window};
+use dahlia_obs::{
+    AlertEngine, Clock, Histogram, Journal, Rule, Sampler, SlowLog, Span, TraceEntry, Tsdb,
+    WallClock, Window,
+};
 
 use json::{obj, Json};
 use session::Control;
@@ -153,6 +156,26 @@ pub const SLOWLOG_CAP: usize = 256;
 /// span breakdown, traced by the client or not. Override with
 /// `--slow-threshold-ms` ([`ServerConfig::slow_threshold_ms`]).
 pub const DEFAULT_SLOW_THRESHOLD_MS: u64 = 1_000;
+
+/// Default telemetry sampling interval, milliseconds: how often the
+/// sampler thread snapshots the stats object into the on-disk ring and
+/// evaluates the alert rules. Override with `--telemetry-interval-ms`
+/// ([`ServerConfig::telemetry_interval_ms`]).
+pub const DEFAULT_TELEMETRY_INTERVAL_MS: u64 = 1_000;
+
+/// Alert-journal retention: firing/resolved transitions beyond this
+/// evict the oldest (counted in `dropped`; sequence numbers keep
+/// advancing), mirroring the slow log's cursor contract.
+pub const ALERT_JOURNAL_CAP: usize = 256;
+
+/// Parse a batch of alert-rule strings (`<series> <cmp> <threshold>
+/// [for <dur>] [-> <action>]`), reporting the first bad one.
+///
+/// Shared by the server and gateway builders so `--alert-rule` and
+/// `--alert-rules FILE` fail identically on both.
+pub fn parse_alert_rules(texts: &[String]) -> Result<Vec<Rule>, String> {
+    texts.iter().map(|t| Rule::parse(t)).collect()
+}
 
 struct Inner {
     pipeline: Pipeline,
@@ -290,6 +313,35 @@ impl Inner {
             ("slowlog_dropped", Json::Num(self.slowlog.dropped() as f64)),
         ])
     }
+
+    /// The stats object minus the telemetry-layer sections (which need
+    /// the [`Server`]'s handles). The sampler thread snapshots exactly
+    /// this shape, so alert series paths and on-disk history records
+    /// resolve against the same field layout `{"op":"stats"}` serves.
+    fn base_stats_json(&self) -> Json {
+        let stats = ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            latency_us: self.latency_us.load(Ordering::Relaxed),
+            store: self.pipeline.stats(),
+        };
+        let mut v = stats.to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields.push(("hist".to_string(), self.hist_json()));
+            fields.push(("window".to_string(), self.window_json()));
+            fields.push(("journals".to_string(), self.journals_json()));
+        }
+        v
+    }
+}
+
+/// The durable-telemetry layer a server optionally carries: the
+/// on-disk sample ring, the always-present alert engine (zero rules is
+/// just an event journal), and the sampler thread that feeds both.
+/// Dropping the server stops the sampler (its `Drop` joins).
+struct Telemetry {
+    tsdb: Option<Arc<Tsdb>>,
+    engine: Arc<AlertEngine>,
+    _sampler: Option<Sampler>,
 }
 
 /// Service-level statistics: request accounting plus store counters.
@@ -416,6 +468,9 @@ pub struct ServerConfig {
     cache_gc_max_bytes: Option<u64>,
     trace_journal: Option<usize>,
     slow_threshold_ms: Option<u64>,
+    telemetry_dir: Option<PathBuf>,
+    telemetry_interval_ms: Option<u64>,
+    alert_rules: Vec<String>,
 }
 
 impl ServerConfig {
@@ -480,9 +535,40 @@ impl ServerConfig {
         self
     }
 
-    /// Build the server. Fails only if the cache directory cannot be
-    /// created.
+    /// Persist periodic stats snapshots into an on-disk telemetry ring
+    /// rooted at `dir` (created on demand; crash-safe, reopened across
+    /// restarts). Enables the `{"op":"history"}` control line to
+    /// answer from disk.
+    pub fn telemetry_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.telemetry_dir = Some(dir.into());
+        self
+    }
+
+    /// Sample (and evaluate alert rules) every `ms` milliseconds
+    /// instead of the default [`DEFAULT_TELEMETRY_INTERVAL_MS`].
+    /// Clamped to at least 1ms.
+    pub fn telemetry_interval_ms(mut self, ms: u64) -> ServerConfig {
+        self.telemetry_interval_ms = Some(ms);
+        self
+    }
+
+    /// Add a declarative alert rule (`window.error_rate > 0.05 for
+    /// 30s`). Repeatable; bad grammar fails [`ServerConfig::build`]
+    /// with `InvalidInput`.
+    pub fn alert_rule(mut self, rule: impl Into<String>) -> ServerConfig {
+        self.alert_rules.push(rule.into());
+        self
+    }
+
+    /// Build the server. Fails if the cache or telemetry directory
+    /// cannot be created, or an alert rule does not parse.
     pub fn build(self) -> std::io::Result<Server> {
+        let rules = parse_alert_rules(&self.alert_rules)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let tsdb = match &self.telemetry_dir {
+            Some(dir) => Some(Arc::new(Tsdb::open(dir)?)),
+            None => None,
+        };
         let tier: Option<Arc<dyn ArtifactTier>> = match &self.cache_dir {
             Some(dir) => Some(Arc::new(DiskStore::open_bounded(
                 dir,
@@ -501,11 +587,15 @@ impl ServerConfig {
             Some(n) => Pool::new(n),
             None => Pool::with_default_threads(),
         };
-        Ok(Server::build_telemetry(
+        Ok(Server::build_full(
             pipeline,
             pool,
             self.trace_journal.unwrap_or(TRACE_JOURNAL_CAP),
             self.slow_threshold_ms.unwrap_or(DEFAULT_SLOW_THRESHOLD_MS),
+            tsdb,
+            rules,
+            self.telemetry_interval_ms
+                .unwrap_or(DEFAULT_TELEMETRY_INTERVAL_MS),
         ))
     }
 }
@@ -517,6 +607,7 @@ impl ServerConfig {
 pub struct Server {
     inner: Arc<Inner>,
     pool: Pool,
+    telemetry: Telemetry,
 }
 
 impl Default for Server {
@@ -552,21 +643,70 @@ impl Server {
         journal_cap: usize,
         slow_threshold_ms: u64,
     ) -> Server {
-        Server {
-            inner: Arc::new(Inner {
-                pipeline,
-                requests: AtomicU64::new(0),
-                latency_us: AtomicU64::new(0),
-                latency_hist: Histogram::new(),
-                queue_hist: Histogram::new(),
-                journal: Journal::new(journal_cap),
-                window: Window::with_default_clock(),
-                in_flight: AtomicU64::new(0),
-                queue_depth: AtomicU64::new(0),
-                slowlog: SlowLog::new(SLOWLOG_CAP),
-                slow_threshold_us: slow_threshold_ms.saturating_mul(1_000),
-            }),
+        Server::build_full(
+            pipeline,
             pool,
+            journal_cap,
+            slow_threshold_ms,
+            None,
+            Vec::new(),
+            DEFAULT_TELEMETRY_INTERVAL_MS,
+        )
+    }
+
+    fn build_full(
+        pipeline: Pipeline,
+        pool: Pool,
+        journal_cap: usize,
+        slow_threshold_ms: u64,
+        tsdb: Option<Arc<Tsdb>>,
+        rules: Vec<Rule>,
+        telemetry_interval_ms: u64,
+    ) -> Server {
+        let inner = Arc::new(Inner {
+            pipeline,
+            requests: AtomicU64::new(0),
+            latency_us: AtomicU64::new(0),
+            latency_hist: Histogram::new(),
+            queue_hist: Histogram::new(),
+            journal: Journal::new(journal_cap),
+            window: Window::with_default_clock(),
+            in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            slowlog: SlowLog::new(SLOWLOG_CAP),
+            slow_threshold_us: slow_threshold_ms.saturating_mul(1_000),
+        });
+        // Alert timestamps and on-disk sample timestamps share a wall
+        // clock so history `since` cursors stay meaningful across
+        // restarts (a per-process monotonic origin would restart at 0).
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let engine = Arc::new(AlertEngine::new(
+            rules,
+            Arc::clone(&clock),
+            ALERT_JOURNAL_CAP,
+        ));
+        let sampler = (tsdb.is_some() || engine.rule_count() > 0).then(|| {
+            let inner = Arc::clone(&inner);
+            let tsdb = tsdb.clone();
+            let engine = Arc::clone(&engine);
+            Sampler::spawn(telemetry_interval_ms.max(1), move || {
+                let stats = inner.base_stats_json();
+                if let Some(tsdb) = &tsdb {
+                    tsdb.append(clock.now_ms(), stats.emit().as_bytes());
+                }
+                // A plain server has no remediation actions to bind;
+                // the transitions still land in the alert journal.
+                engine.eval(&|path| obs_json::resolve_series(&stats, path).and_then(Json::as_f64));
+            })
+        });
+        Server {
+            inner,
+            pool,
+            telemetry: Telemetry {
+                tsdb,
+                engine,
+                _sampler: sampler,
+            },
         }
     }
 
@@ -669,6 +809,28 @@ impl Server {
                         obj([("slowlog", SessionHost::slowlog_json(self, since))]).emit()
                     )?;
                 }
+                Ok(Control::History {
+                    series,
+                    since,
+                    step,
+                }) => {
+                    writeln!(
+                        output,
+                        "{}",
+                        obj([(
+                            "history",
+                            SessionHost::history_json(self, &series, since, step)
+                        )])
+                        .emit()
+                    )?;
+                }
+                Ok(Control::Alerts { since }) => {
+                    writeln!(
+                        output,
+                        "{}",
+                        obj([("alerts", SessionHost::alerts_json(self, since))]).emit()
+                    )?;
+                }
                 Ok(Control::Shutdown) => {
                     writeln!(output, "{}", session::shutdown_ack_line())?;
                     break;
@@ -724,11 +886,30 @@ impl SessionHost for Server {
     }
 
     fn stats_json(&self) -> Json {
-        let mut v = self.stats().to_json();
+        let mut v = self.inner.base_stats_json();
         if let Json::Obj(fields) = &mut v {
-            fields.push(("hist".to_string(), self.inner.hist_json()));
-            fields.push(("window".to_string(), self.inner.window_json()));
-            fields.push(("journals".to_string(), self.inner.journals_json()));
+            if let Some(tsdb) = &self.telemetry.tsdb {
+                fields.push((
+                    "telemetry".to_string(),
+                    obs_json::tsdb_stats_to_json(&tsdb.stats()),
+                ));
+            }
+            if self.telemetry.engine.rule_count() > 0 {
+                fields.push((
+                    "alerts".to_string(),
+                    obj([
+                        (
+                            "rules",
+                            Json::Num(self.telemetry.engine.rule_count() as f64),
+                        ),
+                        ("firing", Json::Num(self.telemetry.engine.firing() as f64)),
+                    ]),
+                ));
+                fields.push((
+                    "alert_state".to_string(),
+                    obs_json::alert_states_to_json(&self.telemetry.engine.states()),
+                ));
+            }
         }
         v
     }
@@ -752,7 +933,26 @@ impl SessionHost for Server {
                 "slowlog_dropped",
                 Json::Num(self.inner.slowlog.dropped() as f64),
             ),
+            (
+                "alerts_firing",
+                Json::Num(self.telemetry.engine.firing() as f64),
+            ),
         ])
+    }
+
+    fn history_json(&self, series: &str, since: u64, step: u64) -> Json {
+        let samples = match &self.telemetry.tsdb {
+            Some(tsdb) => obs_json::decode_samples(tsdb.scan_since(since)),
+            None => Vec::new(),
+        };
+        obs_json::history_to_json(series, since, step, &samples)
+    }
+
+    fn alerts_json(&self, since: u64) -> Json {
+        obs_json::alertlog_to_json(
+            &self.telemetry.engine.snapshot_since(since),
+            &self.telemetry.engine.states(),
+        )
     }
 }
 
@@ -1012,6 +1212,99 @@ mod tests {
         assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
         assert!(health.get("trace_dropped").is_some());
         assert!(health.get("slowlog_dropped").is_some());
+    }
+
+    #[test]
+    fn telemetry_persists_history_and_alert_state() {
+        let dir = std::env::temp_dir().join(format!("dahlia-srv-tsdb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = ServerConfig::new()
+            .threads(1)
+            .telemetry_dir(&dir)
+            .telemetry_interval_ms(5)
+            .alert_rule("requests >= 1 -> page")
+            .build()
+            .unwrap();
+        server.submit(Request::estimate("a", GOOD));
+
+        // Wait for the sampler to snapshot the post-request state.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let h = SessionHost::history_json(&server, "requests", 0, 0);
+            let Some(Json::Arr(points)) = h.get("points") else {
+                panic!("{h:?}")
+            };
+            let sampled = points
+                .iter()
+                .filter_map(|p| p.get("max").and_then(Json::as_f64))
+                .any(|max| max >= 1.0);
+            if sampled {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "sampler never recorded the request: {h:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Zero-duration rule: the request fired it on the same tick.
+        let alerts = SessionHost::alerts_json(&server, 0);
+        let Some(Json::Arr(states)) = alerts.get("states") else {
+            panic!("{alerts:?}")
+        };
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].get("state").and_then(Json::as_u64), Some(2));
+        let Some(Json::Arr(events)) = alerts.get("entries") else {
+            panic!("{alerts:?}")
+        };
+        assert_eq!(
+            events[0].get("event").and_then(Json::as_str),
+            Some("firing")
+        );
+
+        // Stats grew the telemetry sections; health counts firing rules.
+        let stats = SessionHost::stats_json(&server);
+        assert!(
+            stats
+                .get("telemetry")
+                .and_then(|t| t.get("appended"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 1
+        );
+        let Some(Json::Arr(gauges)) = stats.get("alert_state") else {
+            panic!("{stats:?}")
+        };
+        assert_eq!(gauges.len(), 1);
+        assert_eq!(
+            SessionHost::health_json(&server)
+                .get("alerts_firing")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // A fresh process on the same directory recovers the ring and
+        // serves the pre-restart points.
+        drop(server);
+        let reopened = ServerConfig::new()
+            .threads(1)
+            .telemetry_dir(&dir)
+            .build()
+            .unwrap();
+        let h = SessionHost::history_json(&reopened, "requests", 0, 0);
+        let Some(Json::Arr(points)) = h.get("points") else {
+            panic!("{h:?}")
+        };
+        assert!(!points.is_empty(), "history empty after reopen");
+        let recovered = SessionHost::stats_json(&reopened)
+            .get("telemetry")
+            .and_then(|t| t.get("recovered_records"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(recovered >= 1, "no records recovered");
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

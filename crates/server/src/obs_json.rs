@@ -16,7 +16,8 @@
 use crate::json::{obj, Json};
 use dahlia_obs::prom::{sanitize_name, PromWriter};
 use dahlia_obs::{
-    HistSnapshot, Journal, SlowEntry, SlowLogSnapshot, Span, TraceEntry, WindowSnapshot,
+    AlertEvent, AlertLogSnapshot, HistSnapshot, Journal, RuleState, SlowEntry, SlowLogSnapshot,
+    Span, TraceEntry, TsdbStats, WindowSnapshot,
 };
 
 /// Encode a histogram snapshot. Bucket counts become an object keyed by
@@ -115,6 +116,14 @@ fn walk_prom(w: &mut PromWriter, prefix: &str, v: &Json) {
         }
         Json::Arr(items) => {
             for item in items {
+                // Rule-keyed items (the alert-state array) export one
+                // gauge per rule: `<prefix>{rule="..."} <state>`.
+                if let Some(rule) = item.get("rule").and_then(Json::as_str) {
+                    if let Some(state) = item.get("state").and_then(Json::as_f64) {
+                        w.sample(prefix, "gauge", &[("rule", rule)], state);
+                    }
+                    continue;
+                }
                 let Some(addr) = item.get("addr").and_then(Json::as_str) else {
                     continue;
                 };
@@ -256,6 +265,170 @@ pub fn slowlog_to_json(snap: &SlowLogSnapshot) -> Json {
             "entries",
             Json::Arr(snap.entries.iter().map(slow_entry_to_json).collect()),
         ),
+    ])
+}
+
+/// Encode the telemetry ring's counters as the `telemetry` stats
+/// section — `recovered_records` is the crash-recovery acceptance
+/// signal.
+pub fn tsdb_stats_to_json(s: &TsdbStats) -> Json {
+    obj([
+        ("segments", Json::Num(s.segments as f64)),
+        ("bytes", Json::Num(s.bytes as f64)),
+        ("recovered_records", Json::Num(s.recovered_records as f64)),
+        ("torn_records", Json::Num(s.torn_records as f64)),
+        ("appended", Json::Num(s.appended as f64)),
+        ("write_errors", Json::Num(s.write_errors as f64)),
+        ("dropped_segments", Json::Num(s.dropped_segments as f64)),
+    ])
+}
+
+/// Encode one alert-journal entry. `detail` appears only when the
+/// emitting host attached one (e.g. the drained shard's address).
+pub fn alert_event_to_json(e: &AlertEvent) -> Json {
+    let mut fields = vec![
+        ("seq".to_string(), Json::Num(e.seq as f64)),
+        ("t_ms".to_string(), Json::Num(e.t_ms as f64)),
+        ("rule".to_string(), Json::Str(e.rule.clone())),
+        ("event".to_string(), Json::Str(e.event.clone())),
+        ("value".to_string(), Json::Num(e.value)),
+    ];
+    if !e.detail.is_empty() {
+        fields.push(("detail".to_string(), Json::Str(e.detail.clone())));
+    }
+    Json::Obj(fields)
+}
+
+/// Encode the per-rule state array exported as the
+/// `dahlia_alert_state{rule=...}` Prometheus gauges: each item carries
+/// the rule's text, its gauge value (0 ok / 1 pending / 2 firing), and
+/// the last observed series value.
+pub fn alert_states_to_json(states: &[RuleState]) -> Json {
+    Json::Arr(
+        states
+            .iter()
+            .map(|s| {
+                obj([
+                    ("rule", Json::Str(s.rule.clone())),
+                    ("state", Json::Num(s.state.gauge() as f64)),
+                    ("value", Json::Num(s.value)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encode the `{"op":"alerts"}` answer: journal counters, the per-rule
+/// state array, and the retained transitions newer than the poller's
+/// cursor, oldest first.
+pub fn alertlog_to_json(snap: &AlertLogSnapshot, states: &[RuleState]) -> Json {
+    obj([
+        ("capacity", Json::Num(snap.capacity as f64)),
+        ("dropped", Json::Num(snap.dropped as f64)),
+        ("last_seq", Json::Num(snap.last_seq as f64)),
+        ("states", alert_states_to_json(states)),
+        (
+            "entries",
+            Json::Arr(snap.entries.iter().map(alert_event_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decode raw telemetry-ring records back into `(t_ms, stats)` JSON
+/// samples, silently dropping any record that no longer parses (a
+/// format change across versions reads as a gap, not an error — the
+/// ring's checksums already rejected torn or corrupt bytes).
+pub fn decode_samples(raw: Vec<(u64, Vec<u8>)>) -> Vec<(u64, Json)> {
+    raw.into_iter()
+        .filter_map(|(t, payload)| {
+            let text = String::from_utf8(payload).ok()?;
+            Json::parse(&text).ok().map(|stats| (t, stats))
+        })
+        .collect()
+}
+
+/// Resolve a dotted series path (`window.error_rate`) inside a stats
+/// document.
+pub fn resolve_series<'a>(stats: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut at = stats;
+    for seg in path.split('.') {
+        at = at.get(seg)?;
+    }
+    Some(at)
+}
+
+/// Build the `{"op":"history"}` answer from the raw `(t_ms, stats)`
+/// samples recovered off the telemetry ring.
+///
+/// Scalar series downsample to per-`step` bins of min/max/mean
+/// ([`dahlia_obs::downsample`]); histogram-shaped series merge their
+/// buckets per bin and re-derive p50/p95/p99 from the merged counts —
+/// the same merge-then-quantile discipline as [`fix_percentiles`],
+/// because percentiles do not average across samples any more than
+/// they sum across shards.
+pub fn history_to_json(series: &str, since: u64, step: u64, samples: &[(u64, Json)]) -> Json {
+    let mut scalar: Vec<(u64, f64)> = Vec::new();
+    let mut hists: Vec<(u64, HistSnapshot)> = Vec::new();
+    for (t, stats) in samples {
+        let Some(v) = resolve_series(stats, series) else {
+            continue;
+        };
+        if let Some(n) = v.as_f64() {
+            scalar.push((*t, n));
+        } else if let Some(h) = hist_from_json(v) {
+            hists.push((*t, h));
+        }
+    }
+    let points: Vec<Json> = if !scalar.is_empty() {
+        dahlia_obs::downsample(&scalar, since, step)
+            .iter()
+            .map(|b| {
+                obj([
+                    ("t_ms", Json::Num(b.t_ms as f64)),
+                    ("count", Json::Num(b.count as f64)),
+                    ("min", Json::Num(b.min)),
+                    ("max", Json::Num(b.max)),
+                    ("mean", Json::Num(b.mean)),
+                ])
+            })
+            .collect()
+    } else {
+        // Histogram series: fold each bin's snapshots together, then
+        // quantile the merged buckets.
+        let mut bins: Vec<(u64, u64, HistSnapshot)> = Vec::new();
+        for (t, h) in hists {
+            if t < since {
+                continue;
+            }
+            let start = if step == 0 { t } else { t - t % step };
+            match bins.last_mut() {
+                Some((bt, n, acc)) if step != 0 && *bt == start => {
+                    acc.merge(&h);
+                    *n += 1;
+                }
+                _ => bins.push((start, 1, h)),
+            }
+        }
+        bins.iter()
+            .map(|(t, n, h)| {
+                let (p50, p95, p99) = h.percentiles();
+                obj([
+                    ("t_ms", Json::Num(*t as f64)),
+                    ("count", Json::Num(*n as f64)),
+                    ("observations", Json::Num(h.count as f64)),
+                    ("p50", Json::Num(p50)),
+                    ("p95", Json::Num(p95)),
+                    ("p99", Json::Num(p99)),
+                ])
+            })
+            .collect()
+    };
+    obj([
+        ("series", Json::Str(series.into())),
+        ("since", Json::Num(since as f64)),
+        ("step", Json::Num(step as f64)),
+        ("samples", Json::Num(samples.len() as f64)),
+        ("points", Json::Arr(points)),
     ])
 }
 

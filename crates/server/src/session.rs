@@ -106,6 +106,36 @@ pub trait SessionHost: Send + Sync {
         ])
     }
 
+    /// The durable-telemetry history answered to `{"op":"history"}`
+    /// (the payload under the `"history"` envelope): downsampled
+    /// min/max/mean bins of the requested series, re-read from the
+    /// host's on-disk telemetry ring. The default is an empty history
+    /// for hosts running without `--telemetry-dir`.
+    fn history_json(&self, series: &str, since: u64, step: u64) -> Json {
+        obj([
+            ("series", Json::Str(series.into())),
+            ("since", Json::Num(since as f64)),
+            ("step", Json::Num(step as f64)),
+            ("samples", Json::Num(0.0)),
+            ("points", Json::Arr(Vec::new())),
+        ])
+    }
+
+    /// The alert journal answered to `{"op":"alerts"}` (the payload
+    /// under the `"alerts"` envelope): rule states plus the
+    /// firing/resolved transitions newer than the `since` cursor. The
+    /// default is an empty journal for hosts with no alert engine.
+    fn alerts_json(&self, since: u64) -> Json {
+        let _ = since;
+        obj([
+            ("capacity", Json::Num(0.0)),
+            ("dropped", Json::Num(0.0)),
+            ("last_seq", Json::Num(0.0)),
+            ("states", Json::Arr(Vec::new())),
+            ("entries", Json::Arr(Vec::new())),
+        ])
+    }
+
     /// The liveness object served by `GET /healthz` (merged with the
     /// transport's uptime field). A gateway overrides this to add its
     /// live/draining/dead shard counts.
@@ -136,10 +166,33 @@ pub trait SessionHost: Send + Sync {
 pub(crate) enum Control {
     Stats,
     Trace,
-    Slowlog { since: u64 },
+    Slowlog {
+        since: u64,
+    },
+    History {
+        series: String,
+        since: u64,
+        step: u64,
+    },
+    Alerts {
+        since: u64,
+    },
     Shutdown,
     Admin(AdminOp),
     Req(Request),
+}
+
+/// Parse an optional non-negative integer cursor/step field.
+fn parse_u64_field(v: &Json, field: &str, op: &str) -> Result<u64, String> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(0),
+        Some(s) => s.as_u64().ok_or_else(|| {
+            format!(
+                "bad `{field}` in {op} op (want a non-negative integer): {}",
+                s.emit()
+            )
+        }),
+    }
 }
 
 fn parse_admin_shard(v: &Json, op: &str) -> Result<String, String> {
@@ -155,18 +208,29 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
     match v.get("op").and_then(Json::as_str) {
         Some("stats") => Ok(Control::Stats),
         Some("trace") => Ok(Control::Trace),
-        Some("slowlog") => {
-            let since = match v.get("since") {
-                None | Some(Json::Null) => 0,
-                Some(s) => s.as_u64().ok_or_else(|| {
-                    format!(
-                        "bad `since` in slowlog op (want a non-negative integer): {}",
-                        s.emit()
-                    )
-                })?,
+        Some("slowlog") => Ok(Control::Slowlog {
+            since: parse_u64_field(&v, "since", "slowlog")?,
+        }),
+        Some("history") => {
+            let series = match v.get("series") {
+                Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+                Some(other) => {
+                    return Err(format!(
+                        "bad `series` in history op (want a dotted stats path): {}",
+                        other.emit()
+                    ))
+                }
+                None => return Err("history op needs a `series` path".into()),
             };
-            Ok(Control::Slowlog { since })
+            Ok(Control::History {
+                series,
+                since: parse_u64_field(&v, "since", "history")?,
+                step: parse_u64_field(&v, "step", "history")?,
+            })
         }
+        Some("alerts") => Ok(Control::Alerts {
+            since: parse_u64_field(&v, "since", "alerts")?,
+        }),
         Some("shutdown") => Ok(Control::Shutdown),
         Some("drain") => Ok(Control::Admin(AdminOp::Drain {
             shard: parse_admin_shard(&v, "drain")?,
@@ -300,6 +364,18 @@ where
                 Ok(Control::Slowlog { since }) => {
                     // In-process state too: answered inline like trace.
                     tx.send(obj([("slowlog", host.slowlog_json(since))]).emit())
+                }
+                Ok(Control::History {
+                    series,
+                    since,
+                    step,
+                }) => {
+                    // Re-reads the bounded on-disk ring; small and local,
+                    // so inline like trace/slowlog.
+                    tx.send(obj([("history", host.history_json(&series, since, step))]).emit())
+                }
+                Ok(Control::Alerts { since }) => {
+                    tx.send(obj([("alerts", host.alerts_json(since))]).emit())
                 }
                 Ok(Control::Shutdown) => {
                     if let Some(flag) = shutdown {

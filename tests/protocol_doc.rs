@@ -170,15 +170,43 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
             assert!(
                 matches!(
                     op,
-                    "stats" | "trace" | "slowlog" | "shutdown" | "drain" | "undrain"
+                    "stats"
+                        | "trace"
+                        | "slowlog"
+                        | "history"
+                        | "alerts"
+                        | "shutdown"
+                        | "drain"
+                        | "undrain"
                 ),
                 "spec documents unknown op `{op}`"
             );
             if let Some(s) = v.get("since") {
-                assert_eq!(op, "slowlog", "only slowlog takes a cursor");
+                assert!(
+                    matches!(op, "slowlog" | "history" | "alerts"),
+                    "only slowlog/history/alerts take a cursor: `{line}`"
+                );
                 assert!(
                     matches!(s, Json::Num(n) if *n >= 0.0 && n.fract() == 0.0),
                     "since must be a non-negative integer: `{line}`"
+                );
+            }
+            if op == "history" {
+                assert!(
+                    matches!(v.get("series"), Some(Json::Str(s)) if !s.is_empty()),
+                    "history op example lacks a series path: `{line}`"
+                );
+            } else {
+                assert!(
+                    v.get("series").is_none(),
+                    "only history takes a series: `{line}`"
+                );
+            }
+            if let Some(s) = v.get("step") {
+                assert_eq!(op, "history", "only history takes a step: `{line}`");
+                assert!(
+                    matches!(s, Json::Num(n) if *n >= 0.0 && n.fract() == 0.0),
+                    "step must be a non-negative integer: `{line}`"
                 );
             }
             if matches!(op, "drain" | "undrain") {
@@ -197,7 +225,9 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
             ops.push(op.to_string());
         }
     }
-    for required in ["stats", "trace", "slowlog", "shutdown", "drain", "undrain"] {
+    for required in [
+        "stats", "trace", "slowlog", "history", "alerts", "shutdown", "drain", "undrain",
+    ] {
         assert!(
             ops.iter().any(|o| o == required),
             "spec has no example for op `{required}`"
