@@ -13,26 +13,41 @@
 //!
 //! * `cold_2shard` — every request computes somewhere (tail dominated
 //!   by the slowest kernel's pipeline);
-//! * `warm_{1,2,4}shard` — shard-cache hits behind one front door,
-//!   the latency floor of the routing layer itself;
+//! * `warm_{1,2,4}shard` — repeated hot requests behind one front
+//!   door: the latency floor of the front door as shipped (binary v1
+//!   shard hop + gateway admission cache);
+//! * `warm_2shard_binary` — the warm batch over the binary v1 hop with
+//!   the admission cache **off**: isolates the wire-format win from
+//!   the cache win;
+//! * `closed_loop_2shard` — closed-loop submitters hammering the warm
+//!   cluster for the full measured window; reports throughput (req/s)
+//!   beside the latency percentiles;
 //! * `warm_2shard_traced` — the same warm batch with request-scoped
-//!   tracing on every request: the observability overhead headline;
+//!   tracing on every request (tracing bypasses the admission cache):
+//!   the observability overhead headline;
 //! * `warm_2shard_slowlog` — the warm batch with the slow threshold at
-//!   0 ms, so every untraced request is captured into the slow-request
-//!   log: pins the cost of the always-on span recording plus a
-//!   worst-case capture rate;
+//!   0 ms and the admission cache off, so every request is routed and
+//!   captured into the slow-request log: pins the cost of the
+//!   always-on span recording plus a worst-case capture rate;
 //! * `warm_2shard_telemetry` — the warm batch with durable telemetry
 //!   on (50 ms sampling into an on-disk ring, one armed alert rule,
-//!   warm-key ledger checkpoints): pins the cost of the sampler
-//!   running beside the hot path next to the `warm_2shard` floor;
+//!   warm-key ledger checkpoints) and the admission cache off: pins
+//!   the cost of the sampler running beside the routed hot path;
 //! * `warm_local_fallback` — the empty-cluster degenerate case, served
 //!   by the gateway's embedded local server.
 //!
 //! Flags (after `--`):
-//!   `--quick`  fewer rounds and shard widths (the CI smoke mode);
-//!   `--test`   passed by `cargo test` to harness-less benches: runs
-//!              the cheapest scenario once and skips the trajectory
-//!              write.
+//!   `--quick`      fewer rounds and shard widths (the CI smoke mode);
+//!   `--rounds N`   override the measured round count (default 2 in
+//!                  quick mode, 8 in full mode);
+//!   `--baseline`   pin every gateway to the pre-optimization shape —
+//!                  v0 JSON shard hop, admission cache off — so a
+//!                  fresh `BENCH_gateway.json` records the JSON
+//!                  transport as `baseline` and a following normal run
+//!                  records the shipped transport as `current`;
+//!   `--test`       passed by `cargo test` to harness-less benches:
+//!                  runs the cheapest scenario once and skips the
+//!                  trajectory write.
 
 use dahlia_bench::cluster::{
     drive, drive_latencies, gateway_trajectory_path, machsuite_requests, merge_gateway_trajectory,
@@ -44,11 +59,45 @@ use dahlia_server::json::Json;
 const SHARD_THREADS: usize = 2;
 const SUBMITTERS: usize = 8;
 
+/// Which transport shape a scenario's gateway runs with.
+#[derive(Clone, Copy, PartialEq)]
+enum Transport {
+    /// The shipped default: v1 binary shard hop + admission cache.
+    Default,
+    /// v1 binary hop, admission cache off — isolates the wire format.
+    BinaryNoCache,
+    /// The pre-optimization shape (`--baseline`): v0 JSON shard hop,
+    /// admission cache off.
+    Json,
+}
+
+impl Transport {
+    fn apply(self, cfg: GatewayConfig) -> GatewayConfig {
+        match self {
+            Transport::Default => cfg,
+            Transport::BinaryNoCache => cfg.admission_cache(0),
+            Transport::Json => cfg.wire_max(0).admission_cache(0),
+        }
+    }
+
+    /// In `--baseline` mode every scenario degrades to the JSON shape;
+    /// otherwise the scenario's own choice stands.
+    fn or_baseline(self, baseline: bool) -> Transport {
+        if baseline {
+            Transport::Json
+        } else {
+            self
+        }
+    }
+}
+
 /// Cold batch through `shards` shards: one sample per request, first
 /// touch, then tear the cluster down.
-fn cold_scenario(shards: usize) -> LatencyStats {
+fn cold_scenario(shards: usize, transport: Transport) -> LatencyStats {
     let cluster = spawn_shards(shards, SHARD_THREADS);
-    let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+    let gateway = transport
+        .apply(GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())))
+        .build();
     let requests = machsuite_requests();
     let samples = drive_latencies(&gateway, &requests, SUBMITTERS, false);
     drop(gateway);
@@ -69,9 +118,10 @@ fn warm_scenario(
     traced: bool,
     capture_all: bool,
     telemetry: bool,
+    transport: Transport,
 ) -> LatencyStats {
     let cluster = spawn_shards(shards, SHARD_THREADS);
-    let mut cfg = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone()));
+    let mut cfg = transport.apply(GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())));
     if capture_all {
         cfg = cfg.slow_threshold_ms(0);
     }
@@ -103,10 +153,36 @@ fn warm_scenario(
     LatencyStats::from_samples(samples)
 }
 
+/// Closed-loop load: after a warming round, `SUBMITTERS` submitters
+/// drive the batch back-to-back for `rounds` rounds while the whole
+/// measured window is wall-clocked. Returns the latency percentiles
+/// plus the achieved throughput in requests per second — the number
+/// the latency scenarios cannot show.
+fn closed_loop_scenario(shards: usize, rounds: usize, transport: Transport) -> (LatencyStats, f64) {
+    let cluster = spawn_shards(shards, SHARD_THREADS);
+    let gateway = transport
+        .apply(GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())))
+        .build();
+    let requests = machsuite_requests();
+    drive(&gateway, &requests, SUBMITTERS);
+    let mut samples = Vec::new();
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        samples.extend(drive_latencies(&gateway, &requests, SUBMITTERS, false));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    drop(gateway);
+    shutdown_shards(cluster);
+    let throughput = samples.len() as f64 / wall.max(1e-9);
+    (LatencyStats::from_samples(samples), throughput)
+}
+
 /// The empty-cluster floor: every request answered by the gateway's
 /// embedded local server.
-fn local_fallback_scenario(rounds: usize) -> LatencyStats {
-    let gateway = GatewayConfig::new(Vec::<String>::new()).build();
+fn local_fallback_scenario(rounds: usize, transport: Transport) -> LatencyStats {
+    let gateway = transport
+        .apply(GatewayConfig::new(Vec::<String>::new()))
+        .build();
     let requests = machsuite_requests();
     drive(&gateway, &requests, SUBMITTERS);
     let mut samples = Vec::new();
@@ -120,35 +196,65 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let test_mode = args.iter().any(|a| a == "--test");
     let quick = test_mode || args.iter().any(|a| a == "--quick");
-    let rounds = if quick { 2 } else { 8 };
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .expect("--rounds takes a positive integer")
+        })
+        .unwrap_or(if quick { 2 } else { 8 });
 
+    let mut throughput: Option<f64> = None;
     let mut scenarios: Vec<(String, LatencyStats)> = Vec::new();
     if test_mode {
-        scenarios.push(("warm_local_fallback".into(), local_fallback_scenario(1)));
+        scenarios.push((
+            "warm_local_fallback".into(),
+            local_fallback_scenario(1, Transport::Default),
+        ));
     } else {
-        scenarios.push(("cold_2shard".into(), cold_scenario(2)));
+        let shipped = Transport::Default.or_baseline(baseline);
+        scenarios.push(("cold_2shard".into(), cold_scenario(2, shipped)));
         let widths: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
         for &shards in widths {
             scenarios.push((
                 format!("warm_{shards}shard"),
-                warm_scenario(shards, rounds, false, false, false),
+                warm_scenario(shards, rounds, false, false, false, shipped),
             ));
         }
         scenarios.push((
-            "warm_2shard_traced".into(),
-            warm_scenario(2, rounds, true, false, false),
+            "warm_2shard_binary".into(),
+            warm_scenario(
+                2,
+                rounds,
+                false,
+                false,
+                false,
+                Transport::BinaryNoCache.or_baseline(baseline),
+            ),
         ));
+        let (closed, reqs_per_sec) = closed_loop_scenario(2, rounds, shipped);
+        throughput = Some(reqs_per_sec);
+        scenarios.push(("closed_loop_2shard".into(), closed));
+        scenarios.push((
+            "warm_2shard_traced".into(),
+            warm_scenario(2, rounds, true, false, false, shipped),
+        ));
+        let routed = Transport::BinaryNoCache.or_baseline(baseline);
         scenarios.push((
             "warm_2shard_slowlog".into(),
-            warm_scenario(2, rounds, false, true, false),
+            warm_scenario(2, rounds, false, true, false, routed),
         ));
         scenarios.push((
             "warm_2shard_telemetry".into(),
-            warm_scenario(2, rounds, false, false, true),
+            warm_scenario(2, rounds, false, false, true, routed),
         ));
         scenarios.push((
             "warm_local_fallback".into(),
-            local_fallback_scenario(rounds),
+            local_fallback_scenario(rounds, shipped),
         ));
     }
 
@@ -157,6 +263,12 @@ fn main() {
             "gateway/{name:<22} p50 {:>7} µs | p99 {:>7} µs | mean {:>7} µs | n {}",
             s.p50_us, s.p99_us, s.mean_us, s.requests
         );
+    }
+    if let Some(rate) = throughput {
+        println!("gateway/closed_loop_2shard throughput {rate:.0} req/s");
+    }
+    if baseline {
+        println!("baseline mode: v0 JSON shard hop, admission cache off");
     }
 
     if test_mode {

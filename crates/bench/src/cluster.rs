@@ -343,8 +343,12 @@ pub fn cluster_batch_replicated(
     submitters: usize,
 ) -> ClusterRun {
     let shards = spawn_shards(n, shard_threads);
+    // These runs measure shard routing and cache pinning, so the
+    // gateway's admission cache is off — it would answer the warm
+    // round at the front door and no request would reach a shard.
     let gateway = GatewayConfig::new(shards.iter().map(|s| s.addr.clone()))
         .replication(replication)
+        .admission_cache(0)
         .build();
     assert_eq!(gateway.live_shards(), n, "all shards dialed");
     let requests = machsuite_requests();
@@ -451,8 +455,11 @@ pub fn failover_batch(
 ) -> FailoverRun {
     assert!(n >= 2, "failover needs a survivor");
     let mut shards = spawn_shards(n, shard_threads);
+    // Admission cache off: the post-kill round must actually re-route
+    // to the survivors, not be answered from the gateway's front door.
     let gateway = GatewayConfig::new(shards.iter().map(|s| s.addr.clone()))
         .replication(replication)
+        .admission_cache(0)
         .build();
     assert_eq!(gateway.live_shards(), n, "all shards dialed");
     let requests = machsuite_requests();

@@ -56,8 +56,8 @@ use dahlia_core::{interp, parse, typecheck, Error};
 use dahlia_gateway::GatewayConfig;
 use dahlia_server::json::{obj, Json};
 use dahlia_server::{
-    metrics, serve_listener, serve_sessions, Client, Request, Server, ServerConfig, SessionHost,
-    Stage,
+    metrics, serve_sessions_with, Client, NetConfig, Request, Server, ServerConfig, SessionHost,
+    Stage, TransportStats,
 };
 
 /// Runtime failure (interpreter, failed batch item).
@@ -85,11 +85,18 @@ const USAGE: &str = "usage: dahliac <command> [args]
                  [--trace-journal N] [--slow-threshold-ms MS]
                  [--telemetry-dir DIR] [--telemetry-interval-ms MS]
                  [--alert-rule RULE]... [--alert-rules FILE]
+                 [--wire v0|v1] [--max-inflight N]
                                       JSON-lines compile service: stdio by
                                       default (strict order), `--pipeline`
                                       for out-of-order stdio responses,
                                       `--listen` for a pipelined TCP server
                                       (stop it with {\"op\":\"shutdown\"});
+                                      sockets negotiate the v1 binary frame
+                                      wire via {\"op\":\"hello\"} unless
+                                      --wire v0 pins JSON lines, and shed
+                                      work past --max-inflight unanswered
+                                      requests per connection (default 256)
+                                      with an `admission/overloaded` error;
                                       --metrics serves GET /metrics (JSON,
                                       or Prometheus text with
                                       ?format=prometheus) and GET /healthz;
@@ -107,10 +114,14 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       line from --alert-rules FILE)
   dahliac batch  [--kernels] [--repeat N] [--threads N] [--stage S]
                  [--cache-dir DIR] [--connect ADDR] [--shutdown]
-                 [--verbose] [--trace] [--slowlog] [files...]
+                 [--verbose] [--trace] [--slowlog] [--wire v0|v1]
+                 [files...]
                                       compile a batch through the service
                                       (in-process by default; --connect
                                       drives a remote `serve --listen`;
+                                      --wire v1 offers the binary frame
+                                      wire in a `hello` exchange, falling
+                                      back to v0 JSON lines on old servers;
                                       --shutdown with no inputs just stops
                                       the remote); --trace requests a span
                                       breakdown per response and dumps the
@@ -122,7 +133,8 @@ const USAGE: &str = "usage: dahliac <command> [args]
                  [--trace-journal N] [--slow-threshold-ms MS]
                  [--telemetry-dir DIR] [--telemetry-interval-ms MS]
                  [--alert-rule RULE]... [--alert-rules FILE]
-                 [--auto-drain-after N]
+                 [--auto-drain-after N] [--wire v0|v1]
+                 [--max-inflight N] [--admission-cache N]
                                       cluster front-end: routes requests
                                       across `serve --listen` shards by
                                       source digest (weighted rendezvous
@@ -144,14 +156,23 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       --auto-drain-after N drains a shard
                                       after N consecutive health-check
                                       failures (never the last live one;
-                                      0 = off, the default)
+                                      0 = off, the default); --wire v0
+                                      pins both the client listener and
+                                      the shard hop to JSON lines (binary
+                                      otherwise); --max-inflight bounds
+                                      unanswered requests per connection;
+                                      --admission-cache N caches hot
+                                      untraced responses at the front door
+                                      (default 2048 entries, 0 = off)
   dahliac top    --connect ADDR [--interval-ms N] [--once]
                                       live cluster console: polls the
                                       windowed stats of a server or gateway
                                       and redraws per-shard routed/s,
                                       err/s, windowed p99, queue depth,
                                       warm keys and drain state beside the
-                                      cluster totals, with two-minute
+                                      cluster totals and the wire line
+                                      (v0/v1 session mix, shed requests,
+                                      admission-cache hits), with two-minute
                                       req/s and p99 sparklines when the
                                       remote keeps durable telemetry;
                                       --once prints a single
@@ -402,6 +423,19 @@ fn parse_nonneg(flag: &str, raw: Option<String>) -> Result<Option<u64>, ExitCode
     }
 }
 
+/// Parse a `--wire v0|v1` protocol ceiling (bare digits accepted).
+fn parse_wire(flag: &str, raw: Option<String>) -> Result<Option<u32>, ExitCode> {
+    match raw.as_deref() {
+        None => Ok(None),
+        Some("v0") | Some("0") => Ok(Some(0)),
+        Some("v1") | Some("1") => Ok(Some(1)),
+        Some(v) => {
+            eprintln!("dahliac: {flag} must be v0 or v1, got `{v}`");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+    }
+}
+
 /// Collect every `--alert-rule RULE` occurrence plus the contents of an
 /// optional `--alert-rules FILE` (one rule per line; blank lines and
 /// `#` comments skipped). Rule *syntax* is validated by the service
@@ -580,9 +614,13 @@ impl ServiceOpts {
 
 /// Bind and start the `--metrics` HTTP endpoint, announcing its
 /// resolved address on stderr (scripts read it like the listen line).
+/// When the process also runs a socket transport, its shared
+/// [`TransportStats`] ride along so `/metrics` exports the session
+/// mix, frame counters, and shed totals beside the host's own stats.
 fn start_metrics(
     addr: &str,
     host: std::sync::Arc<impl SessionHost + 'static>,
+    transport: Option<std::sync::Arc<TransportStats>>,
 ) -> Result<(), ExitCode> {
     let listener = std::net::TcpListener::bind(addr).map_err(|e| {
         eprintln!("dahliac: cannot bind metrics endpoint `{addr}`: {e}");
@@ -595,7 +633,14 @@ fn start_metrics(
     let stats_host = std::sync::Arc::clone(&host);
     metrics::spawn(
         listener,
-        std::sync::Arc::new(move || stats_host.stats_json()),
+        std::sync::Arc::new(move || {
+            let mut stats = stats_host.stats_json();
+            if let (Some(t), Json::Obj(fields)) = (&transport, &mut stats) {
+                fields.retain(|(k, _)| k != "transport");
+                fields.push(("transport".to_string(), t.to_json()));
+            }
+            stats
+        }),
         std::sync::Arc::new(move || host.health_json()),
     )
     .map_err(|e| {
@@ -609,17 +654,33 @@ fn start_metrics(
 /// `dahliac serve`: the JSON-lines protocol over stdio or TCP.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let (listen, metrics_addr) = match (
+    let (listen, metrics_addr, inflight_raw, wire_raw) = match (
         take_flag(&mut args, "--listen"),
         take_flag(&mut args, "--metrics"),
+        take_flag(&mut args, "--max-inflight"),
+        take_flag(&mut args, "--wire"),
     ) {
-        (Ok(l), Ok(m)) => (l, m),
-        (Err(e), _) | (_, Err(e)) => {
+        (Ok(l), Ok(m), Ok(i), Ok(w)) => (l, m, i, w),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
             eprintln!("dahliac: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
     };
     let pipeline = take_switch(&mut args, "--pipeline");
+    let max_inflight = match parse_positive("--max-inflight", inflight_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let wire_max = match parse_wire("--wire", wire_raw) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    if listen.is_none() && (max_inflight.is_some() || wire_max.is_some()) {
+        eprintln!(
+            "dahliac: --max-inflight and --wire shape the socket transport; they need --listen"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
     let opts = match ServiceOpts::take(&mut args) {
         Ok(o) => o,
         Err(code) => return code,
@@ -650,8 +711,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(s) => std::sync::Arc::new(s),
         Err(code) => return code,
     };
+    let mut net = NetConfig::new();
+    if let Some(n) = max_inflight {
+        net = net.max_inflight(n);
+    }
+    if let Some(w) = wire_max {
+        net = net.max_wire(w);
+    }
     if let Some(addr) = &metrics_addr {
-        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&server)) {
+        let transport = listen
+            .as_ref()
+            .map(|_| std::sync::Arc::clone(&net.transport));
+        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&server), transport) {
             return code;
         }
     }
@@ -669,7 +740,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "dahliac serve: listening on {}",
             local.as_deref().unwrap_or(&addr)
         );
-        return match serve_listener(std::sync::Arc::clone(&server), listener) {
+        return match serve_sessions_with(std::sync::Arc::clone(&server), listener, net) {
             Ok(summary) => {
                 server.flush();
                 eprintln!(
@@ -833,6 +904,9 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         "--telemetry-dir",
         "--telemetry-interval-ms",
         "--auto-drain-after",
+        "--max-inflight",
+        "--wire",
+        "--admission-cache",
     ] {
         match take_flag(&mut args, f) {
             Ok(v) => flags.push(v),
@@ -842,7 +916,7 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
             }
         }
     }
-    let [listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr, journal_raw, slow_raw, tele_dir, tele_ms_raw, drain_after_raw] =
+    let [listen, shards_flag, spawn_raw, replication_raw, threads_raw, metrics_addr, journal_raw, slow_raw, tele_dir, tele_ms_raw, drain_after_raw, inflight_raw, wire_raw, adm_cache_raw] =
         flags.try_into().unwrap();
     let alert_rules = match take_alert_rules(&mut args) {
         Ok(r) => r,
@@ -882,6 +956,21 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     };
     // Zero is the documented "off" value, so non-negative.
     let auto_drain_after = match parse_nonneg("--auto-drain-after", drain_after_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let max_inflight = match parse_positive("--max-inflight", inflight_raw) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    // `--wire v0` pins both the client-facing listener and the shard
+    // hop to JSON lines; the default negotiates binary frames on both.
+    let wire_max = match parse_wire("--wire", wire_raw) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    // Zero disables the admission cache, so non-negative.
+    let admission_cache = match parse_nonneg("--admission-cache", adm_cache_raw) {
         Ok(n) => n,
         Err(code) => return code,
     };
@@ -940,6 +1029,12 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     if let Some(n) = auto_drain_after {
         cfg = cfg.auto_drain_after(n);
     }
+    if let Some(w) = wire_max {
+        cfg = cfg.wire_max(w);
+    }
+    if let Some(n) = admission_cache {
+        cfg = cfg.admission_cache(n as usize);
+    }
     // `try_build` surfaces telemetry-directory and alert-rule problems
     // as startup usage errors instead of panicking mid-flight.
     let gateway = match cfg.try_build() {
@@ -950,8 +1045,16 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    let mut net = NetConfig::new();
+    if let Some(n) = max_inflight {
+        net = net.max_inflight(n);
+    }
+    if let Some(w) = wire_max {
+        net = net.max_wire(w);
+    }
     if let Some(addr) = &metrics_addr {
-        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&gateway)) {
+        let transport = std::sync::Arc::clone(&net.transport);
+        if let Err(code) = start_metrics(addr, std::sync::Arc::clone(&gateway), Some(transport)) {
             shutdown_workers(&mut workers);
             return code;
         }
@@ -972,7 +1075,7 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         gateway.live_shards(),
     );
 
-    let served = serve_sessions(std::sync::Arc::clone(&gateway), listener);
+    let served = serve_sessions_with(std::sync::Arc::clone(&gateway), listener, net);
     // Snapshot shard state before stopping spawned workers, so the
     // summary reflects the serving run, not the teardown.
     let snapshots = gateway.shard_snapshots();
@@ -1327,6 +1430,11 @@ struct TopSnapshot {
     queue_depth: f64,
     shards_live: Option<f64>,
     shards: Vec<TopShard>,
+    /// `(sessions_v0, sessions_v1, requests_shed)` from the remote's
+    /// socket transport, when it runs the reactor (absent over stdio).
+    transport: Option<(f64, f64, f64)>,
+    /// Gateway front-door admission-cache hits (absent on plain servers).
+    admission_hits: Option<f64>,
 }
 
 impl TopSnapshot {
@@ -1357,6 +1465,13 @@ impl TopSnapshot {
                 });
             }
         }
+        let transport = stats.get("transport").map(|t| {
+            (
+                num(Some(t), "sessions_v0").unwrap_or(0.0),
+                num(Some(t), "sessions_v1").unwrap_or(0.0),
+                num(Some(t), "requests_shed").unwrap_or(0.0),
+            )
+        });
         TopSnapshot {
             requests: num(Some(stats), "requests").unwrap_or(0.0),
             rate: num(window, "rate").unwrap_or(0.0),
@@ -1367,6 +1482,8 @@ impl TopSnapshot {
             queue_depth: num(window, "queue_depth").unwrap_or(0.0),
             shards_live: num(gateway, "shards_live"),
             shards,
+            transport,
+            admission_hits: num(gateway, "admission_cache_hits"),
         }
     }
 
@@ -1385,6 +1502,14 @@ impl TopSnapshot {
         ];
         if let Some(live) = self.shards_live {
             fields.push(("shards_live", Json::Num(live)));
+        }
+        if let Some((v0, v1, shed)) = self.transport {
+            fields.push(("sessions_v0", Json::Num(v0)));
+            fields.push(("sessions_v1", Json::Num(v1)));
+            fields.push(("requests_shed", Json::Num(shed)));
+        }
+        if let Some(hits) = self.admission_hits {
+            fields.push(("admission_cache_hits", Json::Num(hits)));
         }
         fields.push((
             "shards",
@@ -1430,6 +1555,19 @@ impl TopSnapshot {
             out.push_str(&format!("  live {live:.0}/{}", self.shards.len()));
         }
         out.push('\n');
+        if self.transport.is_some() || self.admission_hits.is_some() {
+            out.push_str("wire:   ");
+            if let Some((v0, v1, shed)) = self.transport {
+                out.push_str(&format!("{v0:.0} v0 + {v1:.0} v1 sessions  shed {shed:.0}"));
+            }
+            if let Some(hits) = self.admission_hits {
+                if self.transport.is_some() {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("admission hits {hits:.0}"));
+            }
+            out.push('\n');
+        }
         if !sparks.is_empty() {
             out.push('\n');
             for (label, spark) in sparks {
@@ -1612,17 +1750,26 @@ fn print_batch_summary(repeat: u32, programs: usize, round_walls: &[u64], stats:
 /// plus cache stats.
 fn cmd_batch(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let (repeat_raw, stage_raw, connect) = match (
+    let (repeat_raw, stage_raw, connect, wire_raw) = match (
         take_flag(&mut args, "--repeat"),
         take_flag(&mut args, "--stage"),
         take_flag(&mut args, "--connect"),
+        take_flag(&mut args, "--wire"),
     ) {
-        (Ok(r), Ok(s), Ok(c)) => (r, s, c),
-        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+        (Ok(r), Ok(s), Ok(c), Ok(w)) => (r, s, c, w),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (.., Err(e)) => {
             eprintln!("dahliac: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    let wire_max = match parse_wire("--wire", wire_raw) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    if wire_max.is_some() && connect.is_none() {
+        eprintln!("dahliac: --wire picks the socket protocol; it needs --connect");
+        return ExitCode::from(EXIT_USAGE);
+    }
     let opts = match ServiceOpts::take(&mut args) {
         Ok(o) => o,
         Err(code) => return code,
@@ -1687,7 +1834,15 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 
     if let Some(addr) = connect {
         return batch_over_tcp(
-            &addr, &programs, stage, repeat, verbose, traced, slowlog, shutdown,
+            &addr,
+            &programs,
+            stage,
+            repeat,
+            verbose,
+            traced,
+            slowlog,
+            shutdown,
+            wire_max.unwrap_or(0),
         );
     }
 
@@ -1775,14 +1930,21 @@ fn batch_over_tcp(
     traced: bool,
     slowlog: bool,
     shutdown: bool,
+    wire_max: u32,
 ) -> ExitCode {
-    let mut client = match Client::connect_retry(addr, 50) {
+    let mut client = match Client::connect_retry_wire(addr, 50, wire_max) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("dahliac: cannot connect to `{addr}`: {e}");
             return ExitCode::from(EXIT_NET);
         }
     };
+    if wire_max > 0 {
+        eprintln!(
+            "dahliac batch: negotiated wire v{} with `{addr}`",
+            client.wire_version()
+        );
+    }
 
     let run = |client: &mut Client| -> std::io::Result<ExitCode> {
         // Saturating: another client may reset nothing (counters are

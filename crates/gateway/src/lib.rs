@@ -81,8 +81,8 @@ use dahlia_obs::{
 use dahlia_server::json::{obj, Json};
 use dahlia_server::{
     obs_json, parse_alert_rules, source_digest, AdminOp, PipelinedClient, Pool, Request, Server,
-    SessionHost, ALERT_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS, DEFAULT_TELEMETRY_INTERVAL_MS,
-    SLOWLOG_CAP, TRACE_JOURNAL_CAP,
+    SessionHost, Stage, ALERT_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS,
+    DEFAULT_TELEMETRY_INTERVAL_MS, SLOWLOG_CAP, TRACE_JOURNAL_CAP,
 };
 
 /// Bound on the per-shard warm-key ledger the drain migrator walks.
@@ -93,6 +93,14 @@ const WARM_KEY_CAP: usize = 8192;
 /// Byte bound on the sources retained in one shard's warm-key ledger
 /// (the ledger clones each request, source text included).
 const WARM_KEY_MAX_BYTES: usize = 64 << 20;
+
+/// Default bound on the gateway's hot-source admission cache (entries).
+pub const DEFAULT_ADMISSION_CACHE: usize = 2048;
+
+/// Byte bound on the response bodies retained in the admission cache —
+/// estimates are small, but lowered-artifact responses carry the full
+/// lowered program text.
+const ADMISSION_CACHE_MAX_BYTES: usize = 64 << 20;
 
 /// Configuration for a [`Gateway`].
 #[derive(Debug, Clone)]
@@ -109,6 +117,8 @@ pub struct GatewayConfig {
     telemetry_interval_ms: u64,
     alert_rules: Vec<String>,
     auto_drain_after: u64,
+    wire_max: u32,
+    admission_cache: usize,
 }
 
 impl GatewayConfig {
@@ -137,6 +147,8 @@ impl GatewayConfig {
             telemetry_interval_ms: DEFAULT_TELEMETRY_INTERVAL_MS,
             alert_rules: Vec::new(),
             auto_drain_after: 0,
+            wire_max: dahlia_server::wire::WIRE_VERSION as u32,
+            admission_cache: DEFAULT_ADMISSION_CACHE,
         }
     }
 
@@ -236,6 +248,25 @@ impl GatewayConfig {
         self
     }
 
+    /// Highest wire protocol version to negotiate on shard connections
+    /// (default: the newest this build speaks). `0` pins the gateway →
+    /// shard hop to the v0 JSON-lines protocol — the knob mixed-version
+    /// rollouts and the bench baseline mode use.
+    pub fn wire_max(mut self, v: u32) -> GatewayConfig {
+        self.wire_max = v;
+        self
+    }
+
+    /// Entry bound on the gateway's hot-source admission cache
+    /// (default [`DEFAULT_ADMISSION_CACHE`]): successful, untraced
+    /// responses are retained keyed by `(source, stage, options)`
+    /// digest, and a repeat of a hot request is answered at the
+    /// gateway without touching a shard. `0` disables the cache.
+    pub fn admission_cache(mut self, entries: usize) -> GatewayConfig {
+        self.admission_cache = entries;
+        self
+    }
+
     /// Build the gateway: dial every shard (concurrently, best-effort)
     /// and start the health checker.
     ///
@@ -280,6 +311,7 @@ impl GatewayConfig {
                             *weight,
                             self.connect_timeout,
                             self.io_timeout,
+                            self.wire_max,
                         ))
                     })
                     .collect(),
@@ -287,6 +319,9 @@ impl GatewayConfig {
             replication: self.replication,
             connect_timeout: self.connect_timeout,
             io_timeout: self.io_timeout,
+            wire_max: self.wire_max,
+            admission: Mutex::new(AdmissionCache::new(self.admission_cache)),
+            admission_hits: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
             replica_writes: AtomicU64::new(0),
@@ -421,6 +456,61 @@ impl WarmKeys {
     }
 }
 
+/// The gateway's hot-source admission cache: successful, untraced
+/// responses keyed by the same `(source, stage, options)` digest
+/// triple the shards' own stores use. Bounded FIFO by entry count and
+/// by retained response bytes; a hit is re-stamped with the caller's
+/// id and `cached: true`, the same shape a shard-side warm hit has.
+struct AdmissionCache {
+    cap: usize,
+    map: HashMap<(u128, Stage, u128), (Json, usize)>,
+    order: VecDeque<(u128, Stage, u128)>,
+    bytes: usize,
+}
+
+impl AdmissionCache {
+    fn new(cap: usize) -> AdmissionCache {
+        AdmissionCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+        }
+    }
+
+    fn get(&self, key: &(u128, Stage, u128)) -> Option<Json> {
+        self.map.get(key).map(|(resp, _)| resp.clone())
+    }
+
+    fn insert(&mut self, key: (u128, Stage, u128), resp: &Json) {
+        if self.cap == 0 {
+            return;
+        }
+        let size = resp.emit().len();
+        match self.map.insert(key, (resp.clone(), size)) {
+            None => {
+                self.order.push_back(key);
+                self.bytes += size;
+                while self.order.len() > self.cap || self.bytes > ADMISSION_CACHE_MAX_BYTES {
+                    let Some(old) = self.order.pop_front() else {
+                        break;
+                    };
+                    if let Some((_, dropped)) = self.map.remove(&old) {
+                        self.bytes -= dropped;
+                    }
+                }
+            }
+            // Same key re-inserted (two concurrent cold misses): keep
+            // the order entry, swap the byte accounting.
+            Some((_, old_size)) => self.bytes = self.bytes - old_size + size,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// One backend shard: its address, rendezvous weight, pooled
 /// connection, drain state, and routing counters.
 struct Shard {
@@ -430,6 +520,8 @@ struct Shard {
     weight: AtomicU64,
     connect_timeout: Duration,
     io_timeout: Duration,
+    /// Highest wire version to offer when dialling (0 pins v0).
+    wire_max: u32,
     client: Mutex<Option<Arc<PipelinedClient>>>,
     /// Draining shards receive no new keys; in-flight work completes.
     draining: AtomicBool,
@@ -462,12 +554,19 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(addr: String, weight: f64, connect_timeout: Duration, io_timeout: Duration) -> Shard {
+    fn new(
+        addr: String,
+        weight: f64,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+        wire_max: u32,
+    ) -> Shard {
         Shard {
             addr,
             weight: AtomicU64::new(weight.to_bits()),
             connect_timeout,
             io_timeout,
+            wire_max,
             client: Mutex::new(None),
             draining: AtomicBool::new(false),
             routed: AtomicU64::new(0),
@@ -527,7 +626,11 @@ impl Shard {
         if self.live().is_some() {
             return true;
         }
-        match PipelinedClient::connect_timeout(self.addr.as_str(), self.connect_timeout) {
+        match PipelinedClient::connect_timeout_wire(
+            self.addr.as_str(),
+            self.connect_timeout,
+            self.wire_max,
+        ) {
             Ok(c) => {
                 let client = Arc::new(c.with_io_timeout(self.io_timeout));
                 *self.client.lock().unwrap() = Some(client);
@@ -568,6 +671,12 @@ struct GwInner {
     replication: usize,
     connect_timeout: Duration,
     io_timeout: Duration,
+    /// Highest wire version new shard connections offer (0 pins v0).
+    wire_max: u32,
+    /// Hot-source response cache checked before any shard dispatch.
+    admission: Mutex<AdmissionCache>,
+    /// Requests answered straight out of the admission cache.
+    admission_hits: AtomicU64,
     requests: AtomicU64,
     /// Requests that failed on at least one shard and were re-routed.
     rerouted: AtomicU64,
@@ -729,7 +838,27 @@ impl GwInner {
 
     fn submit(self: &Arc<Self>, req: &Request) -> Json {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.route(req, true)
+        let t_submit = Instant::now();
+        let key = (source_digest(&req.source), req.stage, req.options.digest());
+        // Admission control, stage one: answer hot repeats at the
+        // gateway. Traced requests always route — the caller asked for
+        // the span breakdown a cache hit cannot produce.
+        if req.trace.is_none() {
+            let hit = self.admission.lock().unwrap().get(&key);
+            if let Some(mut resp) = hit {
+                self.admission_hits.fetch_add(1, Ordering::Relaxed);
+                set_field(&mut resp, "id", Json::Str(req.id.clone()));
+                set_field(&mut resp, "cached", Json::Bool(true));
+                self.window
+                    .record((t_submit.elapsed().as_nanos() / 1_000) as u64, true);
+                return resp;
+            }
+        }
+        let resp = self.route(req, true);
+        if req.trace.is_none() && resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            self.admission.lock().unwrap().insert(key, &resp);
+        }
+        resp
     }
 
     /// Route one request: try candidate shards in rendezvous order,
@@ -1007,6 +1136,7 @@ impl GwInner {
                         weight.unwrap_or(1.0),
                         self.connect_timeout,
                         self.io_timeout,
+                        self.wire_max,
                     ));
                     topo.push(Arc::clone(&shard));
                     shard
@@ -1039,6 +1169,13 @@ impl GwInner {
     /// section carrying routing state. Shaped like a single server's
     /// stats, so existing clients (`dahliac batch`) read it unchanged.
     fn stats_json(&self) -> Json {
+        // Snapshot the admission cache up front: lock guards created
+        // inside the big `obj([...])` below would live to the end of
+        // the whole expression and deadlock against each other.
+        let (adm_entries, adm_cap) = {
+            let adm = self.admission.lock().unwrap();
+            (adm.len(), adm.cap)
+        };
         let mut agg = Json::Obj(Vec::new());
         let mut shard_objs = Vec::new();
         let mut live = 0u64;
@@ -1148,6 +1285,13 @@ impl GwInner {
                 Json::Num(self.local_fallbacks.load(Ordering::Relaxed) as f64),
             ),
             ("replication", Json::Num(self.replication as f64)),
+            (
+                "admission_cache_hits",
+                Json::Num(self.admission_hits.load(Ordering::Relaxed) as f64),
+            ),
+            ("admission_cache_entries", Json::Num(adm_entries as f64)),
+            ("admission_cache_cap", Json::Num(adm_cap as f64)),
+            ("wire_max", Json::Num(self.wire_max as f64)),
             ("shards_live", Json::Num(live as f64)),
             ("shards_draining", Json::Num(draining as f64)),
             ("shards_dead", Json::Num(dead as f64)),
@@ -1202,6 +1346,16 @@ impl GwInner {
             }
         }
         agg
+    }
+}
+
+/// Overwrite (or append) one field of a response object in place.
+fn set_field(resp: &mut Json, key: &str, val: Json) {
+    if let Json::Obj(fields) = resp {
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = val,
+            None => fields.push((key.to_string(), val)),
+        }
     }
 }
 
@@ -1372,6 +1526,12 @@ impl Gateway {
         self.inner.local_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Requests answered straight out of the admission cache, without
+    /// touching a shard.
+    pub fn admission_cache_hits(&self) -> u64 {
+        self.inner.admission_hits.load(Ordering::Relaxed)
+    }
+
     /// Per-shard state, refreshing each live shard's stats snapshot.
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         self.inner
@@ -1406,6 +1566,15 @@ impl SessionHost for Gateway {
         let inner = Arc::clone(&self.inner);
         self.inner.pool.execute(move || {
             respond(inner.submit(&req).emit());
+        });
+    }
+
+    fn dispatch_obj(&self, req: Request, respond: Box<dyn FnOnce(Json) + Send>) {
+        // Binary sessions skip the emit-then-reparse round trip: the
+        // router already produces the response as a JSON object.
+        let inner = Arc::clone(&self.inner);
+        self.inner.pool.execute(move || {
+            respond(inner.submit(&req));
         });
     }
 

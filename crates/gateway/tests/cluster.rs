@@ -22,16 +22,26 @@ use std::time::Duration;
 
 use dahlia_gateway::GatewayConfig;
 use dahlia_server::json::Json;
-use dahlia_server::{serve_listener, Client, NetSummary, Request, Server, Stage};
+use dahlia_server::{Client, NetConfig, NetSummary, Request, Server, Stage};
 
 /// Spawn a real TCP shard around `server`; returns its address and the
 /// listener thread's handle.
 fn spawn_shard(server: Server) -> (String, std::thread::JoinHandle<NetSummary>) {
+    spawn_shard_with(server, NetConfig::new())
+}
+
+/// [`spawn_shard`] with an explicit transport config (wire ceiling,
+/// admission window).
+fn spawn_shard_with(
+    server: Server,
+    cfg: NetConfig,
+) -> (String, std::thread::JoinHandle<NetSummary>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap().to_string();
     let server = Arc::new(server);
-    let handle =
-        std::thread::spawn(move || serve_listener(server, listener).expect("serve_listener"));
+    let handle = std::thread::spawn(move || {
+        dahlia_server::serve_sessions_with(server, listener, cfg).expect("serve_sessions_with")
+    });
     (addr, handle)
 }
 
@@ -76,7 +86,11 @@ fn shard_counter(stats: &Option<Json>, key: &str) -> u64 {
 fn gateway_matches_direct_and_pins_sources() {
     let (addr_a, join_a) = spawn_shard(Server::with_threads(2));
     let (addr_b, join_b) = spawn_shard(Server::with_threads(2));
-    let gw = GatewayConfig::new([addr_a.clone(), addr_b.clone()]).build();
+    // Admission caching off: this test pins *shard routing* — the warm
+    // pass must reach the shards, not be answered at the gateway.
+    let gw = GatewayConfig::new([addr_a.clone(), addr_b.clone()])
+        .admission_cache(0)
+        .build();
     assert_eq!(gw.live_shards(), 2);
 
     let direct = Server::with_threads(2);
@@ -139,6 +153,72 @@ fn gateway_matches_direct_and_pins_sources() {
     join_b.join().unwrap();
 }
 
+/// Admission control, stage one: a hot source's repeat is answered at
+/// the gateway — correct id, `cached: true`, zero shard dispatches —
+/// while traced requests always route for their span breakdown.
+#[test]
+fn admission_cache_answers_hot_repeats_without_touching_a_shard() {
+    let (addr, join) = spawn_shard(Server::with_threads(2));
+    let gw = GatewayConfig::new([addr.clone()]).build();
+    let src = "let A: float[8 bank 4];\nfor (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+
+    let cold = gw.submit(&Request::new("c1", Stage::Estimate, src, "k"));
+    assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+    let hot = gw.submit(&Request::new("h1", Stage::Estimate, src, "k"));
+    assert_eq!(hot.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(hot.get("id").and_then(Json::as_str), Some("h1"));
+    assert_eq!(hot.get("cached").and_then(Json::as_bool), Some(true));
+    let sans_id = |v: &Json| match Json::parse(&normalize(v)).unwrap() {
+        Json::Obj(fields) => {
+            Json::Obj(fields.into_iter().filter(|(k, _)| k != "id").collect()).emit()
+        }
+        other => other.emit(),
+    };
+    assert_eq!(sans_id(&cold), sans_id(&hot), "hit answers identically");
+    assert_eq!(gw.admission_cache_hits(), 1);
+    assert_eq!(
+        gw.shard_snapshots()[0].routed,
+        1,
+        "the repeat never reached the shard"
+    );
+
+    // A traced repeat routes anyway: span breakdowns cannot be served
+    // from the cache.
+    let traced = gw.submit(&Request::new("t1", Stage::Estimate, src, "k").traced("tr-adm"));
+    assert_eq!(traced.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(traced.get("trace").is_some());
+    assert_eq!(gw.admission_cache_hits(), 1, "traced request was no hit");
+    assert_eq!(gw.shard_snapshots()[0].routed, 2);
+
+    // A different stage over the same source is its own key.
+    let other = gw.submit(&Request::new("s1", Stage::Check, src, "k"));
+    assert_eq!(other.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(gw.admission_cache_hits(), 1);
+    assert_eq!(gw.shard_snapshots()[0].routed, 3);
+
+    // The stats object reports the cache beside the routing counters.
+    let stats = gw.stats_json();
+    let gws = stats.get("gateway").unwrap();
+    assert_eq!(
+        gws.get("admission_cache_hits").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        gws.get("admission_cache_entries").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(
+        gws.get("admission_cache_cap")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    drop(gw);
+    shutdown_shard(&addr);
+    join.join().unwrap();
+}
+
 #[test]
 fn killing_a_shard_mid_batch_loses_no_requests() {
     // Shard A compiles slowly (widening the in-flight window we kill
@@ -150,6 +230,8 @@ fn killing_a_shard_mid_batch_loses_no_requests() {
             // A long interval keeps the health checker out of the
             // story: re-routing below is driven purely by call failure.
             .health_interval(Duration::from_secs(30))
+            // Failover semantics, not gateway caching, are under test.
+            .admission_cache(0)
             .build(),
     );
     assert_eq!(gw.live_shards(), 2);
@@ -279,6 +361,9 @@ fn replicated_cluster_fails_over_warm() {
             // Keep the health checker out of the story: failover below
             // is driven purely by call failure.
             .health_interval(Duration::from_secs(30))
+            // Replication, not the gateway response cache, must serve
+            // the displaced keys warm — keep the cache out of the way.
+            .admission_cache(0)
             .build(),
     );
     assert_eq!(gw.live_shards(), 2);
@@ -353,6 +438,9 @@ fn draining_a_shard_mid_batch_loses_nothing_and_migrates_keys() {
     let gw = Arc::new(
         GatewayConfig::new([addr_a.clone(), addr_b.clone()])
             .health_interval(Duration::from_secs(30))
+            // Drain migration is observed through shard counters; the
+            // gateway cache would answer the repeats before routing.
+            .admission_cache(0)
             .build(),
     );
     assert_eq!(gw.live_shards(), 2);
@@ -607,6 +695,12 @@ fn failover_records_the_reroute_hop_in_the_span_tree() {
     let gw =
         GatewayConfig::new_weighted([(flaky_addr.clone(), 1_000_000.0), (real_addr.clone(), 1.0)])
             .health_interval(Duration::from_secs(30))
+            // The flaky stand-in speaks no protocol at all, so the v1
+            // hello exchange would already fail at connect time and the
+            // shard would never look live. Pin the v0 wire: connect is
+            // a bare TCP handshake again and the death lands mid-call,
+            // which is the failure this test is about.
+            .wire_max(0)
             .build();
     let src = "let A: float[4 bank 2]; for (let i = 0..4) unroll 2 { A[i] := 1.0; }";
 
@@ -813,4 +907,90 @@ fn auto_drain_and_durable_telemetry_survive_a_gateway_restart() {
 
     drop(gw2);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fetch a shard's stats envelope over a plain v0 client connection.
+/// The reactor appends its `transport` section to every stats reply,
+/// which is how these tests observe what the gateway hop negotiated.
+fn shard_transport(addr: &str) -> Json {
+    let mut c = Client::connect(addr).expect("stats connection");
+    c.send_line(r#"{"op":"stats"}"#).expect("send stats");
+    let line = c.recv_line().expect("recv stats").expect("stats line");
+    Json::parse(&line)
+        .expect("stats parses")
+        .get("stats")
+        .and_then(|s| s.get("transport"))
+        .cloned()
+        .expect("transport section")
+}
+
+fn transport_counter(t: &Json, key: &str) -> u64 {
+    t.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Mixed clusters must interoperate in both directions: a v1 gateway
+/// degrades to JSON lines against a v0-pinned shard, a v0-pinned
+/// gateway never offers `hello` to a v1-capable shard, and two current
+/// builds negotiate the binary wire — each asserted through the shard's
+/// own transport counters, with byte-identical artifacts throughout.
+#[test]
+fn mixed_wire_clusters_interoperate_in_both_directions() {
+    let direct = Server::with_threads(2);
+    let requests: Vec<Request> = machsuite_requests().into_iter().take(4).collect();
+
+    let check = |gw: &dahlia_gateway::Gateway, tag: &str| {
+        for req in &requests {
+            let via = gw.submit(req);
+            let direct_resp = direct.submit(req.clone()).to_json();
+            assert_eq!(
+                normalize(&via),
+                normalize(&direct_resp),
+                "[{tag}] artifact diverged for {}",
+                req.id
+            );
+        }
+    };
+
+    // New gateway, old shard: the `hello` exchange answers version 0,
+    // so the hop stays JSON lines and nothing is ever framed.
+    let (addr_old, join_old) =
+        spawn_shard_with(Server::with_threads(2), NetConfig::new().max_wire(0));
+    let gw = GatewayConfig::new([addr_old.clone()])
+        .admission_cache(0)
+        .build();
+    check(&gw, "v1-gw/v0-shard");
+    let t = shard_transport(&addr_old);
+    assert_eq!(transport_counter(&t, "sessions_v1"), 0);
+    assert_eq!(transport_counter(&t, "frames_in"), 0);
+    assert!(transport_counter(&t, "sessions_v0") >= 1);
+    drop(gw);
+    shutdown_shard(&addr_old);
+    join_old.join().unwrap();
+
+    // Old gateway, new shard: a v0-pinned gateway skips `hello`
+    // entirely, and the shard keeps speaking bytes any v0 client knows.
+    let (addr_new, join_new) = spawn_shard(Server::with_threads(2));
+    let gw = GatewayConfig::new([addr_new.clone()])
+        .wire_max(0)
+        .admission_cache(0)
+        .build();
+    check(&gw, "v0-gw/v1-shard");
+    let t = shard_transport(&addr_new);
+    assert_eq!(transport_counter(&t, "sessions_v1"), 0);
+    assert_eq!(transport_counter(&t, "frames_in"), 0);
+    drop(gw);
+
+    // Two current builds: the hop negotiates v1 and the request/response
+    // traffic is binary frames.
+    let gw = GatewayConfig::new([addr_new.clone()])
+        .admission_cache(0)
+        .build();
+    check(&gw, "v1-gw/v1-shard");
+    let t = shard_transport(&addr_new);
+    assert!(transport_counter(&t, "sessions_v1") >= 1, "{t:?}");
+    assert!(transport_counter(&t, "frames_in") > 0, "{t:?}");
+    assert!(transport_counter(&t, "frames_out") > 0, "{t:?}");
+    drop(gw);
+    shutdown_shard(&addr_new);
+    join_new.join().unwrap();
 }

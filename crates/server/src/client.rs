@@ -25,7 +25,7 @@
 //! shard.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead as _, BufReader, Write};
+use std::io::{self, BufRead as _, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -33,31 +33,72 @@ use std::time::Duration;
 
 use crate::json::{obj, Json};
 use crate::protocol::Request;
+use crate::wire;
 
 /// A minimal protocol client for the socket transport, used by
 /// `dahliac batch --connect` and the integration tests.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Negotiated wire version. Plain [`Client::connect`] never
+    /// negotiates — scripts that pin exact protocol bytes stay on v0 —
+    /// and [`Client::connect_wire`] opts a session in.
+    wire: u32,
 }
 
 impl Client {
-    /// Connect to a serving `dahliac serve --listen` endpoint.
+    /// Connect to a serving `dahliac serve --listen` endpoint. The
+    /// session speaks v0 JSON lines, byte-for-byte what every client
+    /// before the `hello` exchange spoke.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_wire(addr, 0)
+    }
+
+    /// Connect, offering at most wire version `wire_max` in the `hello`
+    /// exchange (`0` skips it). On a v1 session [`Client::send_line`]
+    /// and [`Client::recv_line`] keep their text-line API — lines are
+    /// translated to and from binary frames at this boundary, so batch
+    /// drivers run unchanged over either wire.
+    pub fn connect_wire(addr: impl ToSocketAddrs, wire_max: u32) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let wire_max = wire_max.min(wire::WIRE_VERSION as u32);
+        let wire = if wire_max == 0 {
+            0
+        } else {
+            stream.set_read_timeout(Some(PipelinedClient::NEGOTIATE_TIMEOUT))?;
+            let v = PipelinedClient::negotiate(&mut stream, wire_max)?;
+            stream.set_read_timeout(None)?;
+            v
+        };
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            wire,
         })
+    }
+
+    /// The wire version this session negotiated (0 = JSON lines).
+    pub fn wire_version(&self) -> u32 {
+        self.wire
     }
 
     /// Connect, retrying while the server is still binding (used by
     /// scripts that start the server in the background).
     pub fn connect_retry(addr: impl ToSocketAddrs + Copy, attempts: u32) -> io::Result<Client> {
+        Client::connect_retry_wire(addr, attempts, 0)
+    }
+
+    /// [`Client::connect_retry`] with a `hello` ceiling, for callers
+    /// that want the binary wire and startup-race tolerance at once.
+    pub fn connect_retry_wire(
+        addr: impl ToSocketAddrs + Copy,
+        attempts: u32,
+        wire_max: u32,
+    ) -> io::Result<Client> {
         let mut last = None;
         for _ in 0..attempts.max(1) {
-            match Client::connect(addr) {
+            match Client::connect_wire(addr, wire_max) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
                     last = Some(e);
@@ -68,24 +109,74 @@ impl Client {
         Err(last.unwrap())
     }
 
-    /// Send one protocol line (the newline is added here).
+    /// Send one protocol line (the newline is added here). On a v1
+    /// session the line is reframed: an object with an `op` field rides
+    /// as a control frame (control ops stay textual on every version),
+    /// anything else parseable is binary-encoded as a request frame,
+    /// and unparseable text goes out as a control frame so the server's
+    /// protocol-error answer matches the v0 behaviour.
     pub fn send_line(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        if self.wire == 0 {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            return self.writer.flush();
+        }
+        let framed = match Json::parse(line) {
+            Ok(v) if v.get("op").is_none() => wire::frame(wire::FRAME_REQUEST, &wire::to_bytes(&v)),
+            _ => wire::frame(wire::FRAME_CONTROL, line.as_bytes()),
+        };
+        self.writer.write_all(&framed)?;
         self.writer.flush()
     }
 
-    /// Read one response line; `None` on server-side EOF.
+    /// Read one response line; `None` on server-side EOF. On a v1
+    /// session this reads one frame and renders it back to the JSON
+    /// text the caller would have seen on v0.
     pub fn recv_line(&mut self) -> io::Result<Option<String>> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Ok(None);
+        if self.wire == 0 {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            return Ok(Some(line));
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
+        let mut word = [0u8; 4];
+        match self.reader.read_exact(&mut word) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
         }
-        Ok(Some(line))
+        let len = u32::from_le_bytes(word) as usize;
+        if len == 0 || len > wire::MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        let mut frame = vec![0u8; len];
+        self.reader.read_exact(&mut frame)?;
+        let (tag, body) = (frame[0], &frame[1..]);
+        let text = match tag {
+            wire::FRAME_RESPONSE => wire::from_bytes(body)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "undecodable response frame")
+                })?
+                .emit(),
+            wire::FRAME_CONTROL_REPLY => String::from_utf8(body.to_vec()).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 control reply frame")
+            })?,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected frame tag {other}"),
+                ))
+            }
+        };
+        Ok(Some(text))
     }
 
     /// Ask the server to shut down gracefully (acknowledged with one
@@ -136,6 +227,8 @@ pub struct PipelinedClient {
     shared: Arc<Shared>,
     writer: Mutex<TcpStream>,
     next_id: AtomicU64,
+    /// Negotiated wire version: 0 = JSON lines, ≥1 = binary frames.
+    wire: u32,
     /// Bound on each call's wait for its response; `None` waits forever.
     io_timeout: Option<Duration>,
     /// Held across a whole control round-trip: with at most one control
@@ -147,9 +240,19 @@ pub struct PipelinedClient {
 }
 
 impl PipelinedClient {
-    /// Connect to a pipelined protocol endpoint.
+    /// Connect to a pipelined protocol endpoint, negotiating the newest
+    /// wire version both ends speak (see [`PipelinedClient::connect_wire`]).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
-        PipelinedClient::from_stream(TcpStream::connect(addr)?)
+        PipelinedClient::connect_wire(addr, wire::WIRE_VERSION as u32)
+    }
+
+    /// Connect, offering at most wire version `wire_max` in the `hello`
+    /// exchange. `0` skips the exchange entirely — the session is pure
+    /// v0 JSON lines, byte-compatible with any server ever shipped. A
+    /// server that does not understand `hello` (it answers with a
+    /// protocol error) leaves the session on v0 too.
+    pub fn connect_wire(addr: impl ToSocketAddrs, wire_max: u32) -> io::Result<PipelinedClient> {
+        PipelinedClient::from_stream(TcpStream::connect(addr)?, wire_max, Self::NEGOTIATE_TIMEOUT)
     }
 
     /// Connect with a bound on how long the TCP handshake may take —
@@ -160,10 +263,23 @@ impl PipelinedClient {
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> io::Result<PipelinedClient> {
+        PipelinedClient::connect_timeout_wire(addr, timeout, wire::WIRE_VERSION as u32)
+    }
+
+    /// [`PipelinedClient::connect_timeout`] with an explicit wire-version
+    /// ceiling (see [`PipelinedClient::connect_wire`]).
+    pub fn connect_timeout_wire(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        wire_max: u32,
+    ) -> io::Result<PipelinedClient> {
         let mut last = None;
         for a in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&a, timeout) {
-                Ok(s) => return PipelinedClient::from_stream(s),
+                // The caller's timeout bounds negotiation too: a shard
+                // that accepts but never answers hello is as dead as
+                // one that never completes the handshake.
+                Ok(s) => return PipelinedClient::from_stream(s, wire_max, timeout),
                 Err(e) => last = Some(e),
             }
         }
@@ -172,8 +288,72 @@ impl PipelinedClient {
         }))
     }
 
-    fn from_stream(stream: TcpStream) -> io::Result<PipelinedClient> {
+    /// Bound on the `hello` round trip for sessions opened without an
+    /// explicit connect timeout. A server that accepts but never
+    /// answers hello must fail the connect, not park it forever.
+    const NEGOTIATE_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// The `hello` exchange, run synchronously before the reader thread
+    /// exists: send the offer, read exactly one reply line (byte by
+    /// byte — nothing may be buffered past the newline, because the
+    /// very next server byte can already be a frame), and return the
+    /// negotiated version. Any unparseable or error-shaped reply means
+    /// the server predates `hello`: stay on v0.
+    fn negotiate(stream: &mut TcpStream, wire_max: u32) -> io::Result<u32> {
+        let offer = obj([
+            ("op", Json::Str("hello".into())),
+            ("max_version", Json::Num(wire_max as f64)),
+        ]);
+        stream.write_all(offer.emit().as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            if stream.read(&mut byte)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed during hello negotiation",
+                ));
+            }
+            if byte[0] == b'\n' {
+                break;
+            }
+            line.push(byte[0]);
+            if line.len() > wire::MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unbounded hello reply",
+                ));
+            }
+        }
+        let version = String::from_utf8(line)
+            .ok()
+            .and_then(|text| Json::parse(text.trim()).ok())
+            .and_then(|v| {
+                v.get("hello")
+                    .and_then(|h| h.get("version"))
+                    .and_then(Json::as_u64)
+            })
+            .unwrap_or(0);
+        Ok((version as u32).min(wire_max))
+    }
+
+    fn from_stream(
+        mut stream: TcpStream,
+        wire_max: u32,
+        negotiate_timeout: Duration,
+    ) -> io::Result<PipelinedClient> {
         stream.set_nodelay(true)?;
+        let wire_max = wire_max.min(wire::WIRE_VERSION as u32);
+        let wire_v = if wire_max == 0 {
+            0
+        } else {
+            stream.set_read_timeout(Some(negotiate_timeout.max(Duration::from_millis(1))))?;
+            let v = PipelinedClient::negotiate(&mut stream, wire_max)?;
+            stream.set_read_timeout(None)?;
+            v
+        };
         let shared = Arc::new(Shared {
             dead: AtomicBool::new(false),
             waiters: Mutex::new(Waiters {
@@ -185,15 +365,27 @@ impl PipelinedClient {
         let t_shared = Arc::clone(&shared);
         let reader = std::thread::Builder::new()
             .name("dahlia-pipelined-client".into())
-            .spawn(move || reader_loop(reader_stream, &t_shared))?;
+            .spawn(move || {
+                if wire_v == 0 {
+                    reader_loop(reader_stream, &t_shared)
+                } else {
+                    frame_reader_loop(reader_stream, &t_shared)
+                }
+            })?;
         Ok(PipelinedClient {
             shared,
             writer: Mutex::new(stream),
             next_id: AtomicU64::new(0),
+            wire: wire_v,
             io_timeout: None,
             control_gate: Mutex::new(()),
             reader: Some(reader),
         })
+    }
+
+    /// The wire version this session negotiated (0 = JSON lines).
+    pub fn wire_version(&self) -> u32 {
+        self.wire
     }
 
     /// Bound every call's wait for its response: a connection whose
@@ -248,6 +440,21 @@ impl PipelinedClient {
         w.flush()
     }
 
+    fn write_frame(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        w.write_all(bytes)?;
+        w.flush()
+    }
+
+    /// Encode and send one compile request for the negotiated wire.
+    fn send_request(&self, req: &Request) -> io::Result<()> {
+        if self.wire == 0 {
+            self.write_line(&req.to_line())
+        } else {
+            self.write_frame(&wire::json_frame(wire::FRAME_REQUEST, &req.to_json()))
+        }
+    }
+
     /// Send `req` and block for its response, returned with the
     /// caller's original id restored. Fails (and poisons the client) on
     /// any I/O error — including the connection dying while the request
@@ -268,7 +475,7 @@ impl PipelinedClient {
         };
         let (tx, rx) = mpsc::channel();
         self.shared.waiters.lock().unwrap().calls.insert(n, tx);
-        if let Err(e) = self.write_line(&wire.to_line()) {
+        if let Err(e) = self.send_request(&wire) {
             self.shared.waiters.lock().unwrap().calls.remove(&n);
             self.poison();
             return Err(e);
@@ -299,10 +506,16 @@ impl PipelinedClient {
         {
             let mut w = self.writer.lock().unwrap();
             self.shared.waiters.lock().unwrap().control.push_back(tx);
-            let sent = w
-                .write_all(line.as_bytes())
-                .and_then(|()| w.write_all(b"\n"))
-                .and_then(|()| w.flush());
+            let sent = if self.wire == 0 {
+                w.write_all(line.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .and_then(|()| w.flush())
+            } else {
+                // Control ops stay JSON text on v1, wrapped in a
+                // control frame.
+                w.write_all(&wire::frame(wire::FRAME_CONTROL, line.as_bytes()))
+                    .and_then(|()| w.flush())
+            };
             if let Err(e) = sent {
                 drop(w);
                 self.poison();
@@ -373,6 +586,26 @@ impl Drop for PipelinedClient {
     }
 }
 
+/// Route one decoded response to its waiter: wire-id-tagged responses
+/// go to the blocked caller, id-less ones match the control FIFO.
+fn route_response(shared: &Shared, v: Json) {
+    let wire_id = v
+        .get("id")
+        .and_then(Json::as_str)
+        .and_then(|s| s.strip_prefix(WIRE_PREFIX))
+        .and_then(|s| s.parse::<u64>().ok());
+    let waiter = {
+        let mut w = shared.waiters.lock().unwrap();
+        match wire_id {
+            Some(n) => w.calls.remove(&n),
+            None => w.control.pop_front(),
+        }
+    };
+    if let Some(tx) = waiter {
+        let _ = tx.send(v);
+    }
+}
+
 fn reader_loop(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -391,20 +624,42 @@ fn reader_loop(stream: TcpStream, shared: &Shared) {
         // the connection is eventually poisoned, and a line-level
         // glitch must not take down the whole multiplexed session.
         let Ok(v) = Json::parse(text) else { continue };
-        let wire = v
-            .get("id")
-            .and_then(Json::as_str)
-            .and_then(|s| s.strip_prefix(WIRE_PREFIX))
-            .and_then(|s| s.parse::<u64>().ok());
-        let waiter = {
-            let mut w = shared.waiters.lock().unwrap();
-            match wire {
-                Some(n) => w.calls.remove(&n),
-                None => w.control.pop_front(),
+        route_response(shared, v);
+    }
+    shared.poison();
+}
+
+/// The v1 counterpart of [`reader_loop`]: length-prefixed frames
+/// instead of lines. Response frames carry binary-encoded objects;
+/// control replies stay JSON text inside their frame. An unrecoverable
+/// framing error poisons the session (there is no way to resync a
+/// byte stream with a corrupt length word).
+fn frame_reader_loop(mut stream: TcpStream, shared: &Shared) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+    'session: loop {
+        loop {
+            match wire::split_frame(&buf) {
+                Ok(None) => break,
+                Ok(Some((tag, body, consumed))) => {
+                    let v = match tag {
+                        wire::FRAME_RESPONSE => wire::from_bytes(body),
+                        wire::FRAME_CONTROL_REPLY => std::str::from_utf8(body)
+                            .ok()
+                            .and_then(|text| Json::parse(text.trim()).ok()),
+                        _ => None,
+                    };
+                    if let Some(v) = v {
+                        route_response(shared, v);
+                    }
+                    buf.drain(..consumed);
+                }
+                Err(_) => break 'session,
             }
-        };
-        if let Some(tx) = waiter {
-            let _ = tx.send(v);
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
         }
     }
     shared.poison();
@@ -505,7 +760,9 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
-        let client = PipelinedClient::connect(addr)
+        // Pinned to v0: negotiation has its own timeout (tested below);
+        // this test is about the per-call io timeout.
+        let client = PipelinedClient::connect_wire(addr, 0)
             .expect("connect")
             .with_io_timeout(Duration::from_millis(200));
         let stream = hold.join().unwrap().expect("accepted");
@@ -518,6 +775,57 @@ mod tests {
         assert!(client.is_dead(), "timeout poisons the client");
         assert!(client.stats().is_err(), "dead client fails fast");
         drop(stream);
+    }
+
+    #[test]
+    fn negotiated_v1_session_multiplexes_and_answers_control_ops() {
+        let (addr, handle) = spawn_server(4);
+        let client = Arc::new(PipelinedClient::connect(addr).expect("connect"));
+        assert_eq!(client.wire_version(), 1, "server speaks v1");
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let client = Arc::clone(&client);
+            joins.push(std::thread::spawn(move || {
+                let req = Request::new(format!("v1-{i}"), Stage::Estimate, GOOD, "k");
+                client.call(&req).expect("call")
+            }));
+        }
+        for (i, j) in joins.into_iter().enumerate() {
+            let v = j.join().expect("caller thread");
+            assert_eq!(
+                v.get("id").and_then(Json::as_str),
+                Some(format!("v1-{i}").as_str())
+            );
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        // Control ops ride control frames; the stats object gains the
+        // reactor's transport section, which shows this very session
+        // negotiated v1 and exchanged frames.
+        let stats = client.stats().expect("stats");
+        let transport = stats.get("transport").expect("transport section");
+        assert_eq!(transport.get("sessions_v1").and_then(Json::as_u64), Some(1));
+        assert!(transport.get("frames_in").and_then(Json::as_u64).unwrap() >= 8);
+        client.shutdown_server().expect("shutdown ack");
+        drop(client);
+        handle.join().expect("listener");
+    }
+
+    #[test]
+    fn negotiation_timeout_fails_connect_against_a_mute_server() {
+        // Accepts, never answers: the hello exchange must give up
+        // rather than park the connect forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let t0 = std::time::Instant::now();
+        let err = PipelinedClient::from_stream(
+            TcpStream::connect(addr).unwrap(),
+            1,
+            Duration::from_millis(200),
+        );
+        assert!(err.is_err(), "mute server must fail negotiation");
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        drop(hold.join());
     }
 
     #[test]

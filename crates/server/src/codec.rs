@@ -49,6 +49,21 @@ pub fn encode(value: &CacheValue) -> Option<Json> {
     }
 }
 
+/// Encode a cache value into the compact binary envelope shared with
+/// the v1 wire format: the [`encode`] JSON tree serialized through
+/// [`crate::wire::to_bytes`]. One encoding, two consumers — the disk
+/// tier persists exactly the bytes a v1 artifact frame would carry.
+pub fn encode_bin(value: &CacheValue) -> Option<Vec<u8>> {
+    encode(value).map(|j| crate::wire::to_bytes(&j))
+}
+
+/// Decode a binary envelope written by [`encode_bin`]. `None` on any
+/// corruption — truncated or bit-flipped bytes decode to `None`, never
+/// a panic, and the disk tier recomputes.
+pub fn decode_bin(bytes: &[u8]) -> Option<CacheValue> {
+    decode(&crate::wire::from_bytes(bytes)?)
+}
+
 /// Decode a persisted cache value. `None` on any structural mismatch.
 pub fn decode(v: &Json) -> Option<CacheValue> {
     if let Some(p) = v.get("ast") {

@@ -6,18 +6,23 @@
 //! One file per `(source digest, stage, options digest)` entry:
 //!
 //! ```text
-//! <root>/v1/<stage>/<ss>/<source:032x>-<options:032x>
+//! <root>/v2/<stage>/<ss>/<source:032x>-<options:032x>
 //! ```
 //!
-//! where `v1` is the on-disk [`FORMAT_VERSION`] (a format bump changes
-//! the directory, so stale entries are simply never consulted again),
-//! `<stage>` is the protocol stage name, and `<ss>` is the first byte of
-//! the source digest in hex — a 256-way fan-out that keeps directories
-//! small under sweep workloads.
+//! where `v2` is the on-disk [`FORMAT_VERSION`] (a format bump changes
+//! the directory, so stale entries are simply never consulted again —
+//! a `v1` tree written by an older binary is left untouched and this
+//! binary recomputes into its own tree, never crashes), `<stage>` is
+//! the protocol stage name, and `<ss>` is the first byte of the source
+//! digest in hex — a 256-way fan-out that keeps directories small
+//! under sweep workloads.
 //!
 //! ## Entry format
 //!
-//! A fixed binary header followed by a JSON payload ([`crate::codec`]):
+//! A fixed binary header followed by a binary payload
+//! ([`crate::codec::encode_bin`] — the same compact encoding v1 wire
+//! frames carry; format v1 stored JSON text here, which dominated
+//! entry sizes):
 //!
 //! ```text
 //! magic "dahliart" · u32 version · u8 stage · u128 source · u128 options
@@ -56,12 +61,12 @@ use std::thread::JoinHandle;
 use hls_sim::digest::Fnv;
 
 use crate::codec;
-use crate::json::Json;
 use crate::store::{ArtifactTier, CacheValue, Key};
 
 /// On-disk format version; bumping it invalidates every existing entry
-/// (new directory, and old headers fail the version check).
-pub const FORMAT_VERSION: u32 = 1;
+/// (new directory, and old headers fail the version check). v2 switched
+/// the payload from JSON text to the binary value encoding.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"dahliart";
 /// Sanity cap on declared payload length (defends against a corrupt
@@ -265,16 +270,13 @@ impl Inner {
         if u128::from_le_bytes(sum) != checksum(&payload) {
             return Err(true);
         }
-        let text = std::str::from_utf8(&payload).map_err(|_| true)?;
-        let json = Json::parse(text).map_err(|_| true)?;
-        codec::decode(&json).ok_or(true)
+        codec::decode_bin(&payload).ok_or(true)
     }
 
     fn write_entry(&self, key: &Key, value: &CacheValue) {
-        let Some(json) = codec::encode(value) else {
+        let Some(payload) = codec::encode_bin(value) else {
             return; // memory-only artifact (AST); nothing to persist
         };
-        let payload = json.emit().into_bytes();
         let path = self.entry_path(key);
         let result = (|| -> std::io::Result<()> {
             let dir = path.parent().expect("entry paths have parents");

@@ -115,6 +115,7 @@ pub mod pool;
 pub mod protocol;
 pub mod session;
 pub mod store;
+pub mod wire;
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -134,7 +135,9 @@ use session::Control;
 pub use client::{Client, PipelinedClient};
 pub use disk::{DiskStats, DiskStore};
 pub use evict::EvictConfig;
-pub use net::{serve_listener, serve_sessions, NetSummary};
+pub use net::{
+    serve_listener, serve_sessions, serve_sessions_with, NetConfig, NetSummary, TransportStats,
+};
 pub use pipeline::{source_digest, Artifact, Options, Pipeline, Stage};
 pub use pool::Pool;
 pub use protocol::{Request, Response};
@@ -788,6 +791,11 @@ impl Server {
             }
             summary.lines += 1;
             match session::parse_control(&line, lineno as u64) {
+                Ok(Control::Hello { .. }) => {
+                    // The strict stdio loop has no frame mode; `hello`
+                    // always negotiates down to v0 JSON lines.
+                    writeln!(output, "{}", session::hello_reply_line(0))?;
+                }
                 Ok(Control::Stats) => {
                     writeln!(
                         output,
@@ -882,6 +890,19 @@ impl SessionHost for Server {
             let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
             let resp = inner.handle_queued(&req, Some(queue_us));
             respond(resp.to_line());
+        });
+    }
+
+    fn dispatch_obj(&self, req: Request, respond: Box<dyn FnOnce(Json) + Send>) {
+        // The v1 hot path: hand the response object straight to the
+        // transport, skipping the emit-then-reparse of the default.
+        let inner = Arc::clone(&self.inner);
+        let enqueued = Instant::now();
+        self.inner.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.pool.execute(move || {
+            let queue_us = (enqueued.elapsed().as_nanos() / 1_000) as u64;
+            let resp = inner.handle_queued(&req, Some(queue_us));
+            respond(resp.to_json());
         });
     }
 

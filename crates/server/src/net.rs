@@ -1,47 +1,201 @@
 //! The socket transport: `dahliac serve --listen <addr>` and
 //! `dahliac gateway --listen <addr>`.
 //!
-//! A std-only TCP accept loop speaking the same JSON-lines protocol as
-//! the stdio mode, with **pipelined, out-of-order responses**: every
-//! connection runs a [`crate::session::run_pipelined`] session against a
-//! shared [`SessionHost`], so a slow compile never convoys the fast
-//! requests submitted after it — responses carry the request `id` for
-//! correlation. The host is the local [`Server`] for `serve` and the
-//! cluster router for `gateway`; the transport does not care.
+//! A std-only **readiness-based reactor**: one thread multiplexes the
+//! listener and every live session over `poll(2)`, speaking the same
+//! pipelined protocol as the stdio mode — out-of-order, id-correlated
+//! responses — against a shared [`SessionHost`]. The host is the local
+//! [`Server`] for `serve` and the cluster router for `gateway`; the
+//! transport does not care.
 //!
-//! Threading model: each connection gets a dedicated I/O thread, while
-//! the compile work it submits runs on the host's worker pool.
-//! Connections must *not* occupy pool workers themselves — a pool
-//! saturated with blocked connection loops could never run the compile
-//! jobs those connections are waiting on (a classic self-deadlock).
-//! Connection threads are cheap: they spend their lives parked in
-//! `read` or `write`.
+//! ## Threading model
 //!
-//! Shutdown is cooperative and graceful: any client may send
-//! `{"op":"shutdown"}`; the listener then stops accepting, every live
-//! session finishes its in-flight work, and [`serve_sessions`] returns.
-//! The CLI flushes the persistent cache tier after that, so a warm
-//! restart inherits everything.
+//! The reactor thread owns every socket. It never blocks on a peer:
+//! sockets are non-blocking, and `poll` wakes it for readable input,
+//! writable backpressured output, new connections, and completed
+//! dispatches (via a self-wake pipe). Compile work runs on the host's
+//! worker pool; finished responses are posted to the reactor's
+//! completion mailbox and written from the reactor thread. Ten thousand
+//! idle sessions therefore cost ten thousand file descriptors and one
+//! thread — not ten thousand threads (the pre-v1 transport parked one
+//! blocking thread per connection).
+//!
+//! ## Wire versions
+//!
+//! Every session starts in the v0 JSON-lines protocol. A client may
+//! send `{"op":"hello","max_version":N}`; the reactor answers with the
+//! negotiated version (the minimum of the client's, the build's
+//! [`wire::WIRE_VERSION`], and [`NetConfig::max_wire`]) and, when that
+//! is ≥ 1, the session switches to v1 length-prefixed binary frames
+//! from the next byte on — see `docs/PROTOCOL.md` §5. Clients that
+//! never say hello stay on v0 byte-for-byte.
+//!
+//! ## Admission control
+//!
+//! Each connection has an admission window of [`NetConfig::max_inflight`]
+//! dispatched-but-unanswered requests. At the cap the reactor stops
+//! reading the socket (backpressure: the kernel buffer, then the
+//! client, fills up), and any requests *already buffered* past the cap
+//! are answered immediately with a structured `admission/overloaded`
+//! error carrying `retry_after_ms` — load is shed at the edge instead
+//! of queueing without bound.
+//!
+//! ## Shutdown
+//!
+//! Any client may send `{"op":"shutdown"}`: the reactor acks, stops
+//! accepting, stops reading (discarding unparsed input), and **drains**
+//! — every dispatched request completes and flushes before its socket
+//! closes, so pipelined clients lose no responses. Idle sessions are
+//! closed immediately (the client sees EOF).
 
 use std::collections::HashMap;
-use std::io::{self, BufReader};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
-use crate::session::{self, SessionHost};
-use crate::{ServeSummary, Server};
+use crate::json::{obj, Json};
+use crate::protocol::Request;
+use crate::session::{self, Control, SessionHost};
+use crate::wire;
+use crate::Server;
+
+/// Default per-connection admission window (dispatched-but-unanswered
+/// requests) — see [`NetConfig::max_inflight`].
+pub const DEFAULT_MAX_INFLIGHT: usize = 256;
+
+/// The `retry_after_ms` hint carried by shed-load error responses.
+pub const RETRY_AFTER_MS: u64 = 50;
 
 /// Summary of one [`serve_sessions`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetSummary {
     /// Connections accepted.
     pub connections: u64,
-    /// Protocol lines handled across all connections.
+    /// Protocol lines (or v1 request/control frames) handled across all
+    /// connections.
     pub lines: u64,
-    /// Lines that were not valid requests.
+    /// Lines/frames that were not valid requests.
     pub protocol_errors: u64,
+}
+
+/// Transport-level counters, shared between the reactor and whoever
+/// exposes them (`{"op":"stats"}` gains a `transport` section, and the
+/// CLI merges the same object into `/metrics`). All monotonic except
+/// the session-mix pair, which tracks *accepted* sessions by the wire
+/// version they ended up on (a `hello` upgrade moves one count from v0
+/// to v1).
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    sessions_v0: AtomicU64,
+    sessions_v1: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    wire_bytes_in: AtomicU64,
+    wire_bytes_out: AtomicU64,
+    requests_shed: AtomicU64,
+}
+
+impl TransportStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> TransportStats {
+        TransportStats::default()
+    }
+
+    /// Sessions currently accounted to the v0 JSON-lines protocol.
+    pub fn sessions_v0(&self) -> u64 {
+        self.sessions_v0.load(Ordering::Relaxed)
+    }
+
+    /// Sessions that negotiated v1 binary framing.
+    pub fn sessions_v1(&self) -> u64 {
+        self.sessions_v1.load(Ordering::Relaxed)
+    }
+
+    /// v1 frames read off the wire.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// v1 frames written to the wire.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read across every session (both wire versions).
+    pub fn wire_bytes_in(&self) -> u64 {
+        self.wire_bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written across every session (both wire versions).
+    pub fn wire_bytes_out(&self) -> u64 {
+        self.wire_bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with `admission/overloaded` instead of being
+    /// dispatched.
+    pub fn requests_shed(&self) -> u64 {
+        self.requests_shed.load(Ordering::Relaxed)
+    }
+
+    /// The `transport` stats section.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("sessions_v0", Json::Num(self.sessions_v0() as f64)),
+            ("sessions_v1", Json::Num(self.sessions_v1() as f64)),
+            ("frames_in", Json::Num(self.frames_in() as f64)),
+            ("frames_out", Json::Num(self.frames_out() as f64)),
+            ("wire_bytes_in", Json::Num(self.wire_bytes_in() as f64)),
+            ("wire_bytes_out", Json::Num(self.wire_bytes_out() as f64)),
+            ("requests_shed", Json::Num(self.requests_shed() as f64)),
+        ])
+    }
+}
+
+/// Reactor configuration for [`serve_sessions_with`].
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Per-connection admission window: dispatched-but-unanswered
+    /// requests beyond this are shed with `admission/overloaded`, and
+    /// the socket is not read while the window is full.
+    pub max_inflight: usize,
+    /// Highest wire version `hello` may negotiate (0 pins every session
+    /// to JSON lines; clamped to [`wire::WIRE_VERSION`]).
+    pub max_wire: u32,
+    /// Shared transport counters; hand the same `Arc` to the metrics
+    /// endpoint to surface them there.
+    pub transport: Arc<TransportStats>,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            max_wire: wire::WIRE_VERSION as u32,
+            transport: Arc::new(TransportStats::new()),
+        }
+    }
+}
+
+impl NetConfig {
+    /// [`Default::default`], spelled for call chains.
+    pub fn new() -> NetConfig {
+        NetConfig::default()
+    }
+
+    /// Set the per-connection admission window (clamped to ≥ 1).
+    pub fn max_inflight(mut self, n: usize) -> NetConfig {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Set the highest negotiable wire version.
+    pub fn max_wire(mut self, v: u32) -> NetConfig {
+        self.max_wire = v.min(wire::WIRE_VERSION as u32);
+        self
+    }
 }
 
 /// [`serve_sessions`] with the local compile service as the host — the
@@ -50,113 +204,692 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
     serve_sessions(server, listener)
 }
 
-/// Accept loop: serve every connection until a client requests shutdown,
-/// then drain live sessions and return.
-///
-/// The listener is switched to non-blocking so the loop can observe the
-/// shutdown flag; connection I/O itself is ordinary blocking I/O on
-/// per-connection threads.
+/// [`serve_sessions_with`] under the default [`NetConfig`].
 pub fn serve_sessions<H>(host: Arc<H>, listener: TcpListener) -> io::Result<NetSummary>
 where
     H: SessionHost + 'static,
 {
-    listener.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let active = Arc::new(AtomicUsize::new(0));
-    let totals = Arc::new(Mutex::new(NetSummary::default()));
-    // Registry of live session sockets, so shutdown can unblock sessions
-    // parked in `read` (an idle client must not be able to hold the
-    // listener open forever). Sessions deregister themselves on exit,
-    // keeping the map — and its file descriptors — bounded by the number
-    // of *live* connections.
-    let sessions: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-    let mut next_conn: u64 = 0;
-
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    // Draining: refuse new work (the stream drops, the
-                    // client sees EOF).
-                    continue;
-                }
-                // The listener is nonblocking; the accepted socket must
-                // not be (inheritance is platform-dependent — Linux
-                // clears the flag, BSD-derived systems keep it, and a
-                // nonblocking session socket would make every read
-                // fail with WouldBlock).
-                let handle = stream
-                    .set_nonblocking(false)
-                    .and_then(|()| stream.try_clone());
-                let conn_handle = match handle {
-                    Ok(h) => h,
-                    // A per-connection setup failure (e.g. fd
-                    // exhaustion under load) drops that connection,
-                    // never the whole service.
-                    Err(_) => continue,
-                };
-                let conn_id = next_conn;
-                next_conn += 1;
-                sessions.lock().unwrap().insert(conn_id, conn_handle);
-                totals.lock().unwrap().connections += 1;
-                active.fetch_add(1, Ordering::SeqCst);
-                let t_host = Arc::clone(&host);
-                let t_shutdown = Arc::clone(&shutdown);
-                let t_active = Arc::clone(&active);
-                let t_totals = Arc::clone(&totals);
-                let t_sessions = Arc::clone(&sessions);
-                let spawned = std::thread::Builder::new()
-                    .name("dahlia-conn".into())
-                    .spawn(move || {
-                        let _ = stream.set_nodelay(true);
-                        let summary = handle_connection(t_host.as_ref(), stream, &t_shutdown);
-                        if let Ok(s) = summary {
-                            let mut t = t_totals.lock().unwrap();
-                            t.lines += s.lines;
-                            t.protocol_errors += s.protocol_errors;
-                        }
-                        t_sessions.lock().unwrap().remove(&conn_id);
-                        t_active.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    // Same policy as clone failure: shed this
-                    // connection, keep serving (undo its accounting).
-                    sessions.lock().unwrap().remove(&conn_id);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if shutdown.load(Ordering::SeqCst) {
-                    // Close the *read* half of every live session: a
-                    // parked reader sees EOF and its session winds down
-                    // normally, while in-flight responses still flush
-                    // through the intact write half.
-                    for (_, s) in sessions.lock().unwrap().iter() {
-                        let _ = s.shutdown(Shutdown::Read);
-                    }
-                    if active.load(Ordering::SeqCst) == 0 {
-                        break;
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    let summary = *totals.lock().unwrap();
-    Ok(summary)
+    serve_sessions_with(host, listener, NetConfig::default())
 }
 
-fn handle_connection<H>(
-    host: &H,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-) -> io::Result<ServeSummary>
+/// Run the reactor: serve every connection until a client requests
+/// shutdown, then drain in-flight work and return.
+pub fn serve_sessions_with<H>(
+    host: Arc<H>,
+    listener: TcpListener,
+    cfg: NetConfig,
+) -> io::Result<NetSummary>
 where
-    H: SessionHost + ?Sized,
+    H: SessionHost + 'static,
 {
-    let reader = BufReader::new(stream.try_clone()?);
-    session::run_pipelined(host, reader, stream, Some(shutdown))
+    listener.set_nonblocking(true)?;
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let mut reactor = Reactor {
+        host,
+        cfg,
+        mailbox: Arc::new(Mailbox {
+            done: Mutex::new(Vec::new()),
+            wake: wake_tx,
+        }),
+        wake_rx,
+        conns: HashMap::new(),
+        next_id: 0,
+        draining: false,
+        summary: NetSummary::default(),
+    };
+    reactor.run(&listener)
+}
+
+// ------------------------------------------------------ poll(2) via FFI
+//
+// std links libc on every unix target, so declaring `poll` ourselves
+// adds no dependency. `nfds_t` is `c_ulong` (u64 on the 64-bit targets
+// we serve on).
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+}
+
+/// Poll timeout: an upper bound on reaction latency if a mailbox wake
+/// is ever coalesced away; normal operation wakes via the pipe.
+const POLL_TIMEOUT_MS: i32 = 200;
+
+/// Completed dispatches, posted from worker threads: encoded response
+/// bytes destined for one connection's write buffer. Every entry frees
+/// one admission-window slot.
+struct Mailbox {
+    done: Mutex<Vec<(u64, Vec<u8>)>>,
+    wake: UnixStream,
+}
+
+impl Mailbox {
+    fn post(&self, conn: u64, bytes: Vec<u8>) {
+        self.done.lock().unwrap().push((conn, bytes));
+        // A full pipe means a wake is already pending; losing this
+        // write is fine.
+        let _ = (&self.wake).write(&[1]);
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    /// Negotiated wire version (0 = JSON lines, ≥1 = binary frames).
+    wire: u32,
+    /// Dispatched-but-unanswered ops (the admission window).
+    in_flight: usize,
+    /// Protocol lines/frames seen, for error line numbers.
+    lineno: u64,
+    /// Read half is done: client EOF, fatal read error, or draining.
+    eof: bool,
+    /// Unrecoverable; reap without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            wire: 0,
+            in_flight: 0,
+            lineno: 0,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+struct Reactor<H: SessionHost + 'static> {
+    host: Arc<H>,
+    cfg: NetConfig,
+    mailbox: Arc<Mailbox>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    draining: bool,
+    summary: NetSummary,
+}
+
+impl<H: SessionHost + 'static> Reactor<H> {
+    fn run(&mut self, listener: &TcpListener) -> io::Result<NetSummary> {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut ids: Vec<u64> = Vec::new();
+        loop {
+            self.reap();
+            if self.draining && self.conns.is_empty() {
+                return Ok(self.summary);
+            }
+            fds.clear();
+            ids.clear();
+            fds.push(PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            fds.push(PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            for (&id, c) in &self.conns {
+                let mut events = 0i16;
+                if !c.eof && c.in_flight < self.cfg.max_inflight {
+                    events |= POLLIN;
+                }
+                if c.has_output() {
+                    events |= POLLOUT;
+                }
+                // Zero interest still reports ERR/HUP, so a paused or
+                // draining session notices its peer vanishing.
+                fds.push(PollFd {
+                    fd: c.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                ids.push(id);
+            }
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, POLL_TIMEOUT_MS) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            if fds[1].revents & POLLIN != 0 {
+                let mut sink = [0u8; 256];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n == sink.len()) {}
+            }
+            self.apply_completions();
+            if fds[0].revents & POLLIN != 0 {
+                self.accept_all(listener);
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                let revents = fds[2 + i].revents;
+                if revents == 0 {
+                    continue;
+                }
+                if revents & (POLLERR | POLLNVAL) != 0 {
+                    if let Some(c) = self.conns.get_mut(&id) {
+                        c.dead = true;
+                    }
+                    continue;
+                }
+                if revents & POLLIN != 0 {
+                    self.read_conn(id);
+                }
+                if revents & POLLHUP != 0 {
+                    if let Some(c) = self.conns.get_mut(&id) {
+                        // Peer fully closed. Anything still buffered or
+                        // in flight gets a best-effort flush attempt;
+                        // writes to a closed peer fail fast and mark
+                        // the conn dead.
+                        c.eof = true;
+                    }
+                }
+            }
+            // Late completions (posted while we were reading) plus an
+            // opportunistic flush: most responses go out the same
+            // iteration they complete, without waiting a poll round.
+            self.apply_completions();
+            let pending: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.has_output() && !c.dead)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in pending {
+                self.write_conn(id);
+            }
+        }
+    }
+
+    /// Drop finished connections: dead ones outright, and cleanly
+    /// half-closed ones once every dispatched response has been written.
+    fn reap(&mut self) {
+        self.conns.retain(|_, c| {
+            let flushed = c.eof && c.in_flight == 0 && !c.has_output();
+            !(c.dead || flushed)
+        });
+    }
+
+    fn apply_completions(&mut self) {
+        let done: Vec<(u64, Vec<u8>)> = std::mem::take(&mut *self.mailbox.done.lock().unwrap());
+        for (id, bytes) in done {
+            // The connection may have died while its request was in
+            // flight; the response is simply dropped.
+            if let Some(c) = self.conns.get_mut(&id) {
+                c.in_flight -= 1;
+                c.wbuf.extend_from_slice(&bytes);
+            }
+        }
+    }
+
+    fn accept_all(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.draining {
+                        // Refuse new work: the stream drops, the client
+                        // sees EOF.
+                        continue;
+                    }
+                    // Setup failure (fd pressure) sheds this connection,
+                    // never the service.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.summary.connections += 1;
+                    self.cfg
+                        .transport
+                        .sessions_v0
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, id: u64) {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            let Some(c) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if c.eof || c.dead {
+                return;
+            }
+            match c.stream.read(&mut scratch) {
+                Ok(0) => {
+                    c.eof = true;
+                    self.process_input(id);
+                    return;
+                }
+                Ok(n) => {
+                    c.rbuf.extend_from_slice(&scratch[..n]);
+                    self.cfg
+                        .transport
+                        .wire_bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.process_input(id);
+                    // Backpressure: at the admission cap, leave further
+                    // bytes in the kernel buffer.
+                    let Some(c) = self.conns.get(&id) else { return };
+                    if c.in_flight >= self.cfg.max_inflight || n < scratch.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parse everything buffered on `id`: newline-delimited JSON on v0,
+    /// length-prefixed frames on v1.
+    fn process_input(&mut self, id: u64) {
+        loop {
+            let Some(c) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if c.dead || self.draining {
+                return;
+            }
+            if c.wire == 0 {
+                let Some(pos) = c.rbuf.iter().position(|&b| b == b'\n') else {
+                    return;
+                };
+                let mut line: Vec<u8> = c.rbuf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                // Invalid UTF-8 falls through to a bad-JSON protocol
+                // error, same as the blocking transport.
+                let text = String::from_utf8_lossy(&line).into_owned();
+                self.handle_line(id, &text);
+            } else {
+                match wire::split_frame(&c.rbuf) {
+                    Ok(None) => return,
+                    Ok(Some((tag, body, consumed))) => {
+                        let body = body.to_vec();
+                        c.rbuf.drain(..consumed);
+                        self.cfg.transport.frames_in.fetch_add(1, Ordering::Relaxed);
+                        self.handle_frame(id, tag, body);
+                    }
+                    Err(msg) => {
+                        // A corrupt length word leaves no way to
+                        // resync; fail the session after flushing what
+                        // is owed.
+                        self.summary.protocol_errors += 1;
+                        let lineno = c.lineno;
+                        self.queue_control_reply(
+                            id,
+                            &session::protocol_error_line(
+                                format!("unrecoverable framing error: {msg}"),
+                                lineno as usize,
+                            ),
+                        );
+                        if let Some(c) = self.conns.get_mut(&id) {
+                            c.eof = true;
+                            c.rbuf.clear();
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_line(&mut self, id: u64, text: &str) {
+        if text.trim().is_empty() {
+            return;
+        }
+        self.summary.lines += 1;
+        let lineno = {
+            let Some(c) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let n = c.lineno;
+            c.lineno += 1;
+            n
+        };
+        match session::parse_control(text, lineno) {
+            Ok(ctl) => self.handle_control(id, ctl),
+            Err(msg) => {
+                self.summary.protocol_errors += 1;
+                self.queue_control_reply(id, &session::protocol_error_line(msg, lineno as usize));
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, id: u64, tag: u8, body: Vec<u8>) {
+        match tag {
+            wire::FRAME_REQUEST => {
+                self.summary.lines += 1;
+                let lineno = {
+                    let Some(c) = self.conns.get_mut(&id) else {
+                        return;
+                    };
+                    let n = c.lineno;
+                    c.lineno += 1;
+                    n
+                };
+                let parsed = wire::from_bytes(&body)
+                    .ok_or_else(|| "undecodable binary request body".to_string())
+                    .and_then(|v| Request::from_json(&v, lineno));
+                match parsed {
+                    Ok(req) => self.dispatch_request(id, req),
+                    Err(msg) => {
+                        self.summary.protocol_errors += 1;
+                        self.queue_control_reply(
+                            id,
+                            &session::protocol_error_line(msg, lineno as usize),
+                        );
+                    }
+                }
+            }
+            wire::FRAME_CONTROL => match String::from_utf8(body) {
+                Ok(text) => self.handle_line(id, &text),
+                Err(_) => {
+                    self.summary.lines += 1;
+                    self.summary.protocol_errors += 1;
+                    let lineno = self.conns.get(&id).map_or(0, |c| c.lineno);
+                    self.queue_control_reply(
+                        id,
+                        &session::protocol_error_line(
+                            "control frame body is not UTF-8".into(),
+                            lineno as usize,
+                        ),
+                    );
+                }
+            },
+            other => {
+                self.summary.lines += 1;
+                self.summary.protocol_errors += 1;
+                let lineno = self.conns.get(&id).map_or(0, |c| c.lineno);
+                self.queue_control_reply(
+                    id,
+                    &session::protocol_error_line(
+                        format!("unexpected frame tag {other}"),
+                        lineno as usize,
+                    ),
+                );
+            }
+        }
+    }
+
+    fn handle_control(&mut self, id: u64, ctl: Control) {
+        match ctl {
+            Control::Hello { max_version } => {
+                let version = max_version.min(self.cfg.max_wire);
+                // The reply is encoded for the wire the session is on
+                // *now*; the switch applies from the next byte.
+                self.queue_control_reply(id, &session::hello_reply_line(version));
+                if let Some(c) = self.conns.get_mut(&id) {
+                    if version >= 1 && c.wire == 0 {
+                        c.wire = version;
+                        self.cfg
+                            .transport
+                            .sessions_v0
+                            .fetch_sub(1, Ordering::Relaxed);
+                        self.cfg
+                            .transport
+                            .sessions_v1
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Control::Stats => {
+                let Some(c) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                c.in_flight += 1;
+                let wire_v = c.wire;
+                let mailbox = Arc::clone(&self.mailbox);
+                let transport = Arc::clone(&self.cfg.transport);
+                self.host.dispatch_stats(Box::new(move |mut stats| {
+                    if let Json::Obj(fields) = &mut stats {
+                        fields.push(("transport".to_string(), transport.to_json()));
+                    }
+                    let line = obj([("stats", stats)]).emit();
+                    mailbox.post(id, encode_control_reply(wire_v, &line, Some(&transport)));
+                }));
+            }
+            Control::Trace => {
+                let line = obj([("trace", self.host.trace_json())]).emit();
+                self.queue_control_reply(id, &line);
+            }
+            Control::Slowlog { since } => {
+                let line = obj([("slowlog", self.host.slowlog_json(since))]).emit();
+                self.queue_control_reply(id, &line);
+            }
+            Control::History {
+                series,
+                since,
+                step,
+            } => {
+                let line = obj([("history", self.host.history_json(&series, since, step))]).emit();
+                self.queue_control_reply(id, &line);
+            }
+            Control::Alerts { since } => {
+                let line = obj([("alerts", self.host.alerts_json(since))]).emit();
+                self.queue_control_reply(id, &line);
+            }
+            Control::Shutdown => {
+                self.queue_control_reply(id, &session::shutdown_ack_line());
+                self.begin_drain();
+            }
+            Control::Admin(op) => {
+                let Some(c) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                c.in_flight += 1;
+                let wire_v = c.wire;
+                let mailbox = Arc::clone(&self.mailbox);
+                let transport = Arc::clone(&self.cfg.transport);
+                self.host.dispatch_admin(
+                    op,
+                    Box::new(move |line| {
+                        mailbox.post(id, encode_control_reply(wire_v, &line, Some(&transport)));
+                    }),
+                );
+            }
+            Control::Req(req) => self.dispatch_request(id, req),
+        }
+    }
+
+    fn dispatch_request(&mut self, id: u64, req: Request) {
+        let Some(c) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if c.in_flight >= self.cfg.max_inflight {
+            // Admission window full and the request is already parsed
+            // (a burst outran the read pause): shed it with a retry
+            // hint rather than queueing without bound.
+            self.cfg
+                .transport
+                .requests_shed
+                .fetch_add(1, Ordering::Relaxed);
+            let resp = shed_response(&req.id);
+            self.queue_response(id, &resp);
+            return;
+        }
+        c.in_flight += 1;
+        let wire_v = c.wire;
+        let mailbox = Arc::clone(&self.mailbox);
+        if wire_v == 0 {
+            self.host.dispatch(
+                req,
+                Box::new(move |line| {
+                    let mut bytes = line.into_bytes();
+                    bytes.push(b'\n');
+                    mailbox.post(id, bytes);
+                }),
+            );
+        } else {
+            // The binary hot path: the host hands back the response
+            // object and it goes straight to frame bytes — no JSON
+            // text in either direction.
+            let transport = Arc::clone(&self.cfg.transport);
+            self.host.dispatch_obj(
+                req,
+                Box::new(move |v| {
+                    transport.frames_out.fetch_add(1, Ordering::Relaxed);
+                    mailbox.post(id, wire::json_frame(wire::FRAME_RESPONSE, &v));
+                }),
+            );
+        }
+    }
+
+    /// Queue a response object on `id`'s write buffer, encoded for its
+    /// wire version.
+    fn queue_response(&mut self, id: u64, v: &Json) {
+        let Some(c) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if c.wire == 0 {
+            c.wbuf.extend_from_slice(v.emit().as_bytes());
+            c.wbuf.push(b'\n');
+        } else {
+            self.cfg
+                .transport
+                .frames_out
+                .fetch_add(1, Ordering::Relaxed);
+            c.wbuf
+                .extend_from_slice(&wire::json_frame(wire::FRAME_RESPONSE, v));
+        }
+    }
+
+    /// Queue a control-plane reply line on `id`'s write buffer (JSON
+    /// text on v0, a control-reply frame on v1).
+    fn queue_control_reply(&mut self, id: u64, line: &str) {
+        let Some(c) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let bytes = encode_control_reply(c.wire, line, Some(&self.cfg.transport));
+        c.wbuf.extend_from_slice(&bytes);
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        for c in self.conns.values_mut() {
+            // Stop reading everywhere and discard unparsed input; each
+            // session closes once its dispatched responses flush.
+            c.eof = true;
+            c.rbuf.clear();
+        }
+    }
+
+    fn write_conn(&mut self, id: u64) {
+        loop {
+            let Some(c) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if c.dead || !c.has_output() {
+                break;
+            }
+            match c.stream.write(&c.wbuf[c.wpos..]) {
+                Ok(0) => {
+                    c.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    c.wpos += n;
+                    self.cfg
+                        .transport
+                        .wire_bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    return;
+                }
+            }
+        }
+        if let Some(c) = self.conns.get_mut(&id) {
+            if c.wpos >= c.wbuf.len() {
+                c.wbuf.clear();
+                c.wpos = 0;
+            }
+        }
+    }
+}
+
+/// Encode one control-plane reply for a wire version: the raw line plus
+/// newline on v0, a [`wire::FRAME_CONTROL_REPLY`] frame on v1.
+fn encode_control_reply(wire_v: u32, line: &str, transport: Option<&TransportStats>) -> Vec<u8> {
+    if wire_v == 0 {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        bytes
+    } else {
+        if let Some(t) = transport {
+            t.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+        wire::frame(wire::FRAME_CONTROL_REPLY, line.as_bytes())
+    }
+}
+
+/// The structured shed-load error: same shape as every other error
+/// response, `phase` `admission`, plus the `retry_after_ms` hint.
+fn shed_response(id: &str) -> Json {
+    obj([
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("admission".into())),
+                ("code", Json::Str("admission/overloaded".into())),
+                (
+                    "message",
+                    Json::Str(
+                        "connection admission window is full; retry after the hinted delay".into(),
+                    ),
+                ),
+                ("retry_after_ms", Json::Num(RETRY_AFTER_MS as f64)),
+            ]),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -233,6 +966,163 @@ mod tests {
             let _ = late.send_line(r#"{"op":"stats"}"#);
             assert!(matches!(late.recv_line(), Ok(None) | Err(_)));
         }
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_pipelined_requests() {
+        // Regression: a shutdown arriving behind a pipelined burst must
+        // not close sockets until every already-dispatched response has
+        // been written back. Clients are owed an answer for everything
+        // the server accepted.
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect_retry(addr, 20).expect("connect");
+        let n = 16;
+        for i in 0..n {
+            // Distinct sources defeat the cache, so the pool genuinely
+            // works all of them while the shutdown line is parsed.
+            client
+                .send_line(&format!(
+                    r#"{{"id":"d{i}","stage":"est","name":"k{i}","source":"let A: float[8 bank 8]; for (let i = 0..8) unroll 8 {{ A[i] := {i}.5; }}"}}"#,
+                ))
+                .unwrap();
+        }
+        client.send_line(r#"{"op":"shutdown"}"#).unwrap();
+        let mut responses = 0;
+        let mut acked = false;
+        while let Some(line) = client.recv_line().unwrap() {
+            let v = Json::parse(&line).unwrap();
+            if v.get("op").and_then(Json::as_str) == Some("shutdown") {
+                acked = true;
+            } else {
+                assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+                responses += 1;
+            }
+        }
+        assert!(acked, "shutdown was acknowledged");
+        assert_eq!(responses, n, "every dispatched request was answered");
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.lines, n as u64 + 1);
+    }
+
+    #[test]
+    fn bursts_past_the_admission_window_are_shed_with_a_retry_hint() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(Server::with_threads(2));
+        let cfg = NetConfig::new().max_inflight(1);
+        let transport = Arc::clone(&cfg.transport);
+        let handle =
+            std::thread::spawn(move || serve_sessions_with(server, listener, cfg).expect("serve"));
+
+        // One write syscall delivers the whole burst ahead of any
+        // completion, so the reactor parses past the window and must
+        // shed the excess rather than queue without bound.
+        let n = 64;
+        let mut burst = String::new();
+        for i in 0..n {
+            burst.push_str(&format!(
+                r#"{{"id":"b{i}","stage":"est","name":"k{i}","source":"let A: float[8 bank 8]; A[0] := 1.0;"}}"#
+            ));
+            burst.push('\n');
+        }
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut answered = 0;
+        let mut shed = 0;
+        for _ in 0..n {
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+            let v = Json::parse(&line).unwrap();
+            if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                answered += 1;
+            } else {
+                let err = v.get("error").expect("shed error object");
+                assert_eq!(
+                    err.get("code").and_then(Json::as_str),
+                    Some("admission/overloaded"),
+                    "{line}"
+                );
+                assert!(
+                    err.get("retry_after_ms")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                        > 0.0,
+                    "retry hint present: {line}"
+                );
+                shed += 1;
+            }
+        }
+        assert_eq!(answered + shed, n, "every request got exactly one answer");
+        assert!(shed >= 1, "the burst outran a window of one");
+        assert_eq!(transport.requests_shed.load(Ordering::Relaxed), shed as u64);
+
+        let mut driver = Client::connect(addr).expect("driver");
+        driver.shutdown_server().unwrap().expect("ack");
+        drop(driver);
+        drop(reader);
+        handle.join().unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn thousands_of_idle_sessions_hold_the_reactor_to_one_thread() {
+        fn thread_count() -> usize {
+            let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+            status
+                .lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("Threads: line")
+        }
+
+        let (addr, handle) = spawn_server();
+        // Warm one session so lazy per-process state is paid up front.
+        let mut first = Client::connect_retry(addr, 20).expect("first session");
+        first.send_line(r#"{"op":"stats"}"#).unwrap();
+        first.recv_line().unwrap().expect("stats reply");
+
+        // Each idle session costs two fds (client + server end); leave
+        // generous headroom under the soft rlimit for everything else.
+        let mut limit = [0u64; 2];
+        let rc = unsafe { getrlimit(RLIMIT_NOFILE, limit.as_mut_ptr()) };
+        assert_eq!(rc, 0, "getrlimit");
+        let budget = (limit[0].saturating_sub(128) / 2) as usize;
+        let target = budget.min(2000);
+        assert!(target >= 256, "fd rlimit too low to say anything useful");
+
+        let before = thread_count();
+        let mut idle = Vec::with_capacity(target);
+        for _ in 0..target {
+            let s = std::net::TcpStream::connect(addr).expect("idle connect");
+            idle.push(s);
+        }
+        // Prove the reactor has registered them: a live request round
+        // trips while every idle session stays parked.
+        first
+            .send_line(&format!(
+                r#"{{"id":"live","stage":"est","name":"k","source":"{GOOD}"}}"#
+            ))
+            .unwrap();
+        let resp = first.recv_line().unwrap().expect("live response");
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+        let after = thread_count();
+        assert_eq!(
+            after, before,
+            "{target} idle sessions spawned no threads ({before} before, {after} after)"
+        );
+
+        drop(idle);
+        first.shutdown_server().unwrap().expect("ack");
+        drop(first);
+        handle.join().unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut u64) -> i32;
     }
 
     #[test]

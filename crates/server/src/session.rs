@@ -75,6 +75,20 @@ pub trait SessionHost: Send + Sync {
     /// blocks the session's read loop.
     fn dispatch(&self, req: Request, respond: Box<dyn FnOnce(String) + Send>);
 
+    /// [`SessionHost::dispatch`], delivering the response as a [`Json`]
+    /// object instead of an emitted line. The v1 binary transport calls
+    /// this so responses go straight to frame bytes without a JSON-text
+    /// detour; the default wraps [`SessionHost::dispatch`] and re-parses
+    /// (correct for any host, but hosts on the hot path override it).
+    fn dispatch_obj(&self, req: Request, respond: Box<dyn FnOnce(Json) + Send>) {
+        self.dispatch(
+            req,
+            Box::new(move |line| {
+                respond(Json::parse(&line).unwrap_or(Json::Null));
+            }),
+        );
+    }
+
     /// The stats object answered to `{"op":"stats"}` (the payload under
     /// the `"stats"` envelope).
     fn stats_json(&self) -> Json;
@@ -164,6 +178,9 @@ pub trait SessionHost: Send + Sync {
 
 /// One decoded protocol line: a control op or a compile request.
 pub(crate) enum Control {
+    Hello {
+        max_version: u32,
+    },
     Stats,
     Trace,
     Slowlog {
@@ -206,6 +223,10 @@ fn parse_admin_shard(v: &Json, op: &str) -> Result<String, String> {
 pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> {
     let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     match v.get("op").and_then(Json::as_str) {
+        Some("hello") => Ok(Control::Hello {
+            max_version: parse_u64_field(&v, "max_version", "hello")?.min(crate::wire::WIRE_VERSION)
+                as u32,
+        }),
         Some("stats") => Ok(Control::Stats),
         Some("trace") => Ok(Control::Trace),
         Some("slowlog") => Ok(Control::Slowlog {
@@ -298,6 +319,13 @@ pub(crate) fn protocol_error_line(msg: String, lineno: usize) -> String {
     .emit()
 }
 
+/// The `hello` negotiation reply: the wire version this transport will
+/// speak from the next line on. Always a v0 JSON line — the switch to
+/// binary frames (if any) happens *after* this reply is on the wire.
+pub(crate) fn hello_reply_line(version: u32) -> String {
+    obj([("hello", obj([("version", Json::Num(version as f64))]))]).emit()
+}
+
 pub(crate) fn shutdown_ack_line() -> String {
     obj([
         ("ok", Json::Bool(true)),
@@ -349,6 +377,13 @@ where
             }
             summary.lines += 1;
             let sent = match parse_control(&line, lineno as u64) {
+                Ok(Control::Hello { .. }) => {
+                    // The stdio transport has no frame mode: negotiation
+                    // always lands on v0, and the session carries on in
+                    // JSON lines. (The TCP reactor handles `hello`
+                    // itself and can actually switch.)
+                    tx.send(hello_reply_line(0))
+                }
                 Ok(Control::Stats) => {
                     let tx = tx.clone();
                     host.dispatch_stats(Box::new(move |stats| {

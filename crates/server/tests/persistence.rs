@@ -257,11 +257,14 @@ fn garbled_ast_entries_degrade_to_recompute_never_panic() {
         .collect();
     drop(first);
 
-    // Vandalize ONLY the parse/desugar entries: truncation, JSON garbage,
-    // and a structurally-valid JSON body that is not a program.
+    // Vandalize ONLY the parse/desugar entries: truncation, raw garbage,
+    // and a single flipped bit deep in the binary payload (the checksum
+    // must catch it).
     let mut victims = 0;
     for stage_dir in ["parse", "desugar"] {
-        let mut stack = vec![dir.join("v1").join(stage_dir)];
+        let mut stack = vec![dir
+            .join(format!("v{}", dahlia_server::disk::FORMAT_VERSION))
+            .join(stage_dir)];
         while let Some(d) = stack.pop() {
             let Ok(entries) = std::fs::read_dir(&d) else {
                 continue;
@@ -276,8 +279,13 @@ fn garbled_ast_entries_degrade_to_recompute_never_panic() {
                             let bytes = std::fs::read(&path).unwrap();
                             std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
                         }
-                        1 => std::fs::write(&path, b"{ not json").unwrap(),
-                        _ => std::fs::write(&path, b"{\"ast\":{\"decls\":7}}").unwrap(),
+                        1 => std::fs::write(&path, b"not a binary artifact").unwrap(),
+                        _ => {
+                            let mut bytes = std::fs::read(&path).unwrap();
+                            let mid = bytes.len() * 3 / 4;
+                            bytes[mid] ^= 0x40;
+                            std::fs::write(&path, &bytes).unwrap();
+                        }
                     }
                     victims += 1;
                 }

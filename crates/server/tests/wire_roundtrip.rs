@@ -1,0 +1,169 @@
+//! Property tests for the v1 binary value codec against the JSON text
+//! codec.
+//!
+//! The binary wire and the JSON lines are two encodings of the same
+//! protocol objects, so every `Request` and `Response` the service can
+//! produce must survive `wire::to_bytes` → `wire::from_bytes` with
+//! nothing lost — including key order, which the golden tests pin on
+//! the text side.
+
+use dahlia_server::json::Json;
+use dahlia_server::wire;
+use dahlia_server::{Request, Server, Stage};
+
+const GOOD: &str = "let A: float[8 bank 8]; for (let i = 0..8) unroll 8 { A[i] := 2.0; }";
+const ILL_TYPED: &str = "let A: float[8]; for (let i = 0..8) unroll 4 { A[i] := 1.0; }";
+const UNPARSABLE: &str = "let A: float[8 bank 8";
+
+/// Deterministic xorshift64* generator — no external crates, same
+/// sequence every run, so a failure is always reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A string that exercises the nasty corners of both codecs:
+    /// escapes, quotes, non-ASCII, surrogates-adjacent code points.
+    fn string(&mut self) -> String {
+        const POOL: &[&str] = &[
+            "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\u{0}", "\u{7f}", "é", "λ", "中", "🦀",
+            "\u{2028}", "}{", "[,]", "://", "let x",
+        ];
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| POOL[self.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Encode → decode and insist the value (and its emitted text) is
+/// unchanged. Emit equality is the stronger check: it proves the
+/// binary codec preserves object key order, which the v0 golden tests
+/// pin byte-for-byte.
+fn assert_roundtrips(v: &Json) {
+    let bytes = wire::to_bytes(v);
+    let back = wire::from_bytes(&bytes).expect("binary decodes");
+    assert_eq!(&back, v, "value survives the binary codec");
+    assert_eq!(back.emit(), v.emit(), "emitted text survives too");
+}
+
+#[test]
+fn random_requests_roundtrip_through_the_binary_codec() {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    for i in 0..500 {
+        let stage = Stage::ALL[rng.below(Stage::ALL.len() as u64) as usize];
+        let mut req = Request::new(
+            format!("r{i}-{}", rng.string()),
+            stage,
+            rng.string(),
+            rng.string(),
+        );
+        if rng.below(3) == 0 {
+            req = req.traced(format!("t-{}", rng.string()));
+        }
+        let v = req.to_json();
+        assert_roundtrips(&v);
+
+        // The decoded object must also parse back into the same request
+        // (ids here are never empty, so no `seq` fallback fires).
+        let bytes = wire::to_bytes(&v);
+        let back = wire::from_bytes(&bytes).expect("binary decodes");
+        let reparsed = Request::from_json(&back, 0).expect("request parses");
+        assert_eq!(reparsed, req, "request survives decode → from_json");
+    }
+}
+
+#[test]
+fn every_response_shape_roundtrips_through_the_binary_codec() {
+    let server = Server::with_threads(2);
+    let mut reqs = Vec::new();
+    // Every stage over a good program, an ill-typed one (diagnostic
+    // payload), and an unparsable one (parse-error payload), plus a
+    // traced request (trailing `trace` object with a span tree).
+    for (tag, src) in [("g", GOOD), ("i", ILL_TYPED), ("u", UNPARSABLE)] {
+        for stage in Stage::ALL {
+            reqs.push(Request::new(
+                format!("{tag}-{}", stage.name()),
+                stage,
+                src,
+                "kernel",
+            ));
+        }
+    }
+    reqs.push(Request::estimate("traced", GOOD).traced("span-root"));
+
+    let responses = server.submit_batch(reqs);
+    assert!(responses.len() > Stage::ALL.len() * 3, "all shapes served");
+    let mut ok_seen = false;
+    let mut err_seen = false;
+    for resp in &responses {
+        ok_seen |= resp.ok();
+        err_seen |= !resp.ok();
+        assert_roundtrips(&resp.to_json());
+    }
+    assert!(ok_seen && err_seen, "both payload families exercised");
+}
+
+#[test]
+fn random_json_values_roundtrip_frames_too() {
+    let mut rng = Rng(0xD1B54A32D192ED03);
+    for _ in 0..200 {
+        let v = random_value(&mut rng, 0);
+        assert_roundtrips(&v);
+
+        // And the frame layer around the value codec: length word, tag
+        // byte, body — split back out exactly.
+        let framed = wire::frame(wire::FRAME_REQUEST, &wire::to_bytes(&v));
+        let body_len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, framed.len() - 4, "length word counts tag+body");
+        assert_eq!(framed[4], wire::FRAME_REQUEST);
+        let back = wire::from_bytes(&framed[5..]).expect("frame body decodes");
+        assert_eq!(back, v);
+    }
+}
+
+fn random_value(rng: &mut Rng, depth: u32) -> Json {
+    let pick = if depth >= 4 {
+        rng.below(4)
+    } else {
+        rng.below(6)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        // Round numbers and fractions the emitter prints distinctly.
+        2 => Json::Num(match rng.below(4) {
+            0 => 0.0,
+            1 => -1.5,
+            2 => rng.below(1 << 40) as f64,
+            _ => (rng.below(1000) as f64) / 8.0,
+        }),
+        3 => Json::Str(rng.string()),
+        4 => Json::Arr(
+            (0..rng.below(4))
+                .map(|_| random_value(rng, depth + 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.below(4))
+                .map(|i| {
+                    (
+                        format!("k{i}-{}", rng.string()),
+                        random_value(rng, depth + 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}

@@ -170,7 +170,8 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
             assert!(
                 matches!(
                     op,
-                    "stats"
+                    "hello"
+                        | "stats"
                         | "trace"
                         | "slowlog"
                         | "history"
@@ -181,6 +182,13 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
                 ),
                 "spec documents unknown op `{op}`"
             );
+            if let Some(mv) = v.get("max_version") {
+                assert_eq!(op, "hello", "only hello takes max_version: `{line}`");
+                assert!(
+                    matches!(mv, Json::Num(n) if *n >= 1.0 && n.fract() == 0.0),
+                    "max_version must be a positive integer: `{line}`"
+                );
+            }
             if let Some(s) = v.get("since") {
                 assert!(
                     matches!(op, "slowlog" | "history" | "alerts"),
@@ -226,7 +234,7 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
         }
     }
     for required in [
-        "stats", "trace", "slowlog", "history", "alerts", "shutdown", "drain", "undrain",
+        "hello", "stats", "trace", "slowlog", "history", "alerts", "shutdown", "drain", "undrain",
     ] {
         assert!(
             ops.iter().any(|o| o == required),
