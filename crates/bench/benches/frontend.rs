@@ -35,6 +35,10 @@ fn main() {
         report.sweep_accepted,
         report.dse_sweep_ns / 1e6
     );
+    println!(
+        "lower-only warm pass over the {} accepted ASTs: {:>10.1} ns",
+        report.sweep_accepted, report.lower_warm_ns
+    );
 
     if test_mode {
         println!("test-mode: skipping BENCH_frontend.json update");

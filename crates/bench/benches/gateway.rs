@@ -34,7 +34,14 @@
 //!   warm-key ledger checkpoints) and the admission cache off: pins
 //!   the cost of the sampler running beside the routed hot path;
 //! * `warm_local_fallback` — the empty-cluster degenerate case, served
-//!   by the gateway's embedded local server.
+//!   by the gateway's embedded local server;
+//! * `sweep_4shard` / `sweep_single_node` — the strided gemm-blocked
+//!   design-space sweep as one `{"op":"sweep"}` scatter through a warm
+//!   4-shard cluster vs the same configurations through the
+//!   single-node `dse::explore_configs` explorer. Each records the
+//!   whole sweep's wall time as its single sample; the derived
+//!   cluster-over-single-node ratio is pinned in the trajectory file's
+//!   `sweep` section (the ≥ 3× acceptance headline).
 //!
 //! Flags (after `--`):
 //!   `--quick`      fewer rounds and shard widths (the CI smoke mode);
@@ -177,6 +184,93 @@ fn closed_loop_scenario(shards: usize, rounds: usize, transport: Transport) -> (
     (LatencyStats::from_samples(samples), throughput)
 }
 
+/// The distributed-sweep headline: every `stride`-th point of the
+/// paper's 32,000-point gemm-blocked space, once as a `sweep` op
+/// scattered across a warm 4-shard cluster and once through the
+/// single-node [`dahlia_dse::explore_configs`] explorer over the
+/// identical configurations. Returns `(cluster, single_node, points)`;
+/// both latency stats carry the whole sweep's wall time as their one
+/// sample, so `mean_us` *is* the sweep wall time.
+fn sweep_scenarios(stride: u64) -> (LatencyStats, LatencyStats, u64) {
+    use dahlia_server::{SessionHost as _, SweepOp};
+    let banks = vec![1, 2, 3, 4];
+    let unrolls = vec![1, 2, 4, 6, 8];
+    let op = |id: &str| SweepOp {
+        id: id.to_string(),
+        name: "gemm_blocked".into(),
+        template: dahlia_kernels::gemm::gemm_blocked_template(128, 8),
+        params: vec![
+            ("bank_m1_d1".into(), banks.clone()),
+            ("bank_m1_d2".into(), banks.clone()),
+            ("bank_m2_d1".into(), banks.clone()),
+            ("bank_m2_d2".into(), banks.clone()),
+            ("unroll_i".into(), unrolls.clone()),
+            ("unroll_j".into(), unrolls.clone()),
+            ("unroll_k".into(), unrolls.clone()),
+        ],
+        stage: "est".into(),
+        stride,
+        resume: false,
+        prune: false,
+        update_every: 0,
+    };
+    let cluster = spawn_shards(4, SHARD_THREADS);
+    let gateway = GatewayConfig::new(cluster.iter().map(|s| s.addr.clone())).build();
+    let run = |id: &str| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        gateway.dispatch_sweep(
+            op(id),
+            Box::new(move |line, done| {
+                if done {
+                    let _ = tx.send(line);
+                }
+            }),
+        );
+        rx.recv().expect("sweep summary line")
+    };
+    // One throwaway sweep computes every point once across the shards;
+    // the measured sweep then pays only scatter + wire + front fold.
+    run("sweep-warm");
+    let t0 = std::time::Instant::now();
+    let line = run("sweep-measured");
+    let cluster_us = t0.elapsed().as_micros() as u64;
+    let summary = Json::parse(&line).expect("sweep summary json");
+    assert_eq!(
+        summary.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{line}"
+    );
+    let points = summary
+        .get("sweep")
+        .and_then(|s| s.get("points_total"))
+        .and_then(Json::as_u64)
+        .expect("summary carries points_total");
+    drop(gateway);
+    shutdown_shards(cluster);
+
+    // The identical strided slice, one node, no cluster help. Timed as
+    // the whole job — planning included, exactly as the sweep op's
+    // wall time above includes its own planner.
+    let provider = dahlia_dse::DirectProvider::new();
+    let t0 = std::time::Instant::now();
+    let cfgs: Vec<_> = dahlia_bench::fig7::space()
+        .iter()
+        .step_by(stride.max(1) as usize)
+        .collect();
+    let planned = cfgs.len() as u64;
+    let ex = dahlia_dse::explore_configs(cfgs, "gemm_blocked", &provider, |cfg| {
+        dahlia_kernels::gemm::gemm_blocked_source(&dahlia_bench::fig7::params_of(cfg))
+    });
+    let single_us = t0.elapsed().as_micros() as u64;
+    std::hint::black_box(ex.summary());
+    assert_eq!(planned, points, "both sides must sweep the same slice");
+    (
+        LatencyStats::from_samples(vec![cluster_us]),
+        LatencyStats::from_samples(vec![single_us]),
+        points,
+    )
+}
+
 /// The empty-cluster floor: every request answered by the gateway's
 /// embedded local server.
 fn local_fallback_scenario(rounds: usize, transport: Transport) -> LatencyStats {
@@ -209,6 +303,7 @@ fn main() {
         .unwrap_or(if quick { 2 } else { 8 });
 
     let mut throughput: Option<f64> = None;
+    let mut sweep_summary: Option<(u64, u64, u64)> = None;
     let mut scenarios: Vec<(String, LatencyStats)> = Vec::new();
     if test_mode {
         scenarios.push((
@@ -256,6 +351,11 @@ fn main() {
             "warm_local_fallback".into(),
             local_fallback_scenario(rounds, shipped),
         ));
+        // Quick mode thins the space harder so CI stays in seconds.
+        let (sweep4, sweep1, sweep_points) = sweep_scenarios(if quick { 401 } else { 101 });
+        sweep_summary = Some((sweep4.mean_us, sweep1.mean_us, sweep_points));
+        scenarios.push(("sweep_4shard".into(), sweep4));
+        scenarios.push(("sweep_single_node".into(), sweep1));
     }
 
     for (name, s) in &scenarios {
@@ -266,6 +366,13 @@ fn main() {
     }
     if let Some(rate) = throughput {
         println!("gateway/closed_loop_2shard throughput {rate:.0} req/s");
+    }
+    if let Some((cluster_us, single_us, points)) = sweep_summary {
+        println!(
+            "gateway/sweep {points} points: 4-shard warm {cluster_us} µs vs single-node \
+             {single_us} µs — {:.2}x",
+            single_us as f64 / (cluster_us.max(1)) as f64
+        );
     }
     if baseline {
         println!("baseline mode: v0 JSON shard hop, admission cache off");
@@ -280,7 +387,25 @@ fn main() {
     let existing = std::fs::read_to_string(&path)
         .ok()
         .and_then(|s| Json::parse(&s).ok());
-    let merged = merge_gateway_trajectory(existing.as_ref(), &scenarios);
+    let mut merged = merge_gateway_trajectory(existing.as_ref(), &scenarios);
+    if let (Some((cluster_us, single_us, points)), Json::Obj(fields)) = (sweep_summary, &mut merged)
+    {
+        // The headline cross-scenario ratio, pinned beside the
+        // per-scenario trajectory: warm 4-shard sweep wall time over
+        // the single-node explorer on the identical configurations.
+        fields.push((
+            "sweep".into(),
+            dahlia_server::json::obj([
+                ("points", Json::Num(points as f64)),
+                ("cluster_4shard_us", Json::Num(cluster_us as f64)),
+                ("single_node_us", Json::Num(single_us as f64)),
+                (
+                    "speedup",
+                    Json::Num(single_us as f64 / (cluster_us.max(1)) as f64),
+                ),
+            ]),
+        ));
+    }
     std::fs::write(&path, merged.emit() + "\n").expect("write BENCH_gateway.json");
     println!("recorded {}", path.display());
 }

@@ -31,6 +31,10 @@ pub struct FrontendReport {
     pub desugar_ns: f64,
     /// Σ over MachSuite kernels of median lower time (pre-parsed).
     pub lower_ns: f64,
+    /// Median lower-only pass over the sweep's accepted ASTs, parse
+    /// and check prepaid — the lower stage measured in isolation
+    /// rather than inside the sweep aggregate.
+    pub lower_warm_ns: f64,
     /// One cold front-end pass over the strided gemm-blocked sweep.
     pub dse_sweep_ns: f64,
     /// Number of sweep configurations compiled.
@@ -138,6 +142,23 @@ pub fn run(effort: Effort) -> FrontendReport {
         }
     });
     report.sweep_accepted = accepted;
+
+    // The lower-only warm scenario: every accepted configuration's AST
+    // with parse + check prepaid, so a lowering regression shows up
+    // here undiluted by the rest of the front end.
+    let accepted_asts: Vec<_> = sources
+        .iter()
+        .filter_map(|src| {
+            let ast = dahlia_core::parse(src).ok()?;
+            dahlia_core::typecheck(&ast).ok()?;
+            Some(ast)
+        })
+        .collect();
+    report.lower_warm_ns = median_ns(s, n, || {
+        for ast in &accepted_asts {
+            std::hint::black_box(dahlia_backend::lower(ast, "gemm_blocked"));
+        }
+    });
     report
 }
 
@@ -149,6 +170,7 @@ impl FrontendReport {
             ("check_ns", Json::Num(self.check_ns)),
             ("desugar_ns", Json::Num(self.desugar_ns)),
             ("lower_ns", Json::Num(self.lower_ns)),
+            ("lower_warm_ns", Json::Num(self.lower_warm_ns)),
             ("dse_sweep_ns", Json::Num(self.dse_sweep_ns)),
             ("sweep_points", Json::Num(self.sweep_points as f64)),
             ("sweep_accepted", Json::Num(self.sweep_accepted as f64)),
@@ -162,6 +184,7 @@ impl FrontendReport {
             check_ns: v.get("check_ns")?.as_f64()?,
             desugar_ns: v.get("desugar_ns")?.as_f64()?,
             lower_ns: v.get("lower_ns")?.as_f64()?,
+            lower_warm_ns: v.get("lower_warm_ns")?.as_f64()?,
             dse_sweep_ns: v.get("dse_sweep_ns")?.as_f64()?,
             sweep_points: v.get("sweep_points")?.as_u64()?,
             sweep_accepted: v.get("sweep_accepted")?.as_u64()?,
@@ -209,6 +232,10 @@ pub fn merge_into_trajectory(existing: Option<&Json>, current: &FrontendReport) 
                 ("check", ratio(baseline.check_ns, current.check_ns)),
                 ("desugar", ratio(baseline.desugar_ns, current.desugar_ns)),
                 ("lower", ratio(baseline.lower_ns, current.lower_ns)),
+                (
+                    "lower_warm",
+                    ratio(baseline.lower_warm_ns, current.lower_warm_ns),
+                ),
                 ("dse_sweep", ratio(per_point(&baseline), per_point(current))),
             ]),
         ),
@@ -232,6 +259,7 @@ mod tests {
             check_ns: 2.5,
             desugar_ns: 3.5,
             lower_ns: 4.5,
+            lower_warm_ns: 4.25,
             dse_sweep_ns: 5.5,
             sweep_points: 80,
             sweep_accepted: 3,

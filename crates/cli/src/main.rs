@@ -13,6 +13,7 @@
 //! dahliac top    --connect ADDR       live load console over a server/gateway
 //! dahliac history --connect ADDR      query the on-disk telemetry ring
 //! dahliac alerts --connect ADDR       dump alert states and transitions
+//! dahliac sweep  --connect ADDR       distributed design-space exploration
 //! ```
 //!
 //! `<file.fuse>` may be `-` to read the program from stdin. (`.fuse` is
@@ -203,6 +204,31 @@ const USAGE: &str = "usage: dahliac <command> [args]
                                       SHARD as a brand-new shard
                                       (optionally weighted) for live
                                       re-sharding
+  dahliac sweep  --connect ADDR [--kernel gemm-blocked | --template FILE]
+                 [--param name=v1,v2,...]... [--n N] [--block B]
+                 [--name NAME] [--stage S] [--stride K]
+                 [--update-every K] [--resume] [--prune] [--out FILE]
+                                      distributed design-space exploration:
+                                      the gateway renders every config of
+                                      the parameter space into the kernel
+                                      template, scatters the evaluations
+                                      across its shards, and streams back
+                                      incremental Pareto-front updates
+                                      (every --update-every completions)
+                                      plus a final summary; progress is
+                                      journaled under the gateway's
+                                      --telemetry-dir, so a killed gateway
+                                      restarted with the same dir resumes
+                                      via --resume with zero recomputed
+                                      points and a byte-identical front;
+                                      --kernel gemm-blocked (default) uses
+                                      the paper's 32,000-point blocked-gemm
+                                      space (--stride K samples every Kth
+                                      point; --param overrides one axis);
+                                      --prune skips regions whose sampled
+                                      point is already dominated; --out
+                                      writes the final summary line to a
+                                      file
 
   <file.fuse> may be `-` for stdin.
   --cache-dir (or DAHLIA_CACHE_DIR) persists artifacts across processes;
@@ -223,6 +249,7 @@ fn main() -> ExitCode {
         "top" => cmd_top(&args[1..]),
         "history" => cmd_history(&args[1..]),
         "alerts" => cmd_alerts(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
         "check" | "cpp" | "run" | "est" | "lower" => cmd_compile(cmd, &args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -1221,6 +1248,210 @@ fn control_round_trip(addr: &str, line: &str) -> ExitCode {
     }
 }
 
+/// The paper's blocked-gemm design space: four banking factors over
+/// 1..=4 and three unroll factors over {1,2,4,6,8} — 32,000 points.
+fn gemm_blocked_space() -> Vec<(String, Vec<u64>)> {
+    let banks = vec![1, 2, 3, 4];
+    let unrolls = vec![1, 2, 4, 6, 8];
+    vec![
+        ("bank_m1_d1".to_string(), banks.clone()),
+        ("bank_m1_d2".to_string(), banks.clone()),
+        ("bank_m2_d1".to_string(), banks.clone()),
+        ("bank_m2_d2".to_string(), banks),
+        ("unroll_i".to_string(), unrolls.clone()),
+        ("unroll_j".to_string(), unrolls.clone()),
+        ("unroll_k".to_string(), unrolls),
+    ]
+}
+
+/// `dahliac sweep`: scatter a templated design-space exploration
+/// across a live gateway's shards and stream the Pareto front back.
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let mut flags: HashMap<&str, Option<String>> = HashMap::new();
+    for f in [
+        "--connect",
+        "--template",
+        "--kernel",
+        "--name",
+        "--stage",
+        "--stride",
+        "--update-every",
+        "--out",
+        "--n",
+        "--block",
+    ] {
+        match take_flag(&mut args, f) {
+            Ok(v) => {
+                flags.insert(f, v);
+            }
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let resume = take_switch(&mut args, "--resume");
+    let prune = take_switch(&mut args, "--prune");
+    let mut param_flags = Vec::new();
+    loop {
+        match take_flag(&mut args, "--param") {
+            Ok(Some(v)) => param_flags.push(v),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("dahliac: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    if !args.is_empty() {
+        eprintln!("dahliac: sweep takes no positional arguments (got {args:?})\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(addr) = flags.remove("--connect").flatten() else {
+        eprintln!("dahliac: sweep needs --connect\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let stride = match parse_positive("--stride", flags.remove("--stride").flatten()) {
+        Ok(n) => n.unwrap_or(1) as u64,
+        Err(code) => return code,
+    };
+    let update_every =
+        match parse_nonneg("--update-every", flags.remove("--update-every").flatten()) {
+            Ok(n) => n.unwrap_or(0),
+            Err(code) => return code,
+        };
+    let template_file = flags.remove("--template").flatten();
+    let kernel = flags.remove("--kernel").flatten();
+    let (template, mut params, default_name) = match (template_file, kernel.as_deref()) {
+        (Some(_), Some(_)) => {
+            eprintln!("dahliac: --template and --kernel are mutually exclusive");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        (Some(path), None) => {
+            let text = match read_source(&path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            (text, Vec::new(), "sweep".to_string())
+        }
+        (None, kernel) => {
+            let kernel = kernel.unwrap_or("gemm-blocked");
+            if kernel != "gemm-blocked" {
+                eprintln!("dahliac: unknown sweep kernel `{kernel}` (try gemm-blocked)");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            let n = match parse_positive("--n", flags.remove("--n").flatten()) {
+                Ok(v) => v.unwrap_or(128) as u64,
+                Err(code) => return code,
+            };
+            let block = match parse_positive("--block", flags.remove("--block").flatten()) {
+                Ok(v) => v.unwrap_or(8) as u64,
+                Err(code) => return code,
+            };
+            (
+                dahlia_kernels::gemm::gemm_blocked_template(n, block),
+                gemm_blocked_space(),
+                "gemm-blocked".to_string(),
+            )
+        }
+    };
+    // `--param name=v1,v2,...` overrides a default axis (or, for
+    // template-file sweeps, defines the space from scratch).
+    for raw in param_flags {
+        let Some((name, values)) = raw.split_once('=') else {
+            eprintln!("dahliac: --param needs name=v1,v2,... (got `{raw}`)");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        let parsed: Result<Vec<u64>, _> = values.split(',').map(str::parse::<u64>).collect();
+        let Ok(vs) = parsed else {
+            eprintln!("dahliac: --param {name} values must be integers (got `{values}`)");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        match params.iter_mut().find(|(k, _)| k == name) {
+            Some((_, slot)) => *slot = vs,
+            None => params.push((name.to_string(), vs)),
+        }
+    }
+    if params.is_empty() {
+        eprintln!("dahliac: sweep needs at least one --param axis\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let name = flags.remove("--name").flatten().unwrap_or(default_name);
+    let stage = flags
+        .remove("--stage")
+        .flatten()
+        .unwrap_or_else(|| "est".to_string());
+    let out = flags.remove("--out").flatten();
+
+    let params_json = Json::Obj(
+        params
+            .iter()
+            .map(|(k, vs)| {
+                (
+                    k.clone(),
+                    Json::Arr(vs.iter().map(|&v| Json::Num(v as f64)).collect()),
+                )
+            })
+            .collect(),
+    );
+    let op_line = obj([
+        ("op", Json::Str("sweep".into())),
+        ("id", Json::Str("cli-sweep".into())),
+        ("name", Json::Str(name)),
+        ("template", Json::Str(template)),
+        ("params", params_json),
+        ("stage", Json::Str(stage)),
+        ("stride", Json::Num(stride as f64)),
+        ("resume", Json::Bool(resume)),
+        ("prune", Json::Bool(prune)),
+        ("update_every", Json::Num(update_every as f64)),
+    ])
+    .emit();
+
+    let mut client = match Client::connect_retry(addr.as_str(), 50) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dahliac: cannot connect to `{addr}`: {e}");
+            return ExitCode::from(EXIT_NET);
+        }
+    };
+    if let Err(e) = client.send_line(&op_line) {
+        eprintln!("dahliac: cannot send to `{addr}`: {e}");
+        return ExitCode::from(EXIT_NET);
+    }
+    // One line per incremental update, one final `"done":true` line.
+    loop {
+        match client.recv_line() {
+            Ok(Some(line)) => {
+                println!("{line}");
+                let v = Json::parse(&line).unwrap_or(Json::Null);
+                if v.get("done").and_then(Json::as_bool) == Some(true) {
+                    if let Some(path) = &out {
+                        if let Err(e) = std::fs::write(path, format!("{line}\n")) {
+                            eprintln!("dahliac: cannot write `{path}`: {e}");
+                            return ExitCode::from(EXIT_USAGE);
+                        }
+                    }
+                    return if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(EXIT_RUNTIME)
+                    };
+                }
+            }
+            Ok(None) => {
+                eprintln!("dahliac: `{addr}` closed the connection mid-sweep");
+                return ExitCode::from(EXIT_NET);
+            }
+            Err(e) => {
+                eprintln!("dahliac: network error talking to `{addr}`: {e}");
+                return ExitCode::from(EXIT_NET);
+            }
+        }
+    }
+}
+
 /// `dahliac history`: query a remote's durable telemetry ring for one
 /// series, downsampled into `--step`-sized bins since a wall-clock
 /// millisecond cursor.
@@ -1435,6 +1666,9 @@ struct TopSnapshot {
     transport: Option<(f64, f64, f64)>,
     /// Gateway front-door admission-cache hits (absent on plain servers).
     admission_hits: Option<f64>,
+    /// Cluster sweep lifetime counters `(completed, points_done,
+    /// points_skipped, points_pruned, last_points_per_s)` — gateway only.
+    sweeps: Option<(f64, f64, f64, f64, f64)>,
 }
 
 impl TopSnapshot {
@@ -1465,6 +1699,15 @@ impl TopSnapshot {
                 });
             }
         }
+        let sweeps = gateway.and_then(|g| g.get("sweeps")).map(|s| {
+            (
+                num(Some(s), "completed").unwrap_or(0.0),
+                num(Some(s), "points_done").unwrap_or(0.0),
+                num(Some(s), "points_skipped").unwrap_or(0.0),
+                num(Some(s), "points_pruned").unwrap_or(0.0),
+                num(Some(s), "last_points_per_s").unwrap_or(0.0),
+            )
+        });
         let transport = stats.get("transport").map(|t| {
             (
                 num(Some(t), "sessions_v0").unwrap_or(0.0),
@@ -1484,6 +1727,7 @@ impl TopSnapshot {
             shards,
             transport,
             admission_hits: num(gateway, "admission_cache_hits"),
+            sweeps,
         }
     }
 
@@ -1510,6 +1754,13 @@ impl TopSnapshot {
         }
         if let Some(hits) = self.admission_hits {
             fields.push(("admission_cache_hits", Json::Num(hits)));
+        }
+        if let Some((completed, done, skipped, pruned, pps)) = self.sweeps {
+            fields.push(("sweep_completed", Json::Num(completed)));
+            fields.push(("sweep_points_done", Json::Num(done)));
+            fields.push(("sweep_points_skipped", Json::Num(skipped)));
+            fields.push(("sweep_points_pruned", Json::Num(pruned)));
+            fields.push(("sweep_points_per_s", Json::Num(pps)));
         }
         fields.push((
             "shards",
@@ -1567,6 +1818,14 @@ impl TopSnapshot {
                 out.push_str(&format!("admission hits {hits:.0}"));
             }
             out.push('\n');
+        }
+        if let Some((completed, done, skipped, pruned, pps)) = self.sweeps {
+            if completed > 0.0 || done > 0.0 {
+                out.push_str(&format!(
+                    "sweeps: {completed:.0} completed  {done:.0} evaluated  \
+                     {skipped:.0} resumed  {pruned:.0} pruned  {pps:.1} pts/s\n"
+                ));
+            }
         }
         if !sparks.is_empty() {
             out.push('\n');

@@ -32,8 +32,9 @@ pub mod provider;
 pub mod report;
 pub mod rules;
 pub mod space;
+pub mod sweep;
 
-pub use pareto::{dominates, pareto_indices, pareto_mask};
+pub use pareto::{dominates, pareto_indices, pareto_mask, FrontEntry, ParetoFront};
 pub use point::{mark_pareto, DesignPoint};
 pub use provider::{
     explore, explore_configs, DirectProvider, EstimateProvider, Exploration, PointOutcome,
@@ -41,6 +42,7 @@ pub use provider::{
 };
 pub use report::{to_csv, Summary};
 pub use space::{Config, ConfigIter, ParamSpace};
+pub use sweep::{point_digest, render, SweepSpec};
 
 /// Does the Dahlia type checker accept this source text?
 ///

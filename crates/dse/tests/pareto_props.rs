@@ -1,10 +1,13 @@
 //! Property tests for the Pareto machinery: the incremental frontier
-//! agrees with a naive O(n²) oracle, and frontier axioms hold on random
-//! point clouds.
+//! agrees with a naive O(n²) oracle, frontier axioms hold on random
+//! point clouds, and the streaming [`ParetoFront`] the cluster sweep
+//! folds shard results through is insertion-order independent with
+//! commutative, idempotent merges. Failing cases are minimized by the
+//! proptest shim's shrinking.
 
 use proptest::prelude::*;
 
-use dahlia_dse::{dominates, pareto_mask};
+use dahlia_dse::{dominates, pareto_mask, ParetoFront};
 
 /// Naive quadratic oracle.
 fn pareto_naive(objs: &[Vec<f64>]) -> Vec<bool> {
@@ -22,6 +25,30 @@ fn cloud() -> impl Strategy<Value = Vec<Vec<f64>>> {
             0..60,
         )
     })
+}
+
+/// Key each point by its objective values, so a generated list denotes a
+/// *set* of labeled points (duplicate rows collapse onto one key — the
+/// front's key-dedup makes re-insertion a no-op, like journal replay).
+fn labeled(objs: &[Vec<f64>]) -> Vec<(String, Vec<f64>)> {
+    objs.iter().map(|p| (format!("{p:?}"), p.clone())).collect()
+}
+
+/// Build a front by inserting the labeled points in the given order.
+fn front_of(points: &[(String, Vec<f64>)]) -> ParetoFront {
+    let mut f = ParetoFront::new();
+    for (k, p) in points {
+        f.insert(k.clone(), p.clone());
+    }
+    f
+}
+
+/// Canonical, comparable rendering of a front.
+fn rendered(f: &ParetoFront) -> Vec<(String, Vec<f64>)> {
+    f.entries()
+        .into_iter()
+        .map(|e| (e.key, e.objectives))
+        .collect()
 }
 
 proptest! {
@@ -77,5 +104,64 @@ proptest! {
         fwd_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         bwd.sort_by(|a, b| a.partial_cmp(b).unwrap());
         prop_assert_eq!(fwd_sorted, bwd);
+    }
+
+    #[test]
+    fn front_is_insertion_order_independent(objs in cloud()) {
+        let pts = labeled(&objs);
+        let fwd = front_of(&pts);
+        let mut rev = pts;
+        rev.reverse();
+        prop_assert_eq!(rendered(&fwd), rendered(&front_of(&rev)));
+    }
+
+    #[test]
+    fn front_never_retains_a_dominated_point(objs in cloud()) {
+        let f = front_of(&labeled(&objs));
+        for e in f.entries() {
+            prop_assert!(
+                !objs.iter().any(|p| dominates(p, &e.objectives)),
+                "front kept dominated point {:?}",
+                e.objectives
+            );
+        }
+        // And it drops nothing it should keep: survivor count matches the
+        // batch oracle over the deduplicated point set.
+        let mut uniq = objs;
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        let oracle = pareto_mask(&uniq).into_iter().filter(|m| *m).count();
+        prop_assert_eq!(f.len(), oracle);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent(objs in cloud(), split in 0u32..64) {
+        let pts = labeled(&objs);
+        let cut = if pts.is_empty() { 0 } else { split as usize % (pts.len() + 1) };
+        let (a, b) = (front_of(&pts[..cut]), front_of(&pts[cut..]));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(rendered(&ab), rendered(&ba));
+
+        let mut twice = ab.clone();
+        twice.merge(&b);
+        twice.merge(&ab.clone());
+        prop_assert_eq!(rendered(&twice), rendered(&ab));
+    }
+
+    #[test]
+    fn front_of_union_is_union_of_fronts(objs in cloud(), split in 0u32..64) {
+        // The load-bearing sweep property: folding per-shard fronts
+        // together equals fronting the whole point stream, so shard
+        // completion order cannot change the final front.
+        let pts = labeled(&objs);
+        let cut = if pts.is_empty() { 0 } else { split as usize % (pts.len() + 1) };
+        let whole = front_of(&pts);
+        let mut merged = front_of(&pts[..cut]);
+        merged.merge(&front_of(&pts[cut..]));
+        prop_assert_eq!(rendered(&whole), rendered(&merged));
     }
 }

@@ -68,6 +68,7 @@
 
 pub mod hash;
 mod ledger;
+mod sweep;
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -81,7 +82,7 @@ use dahlia_obs::{
 use dahlia_server::json::{obj, Json};
 use dahlia_server::{
     obs_json, parse_alert_rules, source_digest, AdminOp, PipelinedClient, Pool, Request, Server,
-    SessionHost, Stage, ALERT_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS,
+    SessionHost, Stage, SweepOp, ALERT_JOURNAL_CAP, DEFAULT_SLOW_THRESHOLD_MS,
     DEFAULT_TELEMETRY_INTERVAL_MS, SLOWLOG_CAP, TRACE_JOURNAL_CAP,
 };
 
@@ -339,6 +340,8 @@ impl GatewayConfig {
             clock,
             auto_drain_after: self.auto_drain_after,
             ledger_path,
+            telemetry_dir: self.telemetry_dir.clone(),
+            sweeps: sweep::SweepCounters::default(),
         });
         // Rehydrate the warm-key ledger from the last checkpoint (an
         // unreadable file reads as empty) so drains after a gateway
@@ -456,7 +459,26 @@ impl WarmKeys {
     }
 }
 
-/// The gateway's hot-source admission cache: successful, untraced
+/// Whether a routed response may be retained by the admission cache:
+/// success, or a deterministic front-end rejection — the same source
+/// draws the same `lex`/`parse`/`check` verdict forever, and a design
+/// sweep asks about the rejected bulk of its space over and over.
+/// Infrastructure failures (`internal`, `protocol`, transport
+/// fallbacks) must always re-route.
+fn admission_cacheable(resp: &Json) -> bool {
+    match resp.get("ok").and_then(Json::as_bool) {
+        Some(true) => true,
+        _ => matches!(
+            resp.get("error")
+                .and_then(|e| e.get("phase"))
+                .and_then(Json::as_str),
+            Some("lex" | "parse" | "check")
+        ),
+    }
+}
+
+/// The gateway's hot-source admission cache: successful (or
+/// deterministically rejected — see [`admission_cacheable`]), untraced
 /// responses keyed by the same `(source, stage, options)` digest
 /// triple the shards' own stores use. Bounded FIFO by entry count and
 /// by retained response bytes; a hit is re-stamped with the caller's
@@ -720,6 +742,11 @@ struct GwInner {
     auto_drain_after: u64,
     /// Warm-key ledger checkpoint path (under the telemetry dir).
     ledger_path: Option<PathBuf>,
+    /// Root of durable state (`--telemetry-dir`); sweep journals live
+    /// in per-sweep subdirectories here.
+    telemetry_dir: Option<PathBuf>,
+    /// Lifetime counters for the cluster `sweep` op.
+    sweeps: sweep::SweepCounters,
 }
 
 impl GwInner {
@@ -855,7 +882,7 @@ impl GwInner {
             }
         }
         let resp = self.route(req, true);
-        if req.trace.is_none() && resp.get("ok").and_then(Json::as_bool) == Some(true) {
+        if req.trace.is_none() && admission_cacheable(&resp) {
             self.admission.lock().unwrap().insert(key, &resp);
         }
         resp
@@ -1314,6 +1341,7 @@ impl GwInner {
                     ("slowlog_dropped", Json::Num(self.slowlog.dropped() as f64)),
                 ]),
             ),
+            ("sweeps", self.sweeps.to_json()),
             ("shards", Json::Arr(shard_objs)),
         ]);
         if let Json::Obj(fields) = &mut agg {
@@ -1657,6 +1685,23 @@ impl SessionHost for Gateway {
             };
             respond(ack.emit());
         });
+    }
+
+    fn dispatch_sweep(&self, op: SweepOp, emit: Box<dyn Fn(String, bool) + Send + Sync>) {
+        // A sweep can run for minutes; a dedicated thread keeps it off
+        // the dispatch pool so point fan-out (which *does* use pool
+        // slots indirectly via shard clients) can never starve behind
+        // the sweep body itself.
+        let inner = Arc::clone(&self.inner);
+        let spawned = std::thread::Builder::new()
+            .name("dahlia-gateway-sweep".into())
+            .spawn(move || sweep::run_sweep(&inner, op, emit.as_ref()));
+        if let Err(e) = spawned {
+            // `emit` moved into the (failed) closure; nothing can be
+            // sent — the client sees the session close without a final
+            // line, the same contract as a crashed gateway.
+            let _ = e;
+        }
     }
 }
 

@@ -1,0 +1,739 @@
+//! The cluster `sweep` executor: distributed design-space exploration.
+//!
+//! A `{"op":"sweep"}` control line names a templated kernel and a
+//! parameter space ([`SweepSpec`]); this module renders every point,
+//! scatters the evaluations across the shard set through the gateway's
+//! ordinary routing (rendezvous placement, admission cache, fail-over,
+//! replication — a sweep point is just a request), and folds the
+//! results through a streaming [`ParetoFront`]. Three properties carry
+//! the subsystem:
+//!
+//! * **Durability.** Every completed point is appended to a crash-safe
+//!   journal (the [`Tsdb`] record format, retention disabled) keyed by
+//!   the *rendered source digest*. A gateway killed mid-sweep resumes
+//!   with `"resume":true`: journaled points are folded straight into
+//!   the front and never re-dispatched — zero recomputed points.
+//! * **Determinism.** A Pareto front of a *set* is insertion-order
+//!   independent and key-deduplicated (see `dahlia_dse::pareto`), so
+//!   the final front is byte-identical whether the sweep ran once,
+//!   was resumed, or completed its shards in any order.
+//! * **Streaming.** Clients get incremental `"done":false` front
+//!   updates every `update_every` completions over the same pipelined
+//!   session, then one final `"done":true` summary.
+//!
+//! Opt-in pruning (`"prune":true`) samples the first point of each
+//! innermost-axis region, fronts the samples, and skips regions whose
+//! sample is strictly dominated — trading exhaustiveness for time on
+//! monotone spaces. The summary reports what was skipped and the
+//! evaluation time the cost model (mean observed per-point wall time)
+//! estimates was saved; the kill/resume path keeps pruning off.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dahlia_dse::{point_digest, render, ParetoFront, SweepSpec};
+use dahlia_obs::{Tsdb, TsdbOptions};
+use dahlia_server::json::{obj, Json};
+use dahlia_server::{Request, Stage};
+
+use crate::GwInner;
+
+/// Lifetime sweep counters, surfaced as the `gateway.sweeps` stats
+/// section (and thus `/metrics` and `dahliac top`).
+#[derive(Default)]
+pub(crate) struct SweepCounters {
+    /// Sweep ops accepted (including ones that later failed).
+    started: AtomicU64,
+    /// Sweeps that emitted their final summary.
+    completed: AtomicU64,
+    /// Sweeps that ran with `"resume":true`.
+    resumed: AtomicU64,
+    /// Points across all sweeps (after striding).
+    points_total: AtomicU64,
+    /// Points actually evaluated (dispatched through the router).
+    points_done: AtomicU64,
+    /// Points answered from the journal on resume — never dispatched.
+    points_skipped: AtomicU64,
+    /// Points skipped by dominance pruning.
+    points_pruned: AtomicU64,
+    /// Evaluated points answered warm (admission cache or shard cache).
+    cache_hits: AtomicU64,
+    /// Evaluated points whose compile was rejected (no objectives).
+    point_failures: AtomicU64,
+    /// Most recent sweep's completion rate, f64 bits.
+    last_points_per_s: AtomicU64,
+}
+
+impl SweepCounters {
+    pub(crate) fn to_json(&self) -> Json {
+        obj([
+            (
+                "started",
+                Json::Num(self.started.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "completed",
+                Json::Num(self.completed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "resumed",
+                Json::Num(self.resumed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "points_total",
+                Json::Num(self.points_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "points_done",
+                Json::Num(self.points_done.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "points_skipped",
+                Json::Num(self.points_skipped.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "points_pruned",
+                Json::Num(self.points_pruned.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cache_hits",
+                Json::Num(self.cache_hits.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "point_failures",
+                Json::Num(self.point_failures.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "last_points_per_s",
+                Json::Num(f64::from_bits(
+                    self.last_points_per_s.load(Ordering::Relaxed),
+                )),
+            ),
+        ])
+    }
+}
+
+/// One design point of the sweep, fully rendered.
+struct Point {
+    /// FNV digest of the rendered source — the journal identity.
+    digest: u128,
+    /// Canonical `name=value,...` config string — the front key.
+    key: String,
+    /// Rendered Dahlia source.
+    source: String,
+    /// Config string minus the innermost axis — the pruning region.
+    region: String,
+}
+
+/// A journaled completion, replayed on resume.
+struct Replayed {
+    digest: u128,
+    key: String,
+    /// `None` for a point whose compile was rejected.
+    objectives: Option<Vec<f64>>,
+}
+
+/// Shared fan-out state: the running front, the journal handle, and
+/// the per-sweep counters the incremental updates report.
+struct SweepState<'a> {
+    inner: &'a Arc<GwInner>,
+    op_id: String,
+    name: String,
+    stage: Stage,
+    update_every: u64,
+    total: u64,
+    skipped: u64,
+    journal: Option<Tsdb>,
+    front: Mutex<ParetoFront>,
+    done: AtomicU64,
+    cache_hits: AtomicU64,
+    failures: AtomicU64,
+    pruned: AtomicU64,
+}
+
+/// Execute one sweep op end to end, emitting zero or more
+/// `"done":false` progress lines and exactly one final line.
+pub(crate) fn run_sweep(inner: &Arc<GwInner>, op: dahlia_server::SweepOp, emit: &EmitFn) {
+    let t0 = Instant::now();
+    inner.sweeps.started.fetch_add(1, Ordering::Relaxed);
+    if op.resume {
+        inner.sweeps.resumed.fetch_add(1, Ordering::Relaxed);
+    }
+    let spec = SweepSpec {
+        name: op.name.clone(),
+        template: op.template.clone(),
+        params: op.params.clone(),
+        stage: op.stage.clone(),
+        stride: op.stride,
+    };
+    if let Err(msg) = spec.validate() {
+        emit(error_line(&op.id, "sweep/invalid-spec", &msg), true);
+        return;
+    }
+    // `parse_sweep` validated the stage name; a default host could
+    // still hand us junk, so fail shaped rather than panicking.
+    let Some(stage) = Stage::from_name(&op.stage) else {
+        emit(
+            error_line(&op.id, "sweep/invalid-spec", "unknown stage"),
+            true,
+        );
+        return;
+    };
+
+    // Render the whole space up front: any failure is a spec bug that
+    // affects every point identically, so it fails the sweep, not one
+    // point.
+    let innermost = spec
+        .params
+        .last()
+        .map(|(n, _)| n.clone())
+        .unwrap_or_default();
+    let mut points = Vec::new();
+    for cfg in spec.points() {
+        let source = match render(&spec.template, &cfg) {
+            Ok(s) => s,
+            Err(msg) => {
+                emit(error_line(&op.id, "sweep/render-failed", &msg), true);
+                return;
+            }
+        };
+        let key = cfg
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let region = cfg
+            .iter()
+            .filter(|(k, _)| **k != innermost)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        points.push(Point {
+            digest: point_digest(&source),
+            key,
+            source,
+            region,
+        });
+    }
+
+    // Durable progress: each sweep gets its own journal directory
+    // keyed by the spec digest, so resuming a *different* sweep can
+    // never replay this one's points.
+    let (journal, replayed) = match open_journal(inner, &spec, op.resume) {
+        Ok(pair) => pair,
+        Err(e) => {
+            emit(
+                error_line(&op.id, "sweep/journal-failed", &e.to_string()),
+                true,
+            );
+            return;
+        }
+    };
+
+    // Fold journaled completions into the front and drop them from the
+    // work list: the zero-recompute half of the resume contract.
+    let mut front = ParetoFront::new();
+    let mut done_digests = std::collections::HashSet::new();
+    for r in &replayed {
+        done_digests.insert(r.digest);
+    }
+    let mut todo = Vec::new();
+    let mut skipped = 0u64;
+    for p in points {
+        if done_digests.contains(&p.digest) {
+            skipped += 1;
+        } else {
+            todo.push(p);
+        }
+    }
+    let mut journal_failures = 0u64;
+    for r in replayed {
+        match r.objectives {
+            Some(o) => {
+                front.insert(r.key, o);
+            }
+            None => journal_failures += 1,
+        }
+    }
+
+    let state = SweepState {
+        inner,
+        op_id: op.id.clone(),
+        name: op.name.clone(),
+        stage,
+        update_every: op.update_every,
+        total: (todo.len() as u64) + skipped,
+        skipped,
+        journal,
+        front: Mutex::new(front),
+        done: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        failures: AtomicU64::new(journal_failures),
+        pruned: AtomicU64::new(0),
+    };
+
+    if op.prune {
+        // Pass 1: evaluate one sample per innermost-axis region.
+        let mut samples = Vec::new();
+        let mut rest = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for p in todo {
+            if seen.insert(p.region.clone()) {
+                samples.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        evaluate(&state, &samples, emit);
+        // Pass 2: a region whose sample the sample-front strictly
+        // dominates cannot contribute a front point under a monotone
+        // cost model — skip it wholesale.
+        let sample_front = state.front.lock().unwrap().clone();
+        let dominated: std::collections::HashSet<String> = samples
+            .iter()
+            .filter_map(|s| {
+                let e = sample_front
+                    .entries()
+                    .into_iter()
+                    .find(|e| e.key == s.key)?;
+                sample_front.dominates_point(&e.objectives).then_some(())?;
+                Some(s.region.clone())
+            })
+            .collect();
+        let (pruned, live): (Vec<Point>, Vec<Point>) = rest
+            .into_iter()
+            .partition(|p| dominated.contains(&p.region));
+        state
+            .pruned
+            .fetch_add(pruned.len() as u64, Ordering::Relaxed);
+        evaluate(&state, &live, emit);
+    } else {
+        evaluate(&state, &todo, emit);
+    }
+
+    // Global accounting, then the final summary.
+    let done = state.done.load(Ordering::Relaxed);
+    let pruned = state.pruned.load(Ordering::Relaxed);
+    let cache_hits = state.cache_hits.load(Ordering::Relaxed);
+    let failures = state.failures.load(Ordering::Relaxed);
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
+    let pps = if elapsed_ms > 0 {
+        done as f64 / (elapsed_ms as f64 / 1_000.0)
+    } else {
+        done as f64
+    };
+    let g = &inner.sweeps;
+    g.completed.fetch_add(1, Ordering::Relaxed);
+    g.points_total.fetch_add(state.total, Ordering::Relaxed);
+    g.points_done.fetch_add(done, Ordering::Relaxed);
+    g.points_skipped.fetch_add(skipped, Ordering::Relaxed);
+    g.points_pruned.fetch_add(pruned, Ordering::Relaxed);
+    g.cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
+    g.point_failures.fetch_add(failures, Ordering::Relaxed);
+    g.last_points_per_s.store(pps.to_bits(), Ordering::Relaxed);
+
+    let mean_point_ms = if done > 0 {
+        elapsed_ms as f64 / done as f64
+    } else {
+        0.0
+    };
+    let front_json: Vec<Json> = state
+        .front
+        .lock()
+        .unwrap()
+        .entries()
+        .into_iter()
+        .map(|e| {
+            obj([
+                ("key", Json::Str(e.key)),
+                (
+                    "objectives",
+                    Json::Arr(e.objectives.into_iter().map(Json::Num).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let line = obj([
+        ("id", Json::Str(op.id.clone())),
+        ("ok", Json::Bool(true)),
+        ("done", Json::Bool(true)),
+        (
+            "sweep",
+            obj([
+                ("name", Json::Str(op.name.clone())),
+                ("stage", Json::Str(op.stage)),
+                ("points_total", Json::Num(state.total as f64)),
+                ("points_done", Json::Num(done as f64)),
+                ("points_skipped", Json::Num(skipped as f64)),
+                ("points_pruned", Json::Num(pruned as f64)),
+                ("cache_hits", Json::Num(cache_hits as f64)),
+                ("point_failures", Json::Num(failures as f64)),
+                ("elapsed_ms", Json::Num(elapsed_ms as f64)),
+                ("points_per_s", Json::Num(pps)),
+                // The cost model's estimate of evaluation time pruning
+                // saved: pruned points × mean observed per-point wall
+                // time this sweep.
+                ("est_saved_ms", Json::Num(pruned as f64 * mean_point_ms)),
+                ("front_size", Json::Num(front_json.len() as f64)),
+                ("front", Json::Arr(front_json)),
+            ]),
+        ),
+    ])
+    .emit();
+    emit(line, true);
+}
+
+/// The emit callback type [`run_sweep`] streams lines through.
+pub(crate) type EmitFn = dyn Fn(String, bool) + Send + Sync;
+
+/// Scatter `pts` across the cluster and fold completions into the
+/// shared state. Points are ordered by rendezvous owner first so each
+/// shard sees its whole batch as one contiguous pipelined burst, then
+/// pulled off a shared cursor by a small worker pool.
+fn evaluate(state: &SweepState<'_>, pts: &[Point], emit: &EmitFn) {
+    if pts.is_empty() {
+        return;
+    }
+    let mut order: Vec<usize> = (0..pts.len()).collect();
+    let owners: Vec<String> = pts
+        .iter()
+        .map(|p| {
+            state
+                .inner
+                .candidates(dahlia_server::source_digest(&p.source))
+                .first()
+                .map(|s| s.addr.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    order.sort_by(|&a, &b| owners[a].cmp(&owners[b]).then(a.cmp(&b)));
+    let shard_count = state.inner.shards().len();
+    let workers = (shard_count.max(1) * 2).clamp(2, 12).min(pts.len());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= order.len() {
+                    break;
+                }
+                let p = &pts[order[i]];
+                let req = Request::new(
+                    format!("{}:{:032x}", state.op_id, p.digest),
+                    state.stage,
+                    p.source.as_str(),
+                    state.name.as_str(),
+                );
+                let resp = state.inner.submit(&req);
+                let ok = resp.get("ok").and_then(Json::as_bool) == Some(true);
+                if resp.get("cached").and_then(Json::as_bool) == Some(true) {
+                    state.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let objectives = if ok { objectives_of(&resp) } else { None };
+                if let Some(tsdb) = &state.journal {
+                    let record = journal_record(p.digest, &p.key, objectives.as_deref());
+                    tsdb.append(state.inner.clock.now_ms(), record.as_bytes());
+                }
+                match objectives {
+                    Some(o) => {
+                        state.front.lock().unwrap().insert(p.key.clone(), o);
+                    }
+                    None => {
+                        state.failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let n = state.done.fetch_add(1, Ordering::Relaxed) + 1;
+                if state.update_every > 0 && n.is_multiple_of(state.update_every) {
+                    emit(progress_line(state, n), false);
+                }
+            });
+        }
+    });
+}
+
+/// The five minimization objectives of an est-stage response, in the
+/// paper's order: cycles, LUTs, FFs, BRAMs, DSPs. `None` when the
+/// payload has no estimate (non-est stage, or a shape mismatch).
+fn objectives_of(resp: &Json) -> Option<Vec<f64>> {
+    let est = resp.get("estimate")?;
+    Some(vec![
+        est.get("cycles")?.as_f64()?,
+        est.get("luts")?.as_f64()?,
+        est.get("ffs")?.as_f64()?,
+        est.get("brams")?.as_f64()?,
+        est.get("dsps")?.as_f64()?,
+    ])
+}
+
+/// One `"done":false` incremental update.
+fn progress_line(state: &SweepState<'_>, done: u64) -> String {
+    obj([
+        ("id", Json::Str(state.op_id.clone())),
+        ("ok", Json::Bool(true)),
+        ("done", Json::Bool(false)),
+        (
+            "sweep",
+            obj([
+                ("name", Json::Str(state.name.clone())),
+                ("points_total", Json::Num(state.total as f64)),
+                ("points_done", Json::Num(done as f64)),
+                ("points_skipped", Json::Num(state.skipped as f64)),
+                (
+                    "points_pruned",
+                    Json::Num(state.pruned.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "cache_hits",
+                    Json::Num(state.cache_hits.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "front_size",
+                    Json::Num(state.front.lock().unwrap().len() as f64),
+                ),
+            ]),
+        ),
+    ])
+    .emit()
+}
+
+/// The final error line of a sweep that could not run.
+fn error_line(id: &str, code: &str, message: &str) -> String {
+    obj([
+        ("id", Json::Str(id.into())),
+        ("ok", Json::Bool(false)),
+        ("done", Json::Bool(true)),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("sweep".into())),
+                ("code", Json::Str(code.into())),
+                ("message", Json::Str(message.into())),
+            ]),
+        ),
+    ])
+    .emit()
+}
+
+/// One journal record: the point's identity, front key, and outcome.
+/// `objectives` is absent for rejected points — they are still
+/// journaled so resume never re-dispatches them.
+fn journal_record(digest: u128, key: &str, objectives: Option<&[f64]>) -> String {
+    let mut fields = vec![
+        ("point".to_string(), Json::Str(format!("{digest:032x}"))),
+        ("key".to_string(), Json::Str(key.to_string())),
+        ("ok".to_string(), Json::Bool(objectives.is_some())),
+    ];
+    if let Some(o) = objectives {
+        fields.push((
+            "objectives".to_string(),
+            Json::Arr(o.iter().copied().map(Json::Num).collect()),
+        ));
+    }
+    Json::Obj(fields).emit()
+}
+
+/// Open (or, on a fresh run, reset) the sweep's journal and replay any
+/// completed points. Without a telemetry dir the sweep runs fine but
+/// is not durable — there is nowhere to journal to.
+#[allow(clippy::type_complexity)]
+fn open_journal(
+    inner: &Arc<GwInner>,
+    spec: &SweepSpec,
+    resume: bool,
+) -> std::io::Result<(Option<Tsdb>, Vec<Replayed>)> {
+    let Some(root) = &inner.telemetry_dir else {
+        return Ok((None, Vec::new()));
+    };
+    let dir = root.join(format!("sweep-{:032x}", spec.digest()));
+    if !resume {
+        // A fresh (non-resume) sweep starts a fresh journal; stale
+        // records would otherwise mark its points already done.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Retention must never drop resume data: a sweep journal is not a
+    // ring, it is a log the final summary retires.
+    let tsdb = Tsdb::open_with(
+        &dir,
+        TsdbOptions {
+            segment_bytes: 1 << 20,
+            retain_bytes: u64::MAX,
+        },
+    )?;
+    let mut replayed = Vec::new();
+    if resume {
+        for (_t, payload) in tsdb.scan_since(0) {
+            let Ok(text) = String::from_utf8(payload) else {
+                continue;
+            };
+            let Ok(v) = Json::parse(&text) else { continue };
+            let Some(digest) = v
+                .get("point")
+                .and_then(Json::as_str)
+                .and_then(|h| u128::from_str_radix(h, 16).ok())
+            else {
+                continue;
+            };
+            let Some(key) = v.get("key").and_then(Json::as_str) else {
+                continue;
+            };
+            let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+            let objectives = if ok {
+                match v.get("objectives") {
+                    Some(Json::Arr(items)) => {
+                        let o: Option<Vec<f64>> = items.iter().map(Json::as_f64).collect();
+                        o
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            replayed.push(Replayed {
+                digest,
+                key: key.to_string(),
+                objectives,
+            });
+        }
+    }
+    Ok((Some(tsdb), replayed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GatewayConfig;
+    use std::sync::mpsc;
+
+    /// A small two-parameter space over a bank/unroll template; every
+    /// config is legal Dahlia and estimates distinct costs.
+    fn small_op(id: &str, resume: bool, update_every: u64) -> dahlia_server::SweepOp {
+        dahlia_server::SweepOp {
+            id: id.to_string(),
+            name: "sweep-test".to_string(),
+            template: "let A: float[8 bank ${b}];\n\
+                       for (let i = 0..8) unroll ${u} { A[i] := 1.0; }"
+                .to_string(),
+            params: vec![
+                ("b".to_string(), vec![1, 2, 4]),
+                ("u".to_string(), vec![1, 2, 4]),
+            ],
+            stage: "est".to_string(),
+            stride: 1,
+            resume,
+            prune: false,
+            update_every,
+        }
+    }
+
+    /// Drive a sweep synchronously, collecting every emitted line.
+    fn run(gw: &crate::Gateway, op: dahlia_server::SweepOp) -> Vec<(String, bool)> {
+        let (tx, rx) = mpsc::channel();
+        run_sweep(&gw.inner, op, &move |line: String, done: bool| {
+            let _ = tx.send((line, done));
+        });
+        rx.try_iter().collect()
+    }
+
+    #[test]
+    fn local_sweep_streams_updates_and_fronts_the_space() {
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let lines = run(&gw, small_op("s1", false, 2));
+        let (last, fin) = lines.last().unwrap();
+        assert!(fin, "last line is final");
+        // Incremental updates: 9 points, one update every 2.
+        assert!(lines.len() > 1, "streamed incremental updates");
+        for (l, done) in &lines[..lines.len() - 1] {
+            assert!(!done);
+            let v = Json::parse(l).unwrap();
+            assert_eq!(v.get("done").and_then(Json::as_bool), Some(false));
+        }
+        let v = Json::parse(last).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("done").and_then(Json::as_bool), Some(true));
+        let s = v.get("sweep").unwrap();
+        assert_eq!(s.get("points_total").and_then(Json::as_u64), Some(9));
+        assert_eq!(s.get("points_done").and_then(Json::as_u64), Some(9));
+        assert_eq!(s.get("points_skipped").and_then(Json::as_u64), Some(0));
+        let front = s.get("front_size").and_then(Json::as_u64).unwrap();
+        assert!(front >= 1, "at least one non-dominated point");
+        // Stats picked the sweep up.
+        let stats = gw.stats_json();
+        let sweeps = stats.get("gateway").unwrap().get("sweeps").unwrap();
+        assert_eq!(sweeps.get("completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(sweeps.get("points_done").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn resume_replays_the_journal_and_recomputes_nothing() {
+        let dir = std::env::temp_dir().join(format!(
+            "dahlia-sweep-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        // Run 1: full sweep, journaling along the way.
+        let front_a = {
+            let gw = GatewayConfig::new(Vec::<String>::new())
+                .telemetry_dir(&dir)
+                .build();
+            let lines = run(&gw, small_op("s1", false, 0));
+            let v = Json::parse(&lines.last().unwrap().0).unwrap();
+            v.get("sweep").unwrap().get("front").unwrap().emit()
+        };
+        // Run 2: a fresh gateway (the "restarted" process) resumes
+        // from the same journal: every point skips, the front comes
+        // back byte-identical, and nothing touches the router.
+        {
+            let gw = GatewayConfig::new(Vec::<String>::new())
+                .telemetry_dir(&dir)
+                .build();
+            let before = gw.requests();
+            let lines = run(&gw, small_op("s2", true, 0));
+            let v = Json::parse(&lines.last().unwrap().0).unwrap();
+            let s = v.get("sweep").unwrap();
+            assert_eq!(s.get("points_skipped").and_then(Json::as_u64), Some(9));
+            assert_eq!(s.get("points_done").and_then(Json::as_u64), Some(0));
+            assert_eq!(s.get("front").unwrap().emit(), front_a);
+            assert_eq!(gw.requests(), before, "zero points re-dispatched");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_spec_fails_with_a_shaped_error() {
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let mut op = small_op("bad", false, 0);
+        op.template = "let A: float[${missing}];".to_string();
+        let lines = run(&gw, op);
+        assert_eq!(lines.len(), 1);
+        let (line, fin) = &lines[0];
+        assert!(fin);
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("sweep/invalid-spec")
+        );
+    }
+
+    #[test]
+    fn pruning_skips_dominated_regions_deterministically() {
+        // `u` is the innermost axis; the `b=8` region wastes resources
+        // at every unroll (more banks, same cycles at u=1), so its
+        // sample is dominated and the region prunes.
+        let gw = GatewayConfig::new(Vec::<String>::new()).build();
+        let mut op = small_op("p1", false, 0);
+        op.prune = true;
+        let lines = run(&gw, op);
+        let v = Json::parse(&lines.last().unwrap().0).unwrap();
+        let s = v.get("sweep").unwrap();
+        let done = s.get("points_done").and_then(Json::as_u64).unwrap();
+        let pruned = s.get("points_pruned").and_then(Json::as_u64).unwrap();
+        assert_eq!(done + pruned, 9, "every point evaluated or pruned");
+    }
+}

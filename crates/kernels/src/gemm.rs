@@ -95,6 +95,41 @@ for (let jj = 0..{blocks}) {{
     )
 }
 
+/// The blocked-GEMM source as a sweep template (`dse::sweep::render`
+/// directive syntax) over the seven free parameters of the Fig. 7 space:
+/// `bank_m1_d1/2`, `bank_m2_d1/2`, and `unroll_i/j/k`. Rendering the
+/// template against a configuration yields byte-for-byte the output of
+/// [`gemm_blocked_source`] on the equivalent [`GemmBlockedParams`] —
+/// pinned by a test — so a cluster sweep over the template hits the same
+/// content-addressed cache keys as local exploration.
+pub fn gemm_blocked_template(n: u64, block: u64) -> String {
+    let blocks = n / block;
+    format!(
+        "decl m1: float[{n} bank ${{bank_m1_d1}}][{n} bank ${{bank_m1_d2}}];
+decl m2: float[{n} bank ${{bank_m2_d1}}][{n} bank ${{bank_m2_d2}}];
+decl prod: float[{n} bank ${{unroll_i}}][{n} bank ${{unroll_j}}];
+for (let jj = 0..{blocks}) {{
+  for (let kk = 0..{blocks}) {{
+    view m1v = suffix m1[by 0][by {block}*kk];
+    view m2v = suffix m2[by {block}*kk][by {block}*jj];
+    view pv = suffix prod[by 0][by {block}*jj];
+${{shrink:m1v:bank_m1_d1,unroll_i:bank_m1_d2,unroll_k}}\
+${{shrink:m2v:bank_m2_d1,unroll_k:bank_m2_d2,unroll_j}}    for (let i = 0..{n}) unroll ${{unroll_i}} {{
+      for (let j = 0..{block}) unroll ${{unroll_j}} {{
+        for (let k = 0..{block}) unroll ${{unroll_k}} {{
+          let mul = ${{access:m1v:bank_m1_d1,unroll_i:bank_m1_d2,unroll_k}}[i][k] * \
+${{access:m2v:bank_m2_d1,unroll_k:bank_m2_d2,unroll_j}}[k][j];
+        }} combine {{
+          pv[i][j] += mul;
+        }}
+      }}
+    }}
+  }}
+}}
+"
+    )
+}
+
 /// Reference blocked matrix multiply (row-major `n×n`).
 pub fn gemm_blocked_reference(n: usize, block: usize, m1: &[f64], m2: &[f64]) -> Vec<f64> {
     let mut prod = vec![0.0; n * n];
@@ -320,6 +355,45 @@ mod tests {
         let out = run_checked(&src, &inputs);
         let want = gemm_blocked_reference(16, 4, &m1, &m2);
         assert_floats_match("prod", &out.mems["prod"], &want, 1e-9);
+    }
+
+    #[test]
+    fn template_renders_identically_to_the_generator() {
+        // The cluster sweep compiles template renderings; they must be
+        // byte-identical to the generator output so both paths share
+        // content-addressed cache keys. Cover direct access, shrink
+        // views, and checker-rejected (non-divisible) configurations.
+        let template = gemm_blocked_template(16, 4);
+        for (bank_m1, bank_m2, unroll) in [
+            ((1, 1), (1, 1), (1, 1, 1)),
+            ((2, 2), (2, 2), (2, 2, 2)),
+            ((4, 4), (4, 4), (2, 2, 2)), // shrink views on both operands
+            ((2, 4), (4, 2), (1, 1, 3)), // non-divisible: no views
+            ((4, 2), (2, 4), (4, 1, 2)),
+            ((3, 3), (3, 3), (2, 2, 2)), // odd banking, mismatched unroll
+        ] {
+            let p = GemmBlockedParams {
+                n: 16,
+                block: 4,
+                bank_m1,
+                bank_m2,
+                unroll,
+            };
+            let cfg: dahlia_dse::Config = [
+                ("bank_m1_d1", bank_m1.0),
+                ("bank_m1_d2", bank_m1.1),
+                ("bank_m2_d1", bank_m2.0),
+                ("bank_m2_d2", bank_m2.1),
+                ("unroll_i", unroll.0),
+                ("unroll_j", unroll.1),
+                ("unroll_k", unroll.2),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+            let rendered = dahlia_dse::render(&template, &cfg).unwrap();
+            assert_eq!(rendered, gemm_blocked_source(&p), "config {cfg:?}");
+        }
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub use net::{
 pub use pipeline::{source_digest, Artifact, Options, Pipeline, Stage};
 pub use pool::Pool;
 pub use protocol::{Request, Response};
-pub use session::{AdminOp, SessionHost};
+pub use session::{AdminOp, SessionHost, SweepOp};
 pub use store::{ArtifactTier, CacheValue, Key, Store, StoreConfig, StoreStats};
 
 /// Default trace-journal retention (ring buffer; pushing beyond this
@@ -847,6 +847,11 @@ impl Server {
                     // A plain server has no topology to administer; the
                     // strict loop answers inline like every other line.
                     writeln!(output, "{}", session::admin_unsupported_line(&op))?;
+                }
+                Ok(Control::Sweep(op)) => {
+                    // Likewise: sweeps scatter across a gateway's shards,
+                    // so a single server rejects them inline.
+                    writeln!(output, "{}", session::sweep_unsupported_line(&op))?;
                 }
                 Ok(Control::Req(req)) => {
                     let resp = self.submit(req);

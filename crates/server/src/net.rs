@@ -270,16 +270,18 @@ extern "C" {
 const POLL_TIMEOUT_MS: i32 = 200;
 
 /// Completed dispatches, posted from worker threads: encoded response
-/// bytes destined for one connection's write buffer. Every entry frees
-/// one admission-window slot.
+/// bytes destined for one connection's write buffer. The flag marks
+/// entries that free one admission-window slot — every reply does,
+/// except the incremental lines of a streaming op (`sweep`), where only
+/// the final line releases the slot.
 struct Mailbox {
-    done: Mutex<Vec<(u64, Vec<u8>)>>,
+    done: Mutex<Vec<(u64, Vec<u8>, bool)>>,
     wake: UnixStream,
 }
 
 impl Mailbox {
-    fn post(&self, conn: u64, bytes: Vec<u8>) {
-        self.done.lock().unwrap().push((conn, bytes));
+    fn post(&self, conn: u64, bytes: Vec<u8>, frees_slot: bool) {
+        self.done.lock().unwrap().push((conn, bytes, frees_slot));
         // A full pipe means a wake is already pending; losing this
         // write is fine.
         let _ = (&self.wake).write(&[1]);
@@ -439,12 +441,15 @@ impl<H: SessionHost + 'static> Reactor<H> {
     }
 
     fn apply_completions(&mut self) {
-        let done: Vec<(u64, Vec<u8>)> = std::mem::take(&mut *self.mailbox.done.lock().unwrap());
-        for (id, bytes) in done {
+        let done: Vec<(u64, Vec<u8>, bool)> =
+            std::mem::take(&mut *self.mailbox.done.lock().unwrap());
+        for (id, bytes, frees_slot) in done {
             // The connection may have died while its request was in
             // flight; the response is simply dropped.
             if let Some(c) = self.conns.get_mut(&id) {
-                c.in_flight -= 1;
+                if frees_slot {
+                    c.in_flight -= 1;
+                }
                 c.wbuf.extend_from_slice(&bytes);
             }
         }
@@ -688,7 +693,11 @@ impl<H: SessionHost + 'static> Reactor<H> {
                         fields.push(("transport".to_string(), transport.to_json()));
                     }
                     let line = obj([("stats", stats)]).emit();
-                    mailbox.post(id, encode_control_reply(wire_v, &line, Some(&transport)));
+                    mailbox.post(
+                        id,
+                        encode_control_reply(wire_v, &line, Some(&transport)),
+                        true,
+                    );
                 }));
             }
             Control::Trace => {
@@ -726,7 +735,34 @@ impl<H: SessionHost + 'static> Reactor<H> {
                 self.host.dispatch_admin(
                     op,
                     Box::new(move |line| {
-                        mailbox.post(id, encode_control_reply(wire_v, &line, Some(&transport)));
+                        mailbox.post(
+                            id,
+                            encode_control_reply(wire_v, &line, Some(&transport)),
+                            true,
+                        );
+                    }),
+                );
+            }
+            Control::Sweep(op) => {
+                let Some(c) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                // A sweep holds one admission slot for its whole
+                // lifetime: incremental front updates stream through
+                // without freeing it, and only the final summary line
+                // (`done: true`) releases the slot.
+                c.in_flight += 1;
+                let wire_v = c.wire;
+                let mailbox = Arc::clone(&self.mailbox);
+                let transport = Arc::clone(&self.cfg.transport);
+                self.host.dispatch_sweep(
+                    op,
+                    Box::new(move |line, fin| {
+                        mailbox.post(
+                            id,
+                            encode_control_reply(wire_v, &line, Some(&transport)),
+                            fin,
+                        );
                     }),
                 );
             }
@@ -759,7 +795,7 @@ impl<H: SessionHost + 'static> Reactor<H> {
                 Box::new(move |line| {
                     let mut bytes = line.into_bytes();
                     bytes.push(b'\n');
-                    mailbox.post(id, bytes);
+                    mailbox.post(id, bytes, true);
                 }),
             );
         } else {
@@ -771,7 +807,7 @@ impl<H: SessionHost + 'static> Reactor<H> {
                 req,
                 Box::new(move |v| {
                     transport.frames_out.fetch_add(1, Ordering::Relaxed);
-                    mailbox.post(id, wire::json_frame(wire::FRAME_RESPONSE, &v));
+                    mailbox.post(id, wire::json_frame(wire::FRAME_RESPONSE, &v), true);
                 }),
             );
         }

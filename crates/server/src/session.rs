@@ -62,6 +62,37 @@ impl AdminOp {
     }
 }
 
+/// A `{"op":"sweep",...}` control line: a whole design-space exploration
+/// submitted as one op. The gateway scatters the rendered points across
+/// its shards and streams incremental front updates back; a plain server
+/// answers with a `protocol/unsupported-op` error (the default
+/// [`SessionHost::dispatch_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOp {
+    /// Client-chosen correlation id, echoed on every streamed line.
+    pub id: String,
+    /// Kernel name forwarded into compile requests (cache-key relevant).
+    pub name: String,
+    /// Source template in `dse::sweep::render` directive syntax.
+    pub template: String,
+    /// Parameter names with value lists, wire order preserved (the last
+    /// parameter varies fastest during enumeration).
+    pub params: Vec<(String, Vec<u64>)>,
+    /// Pipeline stage each point runs to (default `est`).
+    pub stage: String,
+    /// Keep every `stride`-th point of the full space (default 1).
+    pub stride: u64,
+    /// Resume from the journal checkpointed under the gateway's
+    /// telemetry dir instead of starting fresh.
+    pub resume: bool,
+    /// Skip evaluating points whose cost-model projection is already
+    /// dominated by the running front (deterministic, opt-in).
+    pub prune: bool,
+    /// Stream an incremental front update every this many completed
+    /// points (0 = summary only).
+    pub update_every: u64,
+}
+
 /// A service that can answer protocol sessions: the local [`Server`]
 /// compiles requests itself; a gateway routes them to shards. Either
 /// way the session loop only needs to hand a request off and receive a
@@ -174,6 +205,16 @@ pub trait SessionHost: Send + Sync {
     fn dispatch_admin(&self, op: AdminOp, respond: Box<dyn FnOnce(String) + Send>) {
         respond(admin_unsupported_line(&op));
     }
+
+    /// Dispatch a [`SweepOp`] off the session thread. `emit` is called
+    /// once per streamed line; the `bool` is `true` on the **final**
+    /// line (the summary or a terminal error), after which no further
+    /// lines follow — transports use it to release admission state.
+    /// The default rejects the op with `protocol/unsupported-op`: only
+    /// a gateway has shards to scatter a sweep across.
+    fn dispatch_sweep(&self, op: SweepOp, emit: Box<dyn Fn(String, bool) + Send + Sync>) {
+        emit(sweep_unsupported_line(&op), true);
+    }
 }
 
 /// One decoded protocol line: a control op or a compile request.
@@ -196,6 +237,7 @@ pub(crate) enum Control {
     },
     Shutdown,
     Admin(AdminOp),
+    Sweep(SweepOp),
     Req(Request),
 }
 
@@ -252,6 +294,7 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
         Some("alerts") => Ok(Control::Alerts {
             since: parse_u64_field(&v, "since", "alerts")?,
         }),
+        Some("sweep") => parse_sweep(&v).map(Control::Sweep),
         Some("shutdown") => Ok(Control::Shutdown),
         Some("drain") => Ok(Control::Admin(AdminOp::Drain {
             shard: parse_admin_shard(&v, "drain")?,
@@ -275,6 +318,111 @@ pub(crate) fn parse_control(line: &str, lineno: u64) -> Result<Control, String> 
         Some(other) => Err(format!("unknown op `{other}`")),
         None => Request::from_json(&v, lineno).map(Control::Req),
     }
+}
+
+/// Parse the body of a `{"op":"sweep",...}` line.
+fn parse_sweep(v: &Json) -> Result<SweepOp, String> {
+    let id = match v.get("id") {
+        None | Some(Json::Null) => "sweep".to_string(),
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(other) => return Err(format!("bad `id` in sweep op: {}", other.emit())),
+    };
+    let name = match v.get("name") {
+        None | Some(Json::Null) => "sweep".to_string(),
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(other) => return Err(format!("bad `name` in sweep op: {}", other.emit())),
+    };
+    let template = match v.get("template") {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(other) => return Err(format!("bad `template` in sweep op: {}", other.emit())),
+        None => return Err("sweep op needs a `template` source".to_string()),
+    };
+    let params = match v.get("params") {
+        Some(Json::Obj(fields)) if !fields.is_empty() => {
+            let mut params = Vec::with_capacity(fields.len());
+            for (name, values) in fields {
+                let Json::Arr(items) = values else {
+                    return Err(format!(
+                        "bad values for sweep parameter `{name}` (want an array): {}",
+                        values.emit()
+                    ));
+                };
+                let values = items
+                    .iter()
+                    .map(Json::as_u64)
+                    .collect::<Option<Vec<u64>>>()
+                    .ok_or_else(|| {
+                        format!("sweep parameter `{name}` values must be non-negative integers")
+                    })?;
+                params.push((name.clone(), values));
+            }
+            params
+        }
+        Some(other) => {
+            return Err(format!(
+                "bad `params` in sweep op (want an object of value arrays): {}",
+                other.emit()
+            ))
+        }
+        None => return Err("sweep op needs a `params` object".to_string()),
+    };
+    let stage = match v.get("stage") {
+        None | Some(Json::Null) => "est".to_string(),
+        Some(Json::Str(s)) if crate::pipeline::Stage::from_name(s).is_some() => s.clone(),
+        Some(other) => {
+            return Err(format!(
+                "bad `stage` in sweep op (parse|check|desugar|lower|cpp|est): {}",
+                other.emit()
+            ))
+        }
+    };
+    let stride = match parse_u64_field(v, "stride", "sweep")? {
+        0 => 1,
+        n => n,
+    };
+    let flag = |field: &str| -> Result<bool, String> {
+        match v.get(field) {
+            None | Some(Json::Null) => Ok(false),
+            Some(Json::Bool(b)) => Ok(*b),
+            Some(other) => Err(format!("bad `{field}` in sweep op: {}", other.emit())),
+        }
+    };
+    Ok(SweepOp {
+        id,
+        name,
+        template,
+        params,
+        stage,
+        stride,
+        resume: flag("resume")?,
+        prune: flag("prune")?,
+        update_every: parse_u64_field(v, "update_every", "sweep")?,
+    })
+}
+
+/// The default sweep rejection: only a gateway can scatter a sweep.
+pub(crate) fn sweep_unsupported_line(op: &SweepOp) -> String {
+    obj([
+        ("id", Json::Str(op.id.clone())),
+        ("ok", Json::Bool(false)),
+        ("done", Json::Bool(true)),
+        (
+            "error",
+            obj([
+                ("phase", Json::Str("protocol".into())),
+                ("code", Json::Str("protocol/unsupported-op".into())),
+                (
+                    "message",
+                    Json::Str(
+                        "`sweep` scatters a design-space exploration across a gateway's \
+                         shards; this endpoint is not a gateway"
+                            .into(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+    .emit()
 }
 
 /// The default admin-op rejection: this endpoint has no cluster
@@ -424,6 +572,19 @@ where
                     host.dispatch_admin(
                         op,
                         Box::new(move |line| {
+                            let _ = tx.send(line);
+                        }),
+                    );
+                    Ok(())
+                }
+                Ok(Control::Sweep(op)) => {
+                    // Streamed lines forward as they arrive; the final
+                    // marker only matters to bounded transports (the
+                    // TCP reactor's admission window), not stdio.
+                    let tx = tx.clone();
+                    host.dispatch_sweep(
+                        op,
+                        Box::new(move |line, _final| {
                             let _ = tx.send(line);
                         }),
                     );

@@ -6,8 +6,13 @@
 //! [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_recursive`,
 //! `prop_oneof!`, `proptest!`, `prop_assert*`, `prop::sample::select`,
 //! `prop::collection::vec`, `any::<T>()`, and char-class string patterns —
-//! with deterministic random generation and **no shrinking**: a failing
-//! case reports the case index and seed rather than a minimized input.
+//! with deterministic random generation and **greedy input shrinking**:
+//! when a case fails and the generated tuple implements [`shrink::Shrink`]
+//! (integers, bools, floats, strings, vectors, and tuples thereof do), the
+//! runner walks candidate reductions — binary search toward zero on
+//! numbers, element/prefix removal on collections — and reports the
+//! minimal counterexample it converges on. Types without a `Shrink` impl
+//! fall back to reporting the original failing input only.
 //!
 //! [`proptest`]: https://docs.rs/proptest
 
@@ -383,6 +388,17 @@ pub mod strategy {
         }
     }
 
+    /// Ties a runner closure's parameter type to a strategy's `Value`
+    /// type so closure inference works inside the `proptest!` expansion.
+    /// Returns the closure unchanged.
+    pub fn bind_runner<S, F, R>(_strategy: &S, runner: F) -> F
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> R,
+    {
+        runner
+    }
+
     /// Strategy for `any::<T>()`.
     pub struct Any<T>(pub(crate) PhantomData<T>);
 
@@ -522,6 +538,267 @@ pub mod collection {
     }
 }
 
+pub mod shrink {
+    //! Greedy counterexample minimization.
+    //!
+    //! Shrinking is driven by [`Shrink::shrink_candidates`]: given a
+    //! failing value, propose strictly "smaller" variants; the runner
+    //! keeps the first candidate that still fails and repeats until no
+    //! candidate fails (or a step budget runs out). Integers binary-search
+    //! toward zero, collections drop elements and prefixes, tuples shrink
+    //! one component at a time.
+    //!
+    //! Dispatch from the `proptest!` macro is by autoref specialization:
+    //! [`Dispatch`] implements [`ViaShrink`] when the value type is
+    //! `Shrink`, while `&Dispatch` always implements [`ViaFallback`], so
+    //! `(&Dispatch(&v)).minimize(...)` resolves to the shrinking path
+    //! exactly when a `Shrink` impl exists and to a no-op otherwise — no
+    //! trait bounds leak into the macro.
+
+    use std::fmt::Debug;
+
+    /// Maximum number of candidate evaluations per failing case. Bounds
+    /// shrinking time even for candidate generators that propose values
+    /// equal to the current one (e.g. float truncation fixpoints).
+    const SHRINK_BUDGET: usize = 1024;
+
+    /// A value that can propose smaller variants of itself.
+    pub trait Shrink: Sized + Clone + Debug {
+        /// Candidate reductions, most aggressive first. Must not contain
+        /// `self`; may be empty when the value is already minimal.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! shrink_unsigned {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let n = *self;
+                    if n == 0 {
+                        return Vec::new();
+                    }
+                    // 0, n/2, then binary-search up from n/2 toward n-1.
+                    let mut out = vec![0, n / 2];
+                    let mut delta = n / 2;
+                    loop {
+                        delta /= 2;
+                        if delta == 0 {
+                            break;
+                        }
+                        out.push(n - delta);
+                    }
+                    out.push(n - 1);
+                    out.retain(|c| *c != n);
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+    shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! shrink_signed {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let n = *self;
+                    if n == 0 {
+                        return Vec::new();
+                    }
+                    // Same binary search as the unsigned case, mirrored
+                    // toward zero for negative values.
+                    let mut out = vec![0, n / 2];
+                    let mut delta = n / 2;
+                    loop {
+                        delta /= 2;
+                        if delta == 0 {
+                            break;
+                        }
+                        out.push(n - delta);
+                    }
+                    out.push(if n > 0 { n - 1 } else { n + 1 });
+                    out.retain(|c| *c != n);
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+    shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+    impl Shrink for bool {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    impl Shrink for f64 {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 0.0 || !self.is_finite() {
+                return Vec::new();
+            }
+            let mut out = vec![0.0, self / 2.0, self.trunc()];
+            out.retain(|c| c != self);
+            out
+        }
+    }
+
+    impl Shrink for char {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 'a' {
+                Vec::new()
+            } else {
+                vec!['a']
+            }
+        }
+    }
+
+    impl Shrink for String {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = Vec::new();
+            if !chars.is_empty() {
+                out.push(String::new());
+                if chars.len() > 1 {
+                    out.push(chars[..chars.len() / 2].iter().collect());
+                }
+                for i in 0..chars.len() {
+                    let mut v = chars.clone();
+                    v.remove(i);
+                    out.push(v.into_iter().collect());
+                }
+            }
+            out
+        }
+    }
+
+    impl<T: Shrink> Shrink for Vec<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let mut out = Vec::new();
+            if !self.is_empty() {
+                // Structural shrinks first: empty, half prefix, then each
+                // single-element removal.
+                out.push(Vec::new());
+                if self.len() > 1 {
+                    out.push(self[..self.len() / 2].to_vec());
+                }
+                for i in 0..self.len() {
+                    let mut v = self.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Element-wise shrinks keep the shape but reduce one slot.
+            for i in 0..self.len() {
+                for cand in self[i].shrink_candidates() {
+                    let mut v = self.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+
+    impl<T: Shrink> Shrink for Option<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            match self {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(v.shrink_candidates().into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+
+    macro_rules! shrink_tuple {
+        ($($t:ident : $i:tt),+) => {
+            impl<$($t: Shrink),+> Shrink for ($($t,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$i.shrink_candidates() {
+                            let mut v = self.clone();
+                            v.$i = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
+    }
+    shrink_tuple!(A: 0);
+    shrink_tuple!(A: 0, B: 1);
+    shrink_tuple!(A: 0, B: 1, C: 2);
+    shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+    shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    /// Autoref-specialization wrapper around a failing input; see the
+    /// module docs for how the `proptest!` macro uses it.
+    pub struct Dispatch<'a, T>(pub &'a T);
+
+    /// The shrinking path, selected when the value type is [`Shrink`].
+    pub trait ViaShrink {
+        /// The wrapped value type.
+        type V;
+        /// Greedily minimize the wrapped failing input. `fail` re-runs
+        /// the property and reports whether a candidate still fails.
+        /// Returns the Debug rendering of the minimum plus the number of
+        /// successful shrink steps taken.
+        fn minimize(&self, fail: &mut dyn FnMut(Self::V) -> bool) -> Option<(String, usize)>;
+    }
+
+    impl<T: Shrink> ViaShrink for Dispatch<'_, T> {
+        type V = T;
+        fn minimize(&self, fail: &mut dyn FnMut(T) -> bool) -> Option<(String, usize)> {
+            let mut cur = self.0.clone();
+            let mut steps = 0usize;
+            let mut budget = SHRINK_BUDGET;
+            'outer: loop {
+                for cand in cur.shrink_candidates() {
+                    if budget == 0 {
+                        break 'outer;
+                    }
+                    budget -= 1;
+                    if fail(cand.clone()) {
+                        cur = cand;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            Some((format!("{cur:?}"), steps))
+        }
+    }
+
+    /// The no-op path, selected by autoref when no [`Shrink`] impl
+    /// exists for the value type.
+    pub trait ViaFallback {
+        /// The wrapped value type.
+        type V;
+        /// Always `None`: the original failing input is reported as-is.
+        fn minimize(&self, fail: &mut dyn FnMut(Self::V) -> bool) -> Option<(String, usize)>;
+    }
+
+    impl<T> ViaFallback for &Dispatch<'_, T> {
+        type V = T;
+        fn minimize(&self, _fail: &mut dyn FnMut(T) -> bool) -> Option<(String, usize)> {
+            None
+        }
+    }
+}
+
 /// The `prop::` namespace mirrored from real proptest's prelude.
 pub mod prop {
     pub use crate::collection;
@@ -612,19 +889,47 @@ macro_rules! proptest {
                     module_path!(), "::", stringify!($name)
                 ));
                 let __strat = ($($strat,)+);
-                for __case in 0..__cfg.cases {
-                    let ($($pat,)+) =
-                        $crate::strategy::Strategy::sample(&__strat, &mut __rng);
-                    let __outcome = (move || -> ::core::result::Result<
+                let mut __run = $crate::strategy::bind_runner(
+                    &__strat,
+                    |__vals| -> ::core::result::Result<
                         (),
                         $crate::test_runner::TestCaseError,
                     > {
+                        let ($($pat,)+) = __vals;
                         $body
                         #[allow(unreachable_code)]
                         ::core::result::Result::Ok(())
-                    })();
-                    if let ::core::result::Result::Err(e) = __outcome {
-                        panic!("proptest `{}` failed at case {}: {}", stringify!($name), __case, e);
+                    },
+                );
+                for __case in 0..__cfg.cases {
+                    // Snapshot the rng so the failing tuple can be
+                    // re-sampled for shrinking without requiring Clone
+                    // on the value type.
+                    let __rng_at_case = __rng.clone();
+                    let __vals = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    if let ::core::result::Result::Err(__e) = __run(__vals) {
+                        let mut __replay = __rng_at_case;
+                        let __failed =
+                            $crate::strategy::Strategy::sample(&__strat, &mut __replay);
+                        let __min = {
+                            // One of the two paths is unused depending on
+                            // which impl autoref resolves to.
+                            #[allow(unused_imports)]
+                            use $crate::shrink::{ViaFallback as _, ViaShrink as _};
+                            (&$crate::shrink::Dispatch(&__failed))
+                                .minimize(&mut |__cand| __run(__cand).is_err())
+                        };
+                        match __min {
+                            ::core::option::Option::Some((__mv, __steps)) => panic!(
+                                "proptest `{}` failed at case {}: {}\n\
+                                 minimal counterexample (after {} shrink steps): {}",
+                                stringify!($name), __case, __e, __steps, __mv,
+                            ),
+                            ::core::option::Option::None => panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name), __case, __e,
+                            ),
+                        }
                     }
                 }
             }
@@ -702,5 +1007,56 @@ mod self_tests {
                 prop_assert!(*x < 10);
             }
         }
+    }
+
+    // Deliberately-failing properties, invoked through catch_unwind by
+    // the shrink self-tests below. No `#[test]` attribute: they only run
+    // under the harness via their pinning tests.
+    proptest! {
+        fn fails_at_500_and_up(x in 0u64..1000) {
+            prop_assert!(x < 500);
+        }
+
+        fn fails_when_any_element_reaches_5(
+            v in prop::collection::vec(0u32..10, 0..12),
+        ) {
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+    }
+
+    fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn shrinking_finds_the_integer_boundary() {
+        let msg = panic_message(fails_at_500_and_up);
+        assert!(
+            msg.contains("minimal counterexample"),
+            "no shrink report in: {msg}"
+        );
+        // Binary search toward zero must land exactly on the smallest
+        // failing input, 500, regardless of which case failed first.
+        assert!(
+            msg.contains("(500,)"),
+            "shrinking did not reach the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_collections() {
+        let msg = panic_message(fails_when_any_element_reaches_5);
+        // Element removal plus per-element shrinking must converge on a
+        // single-element vector holding the smallest failing value.
+        assert!(
+            msg.contains("minimal counterexample") && msg.contains("([5],)"),
+            "collection shrinking did not minimize: {msg}"
+        );
     }
 }

@@ -179,6 +179,7 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
                         | "shutdown"
                         | "drain"
                         | "undrain"
+                        | "sweep"
                 ),
                 "spec documents unknown op `{op}`"
             );
@@ -230,11 +231,48 @@ fn control_op_examples_use_known_ops_and_well_typed_fields() {
                     "weight must be a positive number: `{line}`"
                 );
             }
+            if op == "sweep" {
+                assert!(
+                    matches!(v.get("template"), Some(Json::Str(s)) if !s.is_empty()),
+                    "sweep op example lacks a template: `{line}`"
+                );
+                let Some(Json::Obj(params)) = v.get("params") else {
+                    panic!("sweep op example lacks a params object: `{line}`");
+                };
+                assert!(
+                    !params.is_empty(),
+                    "sweep params must not be empty: `{line}`"
+                );
+                for (name, values) in params {
+                    let Json::Arr(items) = values else {
+                        panic!("sweep parameter `{name}` must map to an array: `{line}`");
+                    };
+                    assert!(
+                        items.iter().all(|i| i.as_u64().is_some()),
+                        "sweep parameter `{name}` values must be non-negative integers: `{line}`"
+                    );
+                }
+            } else {
+                for field in [
+                    "template",
+                    "params",
+                    "stride",
+                    "resume",
+                    "prune",
+                    "update_every",
+                ] {
+                    assert!(
+                        v.get(field).is_none(),
+                        "only sweep takes `{field}`: `{line}`"
+                    );
+                }
+            }
             ops.push(op.to_string());
         }
     }
     for required in [
         "hello", "stats", "trace", "slowlog", "history", "alerts", "shutdown", "drain", "undrain",
+        "sweep",
     ] {
         assert!(
             ops.iter().any(|o| o == required),
@@ -267,6 +305,88 @@ fn response_examples_pin_the_field_order() {
         }
     }
     assert!(seen >= 4, "expected several compile-response examples");
+}
+
+#[test]
+fn sweep_examples_stream_progress_then_one_final_line() {
+    // Every server line answering a sweep op must echo the op's id and
+    // carry a boolean `done`; progress lines are ok:true with the
+    // running counters, and the one done:true line either carries the
+    // full summary (with its Pareto front in canonically sorted
+    // objective order) or a structured §6c/§8 error.
+    let mut finals = 0;
+    for block in extract_blocks() {
+        for (prefix, line) in &block.lines {
+            if *prefix != Prefix::Server {
+                continue;
+            }
+            let v = Json::parse(line).expect("checked canonical");
+            let Some(done) = v.get("done").and_then(Json::as_bool) else {
+                continue;
+            };
+            assert!(
+                matches!(v.get("id"), Some(Json::Str(s)) if !s.is_empty()),
+                "sweep line must echo the op id: `{line}`"
+            );
+            let ok = v.get("ok").and_then(Json::as_bool).expect("ok is a bool");
+            if !done {
+                assert!(ok, "progress lines are always ok:true: `{line}`");
+            }
+            if !ok {
+                let code = v
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("failed sweep lacks an error code: `{line}`"));
+                assert!(
+                    matches!(
+                        code,
+                        "sweep/invalid-spec"
+                            | "sweep/render-failed"
+                            | "sweep/journal-failed"
+                            | "protocol/unsupported-op"
+                    ),
+                    "unknown sweep error code `{code}`: `{line}`"
+                );
+                finals += 1;
+                continue;
+            }
+            let sweep = v.get("sweep").expect("ok sweep lines carry the envelope");
+            for counter in ["points_total", "points_done", "points_skipped"] {
+                assert!(
+                    sweep.get(counter).and_then(Json::as_u64).is_some(),
+                    "sweep line lacks `{counter}`: `{line}`"
+                );
+            }
+            if done {
+                finals += 1;
+                let Some(Json::Arr(front)) = sweep.get("front") else {
+                    panic!("final sweep line lacks the front: `{line}`");
+                };
+                let objectives: Vec<Vec<u64>> = front
+                    .iter()
+                    .map(|e| {
+                        let Some(Json::Arr(os)) = e.get("objectives") else {
+                            panic!("front entry lacks objectives: `{line}`");
+                        };
+                        os.iter()
+                            .map(|o| o.as_u64().expect("integer objective"))
+                            .collect()
+                    })
+                    .collect();
+                let mut sorted = objectives.clone();
+                sorted.sort();
+                assert_eq!(
+                    objectives, sorted,
+                    "front must be emitted in canonical (sorted) order: `{line}`"
+                );
+            }
+        }
+    }
+    assert!(
+        finals >= 3,
+        "expected final sweep summaries and error examples, found {finals}"
+    );
 }
 
 #[test]
